@@ -1,0 +1,50 @@
+//! Training-data throughput: 3D scene integration, camera recording, and
+//! contrastive pair generation (the simulator is the data engine behind
+//! the zero-shot model — T2/A1 depend on its speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql_simulator::{
+    templates, Agent, Camera, CameraRig, PairGenerator, Scene3D, ShakeConfig,
+};
+use sketchql_trajectory::{ObjectClass, Point2, Point3};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let scene = Scene3D::new(30.0)
+        .with_object(
+            Agent::with_priors(ObjectClass::Car),
+            templates::left_turn(
+                Point2::new(-15.0, 0.0),
+                0.0,
+                8.0,
+                std::f32::consts::FRAC_PI_2,
+            ),
+        )
+        .with_object(
+            Agent::with_priors(ObjectClass::Person),
+            templates::straight_pass(Point2::new(0.0, -10.0), 1.2, 1.4, 90),
+        );
+
+    c.bench_function("scene_record_90_frames", |b| {
+        b.iter(|| {
+            let cam = Camera::look_at(Point3::new(0.0, -40.0, 25.0), scene.center());
+            let mut rig = CameraRig::new(cam, ShakeConfig::default());
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(scene.record(&mut rig, &mut rng))
+        })
+    });
+
+    let gen = PairGenerator::default_generator();
+    let mut group = c.benchmark_group("pair_generation");
+    group.sample_size(20);
+    group.bench_function("sample_pair", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(gen.sample_pair(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

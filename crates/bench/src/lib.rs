@@ -1,0 +1,45 @@
+//! # sketchql-bench
+//!
+//! Criterion benchmarks for SketchQL. Shared fixtures live here; the bench
+//! targets (one per experiment table, see DESIGN.md §4) are under
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::training::{train, TrainedModel, TrainingConfig};
+use sketchql_datasets::{generate_video, SceneFamily, SyntheticVideo, VideoConfig};
+use sketchql_trajectory::Clip;
+
+/// A deterministic fixture video for benchmarking.
+pub fn bench_video(events_per_kind: usize, seed: u64) -> SyntheticVideo {
+    let cfg = VideoConfig {
+        family: SceneFamily::UrbanIntersection,
+        events_per_kind,
+        distractors: 8,
+        fps: 30.0,
+    };
+    generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed))
+}
+
+/// A quickly-trained model for benchmarking inference paths. Training cost
+/// itself is benchmarked separately; correctness does not matter here, so
+/// only a handful of steps are run.
+pub fn bench_model() -> TrainedModel {
+    let mut cfg = TrainingConfig::small();
+    cfg.steps = 5;
+    train(cfg)
+}
+
+/// A representative single-object candidate clip (one left turn view).
+pub fn bench_clip(seed: u64) -> Clip {
+    let video = bench_video(1, seed);
+    let ev = &video.events[0];
+    let track = &video.truth.objects[ev.object_ids[0] as usize];
+    Clip::new(
+        video.truth.frame_width,
+        video.truth.frame_height,
+        vec![track.slice(ev.start, ev.end).rebase(0)],
+    )
+}

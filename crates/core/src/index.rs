@@ -1,0 +1,240 @@
+//! Video preprocessing: from raw video (ground-truth bbox streams standing
+//! in for decoded frames) to an indexed set of object trajectories.
+//!
+//! This is SketchQL's "initialization" step after "Upload Dataset" (§3.1
+//! Step 1): run the detector + tracker once per video and keep the tracked
+//! trajectories for all subsequent queries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sketchql_datasets::SyntheticVideo;
+use sketchql_tracker::{track_detections, DetectorConfig, DetectorSim, TrackerConfig};
+use sketchql_trajectory::{Clip, ObjectClass, Trajectory};
+
+/// Minimum length (observations) for a track to enter the index.
+pub const MIN_TRACK_LEN: usize = 8;
+
+/// Preprocessed form of one video: its tracked object trajectories.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoIndex {
+    /// Dataset name.
+    pub name: String,
+    /// Tracked trajectories (tracker output, not ground truth).
+    pub tracks: Vec<Trajectory>,
+    /// Total frames in the video.
+    pub frames: u32,
+    /// Frame width.
+    pub frame_width: f32,
+    /// Frame height.
+    pub frame_height: f32,
+    /// Frames per second.
+    pub fps: f32,
+}
+
+impl VideoIndex {
+    /// Builds an index by running the (simulated) detector and the
+    /// ByteTrack tracker over a video — the realistic preprocessing path.
+    pub fn build(
+        video: &SyntheticVideo,
+        detector: DetectorConfig,
+        tracker: TrackerConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = DetectorSim::new(detector);
+        let det_frames = sim.detect_clip(&video.truth, video.frames, &mut rng);
+        let tracks = track_detections(&det_frames, tracker, MIN_TRACK_LEN);
+        VideoIndex {
+            name: video.name.clone(),
+            tracks,
+            frames: video.frames,
+            frame_width: video.truth.frame_width,
+            frame_height: video.truth.frame_height,
+            fps: video.fps,
+        }
+    }
+
+    /// Like [`VideoIndex::build`], additionally applying the tracker
+    /// post-processing passes (fragment stitching + gap interpolation) —
+    /// recovers single trajectories across long occlusions at a small risk
+    /// of over-merging.
+    pub fn build_with_postprocess(
+        video: &SyntheticVideo,
+        detector: DetectorConfig,
+        tracker: TrackerConfig,
+        stitch: sketchql_tracker::StitchConfig,
+        seed: u64,
+    ) -> Self {
+        let mut idx = VideoIndex::build(video, detector, tracker, seed);
+        idx.tracks = sketchql_tracker::stitch_fragments(&idx.tracks, &stitch);
+        idx.tracks = sketchql_tracker::interpolate_tracks(&idx.tracks);
+        idx
+    }
+
+    /// Builds an index directly from ground-truth trajectories (perfect
+    /// tracking) — the oracle-preprocessing ablation.
+    pub fn from_truth(video: &SyntheticVideo) -> Self {
+        VideoIndex {
+            name: video.name.clone(),
+            tracks: video
+                .truth
+                .objects
+                .iter()
+                .filter(|t| t.len() >= MIN_TRACK_LEN)
+                .cloned()
+                .collect(),
+            frames: video.frames,
+            frame_width: video.truth.frame_width,
+            frame_height: video.truth.frame_height,
+            fps: video.fps,
+        }
+    }
+
+    /// Wraps an arbitrary tracked clip (e.g. for unit tests).
+    pub fn from_clip(name: &str, clip: &Clip, frames: u32, fps: f32) -> Self {
+        VideoIndex {
+            name: name.to_string(),
+            tracks: clip.objects.clone(),
+            frames,
+            frame_width: clip.frame_width,
+            frame_height: clip.frame_height,
+            fps,
+        }
+    }
+
+    /// Tracks whose class is accepted by `query_class` (`Any` accepts all)
+    /// and that overlap the frame window `[start, end]` for at least
+    /// `min_overlap` frames.
+    pub fn tracks_in_window(
+        &self,
+        query_class: ObjectClass,
+        start: u32,
+        end: u32,
+        min_overlap: u32,
+    ) -> Vec<&Trajectory> {
+        self.tracks
+            .iter()
+            .filter(|t| query_class.matches(&t.class))
+            .filter(|t| match (t.start_frame(), t.end_frame()) {
+                (Some(s), Some(e)) => {
+                    let lo = s.max(start);
+                    let hi = e.min(end);
+                    hi >= lo && (hi - lo + 1) >= min_overlap
+                }
+                _ => false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchql_datasets::{generate_video, SceneFamily, VideoConfig};
+    use sketchql_tracker::evaluate_tracking;
+    use sketchql_trajectory::{BBox, TrajPoint};
+
+    fn small_video() -> SyntheticVideo {
+        let cfg = VideoConfig {
+            family: SceneFamily::UrbanIntersection,
+            events_per_kind: 1,
+            distractors: 2,
+            fps: 30.0,
+        };
+        generate_video(cfg, 42, &mut StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn from_truth_preserves_long_tracks() {
+        let v = small_video();
+        let idx = VideoIndex::from_truth(&v);
+        let long_truth = v
+            .truth
+            .objects
+            .iter()
+            .filter(|t| t.len() >= MIN_TRACK_LEN)
+            .count();
+        assert_eq!(idx.tracks.len(), long_truth);
+        assert_eq!(idx.frames, v.frames);
+    }
+
+    #[test]
+    fn build_produces_usable_tracks() {
+        let v = small_video();
+        let idx = VideoIndex::build(&v, DetectorConfig::default(), TrackerConfig::default(), 7);
+        assert!(!idx.tracks.is_empty());
+        let report = evaluate_tracking(&v.truth, &idx.tracks);
+        assert!(
+            report.coverage > 0.5,
+            "tracker coverage too low: {:?}",
+            report
+        );
+        assert!(
+            report.precision > 0.6,
+            "tracker precision too low: {:?}",
+            report
+        );
+    }
+
+    #[test]
+    fn build_with_perfect_detector_nearly_matches_truth() {
+        let v = small_video();
+        let idx = VideoIndex::build(&v, DetectorConfig::perfect(), TrackerConfig::default(), 7);
+        let report = evaluate_tracking(&v.truth, &idx.tracks);
+        assert!(report.coverage > 0.8, "coverage {:?}", report);
+    }
+
+    #[test]
+    fn postprocess_never_increases_track_count() {
+        let v = small_video();
+        let plain = VideoIndex::build(&v, DetectorConfig::at_noise_level(2.0), TrackerConfig::default(), 7);
+        let post = VideoIndex::build_with_postprocess(
+            &v,
+            DetectorConfig::at_noise_level(2.0),
+            TrackerConfig::default(),
+            sketchql_tracker::StitchConfig::default(),
+            7,
+        );
+        assert!(post.tracks.len() <= plain.tracks.len());
+        // Post-processed tracks are gap-free.
+        for t in &post.tracks {
+            assert!(t.max_gap() <= 1, "track {} has gap {}", t.id, t.max_gap());
+        }
+        // Still decent tracking quality.
+        let r = evaluate_tracking(&v.truth, &post.tracks);
+        assert!(r.coverage > 0.4, "{r:?}");
+    }
+
+    #[test]
+    fn tracks_in_window_filters_class_and_overlap() {
+        let car = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..50)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32, 0.0, 10.0, 10.0)))
+                .collect(),
+        );
+        let person = Trajectory::from_points(
+            2,
+            ObjectClass::Person,
+            (100..150)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32, 0.0, 5.0, 10.0)))
+                .collect(),
+        );
+        let clip = Clip::new(640.0, 480.0, vec![car, person]);
+        let idx = VideoIndex::from_clip("t", &clip, 150, 30.0);
+
+        let cars = idx.tracks_in_window(ObjectClass::Car, 0, 40, 20);
+        assert_eq!(cars.len(), 1);
+        let people_early = idx.tracks_in_window(ObjectClass::Person, 0, 40, 10);
+        assert!(people_early.is_empty());
+        let any_late = idx.tracks_in_window(ObjectClass::Any, 110, 140, 10);
+        assert_eq!(any_late.len(), 1);
+        let any_all = idx.tracks_in_window(ObjectClass::Any, 0, 149, 10);
+        assert_eq!(any_all.len(), 2);
+        // Overlap threshold enforced.
+        let strict = idx.tracks_in_window(ObjectClass::Car, 45, 60, 10);
+        assert!(strict.is_empty());
+    }
+}

@@ -1,0 +1,682 @@
+//! The Matcher: sliding-window similarity search over a video's tracked
+//! trajectories (§2.2 of the demo paper).
+//!
+//! Given a visual query C_Q, the Matcher enumerates candidate video clips
+//! C_V — temporal windows at several scales of the query's duration,
+//! crossed with class-compatible combinations of tracked objects — scores
+//! each candidate with a [`Similarity`], suppresses temporally overlapping
+//! hits (NMS), and returns the top-k moments sorted by score.
+
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{Clip, TrackId, TrajPoint, Trajectory};
+
+use crate::index::VideoIndex;
+use crate::similarity::Similarity;
+
+/// Matcher search parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Window lengths to try, as multiples of the query's duration.
+    pub window_scales: Vec<f32>,
+    /// Window stride as a fraction of the window length.
+    pub stride_frac: f32,
+    /// Number of moments to return.
+    pub top_k: usize,
+    /// Temporal-IoU threshold for non-maximum suppression.
+    pub nms_tiou: f32,
+    /// Smallest window considered (frames).
+    pub min_window: u32,
+    /// A track must cover at least this fraction of a window to be a
+    /// candidate participant.
+    pub min_overlap_frac: f32,
+    /// Cap on object combinations scored per window (guards the
+    /// multi-object cartesian product).
+    pub max_combos_per_window: usize,
+    /// Worker threads for window scoring (1 = sequential). Windows are
+    /// independent, so search parallelizes embarrassingly well.
+    pub threads: usize,
+    /// Trim each returned moment to the active-motion extent of its bound
+    /// tracks (drops parked lead-in/lead-out frames a sliding window
+    /// inevitably includes).
+    pub refine_boundaries: bool,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            window_scales: vec![0.75, 1.0, 1.5],
+            stride_frac: 0.25,
+            top_k: 10,
+            nms_tiou: 0.45,
+            min_window: 16,
+            min_overlap_frac: 0.5,
+            max_combos_per_window: 64,
+            threads: 1,
+            refine_boundaries: true,
+        }
+    }
+}
+
+/// One retrieved video moment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievedMoment {
+    /// First frame of the moment.
+    pub start: u32,
+    /// Last frame (inclusive).
+    pub end: u32,
+    /// Similarity score in `[0, 1]`.
+    pub score: f32,
+    /// The tracks (by id) bound to the query's object slots.
+    pub track_ids: Vec<TrackId>,
+}
+
+impl RetrievedMoment {
+    /// Temporal IoU with another moment.
+    pub fn temporal_iou(&self, other: &RetrievedMoment) -> f32 {
+        let inter_start = self.start.max(other.start);
+        let inter_end = self.end.min(other.end);
+        if inter_end < inter_start {
+            return 0.0;
+        }
+        let inter = (inter_end - inter_start + 1) as f32;
+        let union =
+            (self.end - self.start + 1) as f32 + (other.end - other.start + 1) as f32 - inter;
+        inter / union
+    }
+}
+
+/// The Matcher: a similarity function plus search parameters.
+pub struct Matcher<S: Similarity> {
+    /// The similarity used to score candidates.
+    pub sim: S,
+    /// Search parameters.
+    pub config: MatcherConfig,
+}
+
+impl<S: Similarity> Matcher<S> {
+    /// Creates a matcher with default search parameters.
+    pub fn new(sim: S) -> Self {
+        Matcher {
+            sim,
+            config: MatcherConfig::default(),
+        }
+    }
+
+    /// Creates a matcher with explicit parameters.
+    pub fn with_config(sim: S, config: MatcherConfig) -> Self {
+        Matcher { sim, config }
+    }
+
+    /// Runs the sliding-window search of `query` over `index`.
+    pub fn search(&self, index: &VideoIndex, query: &Clip) -> Vec<RetrievedMoment> {
+        let q_span = query.span();
+        if q_span == 0 || query.num_objects() == 0 || index.frames == 0 {
+            return Vec::new();
+        }
+        let prepared = self.sim.prepare(query);
+        let classes = query.classes();
+
+        // Enumerate every (start, end, min_overlap) window first; scoring
+        // them is then embarrassingly parallel.
+        let mut windows: Vec<(u32, u32, u32)> = Vec::new();
+        for &scale in &self.config.window_scales {
+            let window = ((q_span as f32 * scale) as u32)
+                .max(self.config.min_window)
+                .min(index.frames);
+            let stride = ((window as f32 * self.config.stride_frac) as u32).max(1);
+            let min_overlap = ((window as f32 * self.config.min_overlap_frac) as u32).max(1);
+            let mut start = 0u32;
+            loop {
+                let end = (start + window - 1).min(index.frames.saturating_sub(1));
+                windows.push((start, end, min_overlap));
+                if end + 1 >= index.frames {
+                    break;
+                }
+                start += stride;
+            }
+        }
+
+        let threads = self.config.threads.max(1);
+        let mut scored: Vec<RetrievedMoment> = if threads == 1 || windows.len() < 2 * threads {
+            windows
+                .iter()
+                .filter_map(|&(s, e, o)| self.best_in_window(index, &classes, &prepared, s, e, o))
+                .collect()
+        } else {
+            let results = parking_lot::Mutex::new(Vec::with_capacity(windows.len()));
+            let chunk = windows.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for piece in windows.chunks(chunk) {
+                    let results = &results;
+                    let prepared = &prepared;
+                    let classes = &classes;
+                    scope.spawn(move |_| {
+                        let local: Vec<RetrievedMoment> = piece
+                            .iter()
+                            .filter_map(|&(s, e, o)| {
+                                self.best_in_window(index, classes, prepared, s, e, o)
+                            })
+                            .collect();
+                        results.lock().extend(local);
+                    });
+                }
+            })
+            .expect("matcher worker panicked");
+            results.into_inner()
+        };
+
+        // Sort by score (ties broken deterministically so parallel and
+        // sequential runs agree), NMS, truncate.
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.start.cmp(&b.start))
+                .then(a.track_ids.cmp(&b.track_ids))
+        });
+        let mut kept: Vec<RetrievedMoment> = Vec::new();
+        for m in scored {
+            if kept.len() >= self.config.top_k {
+                break;
+            }
+            let overlaps = kept
+                .iter()
+                .any(|k| k.temporal_iou(&m) >= self.config.nms_tiou && k.track_ids == m.track_ids);
+            if !overlaps {
+                kept.push(m);
+            }
+        }
+        if self.config.refine_boundaries {
+            for m in &mut kept {
+                refine_boundaries(index, m);
+            }
+        }
+        kept
+    }
+
+    /// Scores all candidate object combinations in one window; returns the
+    /// best moment, if any candidate exists.
+    fn best_in_window(
+        &self,
+        index: &VideoIndex,
+        classes: &[sketchql_trajectory::ObjectClass],
+        prepared: &crate::similarity::PreparedQuery,
+        start: u32,
+        end: u32,
+        min_overlap: u32,
+    ) -> Option<RetrievedMoment> {
+        // Candidate tracks per query slot.
+        let per_slot: Vec<Vec<&Trajectory>> = classes
+            .iter()
+            .map(|c| index.tracks_in_window(*c, start, end, min_overlap))
+            .collect();
+        if per_slot.iter().any(Vec::is_empty) {
+            return None;
+        }
+
+        let mut best: Option<RetrievedMoment> = None;
+        let mut combo = vec![0usize; classes.len()];
+        let mut tried = 0usize;
+        'combos: loop {
+            // Distinct tracks across slots.
+            let distinct = {
+                let mut ids: Vec<TrackId> = combo
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &i)| per_slot[s][i].id)
+                    .collect();
+                ids.sort_unstable();
+                ids.windows(2).all(|w| w[0] != w[1])
+            };
+            if distinct {
+                tried += 1;
+                let candidate = window_clip(index, &combo, &per_slot, start, end);
+                if !candidate.is_empty() {
+                    let score = self.sim.score(prepared, &candidate);
+                    let ids = combo
+                        .iter()
+                        .enumerate()
+                        .map(|(s, &i)| per_slot[s][i].id)
+                        .collect::<Vec<_>>();
+                    if best.as_ref().is_none_or(|b| score > b.score) {
+                        best = Some(RetrievedMoment {
+                            start,
+                            end,
+                            score,
+                            track_ids: ids,
+                        });
+                    }
+                }
+                if tried >= self.config.max_combos_per_window {
+                    break 'combos;
+                }
+            }
+            // Advance the mixed-radix counter.
+            let mut slot = 0;
+            loop {
+                combo[slot] += 1;
+                if combo[slot] < per_slot[slot].len() {
+                    break;
+                }
+                combo[slot] = 0;
+                slot += 1;
+                if slot == combo.len() {
+                    break 'combos;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Trims a moment to the frames that carry its tracks' motion: the leading
+/// and trailing stretches contributing less than 2% of the total path
+/// length each are dropped. Windows over parked objects are left unchanged
+/// (no motion to anchor on).
+fn refine_boundaries(index: &VideoIndex, moment: &mut RetrievedMoment) {
+    const TRIM_FRAC: f32 = 0.02;
+    const MIN_LEN: u32 = 8;
+    let tracks: Vec<&Trajectory> = moment
+        .track_ids
+        .iter()
+        .filter_map(|id| index.tracks.iter().find(|t| t.id == *id))
+        .collect();
+    if tracks.is_empty() || moment.end <= moment.start + MIN_LEN {
+        return;
+    }
+    // Per-frame combined center motion.
+    let n = (moment.end - moment.start) as usize;
+    let mut motion = vec![0.0f32; n];
+    for t in &tracks {
+        let mut prev = t.bbox_at(moment.start);
+        for (k, m) in motion.iter_mut().enumerate() {
+            let f = moment.start + k as u32 + 1;
+            let cur = t.bbox_at(f);
+            if let (Some(a), Some(b)) = (prev, cur) {
+                *m += a.center().distance(&b.center());
+            }
+            prev = cur;
+        }
+    }
+    let total: f32 = motion.iter().sum();
+    if total <= 1e-3 {
+        return;
+    }
+    let lead_budget = total * TRIM_FRAC;
+    let mut acc = 0.0;
+    let mut lead = 0usize;
+    for &m in &motion {
+        if acc + m > lead_budget {
+            break;
+        }
+        acc += m;
+        lead += 1;
+    }
+    let mut acc = 0.0;
+    let mut trail = 0usize;
+    for &m in motion.iter().rev() {
+        if acc + m > lead_budget {
+            break;
+        }
+        acc += m;
+        trail += 1;
+    }
+    let new_start = moment.start + lead as u32;
+    let new_end = moment.end.saturating_sub(trail as u32);
+    if new_end > new_start && new_end - new_start + 1 >= MIN_LEN {
+        moment.start = new_start;
+        moment.end = new_end;
+    }
+}
+
+/// Builds the candidate clip for a window: each selected track sliced to
+/// `[start, end]` and rebased so the window starts at frame 0 (preserving
+/// cross-object timing).
+fn window_clip(
+    index: &VideoIndex,
+    combo: &[usize],
+    per_slot: &[Vec<&Trajectory>],
+    start: u32,
+    end: u32,
+) -> Clip {
+    let objects = combo
+        .iter()
+        .enumerate()
+        .map(|(slot, &i)| {
+            let t = per_slot[slot][i];
+            let pts = t
+                .points()
+                .iter()
+                .filter(|p| p.frame >= start && p.frame <= end)
+                .map(|p| TrajPoint::new(p.frame - start, p.bbox))
+                .collect();
+            Trajectory::from_points(t.id, t.class, pts)
+        })
+        .collect();
+    Clip::new(index.frame_width, index.frame_height, objects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::ClassicalSimilarity;
+    use sketchql_trajectory::{BBox, DistanceKind, ObjectClass};
+
+    /// A synthetic index: one car doing a "left turn on screen" (right then
+    /// up) during frames 100..190, plus a straight-moving car elsewhere.
+    fn test_index() -> VideoIndex {
+        let mut turn_pts = Vec::new();
+        for i in 0..45u32 {
+            turn_pts.push(TrajPoint::new(
+                100 + i,
+                BBox::new(100.0 + i as f32 * 8.0, 400.0, 60.0, 35.0),
+            ));
+        }
+        for i in 0..45u32 {
+            turn_pts.push(TrajPoint::new(
+                145 + i,
+                BBox::new(460.0, 400.0 - (i + 1) as f32 * 7.0, 40.0, 45.0),
+            ));
+        }
+        let turner = Trajectory::from_points(1, ObjectClass::Car, turn_pts);
+
+        let straight = Trajectory::from_points(
+            2,
+            ObjectClass::Car,
+            (300..420)
+                .map(|f| TrajPoint::new(f, BBox::new((f - 300) as f32 * 7.0, 250.0, 60.0, 35.0)))
+                .collect(),
+        );
+        let clip = Clip::new(1280.0, 720.0, vec![turner, straight]);
+        VideoIndex::from_clip("test", &clip, 500, 30.0)
+    }
+
+    /// A left-turn query: right then up, ~90 ticks.
+    fn left_turn_query() -> Clip {
+        let mut pts = Vec::new();
+        for i in 0..45u32 {
+            pts.push(TrajPoint::new(
+                i,
+                BBox::new(100.0 + i as f32 * 6.0, 450.0, 80.0, 45.0),
+            ));
+        }
+        for i in 0..45u32 {
+            pts.push(TrajPoint::new(
+                45 + i,
+                BBox::new(370.0, 450.0 - (i + 1) as f32 * 6.0, 60.0, 55.0),
+            ));
+        }
+        Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(0, ObjectClass::Car, pts)],
+        )
+    }
+
+    fn matcher() -> Matcher<ClassicalSimilarity> {
+        Matcher::new(ClassicalSimilarity::new(DistanceKind::Dtw))
+    }
+
+    #[test]
+    fn finds_the_turning_car() {
+        let idx = test_index();
+        let results = matcher().search(&idx, &left_turn_query());
+        assert!(!results.is_empty());
+        let top = &results[0];
+        assert_eq!(
+            top.track_ids,
+            vec![1],
+            "turner should rank first, got {top:?}"
+        );
+        // The moment overlaps the true event [100, 190].
+        assert!(top.start < 190 && top.end > 100, "moment {top:?}");
+    }
+
+    #[test]
+    fn straight_query_prefers_straight_car() {
+        let idx = test_index();
+        let straight_query = Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(
+                0,
+                ObjectClass::Car,
+                (0..90)
+                    .map(|i| {
+                        TrajPoint::new(i, BBox::new(100.0 + i as f32 * 7.0, 300.0, 80.0, 45.0))
+                    })
+                    .collect(),
+            )],
+        );
+        let results = matcher().search(&idx, &straight_query);
+        assert!(!results.is_empty());
+        assert_eq!(results[0].track_ids, vec![2]);
+    }
+
+    #[test]
+    fn results_are_sorted_and_bounded() {
+        let idx = test_index();
+        let results = matcher().search(&idx, &left_turn_query());
+        assert!(results.len() <= MatcherConfig::default().top_k);
+        for w in results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for m in &results {
+            assert!((0.0..=1.0).contains(&m.score));
+            assert!(m.end < 500);
+        }
+    }
+
+    #[test]
+    fn nms_suppresses_same_track_overlaps() {
+        let idx = test_index();
+        // Refinement legitimately re-overlaps trimmed moments, so check the
+        // NMS invariant on raw windows.
+        let m = Matcher::with_config(
+            ClassicalSimilarity::new(DistanceKind::Dtw),
+            MatcherConfig {
+                refine_boundaries: false,
+                ..Default::default()
+            },
+        );
+        let results = m.search(&idx, &left_turn_query());
+        for i in 0..results.len() {
+            for j in i + 1..results.len() {
+                if results[i].track_ids == results[j].track_ids {
+                    assert!(
+                        results[i].temporal_iou(&results[j]) < m.config.nms_tiou,
+                        "overlapping moments on same track survived NMS: {:?} {:?}",
+                        results[i],
+                        results[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let idx = test_index();
+        let empty_q = Clip::new(10.0, 10.0, vec![]);
+        assert!(matcher().search(&idx, &empty_q).is_empty());
+        let empty_idx = VideoIndex::from_clip("e", &Clip::new(10.0, 10.0, vec![]), 0, 30.0);
+        assert!(matcher().search(&empty_idx, &left_turn_query()).is_empty());
+    }
+
+    #[test]
+    fn class_filter_prunes_wrong_classes() {
+        let idx = test_index();
+        // A person query over a cars-only index: no candidates at all.
+        let person_query = Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(
+                0,
+                ObjectClass::Person,
+                (0..60)
+                    .map(|i| {
+                        TrajPoint::new(i, BBox::new(100.0 + i as f32 * 2.0, 300.0, 25.0, 60.0))
+                    })
+                    .collect(),
+            )],
+        );
+        assert!(matcher().search(&idx, &person_query).is_empty());
+    }
+
+    #[test]
+    fn any_class_matches_everything() {
+        let idx = test_index();
+        let any_query = Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(
+                0,
+                ObjectClass::Any,
+                (0..90)
+                    .map(|i| {
+                        TrajPoint::new(i, BBox::new(100.0 + i as f32 * 7.0, 300.0, 80.0, 45.0))
+                    })
+                    .collect(),
+            )],
+        );
+        let results = matcher().search(&idx, &any_query);
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn multi_object_query_binds_distinct_tracks() {
+        // Index with a car and a person crossing perpendicular.
+        let car = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (100..180)
+                .map(|f| TrajPoint::new(f, BBox::new(400.0, (f - 100) as f32 * 5.0, 60.0, 35.0)))
+                .collect(),
+        );
+        let person = Trajectory::from_points(
+            2,
+            ObjectClass::Person,
+            (100..180)
+                .map(|f| {
+                    TrajPoint::new(
+                        f,
+                        BBox::new(100.0 + (f - 100) as f32 * 4.0, 250.0, 20.0, 50.0),
+                    )
+                })
+                .collect(),
+        );
+        let clip = Clip::new(1280.0, 720.0, vec![car, person]);
+        let idx = VideoIndex::from_clip("x", &clip, 300, 30.0);
+
+        let query =
+            sketchql_datasets::query_clip(sketchql_datasets::EventKind::PerpendicularCrossing);
+        let results = matcher().search(&idx, &query);
+        assert!(!results.is_empty());
+        let top = &results[0];
+        assert_eq!(top.track_ids.len(), 2);
+        assert_eq!(top.track_ids[0], 1, "car slot binds the car");
+        assert_eq!(top.track_ids[1], 2, "person slot binds the person");
+    }
+
+    #[test]
+    fn refinement_trims_parked_margins() {
+        // A track that parks for 40 frames, moves for 50, parks for 40.
+        let mut pts = Vec::new();
+        for f in 0..40u32 {
+            pts.push(TrajPoint::new(f, BBox::new(100.0, 300.0, 40.0, 25.0)));
+        }
+        for f in 40..90u32 {
+            pts.push(TrajPoint::new(
+                f,
+                BBox::new(100.0 + (f - 39) as f32 * 8.0, 300.0, 40.0, 25.0),
+            ));
+        }
+        for f in 90..130u32 {
+            pts.push(TrajPoint::new(f, BBox::new(508.0, 300.0, 40.0, 25.0)));
+        }
+        let clip = Clip::new(
+            1280.0,
+            720.0,
+            vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
+        );
+        let idx = VideoIndex::from_clip("r", &clip, 130, 30.0);
+        let mut m = RetrievedMoment {
+            start: 0,
+            end: 129,
+            score: 1.0,
+            track_ids: vec![1],
+        };
+        refine_boundaries(&idx, &mut m);
+        assert!(m.start >= 35 && m.start <= 45, "start {}", m.start);
+        assert!(m.end >= 85 && m.end <= 95, "end {}", m.end);
+    }
+
+    #[test]
+    fn refinement_leaves_stationary_windows_alone() {
+        let pts = (0..60u32)
+            .map(|f| TrajPoint::new(f, BBox::new(100.0, 300.0, 40.0, 25.0)))
+            .collect();
+        let clip = Clip::new(
+            1280.0,
+            720.0,
+            vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
+        );
+        let idx = VideoIndex::from_clip("s", &clip, 60, 30.0);
+        let mut m = RetrievedMoment {
+            start: 0,
+            end: 59,
+            score: 1.0,
+            track_ids: vec![1],
+        };
+        refine_boundaries(&idx, &mut m);
+        assert_eq!((m.start, m.end), (0, 59));
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let idx = test_index();
+        let query = left_turn_query();
+        let seq = Matcher::with_config(
+            ClassicalSimilarity::new(DistanceKind::Dtw),
+            MatcherConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .search(&idx, &query);
+        let par = Matcher::with_config(
+            ClassicalSimilarity::new(DistanceKind::Dtw),
+            MatcherConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .search(&idx, &query);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn temporal_iou_helper() {
+        let a = RetrievedMoment {
+            start: 0,
+            end: 99,
+            score: 1.0,
+            track_ids: vec![],
+        };
+        let b = RetrievedMoment {
+            start: 50,
+            end: 149,
+            score: 1.0,
+            track_ids: vec![],
+        };
+        let c = RetrievedMoment {
+            start: 200,
+            end: 220,
+            score: 1.0,
+            track_ids: vec![],
+        };
+        assert!((a.temporal_iou(&b) - 50.0 / 150.0).abs() < 1e-5);
+        assert_eq!(a.temporal_iou(&c), 0.0);
+        assert!((a.temporal_iou(&a) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,349 @@
+//! Materialized window embeddings: amortizing Matcher work across queries.
+//!
+//! SketchQL is an *exploratory* system — users iterate on sketches against
+//! the same uploaded video. With the learned similarity, candidate-window
+//! embeddings do not depend on the query at all, so they can be computed
+//! once per (video, model) and reused by every subsequent single-object
+//! query; execution then reduces to one query embedding plus a dot-product
+//! scan. This mirrors the materialized-view idea EVA (reference [10] of
+//! the demo paper) applies to exploratory video analytics.
+
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{Clip, ObjectClass, TrackId, TrajPoint, Trajectory};
+
+use crate::index::VideoIndex;
+use crate::matcher::RetrievedMoment;
+use crate::similarity::LearnedSimilarity;
+
+/// One precomputed candidate: a track windowed to a frame range, embedded.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaterializedEntry {
+    /// The source track.
+    pub track_id: TrackId,
+    /// The track's class (for query-class pruning).
+    pub class: ObjectClass,
+    /// Window start frame.
+    pub start: u32,
+    /// Window end frame (inclusive).
+    pub end: u32,
+    /// The window clip's embedding (unit norm).
+    pub embedding: Vec<f32>,
+}
+
+/// Build parameters for the materialized index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaterializeConfig {
+    /// Window lengths (frames) to precompute.
+    pub window_lens: [u32; 3],
+    /// Stride between window starts, as a fraction of the window length.
+    pub stride_frac: f32,
+    /// A track must cover at least this fraction of a window.
+    pub min_overlap_frac: f32,
+    /// Worker threads for embedding.
+    pub threads: usize,
+}
+
+impl Default for MaterializeConfig {
+    fn default() -> Self {
+        MaterializeConfig {
+            window_lens: [68, 90, 135],
+            stride_frac: 0.25,
+            min_overlap_frac: 0.5,
+            threads: 4,
+        }
+    }
+}
+
+/// Precomputed per-track window embeddings for one video under one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaterializedWindows {
+    /// The build parameters used.
+    pub config: MaterializeConfig,
+    /// All precomputed candidates.
+    pub entries: Vec<MaterializedEntry>,
+}
+
+impl MaterializedWindows {
+    /// Embeds every (track, window) candidate of the index.
+    pub fn build(index: &VideoIndex, sim: &LearnedSimilarity, config: MaterializeConfig) -> Self {
+        // Enumerate tasks first, then embed in parallel.
+        let mut tasks: Vec<(usize, u32, u32)> = Vec::new();
+        for &wlen in &config.window_lens {
+            let wlen = wlen.min(index.frames.max(1));
+            let stride = ((wlen as f32 * config.stride_frac) as u32).max(1);
+            let min_overlap = ((wlen as f32 * config.min_overlap_frac) as u32).max(1);
+            let mut start = 0u32;
+            loop {
+                let end = (start + wlen - 1).min(index.frames.saturating_sub(1));
+                for (ti, t) in index.tracks.iter().enumerate() {
+                    if let (Some(s), Some(e)) = (t.start_frame(), t.end_frame()) {
+                        let lo = s.max(start);
+                        let hi = e.min(end);
+                        if hi >= lo && (hi - lo + 1) >= min_overlap {
+                            tasks.push((ti, start, end));
+                        }
+                    }
+                }
+                if end + 1 >= index.frames {
+                    break;
+                }
+                start += stride;
+            }
+        }
+
+        let embed_task = |&(ti, start, end): &(usize, u32, u32)| -> Option<MaterializedEntry> {
+            let t: &Trajectory = &index.tracks[ti];
+            let pts: Vec<TrajPoint> = t
+                .points()
+                .iter()
+                .filter(|p| p.frame >= start && p.frame <= end)
+                .map(|p| TrajPoint::new(p.frame - start, p.bbox))
+                .collect();
+            let clip = Clip::new(
+                index.frame_width,
+                index.frame_height,
+                vec![Trajectory::from_points(t.id, t.class, pts)],
+            );
+            let embedding = sim.embed(&clip)?;
+            Some(MaterializedEntry {
+                track_id: t.id,
+                class: t.class,
+                start,
+                end,
+                embedding,
+            })
+        };
+
+        let threads = config.threads.max(1);
+        let mut entries: Vec<MaterializedEntry> = if threads == 1 || tasks.len() < 2 * threads {
+            tasks.iter().filter_map(embed_task).collect()
+        } else {
+            let out = parking_lot::Mutex::new(Vec::with_capacity(tasks.len()));
+            let chunk = tasks.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for piece in tasks.chunks(chunk) {
+                    let out = &out;
+                    let embed_task = &embed_task;
+                    scope.spawn(move |_| {
+                        let local: Vec<MaterializedEntry> =
+                            piece.iter().filter_map(embed_task).collect();
+                        out.lock().extend(local);
+                    });
+                }
+            })
+            .expect("materialize worker panicked");
+            out.into_inner()
+        };
+        // Deterministic order regardless of thread count or interleaving.
+        entries.sort_by_key(|e| (e.track_id, e.start, e.end));
+
+        MaterializedWindows { config, entries }
+    }
+
+    /// Number of materialized candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no candidates were materialized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Executes a **single-object** query against the materialized
+    /// embeddings: one encoder pass for the query, then a dot-product scan.
+    ///
+    /// Returns `None` for multi-object queries (those need per-window
+    /// object binding and fall back to the live [`Matcher`]).
+    ///
+    /// [`Matcher`]: crate::matcher::Matcher
+    pub fn query(
+        &self,
+        sim: &LearnedSimilarity,
+        query: &Clip,
+        top_k: usize,
+        nms_tiou: f32,
+    ) -> Option<Vec<RetrievedMoment>> {
+        if query.num_objects() != 1 {
+            return None;
+        }
+        let qe = sim.embed(query)?;
+        let qclass = query.objects[0].class;
+        let mut scored: Vec<RetrievedMoment> = self
+            .entries
+            .iter()
+            .filter(|e| qclass.matches(&e.class))
+            .map(|e| {
+                let cos = sketchql_nn::cosine_similarity(&qe, &e.embedding);
+                RetrievedMoment {
+                    start: e.start,
+                    end: e.end,
+                    score: (cos + 1.0) * 0.5,
+                    track_ids: vec![e.track_id],
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.start.cmp(&b.start))
+                .then(a.track_ids.cmp(&b.track_ids))
+        });
+        let mut kept: Vec<RetrievedMoment> = Vec::new();
+        for m in scored {
+            if kept.len() >= top_k {
+                break;
+            }
+            let overlaps = kept
+                .iter()
+                .any(|k| k.temporal_iou(&m) >= nms_tiou && k.track_ids == m.track_ids);
+            if !overlaps {
+                kept.push(m);
+            }
+        }
+        Some(kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train, TrainingConfig};
+    use sketchql_trajectory::BBox;
+
+    fn test_index() -> VideoIndex {
+        let a = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..200)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32 * 3.0, 300.0, 60.0, 35.0)))
+                .collect(),
+        );
+        let b = Trajectory::from_points(
+            2,
+            ObjectClass::Person,
+            (50..250)
+                .map(|f| TrajPoint::new(f, BBox::new(400.0, (f - 50) as f32 * 2.0, 20.0, 50.0)))
+                .collect(),
+        );
+        let clip = Clip::new(1280.0, 720.0, vec![a, b]);
+        VideoIndex::from_clip("m", &clip, 300, 30.0)
+    }
+
+    fn tiny_sim() -> LearnedSimilarity {
+        let mut cfg = TrainingConfig::tiny();
+        cfg.steps = 5;
+        train(cfg).similarity()
+    }
+
+    #[test]
+    fn build_materializes_class_tagged_windows() {
+        let idx = test_index();
+        let sim = tiny_sim();
+        let m = MaterializedWindows::build(&idx, &sim, MaterializeConfig::default());
+        assert!(!m.is_empty());
+        assert!(m.entries.iter().any(|e| e.class == ObjectClass::Car));
+        assert!(m.entries.iter().any(|e| e.class == ObjectClass::Person));
+        for e in &m.entries {
+            assert!(e.start <= e.end);
+            assert!(e.end < 300);
+            let n: f32 = e.embedding.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-3, "embedding should be unit, got {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let idx = test_index();
+        let sim = tiny_sim();
+        let a = MaterializedWindows::build(
+            &idx,
+            &sim,
+            MaterializeConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let b = MaterializedWindows::build(
+            &idx,
+            &sim,
+            MaterializeConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.track_id, y.track_id);
+            assert_eq!((x.start, x.end), (y.start, y.end));
+            assert_eq!(x.embedding, y.embedding);
+        }
+    }
+
+    #[test]
+    fn query_prunes_by_class_and_ranks() {
+        let idx = test_index();
+        let sim = tiny_sim();
+        let m = MaterializedWindows::build(&idx, &sim, MaterializeConfig::default());
+        let query = Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(
+                0,
+                ObjectClass::Person,
+                (0..60)
+                    .map(|i| {
+                        TrajPoint::new(i, BBox::new(300.0, 100.0 + i as f32 * 4.0, 25.0, 60.0))
+                    })
+                    .collect(),
+            )],
+        );
+        let results = m.query(&sim, &query, 5, 0.45).unwrap();
+        assert!(!results.is_empty());
+        for r in &results {
+            assert_eq!(
+                r.track_ids,
+                vec![2],
+                "person query must bind the person track"
+            );
+            assert!((0.0..=1.0).contains(&r.score));
+        }
+        for w in results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn multi_object_queries_fall_back() {
+        let idx = test_index();
+        let sim = tiny_sim();
+        let m = MaterializedWindows::build(&idx, &sim, MaterializeConfig::default());
+        let q2 = sketchql_datasets::query_clip(sketchql_datasets::EventKind::PerpendicularCrossing);
+        assert!(m.query(&sim, &q2, 5, 0.45).is_none());
+    }
+
+    #[test]
+    fn any_class_query_scans_everything() {
+        let idx = test_index();
+        let sim = tiny_sim();
+        let m = MaterializedWindows::build(&idx, &sim, MaterializeConfig::default());
+        let query = Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(
+                0,
+                ObjectClass::Any,
+                (0..60)
+                    .map(|i| {
+                        TrajPoint::new(i, BBox::new(100.0 + i as f32 * 5.0, 300.0, 50.0, 40.0))
+                    })
+                    .collect(),
+            )],
+        );
+        let results = m.query(&sim, &query, 10, 0.45).unwrap();
+        let ids: std::collections::HashSet<_> =
+            results.iter().flat_map(|r| r.track_ids.clone()).collect();
+        assert!(ids.len() >= 2, "Any should reach both tracks: {ids:?}");
+    }
+}

@@ -1,0 +1,504 @@
+//! The SketchQL façade: the six demo steps as a typed API.
+//!
+//! Mirrors §3 of the demo paper end-to-end:
+//!
+//! 1. **Upload dataset & initialization** — [`SketchQL::upload_dataset`]
+//!    runs detector + tracker preprocessing and indexes the trajectories.
+//!    2-4. **Object creation, trajectory creation, trajectory editing** —
+//!    via a [`Sketcher`] from [`SketchQL::new_sketch`].
+//! 5. **Query execution** — [`SketchQL::run_sketch`] /
+//!    [`SketchQL::run_query`] invoke the Matcher.
+//! 6. **Display results** — [`SketchQL::display`] lists the found clips
+//!    sorted by similarity, and [`SketchQL::moment_clip`] reconstructs a
+//!    retrieved clip (for playback or Tuner feedback).
+
+use serde::{Deserialize, Serialize};
+use sketchql_datasets::SyntheticVideo;
+use sketchql_tracker::{DetectorConfig, TrackerConfig};
+use sketchql_trajectory::{Clip, ObjectClass, TrajPoint, Trajectory};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::index::VideoIndex;
+use crate::matcher::{Matcher, MatcherConfig, RetrievedMoment};
+use crate::similarity::{LearnedSimilarity, Similarity};
+use crate::sketcher::{SketchError, Sketcher};
+use crate::training::TrainedModel;
+use crate::tuner::{fine_tune, Feedback, Reranker, TunerConfig};
+
+/// Preprocessing settings applied at upload time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Detector noise model.
+    pub detector: DetectorConfig,
+    /// Tracker thresholds.
+    pub tracker: TrackerConfig,
+    /// Seed for the detector simulation.
+    pub seed: u64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            detector: DetectorConfig::default(),
+            tracker: TrackerConfig::default(),
+            seed: 1234,
+        }
+    }
+}
+
+/// Errors from session-level operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// No dataset with that name was uploaded.
+    UnknownDataset(String),
+    /// The sketch could not be compiled into a query.
+    Sketch(SketchError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
+            SessionError::Sketch(e) => write!(f, "sketch error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<SketchError> for SessionError {
+    fn from(e: SketchError) -> Self {
+        SessionError::Sketch(e)
+    }
+}
+
+/// A display row for a retrieved moment ("Display Videos" window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MomentView {
+    /// 1-based rank.
+    pub rank: usize,
+    /// First frame.
+    pub start: u32,
+    /// Last frame (inclusive).
+    pub end: u32,
+    /// Start time in seconds.
+    pub start_seconds: f32,
+    /// End time in seconds.
+    pub end_seconds: f32,
+    /// Similarity score.
+    pub score: f32,
+    /// Classes of the matched objects.
+    pub classes: Vec<ObjectClass>,
+}
+
+/// Summary returned after uploading a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Frames indexed.
+    pub frames: u32,
+    /// Number of object trajectories extracted.
+    pub num_tracks: usize,
+}
+
+/// A SketchQL session: a trained model plus uploaded datasets.
+pub struct SketchQL {
+    /// The similarity model executing queries.
+    pub model: TrainedModel,
+    /// Matcher search parameters.
+    pub matcher_config: MatcherConfig,
+    /// Preprocessing settings for future uploads.
+    pub preprocess: PreprocessConfig,
+    datasets: BTreeMap<String, VideoIndex>,
+}
+
+impl SketchQL {
+    /// Starts a session with a trained similarity model.
+    pub fn new(model: TrainedModel) -> Self {
+        SketchQL {
+            model,
+            matcher_config: MatcherConfig::default(),
+            preprocess: PreprocessConfig::default(),
+            datasets: BTreeMap::new(),
+        }
+    }
+
+    /// Step 1: uploads a video and initializes it (detector + tracker
+    /// preprocessing, trajectory indexing).
+    pub fn upload_dataset(&mut self, name: &str, video: &SyntheticVideo) -> DatasetSummary {
+        let idx = VideoIndex::build(
+            video,
+            self.preprocess.detector,
+            self.preprocess.tracker,
+            self.preprocess.seed,
+        );
+        let summary = DatasetSummary {
+            name: name.to_string(),
+            frames: idx.frames,
+            num_tracks: idx.tracks.len(),
+        };
+        self.datasets.insert(name.to_string(), idx);
+        summary
+    }
+
+    /// Uploads an already-preprocessed index (e.g. ground-truth tracks for
+    /// oracle experiments).
+    pub fn upload_index(&mut self, name: &str, index: VideoIndex) -> DatasetSummary {
+        let summary = DatasetSummary {
+            name: name.to_string(),
+            frames: index.frames,
+            num_tracks: index.tracks.len(),
+        };
+        self.datasets.insert(name.to_string(), index);
+        summary
+    }
+
+    /// Names of uploaded datasets.
+    pub fn datasets(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Looks up an uploaded dataset's index.
+    pub fn dataset(&self, name: &str) -> Result<&VideoIndex, SessionError> {
+        self.datasets
+            .get(name)
+            .ok_or_else(|| SessionError::UnknownDataset(name.to_string()))
+    }
+
+    /// Steps 2-4: a fresh sketcher canvas to compose a query on.
+    pub fn new_sketch(&self) -> Sketcher {
+        Sketcher::demo()
+    }
+
+    /// Step 5 ("Run"): compiles the sketch and executes it.
+    pub fn run_sketch(
+        &self,
+        dataset: &str,
+        sketch: &Sketcher,
+    ) -> Result<Vec<RetrievedMoment>, SessionError> {
+        let query = sketch.compile()?;
+        self.run_query(dataset, &query)
+    }
+
+    /// Step 5 with an already-compiled query clip.
+    pub fn run_query(
+        &self,
+        dataset: &str,
+        query: &Clip,
+    ) -> Result<Vec<RetrievedMoment>, SessionError> {
+        let index = self.dataset(dataset)?;
+        let matcher = Matcher::with_config(
+            LearnedSimilarity::new(self.model.encoder.clone(), self.model.store.clone()),
+            self.matcher_config.clone(),
+        );
+        Ok(matcher.search(index, query))
+    }
+
+    /// Step 5 with an arbitrary similarity function (baseline experiments).
+    pub fn run_query_with<S: Similarity>(
+        &self,
+        dataset: &str,
+        query: &Clip,
+        sim: S,
+    ) -> Result<Vec<RetrievedMoment>, SessionError> {
+        let index = self.dataset(dataset)?;
+        let matcher = Matcher::with_config(sim, self.matcher_config.clone());
+        Ok(matcher.search(index, query))
+    }
+
+    /// Step 6 ("Display Videos"): formats moments for display, sorted by
+    /// score.
+    pub fn display(
+        &self,
+        dataset: &str,
+        moments: &[RetrievedMoment],
+    ) -> Result<Vec<MomentView>, SessionError> {
+        let index = self.dataset(dataset)?;
+        let fps = index.fps.max(1e-6);
+        Ok(moments
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let classes = m
+                    .track_ids
+                    .iter()
+                    .filter_map(|id| index.tracks.iter().find(|t| t.id == *id))
+                    .map(|t| t.class)
+                    .collect();
+                MomentView {
+                    rank: i + 1,
+                    start: m.start,
+                    end: m.end,
+                    start_seconds: m.start as f32 / fps,
+                    end_seconds: m.end as f32 / fps,
+                    score: m.score,
+                    classes,
+                }
+            })
+            .collect())
+    }
+
+    /// Reconstructs the clip of a retrieved moment (what the result window
+    /// plays back, and what Tuner feedback is given on).
+    pub fn moment_clip(
+        &self,
+        dataset: &str,
+        moment: &RetrievedMoment,
+    ) -> Result<Clip, SessionError> {
+        let index = self.dataset(dataset)?;
+        let objects = moment
+            .track_ids
+            .iter()
+            .filter_map(|id| index.tracks.iter().find(|t| t.id == *id))
+            .map(|t| {
+                let pts = t
+                    .points()
+                    .iter()
+                    .filter(|p| p.frame >= moment.start && p.frame <= moment.end)
+                    .map(|p| TrajPoint::new(p.frame - moment.start, p.bbox))
+                    .collect();
+                Trajectory::from_points(t.id, t.class, pts)
+            })
+            .collect();
+        Ok(Clip::new(index.frame_width, index.frame_height, objects))
+    }
+
+    /// Applies Tuner feedback by fine-tuning the session's model in place.
+    /// Returns the number of usable feedback items.
+    pub fn apply_feedback(
+        &mut self,
+        query: &Clip,
+        feedback: &[Feedback],
+        config: &TunerConfig,
+    ) -> usize {
+        let usable = feedback.len();
+        self.model = fine_tune(&self.model, query, feedback, config);
+        usable
+    }
+
+    /// Builds a training-free re-ranker from feedback (the lighter Tuner
+    /// path).
+    pub fn feedback_reranker(&self, feedback: &[Feedback], config: &TunerConfig) -> Reranker {
+        Reranker::new(&self.model, feedback, config)
+    }
+
+    /// Persists the whole session (model + every preprocessed dataset
+    /// index) under `dir`, so preprocessing is paid once across process
+    /// restarts — a video database, not a per-run cache.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        let idx_dir = dir.join("indexes");
+        std::fs::create_dir_all(&idx_dir)?;
+        self.model.save(&dir.join("model.json"))?;
+        let mut names = Vec::new();
+        for (name, index) in &self.datasets {
+            let file = format!("{}.json", sanitize(name));
+            let json = serde_json::to_string(index).map_err(std::io::Error::other)?;
+            std::fs::write(idx_dir.join(&file), json)?;
+            names.push((name.clone(), file));
+        }
+        let manifest = serde_json::to_string(&names).map_err(std::io::Error::other)?;
+        std::fs::write(dir.join("manifest.json"), manifest)
+    }
+
+    /// Restores a session saved with [`SketchQL::save`].
+    pub fn load(dir: &std::path::Path) -> std::io::Result<Self> {
+        let model = TrainedModel::load(&dir.join("model.json"))?;
+        let manifest: Vec<(String, String)> =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("manifest.json"))?)
+                .map_err(std::io::Error::other)?;
+        let mut session = SketchQL::new(model);
+        for (name, file) in manifest {
+            let json = std::fs::read_to_string(dir.join("indexes").join(&file))?;
+            let index: VideoIndex = serde_json::from_str(&json).map_err(std::io::Error::other)?;
+            session.datasets.insert(name, index);
+        }
+        Ok(session)
+    }
+}
+
+/// Filesystem-safe dataset file name.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train, TrainingConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sketchql_datasets::{generate_video, EventKind, SceneFamily, VideoConfig};
+    use sketchql_trajectory::Point2;
+
+    fn tiny_session() -> SketchQL {
+        let mut cfg = TrainingConfig::tiny();
+        cfg.steps = 10;
+        SketchQL::new(train(cfg))
+    }
+
+    fn small_video(seed: u64) -> SyntheticVideo {
+        let cfg = VideoConfig {
+            family: SceneFamily::UrbanIntersection,
+            events_per_kind: 1,
+            distractors: 2,
+            fps: 30.0,
+        };
+        generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn upload_then_query_round_trip() {
+        let mut sq = tiny_session();
+        let video = small_video(1);
+        let summary = sq.upload_dataset("traffic", &video);
+        assert_eq!(summary.frames, video.frames);
+        assert!(summary.num_tracks > 0);
+        assert_eq!(sq.datasets(), vec!["traffic"]);
+
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let results = sq.run_query("traffic", &query).unwrap();
+        assert!(!results.is_empty());
+        let views = sq.display("traffic", &results).unwrap();
+        assert_eq!(views.len(), results.len());
+        assert_eq!(views[0].rank, 1);
+        assert!(views[0].start_seconds <= views[0].end_seconds);
+    }
+
+    #[test]
+    fn unknown_dataset_is_error() {
+        let sq = tiny_session();
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let err = sq.run_query("nope", &query).unwrap_err();
+        assert_eq!(err, SessionError::UnknownDataset("nope".into()));
+    }
+
+    #[test]
+    fn sketch_to_results_pipeline() {
+        let mut sq = tiny_session();
+        let video = small_video(2);
+        sq.upload_index("v", VideoIndex::from_truth(&video));
+
+        // Steps 2-3: place a car, drag a left turn.
+        let mut sketch = sq.new_sketch();
+        let car = sketch
+            .create_object(ObjectClass::Car, Point2::new(150.0, 450.0))
+            .unwrap();
+        sketch.set_mode(crate::sketcher::MouseMode::Drag);
+        sketch
+            .drag_object_along(
+                car,
+                &[
+                    Point2::new(300.0, 450.0),
+                    Point2::new(450.0, 450.0),
+                    Point2::new(600.0, 430.0),
+                    Point2::new(650.0, 300.0),
+                    Point2::new(660.0, 150.0),
+                ],
+            )
+            .unwrap();
+        let seg = sketch.panel().lane(car)[0];
+        sketch.stretch_segment(seg, 80).unwrap();
+        let results = sq.run_sketch("v", &sketch).unwrap();
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn empty_sketch_fails_cleanly() {
+        let mut sq = tiny_session();
+        sq.upload_index("v", VideoIndex::from_truth(&small_video(3)));
+        let sketch = sq.new_sketch();
+        let err = sq.run_sketch("v", &sketch).unwrap_err();
+        assert!(matches!(err, SessionError::Sketch(SketchError::EmptyQuery)));
+    }
+
+    #[test]
+    fn moment_clip_reconstruction() {
+        let mut sq = tiny_session();
+        let video = small_video(4);
+        sq.upload_index("v", VideoIndex::from_truth(&video));
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let results = sq.run_query("v", &query).unwrap();
+        let top = &results[0];
+        let clip = sq.moment_clip("v", top).unwrap();
+        assert_eq!(clip.num_objects(), top.track_ids.len());
+        assert_eq!(clip.start_frame(), Some(0));
+        assert!(clip.span() <= top.end - top.start + 1);
+    }
+
+    #[test]
+    fn feedback_updates_model() {
+        let mut sq = tiny_session();
+        let video = small_video(5);
+        sq.upload_index("v", VideoIndex::from_truth(&video));
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let results = sq.run_query("v", &query).unwrap();
+        assert!(results.len() >= 2);
+        let pos = sq.moment_clip("v", &results[0]).unwrap();
+        let neg = sq.moment_clip("v", results.last().unwrap()).unwrap();
+        let before = sq.model.store.clone();
+        let n = sq.apply_feedback(
+            &query,
+            &[
+                Feedback {
+                    clip: pos,
+                    relevant: true,
+                },
+                Feedback {
+                    clip: neg,
+                    relevant: false,
+                },
+            ],
+            &TunerConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(n, 2);
+        assert_ne!(sq.model.store, before, "feedback should update weights");
+    }
+
+    #[test]
+    fn session_save_load_round_trip() {
+        let mut sq = tiny_session();
+        let video = small_video(9);
+        sq.upload_index("v/one", VideoIndex::from_truth(&video));
+        let dir = std::env::temp_dir().join(format!("sketchql-session-{}", std::process::id()));
+        sq.save(&dir).unwrap();
+        let back = SketchQL::load(&dir).unwrap();
+        assert_eq!(back.datasets(), vec!["v/one"]);
+        assert_eq!(back.model.store, sq.model.store);
+        // The restored session answers queries identically.
+        let q = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        assert_eq!(
+            sq.run_query("v/one", &q).unwrap(),
+            back.run_query("v/one", &q).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn baseline_similarity_can_be_swapped_in() {
+        let mut sq = tiny_session();
+        let video = small_video(6);
+        sq.upload_index("v", VideoIndex::from_truth(&video));
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let results = sq
+            .run_query_with(
+                "v",
+                &query,
+                crate::similarity::ClassicalSimilarity::new(sketchql_trajectory::DistanceKind::Dtw),
+            )
+            .unwrap();
+        assert!(!results.is_empty());
+    }
+}

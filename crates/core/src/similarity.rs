@@ -1,0 +1,230 @@
+//! Clip similarity functions: the learned encoder and classical baselines
+//! behind one interface.
+//!
+//! The Matcher is generic over a [`Similarity`] so experiments can swap the
+//! paper's learned similarity against DTW/Fréchet/etc. baselines without
+//! touching the search loop. Queries are `prepare`d once (for the learned
+//! similarity this embeds the query a single time) and scored against many
+//! candidate windows.
+
+use sketchql_nn::{cosine_similarity, ParamStore, TrajectoryEncoder};
+use sketchql_trajectory::{
+    clip_distance, distance_to_similarity, extract_features, Clip, DistanceKind,
+};
+
+/// A prepared (pre-processed) query, produced by [`Similarity::prepare`].
+#[derive(Debug, Clone)]
+pub enum PreparedQuery {
+    /// The query's embedding vector (learned similarity).
+    Embedding(Vec<f32>),
+    /// The raw query clip (classical distances re-align per candidate).
+    Clip(Clip),
+}
+
+/// A similarity measure between a visual query and a candidate video clip.
+/// Scores are in `[0, 1]`, higher = more similar.
+pub trait Similarity: Send + Sync {
+    /// Short name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Pre-processes the query once.
+    fn prepare(&self, query: &Clip) -> PreparedQuery;
+
+    /// Scores a candidate clip against a prepared query.
+    fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32;
+
+    /// Convenience: prepare + score in one call.
+    fn score_pair(&self, query: &Clip, candidate: &Clip) -> f32 {
+        let p = self.prepare(query);
+        self.score(&p, candidate)
+    }
+}
+
+/// The paper's learned similarity: transformer embeddings + cosine.
+pub struct LearnedSimilarity {
+    /// The trained encoder (architecture + hyper-parameters).
+    pub encoder: TrajectoryEncoder,
+    /// The encoder's trained weights.
+    pub store: ParamStore,
+}
+
+impl LearnedSimilarity {
+    /// Wraps a trained encoder.
+    pub fn new(encoder: TrajectoryEncoder, store: ParamStore) -> Self {
+        LearnedSimilarity { encoder, store }
+    }
+
+    /// Embeds a clip into the encoder's unit-norm embedding space.
+    /// Returns `None` for clips the feature extractor rejects (empty or
+    /// too many objects).
+    pub fn embed(&self, clip: &Clip) -> Option<Vec<f32>> {
+        let steps = self.encoder.config.steps;
+        let feats = extract_features(clip, steps).ok()?;
+        let t = sketchql_nn::Tensor::from_vec(steps, feats.data.len() / steps, feats.data);
+        Some(self.encoder.embed(&self.store, &t))
+    }
+}
+
+impl Similarity for LearnedSimilarity {
+    fn name(&self) -> String {
+        "sketchql".to_string()
+    }
+
+    fn prepare(&self, query: &Clip) -> PreparedQuery {
+        match self.embed(query) {
+            Some(e) => PreparedQuery::Embedding(e),
+            None => PreparedQuery::Clip(query.clone()),
+        }
+    }
+
+    fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32 {
+        let PreparedQuery::Embedding(qe) = prepared else {
+            return 0.0;
+        };
+        match self.embed(candidate) {
+            // Map cosine in [-1, 1] to [0, 1].
+            Some(ce) => (cosine_similarity(qe, &ce) + 1.0) * 0.5,
+            None => 0.0,
+        }
+    }
+}
+
+/// A classical trajectory-distance baseline lifted to clip similarity.
+pub struct ClassicalSimilarity {
+    /// Which distance to apply.
+    pub kind: DistanceKind,
+    /// Scale applied to distances before converting to similarity; the
+    /// canonical clips live in the unit square, so distances are O(0.1).
+    pub distance_scale: f32,
+}
+
+impl ClassicalSimilarity {
+    /// A baseline using `kind` with the default distance scale.
+    pub fn new(kind: DistanceKind) -> Self {
+        ClassicalSimilarity {
+            kind,
+            distance_scale: 8.0,
+        }
+    }
+}
+
+impl Similarity for ClassicalSimilarity {
+    fn name(&self) -> String {
+        self.kind.name().to_string()
+    }
+
+    fn prepare(&self, query: &Clip) -> PreparedQuery {
+        PreparedQuery::Clip(query.clone())
+    }
+
+    fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32 {
+        let PreparedQuery::Clip(q) = prepared else {
+            return 0.0;
+        };
+        let d = clip_distance(self.kind, q, candidate);
+        distance_to_similarity(d * self.distance_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sketchql_nn::EncoderConfig;
+    use sketchql_trajectory::{BBox, ObjectClass, TrajPoint, Trajectory, TOKEN_DIM};
+
+    fn clip_line(slope: f32) -> Clip {
+        let t = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..24)
+                .map(|f| {
+                    TrajPoint::new(
+                        f,
+                        BBox::new(f as f32 * 5.0, 200.0 + f as f32 * slope, 30.0, 20.0),
+                    )
+                })
+                .collect(),
+        );
+        Clip::new(640.0, 480.0, vec![t])
+    }
+
+    fn untrained_learned() -> LearnedSimilarity {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EncoderConfig {
+            input_dim: TOKEN_DIM,
+            steps: 16,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut rng, "enc", cfg);
+        LearnedSimilarity::new(enc, store)
+    }
+
+    #[test]
+    fn learned_scores_self_highest() {
+        let sim = untrained_learned();
+        let a = clip_line(0.0);
+        let b = clip_line(8.0);
+        let p = sim.prepare(&a);
+        let saa = sim.score(&p, &a);
+        let sab = sim.score(&p, &b);
+        assert!(
+            (saa - 1.0).abs() < 1e-4,
+            "self-similarity should be 1, got {saa}"
+        );
+        assert!(sab <= saa + 1e-5);
+        assert!((0.0..=1.0).contains(&sab));
+    }
+
+    #[test]
+    fn learned_handles_empty_candidate() {
+        let sim = untrained_learned();
+        let p = sim.prepare(&clip_line(0.0));
+        let empty = Clip::new(10.0, 10.0, vec![]);
+        assert_eq!(sim.score(&p, &empty), 0.0);
+    }
+
+    #[test]
+    fn classical_scores_self_as_one() {
+        for &k in DistanceKind::ALL {
+            let sim = ClassicalSimilarity::new(k);
+            let a = clip_line(2.0);
+            let s = sim.score_pair(&a, &a);
+            assert!((s - 1.0).abs() < 1e-3, "{k:?} self-score {s}");
+        }
+    }
+
+    #[test]
+    fn classical_ranks_similar_above_dissimilar() {
+        let sim = ClassicalSimilarity::new(DistanceKind::Dtw);
+        let straight = clip_line(0.0);
+        let nearly_straight = clip_line(0.3);
+        let diagonal = clip_line(6.0);
+        let p = sim.prepare(&straight);
+        assert!(sim.score(&p, &nearly_straight) > sim.score(&p, &diagonal));
+    }
+
+    #[test]
+    fn arity_mismatch_scores_zero_for_classical() {
+        let sim = ClassicalSimilarity::new(DistanceKind::Euclidean);
+        let one = clip_line(0.0);
+        let two = Clip::new(
+            640.0,
+            480.0,
+            vec![one.objects[0].clone(), one.objects[0].clone()],
+        );
+        assert_eq!(sim.score_pair(&one, &two), 0.0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names = std::collections::HashSet::new();
+        names.insert(untrained_learned().name());
+        for &k in DistanceKind::ALL {
+            names.insert(ClassicalSimilarity::new(k).name());
+        }
+        assert_eq!(names.len(), DistanceKind::ALL.len() + 1);
+    }
+}

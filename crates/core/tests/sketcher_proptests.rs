@@ -1,0 +1,138 @@
+//! Property-based tests: the sketcher stays consistent under arbitrary
+//! sequences of user operations, and compiled queries are always valid
+//! matcher input.
+
+use proptest::prelude::*;
+use sketchql::sketcher::{MouseMode, Sketcher};
+use sketchql_trajectory::{ObjectClass, Point2};
+
+/// An abstract user gesture.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8, f32, f32),
+    Delete(u8),
+    Edit(u8, u8),
+    Drag(u8, Vec<(f32, f32)>),
+    DeleteSegment(u8),
+    Stretch(u8, u32),
+    Shift(u8, u32),
+    Reorder(u8, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let coord = 0.0f32..1000.0;
+    prop_oneof![
+        (any::<u8>(), coord.clone(), 0.0f32..600.0).prop_map(|(c, x, y)| Op::Create(c, x, y)),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Edit(a, b)),
+        (
+            any::<u8>(),
+            prop::collection::vec((coord.clone(), 0.0f32..600.0), 1..8)
+        )
+            .prop_map(|(o, path)| Op::Drag(o, path)),
+        any::<u8>().prop_map(Op::DeleteSegment),
+        (any::<u8>(), 1u32..120).prop_map(|(s, t)| Op::Stretch(s, t)),
+        (any::<u8>(), 0u32..200).prop_map(|(s, t)| Op::Shift(s, t)),
+        (any::<u8>(), any::<u8>()).prop_map(|(s, i)| Op::Reorder(s, i)),
+    ]
+}
+
+const CLASSES: &[ObjectClass] = &[
+    ObjectClass::Car,
+    ObjectClass::Person,
+    ObjectClass::Truck,
+    ObjectClass::Bicycle,
+    ObjectClass::Dog,
+];
+
+fn apply(sketcher: &mut Sketcher, op: &Op) {
+    // Errors (wrong ids, wrong modes) are expected for random ids; the
+    // invariant is that nothing panics and state stays coherent.
+    match op {
+        Op::Create(c, x, y) => {
+            sketcher.set_mode(MouseMode::Create);
+            let class = CLASSES[*c as usize % CLASSES.len()];
+            let _ = sketcher.create_object(class, Point2::new(*x, *y));
+        }
+        Op::Delete(i) => {
+            sketcher.set_mode(MouseMode::Delete);
+            let _ = sketcher.delete_object(u64::from(*i) % 8 + 1);
+        }
+        Op::Edit(i, c) => {
+            sketcher.set_mode(MouseMode::Edit);
+            let class = CLASSES[*c as usize % CLASSES.len()];
+            let _ = sketcher.edit_object_type(u64::from(*i) % 8 + 1, class);
+        }
+        Op::Drag(i, path) => {
+            sketcher.set_mode(MouseMode::Drag);
+            let pts: Vec<Point2> = path.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let _ = sketcher.drag_object_along(u64::from(*i) % 8 + 1, &pts);
+        }
+        Op::DeleteSegment(s) => {
+            let _ = sketcher.delete_segment(u64::from(*s) % 12 + 1);
+        }
+        Op::Stretch(s, t) => {
+            let _ = sketcher.stretch_segment(u64::from(*s) % 12 + 1, *t);
+        }
+        Op::Shift(s, t) => {
+            let _ = sketcher.shift_segment(u64::from(*s) % 12 + 1, *t);
+        }
+        Op::Reorder(s, i) => {
+            let _ = sketcher.reorder_segment(u64::from(*s) % 12 + 1, *i as usize % 4);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sketcher_survives_arbitrary_gesture_sequences(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let mut sketcher = Sketcher::demo();
+        for op in &ops {
+            apply(&mut sketcher, op);
+        }
+        // Panel lanes only reference live segments of live objects.
+        let objects: Vec<u64> = sketcher.objects().map(|o| o.id).collect();
+        for obj in sketcher.panel().objects() {
+            prop_assert!(objects.contains(&obj), "panel lane for deleted object {obj}");
+            for seg in sketcher.panel().lane(obj) {
+                let s = sketcher.segment(*seg).expect("lane segment must exist");
+                prop_assert_eq!(s.object, obj);
+                prop_assert!(s.ticks > 0);
+            }
+        }
+        // Compilation either fails cleanly (empty) or yields a valid clip.
+        match sketcher.compile() {
+            Ok(clip) => {
+                prop_assert!(!clip.is_empty());
+                prop_assert!(clip.span() >= 1);
+                for t in &clip.objects {
+                    let frames: Vec<u32> = t.points().iter().map(|p| p.frame).collect();
+                    prop_assert!(frames.windows(2).all(|w| w[0] < w[1]));
+                    for p in t.points() {
+                        prop_assert!(p.bbox.cx.is_finite() && p.bbox.cy.is_finite());
+                    }
+                }
+            }
+            Err(e) => {
+                prop_assert_eq!(e, sketchql::SketchError::EmptyQuery);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_queries_are_always_searchable(ops in prop::collection::vec(arb_op(), 1..30)) {
+        let mut sketcher = Sketcher::demo();
+        for op in &ops {
+            apply(&mut sketcher, op);
+        }
+        if let Ok(clip) = sketcher.compile() {
+            if clip.num_objects() <= sketchql_trajectory::MAX_OBJECTS {
+                // Feature extraction must accept every compiled query.
+                let f = sketchql_trajectory::extract_features(&clip, 16);
+                prop_assert!(f.is_ok(), "{f:?}");
+            }
+        }
+    }
+}

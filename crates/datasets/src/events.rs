@@ -1,0 +1,366 @@
+//! Ground-truth event vocabulary.
+//!
+//! Each [`EventKind`] is a semantically meaningful motion event of the sort
+//! the demo paper queries for — Q1 is [`EventKind::LeftTurn`], Q2 is
+//! [`EventKind::PerpendicularCrossing`] — together with a randomized 3D
+//! instantiation (who moves, where, how) used to embed labeled occurrences
+//! into synthetic videos.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sketchql_simulator::{templates, Agent, MotionPrimitive, MotionScript};
+use sketchql_trajectory::{ObjectClass, Point2};
+use std::f32::consts::FRAC_PI_2;
+#[cfg(test)]
+use std::f32::consts::PI;
+
+/// The catalogue of queryable events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A car making a left turn (the demo's Q1).
+    LeftTurn,
+    /// A car making a right turn.
+    RightTurn,
+    /// A car making a U-turn.
+    UTurn,
+    /// A car stopping then accelerating away.
+    StopAndGo,
+    /// A car changing lanes (S-curve).
+    LaneChange,
+    /// A car and a person moving perpendicular to each other (the demo's
+    /// Q2).
+    PerpendicularCrossing,
+    /// One car overtaking another travelling in the same direction.
+    Overtake,
+    /// A person loitering (wander, pause, wander).
+    Loiter,
+}
+
+impl EventKind {
+    /// Every kind, in a stable order (experiment tables iterate this).
+    pub const ALL: &'static [EventKind] = &[
+        EventKind::LeftTurn,
+        EventKind::RightTurn,
+        EventKind::UTurn,
+        EventKind::StopAndGo,
+        EventKind::LaneChange,
+        EventKind::PerpendicularCrossing,
+        EventKind::Overtake,
+        EventKind::Loiter,
+    ];
+
+    /// Machine-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::LeftTurn => "left_turn",
+            EventKind::RightTurn => "right_turn",
+            EventKind::UTurn => "u_turn",
+            EventKind::StopAndGo => "stop_and_go",
+            EventKind::LaneChange => "lane_change",
+            EventKind::PerpendicularCrossing => "perpendicular_crossing",
+            EventKind::Overtake => "overtake",
+            EventKind::Loiter => "loiter",
+        }
+    }
+
+    /// The classes of the participating objects, in query-slot order.
+    pub fn participant_classes(&self) -> Vec<ObjectClass> {
+        match self {
+            EventKind::PerpendicularCrossing => vec![ObjectClass::Car, ObjectClass::Person],
+            EventKind::Overtake => vec![ObjectClass::Car, ObjectClass::Car],
+            EventKind::Loiter => vec![ObjectClass::Person],
+            _ => vec![ObjectClass::Car],
+        }
+    }
+
+    /// Number of participating objects.
+    pub fn num_objects(&self) -> usize {
+        self.participant_classes().len()
+    }
+
+    /// Instantiates a random occurrence of this event.
+    ///
+    /// `center` places the event in the world; `rng` randomizes headings,
+    /// speeds, turn angles (acute through obtuse, per Figure 1 of the
+    /// paper), and per-agent bodies. Returns one `(Agent, MotionScript)`
+    /// per participant, in [`Self::participant_classes`] order.
+    pub fn instantiate<R: Rng>(&self, center: Point2, rng: &mut R) -> Vec<(Agent, MotionScript)> {
+        let heading = rng.gen_range(0.0..std::f32::consts::TAU);
+        let speed_jitter = rng.gen_range(0.75..1.25);
+        let car_speed = 8.0 * speed_jitter;
+        let person_speed = 1.4 * speed_jitter;
+        // Back the start position off so the motion passes near `center`.
+        let back = |h: f32, d: f32| center - Point2::new(h.cos(), h.sin()) * d;
+
+        match self {
+            EventKind::LeftTurn => {
+                // Acute to obtuse turn angles: 50°..130°.
+                let angle = rng.gen_range(50f32.to_radians()..130f32.to_radians());
+                let start = back(heading, 10.0);
+                vec![(
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::left_turn(start, heading, car_speed, angle),
+                )]
+            }
+            EventKind::RightTurn => {
+                let angle = rng.gen_range(50f32.to_radians()..130f32.to_radians());
+                let start = back(heading, 10.0);
+                vec![(
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::right_turn(start, heading, car_speed, angle),
+                )]
+            }
+            EventKind::UTurn => {
+                let start = back(heading, 8.0);
+                vec![(
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::u_turn(start, heading, car_speed * 0.8),
+                )]
+            }
+            EventKind::StopAndGo => {
+                let start = back(heading, 10.0);
+                vec![(
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::stop_and_go(start, heading, car_speed),
+                )]
+            }
+            EventKind::LaneChange => {
+                let start = back(heading, 10.0);
+                vec![(
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::lane_change(start, heading, car_speed),
+                )]
+            }
+            EventKind::PerpendicularCrossing => {
+                // Car passes through `center`; person crosses its path at
+                // 90°, timed to be near the crossing point together.
+                let car_heading = heading;
+                let person_heading =
+                    heading + FRAC_PI_2 * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                let car_frames = 80u32;
+                let person_frames = 80u32;
+                let car_dist = car_speed / 30.0 * car_frames as f32;
+                let person_dist = person_speed / 30.0 * person_frames as f32;
+                let car = (
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::straight_pass(
+                        back(car_heading, car_dist * 0.5),
+                        car_heading,
+                        car_speed,
+                        car_frames,
+                    ),
+                );
+                let person = (
+                    Agent::sample(ObjectClass::Person, rng),
+                    templates::straight_pass(
+                        back(person_heading, person_dist * 0.5)
+                            + Point2::new(person_heading.cos(), person_heading.sin()) * -1.5,
+                        person_heading,
+                        person_speed,
+                        person_frames,
+                    ),
+                );
+                vec![car, person]
+            }
+            EventKind::Overtake => {
+                // Two cars, same heading, laterally offset; rear car faster.
+                let lateral = Point2::new(-heading.sin(), heading.cos()) * 3.0;
+                let slow = (
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::straight_pass(back(heading, 8.0), heading, car_speed * 0.55, 80),
+                );
+                let fast = (
+                    Agent::sample(ObjectClass::Car, rng),
+                    templates::straight_pass(
+                        back(heading, 20.0) + lateral,
+                        heading,
+                        car_speed * 1.2,
+                        80,
+                    ),
+                );
+                vec![fast, slow]
+            }
+            EventKind::Loiter => {
+                vec![(
+                    Agent::sample(ObjectClass::Person, rng),
+                    templates::loiter(center, heading, person_speed),
+                )]
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds motion primitives for a wandering distractor agent: background
+/// traffic that should *not* match any query.
+pub fn distractor_script<R: Rng>(center: Point2, rng: &mut R) -> (Agent, MotionScript) {
+    let class = if rng.gen_bool(0.55) {
+        ObjectClass::Car
+    } else {
+        ObjectClass::Person
+    };
+    let speed = sketchql_simulator::class_priors(class).speed_mps * rng.gen_range(0.6..1.2);
+    let heading = rng.gen_range(0.0..std::f32::consts::TAU);
+    let start = center + Point2::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+    let mut script = MotionScript::new(start, heading, speed);
+    // Mostly gentle straight motion with the occasional mild bend — shapes
+    // that are deliberately *near* but not *at* the event vocabulary.
+    for _ in 0..rng.gen_range(1..=3) {
+        let prim = match rng.gen_range(0..6) {
+            0..=3 => MotionPrimitive::Straight {
+                frames: rng.gen_range(25..60),
+                speed: 1.0,
+            },
+            4 => MotionPrimitive::Turn {
+                frames: rng.gen_range(25..45),
+                angle: rng.gen_range(-0.5..0.5),
+                speed: 1.0,
+            },
+            _ => MotionPrimitive::Stop {
+                frames: rng.gen_range(10..25),
+            },
+        };
+        script = script.then(prim);
+    }
+    (Agent::sample(class, rng), script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sketchql_trajectory::wrap_angle;
+
+    #[test]
+    fn all_kinds_have_unique_names() {
+        let names: std::collections::HashSet<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn participant_arity_matches_instantiation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &k in EventKind::ALL {
+            let inst = k.instantiate(Point2::ZERO, &mut rng);
+            assert_eq!(inst.len(), k.num_objects(), "{k}");
+            for ((agent, _), class) in inst.iter().zip(k.participant_classes()) {
+                assert_eq!(agent.class, class, "{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn left_turn_instances_vary_in_angle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut angles = Vec::new();
+        for _ in 0..20 {
+            let inst = EventKind::LeftTurn.instantiate(Point2::ZERO, &mut rng);
+            let poses = inst[0].1.integrate(30.0);
+            let net_turn = wrap_angle(poses.last().unwrap().heading - poses[0].heading);
+            angles.push(net_turn);
+            assert!(net_turn > 0.0, "left turn must turn left (positive angle)");
+        }
+        let min = angles.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = angles.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            max - min > 0.5,
+            "angles should vary (Figure 1 diversity), got {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn right_turn_turns_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = EventKind::RightTurn.instantiate(Point2::ZERO, &mut rng);
+        let poses = inst[0].1.integrate(30.0);
+        let net = wrap_angle(poses.last().unwrap().heading - poses[0].heading);
+        assert!(net < 0.0);
+    }
+
+    #[test]
+    fn u_turn_reverses() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = EventKind::UTurn.instantiate(Point2::ZERO, &mut rng);
+        let poses = inst[0].1.integrate(30.0);
+        let net = wrap_angle(poses.last().unwrap().heading - poses[0].heading).abs();
+        assert!((net - PI).abs() < 0.1, "net turn {net}");
+    }
+
+    #[test]
+    fn perpendicular_crossing_is_perpendicular_and_meets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = EventKind::PerpendicularCrossing.instantiate(Point2::ZERO, &mut rng);
+        let car = inst[0].1.integrate(30.0);
+        let person = inst[1].1.integrate(30.0);
+        let dh = wrap_angle(car[0].heading - person[0].heading).abs();
+        assert!(
+            (dh - FRAC_PI_2).abs() < 1e-3,
+            "headings differ by 90°, got {dh}"
+        );
+        // They pass near each other at some point.
+        let min_dist = car
+            .iter()
+            .zip(&person)
+            .map(|(a, b)| a.position.distance(&b.position))
+            .fold(f32::INFINITY, f32::min);
+        assert!(
+            min_dist < 6.0,
+            "paths should nearly cross, min dist {min_dist}"
+        );
+    }
+
+    #[test]
+    fn overtake_fast_car_passes_slow_car() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = EventKind::Overtake.instantiate(Point2::ZERO, &mut rng);
+        let fast = inst[0].1.integrate(30.0);
+        let slow = inst[1].1.integrate(30.0);
+        let h = fast[0].heading;
+        let along = |p: Point2| p.x * h.cos() + p.y * h.sin();
+        // Fast starts behind, ends ahead.
+        assert!(along(fast[0].position) < along(slow[0].position));
+        assert!(along(fast.last().unwrap().position) > along(slow.last().unwrap().position));
+    }
+
+    #[test]
+    fn stop_and_go_contains_a_stationary_stretch() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = EventKind::StopAndGo.instantiate(Point2::ZERO, &mut rng);
+        let poses = inst[0].1.integrate(30.0);
+        let stationary = poses.iter().filter(|p| p.speed == 0.0).count();
+        assert!(stationary >= 20);
+    }
+
+    #[test]
+    fn events_pass_near_requested_center() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let center = Point2::new(40.0, -20.0);
+        for &k in EventKind::ALL {
+            let inst = k.instantiate(center, &mut rng);
+            let min_dist = inst
+                .iter()
+                .flat_map(|(_, s)| s.integrate(30.0))
+                .map(|p| p.position.distance(&center))
+                .fold(f32::INFINITY, f32::min);
+            assert!(min_dist < 15.0, "{k} strays from center: {min_dist}");
+        }
+    }
+
+    #[test]
+    fn distractors_are_mobile_and_varied() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut classes = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let (agent, script) = distractor_script(Point2::ZERO, &mut rng);
+            classes.insert(agent.class);
+            assert!(!script.primitives.is_empty());
+        }
+        assert!(classes.len() >= 2);
+    }
+}

@@ -1,0 +1,426 @@
+//! Canonical sketch strokes for each event kind.
+//!
+//! A user expresses a query by dragging objects across the canvas; this
+//! module records, for every [`EventKind`], the idealized mouse strokes such
+//! a user would draw (one stroke = one drag-and-drop segment, per object,
+//! with relative timing). Examples feed these strokes through the sketcher
+//! exactly as GUI input would arrive; lower-level tests convert them to
+//! query clips directly via [`query_clip`].
+//!
+//! Strokes are authored on a 1000x600 canvas in screen coordinates
+//! (y grows downward), mirroring the tldraw canvas of the real interface.
+
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{BBox, Clip, ObjectClass, Point2, TrajPoint, Trajectory};
+
+use crate::events::EventKind;
+
+/// Canvas width used by the canonical sketches.
+pub const CANVAS_W: f32 = 1000.0;
+/// Canvas height used by the canonical sketches.
+pub const CANVAS_H: f32 = 600.0;
+
+/// One drag-and-drop stroke of one object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchStroke {
+    /// Mouse path in canvas coordinates.
+    pub path: Vec<Point2>,
+    /// Time step (in abstract sketch ticks) at which the stroke begins;
+    /// the trajectory panel manipulates this.
+    pub start_tick: u32,
+    /// Duration of the stroke in ticks (panel stretching changes this).
+    pub ticks: u32,
+}
+
+/// The strokes a user would draw for one object of a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchObject {
+    /// The object type the user selects at creation time.
+    pub class: ObjectClass,
+    /// Nominal on-canvas object size (the placed icon's box).
+    pub size: (f32, f32),
+    /// The drag strokes, in panel order.
+    pub strokes: Vec<SketchStroke>,
+}
+
+/// A full canonical sketch: what the user draws for an event kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CanonicalSketch {
+    /// The event this sketch queries for.
+    pub kind: EventKind,
+    /// Per-object strokes.
+    pub objects: Vec<SketchObject>,
+}
+
+fn pts(coords: &[(f32, f32)]) -> Vec<Point2> {
+    coords.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+}
+
+/// Samples `n` points along a quarter-ish arc from `from` to `to`, bulging
+/// via the control point `ctrl` (quadratic Bézier).
+fn bezier(from: (f32, f32), ctrl: (f32, f32), to: (f32, f32), n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / (n - 1) as f32;
+            let u = 1.0 - t;
+            Point2::new(
+                u * u * from.0 + 2.0 * u * t * ctrl.0 + t * t * to.0,
+                u * u * from.1 + 2.0 * u * t * ctrl.1 + t * t * to.1,
+            )
+        })
+        .collect()
+}
+
+/// The canonical sketch a user draws for `kind`.
+///
+/// Conventions: screen y grows downward, so a "left turn" of a vehicle
+/// driving rightward curves *upward* on screen (towards smaller y), as in
+/// the paper's Figure 2.
+pub fn canonical_sketch(kind: EventKind) -> CanonicalSketch {
+    let car = (90.0, 50.0);
+    let person = (24.0, 60.0);
+    let objects = match kind {
+        EventKind::LeftTurn => vec![SketchObject {
+            class: ObjectClass::Car,
+            size: car,
+            strokes: vec![SketchStroke {
+                // Drive right, then arc up.
+                path: {
+                    let mut p = pts(&[
+                        (150.0, 450.0),
+                        (250.0, 450.0),
+                        (350.0, 450.0),
+                        (450.0, 450.0),
+                    ]);
+                    p.extend(bezier((450.0, 450.0), (620.0, 450.0), (640.0, 280.0), 8));
+                    p.extend(pts(&[(645.0, 220.0), (650.0, 150.0), (655.0, 90.0)]));
+                    p
+                },
+                start_tick: 0,
+                ticks: 90,
+            }],
+        }],
+        EventKind::RightTurn => vec![SketchObject {
+            class: ObjectClass::Car,
+            size: car,
+            strokes: vec![SketchStroke {
+                path: {
+                    let mut p = pts(&[
+                        (150.0, 150.0),
+                        (250.0, 150.0),
+                        (350.0, 150.0),
+                        (450.0, 150.0),
+                    ]);
+                    p.extend(bezier((450.0, 150.0), (620.0, 150.0), (640.0, 320.0), 8));
+                    p.extend(pts(&[(645.0, 380.0), (650.0, 450.0), (655.0, 510.0)]));
+                    p
+                },
+                start_tick: 0,
+                ticks: 90,
+            }],
+        }],
+        EventKind::UTurn => vec![SketchObject {
+            class: ObjectClass::Car,
+            size: car,
+            strokes: vec![SketchStroke {
+                path: {
+                    let mut p = pts(&[(150.0, 400.0), (280.0, 400.0), (420.0, 400.0)]);
+                    p.extend(bezier((420.0, 400.0), (700.0, 400.0), (700.0, 300.0), 6));
+                    p.extend(bezier((700.0, 300.0), (700.0, 200.0), (420.0, 200.0), 6));
+                    p.extend(pts(&[(280.0, 200.0), (150.0, 200.0)]));
+                    p
+                },
+                start_tick: 0,
+                ticks: 95,
+            }],
+        }],
+        EventKind::StopAndGo => vec![SketchObject {
+            class: ObjectClass::Car,
+            size: car,
+            strokes: vec![
+                SketchStroke {
+                    path: pts(&[
+                        (150.0, 300.0),
+                        (250.0, 300.0),
+                        (350.0, 300.0),
+                        (430.0, 300.0),
+                    ]),
+                    start_tick: 0,
+                    ticks: 30,
+                },
+                // The pause: a stroke that stays in place.
+                SketchStroke {
+                    path: pts(&[(430.0, 300.0), (430.0, 300.0), (430.0, 300.0)]),
+                    start_tick: 30,
+                    ticks: 25,
+                },
+                SketchStroke {
+                    path: pts(&[
+                        (430.0, 300.0),
+                        (520.0, 300.0),
+                        (650.0, 300.0),
+                        (800.0, 300.0),
+                    ]),
+                    start_tick: 55,
+                    ticks: 35,
+                },
+            ],
+        }],
+        EventKind::LaneChange => vec![SketchObject {
+            class: ObjectClass::Car,
+            size: car,
+            strokes: vec![SketchStroke {
+                path: {
+                    let mut p = pts(&[(120.0, 340.0), (240.0, 340.0), (360.0, 340.0)]);
+                    p.extend(bezier((360.0, 340.0), (480.0, 340.0), (520.0, 290.0), 6));
+                    p.extend(bezier((520.0, 290.0), (560.0, 250.0), (680.0, 250.0), 6));
+                    p.extend(pts(&[(790.0, 250.0), (880.0, 250.0)]));
+                    p
+                },
+                start_tick: 0,
+                ticks: 80,
+            }],
+        }],
+        EventKind::PerpendicularCrossing => vec![
+            SketchObject {
+                class: ObjectClass::Car,
+                size: car,
+                strokes: vec![SketchStroke {
+                    // Car moves vertically (top to bottom).
+                    path: pts(&[
+                        (500.0, 80.0),
+                        (500.0, 180.0),
+                        (500.0, 280.0),
+                        (500.0, 380.0),
+                        (500.0, 480.0),
+                    ]),
+                    start_tick: 0,
+                    ticks: 80,
+                }],
+            },
+            SketchObject {
+                class: ObjectClass::Person,
+                size: person,
+                strokes: vec![SketchStroke {
+                    // Person moves horizontally, synchronized with the car
+                    // (Figure 4: the panel boxes are aligned).
+                    path: pts(&[
+                        (200.0, 300.0),
+                        (350.0, 300.0),
+                        (500.0, 300.0),
+                        (650.0, 300.0),
+                        (800.0, 300.0),
+                    ]),
+                    start_tick: 0,
+                    ticks: 80,
+                }],
+            },
+        ],
+        EventKind::Overtake => vec![
+            SketchObject {
+                class: ObjectClass::Car,
+                size: car,
+                strokes: vec![SketchStroke {
+                    // Fast car: long horizontal sweep.
+                    path: pts(&[
+                        (100.0, 330.0),
+                        (300.0, 330.0),
+                        (500.0, 330.0),
+                        (700.0, 330.0),
+                        (900.0, 330.0),
+                    ]),
+                    start_tick: 0,
+                    ticks: 80,
+                }],
+            },
+            SketchObject {
+                class: ObjectClass::Car,
+                size: car,
+                strokes: vec![SketchStroke {
+                    // Slow car: shorter sweep in the same time, offset lane.
+                    path: pts(&[
+                        (400.0, 270.0),
+                        (480.0, 270.0),
+                        (560.0, 270.0),
+                        (640.0, 270.0),
+                    ]),
+                    start_tick: 0,
+                    ticks: 80,
+                }],
+            },
+        ],
+        EventKind::Loiter => vec![SketchObject {
+            class: ObjectClass::Person,
+            size: person,
+            strokes: vec![
+                SketchStroke {
+                    path: pts(&[(400.0, 300.0), (440.0, 290.0), (470.0, 300.0)]),
+                    start_tick: 0,
+                    ticks: 20,
+                },
+                SketchStroke {
+                    path: pts(&[(470.0, 300.0), (470.0, 330.0), (450.0, 350.0)]),
+                    start_tick: 20,
+                    ticks: 25,
+                },
+                SketchStroke {
+                    path: pts(&[(450.0, 350.0), (420.0, 340.0), (400.0, 320.0)]),
+                    start_tick: 45,
+                    ticks: 25,
+                },
+            ],
+        }],
+    };
+    CanonicalSketch { kind, objects }
+}
+
+/// Compiles a canonical sketch into a query [`Clip`] directly (bypassing
+/// the interactive sketcher): strokes are resampled uniformly over their
+/// tick spans, and the object's icon box rides along the path.
+pub fn query_clip(kind: EventKind) -> Clip {
+    let sketch = canonical_sketch(kind);
+    let mut objects = Vec::with_capacity(sketch.objects.len());
+    for (i, obj) in sketch.objects.iter().enumerate() {
+        let mut points = Vec::new();
+        for stroke in &obj.strokes {
+            let n = stroke.ticks.max(1);
+            for t in 0..n {
+                let frac = t as f32 / n.max(2).saturating_sub(1) as f32;
+                let pos = sample_path(&stroke.path, frac);
+                points.push(TrajPoint::new(
+                    stroke.start_tick + t,
+                    BBox::new(pos.x, pos.y, obj.size.0, obj.size.1),
+                ));
+            }
+        }
+        objects.push(Trajectory::from_points(i as u64, obj.class, points));
+    }
+    Clip::new(CANVAS_W, CANVAS_H, objects)
+}
+
+/// Arc-length-parameterized sampling of a polyline at `t in [0, 1]`.
+pub fn sample_path(path: &[Point2], t: f32) -> Point2 {
+    assert!(!path.is_empty(), "empty path");
+    if path.len() == 1 {
+        return path[0];
+    }
+    let total: f32 = path.windows(2).map(|w| w[0].distance(&w[1])).sum();
+    if total <= f32::EPSILON {
+        return path[0];
+    }
+    let target = t.clamp(0.0, 1.0) * total;
+    let mut acc = 0.0;
+    for w in path.windows(2) {
+        let seg = w[0].distance(&w[1]);
+        if acc + seg >= target && seg > 0.0 {
+            let local = (target - acc) / seg;
+            return w[0].lerp(&w[1], local);
+        }
+        acc += seg;
+    }
+    *path.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_a_sketch_with_matching_arity() {
+        for &k in EventKind::ALL {
+            let s = canonical_sketch(k);
+            assert_eq!(s.objects.len(), k.num_objects(), "{k}");
+            for (obj, class) in s.objects.iter().zip(k.participant_classes()) {
+                assert_eq!(obj.class, class);
+                assert!(!obj.strokes.is_empty());
+                for stroke in &obj.strokes {
+                    assert!(stroke.path.len() >= 2 || stroke.ticks > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_clips_are_valid_for_all_kinds() {
+        for &k in EventKind::ALL {
+            let c = query_clip(k);
+            assert!(!c.is_empty(), "{k}");
+            assert_eq!(c.num_objects(), k.num_objects());
+            for t in &c.objects {
+                assert!(t.len() >= 10, "{k} has only {} points", t.len());
+            }
+        }
+    }
+
+    #[test]
+    fn left_turn_query_goes_right_then_up() {
+        let c = query_clip(EventKind::LeftTurn);
+        let centers = c.objects[0].centers();
+        let first = centers.first().unwrap();
+        let last = centers.last().unwrap();
+        assert!(last.x > first.x, "moves right");
+        assert!(last.y < first.y, "ends higher on screen (y down)");
+        // The turn is roughly 90°.
+        let turning = c.objects[0].total_turning().abs();
+        assert!((0.9..2.2).contains(&turning), "turning {turning}");
+    }
+
+    #[test]
+    fn left_and_right_turns_are_mirrored_shapes() {
+        let l = query_clip(EventKind::LeftTurn);
+        let r = query_clip(EventKind::RightTurn);
+        // Opposite signed turning.
+        let tl = l.objects[0].total_turning();
+        let tr = r.objects[0].total_turning();
+        assert!(tl * tr < 0.0, "turn signs should differ: {tl} vs {tr}");
+    }
+
+    #[test]
+    fn perpendicular_query_objects_are_synchronized() {
+        let c = query_clip(EventKind::PerpendicularCrossing);
+        assert_eq!(c.objects[0].start_frame(), c.objects[1].start_frame());
+        let span0 = c.objects[0].span();
+        let span1 = c.objects[1].span();
+        assert!((span0 as i64 - span1 as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn stop_and_go_query_has_stationary_middle() {
+        let c = query_clip(EventKind::StopAndGo);
+        let t = &c.objects[0];
+        // Middle third should move much less than the outer thirds.
+        let cs = t.centers();
+        let third = cs.len() / 3;
+        let seg_len = |s: &[Point2]| -> f32 { s.windows(2).map(|w| w[0].distance(&w[1])).sum() };
+        let mid = seg_len(&cs[third..2 * third]);
+        let outer = seg_len(&cs[..third]) + seg_len(&cs[2 * third..]);
+        assert!(mid < outer * 0.3, "mid {mid} outer {outer}");
+    }
+
+    #[test]
+    fn sample_path_endpoints_and_arc_length() {
+        let path = pts(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(sample_path(&path, 0.0), Point2::new(0.0, 0.0));
+        assert_eq!(sample_path(&path, 1.0), Point2::new(10.0, 10.0));
+        // Halfway along a 20-length path = (10, 0).
+        let mid = sample_path(&path, 0.5);
+        assert!((mid.x - 10.0).abs() < 1e-4);
+        assert!(mid.y.abs() < 1e-4);
+    }
+
+    #[test]
+    fn sample_path_degenerate_cases() {
+        let single = pts(&[(3.0, 4.0)]);
+        assert_eq!(sample_path(&single, 0.7), Point2::new(3.0, 4.0));
+        let stationary = pts(&[(1.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(sample_path(&stationary, 0.5), Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn overtake_query_fast_object_covers_more_ground() {
+        let c = query_clip(EventKind::Overtake);
+        let fast = c.objects[0].path_length();
+        let slow = c.objects[1].path_length();
+        assert!(fast > slow * 2.0);
+    }
+}

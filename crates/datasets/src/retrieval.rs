@@ -1,0 +1,221 @@
+//! Retrieval-quality metrics.
+//!
+//! Scores a ranked list of predicted video moments against the ground-truth
+//! annotations of the queried event kind, using temporal-IoU matching with
+//! one-to-one assignment (each ground-truth event can satisfy at most one
+//! prediction).
+
+use crate::generator::EventAnnotation;
+use serde::{Deserialize, Serialize};
+
+/// Minimum temporal IoU for a predicted moment to count as a hit.
+pub const TIOU_THRESH: f32 = 0.3;
+
+/// A predicted video moment: frame range plus a similarity score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedMoment {
+    /// First frame of the predicted moment.
+    pub start: u32,
+    /// Last frame (inclusive).
+    pub end: u32,
+    /// Similarity score (higher = better); the list is ranked by this.
+    pub score: f32,
+}
+
+/// Retrieval quality summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalReport {
+    /// Precision within the top-k predictions (k = number of ground-truth
+    /// events, i.e. R-precision).
+    pub precision_at_k: f32,
+    /// Recall over all predictions.
+    pub recall: f32,
+    /// F1 of precision@k and recall.
+    pub f1: f32,
+    /// Average precision (area under the ranked precision/recall curve).
+    pub average_precision: f32,
+    /// Number of ground-truth events.
+    pub num_truth: usize,
+    /// Number of predictions scored.
+    pub num_predictions: usize,
+}
+
+/// Scores ranked predictions against ground truth.
+///
+/// Predictions are processed in descending score order; each prediction
+/// greedily claims the unmatched ground-truth event with the highest
+/// temporal IoU at or above [`TIOU_THRESH`].
+pub fn evaluate_retrieval(
+    predictions: &[PredictedMoment],
+    truth: &[&EventAnnotation],
+) -> RetrievalReport {
+    let mut ranked: Vec<PredictedMoment> = predictions.to_vec();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut matched_truth = vec![false; truth.len()];
+    // hits[i] = whether ranked prediction i matched a fresh truth event.
+    let mut hits = Vec::with_capacity(ranked.len());
+    for p in &ranked {
+        let mut best: Option<(usize, f32)> = None;
+        for (ti, t) in truth.iter().enumerate() {
+            if matched_truth[ti] {
+                continue;
+            }
+            let iou = t.temporal_iou(p.start, p.end);
+            if iou >= TIOU_THRESH && best.is_none_or(|(_, b)| iou > b) {
+                best = Some((ti, iou));
+            }
+        }
+        if let Some((ti, _)) = best {
+            matched_truth[ti] = true;
+            hits.push(true);
+        } else {
+            hits.push(false);
+        }
+    }
+
+    let k = truth.len();
+    let hits_at_k = hits.iter().take(k).filter(|&&h| h).count();
+    let total_hits = hits.iter().filter(|&&h| h).count();
+    let precision_at_k = if k == 0 {
+        0.0
+    } else {
+        hits_at_k as f32 / k as f32
+    };
+    let recall = if k == 0 {
+        0.0
+    } else {
+        total_hits as f32 / k as f32
+    };
+    let f1 = if precision_at_k + recall <= f32::EPSILON {
+        0.0
+    } else {
+        2.0 * precision_at_k * recall / (precision_at_k + recall)
+    };
+
+    // Average precision over the ranked list.
+    let mut ap = 0.0;
+    let mut cum_hits = 0usize;
+    for (i, &h) in hits.iter().enumerate() {
+        if h {
+            cum_hits += 1;
+            ap += cum_hits as f32 / (i + 1) as f32;
+        }
+    }
+    let average_precision = if k == 0 { 0.0 } else { ap / k as f32 };
+
+    RetrievalReport {
+        precision_at_k,
+        recall,
+        f1,
+        average_precision,
+        num_truth: k,
+        num_predictions: ranked.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    fn ann(start: u32, end: u32) -> EventAnnotation {
+        EventAnnotation {
+            kind: EventKind::LeftTurn,
+            start,
+            end,
+            object_ids: vec![0],
+        }
+    }
+
+    fn pm(start: u32, end: u32, score: f32) -> PredictedMoment {
+        PredictedMoment { start, end, score }
+    }
+
+    #[test]
+    fn perfect_retrieval() {
+        let t1 = ann(100, 190);
+        let t2 = ann(400, 490);
+        let truth = vec![&t1, &t2];
+        let preds = vec![pm(100, 190, 0.9), pm(400, 490, 0.8)];
+        let r = evaluate_retrieval(&preds, &truth);
+        assert_eq!(r.precision_at_k, 1.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.f1, 1.0);
+        assert!((r.average_precision - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_miss_one_hit() {
+        let t1 = ann(100, 190);
+        let t2 = ann(400, 490);
+        let truth = vec![&t1, &t2];
+        let preds = vec![pm(100, 190, 0.9), pm(700, 790, 0.8)];
+        let r = evaluate_retrieval(&preds, &truth);
+        assert_eq!(r.precision_at_k, 0.5);
+        assert_eq!(r.recall, 0.5);
+    }
+
+    #[test]
+    fn each_truth_matches_once() {
+        let t1 = ann(100, 190);
+        let truth = vec![&t1];
+        // Two predictions on the same event: only the higher-ranked counts.
+        let preds = vec![pm(100, 190, 0.9), pm(105, 195, 0.8)];
+        let r = evaluate_retrieval(&preds, &truth);
+        assert_eq!(r.precision_at_k, 1.0);
+        assert_eq!(r.recall, 1.0);
+        // AP unaffected by the duplicate below rank k.
+        assert!((r.average_precision - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranking_matters_for_ap() {
+        let t1 = ann(100, 190);
+        let t2 = ann(400, 490);
+        let truth = vec![&t1, &t2];
+        // Hit at rank 1 and rank 3 (rank 2 is a false positive).
+        let good_first = vec![pm(100, 190, 0.9), pm(700, 790, 0.8), pm(400, 490, 0.7)];
+        let r1 = evaluate_retrieval(&good_first, &truth);
+        // Hits at ranks 2 and 3.
+        let bad_first = vec![pm(700, 790, 0.9), pm(100, 190, 0.8), pm(400, 490, 0.7)];
+        let r2 = evaluate_retrieval(&bad_first, &truth);
+        assert!(r1.average_precision > r2.average_precision);
+        assert_eq!(r1.recall, r2.recall);
+    }
+
+    #[test]
+    fn partial_overlap_above_threshold_counts() {
+        let t1 = ann(100, 199);
+        let truth = vec![&t1];
+        // 60% overlap.
+        let preds = vec![pm(140, 239, 0.9)];
+        let r = evaluate_retrieval(&preds, &truth);
+        assert_eq!(r.recall, 1.0);
+    }
+
+    #[test]
+    fn tiny_overlap_does_not_count() {
+        let t1 = ann(100, 199);
+        let truth = vec![&t1];
+        let preds = vec![pm(190, 400, 0.9)];
+        let r = evaluate_retrieval(&preds, &truth);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = evaluate_retrieval(&[], &[]);
+        assert_eq!(r.precision_at_k, 0.0);
+        assert_eq!(r.num_truth, 0);
+        let t1 = ann(0, 10);
+        let truth = vec![&t1];
+        let r = evaluate_retrieval(&[], &truth);
+        assert_eq!(r.recall, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration checks of the dataset generator against the query sketches:
+//! every canonical sketch must actually resemble its own ground-truth
+//! events more than other kinds under a classical measure, which validates
+//! the workload design independent of any learned model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql_datasets::{generate_video, query_clip, EventKind, SceneFamily, VideoConfig};
+use sketchql_trajectory::{clip_distance, Clip, DistanceKind};
+
+#[test]
+fn sketches_are_closer_to_their_own_events_on_average() {
+    let cfg = VideoConfig {
+        family: SceneFamily::UrbanIntersection,
+        events_per_kind: 2,
+        distractors: 0,
+        fps: 30.0,
+    };
+    let v = generate_video(cfg, 9100, &mut StdRng::seed_from_u64(9100));
+
+    // Single-object kinds where a raw DTW on normalized paths is already
+    // informative (multi-object and stop-heavy kinds need the learned
+    // similarity).
+    let kinds = [EventKind::LeftTurn, EventKind::RightTurn, EventKind::UTurn];
+    let event_clip = |kind: EventKind, occurrence: usize| -> Clip {
+        let ann = v.events_of(kind)[occurrence];
+        let objs = ann
+            .object_ids
+            .iter()
+            .map(|&id| v.truth.objects[id as usize].slice(ann.start, ann.end).rebase(0))
+            .collect();
+        Clip::new(v.truth.frame_width, v.truth.frame_height, objs)
+    };
+
+    let mut own_better = 0;
+    let mut total = 0;
+    for &qk in &kinds {
+        let q = query_clip(qk);
+        for occ in 0..2 {
+            let own = clip_distance(DistanceKind::Dtw, &q, &event_clip(qk, occ));
+            for &ok in &kinds {
+                if ok == qk {
+                    continue;
+                }
+                for other_occ in 0..2 {
+                    total += 1;
+                    let other = clip_distance(DistanceKind::Dtw, &q, &event_clip(ok, other_occ));
+                    if own < other {
+                        own_better += 1;
+                    }
+                }
+            }
+        }
+    }
+    // The workload must be learnable: matching events win most comparisons.
+    assert!(
+        own_better * 3 >= total * 2,
+        "sketches should resemble their own events: {own_better}/{total}"
+    );
+}
+
+#[test]
+fn every_family_produces_all_kinds_reproducibly() {
+    for family in SceneFamily::ALL {
+        let cfg = VideoConfig {
+            family: *family,
+            events_per_kind: 1,
+            distractors: 1,
+            fps: 30.0,
+        };
+        let a = generate_video(cfg, 42, &mut StdRng::seed_from_u64(42));
+        let b = generate_video(cfg, 42, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.events, b.events, "{family:?}");
+        for &kind in EventKind::ALL {
+            assert_eq!(a.events_of(kind).len(), 1, "{family:?}/{kind}");
+        }
+    }
+}

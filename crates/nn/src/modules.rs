@@ -1,0 +1,795 @@
+//! Neural network modules: parameter store, graph binding, linear layers,
+//! multi-head self-attention, transformer encoder blocks, and the
+//! trajectory encoder itself.
+//!
+//! Modules are *stateless descriptions*: they own parameter **names** and
+//! hyper-parameters, while the parameter **values** live in a [`ParamStore`].
+//! A forward pass binds store values onto a fresh [`Tape`] through a
+//! [`Graph`], which lets one training step build the whole batch graph and
+//! read per-parameter gradients back out by name.
+
+use crate::tape::{Gradients, NodeId, Tape};
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Named parameter tensors. `BTreeMap` keeps iteration order deterministic,
+/// which keeps training runs bit-reproducible for a fixed seed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: BTreeMap<String, Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter; panics if the name is already taken (module
+    /// prefixes must be unique).
+    pub fn insert(&mut self, name: impl Into<String>, value: Tensor) {
+        let name = name.into();
+        let prev = self.params.insert(name.clone(), value);
+        assert!(prev.is_none(), "duplicate parameter name {name:?}");
+    }
+
+    /// Looks up a parameter.
+    pub fn get(&self, name: &str) -> &Tensor {
+        self.params
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    /// Mutable lookup (used by optimizers).
+    pub fn get_mut(&mut self, name: &str) -> &mut Tensor {
+        self.params
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    /// Iterates parameters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor)> {
+        self.params.iter()
+    }
+
+    /// Names in deterministic order.
+    pub fn names(&self) -> Vec<String> {
+        self.params.keys().cloned().collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.values().map(Tensor::len).sum()
+    }
+}
+
+/// A forward-pass context: a tape plus the binding of parameter names to
+/// tape nodes.
+pub struct Graph<'s> {
+    /// The underlying autograd tape; modules may record extra ops directly.
+    pub tape: Tape,
+    store: &'s ParamStore,
+    bound: HashMap<String, NodeId>,
+}
+
+impl<'s> Graph<'s> {
+    /// Starts a fresh graph over a parameter store.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Graph {
+            tape: Tape::new(),
+            store,
+            bound: HashMap::new(),
+        }
+    }
+
+    /// Binds (or reuses) the node holding parameter `name`.
+    pub fn param(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.bound.get(name) {
+            return id;
+        }
+        let id = self.tape.leaf(self.store.get(name).clone());
+        self.bound.insert(name.to_string(), id);
+        id
+    }
+
+    /// Inserts a non-trainable input tensor.
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.tape.leaf(t)
+    }
+
+    /// Runs backward from `loss` and collects gradients per parameter name.
+    pub fn grads_by_name(&self, loss: NodeId) -> HashMap<String, Tensor> {
+        let grads: Gradients = self.tape.backward(loss);
+        self.bound
+            .iter()
+            .filter_map(|(name, &id)| grads.get(id).map(|g| (name.clone(), g.clone())))
+            .collect()
+    }
+}
+
+/// A fully connected layer `y = x @ W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    w: String,
+    b: String,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Registers freshly initialized weights under `prefix`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = format!("{prefix}.w");
+        let b = format!("{prefix}.b");
+        store.insert(&w, Tensor::xavier(in_dim, out_dim, rng));
+        store.insert(&b, Tensor::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// `x (T x in) -> T x out`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let w = g.param(&self.w);
+        let b = g.param(&self.b);
+        let xw = g.tape.matmul(x, w);
+        g.tape.add_row_broadcast(xw, b)
+    }
+}
+
+/// Learned layer-norm gain/bias pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    gamma: String,
+    beta: String,
+    /// Normalized width.
+    pub dim: usize,
+}
+
+impl LayerNorm {
+    /// Registers gamma=1, beta=0 under `prefix`.
+    pub fn new(store: &mut ParamStore, prefix: &str, dim: usize) -> Self {
+        let gamma = format!("{prefix}.gamma");
+        let beta = format!("{prefix}.beta");
+        store.insert(&gamma, Tensor::ones(1, dim));
+        store.insert(&beta, Tensor::zeros(1, dim));
+        LayerNorm { gamma, beta, dim }
+    }
+
+    /// Row-wise layer norm.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        g.tape.layer_norm_rows(x, gamma, beta)
+    }
+}
+
+/// Multi-head scaled dot-product self-attention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    /// Number of attention heads; must divide the model width.
+    pub heads: usize,
+    /// Model width.
+    pub d_model: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Registers projection weights under `prefix`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        d_model: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(d_model.is_multiple_of(heads), "heads must divide d_model");
+        MultiHeadSelfAttention {
+            wq: Linear::new(store, rng, &format!("{prefix}.wq"), d_model, d_model),
+            wk: Linear::new(store, rng, &format!("{prefix}.wk"), d_model, d_model),
+            wv: Linear::new(store, rng, &format!("{prefix}.wv"), d_model, d_model),
+            wo: Linear::new(store, rng, &format!("{prefix}.wo"), d_model, d_model),
+            heads,
+            d_model,
+        }
+    }
+
+    /// `x (T x d_model) -> T x d_model`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let v = self.wv.forward(g, x);
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = g.tape.slice_cols(q, h * dh, dh);
+            let kh = g.tape.slice_cols(k, h * dh, dh);
+            let vh = g.tape.slice_cols(v, h * dh, dh);
+            let kt = g.tape.transpose(kh);
+            let scores = g.tape.matmul(qh, kt);
+            let scaled = g.tape.scale(scores, scale);
+            let attn = g.tape.softmax_rows(scaled);
+            head_outs.push(g.tape.matmul(attn, vh));
+        }
+        let concat = g.tape.concat_cols(&head_outs);
+        self.wo.forward(g, concat)
+    }
+}
+
+/// Position-wise feed-forward block with GELU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+}
+
+impl FeedForward {
+    /// Registers the two projections under `prefix`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        d_model: usize,
+        hidden: usize,
+    ) -> Self {
+        FeedForward {
+            lin1: Linear::new(store, rng, &format!("{prefix}.lin1"), d_model, hidden),
+            lin2: Linear::new(store, rng, &format!("{prefix}.lin2"), hidden, d_model),
+        }
+    }
+
+    /// `x -> lin2(gelu(lin1(x)))`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let h = self.lin1.forward(g, x);
+        let a = g.tape.gelu(h);
+        self.lin2.forward(g, a)
+    }
+}
+
+/// One pre-norm transformer encoder layer:
+/// `x + attn(ln1(x))`, then `x + ff(ln2(x))`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncoderLayer {
+    attn: MultiHeadSelfAttention,
+    ff: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+}
+
+impl EncoderLayer {
+    /// Registers the layer's parameters under `prefix`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        d_model: usize,
+        heads: usize,
+        ff_hidden: usize,
+    ) -> Self {
+        EncoderLayer {
+            attn: MultiHeadSelfAttention::new(
+                store,
+                rng,
+                &format!("{prefix}.attn"),
+                d_model,
+                heads,
+            ),
+            ff: FeedForward::new(store, rng, &format!("{prefix}.ff"), d_model, ff_hidden),
+            ln1: LayerNorm::new(store, &format!("{prefix}.ln1"), d_model),
+            ln2: LayerNorm::new(store, &format!("{prefix}.ln2"), d_model),
+        }
+    }
+
+    /// Applies the layer to a `T x d_model` sequence.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let n1 = self.ln1.forward(g, x);
+        let a = self.attn.forward(g, n1);
+        let x = g.tape.add(x, a);
+        let n2 = self.ln2.forward(g, x);
+        let f = self.ff.forward(g, n2);
+        g.tape.add(x, f)
+    }
+}
+
+/// Sinusoidal positional encoding matrix `T x d`.
+pub fn sinusoidal_positions(steps: usize, dim: usize) -> Tensor {
+    let mut t = Tensor::zeros(steps, dim);
+    for pos in 0..steps {
+        for i in 0..dim {
+            let rate = 1.0 / 10_000f32.powf((2 * (i / 2)) as f32 / dim as f32);
+            let angle = pos as f32 * rate;
+            t.data[pos * dim + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+    t
+}
+
+/// Hyper-parameters of the trajectory encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Width of one input token (from the feature extractor).
+    pub input_dim: usize,
+    /// Transformer model width.
+    pub d_model: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Feed-forward hidden width.
+    pub ff_hidden: usize,
+    /// Output embedding width.
+    pub embed_dim: usize,
+    /// Number of time steps the encoder expects.
+    pub steps: usize,
+    /// Whether to add sinusoidal positional encodings (ablatable).
+    pub positional: bool,
+    /// Sequence pooling strategy (ablatable).
+    pub pooling: Pooling,
+}
+
+/// How the token sequence is reduced to one embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pooling {
+    /// Mean over time steps (the paper's choice).
+    Mean,
+    /// Take the final time step only.
+    Last,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig {
+            input_dim: 32, // sketchql_trajectory::TOKEN_DIM
+            d_model: 32,
+            heads: 4,
+            layers: 2,
+            ff_hidden: 64,
+            embed_dim: 32,
+            steps: 32,
+            positional: true,
+            pooling: Pooling::Mean,
+        }
+    }
+}
+
+/// The SketchQL trajectory encoder: a transformer that embeds a multi-object
+/// bounding box clip (as a `steps x input_dim` feature matrix) into a single
+/// L2-normalized vector. Cosine similarity between two embeddings is the
+/// learned clip similarity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryEncoder {
+    /// The encoder's hyper-parameters.
+    pub config: EncoderConfig,
+    input_proj: Linear,
+    layers: Vec<EncoderLayer>,
+    final_ln: LayerNorm,
+    out_proj: Linear,
+    positions: Tensor,
+}
+
+impl TrajectoryEncoder {
+    /// Registers a freshly initialized encoder under `prefix`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        config: EncoderConfig,
+    ) -> Self {
+        let input_proj = Linear::new(
+            store,
+            rng,
+            &format!("{prefix}.in"),
+            config.input_dim,
+            config.d_model,
+        );
+        let layers = (0..config.layers)
+            .map(|i| {
+                EncoderLayer::new(
+                    store,
+                    rng,
+                    &format!("{prefix}.layer{i}"),
+                    config.d_model,
+                    config.heads,
+                    config.ff_hidden,
+                )
+            })
+            .collect();
+        let final_ln = LayerNorm::new(store, &format!("{prefix}.final_ln"), config.d_model);
+        let out_proj = Linear::new(
+            store,
+            rng,
+            &format!("{prefix}.out"),
+            config.d_model,
+            config.embed_dim,
+        );
+        let positions = sinusoidal_positions(config.steps, config.d_model);
+        TrajectoryEncoder {
+            config,
+            input_proj,
+            layers,
+            final_ln,
+            out_proj,
+            positions,
+        }
+    }
+
+    /// Embeds a `steps x input_dim` feature matrix into a `1 x embed_dim`
+    /// unit vector (as a tape node, so it is differentiable).
+    pub fn forward(&self, g: &mut Graph<'_>, features: NodeId) -> NodeId {
+        let v = g.tape.value(features);
+        assert_eq!(v.cols, self.config.input_dim, "feature width mismatch");
+        assert_eq!(v.rows, self.config.steps, "feature steps mismatch");
+        let mut x = self.input_proj.forward(g, features);
+        if self.config.positional {
+            let pos = g.input(self.positions.clone());
+            x = g.tape.add(x, pos);
+        }
+        for layer in &self.layers {
+            x = layer.forward(g, x);
+        }
+        let x = self.final_ln.forward(g, x);
+        let pooled = match self.config.pooling {
+            Pooling::Mean => g.tape.mean_rows(x),
+            Pooling::Last => {
+                // Select the last row via transpose+slice: rows are time.
+                let xt = g.tape.transpose(x);
+                let last = g.tape.slice_cols(xt, self.config.steps - 1, 1);
+                g.tape.transpose(last)
+            }
+        };
+        let out = self.out_proj.forward(g, pooled);
+        g.tape.l2_normalize_rows(out)
+    }
+
+    /// Inference helper: embeds a raw feature matrix, returning the vector.
+    pub fn embed(&self, store: &ParamStore, features: &Tensor) -> Vec<f32> {
+        let mut g = Graph::new(store);
+        let f = g.input(features.clone());
+        let e = self.forward(&mut g, f);
+        g.tape.value(e).data.clone()
+    }
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine on unequal lengths");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na <= 1e-12 || nb <= 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn param_store_registration_and_lookup() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let lin = Linear::new(&mut store, &mut r, "test", 4, 3);
+        assert_eq!(store.get("test.w").rows, 4);
+        assert_eq!(store.get("test.b").cols, 3);
+        assert_eq!(lin.in_dim, 4);
+        assert_eq!(store.num_scalars(), 4 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_rejected() {
+        let mut store = ParamStore::new();
+        store.insert("x", Tensor::zeros(1, 1));
+        store.insert("x", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    fn linear_forward_shape_and_value() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let lin = Linear::new(&mut store, &mut r, "l", 3, 2);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::ones(5, 3));
+        let y = lin.forward(&mut g, x);
+        let v = g.tape.value(y);
+        assert_eq!((v.rows, v.cols), (5, 2));
+        // y = 1-vector @ W + b = column sums of W (b = 0).
+        let w = store.get("l.w");
+        let expect0: f32 = (0..3).map(|i| w.get(i, 0)).sum();
+        assert!((v.get(0, 0) - expect0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_binding_is_shared_within_graph() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let lin = Linear::new(&mut store, &mut r, "l", 3, 3);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::ones(2, 3));
+        let y1 = lin.forward(&mut g, x);
+        let before = g.tape.len();
+        let _y2 = lin.forward(&mut g, y1);
+        // Second call must not re-leaf the params (2 new nodes per matmul +
+        // broadcast only).
+        let grown = g.tape.len() - before;
+        assert_eq!(grown, 2, "params should be bound once");
+    }
+
+    #[test]
+    fn attention_output_shape() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let attn = MultiHeadSelfAttention::new(&mut store, &mut r, "a", 8, 2);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::xavier(6, 8, &mut r));
+        let y = attn.forward(&mut g, x);
+        let v = g.tape.value(y);
+        assert_eq!((v.rows, v.cols), (6, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide")]
+    fn attention_head_divisibility() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let _ = MultiHeadSelfAttention::new(&mut store, &mut r, "a", 10, 3);
+    }
+
+    #[test]
+    fn sinusoidal_positions_properties() {
+        let p = sinusoidal_positions(16, 8);
+        assert_eq!((p.rows, p.cols), (16, 8));
+        // Row 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        assert_eq!(p.get(0, 0), 0.0);
+        assert_eq!(p.get(0, 1), 1.0);
+        // Values bounded by 1.
+        assert!(p.data.iter().all(|x| x.abs() <= 1.0));
+        // Distinct rows differ.
+        assert_ne!(p.row(1), p.row(2));
+    }
+
+    #[test]
+    fn encoder_embeds_unit_vectors() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let cfg = EncoderConfig {
+            input_dim: 12,
+            d_model: 16,
+            heads: 2,
+            layers: 2,
+            ff_hidden: 32,
+            embed_dim: 8,
+            steps: 10,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+        let feats = Tensor::xavier(10, 12, &mut r);
+        let e = enc.embed(&store, &feats);
+        assert_eq!(e.len(), 8);
+        let n: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!(
+            (n - 1.0).abs() < 1e-4,
+            "embedding should be unit norm, got {n}"
+        );
+    }
+
+    #[test]
+    fn encoder_is_deterministic() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            embed_dim: 4,
+            steps: 5,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+        let feats = Tensor::xavier(5, 6, &mut r);
+        assert_eq!(enc.embed(&store, &feats), enc.embed(&store, &feats));
+    }
+
+    #[test]
+    fn encoder_distinguishes_inputs() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            embed_dim: 8,
+            steps: 5,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+        let a = enc.embed(&store, &Tensor::xavier(5, 6, &mut r));
+        let b = enc.embed(&store, &Tensor::xavier(5, 6, &mut r));
+        assert!(cosine_similarity(&a, &b) < 0.999);
+    }
+
+    #[test]
+    fn positional_encoding_changes_output_for_permuted_input() {
+        // Without positions, mean-pooling a 1-layer transformer is almost
+        // permutation invariant; with positions the embedding must change
+        // when we reverse time.
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            embed_dim: 8,
+            steps: 6,
+            positional: true,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+        let f = Tensor::xavier(6, 6, &mut r);
+        let mut rev = f.clone();
+        for i in 0..6 {
+            rev.row_mut(i).copy_from_slice(f.row(5 - i));
+        }
+        // Make sure the input actually changed.
+        assert_ne!(f, rev);
+        let ea = enc.embed(&store, &f);
+        let eb = enc.embed(&store, &rev);
+        assert!(cosine_similarity(&ea, &eb) < 0.9999);
+    }
+
+    #[test]
+    fn last_pooling_differs_from_mean_pooling() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let base = EncoderConfig {
+            input_dim: 6,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            embed_dim: 8,
+            steps: 6,
+            ..Default::default()
+        };
+        let enc_mean = TrajectoryEncoder::new(
+            &mut store,
+            &mut r,
+            "m",
+            EncoderConfig {
+                pooling: Pooling::Mean,
+                ..base.clone()
+            },
+        );
+        let enc_last = TrajectoryEncoder::new(
+            &mut store,
+            &mut r,
+            "l",
+            EncoderConfig {
+                pooling: Pooling::Last,
+                ..base
+            },
+        );
+        let f = Tensor::xavier(6, 6, &mut r);
+        // Different params and pooling: embeddings differ but both are unit.
+        let a = enc_mean.embed(&store, &f);
+        let b = enc_last.embed(&store, &f);
+        assert_eq!(a.len(), b.len());
+        assert!((a.iter().map(|x| x * x).sum::<f32>().sqrt() - 1.0).abs() < 1e-4);
+        assert!((b.iter().map(|x| x * x).sum::<f32>().sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds_and_identity() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        let b = vec![-1.0, -2.0, -3.0];
+        assert!((cosine_similarity(&a, &b) + 1.0).abs() < 1e-6);
+        let zero = vec![0.0; 3];
+        assert_eq!(cosine_similarity(&a, &zero), 0.0);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_encoder_params() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            embed_dim: 4,
+            steps: 5,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+        let mut g = Graph::new(&store);
+        let f = g.input(Tensor::xavier(5, 6, &mut r));
+        let e = enc.forward(&mut g, f);
+        let sq = g.tape.mul(e, e);
+        // Use a weighted mean so the loss is not constant (|e| = 1).
+        let w = g.input(Tensor::from_vec(4, 1, vec![1.0, -2.0, 0.5, 3.0]));
+        let proj = g.tape.matmul(sq, w);
+        let loss = g.tape.mean_all(proj);
+        let grads = g.grads_by_name(loss);
+        for name in store.names() {
+            assert!(grads.contains_key(&name), "no gradient for {name}");
+            assert!(grads[&name].is_finite(), "non-finite grad for {name}");
+        }
+    }
+
+    #[test]
+    fn encoder_serde_round_trip_preserves_outputs() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            embed_dim: 4,
+            steps: 5,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+        let json_enc = serde_json::to_string(&enc).unwrap();
+        let json_store = serde_json::to_string(&store).unwrap();
+        let enc2: TrajectoryEncoder = serde_json::from_str(&json_enc).unwrap();
+        let store2: ParamStore = serde_json::from_str(&json_store).unwrap();
+        let feats = Tensor::xavier(5, 6, &mut r);
+        assert_eq!(enc.embed(&store, &feats), enc2.embed(&store2, &feats));
+    }
+
+    #[test]
+    fn num_scalars_counts_everything() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let _ = MultiHeadSelfAttention::new(&mut store, &mut r, "a", 8, 2);
+        // 4 linear layers of 8x8 weights + 8 biases.
+        assert_eq!(store.num_scalars(), 4 * (64 + 8));
+    }
+
+    #[test]
+    fn param_store_serde_round_trip() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let _ = Linear::new(&mut store, &mut r, "l", 3, 2);
+        let json = serde_json::to_string(&store).unwrap();
+        let back: ParamStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(store, back);
+    }
+}

@@ -1,0 +1,131 @@
+//! Learning-rate schedules.
+//!
+//! Contrastive training benefits from a short warmup (the NT-Xent loss
+//! surface is ill-conditioned around random init) followed by cosine decay.
+//! Schedules are pure functions of the step index so training stays
+//! deterministic and resumable.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps a 0-based step index to a multiplier on
+/// the optimizer's base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant multiplier 1 (the default; matches plain Adam).
+    Constant,
+    /// Linear warmup from ~0 to 1 over `warmup` steps, then constant.
+    Warmup {
+        /// Steps to ramp over.
+        warmup: usize,
+    },
+    /// Linear warmup then cosine decay to `floor` at `total` steps.
+    WarmupCosine {
+        /// Steps to ramp over.
+        warmup: usize,
+        /// Total steps of the run (decay horizon).
+        total: usize,
+        /// Final multiplier (e.g. 0.1 keeps 10% of the base LR).
+        floor: f32,
+    },
+    /// Step decay: multiply by `gamma` every `every` steps.
+    StepDecay {
+        /// Interval between decays.
+        every: usize,
+        /// Multiplier applied at each interval.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup } => warmup_mult(step, warmup),
+            LrSchedule::WarmupCosine { warmup, total, floor } => {
+                let w = warmup_mult(step, warmup);
+                if step < warmup || total <= warmup {
+                    return w;
+                }
+                let t = (step - warmup) as f32 / (total - warmup).max(1) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t.min(1.0)).cos());
+                floor + (1.0 - floor) * cos
+            }
+            LrSchedule::StepDecay { every, gamma } => {
+                gamma.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+fn warmup_mult(step: usize, warmup: usize) -> f32 {
+    if warmup == 0 || step >= warmup {
+        1.0
+    } else {
+        (step + 1) as f32 / warmup as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        for s in [0, 1, 10, 100_000] {
+            assert_eq!(LrSchedule::Constant.multiplier(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_holds() {
+        let sch = LrSchedule::Warmup { warmup: 10 };
+        assert!((sch.multiplier(0) - 0.1).abs() < 1e-6);
+        assert!((sch.multiplier(4) - 0.5).abs() < 1e-6);
+        assert_eq!(sch.multiplier(9), 1.0);
+        assert_eq!(sch.multiplier(50), 1.0);
+    }
+
+    #[test]
+    fn warmup_cosine_decays_to_floor() {
+        let sch = LrSchedule::WarmupCosine { warmup: 10, total: 110, floor: 0.1 };
+        // During warmup: ramping.
+        assert!(sch.multiplier(0) < 0.2);
+        // Just after warmup: near 1.
+        assert!(sch.multiplier(10) > 0.95);
+        // Midpoint of decay: roughly halfway between 1 and floor.
+        let mid = sch.multiplier(60);
+        assert!((mid - 0.55).abs() < 0.05, "mid {mid}");
+        // At and beyond the horizon: the floor.
+        assert!((sch.multiplier(110) - 0.1).abs() < 1e-4);
+        assert!((sch.multiplier(500) - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn warmup_cosine_is_monotone_after_warmup() {
+        let sch = LrSchedule::WarmupCosine { warmup: 5, total: 100, floor: 0.0 };
+        let mut prev = f32::INFINITY;
+        for s in 5..100 {
+            let m = sch.multiplier(s);
+            assert!(m <= prev + 1e-6, "not monotone at {s}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let sch = LrSchedule::StepDecay { every: 100, gamma: 0.5 };
+        assert_eq!(sch.multiplier(0), 1.0);
+        assert_eq!(sch.multiplier(99), 1.0);
+        assert_eq!(sch.multiplier(100), 0.5);
+        assert_eq!(sch.multiplier(250), 0.25);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_safe() {
+        assert_eq!(LrSchedule::Warmup { warmup: 0 }.multiplier(0), 1.0);
+        let sch = LrSchedule::WarmupCosine { warmup: 10, total: 10, floor: 0.2 };
+        assert_eq!(sch.multiplier(20), 1.0); // total <= warmup: no decay
+        assert_eq!(LrSchedule::StepDecay { every: 0, gamma: 0.5 }.multiplier(3), 0.125);
+    }
+}

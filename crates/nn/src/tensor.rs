@@ -1,0 +1,272 @@
+//! A minimal dense 2D tensor.
+//!
+//! Everything in the encoder is expressible with rank-2 tensors: a token
+//! sequence is `T x D`, a weight matrix is `In x Out`, a bias or an embedding
+//! is `1 x D`, and a scalar loss is `1 x 1`. Keeping the rank fixed makes the
+//! autograd op set small and every backward rule easy to verify.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major 2D tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data; `data.len() == rows * cols`.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Builds a tensor from row-major data.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// A `1 x 1` scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(1, 1, vec![v])
+    }
+
+    /// Xavier/Glorot-uniform initialization for a `rows x cols` weight.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The scalar value of a `1 x 1` tensor.
+    ///
+    /// # Panics
+    /// If the tensor is not `1 x 1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (1, 1),
+            "item() on non-scalar tensor"
+        );
+        self.data[0]
+    }
+
+    /// Matrix multiplication `self (R x K) @ other (K x C) -> R x C`.
+    ///
+    /// Straightforward ikj-ordered triple loop — cache-friendly on row-major
+    /// data and fast enough for the model sizes SketchQL trains.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul inner dim mismatch");
+        let (r, k, c) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(r, c);
+        for i in 0..r {
+            let out_row = &mut out.data[i * c..(i + 1) * c];
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * c..(kk + 1) * c];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place `self += other * scale`.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Whether all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::zeros(2, 3);
+        t.set(1, 2, 5.0);
+        assert_eq!(t.get(1, 2), 5.0);
+        assert_eq!(t.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_checks_shape() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows, 2);
+        assert_eq!(c.cols, 2);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn matmul_checks_dims() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transposed();
+        assert_eq!(t.rows, 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn xavier_within_limit_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::xavier(16, 16, &mut rng);
+        let limit = (6.0 / 32.0f32).sqrt();
+        assert!(t.data.iter().all(|x| x.abs() <= limit));
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let t2 = Tensor::xavier(16, 16, &mut rng2);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn item_panics_on_matrix() {
+        let _ = Tensor::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn add_scaled_and_norm() {
+        let mut a = Tensor::ones(1, 4);
+        let b = Tensor::full(1, 4, 2.0);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data, vec![2.0; 4]);
+        assert_eq!(a.norm(), 4.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Virtual pinhole cameras.
+//!
+//! The simulator records each 3D event from cameras placed at random poses;
+//! the projections of the *same* event from *different* cameras are the
+//! positive pairs of the contrastive objective. A [`CameraRig`] adds
+//! per-frame shake (smooth Ornstein–Uhlenbeck orientation noise) to model
+//! the wind/vibration the paper calls out for "stationary" cameras.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{BBox, Point2, Point3};
+
+/// A pinhole camera with a look-at pose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    /// Camera position in world space (meters).
+    pub eye: Point3,
+    /// Point the camera looks at.
+    pub target: Point3,
+    /// Vertical field of view (radians).
+    pub vfov: f32,
+    /// Output image width (pixels).
+    pub image_width: f32,
+    /// Output image height (pixels).
+    pub image_height: f32,
+}
+
+impl Camera {
+    /// Near-plane depth below which points are considered behind the camera.
+    pub const NEAR: f32 = 0.1;
+
+    /// A camera looking at `target` from `eye` with a 60° vertical FOV and a
+    /// 1280x720 sensor.
+    pub fn look_at(eye: Point3, target: Point3) -> Self {
+        Camera {
+            eye,
+            target,
+            vfov: 60f32.to_radians(),
+            image_width: 1280.0,
+            image_height: 720.0,
+        }
+    }
+
+    /// Orthonormal camera basis `(right, up, forward)`.
+    fn basis(&self) -> (Point3, Point3, Point3) {
+        let forward = (self.target - self.eye).normalized();
+        let world_up = Point3::new(0.0, 0.0, 1.0);
+        let mut right = forward.cross(&world_up);
+        if right.norm() < 1e-6 {
+            // Looking straight down: pick an arbitrary right.
+            right = Point3::new(1.0, 0.0, 0.0);
+        }
+        let right = right.normalized();
+        let up = right.cross(&forward).normalized();
+        (right, up, forward)
+    }
+
+    /// Projects a world point into image coordinates. Returns `None` when
+    /// the point is behind (or almost on) the camera plane. Points outside
+    /// the image rectangle are still returned; box clamping happens later.
+    pub fn project(&self, p: &Point3) -> Option<Point2> {
+        let (right, up, forward) = self.basis();
+        let d = *p - self.eye;
+        let z = d.dot(&forward);
+        if z < Self::NEAR {
+            return None;
+        }
+        let x = d.dot(&right);
+        let y = d.dot(&up);
+        let f = (self.image_height * 0.5) / (self.vfov * 0.5).tan();
+        Some(Point2::new(
+            self.image_width * 0.5 + f * x / z,
+            self.image_height * 0.5 - f * y / z,
+        ))
+    }
+
+    /// Projects a set of world points (e.g. a cuboid's corners) to the
+    /// tight 2D bounding box of their images, clamped to the frame.
+    ///
+    /// Returns `None` if any point is behind the camera or the visible
+    /// remainder is degenerate.
+    pub fn project_bbox(&self, points: &[Point3]) -> Option<BBox> {
+        let mut min_x = f32::INFINITY;
+        let mut min_y = f32::INFINITY;
+        let mut max_x = f32::NEG_INFINITY;
+        let mut max_y = f32::NEG_INFINITY;
+        for p in points {
+            let q = self.project(p)?;
+            min_x = min_x.min(q.x);
+            min_y = min_y.min(q.y);
+            max_x = max_x.max(q.x);
+            max_y = max_y.max(q.y);
+        }
+        BBox::from_corners(min_x, min_y, max_x, max_y).clamped(self.image_width, self.image_height)
+    }
+
+    /// Samples a camera on a hemisphere shell around `center`: random
+    /// azimuth, elevation in `[15°, 70°]`, radius in `[r_min, r_max]`.
+    pub fn sample_around<R: Rng>(center: Point3, r_min: f32, r_max: f32, rng: &mut R) -> Self {
+        let azimuth = rng.gen_range(0.0..std::f32::consts::TAU);
+        let elevation = rng.gen_range(15f32.to_radians()..70f32.to_radians());
+        let radius = rng.gen_range(r_min..r_max);
+        let eye = Point3::new(
+            center.x + radius * elevation.cos() * azimuth.cos(),
+            center.y + radius * elevation.cos() * azimuth.sin(),
+            center.z + radius * elevation.sin(),
+        );
+        let mut cam = Camera::look_at(eye, center);
+        cam.vfov = rng.gen_range(40f32.to_radians()..75f32.to_radians());
+        cam
+    }
+}
+
+/// Parameters of the camera-shake model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShakeConfig {
+    /// Standard deviation of the per-frame orientation noise (radians).
+    pub sigma: f32,
+    /// Mean-reversion rate of the OU process in `[0, 1]` (1 = white noise).
+    pub reversion: f32,
+}
+
+impl Default for ShakeConfig {
+    fn default() -> Self {
+        ShakeConfig {
+            sigma: 0.002,
+            reversion: 0.15,
+        }
+    }
+}
+
+/// A camera plus temporally smooth orientation shake.
+#[derive(Debug, Clone)]
+pub struct CameraRig {
+    /// The nominal (unshaken) camera.
+    pub camera: Camera,
+    /// Shake parameters; `sigma = 0` disables shake.
+    pub shake: ShakeConfig,
+    yaw: f32,
+    pitch: f32,
+}
+
+impl CameraRig {
+    /// Wraps a camera with a shake model.
+    pub fn new(camera: Camera, shake: ShakeConfig) -> Self {
+        CameraRig {
+            camera,
+            shake,
+            yaw: 0.0,
+            pitch: 0.0,
+        }
+    }
+
+    /// A rig with no shake.
+    pub fn stationary(camera: Camera) -> Self {
+        CameraRig::new(
+            camera,
+            ShakeConfig {
+                sigma: 0.0,
+                reversion: 0.0,
+            },
+        )
+    }
+
+    /// Advances the shake process one frame and returns the camera for that
+    /// frame (the nominal camera with a perturbed look-at target).
+    pub fn next_frame<R: Rng>(&mut self, rng: &mut R) -> Camera {
+        if self.shake.sigma <= 0.0 {
+            return self.camera;
+        }
+        // Ornstein–Uhlenbeck step via Box–Muller gaussians.
+        let (g1, g2) = gauss_pair(rng);
+        self.yaw += -self.shake.reversion * self.yaw + self.shake.sigma * g1;
+        self.pitch += -self.shake.reversion * self.pitch + self.shake.sigma * g2;
+
+        let dir = self.camera.target - self.camera.eye;
+        let dist = dir.norm();
+        let d = dir.normalized();
+        // Perturb direction: rotate around world-z by yaw, then tilt pitch.
+        let (sy, cy) = self.yaw.sin_cos();
+        let rotated = Point3::new(d.x * cy - d.y * sy, d.x * sy + d.y * cy, d.z + self.pitch);
+        let mut cam = self.camera;
+        cam.target = cam.eye + rotated.normalized() * dist;
+        cam
+    }
+}
+
+/// One pair of independent standard gaussians (Box–Muller), avoiding a
+/// `rand_distr` dependency.
+pub fn gauss_pair<R: Rng>(rng: &mut R) -> (f32, f32) {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f32::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// One standard gaussian sample.
+pub fn gauss<R: Rng>(rng: &mut R) -> f32 {
+    gauss_pair(rng).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn overhead_cam() -> Camera {
+        Camera::look_at(Point3::new(0.0, -30.0, 20.0), Point3::ZERO)
+    }
+
+    #[test]
+    fn target_projects_to_image_center() {
+        let cam = overhead_cam();
+        let p = cam.project(&Point3::ZERO).unwrap();
+        assert!((p.x - 640.0).abs() < 1e-3);
+        assert!((p.y - 360.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn points_behind_camera_are_rejected() {
+        let cam = overhead_cam();
+        // Behind the eye, away from the target.
+        let behind = Point3::new(0.0, -100.0, 60.0);
+        assert!(cam.project(&behind).is_none());
+    }
+
+    #[test]
+    fn nearer_objects_project_larger() {
+        let cam = Camera::look_at(Point3::new(0.0, -50.0, 10.0), Point3::ZERO);
+        let near_pts = [Point3::new(-1.0, -20.0, 0.0), Point3::new(1.0, -20.0, 2.0)];
+        let far_pts = [Point3::new(-1.0, 20.0, 0.0), Point3::new(1.0, 20.0, 2.0)];
+        let near = cam.project_bbox(&near_pts).unwrap();
+        let far = cam.project_bbox(&far_pts).unwrap();
+        assert!(near.area() > far.area());
+    }
+
+    #[test]
+    fn right_of_world_is_consistent() {
+        // Camera at -y looking at origin: +x in world should appear to the
+        // right (larger image x).
+        let cam = overhead_cam();
+        let left = cam.project(&Point3::new(-5.0, 0.0, 0.0)).unwrap();
+        let right = cam.project(&Point3::new(5.0, 0.0, 0.0)).unwrap();
+        assert!(right.x > left.x);
+        // Higher z appears higher in the image (smaller y).
+        let low = cam.project(&Point3::new(0.0, 0.0, 0.0)).unwrap();
+        let high = cam.project(&Point3::new(0.0, 0.0, 5.0)).unwrap();
+        assert!(high.y < low.y);
+    }
+
+    #[test]
+    fn straight_down_camera_is_handled() {
+        let cam = Camera::look_at(Point3::new(0.0, 0.0, 30.0), Point3::ZERO);
+        assert!(cam.project(&Point3::new(1.0, 1.0, 0.0)).is_some());
+    }
+
+    #[test]
+    fn project_bbox_clamps_to_frame() {
+        let cam = overhead_cam();
+        // A huge slab: parts off screen.
+        let pts = [
+            Point3::new(-500.0, 0.0, 0.0),
+            Point3::new(500.0, 0.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+        ];
+        let b = cam.project_bbox(&pts).unwrap();
+        assert!(b.x1() >= 0.0 && b.x2() <= cam.image_width);
+        assert!(b.y1() >= 0.0 && b.y2() <= cam.image_height);
+    }
+
+    #[test]
+    fn sample_around_looks_at_center() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let cam = Camera::sample_around(Point3::ZERO, 20.0, 60.0, &mut rng);
+            assert_eq!(cam.target, Point3::ZERO);
+            assert!(cam.eye.z > 0.0, "camera above ground");
+            let r = cam.eye.norm();
+            assert!((19.0..61.0).contains(&r));
+            // Center always projects to image center.
+            let p = cam.project(&Point3::ZERO).unwrap();
+            assert!((p.x - 640.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn stationary_rig_never_moves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rig = CameraRig::stationary(overhead_cam());
+        let c0 = rig.next_frame(&mut rng);
+        let c1 = rig.next_frame(&mut rng);
+        assert_eq!(c0, c1);
+    }
+
+    #[test]
+    fn shaky_rig_jitters_but_stays_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rig = CameraRig::new(overhead_cam(), ShakeConfig::default());
+        let base = overhead_cam();
+        let mut moved = false;
+        for _ in 0..100 {
+            let c = rig.next_frame(&mut rng);
+            let drift = (c.target - base.target).norm();
+            assert!(drift < 3.0, "shake should stay small, drifted {drift}");
+            if drift > 1e-4 {
+                moved = true;
+            }
+        }
+        assert!(moved, "shake should actually perturb the camera");
+    }
+
+    #[test]
+    fn gaussians_have_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..n {
+            let g = gauss(&mut rng) as f64;
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,451 @@
+//! Motion programs: how simulated agents move on the 3D ground plane.
+//!
+//! A [`MotionScript`] is a sequence of [`MotionPrimitive`]s (go straight,
+//! turn, stop, ...) integrated frame-by-frame into a sequence of
+//! [`AgentPose`]s. The same abstraction serves two roles:
+//!
+//! * the **simulator** composes random scripts to synthesize diverse
+//!   training events, and
+//! * the **scene generator** uses hand-written scripts for ground-truth
+//!   events such as "left turn" (the demo's Q1).
+
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{wrap_angle, Point2};
+
+/// One building block of a motion script.
+///
+/// All durations are in frames; angles are radians (positive = turning left
+/// in a right-handed ground frame where `x` is east and `y` is north);
+/// speeds are multipliers on the agent's base speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MotionPrimitive {
+    /// Constant-velocity straight motion.
+    Straight {
+        /// Duration in frames.
+        frames: u32,
+        /// Speed multiplier relative to the agent's base speed.
+        speed: f32,
+    },
+    /// Constant-rate turn through `angle` while moving.
+    Turn {
+        /// Duration in frames.
+        frames: u32,
+        /// Total signed turn angle (radians; positive = left).
+        angle: f32,
+        /// Speed multiplier while turning.
+        speed: f32,
+    },
+    /// Standing still.
+    Stop {
+        /// Duration in frames.
+        frames: u32,
+    },
+    /// Linear speed ramp between two multipliers, straight heading.
+    Accelerate {
+        /// Duration in frames.
+        frames: u32,
+        /// Starting speed multiplier.
+        from: f32,
+        /// Ending speed multiplier.
+        to: f32,
+    },
+    /// An S-curve: turn through `angle` then back through `-angle`.
+    SCurve {
+        /// Total duration in frames (split evenly between the two bends).
+        frames: u32,
+        /// Magnitude of each bend (radians).
+        angle: f32,
+        /// Speed multiplier.
+        speed: f32,
+    },
+}
+
+impl MotionPrimitive {
+    /// Duration in frames.
+    pub fn frames(&self) -> u32 {
+        match *self {
+            MotionPrimitive::Straight { frames, .. }
+            | MotionPrimitive::Turn { frames, .. }
+            | MotionPrimitive::Stop { frames }
+            | MotionPrimitive::Accelerate { frames, .. }
+            | MotionPrimitive::SCurve { frames, .. } => frames,
+        }
+    }
+}
+
+/// The pose of an agent at one frame: ground position and heading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentPose {
+    /// Ground-plane position (meters).
+    pub position: Point2,
+    /// Heading angle (radians, 0 = +x).
+    pub heading: f32,
+    /// Instantaneous speed (meters per frame).
+    pub speed: f32,
+}
+
+/// A full motion program: initial pose plus a primitive sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MotionScript {
+    /// Starting ground position (meters).
+    pub start: Point2,
+    /// Starting heading (radians).
+    pub heading: f32,
+    /// Base speed in meters/second; primitives scale this.
+    pub base_speed_mps: f32,
+    /// The primitive sequence.
+    pub primitives: Vec<MotionPrimitive>,
+    /// First frame at which the agent starts moving (poses before this hold
+    /// the initial pose). Lets multi-agent scenes stagger entrances.
+    pub start_frame: u32,
+}
+
+impl MotionScript {
+    /// A script starting at `start` with heading `heading`.
+    pub fn new(start: Point2, heading: f32, base_speed_mps: f32) -> Self {
+        MotionScript {
+            start,
+            heading,
+            base_speed_mps,
+            primitives: Vec::new(),
+            start_frame: 0,
+        }
+    }
+
+    /// Builder-style push of a primitive.
+    pub fn then(mut self, p: MotionPrimitive) -> Self {
+        self.primitives.push(p);
+        self
+    }
+
+    /// Delays the script's motion to begin at `frame`.
+    pub fn starting_at(mut self, frame: u32) -> Self {
+        self.start_frame = frame;
+        self
+    }
+
+    /// Total frames of motion (excluding the initial delay).
+    pub fn motion_frames(&self) -> u32 {
+        self.primitives.iter().map(MotionPrimitive::frames).sum()
+    }
+
+    /// Total frames including the initial delay.
+    pub fn total_frames(&self) -> u32 {
+        self.start_frame + self.motion_frames()
+    }
+
+    /// Integrates the script into one pose per frame at the given video
+    /// frame rate. The returned vector has `total_frames()` entries (or 1 if
+    /// the script is empty, holding the initial pose).
+    pub fn integrate(&self, fps: f32) -> Vec<AgentPose> {
+        let speed_per_frame = self.base_speed_mps / fps.max(1e-6);
+        let mut poses = Vec::with_capacity(self.total_frames() as usize + 1);
+        let mut pos = self.start;
+        let mut heading = self.heading;
+
+        for _ in 0..self.start_frame {
+            poses.push(AgentPose {
+                position: pos,
+                heading,
+                speed: 0.0,
+            });
+        }
+
+        for prim in &self.primitives {
+            let n = prim.frames();
+            for i in 0..n {
+                let (dtheta, speed_scale) = match *prim {
+                    MotionPrimitive::Straight { speed, .. } => (0.0, speed),
+                    MotionPrimitive::Turn {
+                        frames,
+                        angle,
+                        speed,
+                    } => (angle / frames as f32, speed),
+                    MotionPrimitive::Stop { .. } => (0.0, 0.0),
+                    MotionPrimitive::Accelerate { frames, from, to } => {
+                        let t = i as f32 / (frames.max(1) as f32);
+                        (0.0, from + (to - from) * t)
+                    }
+                    MotionPrimitive::SCurve {
+                        frames,
+                        angle,
+                        speed,
+                    } => {
+                        let half = frames / 2;
+                        let rate = angle / half.max(1) as f32;
+                        if i < half {
+                            (rate, speed)
+                        } else {
+                            (-rate, speed)
+                        }
+                    }
+                };
+                heading = wrap_angle(heading + dtheta);
+                let v = speed_per_frame * speed_scale;
+                let dir = Point2::new(heading.cos(), heading.sin());
+                pos = pos + dir * v;
+                poses.push(AgentPose {
+                    position: pos,
+                    heading,
+                    speed: v,
+                });
+            }
+        }
+
+        if poses.is_empty() {
+            poses.push(AgentPose {
+                position: pos,
+                heading,
+                speed: 0.0,
+            });
+        }
+        poses
+    }
+}
+
+/// Canonical event scripts used by both the simulator's template library and
+/// the scene generator's ground-truth events.
+pub mod templates {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    /// A left turn: approach straight, turn left through `angle`, depart
+    /// straight. `angle` defaults to 90 degrees; the paper's Figure 1 shows
+    /// acute and obtuse variants.
+    pub fn left_turn(start: Point2, heading: f32, speed: f32, angle: f32) -> MotionScript {
+        MotionScript::new(start, heading, speed)
+            .then(MotionPrimitive::Straight {
+                frames: 30,
+                speed: 1.0,
+            })
+            .then(MotionPrimitive::Turn {
+                frames: 30,
+                angle,
+                speed: 0.8,
+            })
+            .then(MotionPrimitive::Straight {
+                frames: 30,
+                speed: 1.0,
+            })
+    }
+
+    /// A right turn (mirror of [`left_turn`]).
+    pub fn right_turn(start: Point2, heading: f32, speed: f32, angle: f32) -> MotionScript {
+        left_turn(start, heading, speed, -angle)
+    }
+
+    /// A U-turn: 180 degrees over a longer window.
+    pub fn u_turn(start: Point2, heading: f32, speed: f32) -> MotionScript {
+        MotionScript::new(start, heading, speed)
+            .then(MotionPrimitive::Straight {
+                frames: 25,
+                speed: 1.0,
+            })
+            .then(MotionPrimitive::Turn {
+                frames: 45,
+                angle: PI,
+                speed: 0.6,
+            })
+            .then(MotionPrimitive::Straight {
+                frames: 25,
+                speed: 1.0,
+            })
+    }
+
+    /// Straight pass through the scene.
+    pub fn straight_pass(start: Point2, heading: f32, speed: f32, frames: u32) -> MotionScript {
+        MotionScript::new(start, heading, speed)
+            .then(MotionPrimitive::Straight { frames, speed: 1.0 })
+    }
+
+    /// Stop-and-go: drive, stop, drive (e.g. at a stop sign).
+    pub fn stop_and_go(start: Point2, heading: f32, speed: f32) -> MotionScript {
+        MotionScript::new(start, heading, speed)
+            .then(MotionPrimitive::Straight {
+                frames: 30,
+                speed: 1.0,
+            })
+            .then(MotionPrimitive::Stop { frames: 25 })
+            .then(MotionPrimitive::Accelerate {
+                frames: 20,
+                from: 0.2,
+                to: 1.0,
+            })
+            .then(MotionPrimitive::Straight {
+                frames: 15,
+                speed: 1.0,
+            })
+    }
+
+    /// A lane change (gentle S-curve).
+    pub fn lane_change(start: Point2, heading: f32, speed: f32) -> MotionScript {
+        MotionScript::new(start, heading, speed)
+            .then(MotionPrimitive::Straight {
+                frames: 25,
+                speed: 1.0,
+            })
+            .then(MotionPrimitive::SCurve {
+                frames: 30,
+                angle: 0.5,
+                speed: 1.0,
+            })
+            .then(MotionPrimitive::Straight {
+                frames: 25,
+                speed: 1.0,
+            })
+    }
+
+    /// Loitering: short random-looking wander built from small turns.
+    pub fn loiter(start: Point2, heading: f32, speed: f32) -> MotionScript {
+        MotionScript::new(start, heading, speed)
+            .then(MotionPrimitive::Straight {
+                frames: 15,
+                speed: 0.3,
+            })
+            .then(MotionPrimitive::Turn {
+                frames: 15,
+                angle: FRAC_PI_2,
+                speed: 0.3,
+            })
+            .then(MotionPrimitive::Stop { frames: 15 })
+            .then(MotionPrimitive::Turn {
+                frames: 15,
+                angle: -FRAC_PI_2,
+                speed: 0.3,
+            })
+            .then(MotionPrimitive::Straight {
+                frames: 15,
+                speed: 0.3,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    const FPS: f32 = 30.0;
+
+    #[test]
+    fn straight_motion_travels_expected_distance() {
+        let s = MotionScript::new(Point2::ZERO, 0.0, 10.0).then(MotionPrimitive::Straight {
+            frames: 30,
+            speed: 1.0,
+        });
+        let poses = s.integrate(FPS);
+        assert_eq!(poses.len(), 30);
+        // 10 m/s for 1 second = 10 m along +x.
+        let last = poses.last().unwrap();
+        assert!((last.position.x - 10.0).abs() < 1e-4);
+        assert!(last.position.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn turn_changes_heading_by_angle() {
+        let s = MotionScript::new(Point2::ZERO, 0.0, 5.0).then(MotionPrimitive::Turn {
+            frames: 20,
+            angle: FRAC_PI_2,
+            speed: 1.0,
+        });
+        let poses = s.integrate(FPS);
+        let last = poses.last().unwrap();
+        assert!((last.heading - FRAC_PI_2).abs() < 1e-4);
+        // Left turn from +x heading moves up-left: both coords positive.
+        assert!(last.position.x > 0.0);
+        assert!(last.position.y > 0.0);
+    }
+
+    #[test]
+    fn left_turn_template_turns_left() {
+        let s = templates::left_turn(Point2::ZERO, 0.0, 8.0, FRAC_PI_2);
+        let poses = s.integrate(FPS);
+        let last = poses.last().unwrap();
+        assert!((wrap_angle(last.heading - FRAC_PI_2)).abs() < 1e-3);
+        // Net displacement is up and to the right.
+        assert!(last.position.x > 0.0 && last.position.y > 0.0);
+    }
+
+    #[test]
+    fn right_turn_is_mirror() {
+        let l = templates::left_turn(Point2::ZERO, 0.0, 8.0, FRAC_PI_2).integrate(FPS);
+        let r = templates::right_turn(Point2::ZERO, 0.0, 8.0, FRAC_PI_2).integrate(FPS);
+        for (a, b) in l.iter().zip(&r) {
+            assert!((a.position.x - b.position.x).abs() < 1e-4);
+            assert!((a.position.y + b.position.y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn u_turn_reverses_heading() {
+        let s = templates::u_turn(Point2::ZERO, 0.3, 8.0);
+        let last = *s.integrate(FPS).last().unwrap();
+        assert!((wrap_angle(last.heading - (0.3 + PI))).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stop_primitive_freezes_position() {
+        let s = MotionScript::new(Point2::new(1.0, 2.0), 0.5, 10.0)
+            .then(MotionPrimitive::Stop { frames: 10 });
+        let poses = s.integrate(FPS);
+        for p in &poses {
+            assert_eq!(p.position, Point2::new(1.0, 2.0));
+            assert_eq!(p.speed, 0.0);
+        }
+    }
+
+    #[test]
+    fn accelerate_ramps_speed() {
+        let s = MotionScript::new(Point2::ZERO, 0.0, 30.0).then(MotionPrimitive::Accelerate {
+            frames: 10,
+            from: 0.0,
+            to: 1.0,
+        });
+        let poses = s.integrate(FPS);
+        assert!(poses[0].speed < poses[9].speed);
+        assert!(poses.windows(2).all(|w| w[1].speed >= w[0].speed));
+    }
+
+    #[test]
+    fn s_curve_returns_to_original_heading() {
+        let s = MotionScript::new(Point2::ZERO, 0.2, 10.0).then(MotionPrimitive::SCurve {
+            frames: 30,
+            angle: 0.6,
+            speed: 1.0,
+        });
+        let last = *s.integrate(FPS).last().unwrap();
+        assert!((wrap_angle(last.heading - 0.2)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn start_frame_delays_motion() {
+        let s = MotionScript::new(Point2::ZERO, 0.0, 10.0)
+            .then(MotionPrimitive::Straight {
+                frames: 5,
+                speed: 1.0,
+            })
+            .starting_at(7);
+        let poses = s.integrate(FPS);
+        assert_eq!(poses.len(), 12);
+        for p in &poses[..7] {
+            assert_eq!(p.position, Point2::ZERO);
+        }
+        assert!(poses[11].position.x > 0.0);
+    }
+
+    #[test]
+    fn empty_script_yields_single_pose() {
+        let s = MotionScript::new(Point2::new(3.0, 4.0), 1.0, 5.0);
+        let poses = s.integrate(FPS);
+        assert_eq!(poses.len(), 1);
+        assert_eq!(poses[0].position, Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn total_frames_accounting() {
+        let s = templates::stop_and_go(Point2::ZERO, 0.0, 10.0).starting_at(5);
+        assert_eq!(s.motion_frames(), 30 + 25 + 20 + 15);
+        assert_eq!(s.total_frames(), 95);
+        assert_eq!(s.integrate(FPS).len(), 95);
+    }
+}

@@ -1,0 +1,680 @@
+//! Contrastive training data generation.
+//!
+//! The paper's key training idea: "generate motions in a 3D space and create
+//! 2D video clips by recording the event from virtual cameras placed at
+//! random locations ... 2D video clips from the different cameras of the
+//! same 3D clip are positive (similar) examples, and 2D video clips from
+//! different 3D clips are negative (dissimilar) examples."
+//!
+//! [`RandomSceneSampler`] synthesizes diverse random 3D events;
+//! [`PairGenerator`] records each event from multiple random cameras (with
+//! optional shake and temporal augmentation) and emits `(anchor, positive)`
+//! clip pairs for the NT-Xent objective.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{Clip, ObjectClass, Point2};
+
+use crate::agent::Agent;
+use crate::camera::{Camera, CameraRig, ShakeConfig};
+use crate::motion::{MotionPrimitive, MotionScript};
+use crate::scene::Scene3D;
+
+/// Mobile classes the sampler draws event participants from, weighted
+/// towards the traffic-surveillance domain of the demo.
+const SAMPLE_CLASSES: &[ObjectClass] = &[
+    ObjectClass::Car,
+    ObjectClass::Car,
+    ObjectClass::Car,
+    ObjectClass::Person,
+    ObjectClass::Person,
+    ObjectClass::Truck,
+    ObjectClass::Bus,
+    ObjectClass::Bicycle,
+    ObjectClass::Motorcycle,
+    ObjectClass::Dog,
+];
+
+/// Configuration of the random 3D event sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Maximum number of objects per event (1..=N, uniform).
+    pub max_objects: usize,
+    /// Number of motion primitives per object's script.
+    pub min_primitives: usize,
+    /// Upper bound (inclusive) on primitives per script.
+    pub max_primitives: usize,
+    /// Frame rate of generated scenes.
+    pub fps: f32,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            max_objects: 2,
+            min_primitives: 1,
+            max_primitives: 3,
+            fps: 30.0,
+        }
+    }
+}
+
+/// Samples random 3D events: random agents with random composite motion
+/// scripts around the world origin.
+#[derive(Debug, Clone)]
+pub struct RandomSceneSampler {
+    /// Sampler parameters.
+    pub config: SamplerConfig,
+}
+
+impl RandomSceneSampler {
+    /// Creates a sampler.
+    pub fn new(config: SamplerConfig) -> Self {
+        RandomSceneSampler { config }
+    }
+
+    /// Samples one random primitive. Durations are chosen so one script
+    /// spans roughly 1-4 seconds of video.
+    fn sample_primitive<R: Rng>(&self, rng: &mut R) -> MotionPrimitive {
+        let frames = rng.gen_range(20..=45);
+        match rng.gen_range(0..10) {
+            0..=3 => MotionPrimitive::Straight {
+                frames,
+                speed: rng.gen_range(0.6..1.4),
+            },
+            4..=6 => MotionPrimitive::Turn {
+                frames,
+                // Anything from a gentle 30° bend through a full U-turn
+                // (195°), either direction.
+                angle: rng.gen_range(0.5..3.4) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+                speed: rng.gen_range(0.5..1.2),
+            },
+            7 => MotionPrimitive::Stop {
+                frames: rng.gen_range(10..=30),
+            },
+            8 => MotionPrimitive::Accelerate {
+                frames,
+                from: rng.gen_range(0.0..0.5),
+                to: rng.gen_range(0.8..1.5),
+            },
+            _ => MotionPrimitive::SCurve {
+                frames,
+                angle: rng.gen_range(0.3..0.9),
+                speed: rng.gen_range(0.6..1.2),
+            },
+        }
+    }
+
+    /// Samples one random script for an agent of the given class.
+    fn sample_script<R: Rng>(&self, class: ObjectClass, rng: &mut R) -> MotionScript {
+        let base_speed = crate::agent::class_priors(class).speed_mps * rng.gen_range(0.7..1.3);
+        let start = Point2::new(rng.gen_range(-12.0..12.0), rng.gen_range(-12.0..12.0));
+        let heading = rng.gen_range(0.0..std::f32::consts::TAU);
+        let mut script = MotionScript::new(start, heading, base_speed);
+        let n_prim = rng.gen_range(self.config.min_primitives..=self.config.max_primitives);
+        for _ in 0..n_prim {
+            script = script.then(self.sample_primitive(rng));
+        }
+        script
+    }
+
+    /// Samples one random 3D scene (event).
+    ///
+    /// Two-object scenes are *structured* three times out of four —
+    /// crossing, parallel (follow/overtake), or opposite passes — because
+    /// multi-object queries are about inter-object geometry, and purely
+    /// independent random walks almost never exhibit it.
+    pub fn sample_scene<R: Rng>(&self, rng: &mut R) -> Scene3D {
+        let n_obj = rng.gen_range(1..=self.config.max_objects);
+        let mut scene = Scene3D::new(self.config.fps);
+        if n_obj >= 2 {
+            let class_a = SAMPLE_CLASSES[rng.gen_range(0..SAMPLE_CLASSES.len())];
+            let class_b = SAMPLE_CLASSES[rng.gen_range(0..SAMPLE_CLASSES.len())];
+            let speed = |c: ObjectClass, rng: &mut R| {
+                crate::agent::class_priors(c).speed_mps * rng.gen_range(0.7..1.3)
+            };
+            let frames = rng.gen_range(50..=100u32);
+            let heading = rng.gen_range(0.0..std::f32::consts::TAU);
+            let meet = Point2::new(rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0));
+            let back = |h: f32, d: f32| meet - Point2::new(h.cos(), h.sin()) * d;
+            match rng.gen_range(0..4) {
+                0 => {
+                    // Crossing at a random (not necessarily right) angle.
+                    let cross = heading
+                        + rng.gen_range(0.6..2.6) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    let va = speed(class_a, rng);
+                    let vb = speed(class_b, rng);
+                    let da = va / self.config.fps * frames as f32 * 0.5;
+                    let db = vb / self.config.fps * frames as f32 * 0.5;
+                    scene = scene
+                        .with_object(
+                            Agent::sample(class_a, rng),
+                            MotionScript::new(back(heading, da), heading, va)
+                                .then(MotionPrimitive::Straight { frames, speed: 1.0 }),
+                        )
+                        .with_object(
+                            Agent::sample(class_b, rng),
+                            MotionScript::new(back(cross, db), cross, vb)
+                                .then(MotionPrimitive::Straight { frames, speed: 1.0 }),
+                        );
+                }
+                1 => {
+                    // Parallel motion: follow or overtake.
+                    let lateral =
+                        Point2::new(-heading.sin(), heading.cos()) * rng.gen_range(1.5..5.0);
+                    let va = speed(class_a, rng);
+                    let vb = va * rng.gen_range(0.4..1.0);
+                    scene = scene
+                        .with_object(
+                            Agent::sample(class_a, rng),
+                            MotionScript::new(back(heading, 14.0), heading, va)
+                                .then(MotionPrimitive::Straight { frames, speed: 1.0 }),
+                        )
+                        .with_object(
+                            Agent::sample(class_b, rng),
+                            MotionScript::new(back(heading, 4.0) + lateral, heading, vb)
+                                .then(MotionPrimitive::Straight { frames, speed: 1.0 }),
+                        );
+                }
+                2 => {
+                    // Opposite passes.
+                    let opp = heading + std::f32::consts::PI;
+                    let lateral =
+                        Point2::new(-heading.sin(), heading.cos()) * rng.gen_range(1.5..4.0);
+                    let va = speed(class_a, rng);
+                    let vb = speed(class_b, rng);
+                    let da = va / self.config.fps * frames as f32 * 0.5;
+                    let db = vb / self.config.fps * frames as f32 * 0.5;
+                    scene = scene
+                        .with_object(
+                            Agent::sample(class_a, rng),
+                            MotionScript::new(back(heading, da), heading, va)
+                                .then(MotionPrimitive::Straight { frames, speed: 1.0 }),
+                        )
+                        .with_object(
+                            Agent::sample(class_b, rng),
+                            MotionScript::new(back(opp, db) + lateral, opp, vb)
+                                .then(MotionPrimitive::Straight { frames, speed: 1.0 }),
+                        );
+                }
+                _ => {
+                    // Independent random motions (with entrance stagger).
+                    for class in [class_a, class_b] {
+                        let mut script = self.sample_script(class, rng);
+                        if rng.gen_bool(0.5) {
+                            script = script.starting_at(rng.gen_range(0..15));
+                        }
+                        scene = scene.with_object(Agent::sample(class, rng), script);
+                    }
+                }
+            }
+        } else {
+            let class = SAMPLE_CLASSES[rng.gen_range(0..SAMPLE_CLASSES.len())];
+            let script = self.sample_script(class, rng);
+            scene = scene.with_object(Agent::sample(class, rng), script);
+        }
+        scene
+    }
+}
+
+/// Configuration of the contrastive pair generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairGenConfig {
+    /// Random camera distance bounds (meters).
+    pub cam_radius: (f32, f32),
+    /// Camera shake applied while recording (sigma 0 disables).
+    pub shake: ShakeConfig,
+    /// Probability of temporally stretching one view (speed augmentation).
+    pub stretch_prob: f64,
+    /// Bounds of the stretch factor when applied.
+    pub stretch_range: (f32, f32),
+    /// Minimum frames an object must be visible for a view to be accepted.
+    pub min_visible: usize,
+    /// Attempts at sampling an acceptable camera before giving up on a
+    /// scene.
+    pub max_camera_tries: usize,
+    /// Ablation: record both views from the *same* camera pose (only shake
+    /// and temporal augmentation differ). The paper's multi-camera recipe
+    /// sets this to `false`; the A1 ablation flips it to show that camera
+    /// diversity is what buys viewpoint invariance.
+    pub same_camera: bool,
+    /// Probability of converting the positive view into a *schematic*
+    /// clip: constant-size boxes riding the same center path. This is what
+    /// a user's sketch looks like (canvas icons have fixed size), so the
+    /// augmentation closes the sketch-to-video domain gap that pure
+    /// camera-view pairs leave open.
+    pub sketchify_prob: f64,
+    /// Probability of padding a view with *parked* frames (the object
+    /// holding its first/last pose) on either side, applied independently
+    /// per view and per side. Matcher windows routinely extend past an
+    /// event into idle time; this augmentation teaches the encoder that
+    /// idle padding does not change the event.
+    pub pad_prob: f64,
+    /// Bounds on the number of parked frames added per padded side.
+    pub pad_range: (u32, u32),
+}
+
+impl Default for PairGenConfig {
+    fn default() -> Self {
+        PairGenConfig {
+            cam_radius: (25.0, 70.0),
+            shake: ShakeConfig::default(),
+            stretch_prob: 0.5,
+            stretch_range: (0.6, 1.6),
+            min_visible: 12,
+            max_camera_tries: 12,
+            same_camera: false,
+            sketchify_prob: 0.4,
+            pad_prob: 0.35,
+            pad_range: (8, 45),
+        }
+    }
+}
+
+/// Pads a clip with parked frames: `before` frames holding each object's
+/// first pose are prepended and `after` frames holding its last pose are
+/// appended (all frame indices shift by `before`).
+pub fn pad_with_hold(clip: &Clip, before: u32, after: u32) -> Clip {
+    let objects = clip
+        .objects
+        .iter()
+        .map(|t| {
+            let pts = t.points();
+            if pts.is_empty() {
+                return t.clone();
+            }
+            let mut out = Vec::with_capacity(pts.len() + (before + after) as usize);
+            let first = pts[0];
+            for f in 0..before {
+                out.push(sketchql_trajectory::TrajPoint::new(f, first.bbox));
+            }
+            for p in pts {
+                out.push(sketchql_trajectory::TrajPoint::new(
+                    p.frame + before,
+                    p.bbox,
+                ));
+            }
+            let last = *pts.last().expect("non-empty");
+            for k in 1..=after {
+                out.push(sketchql_trajectory::TrajPoint::new(
+                    last.frame + before + k,
+                    last.bbox,
+                ));
+            }
+            sketchql_trajectory::Trajectory::from_points(t.id, t.class, out)
+        })
+        .collect();
+    Clip::new(clip.frame_width, clip.frame_height, objects)
+}
+
+/// Converts a clip into its schematic ("sketch-like") form: every object
+/// keeps its center path but is drawn with a constant, average-sized box —
+/// exactly how an object icon rides a drag path on the sketcher canvas.
+pub fn sketchify(clip: &Clip) -> Clip {
+    let objects = clip
+        .objects
+        .iter()
+        .map(|t| {
+            let pts = t.points();
+            if pts.is_empty() {
+                return t.clone();
+            }
+            let n = pts.len() as f32;
+            let mean_w: f32 = pts.iter().map(|p| p.bbox.w).sum::<f32>() / n;
+            let mean_h: f32 = pts.iter().map(|p| p.bbox.h).sum::<f32>() / n;
+            let new_pts = pts
+                .iter()
+                .map(|p| {
+                    sketchql_trajectory::TrajPoint::new(
+                        p.frame,
+                        sketchql_trajectory::BBox::new(p.bbox.cx, p.bbox.cy, mean_w, mean_h),
+                    )
+                })
+                .collect();
+            sketchql_trajectory::Trajectory::from_points(t.id, t.class, new_pts)
+        })
+        .collect();
+    Clip::new(clip.frame_width, clip.frame_height, objects)
+}
+
+/// A training pair: two 2D views of one 3D event.
+#[derive(Debug, Clone)]
+pub struct TrainingPair {
+    /// First view (the anchor).
+    pub anchor: Clip,
+    /// Second view (the positive).
+    pub positive: Clip,
+}
+
+/// Records random scenes from random cameras into contrastive pairs.
+#[derive(Debug, Clone)]
+pub struct PairGenerator {
+    /// Scene sampler.
+    pub sampler: RandomSceneSampler,
+    /// Recording parameters.
+    pub config: PairGenConfig,
+}
+
+impl PairGenerator {
+    /// Creates a generator with the given sampler and recording config.
+    pub fn new(sampler: RandomSceneSampler, config: PairGenConfig) -> Self {
+        PairGenerator { sampler, config }
+    }
+
+    /// A generator with default settings.
+    pub fn default_generator() -> Self {
+        PairGenerator::new(
+            RandomSceneSampler::new(SamplerConfig::default()),
+            PairGenConfig::default(),
+        )
+    }
+
+    /// Records `scene` from one random acceptable camera; `None` if no
+    /// sampled camera keeps every object visible long enough.
+    pub fn record_view<R: Rng>(&self, scene: &Scene3D, rng: &mut R) -> Option<Clip> {
+        let center = scene.center();
+        for _ in 0..self.config.max_camera_tries {
+            let cam = Camera::sample_around(
+                center,
+                self.config.cam_radius.0,
+                self.config.cam_radius.1,
+                rng,
+            );
+            let mut rig = CameraRig::new(cam, self.config.shake);
+            let clip = scene.record(&mut rig, rng);
+            let ok = clip
+                .objects
+                .iter()
+                .all(|t| t.len() >= self.config.min_visible);
+            if ok {
+                return Some(self.maybe_stretch(clip, rng));
+            }
+        }
+        None
+    }
+
+    /// Temporal augmentation: resamples the clip to a different length with
+    /// probability `stretch_prob`, simulating faster/slower versions of the
+    /// same event (which must still match).
+    fn maybe_stretch<R: Rng>(&self, clip: Clip, rng: &mut R) -> Clip {
+        if !rng.gen_bool(self.config.stretch_prob) {
+            return clip;
+        }
+        let factor = rng.gen_range(self.config.stretch_range.0..self.config.stretch_range.1);
+        let span = clip.span().max(2);
+        let new_len = ((span as f32 * factor) as usize).max(8);
+        clip.resampled(new_len)
+    }
+
+    /// Generates one `(anchor, positive)` pair (two views of a fresh random
+    /// scene). Retries until a scene admits two acceptable views.
+    pub fn sample_pair<R: Rng>(&self, rng: &mut R) -> TrainingPair {
+        loop {
+            let scene = self.sampler.sample_scene(rng);
+            if self.config.same_camera {
+                // Ablation: one camera pose, two recordings (shake and
+                // stretch still differ).
+                let center = scene.center();
+                let cam = Camera::sample_around(
+                    center,
+                    self.config.cam_radius.0,
+                    self.config.cam_radius.1,
+                    rng,
+                );
+                let record = |rng: &mut R| -> Option<Clip> {
+                    let mut rig = CameraRig::new(cam, self.config.shake);
+                    let clip = scene.record(&mut rig, rng);
+                    clip.objects
+                        .iter()
+                        .all(|t| t.len() >= self.config.min_visible)
+                        .then(|| self.maybe_stretch(clip, rng))
+                };
+                let (Some(anchor), Some(positive)) = (record(rng), record(rng)) else {
+                    continue;
+                };
+                let anchor = self.maybe_pad(anchor, rng);
+                let positive = self.maybe_pad(self.maybe_sketchify(positive, rng), rng);
+                return TrainingPair { anchor, positive };
+            }
+            let Some(anchor) = self.record_view(&scene, rng) else {
+                continue;
+            };
+            let Some(positive) = self.record_view(&scene, rng) else {
+                continue;
+            };
+            let anchor = self.maybe_pad(anchor, rng);
+            let positive = self.maybe_pad(self.maybe_sketchify(positive, rng), rng);
+            return TrainingPair { anchor, positive };
+        }
+    }
+
+    /// Applies the schematic-view augmentation with the configured
+    /// probability.
+    fn maybe_sketchify<R: Rng>(&self, clip: Clip, rng: &mut R) -> Clip {
+        if self.config.sketchify_prob > 0.0 && rng.gen_bool(self.config.sketchify_prob) {
+            sketchify(&clip)
+        } else {
+            clip
+        }
+    }
+
+    /// Applies independent parked-padding on each side with the configured
+    /// probability.
+    fn maybe_pad<R: Rng>(&self, clip: Clip, rng: &mut R) -> Clip {
+        if self.config.pad_prob <= 0.0 {
+            return clip;
+        }
+        let (lo, hi) = self.config.pad_range;
+        let before = if rng.gen_bool(self.config.pad_prob) {
+            rng.gen_range(lo..=hi)
+        } else {
+            0
+        };
+        let after = if rng.gen_bool(self.config.pad_prob) {
+            rng.gen_range(lo..=hi)
+        } else {
+            0
+        };
+        if before == 0 && after == 0 {
+            clip
+        } else {
+            pad_with_hold(&clip, before, after)
+        }
+    }
+
+    /// Generates a batch of independent pairs. Pairs at different indices
+    /// come from different 3D events, so they serve as mutual negatives in
+    /// the NT-Xent batch.
+    pub fn sample_batch<R: Rng>(&self, batch: usize, rng: &mut R) -> Vec<TrainingPair> {
+        (0..batch).map(|_| self.sample_pair(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_respects_object_bounds() {
+        let s = RandomSceneSampler::new(SamplerConfig {
+            max_objects: 3,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let scene = s.sample_scene(&mut rng);
+            assert!((1..=3).contains(&scene.objects.len()));
+            for o in &scene.objects {
+                assert!(!o.script.primitives.is_empty());
+                assert!(o.script.primitives.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn two_object_scenes_include_structured_interactions() {
+        let s = RandomSceneSampler::new(SamplerConfig {
+            max_objects: 2,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut crossing_like = 0;
+        let mut n2 = 0;
+        for _ in 0..120 {
+            let scene = s.sample_scene(&mut rng);
+            if scene.objects.len() != 2 {
+                continue;
+            }
+            n2 += 1;
+            // Do the two agents ever come within 5 m of each other?
+            let poses = scene.poses();
+            let min_d = poses[0]
+                .iter()
+                .zip(&poses[1])
+                .map(|(a, b)| a.position.distance(&b.position))
+                .fold(f32::INFINITY, f32::min);
+            if min_d < 5.0 {
+                crossing_like += 1;
+            }
+        }
+        assert!(n2 > 20, "need a sample of 2-object scenes, got {n2}");
+        assert!(
+            crossing_like * 2 > n2,
+            "structured interactions should dominate: {crossing_like}/{n2}"
+        );
+    }
+
+    #[test]
+    fn sampler_produces_diverse_classes() {
+        let s = RandomSceneSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut classes = std::collections::HashSet::new();
+        for _ in 0..60 {
+            let scene = s.sample_scene(&mut rng);
+            for o in &scene.objects {
+                classes.insert(o.agent.class);
+            }
+        }
+        assert!(
+            classes.len() >= 4,
+            "expected class diversity, got {classes:?}"
+        );
+    }
+
+    #[test]
+    fn record_view_keeps_objects_visible() {
+        let gen = PairGenerator::default_generator();
+        let mut rng = StdRng::seed_from_u64(3);
+        let scene = gen.sampler.sample_scene(&mut rng);
+        if let Some(clip) = gen.record_view(&scene, &mut rng) {
+            for t in &clip.objects {
+                assert!(t.len() >= gen.config.min_visible);
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_share_structure_but_not_pixels() {
+        let gen = PairGenerator::default_generator();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pair = gen.sample_pair(&mut rng);
+        assert_eq!(pair.anchor.num_objects(), pair.positive.num_objects());
+        assert_eq!(pair.anchor.classes(), pair.positive.classes());
+        // Different cameras: the raw screen-space paths differ.
+        let a0 = pair.anchor.objects[0].centers();
+        let p0 = pair.positive.objects[0].centers();
+        let min_len = a0.len().min(p0.len());
+        let diff: f32 = a0[..min_len]
+            .iter()
+            .zip(&p0[..min_len])
+            .map(|(x, y)| x.distance(y))
+            .sum();
+        assert!(diff > 1.0, "two random views should not be pixel-identical");
+    }
+
+    #[test]
+    fn batch_has_requested_size_and_distinct_events() {
+        let gen = PairGenerator::default_generator();
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = gen.sample_batch(4, &mut rng);
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn pad_with_hold_extends_span_without_motion() {
+        let gen = PairGenerator::default_generator();
+        let mut rng = StdRng::seed_from_u64(11);
+        let scene = gen.sampler.sample_scene(&mut rng);
+        let clip = loop {
+            if let Some(c) = gen.record_view(&scene, &mut rng) {
+                break c;
+            }
+        };
+        let padded = pad_with_hold(&clip, 10, 20);
+        assert_eq!(padded.span(), clip.span() + 30);
+        for (orig, p) in clip.objects.iter().zip(&padded.objects) {
+            assert_eq!(p.len(), orig.len() + 30);
+            // Padding adds no displacement.
+            assert!((p.displacement() - orig.displacement()).abs() < 1e-3);
+            // First 10 frames hold the first pose.
+            let first = orig.points()[0].bbox;
+            for k in 0..10 {
+                assert_eq!(p.points()[k].bbox, first);
+            }
+        }
+    }
+
+    #[test]
+    fn sketchify_freezes_box_size_but_keeps_path() {
+        let gen = PairGenerator::default_generator();
+        let mut rng = StdRng::seed_from_u64(10);
+        let scene = gen.sampler.sample_scene(&mut rng);
+        let clip = loop {
+            if let Some(c) = gen.record_view(&scene, &mut rng) {
+                break c;
+            }
+        };
+        let s = sketchify(&clip);
+        assert_eq!(s.num_objects(), clip.num_objects());
+        for (orig, sk) in clip.objects.iter().zip(&s.objects) {
+            // Constant box size everywhere.
+            let w0 = sk.points()[0].bbox.w;
+            assert!(sk.points().iter().all(|p| (p.bbox.w - w0).abs() < 1e-5));
+            // Identical center paths and frames.
+            assert_eq!(orig.len(), sk.len());
+            for (a, b) in orig.points().iter().zip(sk.points()) {
+                assert_eq!(a.frame, b.frame);
+                assert!((a.bbox.cx - b.bbox.cx).abs() < 1e-5);
+                assert!((a.bbox.cy - b.bbox.cy).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn same_camera_ablation_yields_near_identical_views() {
+        let mut gen = PairGenerator::default_generator();
+        gen.config.same_camera = true;
+        gen.config.stretch_prob = 0.0;
+        gen.config.pad_prob = 0.0;
+        gen.config.sketchify_prob = 0.0;
+        gen.config.shake = crate::camera::ShakeConfig {
+            sigma: 0.0,
+            reversion: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let pair = gen.sample_pair(&mut rng);
+        // No shake, no stretch, same camera: the two views coincide.
+        assert_eq!(pair.anchor, pair.positive);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let gen = PairGenerator::default_generator();
+        let a = gen.sample_pair(&mut StdRng::seed_from_u64(42));
+        let b = gen.sample_pair(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a.anchor, b.anchor);
+        assert_eq!(a.positive, b.positive);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for motion integration and camera projection.
+
+use proptest::prelude::*;
+use sketchql_simulator::{Agent, AgentPose, Camera, MotionPrimitive, MotionScript};
+use sketchql_trajectory::{wrap_angle, ObjectClass, Point2, Point3};
+
+fn arb_primitive() -> impl Strategy<Value = MotionPrimitive> {
+    prop_oneof![
+        (5u32..60, 0.2f32..1.5)
+            .prop_map(|(frames, speed)| MotionPrimitive::Straight { frames, speed }),
+        (5u32..60, -2.5f32..2.5, 0.2f32..1.2).prop_map(|(frames, angle, speed)| {
+            MotionPrimitive::Turn {
+                frames,
+                angle,
+                speed,
+            }
+        }),
+        (5u32..40).prop_map(|frames| MotionPrimitive::Stop { frames }),
+        (5u32..40, 0.0f32..0.5, 0.5f32..1.5)
+            .prop_map(|(frames, from, to)| MotionPrimitive::Accelerate { frames, from, to }),
+        (6u32..40, 0.1f32..1.0, 0.3f32..1.2).prop_map(|(frames, angle, speed)| {
+            MotionPrimitive::SCurve {
+                frames,
+                angle,
+                speed,
+            }
+        }),
+    ]
+}
+
+fn arb_script() -> impl Strategy<Value = MotionScript> {
+    (
+        -30.0f32..30.0,
+        -30.0f32..30.0,
+        -3.0f32..3.0,
+        0.5f32..12.0,
+        prop::collection::vec(arb_primitive(), 1..5),
+        0u32..20,
+    )
+        .prop_map(|(x, y, heading, speed, prims, delay)| {
+            let mut s = MotionScript::new(Point2::new(x, y), heading, speed).starting_at(delay);
+            for p in prims {
+                s = s.then(p);
+            }
+            s
+        })
+}
+
+proptest! {
+    #[test]
+    fn integration_has_exact_length(script in arb_script()) {
+        let poses = script.integrate(30.0);
+        prop_assert_eq!(poses.len() as u32, script.total_frames());
+    }
+
+    #[test]
+    fn poses_are_finite_and_speeds_nonnegative(script in arb_script()) {
+        for p in script.integrate(30.0) {
+            prop_assert!(p.position.x.is_finite() && p.position.y.is_finite());
+            prop_assert!(p.heading.is_finite());
+            prop_assert!(p.speed >= 0.0);
+        }
+    }
+
+    #[test]
+    fn per_frame_displacement_matches_speed(script in arb_script()) {
+        let poses = script.integrate(30.0);
+        for w in poses.windows(2) {
+            let d = w[0].position.distance(&w[1].position);
+            prop_assert!((d - w[1].speed).abs() < 1e-3, "step {d} vs speed {}", w[1].speed);
+        }
+    }
+
+    #[test]
+    fn pure_turn_accumulates_requested_angle(
+        angle in -3.0f32..3.0,
+        frames in 5u32..80,
+        heading in -3.0f32..3.0,
+    ) {
+        let s = MotionScript::new(Point2::ZERO, heading, 5.0)
+            .then(MotionPrimitive::Turn { frames, angle, speed: 1.0 });
+        let poses = s.integrate(30.0);
+        let net = wrap_angle(poses.last().unwrap().heading - heading);
+        prop_assert!((net - wrap_angle(angle)).abs() < 1e-3, "net {net} vs {angle}");
+    }
+
+    #[test]
+    fn camera_projection_is_scale_consistent(
+        px in -40.0f32..40.0,
+        py in -40.0f32..40.0,
+        pz in 0.0f32..5.0,
+        t in 1.5f32..10.0,
+    ) {
+        // Points along the same camera ray project to the same pixel.
+        let cam = Camera::look_at(Point3::new(0.0, -60.0, 30.0), Point3::ZERO);
+        let p = Point3::new(px, py, pz);
+        if let Some(a) = cam.project(&p) {
+            let dir = p - cam.eye;
+            let q = cam.eye + dir * t;
+            if let Some(b) = cam.project(&q) {
+                prop_assert!(a.distance(&b) < 0.2, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn projected_bbox_is_within_frame(
+        px in -80.0f32..80.0,
+        py in -80.0f32..80.0,
+        heading in -3.0f32..3.0,
+    ) {
+        let cam = Camera::look_at(Point3::new(0.0, -50.0, 25.0), Point3::ZERO);
+        let agent = Agent::with_priors(ObjectClass::Car);
+        let pose = AgentPose { position: Point2::new(px, py), heading, speed: 0.0 };
+        if let Some(b) = cam.project_bbox(&agent.corners(&pose)) {
+            prop_assert!(b.x1() >= -1e-3 && b.x2() <= cam.image_width + 1e-3);
+            prop_assert!(b.y1() >= -1e-3 && b.y2() <= cam.image_height + 1e-3);
+            prop_assert!(b.is_valid());
+        }
+    }
+
+    #[test]
+    fn closer_agents_never_project_smaller_along_view_axis(
+        d1 in 10.0f32..30.0,
+        d2 in 35.0f32..90.0,
+    ) {
+        // Camera at origin side looking along +y; same agent at two depths.
+        let cam = Camera::look_at(Point3::new(0.0, -5.0, 8.0), Point3::new(0.0, 50.0, 0.0));
+        let agent = Agent::with_priors(ObjectClass::Car);
+        let near = cam.project_bbox(&agent.corners(&AgentPose {
+            position: Point2::new(0.0, d1),
+            heading: 0.0,
+            speed: 0.0,
+        }));
+        let far = cam.project_bbox(&agent.corners(&AgentPose {
+            position: Point2::new(0.0, d2),
+            heading: 0.0,
+            speed: 0.0,
+        }));
+        if let (Some(n), Some(f)) = (near, far) {
+            prop_assert!(n.area() >= f.area() * 0.9, "near {} vs far {}", n.area(), f.area());
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Detector simulation.
+//!
+//! SketchQL's preprocessing step runs a pre-trained object detector +
+//! tracker over each video. We do not have a CNN detector, but the Matcher
+//! only ever sees the detector's *output distribution*: boxes with
+//! localization noise, missed detections, false positives, and confidence
+//! scores. [`DetectorSim`] produces exactly that from ground-truth clips, so
+//! the tracker and everything downstream face realistic input artifacts.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{BBox, Clip, ObjectClass};
+
+/// One detection in one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Detected bounding box.
+    pub bbox: BBox,
+    /// Predicted object class.
+    pub class: ObjectClass,
+    /// Confidence score in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Noise model of the simulated detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Std of center jitter, as a fraction of box size.
+    pub center_jitter: f32,
+    /// Std of size jitter, as a fraction of box size.
+    pub size_jitter: f32,
+    /// Probability of missing an object in a frame.
+    pub miss_prob: f64,
+    /// Expected number of false positives per frame.
+    pub fp_rate: f64,
+    /// Mean confidence of true detections (noisy around this).
+    pub true_score_mean: f32,
+    /// Mean confidence of false positives.
+    pub fp_score_mean: f32,
+    /// Probability that a true detection is emitted with *low* confidence
+    /// (occlusion, blur) — these are the detections ByteTrack's second
+    /// association stage is designed to rescue.
+    pub low_conf_prob: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            center_jitter: 0.03,
+            size_jitter: 0.04,
+            miss_prob: 0.05,
+            fp_rate: 0.3,
+            true_score_mean: 0.85,
+            fp_score_mean: 0.25,
+            low_conf_prob: 0.10,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A noise-free detector (for sanity experiments).
+    pub fn perfect() -> Self {
+        DetectorConfig {
+            center_jitter: 0.0,
+            size_jitter: 0.0,
+            miss_prob: 0.0,
+            fp_rate: 0.0,
+            true_score_mean: 0.99,
+            fp_score_mean: 0.0,
+            low_conf_prob: 0.0,
+        }
+    }
+
+    /// Scales all degradation knobs by `level` (0 = perfect, 1 = default,
+    /// >1 = worse). Used by the robustness ablation (experiment T3).
+    pub fn at_noise_level(level: f32) -> Self {
+        let d = DetectorConfig::default();
+        DetectorConfig {
+            center_jitter: d.center_jitter * level,
+            size_jitter: d.size_jitter * level,
+            miss_prob: (d.miss_prob * level as f64).min(0.9),
+            fp_rate: d.fp_rate * level as f64,
+            low_conf_prob: (d.low_conf_prob * level as f64).min(0.9),
+            ..d
+        }
+    }
+}
+
+/// Simulates a per-frame object detector over ground-truth clips.
+#[derive(Debug, Clone)]
+pub struct DetectorSim {
+    /// Noise parameters.
+    pub config: DetectorConfig,
+}
+
+impl DetectorSim {
+    /// Creates a simulator.
+    pub fn new(config: DetectorConfig) -> Self {
+        DetectorSim { config }
+    }
+
+    /// Runs the detector over a ground-truth clip, producing detections for
+    /// every frame in `0..frames`.
+    pub fn detect_clip<R: Rng>(
+        &self,
+        truth: &Clip,
+        frames: u32,
+        rng: &mut R,
+    ) -> Vec<Vec<Detection>> {
+        (0..frames)
+            .map(|f| self.detect_frame(truth, f, rng))
+            .collect()
+    }
+
+    /// Detections for one frame.
+    pub fn detect_frame<R: Rng>(&self, truth: &Clip, frame: u32, rng: &mut R) -> Vec<Detection> {
+        let c = &self.config;
+        let mut out = Vec::new();
+        for obj in &truth.objects {
+            let Some(bb) = obj.bbox_at(frame) else {
+                continue;
+            };
+            if rng.gen_bool(c.miss_prob) {
+                continue;
+            }
+            let jc = c.center_jitter;
+            let js = c.size_jitter;
+            let noisy = BBox::new(
+                bb.cx + gauss(rng) * jc * bb.w,
+                bb.cy + gauss(rng) * jc * bb.h,
+                (bb.w * (1.0 + gauss(rng) * js)).max(1.0),
+                (bb.h * (1.0 + gauss(rng) * js)).max(1.0),
+            );
+            let low = rng.gen_bool(c.low_conf_prob);
+            let mean = if low {
+                c.fp_score_mean + 0.15
+            } else {
+                c.true_score_mean
+            };
+            let score = (mean + gauss(rng) * 0.05).clamp(0.05, 1.0);
+            out.push(Detection {
+                bbox: noisy,
+                class: obj.class,
+                score,
+            });
+        }
+        // Poisson-ish false positives: Bernoulli splits of the rate.
+        let mut budget = c.fp_rate;
+        while budget > 0.0 {
+            let p = budget.min(1.0);
+            if rng.gen_bool(p) {
+                let w = rng.gen_range(8.0..truth.frame_width.max(16.0) / 6.0);
+                let h = rng.gen_range(8.0..truth.frame_height.max(16.0) / 6.0);
+                let bbox = BBox::new(
+                    rng.gen_range(0.0..truth.frame_width.max(1.0)),
+                    rng.gen_range(0.0..truth.frame_height.max(1.0)),
+                    w,
+                    h,
+                );
+                let class = if rng.gen_bool(0.5) {
+                    ObjectClass::Car
+                } else {
+                    ObjectClass::Person
+                };
+                let score = (c.fp_score_mean + gauss(rng) * 0.08).clamp(0.05, 0.6);
+                out.push(Detection { bbox, class, score });
+            }
+            budget -= 1.0;
+        }
+        out
+    }
+}
+
+fn gauss<R: Rng>(rng: &mut R) -> f32 {
+    // Box–Muller, single sample.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sketchql_trajectory::{TrajPoint, Trajectory};
+
+    fn truth_clip() -> Clip {
+        let t = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..60)
+                .map(|f| TrajPoint::new(f, BBox::new(100.0 + f as f32 * 5.0, 300.0, 60.0, 40.0)))
+                .collect(),
+        );
+        Clip::new(1280.0, 720.0, vec![t])
+    }
+
+    #[test]
+    fn perfect_detector_reproduces_truth() {
+        let sim = DetectorSim::new(DetectorConfig::perfect());
+        let mut rng = StdRng::seed_from_u64(1);
+        let dets = sim.detect_clip(&truth_clip(), 60, &mut rng);
+        assert_eq!(dets.len(), 60);
+        for (f, frame) in dets.iter().enumerate() {
+            assert_eq!(frame.len(), 1, "frame {f}");
+            let d = frame[0];
+            assert!((d.bbox.cx - (100.0 + f as f32 * 5.0)).abs() < 1e-4);
+            assert!(d.score > 0.8);
+            assert_eq!(d.class, ObjectClass::Car);
+        }
+    }
+
+    #[test]
+    fn default_detector_misses_some_frames() {
+        let sim = DetectorSim::new(DetectorConfig {
+            miss_prob: 0.3,
+            fp_rate: 0.0,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let dets = sim.detect_clip(&truth_clip(), 60, &mut rng);
+        let present = dets.iter().filter(|f| !f.is_empty()).count();
+        assert!(present < 60, "expected some misses");
+        assert!(present > 25, "but not everything");
+    }
+
+    #[test]
+    fn false_positives_appear_at_expected_rate() {
+        let sim = DetectorSim::new(DetectorConfig {
+            miss_prob: 1.0, // suppress true detections entirely
+            fp_rate: 0.5,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let dets = sim.detect_clip(&truth_clip(), 400, &mut rng);
+        let fp_total: usize = dets.iter().map(Vec::len).sum();
+        let rate = fp_total as f64 / 400.0;
+        assert!((rate - 0.5).abs() < 0.15, "fp rate {rate}");
+        // FPs carry low scores.
+        for frame in &dets {
+            for d in frame {
+                assert!(d.score <= 0.6);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_scales_with_box_size() {
+        let cfg = DetectorConfig {
+            center_jitter: 0.1,
+            size_jitter: 0.0,
+            miss_prob: 0.0,
+            fp_rate: 0.0,
+            ..Default::default()
+        };
+        let sim = DetectorSim::new(cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let dets = sim.detect_clip(&truth_clip(), 60, &mut rng);
+        let mut devs = Vec::new();
+        for (f, frame) in dets.iter().enumerate() {
+            let d = frame[0];
+            devs.push((d.bbox.cx - (100.0 + f as f32 * 5.0)).abs());
+        }
+        let mean_dev: f32 = devs.iter().sum::<f32>() / devs.len() as f32;
+        // 0.1 * 60 px box → ~6 px sigma, mean |N(0,6)| ≈ 4.8.
+        assert!(mean_dev > 1.0 && mean_dev < 12.0, "mean dev {mean_dev}");
+    }
+
+    #[test]
+    fn low_conf_detections_exist_under_default_config() {
+        let sim = DetectorSim::new(DetectorConfig {
+            low_conf_prob: 0.5,
+            fp_rate: 0.0,
+            miss_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let dets = sim.detect_clip(&truth_clip(), 100, &mut rng);
+        let low = dets.iter().flatten().filter(|d| d.score < 0.6).count();
+        let high = dets.iter().flatten().filter(|d| d.score >= 0.6).count();
+        assert!(low > 20, "low-conf {low}");
+        assert!(high > 20, "high-conf {high}");
+    }
+
+    #[test]
+    fn noise_level_scaling() {
+        let l0 = DetectorConfig::at_noise_level(0.0);
+        assert_eq!(l0.miss_prob, 0.0);
+        assert_eq!(l0.center_jitter, 0.0);
+        let l2 = DetectorConfig::at_noise_level(2.0);
+        let l1 = DetectorConfig::at_noise_level(1.0);
+        assert!(l2.miss_prob > l1.miss_prob);
+        assert!(l2.fp_rate > l1.fp_rate);
+    }
+}

@@ -1,0 +1,241 @@
+//! Kuhn–Munkres (Hungarian) assignment.
+//!
+//! ByteTrack associates detections to tracks by solving a min-cost bipartite
+//! assignment over an IoU-based cost matrix. This is the standard O(n³)
+//! potentials-based implementation, generalized to rectangular matrices by
+//! padding, with a post-filter that discards pairings above a cost
+//! threshold (non-assignments).
+
+// Index arithmetic is clearer than iterator adapters in this kernel.
+#![allow(clippy::needless_range_loop)]
+
+/// Solves min-cost assignment on a `rows x cols` cost matrix.
+///
+/// Returns `(pairs, unmatched_rows, unmatched_cols)`, where `pairs` holds
+/// `(row, col)` assignments whose cost is at most `max_cost`. Rows/columns
+/// only matched to padding, or matched above `max_cost`, are reported
+/// unmatched.
+pub fn assign(cost: &[Vec<f32>], max_cost: f32) -> (Vec<(usize, usize)>, Vec<usize>, Vec<usize>) {
+    let rows = cost.len();
+    let cols = cost.first().map_or(0, Vec::len);
+    if rows == 0 || cols == 0 {
+        return (Vec::new(), (0..rows).collect(), (0..cols).collect());
+    }
+    let n = rows.max(cols);
+    // Large-but-finite padding cost keeps arithmetic sane.
+    let pad: f32 = {
+        let max_entry = cost
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|c| c.is_finite())
+            .fold(0.0f32, f32::max);
+        max_entry * (n as f32 + 1.0) + 1.0e3
+    };
+    let at = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            let c = cost[i][j];
+            if c.is_finite() {
+                c as f64
+            } else {
+                pad as f64 * 2.0
+            }
+        } else {
+            pad as f64
+        }
+    };
+
+    // Potentials-based Hungarian algorithm (1-indexed internals).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut pairs = Vec::new();
+    let mut row_matched = vec![false; rows];
+    let mut col_matched = vec![false; cols];
+    for j in 1..=n {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (r, c) = (i - 1, j - 1);
+        if r < rows && c < cols && cost[r][c].is_finite() && cost[r][c] <= max_cost {
+            pairs.push((r, c));
+            row_matched[r] = true;
+            col_matched[c] = true;
+        }
+    }
+    pairs.sort_unstable();
+    let unmatched_rows = (0..rows).filter(|&r| !row_matched[r]).collect();
+    let unmatched_cols = (0..cols).filter(|&c| !col_matched[c]).collect();
+    (pairs, unmatched_rows, unmatched_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_cost(cost: &[Vec<f32>], pairs: &[(usize, usize)]) -> f32 {
+        pairs.iter().map(|&(r, c)| cost[r][c]).sum()
+    }
+
+    #[test]
+    fn square_identity_assignment() {
+        let cost = vec![
+            vec![1.0, 10.0, 10.0],
+            vec![10.0, 1.0, 10.0],
+            vec![10.0, 10.0, 1.0],
+        ];
+        let (pairs, ur, uc) = assign(&cost, f32::INFINITY);
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2)]);
+        assert!(ur.is_empty());
+        assert!(uc.is_empty());
+    }
+
+    #[test]
+    fn finds_global_optimum_not_greedy() {
+        // Greedy would pick (0,0)=1 then be forced to (1,1)=100 → 101.
+        // Optimal is (0,1)=2 + (1,0)=2 → 4.
+        let cost = vec![vec![1.0, 2.0], vec![2.0, 100.0]];
+        let (pairs, _, _) = assign(&cost, f32::INFINITY);
+        assert_eq!(total_cost(&cost, &pairs), 4.0);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let cost = vec![vec![5.0, 1.0], vec![1.0, 5.0], vec![2.0, 2.0]];
+        let (pairs, ur, uc) = assign(&cost, f32::INFINITY);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(ur.len(), 1);
+        assert!(uc.is_empty());
+        assert_eq!(total_cost(&cost, &pairs), 2.0);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let cost = vec![vec![3.0, 1.0, 2.0]];
+        let (pairs, ur, uc) = assign(&cost, f32::INFINITY);
+        assert_eq!(pairs, vec![(0, 1)]);
+        assert!(ur.is_empty());
+        assert_eq!(uc, vec![0, 2]);
+    }
+
+    #[test]
+    fn max_cost_filters_bad_pairs() {
+        let cost = vec![vec![0.2, 9.0], vec![9.0, 8.0]];
+        let (pairs, ur, uc) = assign(&cost, 1.0);
+        assert_eq!(pairs, vec![(0, 0)]);
+        assert_eq!(ur, vec![1]);
+        assert_eq!(uc, vec![1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (pairs, ur, uc) = assign(&[], f32::INFINITY);
+        assert!(pairs.is_empty() && ur.is_empty() && uc.is_empty());
+        let cost: Vec<Vec<f32>> = vec![vec![]];
+        let (pairs, ur, uc) = assign(&cost, f32::INFINITY);
+        assert!(pairs.is_empty());
+        assert_eq!(ur, vec![0]);
+        assert!(uc.is_empty());
+    }
+
+    #[test]
+    fn infinite_costs_are_never_assigned() {
+        let cost = vec![vec![f32::INFINITY, 1.0], vec![1.0, f32::INFINITY]];
+        let (pairs, _, _) = assign(&cost, f32::INFINITY);
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+        // Fully infeasible row:
+        let cost = vec![vec![f32::INFINITY], vec![0.5]];
+        let (pairs, ur, _) = assign(&cost, 10.0);
+        assert_eq!(pairs, vec![(1, 0)]);
+        assert_eq!(ur, vec![0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=5);
+            let cost: Vec<Vec<f32>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0f32)).collect())
+                .collect();
+            let (pairs, _, _) = assign(&cost, f32::INFINITY);
+            let ours = total_cost(&cost, &pairs);
+            // Brute force over permutations.
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut best = f32::INFINITY;
+            permute(&mut perm, 0, &mut |p| {
+                let c: f32 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+                if c < best {
+                    best = c;
+                }
+            });
+            assert!(
+                (ours - best).abs() < 1e-3,
+                "hungarian {ours} vs brute {best}"
+            );
+        }
+    }
+
+    fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Constant-velocity Kalman filter over bounding boxes, following the
+//! state parameterization used by SORT/ByteTrack: the state is
+//! `[cx, cy, a, h, vcx, vcy, va, vh]` where `a` is the aspect ratio `w/h`
+//! and `h` the box height; the measurement is `[cx, cy, a, h]`.
+
+// Index arithmetic is clearer than iterator adapters in these numeric
+// kernels.
+#![allow(clippy::needless_range_loop)]
+
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::BBox;
+
+const DIM: usize = 8;
+const MEAS: usize = 4;
+
+/// Standard-deviation weights relative to box height (ByteTrack defaults).
+const STD_WEIGHT_POSITION: f32 = 1.0 / 20.0;
+const STD_WEIGHT_VELOCITY: f32 = 1.0 / 160.0;
+
+type Mat8 = [[f32; DIM]; DIM];
+type Vec8 = [f32; DIM];
+
+fn mat_identity() -> Mat8 {
+    let mut m = [[0.0; DIM]; DIM];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+fn mat_mul(a: &Mat8, b: &Mat8) -> Mat8 {
+    let mut out = [[0.0; DIM]; DIM];
+    for i in 0..DIM {
+        for k in 0..DIM {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..DIM {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn mat_vec(a: &Mat8, v: &Vec8) -> Vec8 {
+    let mut out = [0.0; DIM];
+    for i in 0..DIM {
+        for j in 0..DIM {
+            out[i] += a[i][j] * v[j];
+        }
+    }
+    out
+}
+
+fn transpose(a: &Mat8) -> Mat8 {
+    let mut out = [[0.0; DIM]; DIM];
+    for i in 0..DIM {
+        for j in 0..DIM {
+            out[j][i] = a[i][j];
+        }
+    }
+    out
+}
+
+/// Inverts a 4x4 symmetric positive-definite matrix via Cholesky.
+fn inv4(s: &[[f32; MEAS]; MEAS]) -> [[f32; MEAS]; MEAS] {
+    // Cholesky decomposition S = L L^T.
+    let mut l = [[0.0f32; MEAS]; MEAS];
+    for i in 0..MEAS {
+        for j in 0..=i {
+            let mut sum = s[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                l[i][j] = sum.max(1e-12).sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    // Invert L (lower triangular).
+    let mut li = [[0.0f32; MEAS]; MEAS];
+    for i in 0..MEAS {
+        li[i][i] = 1.0 / l[i][i];
+        for j in 0..i {
+            let mut sum = 0.0;
+            for k in j..i {
+                sum -= l[i][k] * li[k][j];
+            }
+            li[i][j] = sum / l[i][i];
+        }
+    }
+    // S^-1 = L^-T L^-1.
+    let mut out = [[0.0f32; MEAS]; MEAS];
+    for i in 0..MEAS {
+        for j in 0..MEAS {
+            let mut sum = 0.0;
+            for k in 0..MEAS {
+                sum += li[k][i] * li[k][j];
+            }
+            out[i][j] = sum;
+        }
+    }
+    out
+}
+
+/// A constant-velocity Kalman filter tracking one bounding box.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KalmanBoxTracker {
+    mean: Vec8,
+    #[serde(with = "serde_mat8")]
+    covariance: Mat8,
+}
+
+mod serde_mat8 {
+    use super::{Mat8, DIM};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(m: &Mat8, s: S) -> Result<S::Ok, S::Error> {
+        let flat: Vec<f32> = m.iter().flatten().copied().collect();
+        flat.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Mat8, D::Error> {
+        let flat: Vec<f32> = Vec::deserialize(d)?;
+        let mut m = [[0.0; DIM]; DIM];
+        for i in 0..DIM {
+            for j in 0..DIM {
+                m[i][j] = flat[i * DIM + j];
+            }
+        }
+        Ok(m)
+    }
+}
+
+fn measurement_of(bbox: &BBox) -> [f32; MEAS] {
+    [bbox.cx, bbox.cy, bbox.aspect(), bbox.h]
+}
+
+fn bbox_of(mean: &Vec8) -> BBox {
+    let h = mean[3].max(1e-3);
+    let a = mean[2].max(1e-3);
+    BBox::new(mean[0], mean[1], a * h, h)
+}
+
+impl KalmanBoxTracker {
+    /// Initializes the filter from a first measurement.
+    pub fn new(bbox: &BBox) -> Self {
+        let z = measurement_of(bbox);
+        let mut mean = [0.0; DIM];
+        mean[..MEAS].copy_from_slice(&z);
+        let h = bbox.h.max(1.0);
+        let mut covariance = [[0.0; DIM]; DIM];
+        let stds = [
+            2.0 * STD_WEIGHT_POSITION * h,
+            2.0 * STD_WEIGHT_POSITION * h,
+            1e-2,
+            2.0 * STD_WEIGHT_POSITION * h,
+            10.0 * STD_WEIGHT_VELOCITY * h,
+            10.0 * STD_WEIGHT_VELOCITY * h,
+            1e-5,
+            10.0 * STD_WEIGHT_VELOCITY * h,
+        ];
+        for i in 0..DIM {
+            covariance[i][i] = stds[i] * stds[i];
+        }
+        KalmanBoxTracker { mean, covariance }
+    }
+
+    /// Time update: advances the state one frame under constant velocity.
+    pub fn predict(&mut self) {
+        // F = I with dt=1 coupling position to velocity.
+        let mut f = mat_identity();
+        for i in 0..MEAS {
+            f[i][i + MEAS] = 1.0;
+        }
+        self.mean = mat_vec(&f, &self.mean);
+        let h = self.mean[3].max(1.0);
+        let mut q = [[0.0; DIM]; DIM];
+        let stds = [
+            STD_WEIGHT_POSITION * h,
+            STD_WEIGHT_POSITION * h,
+            1e-2,
+            STD_WEIGHT_POSITION * h,
+            STD_WEIGHT_VELOCITY * h,
+            STD_WEIGHT_VELOCITY * h,
+            1e-5,
+            STD_WEIGHT_VELOCITY * h,
+        ];
+        for i in 0..DIM {
+            q[i][i] = stds[i] * stds[i];
+        }
+        let fp = mat_mul(&f, &self.covariance);
+        let mut p = mat_mul(&fp, &transpose(&f));
+        for i in 0..DIM {
+            for j in 0..DIM {
+                p[i][j] += q[i][j];
+            }
+        }
+        self.covariance = p;
+    }
+
+    /// Measurement update with an observed box.
+    pub fn update(&mut self, bbox: &BBox) {
+        let z = measurement_of(bbox);
+        let h_meas = self.mean[3].max(1.0);
+        // Measurement noise R.
+        let r_stds = [
+            STD_WEIGHT_POSITION * h_meas,
+            STD_WEIGHT_POSITION * h_meas,
+            1e-1,
+            STD_WEIGHT_POSITION * h_meas,
+        ];
+        // Innovation covariance S = H P H^T + R (H selects first 4 dims).
+        let mut s = [[0.0f32; MEAS]; MEAS];
+        for i in 0..MEAS {
+            for j in 0..MEAS {
+                s[i][j] = self.covariance[i][j];
+            }
+            s[i][i] += r_stds[i] * r_stds[i];
+        }
+        let s_inv = inv4(&s);
+        // Kalman gain K = P H^T S^-1 (DIM x MEAS).
+        let mut k = [[0.0f32; MEAS]; DIM];
+        for i in 0..DIM {
+            for j in 0..MEAS {
+                let mut sum = 0.0;
+                for m in 0..MEAS {
+                    sum += self.covariance[i][m] * s_inv[m][j];
+                }
+                k[i][j] = sum;
+            }
+        }
+        // Innovation y = z - H x.
+        let mut y = [0.0f32; MEAS];
+        for i in 0..MEAS {
+            y[i] = z[i] - self.mean[i];
+        }
+        // State update.
+        for i in 0..DIM {
+            for j in 0..MEAS {
+                self.mean[i] += k[i][j] * y[j];
+            }
+        }
+        // Covariance update P = (I - K H) P.
+        let mut ikh = mat_identity();
+        for i in 0..DIM {
+            for j in 0..MEAS {
+                ikh[i][j] -= k[i][j];
+            }
+        }
+        self.covariance = mat_mul(&ikh, &self.covariance);
+    }
+
+    /// The current state as a bounding box.
+    pub fn bbox(&self) -> BBox {
+        bbox_of(&self.mean)
+    }
+
+    /// Estimated center velocity (px/frame).
+    pub fn velocity(&self) -> (f32, f32) {
+        (self.mean[4], self.mean[5])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_reproduces_measurement() {
+        let b = BBox::new(100.0, 50.0, 40.0, 20.0);
+        let kf = KalmanBoxTracker::new(&b);
+        let out = kf.bbox();
+        assert!((out.cx - 100.0).abs() < 1e-3);
+        assert!((out.cy - 50.0).abs() < 1e-3);
+        assert!((out.w - 40.0).abs() < 1e-2);
+        assert!((out.h - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tracks_constant_velocity_motion() {
+        let mut kf = KalmanBoxTracker::new(&BBox::new(0.0, 0.0, 40.0, 20.0));
+        // Feed measurements moving +3 px/frame in x.
+        for f in 1..40 {
+            kf.predict();
+            kf.update(&BBox::new(f as f32 * 3.0, 0.0, 40.0, 20.0));
+        }
+        // After convergence, prediction should anticipate motion.
+        kf.predict();
+        let pred = kf.bbox();
+        assert!((pred.cx - 40.0 * 3.0).abs() < 1.5, "predicted {}", pred.cx);
+        let (vx, vy) = kf.velocity();
+        assert!((vx - 3.0).abs() < 0.5, "vx {vx}");
+        assert!(vy.abs() < 0.5);
+    }
+
+    #[test]
+    fn coasting_continues_along_velocity() {
+        let mut kf = KalmanBoxTracker::new(&BBox::new(0.0, 0.0, 40.0, 20.0));
+        for f in 1..30 {
+            kf.predict();
+            kf.update(&BBox::new(f as f32 * 2.0, f as f32, 40.0, 20.0));
+        }
+        let before = kf.bbox();
+        // Coast 5 frames with no measurements.
+        for _ in 0..5 {
+            kf.predict();
+        }
+        let after = kf.bbox();
+        assert!(after.cx > before.cx + 5.0, "should keep moving in x");
+        assert!(after.cy > before.cy + 2.0, "should keep moving in y");
+    }
+
+    #[test]
+    fn update_pulls_state_toward_measurement() {
+        let mut kf = KalmanBoxTracker::new(&BBox::new(0.0, 0.0, 40.0, 20.0));
+        kf.predict();
+        kf.update(&BBox::new(10.0, 0.0, 40.0, 20.0));
+        let b = kf.bbox();
+        assert!(b.cx > 0.5 && b.cx <= 10.0, "cx {}", b.cx);
+    }
+
+    #[test]
+    fn noisy_measurements_are_smoothed() {
+        let mut kf = KalmanBoxTracker::new(&BBox::new(0.0, 0.0, 40.0, 20.0));
+        // Alternate +/- 5 px noise around a fixed position.
+        let mut estimates = Vec::new();
+        for f in 1..60 {
+            kf.predict();
+            let noise = if f % 2 == 0 { 5.0 } else { -5.0 };
+            kf.update(&BBox::new(100.0 + noise, 0.0, 40.0, 20.0));
+            estimates.push(kf.bbox().cx);
+        }
+        // Late estimates should be much closer to 100 than the raw +/-5.
+        let late: Vec<f32> = estimates[40..].to_vec();
+        for e in late {
+            assert!((e - 100.0).abs() < 4.0, "estimate {e}");
+        }
+    }
+
+    #[test]
+    fn aspect_is_preserved() {
+        let mut kf = KalmanBoxTracker::new(&BBox::new(0.0, 0.0, 60.0, 20.0));
+        for _ in 0..10 {
+            kf.predict();
+            kf.update(&BBox::new(0.0, 0.0, 60.0, 20.0));
+        }
+        let b = kf.bbox();
+        assert!((b.aspect() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn inv4_inverts_spd_matrix() {
+        let s = [
+            [4.0, 1.0, 0.5, 0.0],
+            [1.0, 3.0, 0.2, 0.1],
+            [0.5, 0.2, 2.0, 0.3],
+            [0.0, 0.1, 0.3, 1.5],
+        ];
+        let si = inv4(&s);
+        // s @ si ≈ I.
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut sum = 0.0;
+                for k in 0..4 {
+                    sum += s[i][k] * si[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((sum - expect).abs() < 1e-4, "({i},{j}) = {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut kf = KalmanBoxTracker::new(&BBox::new(5.0, 6.0, 30.0, 15.0));
+        kf.predict();
+        kf.update(&BBox::new(6.0, 6.5, 30.0, 15.0));
+        let json = serde_json::to_string(&kf).unwrap();
+        let back: KalmanBoxTracker = serde_json::from_str(&json).unwrap();
+        assert_eq!(kf.bbox(), back.bbox());
+    }
+}

@@ -1,0 +1,179 @@
+//! Tracking quality metrics (a MOTA-style subset).
+//!
+//! Used by tests to assert the tracker actually tracks, and by the
+//! robustness experiments (T3) to report how much tracking degradation the
+//! learned similarity survives.
+
+use sketchql_trajectory::{Clip, Trajectory};
+
+/// Minimum IoU for a tracked box to count as covering a ground-truth box.
+pub const MATCH_IOU: f32 = 0.5;
+
+/// Summary of how well a set of tracks reproduces a ground-truth clip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingReport {
+    /// Fraction of ground-truth (object, frame) boxes covered by some track.
+    pub coverage: f32,
+    /// Total identity switches across ground-truth objects (the matched
+    /// track id changed between consecutive covered frames).
+    pub id_switches: usize,
+    /// Sum over ground-truth objects of `(distinct matched tracks - 1)`.
+    pub fragmentation: usize,
+    /// Fraction of tracked boxes that match some ground-truth box
+    /// (1 - false-track rate).
+    pub precision: f32,
+}
+
+/// Compares tracker output against the ground-truth clip it was derived
+/// from.
+pub fn evaluate_tracking(truth: &Clip, tracks: &[Trajectory]) -> TrackingReport {
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    let mut id_switches = 0usize;
+    let mut fragmentation = 0usize;
+
+    for gt in &truth.objects {
+        let mut last_id: Option<u64> = None;
+        let mut seen_ids = std::collections::HashSet::new();
+        for p in gt.points() {
+            total += 1;
+            // Best matching track box at this frame.
+            let mut best: Option<(u64, f32)> = None;
+            for tr in tracks {
+                if let Some(bb) = tr.bbox_at(p.frame) {
+                    let iou = bb.iou(&p.bbox);
+                    if iou >= MATCH_IOU && best.is_none_or(|(_, b)| iou > b) {
+                        best = Some((tr.id, iou));
+                    }
+                }
+            }
+            if let Some((id, _)) = best {
+                covered += 1;
+                if let Some(prev) = last_id {
+                    if prev != id {
+                        id_switches += 1;
+                    }
+                }
+                last_id = Some(id);
+                seen_ids.insert(id);
+            }
+        }
+        fragmentation += seen_ids.len().saturating_sub(1);
+    }
+
+    // Precision: tracked boxes that correspond to some GT box.
+    let mut matched_track_boxes = 0usize;
+    let mut total_track_boxes = 0usize;
+    for tr in tracks {
+        for p in tr.points() {
+            total_track_boxes += 1;
+            let hit = truth.objects.iter().any(|gt| {
+                gt.bbox_at(p.frame)
+                    .is_some_and(|bb| bb.iou(&p.bbox) >= MATCH_IOU)
+            });
+            if hit {
+                matched_track_boxes += 1;
+            }
+        }
+    }
+
+    TrackingReport {
+        coverage: if total == 0 {
+            0.0
+        } else {
+            covered as f32 / total as f32
+        },
+        id_switches,
+        fragmentation,
+        precision: if total_track_boxes == 0 {
+            0.0
+        } else {
+            matched_track_boxes as f32 / total_track_boxes as f32
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchql_trajectory::{BBox, ObjectClass, TrajPoint};
+
+    fn gt_clip() -> Clip {
+        let t = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..30)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32 * 4.0, 100.0, 40.0, 20.0)))
+                .collect(),
+        );
+        Clip::new(1280.0, 720.0, vec![t])
+    }
+
+    #[test]
+    fn perfect_tracking_scores_perfectly() {
+        let truth = gt_clip();
+        let tracks = vec![truth.objects[0].clone()];
+        let r = evaluate_tracking(&truth, &tracks);
+        assert_eq!(r.coverage, 1.0);
+        assert_eq!(r.id_switches, 0);
+        assert_eq!(r.fragmentation, 0);
+        assert_eq!(r.precision, 1.0);
+    }
+
+    #[test]
+    fn missing_tracks_lower_coverage() {
+        let truth = gt_clip();
+        let r = evaluate_tracking(&truth, &[]);
+        assert_eq!(r.coverage, 0.0);
+    }
+
+    #[test]
+    fn split_track_counts_switch_and_fragment() {
+        let truth = gt_clip();
+        let gt = &truth.objects[0];
+        let first = Trajectory::from_points(10, ObjectClass::Car, gt.points()[..15].to_vec());
+        let second = Trajectory::from_points(11, ObjectClass::Car, gt.points()[15..].to_vec());
+        let r = evaluate_tracking(&truth, &[first, second]);
+        assert_eq!(r.coverage, 1.0);
+        assert_eq!(r.id_switches, 1);
+        assert_eq!(r.fragmentation, 1);
+    }
+
+    #[test]
+    fn false_tracks_lower_precision() {
+        let truth = gt_clip();
+        let ghost = Trajectory::from_points(
+            99,
+            ObjectClass::Car,
+            (0..30)
+                .map(|f| TrajPoint::new(f, BBox::new(1000.0, 600.0, 40.0, 20.0)))
+                .collect(),
+        );
+        let tracks = vec![truth.objects[0].clone(), ghost];
+        let r = evaluate_tracking(&truth, &tracks);
+        assert!((r.precision - 0.5).abs() < 1e-5);
+        assert_eq!(r.coverage, 1.0);
+    }
+
+    #[test]
+    fn offset_boxes_below_iou_do_not_count() {
+        let truth = gt_clip();
+        let shifted = Trajectory::from_points(
+            5,
+            ObjectClass::Car,
+            truth.objects[0]
+                .points()
+                .iter()
+                .map(|p| {
+                    TrajPoint::new(
+                        p.frame,
+                        p.bbox
+                            .translated(sketchql_trajectory::Point2::new(35.0, 0.0)),
+                    )
+                })
+                .collect(),
+        );
+        let r = evaluate_tracking(&truth, &[shifted]);
+        assert_eq!(r.coverage, 0.0);
+    }
+}

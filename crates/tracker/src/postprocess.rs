@@ -1,0 +1,213 @@
+//! Track post-processing: gap interpolation and fragment stitching.
+//!
+//! The ByteTrack paper applies linear interpolation to tracker output as a
+//! final step (occluded stretches produce gaps even after low-confidence
+//! rescue). We add a conservative *fragment stitcher* on top: two tracks of
+//! the same class whose endpoints line up in time and space (under a
+//! constant-velocity extrapolation) are merged — undoing the id splits
+//! long occlusions cause, which otherwise fragment the trajectories the
+//! Matcher searches over.
+
+use serde::{Deserialize, Serialize};
+use sketchql_trajectory::{TrajPoint, Trajectory};
+
+/// Parameters of the fragment stitcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StitchConfig {
+    /// Maximum frame gap between a track's end and another's start.
+    pub max_gap: u32,
+    /// Maximum positional error (in units of the earlier track's box
+    /// diagonal) between the extrapolated end position and the later
+    /// track's start.
+    pub max_position_error: f32,
+}
+
+impl Default for StitchConfig {
+    fn default() -> Self {
+        StitchConfig { max_gap: 45, max_position_error: 2.0 }
+    }
+}
+
+/// Fills every track's internal gaps by linear interpolation (ByteTrack's
+/// post-processing step).
+pub fn interpolate_tracks(tracks: &[Trajectory]) -> Vec<Trajectory> {
+    tracks.iter().map(Trajectory::fill_gaps).collect()
+}
+
+/// Whether `later` plausibly continues `earlier`.
+fn stitchable(earlier: &Trajectory, later: &Trajectory, config: &StitchConfig) -> bool {
+    if earlier.class != later.class {
+        return false;
+    }
+    let (Some(e_end), Some(l_start)) = (earlier.end_frame(), later.start_frame()) else {
+        return false;
+    };
+    if l_start <= e_end || l_start - e_end > config.max_gap {
+        return false;
+    }
+    let pts = earlier.points();
+    let last = pts.last().expect("non-empty");
+    // Constant-velocity extrapolation from the earlier track's tail.
+    let vel = if pts.len() >= 2 {
+        let prev = &pts[pts.len() - 2];
+        let dt = (last.frame - prev.frame).max(1) as f32;
+        (last.bbox.center() - prev.bbox.center()) * (1.0 / dt)
+    } else {
+        sketchql_trajectory::Point2::ZERO
+    };
+    let dt = (l_start - e_end) as f32;
+    let predicted = last.bbox.center() + vel * dt;
+    let actual = later.points().first().expect("non-empty").bbox.center();
+    let scale = (last.bbox.w * last.bbox.w + last.bbox.h * last.bbox.h).sqrt().max(1.0);
+    predicted.distance(&actual) <= config.max_position_error * scale
+}
+
+/// Merges plausibly-continuing fragments (greedy, earliest-first). The
+/// merged track keeps the earlier fragment's id and bridges the gap via
+/// linear interpolation.
+pub fn stitch_fragments(tracks: &[Trajectory], config: &StitchConfig) -> Vec<Trajectory> {
+    let mut sorted: Vec<Trajectory> = tracks.to_vec();
+    sorted.sort_by_key(|t| (t.start_frame().unwrap_or(0), t.id));
+    let mut consumed = vec![false; sorted.len()];
+    let mut out = Vec::with_capacity(sorted.len());
+
+    for i in 0..sorted.len() {
+        if consumed[i] {
+            continue;
+        }
+        let mut current = sorted[i].clone();
+        loop {
+            // Earliest-starting stitchable continuation.
+            let mut next: Option<usize> = None;
+            for (j, cand) in sorted.iter().enumerate() {
+                if consumed[j] || j == i {
+                    continue;
+                }
+                if stitchable(&current, cand, config) {
+                    let better = match next {
+                        None => true,
+                        Some(k) => cand.start_frame() < sorted[k].start_frame(),
+                    };
+                    if better {
+                        next = Some(j);
+                    }
+                }
+            }
+            let Some(j) = next else {
+                break;
+            };
+            consumed[j] = true;
+            let mut pts: Vec<TrajPoint> = current.points().to_vec();
+            pts.extend(sorted[j].points().iter().copied());
+            current = Trajectory::from_points(current.id, current.class, pts).fill_gaps();
+        }
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchql_trajectory::{BBox, ObjectClass};
+
+    fn seg(id: u64, class: ObjectClass, frames: std::ops::Range<u32>, speed: f32) -> Trajectory {
+        Trajectory::from_points(
+            id,
+            class,
+            frames
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32 * speed, 300.0, 60.0, 35.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn interpolation_densifies_all_tracks() {
+        let sparse = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            vec![
+                TrajPoint::new(0, BBox::new(0.0, 0.0, 10.0, 10.0)),
+                TrajPoint::new(10, BBox::new(100.0, 0.0, 10.0, 10.0)),
+            ],
+        );
+        let out = interpolate_tracks(&[sparse]);
+        assert_eq!(out[0].len(), 11);
+        assert_eq!(out[0].max_gap(), 1);
+    }
+
+    #[test]
+    fn continuing_fragments_are_stitched() {
+        // One car split into two fragments with a 20-frame occlusion gap.
+        let a = seg(1, ObjectClass::Car, 0..50, 5.0);
+        let b = seg(2, ObjectClass::Car, 70..120, 5.0);
+        let out = stitch_fragments(&[a, b], &StitchConfig::default());
+        assert_eq!(out.len(), 1, "fragments should merge");
+        let t = &out[0];
+        assert_eq!(t.id, 1, "keeps the earlier id");
+        assert_eq!(t.start_frame(), Some(0));
+        assert_eq!(t.end_frame(), Some(119));
+        assert_eq!(t.max_gap(), 1, "gap interpolated");
+        // The bridged boxes continue the motion.
+        let mid = t.bbox_at(60).unwrap();
+        assert!((mid.cx - 300.0).abs() < 10.0, "bridge at 60: {}", mid.cx);
+    }
+
+    #[test]
+    fn unrelated_tracks_are_not_stitched() {
+        // Same class, compatible timing, but the later track starts far
+        // from the extrapolated position.
+        let a = seg(1, ObjectClass::Car, 0..50, 5.0);
+        let far = Trajectory::from_points(
+            2,
+            ObjectClass::Car,
+            (70..120)
+                .map(|f| TrajPoint::new(f, BBox::new(2000.0, 600.0, 60.0, 35.0)))
+                .collect(),
+        );
+        let out = stitch_fragments(&[a, far], &StitchConfig::default());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn cross_class_fragments_never_merge() {
+        let a = seg(1, ObjectClass::Car, 0..50, 5.0);
+        let b = seg(2, ObjectClass::Person, 60..100, 5.0);
+        let out = stitch_fragments(&[a, b], &StitchConfig::default());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn gap_beyond_budget_is_not_bridged() {
+        let a = seg(1, ObjectClass::Car, 0..50, 5.0);
+        let b = seg(2, ObjectClass::Car, 150..200, 5.0);
+        let cfg = StitchConfig { max_gap: 45, ..Default::default() };
+        let out = stitch_fragments(&[a, b], &cfg);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn chains_of_fragments_merge_transitively() {
+        let a = seg(1, ObjectClass::Car, 0..40, 5.0);
+        let b = seg(2, ObjectClass::Car, 55..95, 5.0);
+        let c = seg(3, ObjectClass::Car, 110..150, 5.0);
+        let out = stitch_fragments(&[a, b, c], &StitchConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].span(), 150);
+    }
+
+    #[test]
+    fn overlapping_tracks_are_left_alone() {
+        // Two cars side by side at the same time: must not merge.
+        let a = seg(1, ObjectClass::Car, 0..100, 5.0);
+        let b = Trajectory::from_points(
+            2,
+            ObjectClass::Car,
+            (0..100)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32 * 5.0, 400.0, 60.0, 35.0)))
+                .collect(),
+        );
+        let out = stitch_fragments(&[a, b], &StitchConfig::default());
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for assignment optimality, Kalman sanity, and
+//! tracker robustness under arbitrary detection streams.
+
+use proptest::prelude::*;
+use sketchql_tracker::{hungarian, track_detections, Detection, KalmanBoxTracker, TrackerConfig};
+use sketchql_trajectory::{BBox, ObjectClass};
+
+fn arb_cost(n: usize, m: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(0.0f32..10.0, m), n)
+}
+
+fn arb_detection() -> impl Strategy<Value = Detection> {
+    (
+        0.0f32..1280.0,
+        0.0f32..720.0,
+        5.0f32..120.0,
+        5.0f32..120.0,
+        0.05f32..1.0,
+        prop::bool::ANY,
+    )
+        .prop_map(|(cx, cy, w, h, score, car)| Detection {
+            bbox: BBox::new(cx, cy, w, h),
+            class: if car {
+                ObjectClass::Car
+            } else {
+                ObjectClass::Person
+            },
+            score,
+        })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_never_exceeds_identity_assignment(cost in arb_cost(5, 5)) {
+        let (pairs, _, _) = hungarian::assign(&cost, f32::INFINITY);
+        let ours: f32 = pairs.iter().map(|&(r, c)| cost[r][c]).sum();
+        let identity: f32 = (0..5).map(|i| cost[i][i]).sum();
+        prop_assert!(ours <= identity + 1e-3, "{ours} > identity {identity}");
+    }
+
+    #[test]
+    fn hungarian_assignment_is_a_matching(cost in arb_cost(4, 7)) {
+        let (pairs, unmatched_rows, unmatched_cols) = hungarian::assign(&cost, f32::INFINITY);
+        let rows: std::collections::HashSet<_> = pairs.iter().map(|p| p.0).collect();
+        let cols: std::collections::HashSet<_> = pairs.iter().map(|p| p.1).collect();
+        prop_assert_eq!(rows.len(), pairs.len(), "duplicate rows");
+        prop_assert_eq!(cols.len(), pairs.len(), "duplicate cols");
+        prop_assert_eq!(pairs.len() + unmatched_rows.len(), 4);
+        prop_assert_eq!(pairs.len() + unmatched_cols.len(), 7);
+    }
+
+    #[test]
+    fn hungarian_max_cost_is_respected(cost in arb_cost(4, 4), thresh in 0.0f32..10.0) {
+        let (pairs, _, _) = hungarian::assign(&cost, thresh);
+        for &(r, c) in &pairs {
+            prop_assert!(cost[r][c] <= thresh);
+        }
+    }
+
+    #[test]
+    fn kalman_stays_finite_under_random_measurements(
+        boxes in prop::collection::vec((0.0f32..1000.0, 0.0f32..1000.0, 1.0f32..200.0, 1.0f32..200.0), 1..40)
+    ) {
+        let first = BBox::new(boxes[0].0, boxes[0].1, boxes[0].2, boxes[0].3);
+        let mut kf = KalmanBoxTracker::new(&first);
+        for &(cx, cy, w, h) in &boxes[1..] {
+            kf.predict();
+            kf.update(&BBox::new(cx, cy, w, h));
+            let b = kf.bbox();
+            prop_assert!(b.cx.is_finite() && b.cy.is_finite() && b.w.is_finite() && b.h.is_finite());
+            prop_assert!(b.w >= 0.0 && b.h >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kalman_update_moves_toward_measurement(
+        start_x in 0.0f32..500.0,
+        target_x in 0.0f32..500.0,
+    ) {
+        prop_assume!((start_x - target_x).abs() > 1.0);
+        let mut kf = KalmanBoxTracker::new(&BBox::new(start_x, 100.0, 40.0, 20.0));
+        kf.predict();
+        kf.update(&BBox::new(target_x, 100.0, 40.0, 20.0));
+        let after = kf.bbox().cx;
+        // Strictly between prior and measurement.
+        let lo = start_x.min(target_x) - 1e-3;
+        let hi = start_x.max(target_x) + 1e-3;
+        prop_assert!((lo..=hi).contains(&after), "estimate {after} outside [{lo}, {hi}]");
+        prop_assert!((after - target_x).abs() < (start_x - target_x).abs());
+    }
+
+    #[test]
+    fn tracker_never_panics_and_outputs_are_wellformed(
+        frames in prop::collection::vec(prop::collection::vec(arb_detection(), 0..6), 1..60)
+    ) {
+        let tracks = track_detections(&frames, TrackerConfig::default(), 1);
+        let mut seen_ids = std::collections::HashSet::new();
+        for t in &tracks {
+            prop_assert!(seen_ids.insert(t.id), "duplicate track id {}", t.id);
+            prop_assert!(!t.is_empty());
+            // Strictly increasing frames within a track.
+            let fs: Vec<u32> = t.points().iter().map(|p| p.frame).collect();
+            prop_assert!(fs.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(*fs.last().unwrap() < frames.len() as u32);
+        }
+    }
+
+    #[test]
+    fn tracker_track_count_bounded_by_high_conf_detections(
+        frames in prop::collection::vec(prop::collection::vec(arb_detection(), 0..5), 1..40)
+    ) {
+        let cfg = TrackerConfig::default();
+        let tracks = track_detections(&frames, cfg, 1);
+        let high_dets: usize = frames
+            .iter()
+            .flatten()
+            .filter(|d| d.score >= cfg.init_thresh)
+            .count();
+        prop_assert!(tracks.len() <= high_dets, "{} tracks from {high_dets} inits", tracks.len());
+    }
+}

@@ -1,0 +1,286 @@
+//! Axis-aligned bounding boxes in screen space.
+//!
+//! SketchQL operates on per-frame object bounding boxes rather than raw
+//! pixels, so [`BBox`] is the atomic observation everywhere in the system:
+//! tracker detections, simulator camera projections, and the sketcher's
+//! canvas objects are all expressed as boxes.
+//!
+//! Boxes are stored center-based (`cx`, `cy`, `w`, `h`) because that is the
+//! natural parameterization for both the Kalman filter used in tracking and
+//! the feature vectors fed to the trajectory encoder.
+
+use crate::geom::Point2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box: center `(cx, cy)`, width `w`, height `h`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BBox {
+    /// Center x coordinate.
+    pub cx: f32,
+    /// Center y coordinate.
+    pub cy: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+}
+
+impl BBox {
+    /// Builds a box from its center and extents. Extents are clamped to be
+    /// non-negative.
+    pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> Self {
+        BBox {
+            cx,
+            cy,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
+    }
+
+    /// Builds a box from corner coordinates `(x1, y1)`..`(x2, y2)`. The
+    /// corners may be given in any order.
+    pub fn from_corners(x1: f32, y1: f32, x2: f32, y2: f32) -> Self {
+        let (lo_x, hi_x) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let (lo_y, hi_y) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        BBox::new(
+            (lo_x + hi_x) * 0.5,
+            (lo_y + hi_y) * 0.5,
+            hi_x - lo_x,
+            hi_y - lo_y,
+        )
+    }
+
+    /// Box center as a point.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        Point2::new(self.cx, self.cy)
+    }
+
+    /// Left edge x coordinate.
+    #[inline]
+    pub fn x1(&self) -> f32 {
+        self.cx - self.w * 0.5
+    }
+
+    /// Top edge y coordinate.
+    #[inline]
+    pub fn y1(&self) -> f32 {
+        self.cy - self.h * 0.5
+    }
+
+    /// Right edge x coordinate.
+    #[inline]
+    pub fn x2(&self) -> f32 {
+        self.cx + self.w * 0.5
+    }
+
+    /// Bottom edge y coordinate.
+    #[inline]
+    pub fn y2(&self) -> f32 {
+        self.cy + self.h * 0.5
+    }
+
+    /// Box area. Zero for degenerate boxes.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        self.w * self.h
+    }
+
+    /// Aspect ratio `w / h`; returns 0 when the box has no height.
+    #[inline]
+    pub fn aspect(&self) -> f32 {
+        if self.h <= f32::EPSILON {
+            0.0
+        } else {
+            self.w / self.h
+        }
+    }
+
+    /// Whether the box has strictly positive area.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.w > 0.0 && self.h > 0.0 && self.cx.is_finite() && self.cy.is_finite()
+    }
+
+    /// Intersection area with another box.
+    pub fn intersection_area(&self, other: &BBox) -> f32 {
+        let ix = (self.x2().min(other.x2()) - self.x1().max(other.x1())).max(0.0);
+        let iy = (self.y2().min(other.y2()) - self.y1().max(other.y1())).max(0.0);
+        ix * iy
+    }
+
+    /// Intersection-over-union in `[0, 1]`. Degenerate boxes yield 0.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= f32::EPSILON {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Smallest box covering both boxes.
+    pub fn union_bounds(&self, other: &BBox) -> BBox {
+        BBox::from_corners(
+            self.x1().min(other.x1()),
+            self.y1().min(other.y1()),
+            self.x2().max(other.x2()),
+            self.y2().max(other.y2()),
+        )
+    }
+
+    /// Whether a point falls inside (or on the edge of) the box.
+    pub fn contains(&self, p: &Point2) -> bool {
+        p.x >= self.x1() && p.x <= self.x2() && p.y >= self.y1() && p.y <= self.y2()
+    }
+
+    /// Translates the box by a vector.
+    pub fn translated(&self, d: Point2) -> BBox {
+        BBox::new(self.cx + d.x, self.cy + d.y, self.w, self.h)
+    }
+
+    /// Scales center and extents uniformly (used by clip normalization).
+    pub fn scaled(&self, s: f32) -> BBox {
+        BBox::new(self.cx * s, self.cy * s, self.w * s, self.h * s)
+    }
+
+    /// Clamps the box to the frame `[0, fw] x [0, fh]`, shrinking it as
+    /// needed. Returns `None` if nothing remains visible.
+    pub fn clamped(&self, fw: f32, fh: f32) -> Option<BBox> {
+        let x1 = self.x1().max(0.0);
+        let y1 = self.y1().max(0.0);
+        let x2 = self.x2().min(fw);
+        let y2 = self.y2().min(fh);
+        if x2 - x1 <= f32::EPSILON || y2 - y1 <= f32::EPSILON {
+            None
+        } else {
+            Some(BBox::from_corners(x1, y1, x2, y2))
+        }
+    }
+
+    /// Component-wise linear interpolation (used for gap filling).
+    pub fn lerp(&self, other: &BBox, t: f32) -> BBox {
+        BBox::new(
+            self.cx + (other.cx - self.cx) * t,
+            self.cy + (other.cy - self.cy) * t,
+            self.w + (other.w - self.w) * t,
+            self.h + (other.h - self.h) * t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_round_trip() {
+        let b = BBox::from_corners(10.0, 20.0, 30.0, 60.0);
+        assert_eq!(b.x1(), 10.0);
+        assert_eq!(b.y1(), 20.0);
+        assert_eq!(b.x2(), 30.0);
+        assert_eq!(b.y2(), 60.0);
+        assert_eq!(b.cx, 20.0);
+        assert_eq!(b.cy, 40.0);
+    }
+
+    #[test]
+    fn corners_accept_any_order() {
+        let b = BBox::from_corners(30.0, 60.0, 10.0, 20.0);
+        assert_eq!(b.w, 20.0);
+        assert_eq!(b.h, 40.0);
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = BBox::new(5.0, 5.0, 4.0, 4.0);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(10.0, 10.0, 2.0, 2.0);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // Two 2x2 boxes offset by 1 in x: intersection 2, union 6.
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(1.0, 0.0, 2.0, 2.0);
+        assert!((a.iou(&b) - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BBox::new(0.0, 0.0, 3.0, 2.0);
+        let b = BBox::new(1.0, 0.5, 2.0, 2.0);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_boxes_have_zero_iou() {
+        let a = BBox::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(a.iou(&a), 0.0);
+        assert!(!a.is_valid());
+    }
+
+    #[test]
+    fn union_bounds_covers_both() {
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(5.0, 5.0, 2.0, 2.0);
+        let u = a.union_bounds(&b);
+        assert!(u.iou(&a) > 0.0);
+        assert!(u.iou(&b) > 0.0);
+        assert_eq!(u.x1(), -1.0);
+        assert_eq!(u.x2(), 6.0);
+    }
+
+    #[test]
+    fn contains_center_and_corner() {
+        let b = BBox::new(0.0, 0.0, 2.0, 2.0);
+        assert!(b.contains(&Point2::new(0.0, 0.0)));
+        assert!(b.contains(&Point2::new(1.0, 1.0)));
+        assert!(!b.contains(&Point2::new(1.01, 0.0)));
+    }
+
+    #[test]
+    fn clamp_inside_frame_is_identity() {
+        let b = BBox::new(5.0, 5.0, 2.0, 2.0);
+        assert_eq!(b.clamped(10.0, 10.0), Some(b));
+    }
+
+    #[test]
+    fn clamp_partially_outside_shrinks() {
+        let b = BBox::new(0.0, 5.0, 4.0, 2.0); // spans x in [-2, 2]
+        let c = b.clamped(10.0, 10.0).unwrap();
+        assert_eq!(c.x1(), 0.0);
+        assert_eq!(c.x2(), 2.0);
+        assert_eq!(c.w, 2.0);
+    }
+
+    #[test]
+    fn clamp_fully_outside_is_none() {
+        let b = BBox::new(-10.0, -10.0, 2.0, 2.0);
+        assert_eq!(b.clamped(10.0, 10.0), None);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(10.0, 10.0, 4.0, 6.0);
+        let m = a.lerp(&b, 0.5);
+        assert_eq!(m, BBox::new(5.0, 5.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let b = BBox::new(1.0, 1.0, 2.0, 2.0);
+        let t = b.translated(Point2::new(1.0, -1.0));
+        assert_eq!(t.center(), Point2::new(2.0, 0.0));
+        let s = b.scaled(2.0);
+        assert_eq!(s, BBox::new(2.0, 2.0, 4.0, 4.0));
+    }
+}

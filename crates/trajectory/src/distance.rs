@@ -1,0 +1,515 @@
+//! Classical trajectory distance measures.
+//!
+//! These serve as the Matcher's baseline similarity functions in the
+//! experiments: the paper's claim is that a *learned* similarity (the
+//! transformer encoder trained on simulator data) is more robust to camera
+//! perspective, scale, and tracking noise than hand-crafted distances. To
+//! test that claim we need faithful implementations of the hand-crafted
+//! distances themselves.
+//!
+//! All functions operate on center paths (sequences of [`Point2`]) and are
+//! lifted to multi-object [`Clip`]s by [`clip_distance`], which averages the
+//! per-object distances after canonical normalization.
+
+use crate::clip::Clip;
+use crate::geom::Point2;
+
+/// Which classical measure to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceKind {
+    /// Mean point-wise Euclidean distance between equal-length paths.
+    Euclidean,
+    /// Dynamic time warping with Euclidean ground distance (path-length
+    /// normalized).
+    Dtw,
+    /// Discrete Fréchet distance.
+    Frechet,
+    /// Symmetric Hausdorff distance (order-insensitive).
+    Hausdorff,
+    /// Mean Euclidean over positions *and* velocity deltas; velocity makes
+    /// the measure sensitive to motion direction, not just shape.
+    EuclideanVelocity,
+    /// Longest-common-subsequence distance (1 - normalized LCSS match
+    /// count with spatial threshold [`LCSS_EPSILON`]).
+    Lcss,
+    /// Edit distance with real penalty (gap cost = distance to the
+    /// origin-of-normalized-space reference point), length-normalized.
+    Erp,
+}
+
+impl DistanceKind {
+    /// All baseline kinds, for experiment sweeps.
+    pub const ALL: &'static [DistanceKind] = &[
+        DistanceKind::Euclidean,
+        DistanceKind::Dtw,
+        DistanceKind::Frechet,
+        DistanceKind::Hausdorff,
+        DistanceKind::EuclideanVelocity,
+        DistanceKind::Lcss,
+        DistanceKind::Erp,
+    ];
+
+    /// Short machine-readable name, used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistanceKind::Euclidean => "euclidean",
+            DistanceKind::Dtw => "dtw",
+            DistanceKind::Frechet => "frechet",
+            DistanceKind::Hausdorff => "hausdorff",
+            DistanceKind::EuclideanVelocity => "euclid+vel",
+            DistanceKind::Lcss => "lcss",
+            DistanceKind::Erp => "erp",
+        }
+    }
+}
+
+/// Mean point-wise Euclidean distance. Paths must have equal length; the
+/// caller resamples first. Empty paths are infinitely far apart unless both
+/// are empty (distance 0).
+pub fn euclidean(a: &[Point2], b: &[Point2]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.len() != b.len() || a.is_empty() {
+        return f32::INFINITY;
+    }
+    let sum: f32 = a.iter().zip(b).map(|(p, q)| p.distance(q)).sum();
+    sum / a.len() as f32
+}
+
+/// Dynamic time warping distance with Euclidean ground cost, normalized by
+/// the warping path length so values are comparable across lengths.
+///
+/// O(|a|·|b|) time, O(|b|) space (two rolling rows).
+pub fn dtw(a: &[Point2], b: &[Point2]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return f32::INFINITY;
+    }
+    let m = b.len();
+    // cost[i][j] = dtw cost; steps[i][j] = length of optimal warping path.
+    let mut prev = vec![(f32::INFINITY, 0u32); m + 1];
+    let mut curr = vec![(f32::INFINITY, 0u32); m + 1];
+    prev[0] = (0.0, 0);
+    for pa in a {
+        curr[0] = (f32::INFINITY, 0);
+        for (j, pb) in b.iter().enumerate() {
+            let d = pa.distance(pb);
+            // Choose the predecessor with smallest accumulated cost.
+            let diag = prev[j];
+            let up = prev[j + 1];
+            let left = curr[j];
+            let best = if diag.0 <= up.0 && diag.0 <= left.0 {
+                diag
+            } else if up.0 <= left.0 {
+                up
+            } else {
+                left
+            };
+            curr[j + 1] = (best.0 + d, best.1 + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let (cost, steps) = prev[m];
+    if steps == 0 {
+        f32::INFINITY
+    } else {
+        cost / steps as f32
+    }
+}
+
+/// Discrete Fréchet distance (the "dog leash" distance for polylines),
+/// computed with the standard dynamic program. O(|a|·|b|) time and space.
+pub fn frechet(a: &[Point2], b: &[Point2]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return f32::INFINITY;
+    }
+    let n = a.len();
+    let m = b.len();
+    let mut ca = vec![f32::INFINITY; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let d = a[i].distance(&b[j]);
+            let v = if i == 0 && j == 0 {
+                d
+            } else if i == 0 {
+                ca[j - 1].max(d)
+            } else if j == 0 {
+                ca[(i - 1) * m].max(d)
+            } else {
+                let pred = ca[(i - 1) * m + j]
+                    .min(ca[(i - 1) * m + j - 1])
+                    .min(ca[i * m + j - 1]);
+                pred.max(d)
+            };
+            ca[i * m + j] = v;
+        }
+    }
+    ca[n * m - 1]
+}
+
+/// Symmetric Hausdorff distance: max over directed Hausdorff in both
+/// directions. Order-insensitive — it sees paths as point sets, which is
+/// exactly why it makes a weak motion-similarity baseline.
+pub fn hausdorff(a: &[Point2], b: &[Point2]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return f32::INFINITY;
+    }
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+fn directed_hausdorff(a: &[Point2], b: &[Point2]) -> f32 {
+    a.iter()
+        .map(|p| {
+            b.iter()
+                .map(|q| p.distance_sq(q))
+                .fold(f32::INFINITY, f32::min)
+        })
+        .fold(0.0f32, f32::max)
+        .sqrt()
+}
+
+/// Mean Euclidean over positions and first-difference (velocity) vectors.
+/// Velocity terms are weighted by `VEL_WEIGHT` relative to positions.
+pub fn euclidean_velocity(a: &[Point2], b: &[Point2]) -> f32 {
+    const VEL_WEIGHT: f32 = 4.0;
+    let pos = euclidean(a, b);
+    if !pos.is_finite() {
+        return pos;
+    }
+    if a.len() < 2 {
+        return pos;
+    }
+    let va: Vec<Point2> = a.windows(2).map(|w| w[1] - w[0]).collect();
+    let vb: Vec<Point2> = b.windows(2).map(|w| w[1] - w[0]).collect();
+    pos + VEL_WEIGHT * euclidean(&va, &vb)
+}
+
+/// Spatial match threshold of [`lcss`], in the canonical unit-square scale.
+pub const LCSS_EPSILON: f32 = 0.08;
+
+/// Longest-common-subsequence distance: `1 - LCSS / min(|a|, |b|)` where a
+/// pair of points matches when within [`LCSS_EPSILON`]. Robust to outliers
+/// (unmatched points simply don't count), weak on ordering granularity.
+pub fn lcss(a: &[Point2], b: &[Point2]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return f32::INFINITY;
+    }
+    let m = b.len();
+    let mut prev = vec![0u32; m + 1];
+    let mut curr = vec![0u32; m + 1];
+    for pa in a {
+        for (j, pb) in b.iter().enumerate() {
+            curr[j + 1] = if pa.distance(pb) <= LCSS_EPSILON {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        curr[0] = 0;
+    }
+    let lcs = prev[m] as f32;
+    1.0 - lcs / a.len().min(b.len()) as f32
+}
+
+/// Edit distance with real penalty (Chen & Ng, VLDB'04): a metric edit
+/// distance where gaps cost the distance to a fixed reference point `g`
+/// (the canonical clip center). Normalized by `|a| + |b|`.
+pub fn erp(a: &[Point2], b: &[Point2]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return f32::INFINITY;
+    }
+    let g = Point2::new(0.5, 0.5);
+    let m = b.len();
+    let mut prev: Vec<f32> = Vec::with_capacity(m + 1);
+    prev.push(0.0);
+    for pb in b {
+        prev.push(prev.last().unwrap() + pb.distance(&g));
+    }
+    let mut curr = vec![0.0f32; m + 1];
+    for pa in a {
+        curr[0] = prev[0] + pa.distance(&g);
+        for (j, pb) in b.iter().enumerate() {
+            let subst = prev[j] + pa.distance(pb);
+            let del_a = prev[j + 1] + pa.distance(&g);
+            let del_b = curr[j] + pb.distance(&g);
+            curr[j + 1] = subst.min(del_a).min(del_b);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m] / (a.len() + b.len()) as f32
+}
+
+/// Applies one classical measure to a pair of paths.
+pub fn path_distance(kind: DistanceKind, a: &[Point2], b: &[Point2]) -> f32 {
+    match kind {
+        DistanceKind::Euclidean => euclidean(a, b),
+        DistanceKind::Dtw => dtw(a, b),
+        DistanceKind::Frechet => frechet(a, b),
+        DistanceKind::Hausdorff => hausdorff(a, b),
+        DistanceKind::EuclideanVelocity => euclidean_velocity(a, b),
+        DistanceKind::Lcss => lcss(a, b),
+        DistanceKind::Erp => erp(a, b),
+    }
+}
+
+/// Number of resample steps used when lifting path distances to clips.
+pub const CLIP_RESAMPLE_STEPS: usize = 32;
+
+/// Lifts a path distance to multi-object clips.
+///
+/// Both clips are canonicalized (normalized + resampled to a shared fixed
+/// length) and the per-object distances between corresponding objects are
+/// averaged. Clips with different object counts are infinitely far apart —
+/// candidate generation guarantees matching arity.
+pub fn clip_distance(kind: DistanceKind, q: &Clip, v: &Clip) -> f32 {
+    if q.num_objects() != v.num_objects() {
+        return f32::INFINITY;
+    }
+    if q.num_objects() == 0 {
+        return 0.0;
+    }
+    let qc = q.canonical(CLIP_RESAMPLE_STEPS);
+    let vc = v.canonical(CLIP_RESAMPLE_STEPS);
+    let mut sum = 0.0;
+    for (tq, tv) in qc.objects.iter().zip(&vc.objects) {
+        sum += path_distance(kind, &tq.centers(), &tv.centers());
+    }
+    sum / q.num_objects() as f32
+}
+
+/// Converts a distance to a similarity in `(0, 1]` via `1 / (1 + d)`.
+/// Monotone, so rankings by similarity equal rankings by distance.
+pub fn distance_to_similarity(d: f32) -> f32 {
+    if !d.is_finite() {
+        0.0
+    } else {
+        1.0 / (1.0 + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(coords: &[(f32, f32)]) -> Vec<Point2> {
+        coords.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+    }
+
+    #[test]
+    fn euclidean_identical_is_zero() {
+        let a = path(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_constant_offset() {
+        let a = path(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = path(&[(0.0, 3.0), (1.0, 3.0)]);
+        assert!((euclidean(&a, &b) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn euclidean_length_mismatch_is_infinite() {
+        let a = path(&[(0.0, 0.0)]);
+        let b = path(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert!(euclidean(&a, &b).is_infinite());
+    }
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let a = path(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0)]);
+        assert!(dtw(&a, &a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_stretch() {
+        // Same shape, one path sampled twice as densely: DTW should be tiny
+        // while plain Euclidean is undefined (length mismatch).
+        let a: Vec<Point2> = (0..10).map(|i| Point2::new(i as f32, 0.0)).collect();
+        let b: Vec<Point2> = (0..20).map(|i| Point2::new(i as f32 * 0.5, 0.0)).collect();
+        let d = dtw(&a, &b);
+        assert!(d < 0.3, "dtw should absorb resampling, got {d}");
+        assert!(euclidean(&a, &b).is_infinite());
+    }
+
+    #[test]
+    fn dtw_separates_different_shapes() {
+        let line: Vec<Point2> = (0..16).map(|i| Point2::new(i as f32 / 15.0, 0.0)).collect();
+        let turn: Vec<Point2> = (0..16)
+            .map(|i| {
+                let t = i as f32 / 15.0;
+                // quarter-circle turn
+                let th = t * std::f32::consts::FRAC_PI_2;
+                Point2::new(th.sin(), 1.0 - th.cos())
+            })
+            .collect();
+        let d_same = dtw(&line, &line);
+        let d_diff = dtw(&line, &turn);
+        assert!(d_diff > d_same + 0.1);
+    }
+
+    #[test]
+    fn frechet_identical_is_zero() {
+        let a = path(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0)]);
+        assert!(frechet(&a, &a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frechet_is_max_leash_length() {
+        // Two parallel horizontal lines distance 2 apart: Fréchet = 2.
+        let a = path(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = path(&[(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert!((frechet(&a, &b) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frechet_at_least_hausdorff() {
+        // Classical property: Fréchet >= Hausdorff for the same curves.
+        let a = path(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, -1.0)]);
+        let b = path(&[(0.0, 0.5), (1.5, 0.0), (3.0, 0.5)]);
+        assert!(frechet(&a, &b) + 1e-6 >= hausdorff(&a, &b));
+    }
+
+    #[test]
+    fn hausdorff_is_order_insensitive() {
+        let a = path(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let rev: Vec<Point2> = a.iter().rev().copied().collect();
+        assert!(hausdorff(&a, &rev).abs() < 1e-6);
+        // ...whereas DTW/Fréchet are direction sensitive:
+        assert!(dtw(&a, &rev) > 0.5);
+    }
+
+    #[test]
+    fn euclidean_velocity_separates_direction() {
+        // Same positions visited, opposite directions.
+        let a = path(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let rev: Vec<Point2> = a.iter().rev().copied().collect();
+        let d = euclidean_velocity(&a, &rev);
+        assert!(d > euclidean(&a, &rev));
+    }
+
+    #[test]
+    fn lcss_identical_is_zero_and_outlier_robust() {
+        let a: Vec<Point2> = (0..20).map(|i| Point2::new(i as f32 * 0.05, 0.3)).collect();
+        assert!(lcss(&a, &a).abs() < 1e-6);
+        // One wild outlier barely changes LCSS (unlike Euclidean/DTW).
+        let mut b = a.clone();
+        b[10] = Point2::new(100.0, 100.0);
+        assert!(lcss(&a, &b) <= 0.06, "lcss {}", lcss(&a, &b));
+        assert!(dtw(&a, &b) > 1.0, "dtw should blow up on the outlier");
+    }
+
+    #[test]
+    fn lcss_distant_paths_are_far() {
+        let a: Vec<Point2> = (0..10).map(|i| Point2::new(i as f32 * 0.1, 0.0)).collect();
+        let b: Vec<Point2> = (0..10).map(|i| Point2::new(i as f32 * 0.1, 5.0)).collect();
+        assert!((lcss(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erp_identity_and_triangle_inequality() {
+        let a = path(&[(0.1, 0.2), (0.4, 0.5), (0.8, 0.4)]);
+        let b = path(&[(0.2, 0.2), (0.5, 0.6)]);
+        let c = path(&[(0.9, 0.9), (0.1, 0.8), (0.3, 0.3), (0.6, 0.1)]);
+        assert!(erp(&a, &a).abs() < 1e-6);
+        // ERP (unnormalized) is a metric; with our length normalization the
+        // triangle inequality holds up to the normalization factors — check
+        // the raw form by scaling back.
+        let raw = |x: &[Point2], y: &[Point2]| erp(x, y) * (x.len() + y.len()) as f32;
+        assert!(raw(&a, &c) <= raw(&a, &b) + raw(&b, &c) + 1e-4);
+    }
+
+    #[test]
+    fn erp_accepts_unequal_lengths() {
+        let a: Vec<Point2> = (0..10).map(|i| Point2::new(i as f32 * 0.1, 0.2)).collect();
+        let b: Vec<Point2> = (0..20).map(|i| Point2::new(i as f32 * 0.05, 0.2)).collect();
+        let d = erp(&a, &b);
+        assert!(d.is_finite());
+        // Same shape resampled differently: gaps are cheap along the path.
+        assert!(d < 0.2, "erp {d}");
+    }
+
+    #[test]
+    fn all_kinds_zero_on_self_and_symmetric() {
+        let a = path(&[(0.0, 0.0), (0.5, 0.2), (1.0, 0.9), (1.5, 1.0)]);
+        let b = path(&[(0.1, 0.0), (0.4, 0.5), (1.2, 0.7), (1.4, 1.2)]);
+        for &k in DistanceKind::ALL {
+            let daa = path_distance(k, &a, &a);
+            assert!(daa.abs() < 1e-5, "{k:?} self-distance {daa}");
+            let dab = path_distance(k, &a, &b);
+            let dba = path_distance(k, &b, &a);
+            assert!((dab - dba).abs() < 1e-4, "{k:?} asymmetric: {dab} vs {dba}");
+        }
+    }
+
+    #[test]
+    fn empty_paths() {
+        let e: Vec<Point2> = vec![];
+        let a = path(&[(0.0, 0.0)]);
+        for &k in DistanceKind::ALL {
+            assert_eq!(path_distance(k, &e, &e), 0.0);
+            assert!(path_distance(k, &e, &a).is_infinite(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn clip_distance_arity_mismatch_is_infinite() {
+        use crate::bbox::BBox;
+        use crate::object::ObjectClass;
+        use crate::trajectory::{TrajPoint, Trajectory};
+        let t = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..5)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32, 0.0, 2.0, 2.0)))
+                .collect(),
+        );
+        let one = Clip::new(100.0, 100.0, vec![t.clone()]);
+        let two = Clip::new(100.0, 100.0, vec![t.clone(), t]);
+        assert!(clip_distance(DistanceKind::Dtw, &one, &two).is_infinite());
+    }
+
+    #[test]
+    fn clip_distance_translation_invariant_after_normalization() {
+        use crate::bbox::BBox;
+        use crate::object::ObjectClass;
+        use crate::trajectory::{TrajPoint, Trajectory};
+        let make = |off: f32| {
+            let t = Trajectory::from_points(
+                1,
+                ObjectClass::Car,
+                (0..12)
+                    .map(|f| TrajPoint::new(f, BBox::new(off + f as f32 * 3.0, off, 4.0, 4.0)))
+                    .collect(),
+            );
+            Clip::new(500.0, 500.0, vec![t])
+        };
+        let a = make(0.0);
+        let b = make(200.0);
+        let d = clip_distance(DistanceKind::Euclidean, &a, &b);
+        assert!(d < 1e-4, "normalization should remove translation, got {d}");
+    }
+
+    #[test]
+    fn similarity_mapping_monotone() {
+        assert!(distance_to_similarity(0.0) > distance_to_similarity(1.0));
+        assert_eq!(distance_to_similarity(f32::INFINITY), 0.0);
+        assert_eq!(distance_to_similarity(0.0), 1.0);
+    }
+}

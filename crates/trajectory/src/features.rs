@@ -1,0 +1,345 @@
+//! Feature extraction: turning a [`Clip`] into the token sequence the
+//! trajectory encoder consumes.
+//!
+//! The encoder is a transformer over *time steps*: each token is the
+//! concatenation of per-object feature slots for one time step. A slot holds
+//! the object's normalized box (cx, cy, w, h), its instantaneous velocity
+//! (vx, vy), a signed curvature (the sine of the per-step turn angle, which
+//! makes motion chirality — left vs right turns — directly readable), and a
+//! presence flag; queries and candidates with fewer objects than
+//! [`MAX_OBJECTS`] are zero-padded, which keeps the model's input shape
+//! fixed regardless of query arity.
+
+use crate::clip::Clip;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of object slots the encoder supports. The demo paper's
+/// queries use one or two objects; we leave headroom for richer events.
+pub const MAX_OBJECTS: usize = 4;
+
+/// Features per object slot: cx, cy, w, h, vx, vy, curvature, presence.
+pub const SLOT_DIM: usize = 8;
+
+/// Dimension of one time-step token.
+pub const TOKEN_DIM: usize = MAX_OBJECTS * SLOT_DIM;
+
+/// Default number of time steps the encoder sees per clip.
+pub const DEFAULT_STEPS: usize = 32;
+
+/// A fixed-shape feature tensor extracted from one clip:
+/// `steps x TOKEN_DIM`, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClipFeatures {
+    /// Number of time steps (rows).
+    pub steps: usize,
+    /// Row-major `steps x TOKEN_DIM` data.
+    pub data: Vec<f32>,
+}
+
+impl ClipFeatures {
+    /// One row (time-step token).
+    pub fn token(&self, t: usize) -> &[f32] {
+        &self.data[t * TOKEN_DIM..(t + 1) * TOKEN_DIM]
+    }
+}
+
+/// Errors from feature extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeatureError {
+    /// The clip contains no observations.
+    EmptyClip,
+    /// The clip has more objects than the encoder supports.
+    TooManyObjects {
+        /// Number of objects in the clip.
+        got: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeatureError::EmptyClip => write!(f, "cannot extract features from an empty clip"),
+            FeatureError::TooManyObjects { got, max } => {
+                write!(
+                    f,
+                    "clip has {got} objects but the encoder supports at most {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {}
+
+/// Extracts encoder features from a clip.
+///
+/// The clip is canonicalized (normalized to the unit square and resampled to
+/// `steps` shared time steps) first, so features are invariant to screen
+/// position and apparent size, then per-slot features are emitted. Velocities
+/// are first differences of the canonical centers, scaled by the step count
+/// so magnitudes are O(1).
+pub fn extract_features(clip: &Clip, steps: usize) -> Result<ClipFeatures, FeatureError> {
+    if clip.is_empty() {
+        return Err(FeatureError::EmptyClip);
+    }
+    if clip.num_objects() > MAX_OBJECTS {
+        return Err(FeatureError::TooManyObjects {
+            got: clip.num_objects(),
+            max: MAX_OBJECTS,
+        });
+    }
+    let canon = clip.canonical(steps);
+    // Canonical slot ordering: objects are assigned to feature slots sorted
+    // by class label (stable within a class). Without this, the same event
+    // sketched as [person, car] and tracked as [car, person] would land in
+    // different slots and embed differently.
+    let mut order: Vec<usize> = (0..canon.objects.len()).collect();
+    order.sort_by_key(|&i| canon.objects[i].class.label());
+    let mut data = vec![0.0f32; steps * TOKEN_DIM];
+    for (slot, &obj_idx) in order.iter().enumerate() {
+        let traj = &canon.objects[obj_idx];
+        let pts = traj.points();
+        if pts.is_empty() {
+            continue;
+        }
+        debug_assert_eq!(pts.len(), steps);
+        // Velocities: first differences scaled by step count (a traversal
+        // of the unit square in one clip gives |v| ~ 1); the last step
+        // repeats the previous velocity.
+        let mut vel = vec![(0.0f32, 0.0f32); steps];
+        for t in 0..steps {
+            if t + 1 < steps {
+                let a = pts[t].bbox;
+                let b = pts[t + 1].bbox;
+                vel[t] = (
+                    (b.cx - a.cx) * (steps as f32 - 1.0),
+                    (b.cy - a.cy) * (steps as f32 - 1.0),
+                );
+            } else if t > 0 {
+                vel[t] = vel[t - 1];
+            }
+        }
+        // Signed curvature: sine of the turn between consecutive motion
+        // directions. Steps with negligible motion contribute 0, which
+        // keeps the channel quiet for parked objects (whose jitter would
+        // otherwise random-walk it).
+        let mut curv = vec![0.0f32; steps];
+        const MIN_SPEED: f32 = 0.05;
+        for t in 1..steps {
+            let (ax, ay) = vel[t - 1];
+            let (bx, by) = vel[t];
+            let na = (ax * ax + ay * ay).sqrt();
+            let nb = (bx * bx + by * by).sqrt();
+            if na > MIN_SPEED && nb > MIN_SPEED {
+                curv[t] = (ax * by - ay * bx) / (na * nb);
+            }
+        }
+        for (t, p) in pts.iter().enumerate() {
+            let base = t * TOKEN_DIM + slot * SLOT_DIM;
+            let b = p.bbox;
+            data[base] = b.cx;
+            data[base + 1] = b.cy;
+            data[base + 2] = b.w;
+            data[base + 3] = b.h;
+            data[base + 4] = vel[t].0;
+            data[base + 5] = vel[t].1;
+            data[base + 6] = curv[t] * 3.0; // amplify the subtle channel
+            data[base + 7] = 1.0; // presence
+        }
+    }
+    Ok(ClipFeatures { steps, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+    use crate::object::ObjectClass;
+    use crate::trajectory::{TrajPoint, Trajectory};
+
+    fn line_clip(n_obj: usize) -> Clip {
+        let objects = (0..n_obj)
+            .map(|k| {
+                Trajectory::from_points(
+                    k as u64,
+                    ObjectClass::Car,
+                    (0..20)
+                        .map(|f| {
+                            TrajPoint::new(f, BBox::new(f as f32 * 5.0, k as f32 * 30.0, 8.0, 8.0))
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Clip::new(200.0, 200.0, objects)
+    }
+
+    #[test]
+    fn feature_shape() {
+        let f = extract_features(&line_clip(2), 16).unwrap();
+        assert_eq!(f.steps, 16);
+        assert_eq!(f.data.len(), 16 * TOKEN_DIM);
+        assert_eq!(f.token(0).len(), TOKEN_DIM);
+    }
+
+    #[test]
+    fn presence_flags_mark_used_slots() {
+        let f = extract_features(&line_clip(2), 8).unwrap();
+        for t in 0..8 {
+            let tok = f.token(t);
+            assert_eq!(tok[7], 1.0, "slot 0 present");
+            assert_eq!(tok[SLOT_DIM + 7], 1.0, "slot 1 present");
+            assert_eq!(tok[2 * SLOT_DIM + 7], 0.0, "slot 2 empty");
+            assert_eq!(tok[3 * SLOT_DIM + 7], 0.0, "slot 3 empty");
+        }
+    }
+
+    #[test]
+    fn padded_slots_are_all_zero() {
+        let f = extract_features(&line_clip(1), 8).unwrap();
+        for t in 0..8 {
+            let tok = f.token(t);
+            for v in &tok[SLOT_DIM..] {
+                assert_eq!(*v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn features_are_translation_invariant() {
+        let a = line_clip(1);
+        let moved = Clip::new(
+            1000.0,
+            1000.0,
+            a.objects
+                .iter()
+                .map(|t| {
+                    let pts = t
+                        .points()
+                        .iter()
+                        .map(|p| {
+                            TrajPoint::new(
+                                p.frame,
+                                p.bbox.translated(crate::geom::Point2::new(300.0, 150.0)),
+                            )
+                        })
+                        .collect();
+                    Trajectory::from_points(t.id, t.class, pts)
+                })
+                .collect(),
+        );
+        let fa = extract_features(&a, 16).unwrap();
+        let fb = extract_features(&moved, 16).unwrap();
+        for (x, y) in fa.data.iter().zip(&fb.data) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn velocity_points_along_motion() {
+        let f = extract_features(&line_clip(1), 16).unwrap();
+        // Motion is +x: vx > 0, vy == 0 throughout.
+        for t in 0..15 {
+            let tok = f.token(t);
+            assert!(tok[4] > 0.0, "vx at {t}");
+            assert!(tok[5].abs() < 1e-5, "vy at {t}");
+        }
+        // Last token repeats previous velocity.
+        assert!((f.token(15)[4] - f.token(14)[4]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn curvature_sign_encodes_chirality() {
+        // A quarter turn: right then up (screen y down) = negative cross.
+        let mut pts = Vec::new();
+        for f in 0..10u32 {
+            pts.push(TrajPoint::new(
+                f,
+                BBox::new(f as f32 * 10.0, 100.0, 8.0, 8.0),
+            ));
+        }
+        for f in 10..20u32 {
+            pts.push(TrajPoint::new(
+                f,
+                BBox::new(90.0, 100.0 - (f - 9) as f32 * 10.0, 8.0, 8.0),
+            ));
+        }
+        let clip = Clip::new(
+            200.0,
+            200.0,
+            vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
+        );
+        let f = extract_features(&clip, 20).unwrap();
+        let total_curv: f32 = (0..20).map(|t| f.token(t)[6]).sum();
+        assert!(
+            total_curv < -0.5,
+            "left-ish screen turn should be negative: {total_curv}"
+        );
+        // The mirror has opposite sign.
+        let fm = extract_features(&clip.mirrored_x(), 20).unwrap();
+        let total_mirror: f32 = (0..20).map(|t| fm.token(t)[6]).sum();
+        assert!(total_mirror > 0.5, "mirror flips curvature: {total_mirror}");
+        assert!((total_curv + total_mirror).abs() < 0.2);
+    }
+
+    #[test]
+    fn stationary_objects_have_zero_curvature() {
+        let pts = (0..12u32)
+            .map(|f| TrajPoint::new(f, BBox::new(50.0, 50.0, 8.0, 8.0)))
+            .collect();
+        let clip = Clip::new(
+            100.0,
+            100.0,
+            vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
+        );
+        let f = extract_features(&clip, 12).unwrap();
+        for t in 0..12 {
+            assert_eq!(f.token(t)[6], 0.0);
+        }
+    }
+
+    #[test]
+    fn slot_assignment_is_class_canonical() {
+        // The same two-object event listed as [car, person] and
+        // [person, car] must produce identical features.
+        let car = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..10)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32 * 8.0, 100.0, 40.0, 25.0)))
+                .collect(),
+        );
+        let person = Trajectory::from_points(
+            2,
+            ObjectClass::Person,
+            (0..10)
+                .map(|f| TrajPoint::new(f, BBox::new(50.0, f as f32 * 6.0, 15.0, 40.0)))
+                .collect(),
+        );
+        let a = Clip::new(640.0, 480.0, vec![car.clone(), person.clone()]);
+        let b = Clip::new(640.0, 480.0, vec![person, car]);
+        let fa = extract_features(&a, 8).unwrap();
+        let fb = extract_features(&b, 8).unwrap();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn empty_clip_is_error() {
+        let c = Clip::new(10.0, 10.0, vec![]);
+        assert_eq!(extract_features(&c, 8), Err(FeatureError::EmptyClip));
+    }
+
+    #[test]
+    fn too_many_objects_is_error() {
+        let c = line_clip(MAX_OBJECTS + 1);
+        match extract_features(&c, 8) {
+            Err(FeatureError::TooManyObjects { got, max }) => {
+                assert_eq!(got, MAX_OBJECTS + 1);
+                assert_eq!(max, MAX_OBJECTS);
+            }
+            other => panic!("expected TooManyObjects, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Object classes supported by the sketcher.
+//!
+//! The demo paper states that "about eighty common object types (e.g., car,
+//! person) are supported" plus a generic `Any` type. We mirror the COCO-80
+//! label set, which is what the pre-trained detectors/trackers the paper
+//! builds on (ByteTrack over COCO-trained detectors) emit, and add `Any` as
+//! the wildcard the sketcher exposes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Numeric identifier for an object track within one video.
+pub type TrackId = u64;
+
+macro_rules! object_classes {
+    ($(($variant:ident, $name:literal)),+ $(,)?) => {
+        /// An object category a sketch query or a tracked object can carry.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        pub enum ObjectClass {
+            /// Wildcard: matches every concrete class.
+            Any,
+            $(#[doc = $name] $variant,)+
+        }
+
+        impl ObjectClass {
+            /// All concrete (non-`Any`) classes, in COCO order.
+            pub const CONCRETE: &'static [ObjectClass] = &[$(ObjectClass::$variant,)+];
+
+            /// The canonical lower-case label.
+            pub fn label(&self) -> &'static str {
+                match self {
+                    ObjectClass::Any => "any",
+                    $(ObjectClass::$variant => $name,)+
+                }
+            }
+        }
+
+        impl FromStr for ObjectClass {
+            type Err = UnknownClass;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let lower = s.trim().to_ascii_lowercase();
+                match lower.as_str() {
+                    "any" | "*" => Ok(ObjectClass::Any),
+                    $($name => Ok(ObjectClass::$variant),)+
+                    _ => Err(UnknownClass(lower)),
+                }
+            }
+        }
+    };
+}
+
+object_classes! {
+    (Person, "person"),
+    (Bicycle, "bicycle"),
+    (Car, "car"),
+    (Motorcycle, "motorcycle"),
+    (Airplane, "airplane"),
+    (Bus, "bus"),
+    (Train, "train"),
+    (Truck, "truck"),
+    (Boat, "boat"),
+    (TrafficLight, "traffic light"),
+    (FireHydrant, "fire hydrant"),
+    (StopSign, "stop sign"),
+    (ParkingMeter, "parking meter"),
+    (Bench, "bench"),
+    (Bird, "bird"),
+    (Cat, "cat"),
+    (Dog, "dog"),
+    (Horse, "horse"),
+    (Sheep, "sheep"),
+    (Cow, "cow"),
+    (Elephant, "elephant"),
+    (Bear, "bear"),
+    (Zebra, "zebra"),
+    (Giraffe, "giraffe"),
+    (Backpack, "backpack"),
+    (Umbrella, "umbrella"),
+    (Handbag, "handbag"),
+    (Tie, "tie"),
+    (Suitcase, "suitcase"),
+    (Frisbee, "frisbee"),
+    (Skis, "skis"),
+    (Snowboard, "snowboard"),
+    (SportsBall, "sports ball"),
+    (Kite, "kite"),
+    (BaseballBat, "baseball bat"),
+    (BaseballGlove, "baseball glove"),
+    (Skateboard, "skateboard"),
+    (Surfboard, "surfboard"),
+    (TennisRacket, "tennis racket"),
+    (Bottle, "bottle"),
+    (WineGlass, "wine glass"),
+    (Cup, "cup"),
+    (Fork, "fork"),
+    (Knife, "knife"),
+    (Spoon, "spoon"),
+    (Bowl, "bowl"),
+    (Banana, "banana"),
+    (Apple, "apple"),
+    (Sandwich, "sandwich"),
+    (Orange, "orange"),
+    (Broccoli, "broccoli"),
+    (Carrot, "carrot"),
+    (HotDog, "hot dog"),
+    (Pizza, "pizza"),
+    (Donut, "donut"),
+    (Cake, "cake"),
+    (Chair, "chair"),
+    (Couch, "couch"),
+    (PottedPlant, "potted plant"),
+    (Bed, "bed"),
+    (DiningTable, "dining table"),
+    (Toilet, "toilet"),
+    (Tv, "tv"),
+    (Laptop, "laptop"),
+    (Mouse, "mouse"),
+    (Remote, "remote"),
+    (Keyboard, "keyboard"),
+    (CellPhone, "cell phone"),
+    (Microwave, "microwave"),
+    (Oven, "oven"),
+    (Toaster, "toaster"),
+    (Sink, "sink"),
+    (Refrigerator, "refrigerator"),
+    (Book, "book"),
+    (Clock, "clock"),
+    (Vase, "vase"),
+    (Scissors, "scissors"),
+    (TeddyBear, "teddy bear"),
+    (HairDrier, "hair drier"),
+    (Toothbrush, "toothbrush"),
+}
+
+/// Error returned when parsing an unknown class label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownClass(pub String);
+
+impl fmt::Display for UnknownClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown object class: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownClass {}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl ObjectClass {
+    /// Whether a query class accepts a concrete tracked class.
+    ///
+    /// `Any` accepts everything; a concrete class accepts only itself. Used
+    /// by the Matcher for candidate pruning.
+    pub fn matches(&self, concrete: &ObjectClass) -> bool {
+        *self == ObjectClass::Any || self == concrete
+    }
+
+    /// Whether this class typically moves (used by the scene generator to
+    /// decide which classes participate in motion events).
+    pub fn is_mobile(&self) -> bool {
+        matches!(
+            self,
+            ObjectClass::Person
+                | ObjectClass::Bicycle
+                | ObjectClass::Car
+                | ObjectClass::Motorcycle
+                | ObjectClass::Bus
+                | ObjectClass::Truck
+                | ObjectClass::Train
+                | ObjectClass::Boat
+                | ObjectClass::Bird
+                | ObjectClass::Cat
+                | ObjectClass::Dog
+                | ObjectClass::Horse
+                | ObjectClass::Skateboard
+                | ObjectClass::Any
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_eighty_classes_supported() {
+        // The paper says "about eighty common object types"; COCO has 80.
+        assert_eq!(ObjectClass::CONCRETE.len(), 80);
+    }
+
+    #[test]
+    fn parse_round_trip_all_labels() {
+        for c in ObjectClass::CONCRETE {
+            let parsed: ObjectClass = c.label().parse().unwrap();
+            assert_eq!(parsed, *c);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(" Car ".parse::<ObjectClass>().unwrap(), ObjectClass::Car);
+        assert_eq!(
+            "PERSON".parse::<ObjectClass>().unwrap(),
+            ObjectClass::Person
+        );
+    }
+
+    #[test]
+    fn parse_any_and_wildcard() {
+        assert_eq!("any".parse::<ObjectClass>().unwrap(), ObjectClass::Any);
+        assert_eq!("*".parse::<ObjectClass>().unwrap(), ObjectClass::Any);
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        let err = "flying saucer".parse::<ObjectClass>().unwrap_err();
+        assert!(err.to_string().contains("flying saucer"));
+    }
+
+    #[test]
+    fn any_matches_everything_concrete_matches_self() {
+        assert!(ObjectClass::Any.matches(&ObjectClass::Car));
+        assert!(ObjectClass::Car.matches(&ObjectClass::Car));
+        assert!(!ObjectClass::Car.matches(&ObjectClass::Person));
+    }
+
+    #[test]
+    fn mobility_flags() {
+        assert!(ObjectClass::Car.is_mobile());
+        assert!(ObjectClass::Person.is_mobile());
+        assert!(!ObjectClass::FireHydrant.is_mobile());
+        assert!(!ObjectClass::Bench.is_mobile());
+    }
+}

@@ -1,0 +1,179 @@
+//! ASCII rendering of clips.
+//!
+//! The real SketchQL pops up a video player for "Open Query" and for
+//! retrieved results; a Rust library gets the terminal equivalent: render a
+//! [`Clip`] frame as a character grid, or a whole clip as a storyboard of
+//! key frames with motion trails. Used by the examples and handy when
+//! debugging matcher output.
+
+// Index arithmetic is clearer than iterator adapters in these numeric
+// kernels.
+#![allow(clippy::needless_range_loop)]
+
+use crate::clip::Clip;
+
+/// Glyph assigned to object `i` (by position in the clip's object list).
+fn glyph(i: usize) -> char {
+    const GLYPHS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    GLYPHS[i % GLYPHS.len()] as char
+}
+
+/// Renders one frame of a clip onto a `cols x rows` character grid.
+///
+/// Boxes are drawn as filled rectangles of the object's glyph; the frame
+/// border is drawn with `+-|`. Objects outside the clip's frame bounds are
+/// clamped away.
+pub fn render_frame(clip: &Clip, frame: u32, cols: usize, rows: usize) -> String {
+    assert!(cols >= 4 && rows >= 4, "grid too small");
+    let mut grid = vec![vec![' '; cols]; rows];
+    // Border.
+    for c in 0..cols {
+        grid[0][c] = '-';
+        grid[rows - 1][c] = '-';
+    }
+    for row in grid.iter_mut() {
+        row[0] = '|';
+        row[cols - 1] = '|';
+    }
+    grid[0][0] = '+';
+    grid[0][cols - 1] = '+';
+    grid[rows - 1][0] = '+';
+    grid[rows - 1][cols - 1] = '+';
+
+    let sx = (cols - 2) as f32 / clip.frame_width.max(1e-6);
+    let sy = (rows - 2) as f32 / clip.frame_height.max(1e-6);
+    for (i, traj) in clip.objects.iter().enumerate() {
+        let Some(bb) = traj.bbox_at(frame) else {
+            continue;
+        };
+        let x1 = (bb.x1() * sx).floor().max(0.0) as usize + 1;
+        let x2 = ((bb.x2() * sx).ceil() as usize).min(cols - 2);
+        let y1 = (bb.y1() * sy).floor().max(0.0) as usize + 1;
+        let y2 = ((bb.y2() * sy).ceil() as usize).min(rows - 2);
+        for row in grid.iter_mut().take(y2 + 1).skip(y1.min(rows - 2)) {
+            for cell in row.iter_mut().take(x2 + 1).skip(x1.min(cols - 2)) {
+                *cell = glyph(i);
+            }
+        }
+    }
+    grid.into_iter()
+        .map(|r| r.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders a storyboard: the clip's motion trails (`.` marks) plus each
+/// object's final box, annotated with a legend of object classes.
+pub fn render_storyboard(clip: &Clip, cols: usize, rows: usize) -> String {
+    assert!(cols >= 4 && rows >= 4, "grid too small");
+    let mut grid = vec![vec![' '; cols]; rows];
+    for c in 0..cols {
+        grid[0][c] = '-';
+        grid[rows - 1][c] = '-';
+    }
+    for row in grid.iter_mut() {
+        row[0] = '|';
+        row[cols - 1] = '|';
+    }
+    let sx = (cols - 2) as f32 / clip.frame_width.max(1e-6);
+    let sy = (rows - 2) as f32 / clip.frame_height.max(1e-6);
+    let clamp_x = |v: f32| ((v * sx) as usize + 1).min(cols - 2).max(1);
+    let clamp_y = |v: f32| ((v * sy) as usize + 1).min(rows - 2).max(1);
+
+    // Trails first, then start/end markers on top.
+    for traj in clip.objects.iter() {
+        for p in traj.points() {
+            grid[clamp_y(p.bbox.cy)][clamp_x(p.bbox.cx)] = '.';
+        }
+    }
+    for (i, traj) in clip.objects.iter().enumerate() {
+        if let Some(first) = traj.points().first() {
+            grid[clamp_y(first.bbox.cy)][clamp_x(first.bbox.cx)] = 'o';
+        }
+        if let Some(last) = traj.points().last() {
+            grid[clamp_y(last.bbox.cy)][clamp_x(last.bbox.cx)] = glyph(i);
+        }
+    }
+
+    let mut out: Vec<String> = grid
+        .into_iter()
+        .map(|r| r.into_iter().collect::<String>())
+        .collect();
+    let legend = clip
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{}={} ({} pts)", glyph(i), t.class, t.len()))
+        .collect::<Vec<_>>()
+        .join("  ");
+    out.push(format!("o = start, {legend}"));
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+    use crate::object::ObjectClass;
+    use crate::trajectory::{TrajPoint, Trajectory};
+
+    fn demo_clip() -> Clip {
+        let car = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..20)
+                .map(|f| TrajPoint::new(f, BBox::new(100.0 + f as f32 * 40.0, 500.0, 120.0, 80.0)))
+                .collect(),
+        );
+        let person = Trajectory::from_points(
+            2,
+            ObjectClass::Person,
+            (0..20)
+                .map(|f| TrajPoint::new(f, BBox::new(500.0, 100.0 + f as f32 * 20.0, 40.0, 90.0)))
+                .collect(),
+        );
+        Clip::new(1000.0, 600.0, vec![car, person])
+    }
+
+    #[test]
+    fn frame_render_contains_both_objects() {
+        let s = render_frame(&demo_clip(), 5, 60, 20);
+        assert!(s.contains('A'), "car glyph missing:\n{s}");
+        assert!(s.contains('B'), "person glyph missing:\n{s}");
+        // Border intact.
+        assert!(s.starts_with('+'));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 20);
+        assert!(lines.iter().all(|l| l.len() == 60));
+    }
+
+    #[test]
+    fn objects_move_between_frames() {
+        let a = render_frame(&demo_clip(), 0, 60, 20);
+        let b = render_frame(&demo_clip(), 19, 60, 20);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn absent_objects_are_not_drawn() {
+        let clip = demo_clip();
+        let s = render_frame(&clip, 500, 60, 20);
+        assert!(!s.contains('A'));
+        assert!(!s.contains('B'));
+    }
+
+    #[test]
+    fn storyboard_has_trails_and_legend() {
+        let s = render_storyboard(&demo_clip(), 60, 20);
+        assert!(s.contains('.'), "trail missing:\n{s}");
+        assert!(s.contains('o'), "start marker missing");
+        assert!(s.contains("A=car"));
+        assert!(s.contains("B=person"));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn tiny_grids_are_rejected() {
+        let _ = render_frame(&demo_clip(), 0, 2, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Polyline simplification (Ramer–Douglas–Peucker).
+//!
+//! A real mouse drag records hundreds of samples with hand jitter; the
+//! sketcher uses RDP to reduce a recorded path to its structural corner
+//! points before compiling a query (and the simplified path is what the
+//! trajectory panel's boxes conceptually hold).
+
+use crate::geom::Point2;
+
+/// Perpendicular distance from `p` to the segment `a`-`b` (falls back to
+/// point distance when the segment is degenerate).
+fn segment_distance(p: &Point2, a: &Point2, b: &Point2) -> f32 {
+    let ab = *b - *a;
+    let len_sq = ab.dot(&ab);
+    if len_sq <= f32::EPSILON {
+        return p.distance(a);
+    }
+    let t = ((*p - *a).dot(&ab) / len_sq).clamp(0.0, 1.0);
+    let proj = *a + ab * t;
+    p.distance(&proj)
+}
+
+/// Simplifies a polyline with the RDP algorithm: returns the subset of
+/// points whose removal would deviate the path by more than `epsilon`.
+/// Endpoints are always kept. Paths with fewer than 3 points are returned
+/// unchanged.
+pub fn simplify_path(path: &[Point2], epsilon: f32) -> Vec<Point2> {
+    if path.len() < 3 {
+        return path.to_vec();
+    }
+    let mut keep = vec![false; path.len()];
+    keep[0] = true;
+    keep[path.len() - 1] = true;
+    let mut stack = vec![(0usize, path.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo, -1.0f32);
+        for (i, p) in path.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = segment_distance(p, &path[lo], &path[hi]);
+            if d > worst_d {
+                worst = i;
+                worst_d = d;
+            }
+        }
+        if worst_d > epsilon {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    path.iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+/// Maximum deviation between a polyline and its simplified form, measured
+/// at the dropped points. Useful for asserting the RDP guarantee.
+pub fn max_deviation(original: &[Point2], simplified: &[Point2]) -> f32 {
+    if simplified.len() < 2 {
+        return 0.0;
+    }
+    original
+        .iter()
+        .map(|p| {
+            simplified
+                .windows(2)
+                .map(|w| segment_distance(p, &w[0], &w[1]))
+                .fold(f32::INFINITY, f32::min)
+        })
+        .fold(0.0f32, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f32, f32)]) -> Vec<Point2> {
+        coords.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+    }
+
+    #[test]
+    fn collinear_points_collapse_to_endpoints() {
+        let path: Vec<Point2> = (0..20).map(|i| Point2::new(i as f32, 0.0)).collect();
+        let s = simplify_path(&path, 0.5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], path[0]);
+        assert_eq!(s[1], path[19]);
+    }
+
+    #[test]
+    fn corners_are_preserved() {
+        // An L shape: straight right then straight up.
+        let mut path: Vec<Point2> = (0..10).map(|i| Point2::new(i as f32, 0.0)).collect();
+        path.extend((1..10).map(|i| Point2::new(9.0, i as f32)));
+        let s = simplify_path(&path, 0.5);
+        assert_eq!(s.len(), 3, "start, corner, end: {s:?}");
+        assert_eq!(s[1], Point2::new(9.0, 0.0));
+    }
+
+    #[test]
+    fn jitter_below_epsilon_is_removed() {
+        let path: Vec<Point2> = (0..50)
+            .map(|i| Point2::new(i as f32, if i % 2 == 0 { 0.2 } else { -0.2 }))
+            .collect();
+        let s = simplify_path(&path, 1.0);
+        assert!(s.len() <= 4, "jitter should vanish: {} points", s.len());
+    }
+
+    #[test]
+    fn deviation_guarantee_holds() {
+        // A noisy arc.
+        let path: Vec<Point2> = (0..60)
+            .map(|i| {
+                let t = i as f32 / 59.0 * std::f32::consts::PI;
+                Point2::new(
+                    50.0 * t.cos() + if i % 3 == 0 { 0.8 } else { 0.0 },
+                    50.0 * t.sin(),
+                )
+            })
+            .collect();
+        for eps in [0.5f32, 2.0, 8.0] {
+            let s = simplify_path(&path, eps);
+            let dev = max_deviation(&path, &s);
+            assert!(dev <= eps + 1e-3, "eps {eps}: deviation {dev} with {} pts", s.len());
+        }
+        // Larger epsilon keeps fewer points.
+        let fine = simplify_path(&path, 0.5).len();
+        let coarse = simplify_path(&path, 8.0).len();
+        assert!(coarse < fine);
+    }
+
+    #[test]
+    fn short_paths_unchanged() {
+        let p1 = pts(&[(1.0, 2.0)]);
+        assert_eq!(simplify_path(&p1, 1.0), p1);
+        let p2 = pts(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(simplify_path(&p2, 1.0), p2);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let path = pts(&[(0.0, 0.0), (0.0, 0.0), (0.0, 0.0), (5.0, 5.0)]);
+        let s = simplify_path(&path, 0.1);
+        assert_eq!(s.first(), path.first());
+        assert_eq!(s.last(), path.last());
+    }
+}

@@ -1,0 +1,100 @@
+//! The exploratory-VDBMS workflow: preprocess once, iterate on queries
+//! cheaply, persist the session.
+//!
+//! SketchQL targets *offline, exploratory* moment retrieval — a user runs
+//! many sketches against the same uploaded videos. This example shows the
+//! machinery that makes iteration cheap:
+//!
+//! 1. upload + track a video once,
+//! 2. materialize per-track window embeddings (EVA-style materialized
+//!    views): queries then cost one encoder pass + a dot-product scan,
+//! 3. save the session to disk and reload it — no retraining, no
+//!    re-tracking.
+//!
+//! ```text
+//! cargo run --release --example materialized_session
+//! ```
+
+use sketchql::prelude::*;
+use sketchql::{MaterializeConfig, MaterializedWindows};
+use sketchql_datasets::{query_clip, EventKind, SceneFamily};
+use std::time::Instant;
+
+fn main() {
+    let model = sketchql_suite::demo_model();
+    let mut sq = SketchQL::new(model);
+    let video = sketchql_suite::demo_video(SceneFamily::UrbanIntersection, 91);
+
+    // 1. Preprocess once.
+    let t0 = Instant::now();
+    let summary = sq.upload_dataset("traffic", &video);
+    println!(
+        "preprocessed {:?}: {} frames -> {} tracks in {:.0}ms",
+        summary.name,
+        summary.frames,
+        summary.num_tracks,
+        t0.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // 2. Materialize window embeddings.
+    let sim = sq.model.similarity();
+    let t0 = Instant::now();
+    let mat = MaterializedWindows::build(
+        sq.dataset("traffic").unwrap(),
+        &sim,
+        MaterializeConfig { threads: 4, ..Default::default() },
+    );
+    println!(
+        "materialized {} window embeddings in {:.0}ms",
+        mat.len(),
+        t0.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // Iterate: four single-object queries against the same video. Compare
+    // the live sliding-window search with the materialized scan.
+    for kind in [EventKind::LeftTurn, EventKind::RightTurn, EventKind::UTurn, EventKind::Loiter] {
+        let query = query_clip(kind);
+        let t0 = Instant::now();
+        let live = sq.run_query("traffic", &query).unwrap();
+        let live_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t0 = Instant::now();
+        let fast = mat.query(&sim, &query, 10, 0.45).unwrap();
+        let fast_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let truth = video.events_of(kind);
+        let hits = |ms: &[sketchql::RetrievedMoment]| {
+            ms.iter()
+                .take(truth.len())
+                .filter(|m| truth.iter().any(|t| t.temporal_iou(m.start, m.end) >= 0.3))
+                .count()
+        };
+        println!(
+            "{:<12} live {:>6.1}ms ({}/{} hits @k)   materialized {:>5.1}ms ({}/{} hits @k)",
+            kind.name(),
+            live_ms,
+            hits(&live),
+            truth.len(),
+            fast_ms,
+            hits(&fast),
+            truth.len()
+        );
+    }
+
+    // 3. Persist and reload the session.
+    let dir = std::env::temp_dir().join("sketchql-demo-session");
+    let t0 = Instant::now();
+    sq.save(&dir).expect("save session");
+    let restored = SketchQL::load(&dir).expect("load session");
+    println!(
+        "\nsession saved+reloaded in {:.0}ms; datasets: {:?}",
+        t0.elapsed().as_secs_f64() * 1000.0,
+        restored.datasets()
+    );
+    let q = query_clip(EventKind::LeftTurn);
+    assert_eq!(
+        sq.run_query("traffic", &q).unwrap(),
+        restored.run_query("traffic", &q).unwrap(),
+        "restored session answers identically"
+    );
+    println!("restored session answers queries identically — preprocessing is paid once.");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,127 @@
+//! Development sweep: compare training recipes on a retrieval-aligned
+//! metric before committing to a default.
+//!
+//! Metric (`sketch-sep`): for each canonical sketch of four event kinds,
+//! score six isolated single-object video clips of each kind and measure
+//! the pairwise win rate of the matching kind (1.0 = the sketch always
+//! ranks its own event above other events). This is the statistic that
+//! drove `TrainingConfig::default()` — see DESIGN.md §4.5.
+//!
+//! ```text
+//! cargo run --release --example model_sweep            # quick variants
+//! cargo run --release --example model_sweep -- full    # includes the full recipe
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::training::{train, TrainingConfig};
+use sketchql::Similarity;
+use sketchql_datasets::{query_clip, EventKind};
+use sketchql_simulator::{Camera, CameraRig, Scene3D, ShakeConfig};
+use sketchql_trajectory::{Clip, Point2, Point3};
+
+/// Records one isolated single-object clip of `kind` from a random camera.
+fn event_clip(kind: EventKind, seed: u64) -> Clip {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scene = Scene3D::new(30.0);
+    for (agent, script) in kind.instantiate(Point2::ZERO, &mut rng) {
+        scene = scene.with_object(agent, script);
+    }
+    loop {
+        let cam = Camera::sample_around(Point3::ZERO, 30.0, 60.0, &mut rng);
+        let mut rig = CameraRig::new(cam, ShakeConfig::default());
+        let clip = scene.record(&mut rig, &mut rng);
+        if clip.objects.iter().all(|t| t.len() >= 20) {
+            return Clip::new(
+                clip.frame_width,
+                clip.frame_height,
+                vec![clip.objects[0].clone()],
+            );
+        }
+    }
+}
+
+/// Pairwise win rate of matching-kind clips under each kind's sketch.
+fn sketch_sep(model: &sketchql::TrainedModel) -> f32 {
+    let kinds = [
+        EventKind::LeftTurn,
+        EventKind::RightTurn,
+        EventKind::UTurn,
+        EventKind::StopAndGo,
+    ];
+    let sim = model.similarity();
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for (qi, &qk) in kinds.iter().enumerate() {
+        let q = query_clip(qk);
+        let q = Clip::new(q.frame_width, q.frame_height, vec![q.objects[0].clone()]);
+        let prep = sim.prepare(&q);
+        let scores: Vec<Vec<f32>> = kinds
+            .iter()
+            .map(|&ck| {
+                (0..6u64)
+                    .map(|r| sim.score(&prep, &event_clip(ck, 1000 + r * 17 + ck as u64 * 3)))
+                    .collect()
+            })
+            .collect();
+        for (ci, row) in scores.iter().enumerate() {
+            if ci == qi {
+                continue;
+            }
+            for &pos in &scores[qi] {
+                for &neg in row {
+                    total += 1;
+                    if pos > neg {
+                        wins += 1;
+                    }
+                }
+            }
+        }
+    }
+    wins as f32 / total as f32
+}
+
+fn main() {
+    let include_full = std::env::args().any(|a| a == "full");
+    let mut variants: Vec<(&str, TrainingConfig)> = vec![
+        ("small (1200 steps)", TrainingConfig::small()),
+        ("no sketchify", {
+            let mut c = TrainingConfig::small();
+            c.pairgen.sketchify_prob = 0.0;
+            c
+        }),
+        ("no mirror negatives", {
+            let mut c = TrainingConfig::small();
+            c.mirror_negatives = false;
+            c
+        }),
+        ("no padding", {
+            let mut c = TrainingConfig::small();
+            c.pairgen.pad_prob = 0.0;
+            c
+        }),
+    ];
+    if include_full {
+        variants.push(("full (2500 steps)", TrainingConfig::default()));
+    }
+
+    println!(
+        "{:<22} | {:>9} | {:>10} | {:>7}",
+        "variant", "loss", "sketch-sep", "time"
+    );
+    println!("{}", "-".repeat(58));
+    for (name, cfg) in variants {
+        let t0 = std::time::Instant::now();
+        let model = train(cfg);
+        let n = model.loss_history.len();
+        let loss_tail: f32 = model.loss_history[n - 20..].iter().sum::<f32>() / 20.0;
+        let sep = sketch_sep(&model);
+        println!(
+            "{:<22} | {:>9.3} | {:>10.3} | {:>6.0}s",
+            name,
+            loss_tail,
+            sep,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Quickstart: the six-step SketchQL workflow from the demo paper (§3.1,
+//! Figure 3) on a synthetic traffic surveillance video.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sketchql::prelude::*;
+use sketchql_datasets::{EventKind, SceneFamily};
+
+fn main() {
+    // The zero-shot similarity model: trained once on simulator-generated
+    // contrastive pairs, cached under target/sketchql-cache/.
+    println!("Loading (or training) the zero-shot similarity model...");
+    let model = sketchql_suite::demo_model();
+    println!(
+        "  encoder: {} params, final training loss {:.3}\n",
+        model.store.num_scalars(),
+        model.loss_history.last().copied().unwrap_or(f32::NAN)
+    );
+    let mut sq = SketchQL::new(model);
+
+    // Step 1: upload a dataset. Initialization extracts object tracks with
+    // the (simulated) detector + ByteTrack tracker.
+    println!("Step 1: Upload dataset & initialization");
+    let video = sketchql_suite::demo_video(SceneFamily::UrbanIntersection, 7);
+    let summary = sq.upload_dataset("traffic", &video);
+    println!(
+        "  uploaded {:?}: {} frames, {} object tracks extracted\n",
+        summary.name, summary.frames, summary.num_tracks
+    );
+
+    // Step 2: create a "Car" object on the canvas.
+    println!("Step 2: Object creation (square icon -> type 'Car' -> click canvas)");
+    let mut sketch = sq.new_sketch();
+    let car = sketch
+        .create_object(ObjectClass::Car, Point2::new(150.0, 450.0))
+        .expect("create mode is the default");
+    println!("  placed object #{car} (car) at (150, 450)\n");
+
+    // Step 3: drag the car through a left turn.
+    println!("Step 3: Trajectory creation (cursor icon -> drag the car)");
+    sketch.set_mode(MouseMode::Drag);
+    let seg = sketch
+        .drag_object_along(
+            car,
+            &[
+                Point2::new(250.0, 450.0),
+                Point2::new(350.0, 450.0),
+                Point2::new(450.0, 448.0),
+                Point2::new(560.0, 440.0),
+                Point2::new(630.0, 400.0),
+                Point2::new(655.0, 330.0),
+                Point2::new(660.0, 250.0),
+                Point2::new(662.0, 160.0),
+                Point2::new(663.0, 90.0),
+            ],
+        )
+        .expect("drag mode set");
+    println!(
+        "  recorded segment #{seg} ({} ticks)\n",
+        sketch.segment(seg).unwrap().ticks
+    );
+
+    // Step 4: replay ("Open Query") and edit — make the turn a bit faster
+    // by shrinking the segment's box on the trajectory panel.
+    println!("Step 4: Trajectory editing (Open Query replay, stretch panel box)");
+    let frames = sketch.replay().expect("non-empty query");
+    println!(
+        "  replay animates {} ticks; the sketched motion:",
+        frames.len()
+    );
+    let query_clip = sketch.compile().unwrap();
+    println!(
+        "{}",
+        sketchql_trajectory::render_storyboard(&query_clip, 72, 16)
+    );
+    sketch.stretch_segment(seg, 60).unwrap();
+    println!("  stretched segment to 60 ticks (a brisker left turn)\n");
+
+    // Step 5: run the query.
+    println!("Step 5: Query execution (Run)");
+    let results = sq.run_sketch("traffic", &sketch).expect("query runs");
+    println!("  matcher returned {} moments\n", results.len());
+
+    // Step 6: display the found clips.
+    println!("Step 6: Display videos (sorted by similarity score)");
+    let views = sq.display("traffic", &results).unwrap();
+    let truth: Vec<_> = video.events_of(EventKind::LeftTurn);
+    for v in &views {
+        let hit = truth
+            .iter()
+            .any(|t| t.temporal_iou(results[v.rank - 1].start, results[v.rank - 1].end) >= 0.3);
+        println!(
+            "  #{:<2} frames {:>5}..{:<5} ({:>6.1}s - {:<6.1}s)  score {:.3}  objects {:?}{}",
+            v.rank,
+            v.start,
+            v.end,
+            v.start_seconds,
+            v.end_seconds,
+            v.score,
+            v.classes.iter().map(|c| c.label()).collect::<Vec<_>>(),
+            if hit {
+                "   <-- ground-truth left turn"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nGround truth: {} left-turn events at {:?}",
+        truth.len(),
+        truth.iter().map(|t| (t.start, t.end)).collect::<Vec<_>>()
+    );
+}

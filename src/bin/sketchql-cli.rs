@@ -1,0 +1,303 @@
+//! `sketchql-cli` — a command-line front end for the SketchQL library.
+//!
+//! ```text
+//! sketchql-cli generate --family urban_intersection --seed 7 --out video.json
+//! sketchql-cli train --out model.json [--steps 600]
+//! sketchql-cli query --video video.json --model model.json --event left_turn [--baseline dtw] [--top-k 5] [--oracle-tracks]
+//! sketchql-cli render --video video.json --start 100 --end 199 [--track 3]
+//! sketchql-cli info --video video.json
+//! ```
+//!
+//! Videos and models are JSON artifacts so pipelines can be scripted and
+//! inspected.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::training::{train_with_callback, TrainedModel, TrainingConfig};
+use sketchql::{ClassicalSimilarity, Matcher, VideoIndex};
+use sketchql_datasets::{
+    generate_video, query_clip, EventKind, SceneFamily, SyntheticVideo, VideoConfig,
+};
+use sketchql_tracker::{DetectorConfig, TrackerConfig};
+use sketchql_trajectory::{render_storyboard, DistanceKind};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "query" => cmd_query(&flags),
+        "render" => cmd_render(&flags),
+        "info" => cmd_info(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+sketchql-cli — zero-shot video moment querying with sketches
+
+commands:
+  generate --out <file> [--family <name>] [--seed <n>] [--events <n>] [--distractors <n>]
+  train    --out <file> [--steps <n>] [--seed <n>]
+  query    --video <file> --event <kind> [--model <file>] [--baseline <dtw|frechet|...>]
+           [--rules] [--top-k <n>] [--oracle-tracks]
+  render   --video <file> [--start <frame>] [--end <frame>]
+  info     --video <file> | --model <file>
+
+families: urban_intersection, parking_lot, plaza
+events:   left_turn right_turn u_turn stop_and_go lane_change
+          perpendicular_crossing overtake loiter";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_string()
+            };
+            flags.insert(name.to_string(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn req<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+    }
+}
+
+fn parse_family(name: &str) -> Result<SceneFamily, String> {
+    SceneFamily::ALL
+        .iter()
+        .copied()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown family {name:?}"))
+}
+
+fn parse_event(name: &str) -> Result<EventKind, String> {
+    EventKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown event {name:?}"))
+}
+
+fn load_video(path: &str) -> Result<SyntheticVideo, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = req(flags, "out")?;
+    let family = parse_family(
+        flags
+            .get("family")
+            .map_or("urban_intersection", String::as_str),
+    )?;
+    let seed: u64 = num(flags, "seed", 1)?;
+    let cfg = VideoConfig {
+        family,
+        events_per_kind: num(flags, "events", 2)?,
+        distractors: num(flags, "distractors", 10)?,
+        fps: 30.0,
+    };
+    let video = generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed));
+    let json = serde_json::to_string(&video).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} frames, {} objects, {} annotated events",
+        video.frames,
+        video.truth.num_objects(),
+        video.events.len()
+    );
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = req(flags, "out")?;
+    let mut cfg = TrainingConfig::small();
+    cfg.steps = num(flags, "steps", cfg.steps)?;
+    cfg.seed = num(flags, "seed", cfg.seed)?;
+    println!(
+        "training encoder (d_model {}, {} layers) for {} steps...",
+        cfg.encoder.d_model, cfg.encoder.layers, cfg.steps
+    );
+    let every = (cfg.steps / 10).max(1);
+    let model = train_with_callback(cfg, |step, loss| {
+        if step % every == 0 {
+            println!("  step {step:>5}  loss {loss:.3}");
+        }
+    });
+    model.save(Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({} parameters)", model.store.num_scalars());
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let video = load_video(req(flags, "video")?)?;
+    let kind = parse_event(req(flags, "event")?)?;
+    let top_k: usize = num(flags, "top-k", 5)?;
+    let query = query_clip(kind);
+
+    let index = if flags.contains_key("oracle-tracks") {
+        VideoIndex::from_truth(&video)
+    } else {
+        VideoIndex::build(
+            &video,
+            DetectorConfig::default(),
+            TrackerConfig::default(),
+            1,
+        )
+    };
+    println!(
+        "index: {} tracks over {} frames ({})",
+        index.tracks.len(),
+        index.frames,
+        if flags.contains_key("oracle-tracks") {
+            "oracle"
+        } else {
+            "detector+bytetrack"
+        }
+    );
+
+    let results = if flags.contains_key("rules") {
+        let cfg = sketchql::RuleSearchConfig { top_k, ..Default::default() };
+        sketchql::evaluate_rule(&index, &sketchql::expert_rule(kind), &cfg)
+    } else if let Some(baseline) = flags.get("baseline") {
+        let kind = DistanceKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == baseline)
+            .ok_or_else(|| format!("unknown baseline {baseline:?}"))?;
+        let mut m = Matcher::new(ClassicalSimilarity::new(kind));
+        m.config.top_k = top_k;
+        m.search(&index, &query)
+    } else {
+        let model_path = req(flags, "model")?;
+        let model = TrainedModel::load(Path::new(model_path)).map_err(|e| e.to_string())?;
+        let mut m = Matcher::new(model.similarity());
+        m.config.top_k = top_k;
+        m.config.threads = 4;
+        m.search(&index, &query)
+    };
+
+    let truth = video.events_of(kind);
+    println!("\n#  frames            score   ground truth?");
+    for (i, m) in results.iter().enumerate() {
+        let hit = truth.iter().any(|t| t.temporal_iou(m.start, m.end) >= 0.3);
+        println!(
+            "{:<2} {:>6}..{:<7} {:.3}   {}",
+            i + 1,
+            m.start,
+            m.end,
+            m.score,
+            if hit {
+                format!("YES ({})", kind.name())
+            } else {
+                "-".into()
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
+    let video = load_video(req(flags, "video")?)?;
+    let start: u32 = num(flags, "start", 0)?;
+    let end: u32 = num(
+        flags,
+        "end",
+        (start + 120).min(video.frames.saturating_sub(1)),
+    )?;
+    let clip = video.truth.window(start, end);
+    // Drop empty trajectories for readability.
+    let visible: Vec<_> = clip
+        .objects
+        .iter()
+        .filter(|t| t.len() >= 2)
+        .cloned()
+        .collect();
+    let clip = sketchql_trajectory::Clip::new(clip.frame_width, clip.frame_height, visible);
+    println!("frames {start}..{end} of {}:", video.name);
+    println!("{}", render_storyboard(&clip, 100, 30));
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(vp) = flags.get("video") {
+        let video = load_video(vp)?;
+        println!("video {}", video.name);
+        println!("  family  {}", video.family.name());
+        println!(
+            "  frames  {} ({:.1}s @ {} fps)",
+            video.frames,
+            video.frames as f32 / video.fps,
+            video.fps
+        );
+        println!("  objects {}", video.truth.num_objects());
+        println!("  events:");
+        for e in &video.events {
+            println!(
+                "    {:<24} {:>6}..{:<6} objects {:?}",
+                e.kind.name(),
+                e.start,
+                e.end,
+                e.object_ids
+            );
+        }
+        return Ok(());
+    }
+    if let Some(mp) = flags.get("model") {
+        let model = TrainedModel::load(Path::new(mp)).map_err(|e| e.to_string())?;
+        println!("model {mp}");
+        println!("  params      {}", model.store.num_scalars());
+        println!("  d_model     {}", model.config.encoder.d_model);
+        println!("  layers      {}", model.config.encoder.layers);
+        println!("  steps       {}", model.config.steps);
+        println!(
+            "  final loss  {:.3}",
+            model.loss_history.last().copied().unwrap_or(f32::NAN)
+        );
+        return Ok(());
+    }
+    Err("info needs --video or --model".into())
+}

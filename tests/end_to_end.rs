@@ -1,0 +1,168 @@
+//! End-to-end integration with the learned model: train a small encoder on
+//! simulator pairs, then run the complete demo workflow (upload → sketch →
+//! run → display → feedback).
+//!
+//! The model here is deliberately tiny (seconds of training); assertions
+//! check *behavioral* properties (positives beat negatives, queries rank
+//! true events above chance) rather than exact numbers.
+
+use sketchql::prelude::*;
+use sketchql::training::{evaluate_pairs, train};
+use sketchql_datasets::{query_clip, EventKind, SceneFamily};
+use sketchql_simulator::{PairGenerator, RandomSceneSampler};
+use std::sync::OnceLock;
+
+fn shared_model() -> &'static TrainedModel {
+    static MODEL: OnceLock<TrainedModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let mut cfg = TrainingConfig::tiny();
+        cfg.steps = 60;
+        train(cfg)
+    })
+}
+
+#[test]
+fn contrastive_training_produces_view_invariance() {
+    let model = shared_model();
+    let generator = PairGenerator::new(
+        RandomSceneSampler::new(model.config.sampler),
+        model.config.pairgen,
+    );
+    let eval = evaluate_pairs(model, &generator, 16, 4242);
+    // Two camera views of the same 3D event must embed closer than views
+    // of different events — the zero-shot property the paper trains for.
+    assert!(
+        eval.mean_positive > eval.mean_negative + 0.05,
+        "positive pairs should be clearly closer: {eval:?}"
+    );
+    // Chance is 1/16 = 0.0625; the 60-step tiny model must beat it clearly
+    // (the full recipe reaches ~0.5-0.7, see experiments A1).
+    assert!(
+        eval.top1_accuracy > 0.15,
+        "top-1 view retrieval should beat chance (1/16): {eval:?}"
+    );
+}
+
+#[test]
+fn demo_workflow_q1_with_learned_model() {
+    let mut sq = SketchQL::new(shared_model().clone());
+    let video = sketchql_suite::demo_video(SceneFamily::UrbanIntersection, 77);
+    let summary = sq.upload_dataset("traffic", &video);
+    assert!(summary.num_tracks >= 4);
+
+    // Sketch Q1 through the interactive API.
+    let mut sketch = sq.new_sketch();
+    let car = sketch
+        .create_object(ObjectClass::Car, Point2::new(150.0, 450.0))
+        .unwrap();
+    sketch.set_mode(MouseMode::Drag);
+    sketch
+        .drag_object_along(
+            car,
+            &[
+                Point2::new(300.0, 450.0),
+                Point2::new(450.0, 445.0),
+                Point2::new(600.0, 430.0),
+                Point2::new(650.0, 330.0),
+                Point2::new(660.0, 180.0),
+            ],
+        )
+        .unwrap();
+    let seg = sketch.panel().lane(car)[0];
+    sketch.stretch_segment(seg, 80).unwrap();
+    let results = sq.run_sketch("traffic", &sketch).unwrap();
+    assert!(!results.is_empty());
+    let views = sq.display("traffic", &results).unwrap();
+    assert_eq!(views[0].rank, 1);
+    // Every returned moment is scored and well-formed.
+    for v in &views {
+        assert!((0.0..=1.0).contains(&v.score));
+        assert!(v.start <= v.end);
+    }
+}
+
+#[test]
+fn q2_alignment_changes_results() {
+    let mut sq = SketchQL::new(shared_model().clone());
+    let video = sketchql_suite::demo_video(SceneFamily::UrbanIntersection, 78);
+    sq.upload_dataset("v", &video);
+
+    let mut sketch = sq.new_sketch();
+    let person = sketch
+        .create_object(ObjectClass::Person, Point2::new(200.0, 300.0))
+        .unwrap();
+    let car = sketch
+        .create_object(ObjectClass::Car, Point2::new(500.0, 80.0))
+        .unwrap();
+    sketch.set_mode(MouseMode::Drag);
+    let p_seg = sketch
+        .drag_object_along(
+            person,
+            &[Point2::new(400.0, 300.0), Point2::new(650.0, 300.0)],
+        )
+        .unwrap();
+    let c_seg = sketch
+        .drag_object_along(car, &[Point2::new(500.0, 260.0), Point2::new(500.0, 480.0)])
+        .unwrap();
+    sketch.stretch_segment(p_seg, 60).unwrap();
+    sketch.stretch_segment(c_seg, 60).unwrap();
+    sketch.shift_segment(c_seg, 80).unwrap();
+    let before = sketch.compile().unwrap();
+
+    sketch.align_segments(c_seg, p_seg).unwrap();
+    let after = sketch.compile().unwrap();
+
+    // Synchronization shortens the event and overlaps the motions.
+    assert!(after.span() < before.span());
+    let q_before = sq.run_query("v", &before).unwrap();
+    let q_after = sq.run_query("v", &after).unwrap();
+    // Both run; the queries are genuinely different.
+    assert_ne!(before, after);
+    assert!(!q_before.is_empty() || !q_after.is_empty());
+}
+
+#[test]
+fn feedback_loop_runs_end_to_end() {
+    let mut sq = SketchQL::new(shared_model().clone());
+    let video = sketchql_suite::demo_video(SceneFamily::ParkingLot, 79);
+    sq.upload_dataset("lot", &video);
+    let query = query_clip(EventKind::RightTurn);
+    let results = sq.run_query("lot", &query).unwrap();
+    assert!(results.len() >= 2);
+
+    let truth = video.events_of(EventKind::RightTurn);
+    let feedback: Vec<Feedback> = results
+        .iter()
+        .take(4)
+        .map(|m| Feedback {
+            clip: sq.moment_clip("lot", m).unwrap(),
+            relevant: truth.iter().any(|t| t.temporal_iou(m.start, m.end) >= 0.3),
+        })
+        .collect();
+    let cfg = TunerConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    sq.apply_feedback(&query, &feedback, &cfg);
+    // The session still answers queries after tuning.
+    let again = sq.run_query("lot", &query).unwrap();
+    for m in &again {
+        assert!((0.0..=1.0).contains(&m.score));
+    }
+}
+
+#[test]
+fn learned_similarity_is_view_consistent_on_canonical_queries() {
+    // The same canonical query embedded twice gives identical scores, and
+    // scoring is symmetric enough that self-similarity is maximal.
+    let model = shared_model();
+    let sim = model.similarity();
+    for &kind in EventKind::ALL {
+        let q = query_clip(kind);
+        let e1 = sim.embed(&q).unwrap();
+        let e2 = sim.embed(&q).unwrap();
+        assert_eq!(e1, e2, "{kind}: embedding must be deterministic");
+        let s = sketchql_nn::cosine_similarity(&e1, &e2);
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+}
