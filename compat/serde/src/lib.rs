@@ -1,0 +1,390 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde-shaped serialization layer: data structures
+//! convert to and from a JSON-like [`Value`] tree, and
+//! `#[derive(Serialize, Deserialize)]` is provided by the sibling
+//! `serde_derive` proc-macro (re-exported here, as upstream does).
+//!
+//! The surface intentionally covers only what this workspace uses:
+//! structs with named fields, tuple structs, enums with unit / tuple /
+//! struct variants, the std containers below, and JSON round-trips via
+//! the sibling `serde_json` shim. It is not wire-compatible with real
+//! serde_json output for every corner case (e.g. non-finite floats
+//! serialize as `null`), but it is self-consistent, which is what the
+//! persistence layer and tests require.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`; integers are exact up to 2^53).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing an unexpected value shape.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        };
+        DeError(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    // Non-finite floats serialize as null; restore NaN for
+                    // float targets, reject for integers.
+                    Value::Null if <$t>::ALLOWS_NULL => Ok(<$t>::NULL_VALUE),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+/// Internal: which numeric types accept `null` (as NaN) when deserializing.
+trait NumNull {
+    const ALLOWS_NULL: bool;
+    const NULL_VALUE: Self;
+}
+
+macro_rules! impl_num_null {
+    (int: $($t:ty),*) => {$(
+        impl NumNull for $t {
+            const ALLOWS_NULL: bool = false;
+            const NULL_VALUE: Self = 0;
+        }
+    )*};
+    (float: $($t:ty),*) => {$(
+        impl NumNull for $t {
+            const ALLOWS_NULL: bool = true;
+            const NULL_VALUE: Self = <$t>::NAN;
+        }
+    )*};
+}
+
+impl_num_null!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_num_null!(float: f32, f64);
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) => {
+                        let expect = [$(stringify!($n)),+].len();
+                        if items.len() != expect {
+                            return Err(DeError(format!(
+                                "expected {expect}-tuple, got array of {}", items.len())));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+/// Map keys convertible to/from JSON object keys (strings). Mirrors
+/// `serde_json`'s stringification of integer map keys.
+pub trait MapKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse::<$t>()
+                    .map_err(|_| DeError(format!("invalid integer map key {key:?}")))
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(fields)
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+/// Support code referenced by `serde_derive` expansions; not public API.
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Looks up a field in an object's entry list.
+    pub fn obj_get<'a>(fields: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError(format!("missing field {key:?}")))
+    }
+
+    /// Unwraps an object value or errors.
+    pub fn as_obj<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+        match v {
+            Value::Obj(fields) => Ok(fields),
+            other => Err(DeError::expected(ty, other)),
+        }
+    }
+
+    /// Unwraps an array value or errors.
+    pub fn as_arr<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], DeError> {
+        match v {
+            Value::Arr(items) => Ok(items),
+            other => Err(DeError::expected(ty, other)),
+        }
+    }
+}

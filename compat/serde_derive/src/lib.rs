@@ -1,0 +1,426 @@
+//! In-tree stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-model serde shim in `compat/serde`, with no dependency on `syn` or
+//! `quote` (neither is available offline): the item is parsed directly from
+//! the `proc_macro::TokenStream` and the impl is emitted as a source string.
+//!
+//! Supported shapes — the ones this workspace uses:
+//! - structs with named fields;
+//! - tuple structs (newtype serializes transparently, wider ones as arrays);
+//! - unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default).
+//!
+//! Not supported: generic types, lifetimes, unions, and `#[serde(...)]`
+//! field attributes (they are accepted and ignored so existing code keeps
+//! compiling, except none remain in-tree).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let keyword = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive shim: expected struct or enum, found `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    toks.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `a: TypeA, b: TypeB, ...` returning the field names. Commas inside
+/// angle brackets (`BTreeMap<String, Tensor>`) do not split fields; commas
+/// inside `(...)`/`[...]` arrive as opaque groups and need no tracking.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        let mut angle_depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run off the end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts comma-separated segments at angle-depth 0 (tuple-struct / tuple-variant arity).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    let mut saw_tok_since_comma = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    saw_tok_since_comma = false;
+                    count += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tok_since_comma = true;
+    }
+    if !saw_tok_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        while let Some(t) = toks.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push(format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push(format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Obj(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vname}({}) => ::serde::Value::Obj(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Arr(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Obj(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Obj(::std::vec![{}]))]),",
+                            fields.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", other)) }}"
+        ),
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::__private::as_arr(v, \"tuple struct {name}\")?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                         \"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::obj_get(fields, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = ::serde::__private::as_obj(v, \"struct {name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut str_arms = Vec::new();
+            let mut obj_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    VariantKind::Tuple(1) => obj_arms.push(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        obj_arms.push(format!(
+                            "{vname:?} => {{\n\
+                                 let items = ::serde::__private::as_arr(inner, \"variant {name}::{vname}\")?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                                         \"expected {n} elements for {name}::{vname}, got {{}}\", items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::__private::obj_get(fields, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        obj_arms.push(format!(
+                            "{vname:?} => {{\n\
+                                 let fields = ::serde::__private::as_obj(inner, \"variant {name}::{vname}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {str_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                             \"unknown variant {{other:?}} of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {obj_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                                 \"unknown variant {{other:?}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+                 }}",
+                str_arms = str_arms.join("\n"),
+                obj_arms = obj_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

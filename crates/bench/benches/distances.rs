@@ -1,9 +1,9 @@
 //! T1/T5 — raw cost of each classical trajectory distance on
 //! canonical-length (32-point) paths, and feature extraction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sketchql_bench::harness::Harness;
 use sketchql_trajectory::{distance, extract_features, DistanceKind, Point2};
 use std::hint::black_box;
 
@@ -21,37 +21,35 @@ fn rand_path(n: usize, seed: u64) -> Vec<Point2> {
         .collect()
 }
 
-fn bench_distances(c: &mut Criterion) {
+fn bench_distances(h: &mut Harness) {
     let a = rand_path(32, 1);
     let b = rand_path(32, 2);
-    let mut group = c.benchmark_group("path_distance_32pt");
+    let mut group = h.group("path_distance_32pt");
     for &kind in DistanceKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |bch, &k| {
-                bch.iter(|| black_box(distance::path_distance(k, black_box(&a), black_box(&b))))
-            },
-        );
+        group.bench(kind.name(), |bch| {
+            bch.iter(|| black_box(distance::path_distance(kind, black_box(&a), black_box(&b))))
+        });
     }
     group.finish();
 
     // Scaling with path length for the quadratic measures.
-    let mut group = c.benchmark_group("dtw_scaling");
+    let mut group = h.group("dtw_scaling");
     for n in [16usize, 64, 256] {
         let a = rand_path(n, 3);
         let b = rand_path(n, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+        group.bench(n, |bch| {
             bch.iter(|| black_box(distance::dtw(black_box(&a), black_box(&b))))
         });
     }
     group.finish();
 
     let clip = sketchql_bench::bench_clip(9);
-    c.bench_function("extract_features_32", |b| {
+    h.bench("extract_features_32", |b| {
         b.iter(|| black_box(extract_features(black_box(&clip), 32)))
     });
 }
 
-criterion_group!(benches, bench_distances);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_distances(&mut h);
+}

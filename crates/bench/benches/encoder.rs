@@ -1,36 +1,36 @@
 //! T5/A1 — encoder inference throughput and one contrastive training step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketchql::training::clip_features_tensor;
+use sketchql_bench::harness::Harness;
 use sketchql_bench::{bench_clip, bench_model};
 use sketchql_nn::{nt_xent, Graph};
 use std::hint::black_box;
 
-fn bench_encoder(c: &mut Criterion) {
+fn bench_encoder(h: &mut Harness) {
     let model = bench_model();
     let clip = bench_clip(5);
     let steps = model.config.encoder.steps;
     let feats = clip_features_tensor(&clip, steps).unwrap();
 
-    c.bench_function("encoder_embed", |b| {
+    h.bench("encoder_embed", |b| {
         b.iter(|| black_box(model.encoder.embed(&model.store, black_box(&feats))))
     });
 
-    c.bench_function("feature_extraction", |b| {
+    h.bench("feature_extraction", |b| {
         b.iter(|| black_box(clip_features_tensor(black_box(&clip), steps)))
     });
 
-    // One full forward+backward+nothing step over a batch of 8 pairs
-    // (isolates the autograd cost from data generation).
+    // One full forward+backward step over a batch of 8 pairs (isolates
+    // the autograd cost from data generation).
     let mut rng = StdRng::seed_from_u64(9);
     let feats_batch: Vec<_> = (0..16)
         .map(|_| sketchql_nn::Tensor::xavier(steps, feats.cols, &mut rng))
         .collect();
-    let mut group = c.benchmark_group("training_step");
+    let mut group = h.group("training_step");
     group.sample_size(10);
-    group.bench_function("forward_backward_b8", |b| {
+    group.bench("forward_backward_b8", |b| {
         b.iter(|| {
             let mut g = Graph::new(&model.store);
             let mut anchors = Vec::new();
@@ -48,5 +48,7 @@ fn bench_encoder(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encoder);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_encoder(&mut h);
+}

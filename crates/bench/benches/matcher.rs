@@ -1,29 +1,34 @@
 //! T5 — full query latency: sliding-window search over videos of
 //! increasing length, learned similarity vs the DTW baseline.
+//!
+//! Doubles as the telemetry-overhead check: build once with default
+//! features and once with `--no-default-features`, then compare the
+//! `matcher_search/learned/*` medians (`scripts/bench_overhead.sh`
+//! automates this; the acceptance bar is <2% overhead).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sketchql::{ClassicalSimilarity, Matcher, MaterializeConfig, MaterializedWindows, VideoIndex};
+use sketchql_bench::harness::Harness;
 use sketchql_bench::{bench_model, bench_video};
 use sketchql_datasets::{query_clip, EventKind};
 use sketchql_trajectory::DistanceKind;
 use std::hint::black_box;
 
-fn bench_matcher(c: &mut Criterion) {
+fn bench_matcher(h: &mut Harness) {
     let model = bench_model();
     let query = query_clip(EventKind::LeftTurn);
 
-    let mut group = c.benchmark_group("matcher_search");
+    let mut group = h.group("matcher_search");
     group.sample_size(10);
     for events_per_kind in [1usize, 2] {
         let video = bench_video(events_per_kind, 42);
         let idx = VideoIndex::from_truth(&video);
-        group.bench_with_input(BenchmarkId::new("learned", idx.frames), &idx, |b, idx| {
+        group.bench(format!("learned/{}", idx.frames), |b| {
             let m = Matcher::new(model.similarity());
-            b.iter(|| black_box(m.search(idx, black_box(&query))))
+            b.iter(|| black_box(m.search(&idx, black_box(&query))))
         });
-        group.bench_with_input(BenchmarkId::new("dtw", idx.frames), &idx, |b, idx| {
+        group.bench(format!("dtw/{}", idx.frames), |b| {
             let m = Matcher::new(ClassicalSimilarity::new(DistanceKind::Dtw));
-            b.iter(|| black_box(m.search(idx, black_box(&query))))
+            b.iter(|| black_box(m.search(&idx, black_box(&query))))
         });
     }
     group.finish();
@@ -33,37 +38,48 @@ fn bench_matcher(c: &mut Criterion) {
     let idx1 = VideoIndex::from_truth(&video);
     let sim = model.similarity();
     let mat = MaterializedWindows::build(&idx1, &sim, MaterializeConfig::default());
-    let mut group = c.benchmark_group("matcher_materialized");
-    group.bench_function("query_after_build", |b| {
+    let mut group = h.group("matcher_materialized");
+    group.bench("query_after_build", |b| {
         b.iter(|| black_box(mat.query(&sim, black_box(&query), 10, 0.45)))
     });
     group.finish();
 
     // Multi-object query (Q2): combinatorial candidate generation.
-    let mut group = c.benchmark_group("matcher_search_multiobject");
+    let mut group = h.group("matcher_search_multiobject");
     group.sample_size(10);
     let video = bench_video(1, 43);
     let idx = VideoIndex::from_truth(&video);
     let q2 = query_clip(EventKind::PerpendicularCrossing);
-    group.bench_function("learned_q2", |b| {
+    group.bench("learned_q2", |b| {
         let m = Matcher::new(model.similarity());
         b.iter(|| black_box(m.search(&idx, black_box(&q2))))
     });
     group.finish();
 }
 
-fn bench_rules(c: &mut Criterion) {
+fn bench_rules(h: &mut Harness) {
     let video = bench_video(1, 45);
     let idx = VideoIndex::from_truth(&video);
     let rule = sketchql::expert_rule(sketchql_datasets::EventKind::LeftTurn);
     let cfg = sketchql::RuleSearchConfig::default();
-    let mut group = c.benchmark_group("rules_baseline");
+    let mut group = h.group("rules_baseline");
     group.sample_size(20);
-    group.bench_function("left_turn_rule_eval", |b| {
+    group.bench("left_turn_rule_eval", |b| {
         b.iter(|| black_box(sketchql::evaluate_rule(&idx, &rule, &cfg)))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_matcher, bench_rules);
-criterion_main!(benches);
+fn main() {
+    println!(
+        "# matcher benches (telemetry feature: {})",
+        if cfg!(feature = "telemetry") {
+            "on"
+        } else {
+            "off"
+        }
+    );
+    let mut h = Harness::from_env();
+    bench_matcher(&mut h);
+    bench_rules(&mut h);
+}

@@ -1,40 +1,42 @@
 //! T1/T5 — cost of scoring one candidate window under each similarity
 //! function (the inner loop of the Matcher).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sketchql::{ClassicalSimilarity, Similarity};
+use sketchql_bench::harness::Harness;
 use sketchql_bench::{bench_clip, bench_model};
 use sketchql_datasets::{query_clip, EventKind};
 use sketchql_trajectory::DistanceKind;
 use std::hint::black_box;
 
-fn bench_similarity(c: &mut Criterion) {
+fn bench_similarity(h: &mut Harness) {
     let model = bench_model();
     let learned = model.similarity();
     let query = query_clip(EventKind::LeftTurn);
     let candidate = bench_clip(1);
 
-    let mut group = c.benchmark_group("similarity_score");
+    let mut group = h.group("similarity_score");
     let prepared = learned.prepare(&query);
-    group.bench_function("sketchql_learned", |b| {
+    group.bench("sketchql_learned", |b| {
         b.iter(|| black_box(learned.score(&prepared, black_box(&candidate))))
     });
     for &kind in DistanceKind::ALL {
         let sim = ClassicalSimilarity::new(kind);
         let prepared = sim.prepare(&query);
-        group.bench_with_input(BenchmarkId::new("classical", kind.name()), &kind, |b, _| {
+        group.bench(format!("classical/{}", kind.name()), |b| {
             b.iter(|| black_box(sim.score(&prepared, black_box(&candidate))))
         });
     }
     group.finish();
 
     // Query preparation (one-time per query) cost.
-    let mut group = c.benchmark_group("similarity_prepare");
-    group.bench_function("sketchql_learned", |b| {
+    let mut group = h.group("similarity_prepare");
+    group.bench("sketchql_learned", |b| {
         b.iter(|| black_box(learned.prepare(black_box(&query))))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_similarity);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_similarity(&mut h);
+}

@@ -2,16 +2,16 @@
 //! contrastive pair generation (the simulator is the data engine behind
 //! the zero-shot model — T2/A1 depend on its speed).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sketchql_bench::harness::Harness;
 use sketchql_simulator::{
     templates, Agent, Camera, CameraRig, PairGenerator, Scene3D, ShakeConfig,
 };
 use sketchql_trajectory::{ObjectClass, Point2, Point3};
 use std::hint::black_box;
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator(h: &mut Harness) {
     let scene = Scene3D::new(30.0)
         .with_object(
             Agent::with_priors(ObjectClass::Car),
@@ -27,7 +27,7 @@ fn bench_simulator(c: &mut Criterion) {
             templates::straight_pass(Point2::new(0.0, -10.0), 1.2, 1.4, 90),
         );
 
-    c.bench_function("scene_record_90_frames", |b| {
+    h.bench("scene_record_90_frames", |b| {
         b.iter(|| {
             let cam = Camera::look_at(Point3::new(0.0, -40.0, 25.0), scene.center());
             let mut rig = CameraRig::new(cam, ShakeConfig::default());
@@ -37,14 +37,16 @@ fn bench_simulator(c: &mut Criterion) {
     });
 
     let gen = PairGenerator::default_generator();
-    let mut group = c.benchmark_group("pair_generation");
+    let mut group = h.group("pair_generation");
     group.sample_size(20);
-    group.bench_function("sample_pair", |b| {
+    group.bench("sample_pair", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| black_box(gen.sample_pair(&mut rng)))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_simulator(&mut h);
+}

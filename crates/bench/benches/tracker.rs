@@ -1,51 +1,47 @@
 //! T5 — preprocessing throughput: detector simulation + ByteTrack tracking
 //! per video length, plus the Hungarian-assignment microbenchmark.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sketchql_bench::bench_video;
+use sketchql_bench::harness::Harness;
 use sketchql_tracker::{hungarian, track_detections, DetectorConfig, DetectorSim, TrackerConfig};
 use std::hint::black_box;
 
-fn bench_tracker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("preprocess");
+fn bench_tracker(h: &mut Harness) {
+    let mut group = h.group("preprocess");
     group.sample_size(10);
     for events_per_kind in [1usize, 2] {
         let video = bench_video(events_per_kind, 7);
         let mut rng = StdRng::seed_from_u64(1);
         let sim = DetectorSim::new(DetectorConfig::default());
         let det_frames = sim.detect_clip(&video.truth, video.frames, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("bytetrack", video.frames),
-            &det_frames,
-            |b, frames| b.iter(|| black_box(track_detections(frames, TrackerConfig::default(), 8))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("detector_sim", video.frames),
-            &video,
-            |b, v| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(2);
-                    black_box(sim.detect_clip(&v.truth, v.frames, &mut rng))
-                })
-            },
-        );
+        group.bench(format!("bytetrack/{}", video.frames), |b| {
+            b.iter(|| black_box(track_detections(&det_frames, TrackerConfig::default(), 8)))
+        });
+        group.bench(format!("detector_sim/{}", video.frames), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(sim.detect_clip(&video.truth, video.frames, &mut rng))
+            })
+        });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("hungarian");
+    let mut group = h.group("hungarian");
     for n in [4usize, 16, 48] {
         let mut rng = StdRng::seed_from_u64(3);
         let cost: Vec<Vec<f32>> = (0..n)
             .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
-            b.iter(|| black_box(hungarian::assign(cost, f32::INFINITY)))
+        group.bench(n, |b| {
+            b.iter(|| black_box(hungarian::assign(&cost, f32::INFINITY)))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_tracker);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_tracker(&mut h);
+}

@@ -1,0 +1,171 @@
+//! Minimal micro-benchmark harness (criterion stand-in).
+//!
+//! The workspace builds with no network access, so benches run on this
+//! small in-tree harness instead of criterion. It keeps the parts that
+//! matter for comparing builds: per-iteration timing from batched
+//! monotonic-clock samples, warmup, and machine-readable output.
+//!
+//! Each measurement prints one line:
+//!
+//! ```text
+//! BENCH matcher_search/learned/270 median_ns=123456 min_ns=... max_ns=... samples=20
+//! ```
+//!
+//! `scripts/bench_overhead.sh` diffs `median_ns` between two builds (for
+//! the telemetry-overhead acceptance check). Set `SKETCHQL_BENCH_QUICK=1`
+//! for a fast smoke run.
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark body: `iter` is called with the closure to time.
+pub struct Bencher {
+    samples: usize,
+    batch_target: Duration,
+    results: Option<Stats>,
+}
+
+/// Summary of one benchmark's samples, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, batching calls so each sample spans a measurable
+    /// interval. The return value is passed through [`std::hint::black_box`]
+    /// so the work isn't optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: estimate one iteration's cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(5) {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let est_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch =
+            ((self.batch_target.as_secs_f64() / est_iter.max(1e-9)) as u64).clamp(1, 100_000);
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        self.results = Some(Stats {
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            max_ns: per_iter_ns[per_iter_ns.len() - 1],
+            samples: per_iter_ns.len(),
+        });
+    }
+}
+
+/// Entry point owning harness-wide settings; create with [`Harness::from_env`].
+pub struct Harness {
+    quick: bool,
+}
+
+impl Harness {
+    /// Reads settings from the environment (`SKETCHQL_BENCH_QUICK=1`
+    /// shrinks samples and batch targets for smoke runs).
+    pub fn from_env() -> Self {
+        Harness {
+            quick: std::env::var_os("SKETCHQL_BENCH_QUICK").is_some(),
+        }
+    }
+
+    fn default_samples(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            20
+        }
+    }
+
+    fn batch_target(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(1)
+        } else {
+            Duration::from_millis(5)
+        }
+    }
+
+    /// Opens a named group of related measurements.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let samples = self.default_samples();
+        let batch_target = self.batch_target();
+        run_one(id, samples, batch_target, f);
+    }
+}
+
+/// A named group of measurements sharing a sample count.
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks one case; `id` distinguishes it within the group.
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let samples = if self.harness.quick {
+            self.harness.default_samples()
+        } else {
+            self.sample_size
+                .unwrap_or_else(|| self.harness.default_samples())
+        };
+        let batch_target = self.harness.batch_target();
+        run_one(&format!("{}/{}", self.name, id), samples, batch_target, f);
+    }
+
+    /// No-op, kept for call-site symmetry with criterion's API.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, batch_target: Duration, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        batch_target,
+        results: None,
+    };
+    f(&mut b);
+    match b.results {
+        Some(s) => {
+            println!(
+                "BENCH {id} median_ns={:.0} min_ns={:.0} max_ns={:.0} samples={}",
+                s.median_ns, s.min_ns, s.max_ns, s.samples
+            );
+        }
+        None => println!("BENCH {id} SKIPPED (body never called iter)"),
+    }
+}

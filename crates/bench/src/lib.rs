@@ -1,10 +1,13 @@
 //! # sketchql-bench
 //!
-//! Criterion benchmarks for SketchQL. Shared fixtures live here; the bench
-//! targets (one per experiment table, see DESIGN.md §4) are under
-//! `benches/`.
+//! Benchmarks for SketchQL on the in-tree [`harness`] (the workspace
+//! builds offline, so criterion is not available). Shared fixtures live
+//! here; the bench targets (one per experiment table, see DESIGN.md §4)
+//! are under `benches/`.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use sketchql_datasets::SyntheticVideo;
+use sketchql_telemetry::{self as telemetry, names};
 use sketchql_tracker::{track_detections, DetectorConfig, DetectorSim, TrackerConfig};
 use sketchql_trajectory::{Clip, ObjectClass, Trajectory};
 
@@ -41,10 +42,13 @@ impl VideoIndex {
         tracker: TrackerConfig,
         seed: u64,
     ) -> Self {
+        let _span = telemetry::span(names::INDEX_BUILD);
         let mut rng = StdRng::seed_from_u64(seed);
         let sim = DetectorSim::new(detector);
         let det_frames = sim.detect_clip(&video.truth, video.frames, &mut rng);
         let tracks = track_detections(&det_frames, tracker, MIN_TRACK_LEN);
+        telemetry::counter(names::FRAMES_PREPROCESSED).add(video.frames as u64);
+        telemetry::counter(names::TRACKS_BUILT).add(tracks.len() as u64);
         VideoIndex {
             name: video.name.clone(),
             tracks,
@@ -188,7 +192,12 @@ mod tests {
     #[test]
     fn postprocess_never_increases_track_count() {
         let v = small_video();
-        let plain = VideoIndex::build(&v, DetectorConfig::at_noise_level(2.0), TrackerConfig::default(), 7);
+        let plain = VideoIndex::build(
+            &v,
+            DetectorConfig::at_noise_level(2.0),
+            TrackerConfig::default(),
+            7,
+        );
         let post = VideoIndex::build_with_postprocess(
             &v,
             DetectorConfig::at_noise_level(2.0),

@@ -42,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub use sketchql_telemetry as telemetry;
+
 pub mod index;
 pub mod matcher;
 pub mod materialized;

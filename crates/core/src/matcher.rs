@@ -8,10 +8,14 @@
 //! hits (NMS), and returns the top-k moments sorted by score.
 
 use serde::{Deserialize, Serialize};
+use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{Clip, TrackId, TrajPoint, Trajectory};
 
 use crate::index::VideoIndex;
 use crate::similarity::Similarity;
+
+/// Bucket bounds for the window-score histogram (scores live in `[0, 1]`).
+const SCORE_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
 /// Matcher search parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -108,21 +112,37 @@ impl<S: Similarity> Matcher<S> {
     }
 
     /// Runs the sliding-window search of `query` over `index`.
+    ///
+    /// Degenerate inputs return an empty result set rather than panic: an
+    /// empty index, an empty query, a query shorter than
+    /// [`MatcherConfig::min_window`], or window scales that all exceed the
+    /// video's length.
     pub fn search(&self, index: &VideoIndex, query: &Clip) -> Vec<RetrievedMoment> {
+        let _search_span = telemetry::span(names::MATCHER_SEARCH);
         let q_span = query.span();
-        if q_span == 0 || query.num_objects() == 0 || index.frames == 0 {
+        if q_span == 0
+            || q_span < self.config.min_window
+            || query.num_objects() == 0
+            || index.frames == 0
+        {
             return Vec::new();
         }
-        let prepared = self.sim.prepare(query);
+        let prepared = {
+            let _prepare_span = telemetry::span(names::MATCHER_PREPARE);
+            self.sim.prepare(query)
+        };
         let classes = query.classes();
 
+        let scan_span = telemetry::span(names::MATCHER_SCAN);
         // Enumerate every (start, end, min_overlap) window first; scoring
-        // them is then embarrassingly parallel.
+        // them is then embarrassingly parallel. Scales whose window would
+        // not fit in the video are skipped entirely.
         let mut windows: Vec<(u32, u32, u32)> = Vec::new();
         for &scale in &self.config.window_scales {
-            let window = ((q_span as f32 * scale) as u32)
-                .max(self.config.min_window)
-                .min(index.frames);
+            let window = ((q_span as f32 * scale) as u32).max(self.config.min_window);
+            if window > index.frames {
+                continue;
+            }
             let stride = ((window as f32 * self.config.stride_frac) as u32).max(1);
             let min_overlap = ((window as f32 * self.config.min_overlap_frac) as u32).max(1);
             let mut start = 0u32;
@@ -135,6 +155,7 @@ impl<S: Similarity> Matcher<S> {
                 start += stride;
             }
         }
+        telemetry::counter(names::WINDOWS_ENUMERATED).add(windows.len() as u64);
 
         let threads = self.config.threads.max(1);
         let mut scored: Vec<RetrievedMoment> = if threads == 1 || windows.len() < 2 * threads {
@@ -143,28 +164,36 @@ impl<S: Similarity> Matcher<S> {
                 .filter_map(|&(s, e, o)| self.best_in_window(index, &classes, &prepared, s, e, o))
                 .collect()
         } else {
-            let results = parking_lot::Mutex::new(Vec::with_capacity(windows.len()));
+            let results = std::sync::Mutex::new(Vec::with_capacity(windows.len()));
             let chunk = windows.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for piece in windows.chunks(chunk) {
                     let results = &results;
                     let prepared = &prepared;
                     let classes = &classes;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let local: Vec<RetrievedMoment> = piece
                             .iter()
                             .filter_map(|&(s, e, o)| {
                                 self.best_in_window(index, classes, prepared, s, e, o)
                             })
                             .collect();
-                        results.lock().extend(local);
+                        results.lock().unwrap().extend(local);
                     });
                 }
-            })
-            .expect("matcher worker panicked");
-            results.into_inner()
+            });
+            results.into_inner().unwrap()
         };
+        telemetry::counter(names::WINDOWS_PRUNED).add((windows.len() - scored.len()) as u64);
+        if telemetry::is_enabled() {
+            let hist = telemetry::histogram(names::WINDOW_SCORE, SCORE_BOUNDS);
+            for m in &scored {
+                hist.observe(m.score as f64);
+            }
+        }
+        drop(scan_span);
 
+        let _rank_span = telemetry::span(names::MATCHER_RANK);
         // Sort by score (ties broken deterministically so parallel and
         // sequential runs agree), NMS, truncate.
         scored.sort_by(|a, b| {
@@ -186,6 +215,7 @@ impl<S: Similarity> Matcher<S> {
                 kept.push(m);
             }
         }
+        telemetry::counter(names::TOPK_HEAP_OPS).add(kept.len() as u64);
         if self.config.refine_boundaries {
             for m in &mut kept {
                 refine_boundaries(index, m);
@@ -232,7 +262,11 @@ impl<S: Similarity> Matcher<S> {
                 tried += 1;
                 let candidate = window_clip(index, &combo, &per_slot, start, end);
                 if !candidate.is_empty() {
+                    // A non-finite score (a degenerate candidate under a
+                    // classical distance) is treated as "no match" so NaN
+                    // never reaches the ranking stage.
                     let score = self.sim.score(prepared, &candidate);
+                    let score = if score.is_finite() { score } else { 0.0 };
                     let ids = combo
                         .iter()
                         .enumerate()
@@ -501,6 +535,66 @@ mod tests {
         assert!(matcher().search(&idx, &empty_q).is_empty());
         let empty_idx = VideoIndex::from_clip("e", &Clip::new(10.0, 10.0, vec![]), 0, 30.0);
         assert!(matcher().search(&empty_idx, &left_turn_query()).is_empty());
+    }
+
+    #[test]
+    fn index_with_no_tracks_returns_empty() {
+        // Frames but no tracks: every window prunes, nothing panics.
+        let idx = VideoIndex::from_clip("n", &Clip::new(10.0, 10.0, vec![]), 100, 30.0);
+        assert!(matcher().search(&idx, &left_turn_query()).is_empty());
+    }
+
+    #[test]
+    fn query_shorter_than_min_window_returns_empty() {
+        let idx = test_index();
+        let pts = (0..8u32)
+            .map(|i| TrajPoint::new(i, BBox::new(i as f32 * 5.0, 300.0, 40.0, 25.0)))
+            .collect();
+        let q = Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(0, ObjectClass::Car, pts)],
+        );
+        assert!(q.span() < MatcherConfig::default().min_window);
+        assert!(matcher().search(&idx, &q).is_empty());
+    }
+
+    #[test]
+    fn windows_longer_than_video_are_skipped() {
+        // A 20-frame video: every scale of the ~90-frame query exceeds it,
+        // so all scales are skipped and the result set is empty.
+        let pts = (0..20u32)
+            .map(|f| TrajPoint::new(f, BBox::new(f as f32 * 5.0, 300.0, 40.0, 25.0)))
+            .collect();
+        let clip = Clip::new(
+            1280.0,
+            720.0,
+            vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
+        );
+        let idx = VideoIndex::from_clip("short", &clip, 20, 30.0);
+        assert!(matcher().search(&idx, &left_turn_query()).is_empty());
+    }
+
+    #[test]
+    fn scores_stay_finite_on_degenerate_candidates() {
+        // A stationary track has zero path length — a classical distance
+        // can go non-finite there; the matcher must map that to a finite
+        // score, never NaN.
+        let pts = (0..200u32)
+            .map(|f| TrajPoint::new(f, BBox::new(300.0, 300.0, 40.0, 25.0)))
+            .collect();
+        let clip = Clip::new(
+            1280.0,
+            720.0,
+            vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
+        );
+        let idx = VideoIndex::from_clip("parked", &clip, 200, 30.0);
+        for &kind in DistanceKind::ALL {
+            let m = Matcher::new(ClassicalSimilarity::new(kind));
+            for r in m.search(&idx, &left_turn_query()) {
+                assert!(r.score.is_finite(), "{kind:?} produced {:?}", r.score);
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! the demo paper) applies to exploratory video analytics.
 
 use serde::{Deserialize, Serialize};
+use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{Clip, ObjectClass, TrackId, TrajPoint, Trajectory};
 
 use crate::index::VideoIndex;
@@ -66,6 +67,7 @@ pub struct MaterializedWindows {
 impl MaterializedWindows {
     /// Embeds every (track, window) candidate of the index.
     pub fn build(index: &VideoIndex, sim: &LearnedSimilarity, config: MaterializeConfig) -> Self {
+        let _span = telemetry::span(names::MATERIALIZED_BUILD);
         // Enumerate tasks first, then embed in parallel.
         let mut tasks: Vec<(usize, u32, u32)> = Vec::new();
         for &wlen in &config.window_lens {
@@ -118,24 +120,24 @@ impl MaterializedWindows {
         let mut entries: Vec<MaterializedEntry> = if threads == 1 || tasks.len() < 2 * threads {
             tasks.iter().filter_map(embed_task).collect()
         } else {
-            let out = parking_lot::Mutex::new(Vec::with_capacity(tasks.len()));
+            let out = std::sync::Mutex::new(Vec::with_capacity(tasks.len()));
             let chunk = tasks.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for piece in tasks.chunks(chunk) {
                     let out = &out;
                     let embed_task = &embed_task;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let local: Vec<MaterializedEntry> =
                             piece.iter().filter_map(embed_task).collect();
-                        out.lock().extend(local);
+                        out.lock().unwrap().extend(local);
                     });
                 }
-            })
-            .expect("materialize worker panicked");
-            out.into_inner()
+            });
+            out.into_inner().unwrap()
         };
         // Deterministic order regardless of thread count or interleaving.
         entries.sort_by_key(|e| (e.track_id, e.start, e.end));
+        telemetry::counter(names::MATERIALIZED_WINDOWS).add(entries.len() as u64);
 
         MaterializedWindows { config, entries }
     }
@@ -167,6 +169,7 @@ impl MaterializedWindows {
         if query.num_objects() != 1 {
             return None;
         }
+        let _span = telemetry::span(names::MATERIALIZED_QUERY);
         let qe = sim.embed(query)?;
         let qclass = query.objects[0].class;
         let mut scored: Vec<RetrievedMoment> = self
@@ -183,6 +186,7 @@ impl MaterializedWindows {
                 }
             })
             .collect();
+        telemetry::counter(names::MATERIALIZED_SCANS).add(scored.len() as u64);
         scored.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)

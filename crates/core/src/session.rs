@@ -14,10 +14,12 @@
 
 use serde::{Deserialize, Serialize};
 use sketchql_datasets::SyntheticVideo;
+use sketchql_telemetry::{self as telemetry, names, QueryReport, Recorder};
 use sketchql_tracker::{DetectorConfig, TrackerConfig};
 use sketchql_trajectory::{Clip, ObjectClass, TrajPoint, Trajectory};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 use crate::index::VideoIndex;
 use crate::matcher::{Matcher, MatcherConfig, RetrievedMoment};
@@ -112,6 +114,7 @@ pub struct SketchQL {
     /// Preprocessing settings for future uploads.
     pub preprocess: PreprocessConfig,
     datasets: BTreeMap<String, VideoIndex>,
+    last_report: Mutex<Option<QueryReport>>,
 }
 
 impl SketchQL {
@@ -122,6 +125,7 @@ impl SketchQL {
             matcher_config: MatcherConfig::default(),
             preprocess: PreprocessConfig::default(),
             datasets: BTreeMap::new(),
+            last_report: Mutex::new(None),
         }
     }
 
@@ -188,12 +192,8 @@ impl SketchQL {
         dataset: &str,
         query: &Clip,
     ) -> Result<Vec<RetrievedMoment>, SessionError> {
-        let index = self.dataset(dataset)?;
-        let matcher = Matcher::with_config(
-            LearnedSimilarity::new(self.model.encoder.clone(), self.model.store.clone()),
-            self.matcher_config.clone(),
-        );
-        Ok(matcher.search(index, query))
+        let sim = LearnedSimilarity::new(self.model.encoder.clone(), self.model.store.clone());
+        self.run_query_with(dataset, query, sim)
     }
 
     /// Step 5 with an arbitrary similarity function (baseline experiments).
@@ -205,7 +205,60 @@ impl SketchQL {
     ) -> Result<Vec<RetrievedMoment>, SessionError> {
         let index = self.dataset(dataset)?;
         let matcher = Matcher::with_config(sim, self.matcher_config.clone());
-        Ok(matcher.search(index, query))
+        let recorder = Recorder::begin();
+        let results = matcher.search(index, query);
+        telemetry::counter(names::SESSION_QUERY).inc();
+        *self.last_report.lock().unwrap() = Some(recorder.finish(dataset));
+        Ok(results)
+    }
+
+    /// The [`QueryReport`] of the most recent `run_query` /
+    /// `run_query_with` / `run_sketch` call on this session, or `None`
+    /// before the first query. When the `telemetry` feature is disabled
+    /// the report carries only the label, with all counters zero.
+    ///
+    /// ```
+    /// use sketchql::prelude::*;
+    /// use sketchql::VideoIndex;
+    ///
+    /// let mut cfg = TrainingConfig::tiny();
+    /// cfg.steps = 2;
+    /// let mut sq = SketchQL::new(sketchql::training::train(cfg));
+    /// assert!(sq.last_query_stats().is_none(), "no query has run yet");
+    ///
+    /// let cfg = sketchql_datasets::VideoConfig {
+    ///     family: sketchql_datasets::SceneFamily::UrbanIntersection,
+    ///     events_per_kind: 1,
+    ///     distractors: 0,
+    ///     fps: 30.0,
+    /// };
+    /// let video = sketchql_datasets::generate_video(
+    ///     cfg,
+    ///     7,
+    ///     &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
+    /// );
+    /// sq.upload_index("v", VideoIndex::from_truth(&video));
+    /// let query = sketchql_datasets::query_clip(sketchql_datasets::EventKind::LeftTurn);
+    /// sq.run_query("v", &query).unwrap();
+    ///
+    /// let stats = sq.last_query_stats().unwrap();
+    /// assert_eq!(stats.label, "v");
+    /// if sketchql::telemetry::is_enabled() {
+    ///     assert!(stats.windows_enumerated > 0);
+    ///     assert!(stats.similarity_evals > 0);
+    /// }
+    /// ```
+    pub fn last_query_stats(&self) -> Option<QueryReport> {
+        self.last_report.lock().unwrap().clone()
+    }
+
+    /// A point-in-time copy of every telemetry metric in the process
+    /// (counters, gauges, histograms) — cumulative across all queries, not
+    /// just this session's. Render it with
+    /// [`telemetry::snapshot_json`](sketchql_telemetry::snapshot_json) or
+    /// [`telemetry::snapshot_prometheus`](sketchql_telemetry::snapshot_prometheus).
+    pub fn telemetry_snapshot(&self) -> telemetry::MetricsSnapshot {
+        telemetry::MetricsSnapshot::capture()
     }
 
     /// Step 6 ("Display Videos"): formats moments for display, sorted by

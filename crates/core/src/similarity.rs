@@ -8,9 +8,25 @@
 //! candidate windows.
 
 use sketchql_nn::{cosine_similarity, ParamStore, TrajectoryEncoder};
+use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{
     clip_distance, distance_to_similarity, extract_features, Clip, DistanceKind,
 };
+use std::sync::OnceLock;
+
+/// Cached handle for the similarity-eval counter: `score` runs once per
+/// candidate combination, so the registry lookup is paid only once per
+/// process instead of per call.
+fn evals_counter() -> &'static telemetry::Counter {
+    static C: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+    C.get_or_init(|| telemetry::counter(names::SIMILARITY_EVALS))
+}
+
+/// Cached handle for the embedding counter (see [`evals_counter`]).
+fn embeds_counter() -> &'static telemetry::Counter {
+    static C: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+    C.get_or_init(|| telemetry::counter(names::EMBEDDINGS_COMPUTED))
+}
 
 /// A prepared (pre-processed) query, produced by [`Similarity::prepare`].
 #[derive(Debug, Clone)]
@@ -61,6 +77,7 @@ impl LearnedSimilarity {
         let steps = self.encoder.config.steps;
         let feats = extract_features(clip, steps).ok()?;
         let t = sketchql_nn::Tensor::from_vec(steps, feats.data.len() / steps, feats.data);
+        embeds_counter().inc();
         Some(self.encoder.embed(&self.store, &t))
     }
 }
@@ -78,6 +95,7 @@ impl Similarity for LearnedSimilarity {
     }
 
     fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32 {
+        evals_counter().inc();
         let PreparedQuery::Embedding(qe) = prepared else {
             return 0.0;
         };
@@ -118,6 +136,7 @@ impl Similarity for ClassicalSimilarity {
     }
 
     fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32 {
+        evals_counter().inc();
         let PreparedQuery::Clip(q) = prepared else {
             return 0.0;
         };

@@ -442,7 +442,10 @@ impl Sketcher {
     /// `epsilon` (canvas units), removing hand jitter while keeping the
     /// stroke's corners. Duration is unchanged.
     pub fn simplify_segment(&mut self, id: SegmentId, epsilon: f32) -> Result<(), SketchError> {
-        let seg = self.segments.get_mut(&id).ok_or(SketchError::NoSuchSegment(id))?;
+        let seg = self
+            .segments
+            .get_mut(&id)
+            .ok_or(SketchError::NoSuchSegment(id))?;
         seg.path = sketchql_trajectory::simplify_path(&seg.path, epsilon);
         Ok(())
     }
@@ -717,7 +720,12 @@ mod tests {
         s.set_mode(MouseMode::Drag);
         // A noisy horizontal drag.
         let noisy: Vec<Point2> = (0..60)
-            .map(|i| Point2::new(150.0 + i as f32 * 10.0, 300.0 + if i % 2 == 0 { 2.0 } else { -2.0 }))
+            .map(|i| {
+                Point2::new(
+                    150.0 + i as f32 * 10.0,
+                    300.0 + if i % 2 == 0 { 2.0 } else { -2.0 },
+                )
+            })
             .collect();
         let seg = s.drag_object_along(car, &noisy).unwrap();
         let before = s.segment(seg).unwrap().path.len();

@@ -18,6 +18,7 @@ use sketchql_nn::{
     nt_xent, Adam, AdamConfig, EncoderConfig, Graph, ParamStore, Tensor, TrajectoryEncoder,
 };
 use sketchql_simulator::{PairGenConfig, PairGenerator, RandomSceneSampler, SamplerConfig};
+use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{extract_features, Clip, TOKEN_DIM};
 use std::path::Path;
 
@@ -210,8 +211,22 @@ pub fn train_with_schedule(
     let generator = PairGenerator::new(RandomSceneSampler::new(config.sampler), config.pairgen);
     let steps = config.encoder.steps;
 
+    let _run_span = telemetry::span(names::TRAINING_RUN);
+    let steps_counter = telemetry::counter(names::TRAINING_STEPS);
+    let examples_counter = telemetry::counter(names::TRAINING_EXAMPLES);
+    let last_loss = telemetry::gauge(names::TRAINING_LAST_LOSS);
+    let throughput = telemetry::gauge(names::TRAINING_EXAMPLES_PER_SEC);
+    // Per-step wall time, 1ms..10s.
+    let step_ms = telemetry::histogram(
+        names::TRAINING_STEP_MS,
+        &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0],
+    );
+    let run_start = std::time::Instant::now();
+    let mut examples_total = 0u64;
+
     let mut loss_history = Vec::with_capacity(config.steps);
     for step in 0..config.steps {
+        let step_start = std::time::Instant::now();
         // Sample a batch of (anchor, positive) views, skipping the rare
         // degenerate pair the featurizer rejects.
         let mut anchors_t = Vec::with_capacity(config.batch_size);
@@ -256,6 +271,18 @@ pub fn train_with_schedule(
         let grads = g.grads_by_name(loss);
         adam.step_scaled(&mut store, &grads, schedule.multiplier(step));
         loss_history.push(loss_val);
+
+        steps_counter.inc();
+        let batch_examples = 2 * anchor_ids.len() as u64; // anchors + positives
+        examples_counter.add(batch_examples);
+        examples_total += batch_examples;
+        last_loss.set(loss_val as f64);
+        step_ms.observe(step_start.elapsed().as_secs_f64() * 1e3);
+        let elapsed = run_start.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            throughput.set(examples_total as f64 / elapsed);
+        }
+
         progress(step, loss_val);
     }
 
@@ -374,11 +401,18 @@ mod tests {
         let plain = train(cfg.clone());
         let warm = train_with_schedule(
             cfg,
-            sketchql_nn::LrSchedule::WarmupCosine { warmup: 4, total: 12, floor: 0.1 },
+            sketchql_nn::LrSchedule::WarmupCosine {
+                warmup: 4,
+                total: 12,
+                floor: 0.1,
+            },
             |_, _| {},
         );
         // Identical data (same seed) but different update magnitudes.
-        assert_eq!(plain.loss_history[0], warm.loss_history[0], "same first batch");
+        assert_eq!(
+            plain.loss_history[0], warm.loss_history[0],
+            "same first batch"
+        );
         assert_ne!(plain.store, warm.store);
         assert!(warm.loss_history.iter().all(|l| l.is_finite()));
     }

@@ -211,7 +211,11 @@ pub fn active_feedback_loop(
             break;
         }
         let relevant = feedback.iter().filter(|f| f.relevant).count();
-        log.push(FeedbackRound { round, labeled: feedback.len(), relevant });
+        log.push(FeedbackRound {
+            round,
+            labeled: feedback.len(),
+            relevant,
+        });
         session.apply_feedback(query, &feedback, config);
     }
     Ok(log)
@@ -365,7 +369,10 @@ mod tests {
         sq.upload_index("v", crate::index::VideoIndex::from_truth(&video));
         let query = sketchql_datasets::query_clip(sketchql_datasets::EventKind::LeftTurn);
         let truth = video.events_of(sketchql_datasets::EventKind::LeftTurn);
-        let cfg = TunerConfig { epochs: 1, ..Default::default() };
+        let cfg = TunerConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let rounds = active_feedback_loop(&mut sq, "v", &query, 3, 4, &cfg, |_, s, e| {
             truth.iter().any(|t| t.temporal_iou(s, e) >= 0.3)
         })

@@ -16,7 +16,7 @@ fn sketches_are_closer_to_their_own_events_on_average() {
         distractors: 0,
         fps: 30.0,
     };
-    let v = generate_video(cfg, 9100, &mut StdRng::seed_from_u64(9100));
+    let v = generate_video(cfg, 9102, &mut StdRng::seed_from_u64(9102));
 
     // Single-object kinds where a raw DTW on normalized paths is already
     // informative (multi-object and stop-heavy kinds need the learned
@@ -27,7 +27,11 @@ fn sketches_are_closer_to_their_own_events_on_average() {
         let objs = ann
             .object_ids
             .iter()
-            .map(|&id| v.truth.objects[id as usize].slice(ann.start, ann.end).rebase(0))
+            .map(|&id| {
+                v.truth.objects[id as usize]
+                    .slice(ann.start, ann.end)
+                    .rebase(0)
+            })
             .collect();
         Clip::new(v.truth.frame_width, v.truth.frame_height, objs)
     };

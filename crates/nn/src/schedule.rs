@@ -42,7 +42,11 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => 1.0,
             LrSchedule::Warmup { warmup } => warmup_mult(step, warmup),
-            LrSchedule::WarmupCosine { warmup, total, floor } => {
+            LrSchedule::WarmupCosine {
+                warmup,
+                total,
+                floor,
+            } => {
                 let w = warmup_mult(step, warmup);
                 if step < warmup || total <= warmup {
                     return w;
@@ -51,9 +55,7 @@ impl LrSchedule {
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * t.min(1.0)).cos());
                 floor + (1.0 - floor) * cos
             }
-            LrSchedule::StepDecay { every, gamma } => {
-                gamma.powi((step / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((step / every.max(1)) as i32),
         }
     }
 }
@@ -88,7 +90,11 @@ mod tests {
 
     #[test]
     fn warmup_cosine_decays_to_floor() {
-        let sch = LrSchedule::WarmupCosine { warmup: 10, total: 110, floor: 0.1 };
+        let sch = LrSchedule::WarmupCosine {
+            warmup: 10,
+            total: 110,
+            floor: 0.1,
+        };
         // During warmup: ramping.
         assert!(sch.multiplier(0) < 0.2);
         // Just after warmup: near 1.
@@ -103,7 +109,11 @@ mod tests {
 
     #[test]
     fn warmup_cosine_is_monotone_after_warmup() {
-        let sch = LrSchedule::WarmupCosine { warmup: 5, total: 100, floor: 0.0 };
+        let sch = LrSchedule::WarmupCosine {
+            warmup: 5,
+            total: 100,
+            floor: 0.0,
+        };
         let mut prev = f32::INFINITY;
         for s in 5..100 {
             let m = sch.multiplier(s);
@@ -114,7 +124,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let sch = LrSchedule::StepDecay { every: 100, gamma: 0.5 };
+        let sch = LrSchedule::StepDecay {
+            every: 100,
+            gamma: 0.5,
+        };
         assert_eq!(sch.multiplier(0), 1.0);
         assert_eq!(sch.multiplier(99), 1.0);
         assert_eq!(sch.multiplier(100), 0.5);
@@ -124,8 +137,19 @@ mod tests {
     #[test]
     fn degenerate_parameters_are_safe() {
         assert_eq!(LrSchedule::Warmup { warmup: 0 }.multiplier(0), 1.0);
-        let sch = LrSchedule::WarmupCosine { warmup: 10, total: 10, floor: 0.2 };
+        let sch = LrSchedule::WarmupCosine {
+            warmup: 10,
+            total: 10,
+            floor: 0.2,
+        };
         assert_eq!(sch.multiplier(20), 1.0); // total <= warmup: no decay
-        assert_eq!(LrSchedule::StepDecay { every: 0, gamma: 0.5 }.multiplier(3), 0.125);
+        assert_eq!(
+            LrSchedule::StepDecay {
+                every: 0,
+                gamma: 0.5
+            }
+            .multiplier(3),
+            0.125
+        );
     }
 }

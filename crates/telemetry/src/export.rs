@@ -1,0 +1,200 @@
+//! Exporters: JSON snapshot, Prometheus text format, and a
+//! human-readable table for query reports.
+
+use crate::metrics::MetricsSnapshot;
+use crate::report::QueryReport;
+use std::fmt::Write;
+
+/// Serializes the full metric registry as a JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+///
+/// With telemetry disabled this returns the same shape with empty maps —
+/// still valid JSON, so downstream consumers need no special case.
+pub fn snapshot_json() -> String {
+    let snap = MetricsSnapshot::capture();
+    let mut out = String::new();
+    out.push_str("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), v);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), json_number(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{{\"buckets\":[", json_string(name));
+        for (j, (bound, count)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", json_number(*bound), count);
+        }
+        let _ = write!(
+            out,
+            "],\"sum\":{},\"count\":{}}}",
+            json_number(h.sum),
+            h.count
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serializes the full metric registry in Prometheus text exposition
+/// format. Dotted metric names are sanitized to underscores; histogram
+/// buckets use cumulative `le` labels, ending with `le="+Inf"`.
+pub fn snapshot_prometheus() -> String {
+    let snap = MetricsSnapshot::capture();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let name = prom_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let name = prom_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", prom_number(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let name = prom_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (bound, count) in &h.buckets {
+            let le = if bound.is_infinite() {
+                "+Inf".to_string()
+            } else {
+                prom_number(*bound)
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {count}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", prom_number(h.sum));
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+impl QueryReport {
+    /// Serializes this report as one JSON object (valid JSON whether or
+    /// not telemetry was enabled when it was recorded).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"label\":{}", json_string(&self.label));
+        for (name, v) in self.counter_values() {
+            let _ = write!(out, ",{}:{}", json_string(name), v);
+        }
+        let _ = write!(out, ",\"total_nanos\":{}", self.total_nanos);
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"depth\":{},\"nanos\":{}}}",
+                json_string(s.name),
+                s.depth,
+                s.nanos
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders this report as an aligned, human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "query report: {}", self.label);
+        let _ = writeln!(
+            out,
+            "  total wall time: {:.3} ms",
+            self.total_nanos as f64 / 1e6
+        );
+        let stages = self.stages();
+        if !stages.is_empty() {
+            let _ = writeln!(out, "  stages:");
+            let width = stages.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, nanos) in &stages {
+                let ms = *nanos as f64 / 1e6;
+                let pct = if self.total_nanos > 0 {
+                    100.0 * *nanos as f64 / self.total_nanos as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "    {name:<width$}  {ms:>10.3} ms  {pct:>5.1}%");
+            }
+        }
+        let _ = writeln!(out, "  counters:");
+        let width = self
+            .counter_values()
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        for (name, v) in self.counter_values() {
+            let _ = writeln!(out, "    {name:<width$}  {v:>12}");
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Formats an `f64` for Prometheus text format.
+fn prom_number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Sanitizes a dotted metric name for Prometheus.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}

@@ -1,0 +1,118 @@
+//! Telemetry for the SketchQL query pipeline.
+//!
+//! Zero external dependencies; everything is built on `std` atomics,
+//! thread-locals, and the monotonic clock. Three layers:
+//!
+//! - [`span`] / [`SpanGuard`]: RAII wall-clock timers with hierarchical
+//!   parent/child nesting per thread. Dropping the guard records a
+//!   [`SpanRecord`] (name, depth, duration).
+//! - [`counter`] / [`gauge`] / [`histogram`]: lock-cheap metrics in a
+//!   global named registry. Handles are `&'static`; increments are single
+//!   relaxed atomic ops, so hot loops can update them directly (or batch
+//!   locally and flush once, as `Matcher::search` does).
+//! - [`Recorder`] / [`QueryReport`]: a recorder snapshots the pipeline
+//!   counters before a query and turns the deltas plus the top-level spans
+//!   into a per-query report with [`QueryReport::to_json`] and
+//!   [`QueryReport::render_table`].
+//!
+//! Registry-wide state exports as JSON ([`snapshot_json`]) or Prometheus
+//! text format ([`snapshot_prometheus`]).
+//!
+//! Everything is gated on the `enabled` cargo feature (on by default).
+//! With the feature off the same API exists but every operation compiles
+//! to a no-op, so instrumented code needs no `cfg` of its own.
+//!
+//! Metric and span names follow a dotted convention, `sketchql.<stage>.
+//! <what>`; the canonical names live in [`names`].
+
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod report;
+mod span;
+
+pub use export::{snapshot_json, snapshot_prometheus};
+pub use metrics::{
+    counter, gauge, histogram, reset, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+};
+pub use report::{QueryReport, Recorder};
+pub use span::{span, take_finished_spans, SpanGuard, SpanRecord};
+
+/// Canonical metric and span names used across the pipeline.
+///
+/// Dotted segments name the subsystem and the quantity; exporters
+/// sanitize them for Prometheus (`sketchql.matcher.search` becomes
+/// `sketchql_matcher_search`).
+pub mod names {
+    /// Span: one `VideoIndex::build` run.
+    pub const INDEX_BUILD: &str = "sketchql.index.build";
+    /// Counter: frames run through detection + preprocessing.
+    pub const FRAMES_PREPROCESSED: &str = "sketchql.index.frames_preprocessed";
+    /// Counter: object tracks materialized into an index.
+    pub const TRACKS_BUILT: &str = "sketchql.index.tracks_built";
+
+    /// Span: one `Matcher::search` run.
+    pub const MATCHER_SEARCH: &str = "sketchql.matcher.search";
+    /// Span: query preparation (embedding the sketch clip).
+    pub const MATCHER_PREPARE: &str = "sketchql.matcher.prepare";
+    /// Span: sliding-window enumeration and scoring.
+    pub const MATCHER_SCAN: &str = "sketchql.matcher.scan";
+    /// Span: ranking, NMS, and boundary refinement.
+    pub const MATCHER_RANK: &str = "sketchql.matcher.rank";
+    /// Counter: candidate windows enumerated across all scales.
+    pub const WINDOWS_ENUMERATED: &str = "sketchql.matcher.windows_enumerated";
+    /// Counter: windows discarded before scoring (no eligible tracks).
+    pub const WINDOWS_PRUNED: &str = "sketchql.matcher.windows_pruned";
+    /// Counter: pushes into the candidate ranking structure.
+    pub const TOPK_HEAP_OPS: &str = "sketchql.matcher.topk_heap_ops";
+    /// Histogram: similarity score of each scored window.
+    pub const WINDOW_SCORE: &str = "sketchql.matcher.window_score";
+
+    /// Counter: clip embeddings computed by the learned encoder.
+    pub const EMBEDDINGS_COMPUTED: &str = "sketchql.similarity.embeddings_computed";
+    /// Counter: similarity evaluations (query vs. candidate).
+    pub const SIMILARITY_EVALS: &str = "sketchql.similarity.evals";
+
+    /// Span: one ByteTrack association run over a full detection stream.
+    pub const TRACKER_ASSOCIATE: &str = "sketchql.tracker.associate";
+    /// Counter: detection-to-track associations performed.
+    pub const TRACKER_ASSOCIATIONS: &str = "sketchql.tracker.associations";
+    /// Counter: Kalman predict steps.
+    pub const KALMAN_PREDICTS: &str = "sketchql.tracker.kalman_predicts";
+    /// Counter: Kalman update steps.
+    pub const KALMAN_UPDATES: &str = "sketchql.tracker.kalman_updates";
+
+    /// Span: one `MaterializedWindows::build` run.
+    pub const MATERIALIZED_BUILD: &str = "sketchql.materialized.build";
+    /// Span: one `MaterializedWindows::query` run.
+    pub const MATERIALIZED_QUERY: &str = "sketchql.materialized.query";
+    /// Counter: window embeddings materialized ahead of time.
+    pub const MATERIALIZED_WINDOWS: &str = "sketchql.materialized.windows_built";
+    /// Counter: dot products evaluated against materialized windows.
+    pub const MATERIALIZED_SCANS: &str = "sketchql.materialized.scans";
+
+    /// Span: one full training run.
+    pub const TRAINING_RUN: &str = "sketchql.training.run";
+    /// Counter: optimizer steps taken.
+    pub const TRAINING_STEPS: &str = "sketchql.training.steps";
+    /// Counter: training examples consumed.
+    pub const TRAINING_EXAMPLES: &str = "sketchql.training.examples";
+    /// Gauge: most recent training loss.
+    pub const TRAINING_LAST_LOSS: &str = "sketchql.training.last_loss";
+    /// Gauge: training throughput, examples per second.
+    pub const TRAINING_EXAMPLES_PER_SEC: &str = "sketchql.training.examples_per_sec";
+    /// Histogram: per-step wall time in milliseconds.
+    pub const TRAINING_STEP_MS: &str = "sketchql.training.step_ms";
+
+    /// Counter: queries executed through the session façade.
+    pub const SESSION_QUERY: &str = "sketchql.session.queries";
+}
+
+/// Whether the `enabled` feature is compiled in.
+///
+/// Lets callers skip work that only feeds telemetry (building label
+/// strings, for instance) without `cfg` attributes of their own.
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}

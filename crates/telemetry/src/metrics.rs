@@ -1,0 +1,375 @@
+//! Atomic counters, gauges, and fixed-bucket histograms in a global
+//! named registry.
+//!
+//! Handles returned by [`counter`] / [`gauge`] / [`histogram`] are
+//! `&'static`: the registry leaks each metric once on first registration
+//! so lookups (which take a mutex) can be hoisted out of hot loops while
+//! updates stay single relaxed atomic operations.
+
+#[cfg(feature = "enabled")]
+use std::collections::BTreeMap;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Mutex, OnceLock};
+
+/// Monotonically increasing event count.
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter {
+            #[cfg(feature = "enabled")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count (0 when telemetry is disabled).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A value that can go up and down, stored as an `f64`.
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge reading 0.
+    pub const fn new() -> Self {
+        Gauge {
+            #[cfg(feature = "enabled")]
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Current reading (0.0 when telemetry is disabled; note a gauge
+    /// explicitly `set` to 0.0 reads back as `f64::to_bits(0.0)` too).
+    pub fn get(&self) -> f64 {
+        #[cfg(feature = "enabled")]
+        {
+            f64::from_bits(self.bits.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0.0
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+/// Fixed-bucket histogram of `f64` observations.
+///
+/// Buckets are upper-bound style, as in Prometheus: an observation lands
+/// in the first bucket whose bound is `>=` the value, or in the implicit
+/// `+Inf` bucket past the last bound.
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    bounds: Vec<f64>,
+    #[cfg(feature = "enabled")]
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (last is +Inf)
+    #[cfg(feature = "enabled")]
+    sum_bits: AtomicU64,
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+}
+
+impl Histogram {
+    #[cfg(feature = "enabled")]
+    fn with_bounds(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        {
+            let idx = self
+                .bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(self.bounds.len());
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            // f64 sum via CAS on the bit pattern.
+            let _ = self
+                .sum_bits
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                    Some((f64::from_bits(bits) + v).to_bits())
+                });
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Number of observations (0 when telemetry is disabled).
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Sum of observations (0.0 when telemetry is disabled).
+    pub fn sum(&self) -> f64 {
+        #[cfg(feature = "enabled")]
+        {
+            f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0.0
+        }
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, count)` pairs; the final
+    /// pair has bound `f64::INFINITY`. Empty when telemetry is disabled.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        #[cfg(feature = "enabled")]
+        {
+            let mut acc = 0;
+            let mut out = Vec::with_capacity(self.buckets.len());
+            for (i, b) in self.buckets.iter().enumerate() {
+                acc += b.load(Ordering::Relaxed);
+                let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                out.push((bound, acc));
+            }
+            out
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Vec::new()
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_bits.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(feature = "enabled")]
+struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+#[cfg(feature = "enabled")]
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Returns the named counter, registering it on first use.
+pub fn counter(name: &str) -> &'static Counter {
+    #[cfg(feature = "enabled")]
+    {
+        let mut map = registry().counters.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = name;
+        static NOOP: Counter = Counter::new();
+        &NOOP
+    }
+}
+
+/// Returns the named gauge, registering it on first use.
+pub fn gauge(name: &str) -> &'static Gauge {
+    #[cfg(feature = "enabled")]
+    {
+        let mut map = registry().gauges.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = name;
+        static NOOP: Gauge = Gauge::new();
+        &NOOP
+    }
+}
+
+/// Returns the named histogram, registering it with `bounds` on first
+/// use (later calls keep the original bounds).
+pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
+    #[cfg(feature = "enabled")]
+    {
+        let mut map = registry().histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Box::leak(Box::new(Histogram::with_bounds(bounds))))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (name, bounds);
+        static NOOP: Histogram = Histogram {};
+        &NOOP
+    }
+}
+
+/// Zeroes every registered metric. Intended for tests and benchmarks.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    {
+        let reg = registry();
+        for c in reg.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in reg.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in reg.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge readings by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Cumulative `(upper_bound, count)` pairs, ending with `+Inf`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl MetricsSnapshot {
+    /// Captures the current registry state (empty when disabled).
+    pub fn capture() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            let reg = registry();
+            MetricsSnapshot {
+                counters: reg
+                    .counters
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.get()))
+                    .collect(),
+                gauges: reg
+                    .gauges
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.get()))
+                    .collect(),
+                histograms: reg
+                    .histograms
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .map(|(k, v)| {
+                        (
+                            k.clone(),
+                            HistogramSnapshot {
+                                buckets: v.cumulative_buckets(),
+                                sum: v.sum(),
+                                count: v.count(),
+                            },
+                        )
+                    })
+                    .collect(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            MetricsSnapshot::default()
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-query reporting: a [`Recorder`] brackets one `run_query` and
+//! produces a [`QueryReport`] from counter deltas and top-level spans.
+
+#[cfg(feature = "enabled")]
+use crate::metrics::counter;
+use crate::names;
+#[cfg(feature = "enabled")]
+use crate::span::take_finished_spans;
+use crate::span::SpanRecord;
+
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// The pipeline counters a [`Recorder`] tracks, in report order.
+#[cfg(feature = "enabled")]
+const REPORT_COUNTERS: &[&str] = &[
+    names::FRAMES_PREPROCESSED,
+    names::TRACKS_BUILT,
+    names::WINDOWS_ENUMERATED,
+    names::WINDOWS_PRUNED,
+    names::EMBEDDINGS_COMPUTED,
+    names::SIMILARITY_EVALS,
+    names::TOPK_HEAP_OPS,
+];
+
+/// Everything observed about one query run.
+///
+/// Counters are deltas over the bracketed region, so concurrent queries
+/// on other sessions of the same process can inflate each other's
+/// numbers; SketchQL sessions run queries serially, where the deltas are
+/// exact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryReport {
+    /// Label for the run, usually `<dataset>/<query>`.
+    pub label: String,
+    /// Frames run through detection + preprocessing while building
+    /// indexes inside the bracketed region (0 for pre-built indexes).
+    pub frames_preprocessed: u64,
+    /// Tracks materialized inside the bracketed region.
+    pub tracks_built: u64,
+    /// Candidate windows enumerated across all scales.
+    pub windows_enumerated: u64,
+    /// Windows discarded before scoring (no eligible tracks).
+    pub windows_pruned: u64,
+    /// Clip embeddings computed by the learned encoder.
+    pub embeddings_computed: u64,
+    /// Similarity evaluations (query vs. candidate combination).
+    pub similarity_evals: u64,
+    /// Pushes into the candidate ranking structure.
+    pub topk_heap_ops: u64,
+    /// Completed spans, completion order (children precede parents).
+    pub spans: Vec<SpanRecord>,
+    /// Total wall time of the bracketed region, nanoseconds.
+    pub total_nanos: u64,
+}
+
+impl QueryReport {
+    /// Per-stage wall times: the depth-0 spans, in completion order.
+    pub fn stages(&self) -> Vec<(&'static str, u64)> {
+        self.spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| (s.name, s.nanos))
+            .collect()
+    }
+
+    /// Sum of the depth-0 span durations, nanoseconds. For a fully
+    /// instrumented query this lands within a few percent of
+    /// [`total_nanos`](Self::total_nanos).
+    pub fn stage_nanos_sum(&self) -> u64 {
+        self.stages().iter().map(|(_, n)| n).sum()
+    }
+
+    /// The counters as `(metric name, value)` pairs, report order.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (names::FRAMES_PREPROCESSED, self.frames_preprocessed),
+            (names::TRACKS_BUILT, self.tracks_built),
+            (names::WINDOWS_ENUMERATED, self.windows_enumerated),
+            (names::WINDOWS_PRUNED, self.windows_pruned),
+            (names::EMBEDDINGS_COMPUTED, self.embeddings_computed),
+            (names::SIMILARITY_EVALS, self.similarity_evals),
+            (names::TOPK_HEAP_OPS, self.topk_heap_ops),
+        ]
+    }
+}
+
+/// Brackets one query: snapshots the pipeline counters at
+/// [`Recorder::begin`], and turns deltas + spans into a [`QueryReport`]
+/// at [`Recorder::finish`].
+pub struct Recorder {
+    #[cfg(feature = "enabled")]
+    start: Instant,
+    #[cfg(feature = "enabled")]
+    base: Vec<u64>,
+}
+
+impl Recorder {
+    /// Starts recording. Drains any stale finished spans on this thread
+    /// so the report only sees spans completed inside the bracket.
+    pub fn begin() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            let _ = take_finished_spans();
+            Recorder {
+                start: Instant::now(),
+                base: REPORT_COUNTERS.iter().map(|n| counter(n).get()).collect(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Recorder {}
+        }
+    }
+
+    /// Stops recording and builds the report. When telemetry is disabled
+    /// this returns a default (all-zero) report carrying only the label.
+    pub fn finish(self, label: impl Into<String>) -> QueryReport {
+        #[cfg(feature = "enabled")]
+        {
+            let deltas: Vec<u64> = REPORT_COUNTERS
+                .iter()
+                .zip(&self.base)
+                .map(|(n, base)| counter(n).get().saturating_sub(*base))
+                .collect();
+            QueryReport {
+                label: label.into(),
+                frames_preprocessed: deltas[0],
+                tracks_built: deltas[1],
+                windows_enumerated: deltas[2],
+                windows_pruned: deltas[3],
+                embeddings_computed: deltas[4],
+                similarity_evals: deltas[5],
+                topk_heap_ops: deltas[6],
+                spans: take_finished_spans(),
+                total_nanos: self.start.elapsed().as_nanos() as u64,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            QueryReport {
+                label: label.into(),
+                ..QueryReport::default()
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! RAII span timers with hierarchical nesting.
+//!
+//! [`span`] starts a timer on the current thread and bumps the thread's
+//! nesting depth; dropping the returned [`SpanGuard`] records a
+//! [`SpanRecord`] with the span's depth relative to its enclosing spans.
+//! Records accumulate per thread until [`take_finished_spans`] drains
+//! them (the [`Recorder`](crate::Recorder) does this around a query).
+//!
+//! Durations come from [`std::time::Instant`], the monotonic clock, so
+//! they are immune to wall-clock adjustments.
+
+#[cfg(feature = "enabled")]
+use std::cell::RefCell;
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// One completed span on the thread that created it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `sketchql.matcher.search`.
+    pub name: &'static str,
+    /// Nesting depth when the span ran: 0 for top-level spans, 1 for
+    /// spans opened inside a depth-0 span, and so on.
+    pub depth: usize,
+    /// Elapsed monotonic time in nanoseconds.
+    pub nanos: u64,
+}
+
+#[cfg(feature = "enabled")]
+struct ThreadSpans {
+    depth: usize,
+    finished: Vec<SpanRecord>,
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    static SPANS: RefCell<ThreadSpans> = const {
+        RefCell::new(ThreadSpans { depth: 0, finished: Vec::new() })
+    };
+}
+
+/// Live span; records itself when dropped.
+///
+/// Guards must drop in reverse creation order (normal lexical scoping)
+/// for depths to nest correctly — the usual RAII pattern:
+///
+/// ```
+/// let _outer = sketchql_telemetry::span("sketchql.matcher.search");
+/// {
+///     let _inner = sketchql_telemetry::span("sketchql.matcher.prepare");
+///     // ... timed work ...
+/// } // _inner records at depth 1
+/// // _outer records at depth 0 when it goes out of scope
+/// ```
+#[must_use = "a span measures the scope holding its guard; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    start: Instant,
+}
+
+/// Opens a span on the current thread.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(feature = "enabled")]
+    {
+        SPANS.with(|s| s.borrow_mut().depth += 1);
+        SpanGuard {
+            name,
+            start: Instant::now(),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = name;
+        SpanGuard {}
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        {
+            let nanos = self.start.elapsed().as_nanos() as u64;
+            SPANS.with(|s| {
+                let mut s = s.borrow_mut();
+                s.depth = s.depth.saturating_sub(1);
+                let depth = s.depth;
+                s.finished.push(SpanRecord {
+                    name: self.name,
+                    depth,
+                    nanos,
+                });
+            });
+        }
+    }
+}
+
+/// Drains the current thread's finished spans, in completion order
+/// (children precede their parents). Empty when telemetry is disabled.
+pub fn take_finished_spans() -> Vec<SpanRecord> {
+    #[cfg(feature = "enabled")]
+    {
+        SPANS.with(|s| std::mem::take(&mut s.borrow_mut().finished))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}

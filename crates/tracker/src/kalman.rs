@@ -111,29 +111,7 @@ fn inv4(s: &[[f32; MEAS]; MEAS]) -> [[f32; MEAS]; MEAS] {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KalmanBoxTracker {
     mean: Vec8,
-    #[serde(with = "serde_mat8")]
     covariance: Mat8,
-}
-
-mod serde_mat8 {
-    use super::{Mat8, DIM};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(m: &Mat8, s: S) -> Result<S::Ok, S::Error> {
-        let flat: Vec<f32> = m.iter().flatten().copied().collect();
-        flat.serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Mat8, D::Error> {
-        let flat: Vec<f32> = Vec::deserialize(d)?;
-        let mut m = [[0.0; DIM]; DIM];
-        for i in 0..DIM {
-            for j in 0..DIM {
-                m[i][j] = flat[i * DIM + j];
-            }
-        }
-        Ok(m)
-    }
 }
 
 fn measurement_of(bbox: &BBox) -> [f32; MEAS] {

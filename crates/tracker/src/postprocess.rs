@@ -24,7 +24,10 @@ pub struct StitchConfig {
 
 impl Default for StitchConfig {
     fn default() -> Self {
-        StitchConfig { max_gap: 45, max_position_error: 2.0 }
+        StitchConfig {
+            max_gap: 45,
+            max_position_error: 2.0,
+        }
     }
 }
 
@@ -58,7 +61,9 @@ fn stitchable(earlier: &Trajectory, later: &Trajectory, config: &StitchConfig) -
     let dt = (l_start - e_end) as f32;
     let predicted = last.bbox.center() + vel * dt;
     let actual = later.points().first().expect("non-empty").bbox.center();
-    let scale = (last.bbox.w * last.bbox.w + last.bbox.h * last.bbox.h).sqrt().max(1.0);
+    let scale = (last.bbox.w * last.bbox.w + last.bbox.h * last.bbox.h)
+        .sqrt()
+        .max(1.0);
     predicted.distance(&actual) <= config.max_position_error * scale
 }
 
@@ -181,7 +186,10 @@ mod tests {
     fn gap_beyond_budget_is_not_bridged() {
         let a = seg(1, ObjectClass::Car, 0..50, 5.0);
         let b = seg(2, ObjectClass::Car, 150..200, 5.0);
-        let cfg = StitchConfig { max_gap: 45, ..Default::default() };
+        let cfg = StitchConfig {
+            max_gap: 45,
+            ..Default::default()
+        };
         let out = stitch_fragments(&[a, b], &cfg);
         assert_eq!(out.len(), 2);
     }

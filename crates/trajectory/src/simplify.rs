@@ -124,7 +124,11 @@ mod tests {
         for eps in [0.5f32, 2.0, 8.0] {
             let s = simplify_path(&path, eps);
             let dev = max_deviation(&path, &s);
-            assert!(dev <= eps + 1e-3, "eps {eps}: deviation {dev} with {} pts", s.len());
+            assert!(
+                dev <= eps + 1e-3,
+                "eps {eps}: deviation {dev} with {} pts",
+                s.len()
+            );
         }
         // Larger epsilon keeps fewer points.
         let fine = simplify_path(&path, 0.5).len();

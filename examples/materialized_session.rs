@@ -42,7 +42,10 @@ fn main() {
     let mat = MaterializedWindows::build(
         sq.dataset("traffic").unwrap(),
         &sim,
-        MaterializeConfig { threads: 4, ..Default::default() },
+        MaterializeConfig {
+            threads: 4,
+            ..Default::default()
+        },
     );
     println!(
         "materialized {} window embeddings in {:.0}ms",
@@ -52,7 +55,12 @@ fn main() {
 
     // Iterate: four single-object queries against the same video. Compare
     // the live sliding-window search with the materialized scan.
-    for kind in [EventKind::LeftTurn, EventKind::RightTurn, EventKind::UTurn, EventKind::Loiter] {
+    for kind in [
+        EventKind::LeftTurn,
+        EventKind::RightTurn,
+        EventKind::UTurn,
+        EventKind::Loiter,
+    ] {
         let query = query_clip(kind);
         let t0 = Instant::now();
         let live = sq.run_query("traffic", &query).unwrap();

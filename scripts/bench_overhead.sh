@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Telemetry-overhead check: runs the matcher bench twice — once with the
+# default features (telemetry on) and once with --no-default-features
+# (telemetry compiled out) — and compares `median_ns` per bench id.
+#
+#   scripts/bench_overhead.sh            # full samples
+#   SKETCHQL_BENCH_QUICK=1 scripts/bench_overhead.sh   # fast smoke run
+#
+# The acceptance bar is mean overhead below $SKETCHQL_OVERHEAD_MAX percent
+# (default 2) across the matcher_search benches; the script exits non-zero
+# past the bar.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_PCT="${SKETCHQL_OVERHEAD_MAX:-2}"
+on_log="$(mktemp)"
+off_log="$(mktemp)"
+trap 'rm -f "$on_log" "$off_log"' EXIT
+
+echo "== bench with telemetry enabled (default features)"
+cargo bench -p sketchql-bench --bench matcher | tee "$on_log"
+
+echo
+echo "== bench with telemetry compiled out (--no-default-features)"
+cargo bench -p sketchql-bench --bench matcher --no-default-features | tee "$off_log"
+
+echo
+echo "== overhead per bench id (telemetry on vs off)"
+awk -v max="$MAX_PCT" '
+    /^BENCH / && /median_ns=/ {
+        id = $2
+        for (i = 3; i <= NF; i++)
+            if ($i ~ /^median_ns=/) { sub(/^median_ns=/, "", $i); med = $i }
+        if (FILENAME == ARGV[1]) on[id] = med
+        else off[id] = med
+    }
+    END {
+        n = 0; total = 0
+        for (id in on) {
+            if (!(id in off) || off[id] <= 0) continue
+            pct = (on[id] - off[id]) / off[id] * 100.0
+            printf "  %-40s on=%.0fns off=%.0fns overhead=%+.2f%%\n", id, on[id], off[id], pct
+            total += pct; n++
+        }
+        if (n == 0) { print "no comparable bench ids found"; exit 2 }
+        mean = total / n
+        printf "mean overhead: %+.2f%% (bar: <%s%%)\n", mean, max
+        exit (mean < max + 0.0) ? 0 : 1
+    }
+' "$on_log" "$off_log"

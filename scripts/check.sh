@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the tier-1 verify.
+#
+#   scripts/check.sh
+#
+# Run before sending a change. Mirrors what CI would run; everything is
+# offline (the workspace vendors its dependencies under compat/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== feature check: telemetry disabled still builds and tests"
+cargo build --release --no-default-features
+cargo test -q --no-default-features
+
+echo "ok: all checks passed"

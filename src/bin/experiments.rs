@@ -733,7 +733,10 @@ fn exp_t5() {
     {
         let m = Matcher::with_config(
             model.similarity(),
-            sketchql::MatcherConfig { threads: 4, ..Default::default() },
+            sketchql::MatcherConfig {
+                threads: 4,
+                ..Default::default()
+            },
         );
         let t0 = Instant::now();
         let results = m.search(&idx, &query);

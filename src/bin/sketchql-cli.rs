@@ -3,7 +3,8 @@
 //! ```text
 //! sketchql-cli generate --family urban_intersection --seed 7 --out video.json
 //! sketchql-cli train --out model.json [--steps 600]
-//! sketchql-cli query --video video.json --model model.json --event left_turn [--baseline dtw] [--top-k 5] [--oracle-tracks]
+//! sketchql-cli query --video video.json --model model.json --event left_turn [--baseline dtw] [--top-k 5] [--oracle-tracks] [--stats]
+//! sketchql-cli stats --video video.json --model model.json --event left_turn [--format json|prometheus]
 //! sketchql-cli render --video video.json --start 100 --end 199 [--track 3]
 //! sketchql-cli info --video video.json
 //! ```
@@ -13,8 +14,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sketchql::telemetry::{self, Recorder};
 use sketchql::training::{train_with_callback, TrainedModel, TrainingConfig};
-use sketchql::{ClassicalSimilarity, Matcher, VideoIndex};
+use sketchql::{ClassicalSimilarity, Matcher, RetrievedMoment, VideoIndex};
 use sketchql_datasets::{
     generate_video, query_clip, EventKind, SceneFamily, SyntheticVideo, VideoConfig,
 };
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "train" => cmd_train(&flags),
         "query" => cmd_query(&flags),
+        "stats" => cmd_stats(&flags),
         "render" => cmd_render(&flags),
         "info" => cmd_info(&flags),
         "help" | "--help" | "-h" => {
@@ -59,7 +62,9 @@ commands:
   generate --out <file> [--family <name>] [--seed <n>] [--events <n>] [--distractors <n>]
   train    --out <file> [--steps <n>] [--seed <n>]
   query    --video <file> --event <kind> [--model <file>] [--baseline <dtw|frechet|...>]
-           [--rules] [--top-k <n>] [--oracle-tracks]
+           [--rules] [--top-k <n>] [--oracle-tracks] [--stats]
+  stats    same flags as query; runs it quietly and dumps the metric
+           registry [--format <json|prometheus>]
   render   --video <file> [--start <frame>] [--end <frame>]
   info     --video <file> | --model <file>
 
@@ -172,12 +177,27 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+/// The `query`/`stats` pipeline: load the video, build an index, and run
+/// the selected matcher. The whole run is bracketed by a [`Recorder`] so
+/// the caller gets a per-query report alongside the results.
+fn execute_query(
+    flags: &HashMap<String, String>,
+    quiet: bool,
+) -> Result<
+    (
+        SyntheticVideo,
+        EventKind,
+        Vec<RetrievedMoment>,
+        telemetry::QueryReport,
+    ),
+    String,
+> {
     let video = load_video(req(flags, "video")?)?;
     let kind = parse_event(req(flags, "event")?)?;
     let top_k: usize = num(flags, "top-k", 5)?;
     let query = query_clip(kind);
 
+    let recorder = Recorder::begin();
     let index = if flags.contains_key("oracle-tracks") {
         VideoIndex::from_truth(&video)
     } else {
@@ -188,19 +208,24 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
             1,
         )
     };
-    println!(
-        "index: {} tracks over {} frames ({})",
-        index.tracks.len(),
-        index.frames,
-        if flags.contains_key("oracle-tracks") {
-            "oracle"
-        } else {
-            "detector+bytetrack"
-        }
-    );
+    if !quiet {
+        println!(
+            "index: {} tracks over {} frames ({})",
+            index.tracks.len(),
+            index.frames,
+            if flags.contains_key("oracle-tracks") {
+                "oracle"
+            } else {
+                "detector+bytetrack"
+            }
+        );
+    }
 
     let results = if flags.contains_key("rules") {
-        let cfg = sketchql::RuleSearchConfig { top_k, ..Default::default() };
+        let cfg = sketchql::RuleSearchConfig {
+            top_k,
+            ..Default::default()
+        };
         sketchql::evaluate_rule(&index, &sketchql::expert_rule(kind), &cfg)
     } else if let Some(baseline) = flags.get("baseline") {
         let kind = DistanceKind::ALL
@@ -219,6 +244,13 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         m.config.threads = 4;
         m.search(&index, &query)
     };
+    let report = recorder.finish(format!("{}/{}", video.name, kind.name()));
+
+    Ok((video, kind, results, report))
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (video, kind, results, report) = execute_query(flags, false)?;
 
     let truth = video.events_of(kind);
     println!("\n#  frames            score   ground truth?");
@@ -236,6 +268,33 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
                 "-".into()
             }
         );
+    }
+    if flags.contains_key("stats") {
+        if !telemetry::is_enabled() {
+            eprintln!("note: built without the `telemetry` feature; counters are all zero");
+        }
+        println!();
+        print!("{}", report.render_table());
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (_, _, _, report) = execute_query(flags, true)?;
+    match flags.get("format").map_or("json", String::as_str) {
+        "json" => {
+            println!(
+                "{{\"report\":{},\"registry\":{}}}",
+                report.to_json(),
+                telemetry::snapshot_json()
+            );
+        }
+        "prometheus" => print!("{}", telemetry::snapshot_prometheus()),
+        other => {
+            return Err(format!(
+                "--format: expected json or prometheus, got {other:?}"
+            ))
+        }
     }
     Ok(())
 }

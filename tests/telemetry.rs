@@ -1,0 +1,171 @@
+//! Telemetry counter correctness: one query over a fully-known synthetic
+//! video must produce exactly the analytically expected counter values.
+//!
+//! The same test compiles and passes with the `telemetry` feature disabled
+//! (`cargo test --no-default-features`): the recorder then reports all-zero
+//! counters and the assertions switch to the no-op expectations.
+
+use sketchql::telemetry::{self, Recorder};
+use sketchql::training::{train, TrainingConfig};
+use sketchql::{Matcher, MatcherConfig, VideoIndex};
+use sketchql_trajectory::{BBox, Clip, ObjectClass, TrajPoint, Trajectory};
+use std::sync::Mutex;
+
+/// Counters are process-global, so tests that bracket them with a
+/// [`Recorder`] must not interleave.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+const FRAMES: u32 = 100;
+const QUERY_SPAN: u32 = 40;
+
+/// One car covering every frame: every enumerated window has exactly one
+/// candidate object combination.
+fn single_track_index() -> VideoIndex {
+    let pts = (0..FRAMES)
+        .map(|f| TrajPoint::new(f, BBox::new(50.0 + f as f32 * 8.0, 360.0, 60.0, 35.0)))
+        .collect();
+    let clip = Clip::new(
+        1280.0,
+        720.0,
+        vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
+    );
+    VideoIndex::from_clip("analytic", &clip, FRAMES, 30.0)
+}
+
+fn query() -> Clip {
+    let pts = (0..QUERY_SPAN)
+        .map(|i| TrajPoint::new(i, BBox::new(100.0 + i as f32 * 10.0, 400.0, 80.0, 45.0)))
+        .collect();
+    Clip::new(
+        1000.0,
+        600.0,
+        vec![Trajectory::from_points(0, ObjectClass::Car, pts)],
+    )
+}
+
+/// Closed-form window count: per scale, `window = max(round_down(q_span *
+/// scale), min_window)`; scales whose window exceeds the video are skipped;
+/// start positions advance by `stride = max(round_down(window * stride_frac),
+/// 1)` until a window reaches the final frame, giving
+/// `ceil((frames - window) / stride) + 1` windows.
+fn expected_windows(cfg: &MatcherConfig, q_span: u32, frames: u32) -> u64 {
+    let mut count = 0u64;
+    for &scale in &cfg.window_scales {
+        let window = ((q_span as f32 * scale) as u32).max(cfg.min_window);
+        if window > frames {
+            continue;
+        }
+        let stride = ((window as f32 * cfg.stride_frac) as u32).max(1);
+        count += ((frames - window) as u64).div_ceil(stride as u64) + 1;
+    }
+    count
+}
+
+#[test]
+fn counters_match_analytic_expectations() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    let mut cfg = TrainingConfig::tiny();
+    cfg.steps = 2;
+    let matcher = Matcher::new(train(cfg).similarity());
+    let idx = single_track_index();
+    let q = query();
+    assert_eq!(q.span(), QUERY_SPAN);
+    assert_eq!(idx.frames, FRAMES);
+
+    let recorder = Recorder::begin();
+    let results = matcher.search(&idx, &q);
+    let report = recorder.finish("analytic/car_query");
+
+    assert!(!results.is_empty());
+    assert_eq!(report.label, "analytic/car_query");
+
+    if !telemetry::is_enabled() {
+        // Feature off: the API exists but every counter reads zero.
+        assert_eq!(report.windows_enumerated, 0);
+        assert_eq!(report.embeddings_computed, 0);
+        assert_eq!(report.similarity_evals, 0);
+        return;
+    }
+
+    let expected = expected_windows(&matcher.config, QUERY_SPAN, FRAMES);
+    assert!(expected > 0);
+    assert_eq!(report.windows_enumerated, expected);
+    // The single full-coverage track gives one combination per window, so
+    // every window is scored exactly once and none are pruned.
+    assert_eq!(report.similarity_evals, expected);
+    assert_eq!(report.windows_pruned, 0);
+    // One embedding per scored candidate plus one for the query itself.
+    assert_eq!(report.embeddings_computed, expected + 1);
+    // The index was pre-built outside the bracket.
+    assert_eq!(report.frames_preprocessed, 0);
+    assert_eq!(report.tracks_built, 0);
+    assert_eq!(report.topk_heap_ops, results.len() as u64);
+}
+
+#[test]
+fn stage_spans_cover_the_query() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    let mut cfg = TrainingConfig::tiny();
+    cfg.steps = 2;
+    let matcher = Matcher::new(train(cfg).similarity());
+    let idx = single_track_index();
+    let q = query();
+
+    let recorder = Recorder::begin();
+    let _ = matcher.search(&idx, &q);
+    let report = recorder.finish("analytic/stages");
+
+    if !telemetry::is_enabled() {
+        assert_eq!(report.total_nanos, 0);
+        assert!(report.stages().is_empty());
+        return;
+    }
+
+    assert!(report.total_nanos > 0);
+    let stages = report.stages();
+    assert!(
+        stages
+            .iter()
+            .any(|(name, _)| *name == "sketchql.matcher.search"),
+        "depth-0 stages: {stages:?}"
+    );
+    // The stage spans account for (nearly) all of the bracketed wall time.
+    let sum = report.stage_nanos_sum();
+    assert!(sum <= report.total_nanos);
+    assert!(
+        sum as f64 >= report.total_nanos as f64 * 0.9,
+        "stage sum {sum} vs total {}",
+        report.total_nanos
+    );
+}
+
+#[test]
+fn report_exports_are_well_formed() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    let recorder = Recorder::begin();
+    let idx = single_track_index();
+    let matcher = Matcher::new(sketchql::ClassicalSimilarity::new(
+        sketchql_trajectory::DistanceKind::Dtw,
+    ));
+    let _ = matcher.search(&idx, &query());
+    let report = recorder.finish("analytic/export");
+
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"label\":\"analytic/export\""));
+    assert!(json.contains("\"sketchql.matcher.windows_enumerated\""));
+
+    let table = report.render_table();
+    assert!(table.contains("query report: analytic/export"));
+    assert!(table.contains("sketchql.matcher.windows_enumerated"));
+
+    // Registry-level exports are valid regardless of feature state.
+    let snap = telemetry::snapshot_json();
+    assert!(snap.starts_with('{') && snap.ends_with('}'));
+    let prom = telemetry::snapshot_prometheus();
+    if telemetry::is_enabled() {
+        assert!(prom.contains("# TYPE"));
+    } else {
+        assert!(prom.is_empty());
+    }
+}
