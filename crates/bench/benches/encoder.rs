@@ -22,6 +22,15 @@ fn bench_encoder(h: &mut Harness) {
         b.iter(|| black_box(clip_features_tensor(black_box(&clip), steps)))
     });
 
+    // Batched inference: 64 sequences stacked through one tape-free
+    // forward (the matcher's cached-scan path). Compare per-item cost
+    // against `encoder_embed` × 64.
+    let feats64: Vec<_> = (0..64).map(|_| feats.clone()).collect();
+    let refs64: Vec<&sketchql_nn::Tensor> = feats64.iter().collect();
+    h.bench("encoder_embed_batch64", |b| {
+        b.iter(|| black_box(model.encoder.embed_batch(&model.store, black_box(&refs64))))
+    });
+
     // One full forward+backward step over a batch of 8 pairs (isolates
     // the autograd cost from data generation).
     let mut rng = StdRng::seed_from_u64(9);

@@ -6,7 +6,9 @@
 //! `matcher_search/learned/*` medians (`scripts/bench_overhead.sh`
 //! automates this; the acceptance bar is <2% overhead).
 
-use sketchql::{ClassicalSimilarity, Matcher, MaterializeConfig, MaterializedWindows, VideoIndex};
+use sketchql::{
+    ClassicalSimilarity, Matcher, MatcherConfig, MaterializeConfig, MaterializedWindows, VideoIndex,
+};
 use sketchql_bench::harness::Harness;
 use sketchql_bench::{bench_model, bench_video};
 use sketchql_datasets::{query_clip, EventKind};
@@ -24,13 +26,42 @@ fn bench_matcher(h: &mut Harness) {
         let idx = VideoIndex::from_truth(&video);
         group.bench(format!("learned/{}", idx.frames), |b| {
             let m = Matcher::new(model.similarity());
-            b.iter(|| black_box(m.search(&idx, black_box(&query))))
+            b.iter(|| black_box(m.search(&idx, black_box(&query)).unwrap()))
         });
         group.bench(format!("dtw/{}", idx.frames), |b| {
             let m = Matcher::new(ClassicalSimilarity::new(DistanceKind::Dtw));
-            b.iter(|| black_box(m.search(&idx, black_box(&query))))
+            b.iter(|| black_box(m.search(&idx, black_box(&query)).unwrap()))
         });
     }
+    group.finish();
+
+    // Per-search embedding cache + batched encoder forwards vs one tape
+    // forward per candidate, on the same multi-scale learned scan
+    // (`scripts/bench_matcher.sh` compares these two ids).
+    let video = bench_video(1, 46);
+    let idx = VideoIndex::from_truth(&video);
+    let mut group = h.group("matcher_embed_cache");
+    group.sample_size(10);
+    group.bench("uncached", |b| {
+        let m = Matcher::with_config(
+            model.similarity(),
+            MatcherConfig {
+                embed_cache: false,
+                ..Default::default()
+            },
+        );
+        b.iter(|| black_box(m.search(&idx, black_box(&query)).unwrap()))
+    });
+    group.bench("cached", |b| {
+        let m = Matcher::with_config(
+            model.similarity(),
+            MatcherConfig {
+                embed_cache: true,
+                ..Default::default()
+            },
+        );
+        b.iter(|| black_box(m.search(&idx, black_box(&query)).unwrap()))
+    });
     group.finish();
 
     // Materialized-window fast path: build once, query many times.
@@ -52,7 +83,7 @@ fn bench_matcher(h: &mut Harness) {
     let q2 = query_clip(EventKind::PerpendicularCrossing);
     group.bench("learned_q2", |b| {
         let m = Matcher::new(model.similarity());
-        b.iter(|| black_box(m.search(&idx, black_box(&q2))))
+        b.iter(|| black_box(m.search(&idx, black_box(&q2)).unwrap()))
     });
     group.finish();
 }

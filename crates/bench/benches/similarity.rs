@@ -15,13 +15,13 @@ fn bench_similarity(h: &mut Harness) {
     let candidate = bench_clip(1);
 
     let mut group = h.group("similarity_score");
-    let prepared = learned.prepare(&query);
+    let prepared = learned.prepare(&query).unwrap();
     group.bench("sketchql_learned", |b| {
         b.iter(|| black_box(learned.score(&prepared, black_box(&candidate))))
     });
     for &kind in DistanceKind::ALL {
         let sim = ClassicalSimilarity::new(kind);
-        let prepared = sim.prepare(&query);
+        let prepared = sim.prepare(&query).unwrap();
         group.bench(format!("classical/{}", kind.name()), |b| {
             b.iter(|| black_box(sim.score(&prepared, black_box(&candidate))))
         });

@@ -78,15 +78,28 @@ impl Bencher {
 /// Entry point owning harness-wide settings; create with [`Harness::from_env`].
 pub struct Harness {
     quick: bool,
+    filter: Option<String>,
 }
 
 impl Harness {
     /// Reads settings from the environment (`SKETCHQL_BENCH_QUICK=1`
-    /// shrinks samples and batch targets for smoke runs).
+    /// shrinks samples and batch targets for smoke runs) and the command
+    /// line: the first non-flag argument — what
+    /// `cargo bench -p ... --bench <name> -- <substring>` passes — keeps
+    /// only benches whose id contains the substring, like criterion's
+    /// filter. `SKETCHQL_BENCH_FILTER` works too and wins if both are set.
     pub fn from_env() -> Self {
+        let filter = std::env::var("SKETCHQL_BENCH_FILTER")
+            .ok()
+            .or_else(|| std::env::args().skip(1).find(|a| !a.starts_with('-')));
         Harness {
             quick: std::env::var_os("SKETCHQL_BENCH_QUICK").is_some(),
+            filter,
         }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f.as_str()))
     }
 
     fn default_samples(&self) -> usize {
@@ -116,6 +129,9 @@ impl Harness {
 
     /// Benchmarks a single function outside any group.
     pub fn bench<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        if !self.selected(id) {
+            return;
+        }
         let samples = self.default_samples();
         let batch_target = self.batch_target();
         run_one(id, samples, batch_target, f);
@@ -138,6 +154,10 @@ impl Group<'_> {
 
     /// Benchmarks one case; `id` distinguishes it within the group.
     pub fn bench<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.harness.selected(&full_id) {
+            return;
+        }
         let samples = if self.harness.quick {
             self.harness.default_samples()
         } else {
@@ -145,7 +165,7 @@ impl Group<'_> {
                 .unwrap_or_else(|| self.harness.default_samples())
         };
         let batch_target = self.harness.batch_target();
-        run_one(&format!("{}/{}", self.name, id), samples, batch_target, f);
+        run_one(&full_id, samples, batch_target, f);
     }
 
     /// No-op, kept for call-site symmetry with criterion's API.

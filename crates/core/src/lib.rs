@@ -44,6 +44,7 @@
 
 pub use sketchql_telemetry as telemetry;
 
+pub mod embed_cache;
 pub mod index;
 pub mod matcher;
 pub mod materialized;
@@ -54,6 +55,7 @@ pub mod sketcher;
 pub mod training;
 pub mod tuner;
 
+pub use embed_cache::{embed_clips_parallel, EmbedCache};
 pub use index::VideoIndex;
 pub use matcher::{Matcher, MatcherConfig, RetrievedMoment};
 pub use materialized::{MaterializeConfig, MaterializedWindows};
@@ -62,7 +64,9 @@ pub use rules::{
     RuleSearchConfig,
 };
 pub use session::{DatasetSummary, MomentView, PreprocessConfig, SessionError, SketchQL};
-pub use similarity::{ClassicalSimilarity, LearnedSimilarity, PreparedQuery, Similarity};
+pub use similarity::{
+    ClassicalSimilarity, LearnedSimilarity, PreparedQuery, Similarity, SimilarityError,
+};
 pub use sketcher::{
     CanvasObject, MouseMode, ObjectId, SegmentId, SketchError, Sketcher, TrajectoryPanel,
 };

@@ -6,13 +6,22 @@
 //! crossed with class-compatible combinations of tracked objects — scores
 //! each candidate with a [`Similarity`], suppresses temporally overlapping
 //! hits (NMS), and returns the top-k moments sorted by score.
+//!
+//! For embedding-based similarities the scan runs in three phases: (1)
+//! enumerate all candidates, interning each distinct segment once in an
+//! [`EmbedCache`]; (2) embed the unique segments in batched encoder
+//! forwards across worker threads; (3) score every candidate from its
+//! cached embedding. This returns byte-identical moments to the direct
+//! per-candidate path while embedding each distinct segment exactly once.
 
 use serde::{Deserialize, Serialize};
 use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{Clip, TrackId, TrajPoint, Trajectory};
+use std::collections::HashSet;
 
+use crate::embed_cache::{embed_clips_parallel, EmbedCache};
 use crate::index::VideoIndex;
-use crate::similarity::Similarity;
+use crate::similarity::{PreparedQuery, Similarity, SimilarityError};
 
 /// Bucket bounds for the window-score histogram (scores live in `[0, 1]`).
 const SCORE_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
@@ -43,6 +52,11 @@ pub struct MatcherConfig {
     /// tracks (drops parked lead-in/lead-out frames a sliding window
     /// inevitably includes).
     pub refine_boundaries: bool,
+    /// Memoize candidate-segment embeddings for the duration of one
+    /// search and batch them through the encoder (embedding-based
+    /// similarities only). Results are identical either way; disabling
+    /// falls back to one encoder forward per candidate.
+    pub embed_cache: bool,
 }
 
 impl Default for MatcherConfig {
@@ -57,6 +71,7 @@ impl Default for MatcherConfig {
             max_combos_per_window: 64,
             threads: 1,
             refine_boundaries: true,
+            embed_cache: true,
         }
     }
 }
@@ -116,8 +131,14 @@ impl<S: Similarity> Matcher<S> {
     /// Degenerate inputs return an empty result set rather than panic: an
     /// empty index, an empty query, a query shorter than
     /// [`MatcherConfig::min_window`], or window scales that all exceed the
-    /// video's length.
-    pub fn search(&self, index: &VideoIndex, query: &Clip) -> Vec<RetrievedMoment> {
+    /// video's length. A query the similarity itself cannot score (e.g.
+    /// more objects than the learned encoder supports) is an error — every
+    /// candidate would silently score 0.0 otherwise.
+    pub fn search(
+        &self,
+        index: &VideoIndex,
+        query: &Clip,
+    ) -> Result<Vec<RetrievedMoment>, SimilarityError> {
         let _search_span = telemetry::span(names::MATCHER_SEARCH);
         let q_span = query.span();
         if q_span == 0
@@ -125,40 +146,23 @@ impl<S: Similarity> Matcher<S> {
             || query.num_objects() == 0
             || index.frames == 0
         {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let prepared = {
             let _prepare_span = telemetry::span(names::MATCHER_PREPARE);
-            self.sim.prepare(query)
+            self.sim.prepare(query)?
         };
         let classes = query.classes();
 
         let scan_span = telemetry::span(names::MATCHER_SCAN);
-        // Enumerate every (start, end, min_overlap) window first; scoring
-        // them is then embarrassingly parallel. Scales whose window would
-        // not fit in the video are skipped entirely.
-        let mut windows: Vec<(u32, u32, u32)> = Vec::new();
-        for &scale in &self.config.window_scales {
-            let window = ((q_span as f32 * scale) as u32).max(self.config.min_window);
-            if window > index.frames {
-                continue;
-            }
-            let stride = ((window as f32 * self.config.stride_frac) as u32).max(1);
-            let min_overlap = ((window as f32 * self.config.min_overlap_frac) as u32).max(1);
-            let mut start = 0u32;
-            loop {
-                let end = (start + window - 1).min(index.frames.saturating_sub(1));
-                windows.push((start, end, min_overlap));
-                if end + 1 >= index.frames {
-                    break;
-                }
-                start += stride;
-            }
-        }
+        let windows = self.enumerate_windows(q_span, index.frames);
         telemetry::counter(names::WINDOWS_ENUMERATED).add(windows.len() as u64);
 
         let threads = self.config.threads.max(1);
-        let mut scored: Vec<RetrievedMoment> = if threads == 1 || windows.len() < 2 * threads {
+        let use_cache = self.config.embed_cache && self.sim.uses_embeddings();
+        let mut scored: Vec<RetrievedMoment> = if use_cache {
+            self.scan_cached(index, &classes, &prepared, &windows)
+        } else if threads == 1 || windows.len() < 2 * threads {
             windows
                 .iter()
                 .filter_map(|&(s, e, o)| self.best_in_window(index, &classes, &prepared, s, e, o))
@@ -221,7 +225,40 @@ impl<S: Similarity> Matcher<S> {
                 refine_boundaries(index, m);
             }
         }
-        kept
+        Ok(kept)
+    }
+
+    /// Enumerates every `(start, end, min_overlap)` window across the
+    /// configured scales, first occurrence order, duplicates dropped.
+    /// Scales whose window would not fit in the video are skipped.
+    ///
+    /// Deduplication matters: two scales whose windows clamp to the same
+    /// length (e.g. both under [`MatcherConfig::min_window`]) used to emit
+    /// the whole window list twice, scoring — and with the learned
+    /// similarity, embedding — every candidate in it twice.
+    fn enumerate_windows(&self, q_span: u32, frames: u32) -> Vec<(u32, u32, u32)> {
+        let mut windows: Vec<(u32, u32, u32)> = Vec::new();
+        let mut seen: HashSet<(u32, u32, u32)> = HashSet::new();
+        for &scale in &self.config.window_scales {
+            let window = ((q_span as f32 * scale) as u32).max(self.config.min_window);
+            if window > frames {
+                continue;
+            }
+            let stride = ((window as f32 * self.config.stride_frac) as u32).max(1);
+            let min_overlap = ((window as f32 * self.config.min_overlap_frac) as u32).max(1);
+            let mut start = 0u32;
+            loop {
+                let end = (start + window - 1).min(frames.saturating_sub(1));
+                if seen.insert((start, end, min_overlap)) {
+                    windows.push((start, end, min_overlap));
+                }
+                if end + 1 >= frames {
+                    break;
+                }
+                start += stride;
+            }
+        }
+        windows
     }
 
     /// Scores all candidate object combinations in one window; returns the
@@ -230,7 +267,7 @@ impl<S: Similarity> Matcher<S> {
         &self,
         index: &VideoIndex,
         classes: &[sketchql_trajectory::ObjectClass],
-        prepared: &crate::similarity::PreparedQuery,
+        prepared: &PreparedQuery,
         start: u32,
         end: u32,
         min_overlap: u32,
@@ -245,61 +282,147 @@ impl<S: Similarity> Matcher<S> {
         }
 
         let mut best: Option<RetrievedMoment> = None;
-        let mut combo = vec![0usize; classes.len()];
-        let mut tried = 0usize;
-        'combos: loop {
-            // Distinct tracks across slots.
-            let distinct = {
-                let mut ids: Vec<TrackId> = combo
-                    .iter()
-                    .enumerate()
-                    .map(|(s, &i)| per_slot[s][i].id)
-                    .collect();
-                ids.sort_unstable();
-                ids.windows(2).all(|w| w[0] != w[1])
-            };
-            if distinct {
-                tried += 1;
-                let candidate = window_clip(index, &combo, &per_slot, start, end);
-                if !candidate.is_empty() {
-                    // A non-finite score (a degenerate candidate under a
-                    // classical distance) is treated as "no match" so NaN
-                    // never reaches the ranking stage.
-                    let score = self.sim.score(prepared, &candidate);
-                    let score = if score.is_finite() { score } else { 0.0 };
-                    let ids = combo
-                        .iter()
-                        .enumerate()
-                        .map(|(s, &i)| per_slot[s][i].id)
-                        .collect::<Vec<_>>();
-                    if best.as_ref().is_none_or(|b| score > b.score) {
-                        best = Some(RetrievedMoment {
-                            start,
-                            end,
-                            score,
-                            track_ids: ids,
-                        });
-                    }
+        for_each_distinct_combo(
+            &per_slot,
+            self.config.max_combos_per_window,
+            |combo, ids| {
+                let candidate = window_clip(index, combo, &per_slot, start, end);
+                if candidate.is_empty() {
+                    return;
                 }
-                if tried >= self.config.max_combos_per_window {
-                    break 'combos;
+                // A non-finite score (a degenerate candidate under a
+                // classical distance) is treated as "no match" so NaN
+                // never reaches the ranking stage.
+                let score = self.sim.score(prepared, &candidate);
+                let score = if score.is_finite() { score } else { 0.0 };
+                if best.as_ref().is_none_or(|b| score > b.score) {
+                    best = Some(RetrievedMoment {
+                        start,
+                        end,
+                        score,
+                        track_ids: ids.to_vec(),
+                    });
+                }
+            },
+        );
+        best
+    }
+
+    /// The cached scan: enumerate all candidates interning each distinct
+    /// segment once, embed the unique segments in parallel batches, then
+    /// score every candidate from its cached embedding. Byte-identical to
+    /// running [`best_in_window`](Self::best_in_window) per window.
+    fn scan_cached(
+        &self,
+        index: &VideoIndex,
+        classes: &[sketchql_trajectory::ObjectClass],
+        prepared: &PreparedQuery,
+        windows: &[(u32, u32, u32)],
+    ) -> Vec<RetrievedMoment> {
+        // Phase 1: enumerate. A window's candidate list holds the bound
+        // track ids (slot order) and the segment's embedding slot, in
+        // combination order, for every distinct non-empty candidate.
+        let mut cache = EmbedCache::new();
+        let mut per_window: Vec<WindowCandidates> = Vec::new();
+        for &(start, end, min_overlap) in windows {
+            let per_slot: Vec<Vec<&Trajectory>> = classes
+                .iter()
+                .map(|c| index.tracks_in_window(*c, start, end, min_overlap))
+                .collect();
+            if per_slot.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let mut candidates: Vec<(Vec<TrackId>, u32)> = Vec::new();
+            for_each_distinct_combo(
+                &per_slot,
+                self.config.max_combos_per_window,
+                |combo, ids| {
+                    let slot = cache.intern(ids, start, end, || {
+                        window_clip(index, combo, &per_slot, start, end)
+                    });
+                    if let Some(slot) = slot {
+                        candidates.push((ids.to_vec(), slot));
+                    }
+                },
+            );
+            per_window.push((start, end, candidates));
+        }
+        telemetry::counter(names::EMBED_CACHE_HITS).add(cache.hits());
+        telemetry::counter(names::EMBED_CACHE_MISSES).add(cache.misses());
+
+        // Phase 2: one batched encoder pass per chunk of unique segments.
+        let embeddings = embed_clips_parallel(&self.sim, cache.clips(), self.config.threads);
+
+        // Phase 3: score from the cache, preserving the per-window
+        // combination order (same strict-greater best and finite-score
+        // rules as the direct path).
+        let mut scored: Vec<RetrievedMoment> = Vec::new();
+        for (start, end, candidates) in per_window {
+            let mut best: Option<RetrievedMoment> = None;
+            for (ids, slot) in candidates {
+                let embedding = embeddings[slot as usize].as_deref();
+                let score = self.sim.score_embedding(prepared, embedding);
+                let score = if score.is_finite() { score } else { 0.0 };
+                if best.as_ref().is_none_or(|b| score > b.score) {
+                    best = Some(RetrievedMoment {
+                        start,
+                        end,
+                        score,
+                        track_ids: ids,
+                    });
                 }
             }
-            // Advance the mixed-radix counter.
-            let mut slot = 0;
-            loop {
-                combo[slot] += 1;
-                if combo[slot] < per_slot[slot].len() {
-                    break;
-                }
-                combo[slot] = 0;
-                slot += 1;
-                if slot == combo.len() {
-                    break 'combos;
-                }
+            scored.extend(best);
+        }
+        scored
+    }
+}
+
+/// One window's candidates for the cached scan: `(start, end)` plus each
+/// distinct candidate's bound track ids (slot order) and embedding slot.
+type WindowCandidates = (u32, u32, Vec<(Vec<TrackId>, u32)>);
+
+/// Visits every combination of one track per slot where all chosen tracks
+/// are distinct, in mixed-radix order, stopping after `max_combos` visits.
+/// The callback receives the per-slot indices and the chosen track ids in
+/// slot order.
+fn for_each_distinct_combo(
+    per_slot: &[Vec<&Trajectory>],
+    max_combos: usize,
+    mut visit: impl FnMut(&[usize], &[TrackId]),
+) {
+    let mut combo = vec![0usize; per_slot.len()];
+    let mut ids: Vec<TrackId> = vec![0; per_slot.len()];
+    let mut tried = 0usize;
+    'combos: loop {
+        for (slot, &i) in combo.iter().enumerate() {
+            ids[slot] = per_slot[slot][i].id;
+        }
+        let distinct = {
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        };
+        if distinct {
+            tried += 1;
+            visit(&combo, &ids);
+            if tried >= max_combos {
+                break 'combos;
             }
         }
-        best
+        // Advance the mixed-radix counter.
+        let mut slot = 0;
+        loop {
+            combo[slot] += 1;
+            if combo[slot] < per_slot[slot].len() {
+                break;
+            }
+            combo[slot] = 0;
+            slot += 1;
+            if slot == combo.len() {
+                break 'combos;
+            }
+        }
     }
 }
 
@@ -454,7 +577,7 @@ mod tests {
     #[test]
     fn finds_the_turning_car() {
         let idx = test_index();
-        let results = matcher().search(&idx, &left_turn_query());
+        let results = matcher().search(&idx, &left_turn_query()).unwrap();
         assert!(!results.is_empty());
         let top = &results[0];
         assert_eq!(
@@ -482,7 +605,7 @@ mod tests {
                     .collect(),
             )],
         );
-        let results = matcher().search(&idx, &straight_query);
+        let results = matcher().search(&idx, &straight_query).unwrap();
         assert!(!results.is_empty());
         assert_eq!(results[0].track_ids, vec![2]);
     }
@@ -490,7 +613,7 @@ mod tests {
     #[test]
     fn results_are_sorted_and_bounded() {
         let idx = test_index();
-        let results = matcher().search(&idx, &left_turn_query());
+        let results = matcher().search(&idx, &left_turn_query()).unwrap();
         assert!(results.len() <= MatcherConfig::default().top_k);
         for w in results.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -513,7 +636,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let results = m.search(&idx, &left_turn_query());
+        let results = m.search(&idx, &left_turn_query()).unwrap();
         for i in 0..results.len() {
             for j in i + 1..results.len() {
                 if results[i].track_ids == results[j].track_ids {
@@ -532,16 +655,22 @@ mod tests {
     fn empty_query_and_empty_index() {
         let idx = test_index();
         let empty_q = Clip::new(10.0, 10.0, vec![]);
-        assert!(matcher().search(&idx, &empty_q).is_empty());
+        assert!(matcher().search(&idx, &empty_q).unwrap().is_empty());
         let empty_idx = VideoIndex::from_clip("e", &Clip::new(10.0, 10.0, vec![]), 0, 30.0);
-        assert!(matcher().search(&empty_idx, &left_turn_query()).is_empty());
+        assert!(matcher()
+            .search(&empty_idx, &left_turn_query())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn index_with_no_tracks_returns_empty() {
         // Frames but no tracks: every window prunes, nothing panics.
         let idx = VideoIndex::from_clip("n", &Clip::new(10.0, 10.0, vec![]), 100, 30.0);
-        assert!(matcher().search(&idx, &left_turn_query()).is_empty());
+        assert!(matcher()
+            .search(&idx, &left_turn_query())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -556,7 +685,7 @@ mod tests {
             vec![Trajectory::from_points(0, ObjectClass::Car, pts)],
         );
         assert!(q.span() < MatcherConfig::default().min_window);
-        assert!(matcher().search(&idx, &q).is_empty());
+        assert!(matcher().search(&idx, &q).unwrap().is_empty());
     }
 
     #[test]
@@ -572,7 +701,58 @@ mod tests {
             vec![Trajectory::from_points(1, ObjectClass::Car, pts)],
         );
         let idx = VideoIndex::from_clip("short", &clip, 20, 30.0);
-        assert!(matcher().search(&idx, &left_turn_query()).is_empty());
+        assert!(matcher()
+            .search(&idx, &left_turn_query())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn clamped_scales_do_not_duplicate_windows() {
+        // A 16-frame query: scales 0.75 and 1.0 both clamp to
+        // min_window = 16, so naive enumeration would emit every window
+        // of that length twice.
+        let m = matcher();
+        let windows = m.enumerate_windows(16, 100);
+        let distinct: HashSet<_> = windows.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            windows.len(),
+            "duplicate windows enumerated: {windows:?}"
+        );
+        // Both clamped scales contribute one copy of the 16-frame grid;
+        // scale 1.5 contributes the 24-frame grid.
+        assert!(windows.iter().any(|&(s, e, _)| (s, e) == (0, 15)));
+        assert!(windows.iter().any(|&(s, e, _)| (s, e) == (0, 23)));
+        // The 16-frame grid strides by 4 and stops once a window touches
+        // the last frame: starts 0, 4, ..., 84.
+        let len16 = windows.iter().filter(|&&(s, e, _)| e - s == 15).count();
+        assert_eq!(len16, (0..=84).step_by(4).count());
+    }
+
+    #[test]
+    fn duplicate_scales_match_single_scale_results() {
+        let idx = test_index();
+        let query = left_turn_query();
+        let single = Matcher::with_config(
+            ClassicalSimilarity::new(DistanceKind::Dtw),
+            MatcherConfig {
+                window_scales: vec![1.0],
+                ..Default::default()
+            },
+        )
+        .search(&idx, &query)
+        .unwrap();
+        let duplicated = Matcher::with_config(
+            ClassicalSimilarity::new(DistanceKind::Dtw),
+            MatcherConfig {
+                window_scales: vec![1.0, 1.0, 1.0],
+                ..Default::default()
+            },
+        )
+        .search(&idx, &query)
+        .unwrap();
+        assert_eq!(single, duplicated);
     }
 
     #[test]
@@ -591,7 +771,7 @@ mod tests {
         let idx = VideoIndex::from_clip("parked", &clip, 200, 30.0);
         for &kind in DistanceKind::ALL {
             let m = Matcher::new(ClassicalSimilarity::new(kind));
-            for r in m.search(&idx, &left_turn_query()) {
+            for r in m.search(&idx, &left_turn_query()).unwrap() {
                 assert!(r.score.is_finite(), "{kind:?} produced {:?}", r.score);
             }
         }
@@ -614,7 +794,7 @@ mod tests {
                     .collect(),
             )],
         );
-        assert!(matcher().search(&idx, &person_query).is_empty());
+        assert!(matcher().search(&idx, &person_query).unwrap().is_empty());
     }
 
     #[test]
@@ -633,7 +813,7 @@ mod tests {
                     .collect(),
             )],
         );
-        let results = matcher().search(&idx, &any_query);
+        let results = matcher().search(&idx, &any_query).unwrap();
         assert!(!results.is_empty());
     }
 
@@ -664,7 +844,7 @@ mod tests {
 
         let query =
             sketchql_datasets::query_clip(sketchql_datasets::EventKind::PerpendicularCrossing);
-        let results = matcher().search(&idx, &query);
+        let results = matcher().search(&idx, &query).unwrap();
         assert!(!results.is_empty());
         let top = &results[0];
         assert_eq!(top.track_ids.len(), 2);
@@ -737,7 +917,8 @@ mod tests {
                 ..Default::default()
             },
         )
-        .search(&idx, &query);
+        .search(&idx, &query)
+        .unwrap();
         let par = Matcher::with_config(
             ClassicalSimilarity::new(DistanceKind::Dtw),
             MatcherConfig {
@@ -745,7 +926,8 @@ mod tests {
                 ..Default::default()
             },
         )
-        .search(&idx, &query);
+        .search(&idx, &query)
+        .unwrap();
         assert_eq!(seq, par);
     }
 

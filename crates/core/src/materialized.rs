@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{Clip, ObjectClass, TrackId, TrajPoint, Trajectory};
 
+use crate::embed_cache::embed_clips_parallel;
 use crate::index::VideoIndex;
 use crate::matcher::RetrievedMoment;
 use crate::similarity::LearnedSimilarity;
@@ -68,10 +69,19 @@ impl MaterializedWindows {
     /// Embeds every (track, window) candidate of the index.
     pub fn build(index: &VideoIndex, sim: &LearnedSimilarity, config: MaterializeConfig) -> Self {
         let _span = telemetry::span(names::MATERIALIZED_BUILD);
-        // Enumerate tasks first, then embed in parallel.
+        // Enumerate tasks first, then embed in parallel. Window lengths
+        // that clamp to the same value (short videos collapse several
+        // configured lengths onto `index.frames`) are deduplicated —
+        // repeating them would embed every window of that length once per
+        // duplicate and store duplicate entries.
         let mut tasks: Vec<(usize, u32, u32)> = Vec::new();
+        let mut seen_lens: Vec<u32> = Vec::new();
         for &wlen in &config.window_lens {
             let wlen = wlen.min(index.frames.max(1));
+            if seen_lens.contains(&wlen) {
+                continue;
+            }
+            seen_lens.push(wlen);
             let stride = ((wlen as f32 * config.stride_frac) as u32).max(1);
             let min_overlap = ((wlen as f32 * config.min_overlap_frac) as u32).max(1);
             let mut start = 0u32;
@@ -93,48 +103,41 @@ impl MaterializedWindows {
             }
         }
 
-        let embed_task = |&(ti, start, end): &(usize, u32, u32)| -> Option<MaterializedEntry> {
-            let t: &Trajectory = &index.tracks[ti];
-            let pts: Vec<TrajPoint> = t
-                .points()
-                .iter()
-                .filter(|p| p.frame >= start && p.frame <= end)
-                .map(|p| TrajPoint::new(p.frame - start, p.bbox))
-                .collect();
-            let clip = Clip::new(
-                index.frame_width,
-                index.frame_height,
-                vec![Trajectory::from_points(t.id, t.class, pts)],
-            );
-            let embedding = sim.embed(&clip)?;
-            Some(MaterializedEntry {
-                track_id: t.id,
-                class: t.class,
-                start,
-                end,
-                embedding,
+        // Slice every task's clip, then push them through batched encoder
+        // forwards split across the worker threads (identical embeddings
+        // to one scalar forward per task, at a fraction of the overhead).
+        let clips: Vec<Clip> = tasks
+            .iter()
+            .map(|&(ti, start, end)| {
+                let t: &Trajectory = &index.tracks[ti];
+                let pts: Vec<TrajPoint> = t
+                    .points()
+                    .iter()
+                    .filter(|p| p.frame >= start && p.frame <= end)
+                    .map(|p| TrajPoint::new(p.frame - start, p.bbox))
+                    .collect();
+                Clip::new(
+                    index.frame_width,
+                    index.frame_height,
+                    vec![Trajectory::from_points(t.id, t.class, pts)],
+                )
             })
-        };
-
-        let threads = config.threads.max(1);
-        let mut entries: Vec<MaterializedEntry> = if threads == 1 || tasks.len() < 2 * threads {
-            tasks.iter().filter_map(embed_task).collect()
-        } else {
-            let out = std::sync::Mutex::new(Vec::with_capacity(tasks.len()));
-            let chunk = tasks.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for piece in tasks.chunks(chunk) {
-                    let out = &out;
-                    let embed_task = &embed_task;
-                    scope.spawn(move || {
-                        let local: Vec<MaterializedEntry> =
-                            piece.iter().filter_map(embed_task).collect();
-                        out.lock().unwrap().extend(local);
-                    });
-                }
-            });
-            out.into_inner().unwrap()
-        };
+            .collect();
+        let embeddings = embed_clips_parallel(sim, &clips, config.threads);
+        let mut entries: Vec<MaterializedEntry> = tasks
+            .iter()
+            .zip(embeddings)
+            .filter_map(|(&(ti, start, end), embedding)| {
+                let t = &index.tracks[ti];
+                Some(MaterializedEntry {
+                    track_id: t.id,
+                    class: t.class,
+                    start,
+                    end,
+                    embedding: embedding?,
+                })
+            })
+            .collect();
         // Deterministic order regardless of thread count or interleaving.
         entries.sort_by_key(|e| (e.track_id, e.start, e.end));
         telemetry::counter(names::MATERIALIZED_WINDOWS).add(entries.len() as u64);
@@ -283,6 +286,31 @@ mod tests {
             assert_eq!((x.start, x.end), (y.start, y.end));
             assert_eq!(x.embedding, y.embedding);
         }
+    }
+
+    #[test]
+    fn clamped_window_lens_do_not_duplicate_entries() {
+        // A 60-frame video: every configured window length clamps to 60,
+        // so a naive build would materialize (and embed) each window once
+        // per configured length.
+        let t = Trajectory::from_points(
+            1,
+            ObjectClass::Car,
+            (0..60)
+                .map(|f| TrajPoint::new(f, BBox::new(f as f32 * 4.0, 300.0, 60.0, 35.0)))
+                .collect(),
+        );
+        let clip = Clip::new(1280.0, 720.0, vec![t]);
+        let idx = VideoIndex::from_clip("short", &clip, 60, 30.0);
+        let sim = tiny_sim();
+        let m = MaterializedWindows::build(&idx, &sim, MaterializeConfig::default());
+        assert!(!m.is_empty());
+        let keys: std::collections::HashSet<_> = m
+            .entries
+            .iter()
+            .map(|e| (e.track_id, e.start, e.end))
+            .collect();
+        assert_eq!(keys.len(), m.len(), "duplicate materialized entries");
     }
 
     #[test]

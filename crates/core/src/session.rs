@@ -23,7 +23,7 @@ use std::sync::Mutex;
 
 use crate::index::VideoIndex;
 use crate::matcher::{Matcher, MatcherConfig, RetrievedMoment};
-use crate::similarity::{LearnedSimilarity, Similarity};
+use crate::similarity::{LearnedSimilarity, Similarity, SimilarityError};
 use crate::sketcher::{SketchError, Sketcher};
 use crate::training::TrainedModel;
 use crate::tuner::{fine_tune, Feedback, Reranker, TunerConfig};
@@ -56,6 +56,10 @@ pub enum SessionError {
     UnknownDataset(String),
     /// The sketch could not be compiled into a query.
     Sketch(SketchError),
+    /// The similarity function cannot score this query (e.g. the learned
+    /// encoder rejects it). Previously this failed silently: the search
+    /// ran to completion with every candidate scored 0.0.
+    Similarity(SimilarityError),
 }
 
 impl fmt::Display for SessionError {
@@ -63,6 +67,7 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
             SessionError::Sketch(e) => write!(f, "sketch error: {e}"),
+            SessionError::Similarity(e) => write!(f, "similarity error: {e}"),
         }
     }
 }
@@ -72,6 +77,12 @@ impl std::error::Error for SessionError {}
 impl From<SketchError> for SessionError {
     fn from(e: SketchError) -> Self {
         SessionError::Sketch(e)
+    }
+}
+
+impl From<SimilarityError> for SessionError {
+    fn from(e: SimilarityError) -> Self {
+        SessionError::Similarity(e)
     }
 }
 
@@ -209,7 +220,7 @@ impl SketchQL {
         let results = matcher.search(index, query);
         telemetry::counter(names::SESSION_QUERY).inc();
         *self.last_report.lock().unwrap() = Some(recorder.finish(dataset));
-        Ok(results)
+        Ok(results?)
     }
 
     /// The [`QueryReport`] of the most recent `run_query` /
@@ -433,6 +444,27 @@ mod tests {
         let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
         let err = sq.run_query("nope", &query).unwrap_err();
         assert_eq!(err, SessionError::UnknownDataset("nope".into()));
+    }
+
+    #[test]
+    fn unembeddable_query_is_an_error_not_empty_results() {
+        let mut sq = tiny_session();
+        sq.upload_index("v", VideoIndex::from_truth(&small_video(7)));
+        // Five objects exceed the encoder's slot budget. Previously this
+        // silently fell back to scoring every candidate 0.0.
+        let base = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let objects = (0..5)
+            .map(|i| {
+                let t = &base.objects[0];
+                Trajectory::from_points(i, t.class, t.points().to_vec())
+            })
+            .collect();
+        let crowd = Clip::new(1000.0, 600.0, objects);
+        let err = sq.run_query("v", &crowd).unwrap_err();
+        assert!(
+            matches!(err, SessionError::Similarity(_)),
+            "expected a similarity error, got {err:?}"
+        );
     }
 
     #[test]

@@ -6,13 +6,26 @@
 //! touching the search loop. Queries are `prepare`d once (for the learned
 //! similarity this embeds the query a single time) and scored against many
 //! candidate windows.
+//!
+//! Embedding-based similarities additionally expose a *batched* candidate
+//! path ([`Similarity::embed_candidates`] + [`Similarity::score_embedding`])
+//! so the Matcher can embed each distinct candidate segment exactly once
+//! per search and push whole batches through the encoder in one forward.
 
 use sketchql_nn::{cosine_similarity, ParamStore, TrajectoryEncoder};
 use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{
-    clip_distance, distance_to_similarity, extract_features, Clip, DistanceKind,
+    clip_distance, distance_to_similarity, extract_features, Clip, DistanceKind, FeatureError,
 };
+use std::fmt;
 use std::sync::OnceLock;
+
+/// Largest number of candidate clips stacked into one batched encoder
+/// forward. Bounds peak memory of the stacked activation tensors.
+const MAX_EMBED_BATCH: usize = 64;
+
+/// Bucket bounds for the embed-batch-size histogram.
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// Cached handle for the similarity-eval counter: `score` runs once per
 /// candidate combination, so the registry lookup is paid only once per
@@ -27,6 +40,33 @@ fn embeds_counter() -> &'static telemetry::Counter {
     static C: OnceLock<&'static telemetry::Counter> = OnceLock::new();
     C.get_or_init(|| telemetry::counter(names::EMBEDDINGS_COMPUTED))
 }
+
+/// Cached handle for the embed-batch-size histogram.
+fn batch_histogram() -> &'static telemetry::Histogram {
+    static H: OnceLock<&'static telemetry::Histogram> = OnceLock::new();
+    H.get_or_init(|| telemetry::histogram(names::EMBED_BATCH_SIZE, BATCH_BOUNDS))
+}
+
+/// Errors from preparing a query for similarity search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimilarityError {
+    /// The query clip was rejected by the learned encoder's feature
+    /// extractor (empty, or more objects than the encoder supports).
+    /// Surfaced instead of silently scoring every candidate 0.0.
+    QueryFeatures(FeatureError),
+}
+
+impl fmt::Display for SimilarityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimilarityError::QueryFeatures(e) => {
+                write!(f, "query cannot be embedded: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimilarityError {}
 
 /// A prepared (pre-processed) query, produced by [`Similarity::prepare`].
 #[derive(Debug, Clone)]
@@ -43,16 +83,43 @@ pub trait Similarity: Send + Sync {
     /// Short name used in experiment tables.
     fn name(&self) -> String;
 
-    /// Pre-processes the query once.
-    fn prepare(&self, query: &Clip) -> PreparedQuery;
+    /// Pre-processes the query once. Fails when the query itself cannot be
+    /// scored by this similarity (e.g. the learned encoder rejects it); a
+    /// failed prepare means *every* candidate would score 0.0, so callers
+    /// surface the error instead of returning silently-empty results.
+    fn prepare(&self, query: &Clip) -> Result<PreparedQuery, SimilarityError>;
 
     /// Scores a candidate clip against a prepared query.
     fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32;
 
-    /// Convenience: prepare + score in one call.
+    /// Convenience: prepare + score in one call (0.0 when prepare fails).
     fn score_pair(&self, query: &Clip, candidate: &Clip) -> f32 {
-        let p = self.prepare(query);
-        self.score(&p, candidate)
+        match self.prepare(query) {
+            Ok(p) => self.score(&p, candidate),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Whether candidates can be scored from precomputed embeddings via
+    /// [`embed_candidates`](Self::embed_candidates) +
+    /// [`score_embedding`](Self::score_embedding). When `false` the
+    /// Matcher's per-search embedding cache is bypassed.
+    fn uses_embeddings(&self) -> bool {
+        false
+    }
+
+    /// Embeds a batch of candidate clips, one `Option` per input clip
+    /// (`None` where the clip cannot be embedded). The default
+    /// implementation embeds nothing.
+    fn embed_candidates(&self, clips: &[Clip]) -> Vec<Option<Vec<f32>>> {
+        clips.iter().map(|_| None).collect()
+    }
+
+    /// Scores a candidate from its precomputed embedding (`None` when the
+    /// candidate could not be embedded). Must agree exactly with
+    /// [`score`](Self::score) on the same candidate.
+    fn score_embedding(&self, _prepared: &PreparedQuery, _embedding: Option<&[f32]>) -> f32 {
+        0.0
     }
 }
 
@@ -70,15 +137,22 @@ impl LearnedSimilarity {
         LearnedSimilarity { encoder, store }
     }
 
+    /// Embeds a clip into the encoder's unit-norm embedding space, or the
+    /// reason the feature extractor rejected it (empty clip, too many
+    /// objects).
+    pub fn try_embed(&self, clip: &Clip) -> Result<Vec<f32>, FeatureError> {
+        let steps = self.encoder.config.steps;
+        let feats = extract_features(clip, steps)?;
+        let t = sketchql_nn::Tensor::from_vec(steps, feats.data.len() / steps, feats.data);
+        embeds_counter().inc();
+        Ok(self.encoder.embed(&self.store, &t))
+    }
+
     /// Embeds a clip into the encoder's unit-norm embedding space.
     /// Returns `None` for clips the feature extractor rejects (empty or
     /// too many objects).
     pub fn embed(&self, clip: &Clip) -> Option<Vec<f32>> {
-        let steps = self.encoder.config.steps;
-        let feats = extract_features(clip, steps).ok()?;
-        let t = sketchql_nn::Tensor::from_vec(steps, feats.data.len() / steps, feats.data);
-        embeds_counter().inc();
-        Some(self.encoder.embed(&self.store, &t))
+        self.try_embed(clip).ok()
     }
 }
 
@@ -87,11 +161,10 @@ impl Similarity for LearnedSimilarity {
         "sketchql".to_string()
     }
 
-    fn prepare(&self, query: &Clip) -> PreparedQuery {
-        match self.embed(query) {
-            Some(e) => PreparedQuery::Embedding(e),
-            None => PreparedQuery::Clip(query.clone()),
-        }
+    fn prepare(&self, query: &Clip) -> Result<PreparedQuery, SimilarityError> {
+        self.try_embed(query)
+            .map(PreparedQuery::Embedding)
+            .map_err(SimilarityError::QueryFeatures)
     }
 
     fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32 {
@@ -102,6 +175,55 @@ impl Similarity for LearnedSimilarity {
         match self.embed(candidate) {
             // Map cosine in [-1, 1] to [0, 1].
             Some(ce) => (cosine_similarity(qe, &ce) + 1.0) * 0.5,
+            None => 0.0,
+        }
+    }
+
+    fn uses_embeddings(&self) -> bool {
+        true
+    }
+
+    fn embed_candidates(&self, clips: &[Clip]) -> Vec<Option<Vec<f32>>> {
+        let steps = self.encoder.config.steps;
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; clips.len()];
+        // Feature-extract everything first; rejected clips stay `None` and
+        // are excluded from the batches.
+        let feats: Vec<Option<sketchql_nn::Tensor>> = clips
+            .iter()
+            .map(|c| {
+                extract_features(c, steps).ok().map(|f| {
+                    let cols = f.data.len() / steps;
+                    sketchql_nn::Tensor::from_vec(steps, cols, f.data)
+                })
+            })
+            .collect();
+        let embeddable: Vec<usize> = feats
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| i))
+            .collect();
+        for chunk in embeddable.chunks(MAX_EMBED_BATCH) {
+            let refs: Vec<&sketchql_nn::Tensor> = chunk
+                .iter()
+                .map(|&i| feats[i].as_ref().expect("chunk holds embeddable indices"))
+                .collect();
+            batch_histogram().observe(refs.len() as f64);
+            let embeddings = self.encoder.embed_batch(&self.store, &refs);
+            embeds_counter().add(refs.len() as u64);
+            for (&i, e) in chunk.iter().zip(embeddings) {
+                out[i] = Some(e);
+            }
+        }
+        out
+    }
+
+    fn score_embedding(&self, prepared: &PreparedQuery, embedding: Option<&[f32]>) -> f32 {
+        evals_counter().inc();
+        let PreparedQuery::Embedding(qe) = prepared else {
+            return 0.0;
+        };
+        match embedding {
+            Some(ce) => (cosine_similarity(qe, ce) + 1.0) * 0.5,
             None => 0.0,
         }
     }
@@ -131,8 +253,8 @@ impl Similarity for ClassicalSimilarity {
         self.kind.name().to_string()
     }
 
-    fn prepare(&self, query: &Clip) -> PreparedQuery {
-        PreparedQuery::Clip(query.clone())
+    fn prepare(&self, query: &Clip) -> Result<PreparedQuery, SimilarityError> {
+        Ok(PreparedQuery::Clip(query.clone()))
     }
 
     fn score(&self, prepared: &PreparedQuery, candidate: &Clip) -> f32 {
@@ -186,7 +308,7 @@ mod tests {
         let sim = untrained_learned();
         let a = clip_line(0.0);
         let b = clip_line(8.0);
-        let p = sim.prepare(&a);
+        let p = sim.prepare(&a).unwrap();
         let saa = sim.score(&p, &a);
         let sab = sim.score(&p, &b);
         assert!(
@@ -200,9 +322,61 @@ mod tests {
     #[test]
     fn learned_handles_empty_candidate() {
         let sim = untrained_learned();
-        let p = sim.prepare(&clip_line(0.0));
+        let p = sim.prepare(&clip_line(0.0)).unwrap();
         let empty = Clip::new(10.0, 10.0, vec![]);
         assert_eq!(sim.score(&p, &empty), 0.0);
+    }
+
+    #[test]
+    fn learned_prepare_rejects_unembeddable_queries() {
+        let sim = untrained_learned();
+        let empty = Clip::new(10.0, 10.0, vec![]);
+        assert!(matches!(
+            sim.prepare(&empty),
+            Err(SimilarityError::QueryFeatures(FeatureError::EmptyClip)),
+        ));
+        let base = clip_line(0.0);
+        let crowd = Clip::new(
+            640.0,
+            480.0,
+            (0..5).map(|_| base.objects[0].clone()).collect(),
+        );
+        assert!(matches!(
+            sim.prepare(&crowd),
+            Err(SimilarityError::QueryFeatures(
+                FeatureError::TooManyObjects { got: 5, .. }
+            )),
+        ));
+    }
+
+    #[test]
+    fn embed_candidates_matches_scalar_embed() {
+        let sim = untrained_learned();
+        let clips = vec![
+            clip_line(0.0),
+            Clip::new(10.0, 10.0, vec![]), // rejected: stays None
+            clip_line(4.0),
+            clip_line(-2.0),
+        ];
+        let batched = sim.embed_candidates(&clips);
+        assert_eq!(batched.len(), clips.len());
+        assert!(batched[1].is_none());
+        for (clip, emb) in clips.iter().zip(&batched) {
+            assert_eq!(&sim.embed(clip), emb, "batched embedding must be exact");
+        }
+    }
+
+    #[test]
+    fn score_embedding_agrees_with_score() {
+        let sim = untrained_learned();
+        let query = clip_line(1.0);
+        let p = sim.prepare(&query).unwrap();
+        let candidates = vec![clip_line(0.0), clip_line(8.0), clip_line(-3.0)];
+        let embeddings = sim.embed_candidates(&candidates);
+        for (c, e) in candidates.iter().zip(&embeddings) {
+            assert_eq!(sim.score(&p, c), sim.score_embedding(&p, e.as_deref()));
+        }
+        assert_eq!(sim.score_embedding(&p, None), 0.0);
     }
 
     #[test]
@@ -221,7 +395,7 @@ mod tests {
         let straight = clip_line(0.0);
         let nearly_straight = clip_line(0.3);
         let diagonal = clip_line(6.0);
-        let p = sim.prepare(&straight);
+        let p = sim.prepare(&straight).unwrap();
         assert!(sim.score(&p, &nearly_straight) > sim.score(&p, &diagonal));
     }
 

@@ -1,0 +1,1038 @@
+//! SIMD matmul kernels for the tape-free inference path.
+//!
+//! [`Tensor::matmul`] keeps the readable scalar ikj loop: it runs inside
+//! the autograd tape, where clarity and an obvious correspondence with the
+//! backward rules matter more than throughput, and it doubles as the
+//! reference oracle the kernels here are differentially tested against.
+//! Inference (`TrajectoryEncoder::embed_batch` and the matcher's cached
+//! scan built on it) is throughput-bound on these matmuls, so it routes
+//! through [`matmul`] / [`matmul_into`], which dispatch at runtime to an
+//! AVX-512 or AVX2 kernel when the CPU has one.
+//!
+//! The kernels tile output columns into vector registers and keep the
+//! accumulators resident across the whole `k` loop (several independent
+//! add chains per row hide the floating-point add latency); the scalar
+//! loop's read-modify-write of the output row in memory is what caps it
+//! well below machine peak.
+//!
+//! ## Bit-exactness
+//!
+//! The vector kernels produce results `==`-equal to the scalar loop. For a
+//! fixed output element `(i, j)` the scalar loop accumulates
+//! `out += a[i][k] * b[k][j]` from zero over ascending `k`, one rounded
+//! multiply and one rounded add per step. The vector kernels keep exactly
+//! that order — lanes run across `j`, never across `k` — and use separate
+//! multiply and add instructions (never FMA, whose single rounding would
+//! diverge). IEEE-754 multiplies and adds are lane-wise identical to their
+//! scalar counterparts, so every lane reproduces the scalar sequence
+//! exactly. The `a == 0.0` row skip is replicated as well, keeping even
+//! the NaN-propagation corner cases (`0.0 * inf`) identical.
+//!
+//! ## Shared elementwise and reduction semantics
+//!
+//! Beyond matmul, this module owns the arithmetic the encoder's forward
+//! pass is made of: [`fast_tanh`] and [`fast_exp`] (polynomial
+//! approximations evaluated in a pinned operation order), the GELU /
+//! softmax / layer-norm row kernels built on them, and the fixed
+//! 16-bucket strided summation ([`strided_sum`]) used for every row
+//! reduction. Each kernel comes in a scalar form (used by the autograd
+//! tape ops) and a vectorized form (used by the batched tape-free
+//! inference path); the pairs are differentially tested to produce
+//! bit-identical outputs. The bucket count is 16 on every ISA — the
+//! summation order is part of the semantics, not an artifact of the
+//! vector width — so `TrajectoryEncoder::embed_batch` stays `==`-equal
+//! to `embed` everywhere, which is what keeps cached matcher searches
+//! byte-identical to the uncached path. NaN inputs stay NaN in both
+//! forms (payload bits may differ, as with any x86 vector op).
+
+use crate::tensor::Tensor;
+
+/// `a (R x K) @ b (K x C) -> R x C`, `==`-equal to [`Tensor::matmul`].
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows, b.cols);
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// Writes `a @ b` into `out`, overwriting it (shape-checked).
+///
+/// Allows callers with a steady-state shape (the per-block attention
+/// loop) to reuse one output buffer across calls.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.cols, b.rows, "matmul inner dim mismatch");
+    assert_eq!(
+        (out.rows, out.cols),
+        (a.rows, b.cols),
+        "matmul output shape mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature presence checked at runtime.
+            if b.cols <= 16 {
+                unsafe { matmul_narrow_avx512(a, b, out) };
+            } else if b.cols <= 32 {
+                unsafe { matmul_narrow2_avx512(a, b, out) };
+            } else {
+                unsafe { matmul_avx512(a, b, out) };
+            }
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence checked at runtime.
+            unsafe { matmul_avx2(a, b, out) };
+            return;
+        }
+    }
+    matmul_scalar(a, b, out);
+}
+
+/// The reference loop, identical to [`Tensor::matmul`]'s body.
+fn matmul_scalar(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (r, k, c) = (a.rows, a.cols, b.cols);
+    out.data.fill(0.0);
+    for i in 0..r {
+        let out_row = &mut out.data[i * c..(i + 1) * c];
+        for kk in 0..k {
+            let av = a.data[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[kk * c..(kk + 1) * c];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Emits one register-tiled AVX-512 (16-lane) or AVX2 (8-lane) kernel.
+///
+/// Column tiles of 4/3/2/1 vector registers accumulate across the full
+/// `k` loop before a single store; the sub-vector tail differs per ISA
+/// (AVX-512 has masked loads/stores, AVX2 falls back to scalar).
+macro_rules! simd_matmul {
+    (
+        $name:ident, $feature:literal, $lanes:expr, $vec:ty,
+        $setzero:ident, $set1:ident, $loadu:ident, $storeu:ident,
+        $add:ident, $mul:ident, $tail:ident
+    ) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = $feature)]
+        unsafe fn $name(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+            use std::arch::x86_64::*;
+            const L: usize = $lanes;
+            let (r, k, c) = (a.rows, a.cols, b.cols);
+            let bp = b.data.as_ptr();
+            for i in 0..r {
+                let a_row = &a.data[i * k..(i + 1) * k];
+                let o_row = out.data[i * c..(i + 1) * c].as_mut_ptr();
+                let mut j = 0;
+                while j + 4 * L <= c {
+                    let mut s0: $vec = $setzero();
+                    let mut s1: $vec = $setzero();
+                    let mut s2: $vec = $setzero();
+                    let mut s3: $vec = $setzero();
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let va = $set1(av);
+                        let bj = bp.add(kk * c + j);
+                        s0 = $add(s0, $mul(va, $loadu(bj)));
+                        s1 = $add(s1, $mul(va, $loadu(bj.add(L))));
+                        s2 = $add(s2, $mul(va, $loadu(bj.add(2 * L))));
+                        s3 = $add(s3, $mul(va, $loadu(bj.add(3 * L))));
+                    }
+                    $storeu(o_row.add(j), s0);
+                    $storeu(o_row.add(j + L), s1);
+                    $storeu(o_row.add(j + 2 * L), s2);
+                    $storeu(o_row.add(j + 3 * L), s3);
+                    j += 4 * L;
+                }
+                if j + 3 * L <= c {
+                    let mut s0: $vec = $setzero();
+                    let mut s1: $vec = $setzero();
+                    let mut s2: $vec = $setzero();
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let va = $set1(av);
+                        let bj = bp.add(kk * c + j);
+                        s0 = $add(s0, $mul(va, $loadu(bj)));
+                        s1 = $add(s1, $mul(va, $loadu(bj.add(L))));
+                        s2 = $add(s2, $mul(va, $loadu(bj.add(2 * L))));
+                    }
+                    $storeu(o_row.add(j), s0);
+                    $storeu(o_row.add(j + L), s1);
+                    $storeu(o_row.add(j + 2 * L), s2);
+                    j += 3 * L;
+                }
+                if j + 2 * L <= c {
+                    let mut s0: $vec = $setzero();
+                    let mut s1: $vec = $setzero();
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let va = $set1(av);
+                        let bj = bp.add(kk * c + j);
+                        s0 = $add(s0, $mul(va, $loadu(bj)));
+                        s1 = $add(s1, $mul(va, $loadu(bj.add(L))));
+                    }
+                    $storeu(o_row.add(j), s0);
+                    $storeu(o_row.add(j + L), s1);
+                    j += 2 * L;
+                }
+                if j + L <= c {
+                    let mut s0: $vec = $setzero();
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        s0 = $add(s0, $mul($set1(av), $loadu(bp.add(kk * c + j))));
+                    }
+                    $storeu(o_row.add(j), s0);
+                    j += L;
+                }
+                if j < c {
+                    $tail(a_row, bp, o_row, j, c);
+                }
+            }
+        }
+    };
+}
+
+/// AVX-512 sub-vector tail: one masked accumulator chain.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn tail_avx512(a_row: &[f32], bp: *const f32, o_row: *mut f32, j: usize, c: usize) {
+    use std::arch::x86_64::*;
+    let mask: u16 = (1u16 << (c - j)) - 1;
+    let mut s = _mm512_setzero_ps();
+    for (kk, &av) in a_row.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let vb = _mm512_maskz_loadu_ps(mask, bp.add(kk * c + j));
+        s = _mm512_add_ps(s, _mm512_mul_ps(_mm512_set1_ps(av), vb));
+    }
+    _mm512_mask_storeu_ps(o_row.add(j), mask, s);
+}
+
+/// AVX2 sub-vector tail: scalar accumulation per remaining column.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tail_avx2(a_row: &[f32], bp: *const f32, o_row: *mut f32, j: usize, c: usize) {
+    for jj in j..c {
+        let mut s = 0.0f32;
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            s += av * *bp.add(kk * c + jj);
+        }
+        *o_row.add(jj) = s;
+    }
+}
+
+/// AVX-512 kernel for narrow outputs (`c <= 16`): the whole output row
+/// fits one masked vector, so instead of column tiles it processes four
+/// `a` rows at a time — four independent accumulator chains hide the
+/// add latency that a single chain (the masked tail) would serialize,
+/// and each `b` row load is shared across the four rows. Every output
+/// element still accumulates in ascending-`k` order from `0.0` with the
+/// same `a == 0.0` skip, so results stay `==`-equal to the scalar kernel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn matmul_narrow_avx512(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    use std::arch::x86_64::*;
+    let (r, k, c) = (a.rows, a.cols, b.cols);
+    let mask: u16 = if c == 16 { !0 } else { (1u16 << c) - 1 };
+    let bp = b.data.as_ptr();
+    let ap = a.data.as_ptr();
+    let op = out.data.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= r {
+        let mut s0 = _mm512_setzero_ps();
+        let mut s1 = _mm512_setzero_ps();
+        let mut s2 = _mm512_setzero_ps();
+        let mut s3 = _mm512_setzero_ps();
+        for kk in 0..k {
+            let vb = _mm512_maskz_loadu_ps(mask, bp.add(kk * c));
+            let a0 = *ap.add(i * k + kk);
+            if a0 != 0.0 {
+                s0 = _mm512_add_ps(s0, _mm512_mul_ps(_mm512_set1_ps(a0), vb));
+            }
+            let a1 = *ap.add((i + 1) * k + kk);
+            if a1 != 0.0 {
+                s1 = _mm512_add_ps(s1, _mm512_mul_ps(_mm512_set1_ps(a1), vb));
+            }
+            let a2 = *ap.add((i + 2) * k + kk);
+            if a2 != 0.0 {
+                s2 = _mm512_add_ps(s2, _mm512_mul_ps(_mm512_set1_ps(a2), vb));
+            }
+            let a3 = *ap.add((i + 3) * k + kk);
+            if a3 != 0.0 {
+                s3 = _mm512_add_ps(s3, _mm512_mul_ps(_mm512_set1_ps(a3), vb));
+            }
+        }
+        _mm512_mask_storeu_ps(op.add(i * c), mask, s0);
+        _mm512_mask_storeu_ps(op.add((i + 1) * c), mask, s1);
+        _mm512_mask_storeu_ps(op.add((i + 2) * c), mask, s2);
+        _mm512_mask_storeu_ps(op.add((i + 3) * c), mask, s3);
+        i += 4;
+    }
+    while i < r {
+        let mut s = _mm512_setzero_ps();
+        for kk in 0..k {
+            let av = *ap.add(i * k + kk);
+            if av != 0.0 {
+                let vb = _mm512_maskz_loadu_ps(mask, bp.add(kk * c));
+                s = _mm512_add_ps(s, _mm512_mul_ps(_mm512_set1_ps(av), vb));
+            }
+        }
+        _mm512_mask_storeu_ps(op.add(i * c), mask, s);
+        i += 1;
+    }
+}
+
+/// AVX-512 kernel for `16 < c <= 32`: each output row is two masked
+/// vectors, so it processes two `a` rows at a time — four independent
+/// accumulator chains against single-chain-per-vector column tiles —
+/// sharing each `b` row load between the rows. Same accumulation order
+/// and zero-skip as the scalar kernel, so results stay `==`-equal.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn matmul_narrow2_avx512(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    use std::arch::x86_64::*;
+    let (r, k, c) = (a.rows, a.cols, b.cols);
+    let m1: u16 = if c == 32 { !0 } else { (1u16 << (c - 16)) - 1 };
+    let bp = b.data.as_ptr();
+    let ap = a.data.as_ptr();
+    let op = out.data.as_mut_ptr();
+    let mut i = 0;
+    while i + 2 <= r {
+        let mut s00 = _mm512_setzero_ps();
+        let mut s01 = _mm512_setzero_ps();
+        let mut s10 = _mm512_setzero_ps();
+        let mut s11 = _mm512_setzero_ps();
+        for kk in 0..k {
+            let vb0 = _mm512_loadu_ps(bp.add(kk * c));
+            let vb1 = _mm512_maskz_loadu_ps(m1, bp.add(kk * c + 16));
+            let a0 = *ap.add(i * k + kk);
+            if a0 != 0.0 {
+                let va = _mm512_set1_ps(a0);
+                s00 = _mm512_add_ps(s00, _mm512_mul_ps(va, vb0));
+                s01 = _mm512_add_ps(s01, _mm512_mul_ps(va, vb1));
+            }
+            let a1 = *ap.add((i + 1) * k + kk);
+            if a1 != 0.0 {
+                let va = _mm512_set1_ps(a1);
+                s10 = _mm512_add_ps(s10, _mm512_mul_ps(va, vb0));
+                s11 = _mm512_add_ps(s11, _mm512_mul_ps(va, vb1));
+            }
+        }
+        _mm512_storeu_ps(op.add(i * c), s00);
+        _mm512_mask_storeu_ps(op.add(i * c + 16), m1, s01);
+        _mm512_storeu_ps(op.add((i + 1) * c), s10);
+        _mm512_mask_storeu_ps(op.add((i + 1) * c + 16), m1, s11);
+        i += 2;
+    }
+    if i < r {
+        let mut s0 = _mm512_setzero_ps();
+        let mut s1 = _mm512_setzero_ps();
+        for kk in 0..k {
+            let av = *ap.add(i * k + kk);
+            if av != 0.0 {
+                let va = _mm512_set1_ps(av);
+                s0 = _mm512_add_ps(s0, _mm512_mul_ps(va, _mm512_loadu_ps(bp.add(kk * c))));
+                s1 = _mm512_add_ps(
+                    s1,
+                    _mm512_mul_ps(va, _mm512_maskz_loadu_ps(m1, bp.add(kk * c + 16))),
+                );
+            }
+        }
+        _mm512_storeu_ps(op.add(i * c), s0);
+        _mm512_mask_storeu_ps(op.add(i * c + 16), m1, s1);
+    }
+}
+
+simd_matmul!(
+    matmul_avx512,
+    "avx512f",
+    16,
+    __m512,
+    _mm512_setzero_ps,
+    _mm512_set1_ps,
+    _mm512_loadu_ps,
+    _mm512_storeu_ps,
+    _mm512_add_ps,
+    _mm512_mul_ps,
+    tail_avx512
+);
+
+simd_matmul!(
+    matmul_avx2,
+    "avx2",
+    8,
+    __m256,
+    _mm256_setzero_ps,
+    _mm256_set1_ps,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_add_ps,
+    _mm256_mul_ps,
+    tail_avx2
+);
+
+// ---------------------------------------------------------------------------
+// Shared activation math.
+//
+// The polynomial coefficients are the widely used single-precision
+// minimax fits (Eigen's rational tanh, Cephes' expf). What matters here
+// is not the particular fit but that the evaluation order below is
+// *pinned*: the vector kernels replay the identical multiply/add/divide
+// sequence lane-wise, so scalar and vector results agree bit-for-bit.
+// The literals are kept digit-for-digit as published (clippy allows:
+// they are coefficients, not approximations of std constants).
+// ---------------------------------------------------------------------------
+
+/// `tanh` saturates to ±1 in f32 beyond this magnitude.
+const TANH_CLAMP: f32 = 7.905_311;
+const TANH_A1: f32 = 4.893_524_6e-3;
+const TANH_A3: f32 = 6.372_619_3e-4;
+const TANH_A5: f32 = 1.485_722_4e-5;
+const TANH_A7: f32 = 5.122_297_1e-8;
+#[allow(clippy::excessive_precision)]
+const TANH_A9: f32 = -8.604_671_5e-11;
+#[allow(clippy::excessive_precision)]
+const TANH_A11: f32 = 2.000_187_9e-13;
+const TANH_A13: f32 = -2.760_768_5e-16;
+#[allow(clippy::excessive_precision)]
+const TANH_B0: f32 = 4.893_525_2e-3;
+const TANH_B2: f32 = 2.268_434_6e-3;
+const TANH_B4: f32 = 1.185_347_1e-4;
+const TANH_B6: f32 = 1.198_258_4e-6;
+
+/// Fast `tanh`: a degree-13/6 rational minimax approximation on the
+/// saturation range, accurate to ~1e-6 absolute against libm. Evaluation
+/// order is pinned so the vector form is bit-identical. NaN stays NaN.
+pub fn fast_tanh(x: f32) -> f32 {
+    let x = x.clamp(-TANH_CLAMP, TANH_CLAMP);
+    let x2 = x * x;
+    let mut p = TANH_A13;
+    p = TANH_A11 + x2 * p;
+    p = TANH_A9 + x2 * p;
+    p = TANH_A7 + x2 * p;
+    p = TANH_A5 + x2 * p;
+    p = TANH_A3 + x2 * p;
+    p = TANH_A1 + x2 * p;
+    let num = x * p;
+    let mut q = TANH_B6;
+    q = TANH_B4 + x2 * q;
+    q = TANH_B2 + x2 * q;
+    q = TANH_B0 + x2 * q;
+    num / q
+}
+
+const EXP_HI: f32 = 88.0;
+#[allow(clippy::excessive_precision)]
+const EXP_LO: f32 = -87.336_544;
+#[allow(clippy::approx_constant)]
+const EXP_LOG2E: f32 = 1.442_695;
+const EXP_C1: f32 = 0.693_359_4;
+const EXP_C2: f32 = -2.121_944_4e-4;
+const EXP_P0: f32 = 1.987_569_1e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_3e-1;
+
+/// Fast `exp`: Cephes-style range reduction (`x = n·ln2 + r`) plus a
+/// degree-5 polynomial, accurate to a few ulps against libm. Saturates at
+/// ~1.2e-38 below -87.3 and at ~1.7e38 above 88. Evaluation order is
+/// pinned so the vector form is bit-identical. NaN stays NaN.
+pub fn fast_exp(x: f32) -> f32 {
+    let x = x.clamp(EXP_LO, EXP_HI);
+    let n = (x * EXP_LOG2E + 0.5).floor();
+    let x = x - n * EXP_C1;
+    let x = x - n * EXP_C2;
+    let x2 = x * x;
+    let mut p = EXP_P0;
+    p = EXP_P1 + x * p;
+    p = EXP_P2 + x * p;
+    p = EXP_P3 + x * p;
+    p = EXP_P4 + x * p;
+    p = EXP_P5 + x * p;
+    let mut y = p * x2;
+    y += x;
+    y += 1.0;
+    let bits = (((n as i32) + 127) << 23) as u32;
+    y * f32::from_bits(bits)
+}
+
+pub(crate) const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+pub(crate) const GELU_A: f32 = 0.044_715;
+
+/// GELU (tanh approximation) on one value; the scalar reference for
+/// [`gelu_inplace`] and the forward used by the tape's GELU op.
+pub fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + fast_tanh(GELU_C * (x + GELU_A * x * x * x)))
+}
+
+/// Number of interleaved partial sums used by every row reduction.
+pub const SUM_LANES: usize = 16;
+
+/// Combines the 16 strided buckets by a fixed halving tree:
+/// `acc[i] += acc[i+8]`, then `+4`, `+2`, `+1`. The tree (rather than a
+/// left-to-right fold) is part of the pinned semantics because the
+/// AVX-512 forms evaluate it with three in-register shuffles instead of
+/// fifteen serially dependent scalar adds.
+fn tree_combine(mut acc: [f32; SUM_LANES]) -> f32 {
+    let mut step = SUM_LANES / 2;
+    while step > 0 {
+        for i in 0..step {
+            acc[i] += acc[i + step];
+        }
+        step /= 2;
+    }
+    acc[0]
+}
+
+/// Strided 16-bucket sum: bucket `l` accumulates elements `l`, `l+16`, …
+/// (a partial trailing chunk contributes `+0.0` to the other buckets),
+/// then buckets combine by the [`tree_combine`] halving tree. This fixed
+/// order is the crate's summation semantics for layer-norm and softmax
+/// rows; the AVX-512 form reproduces it exactly.
+pub fn strided_sum(v: &[f32]) -> f32 {
+    let mut acc = [0.0f32; SUM_LANES];
+    let mut chunks = v.chunks_exact(SUM_LANES);
+    for ch in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(ch) {
+            *a += x;
+        }
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        for (l, a) in acc.iter_mut().enumerate() {
+            *a += rem.get(l).copied().unwrap_or(0.0);
+        }
+    }
+    tree_combine(acc)
+}
+
+/// Strided 16-bucket max with `max(a, b) = if a > b { a } else { b }` —
+/// the exact semantics of the x86 `maxps` instruction (returns the second
+/// operand on ties, signed zeros, and NaN), so the vector form can use it
+/// directly. Buckets start at `-inf`, a partial trailing chunk only
+/// touches its own lanes, and buckets combine by the same halving tree as
+/// [`strided_sum`].
+pub fn strided_max(v: &[f32]) -> f32 {
+    #[inline]
+    fn maxps(a: f32, b: f32) -> f32 {
+        if a > b {
+            a
+        } else {
+            b
+        }
+    }
+    let mut acc = [f32::NEG_INFINITY; SUM_LANES];
+    let mut chunks = v.chunks_exact(SUM_LANES);
+    for ch in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(ch) {
+            *a = maxps(*a, x);
+        }
+    }
+    for (a, &x) in acc.iter_mut().zip(chunks.remainder()) {
+        *a = maxps(*a, x);
+    }
+    let mut step = SUM_LANES / 2;
+    while step > 0 {
+        for i in 0..step {
+            acc[i] = maxps(acc[i], acc[i + step]);
+        }
+        step /= 2;
+    }
+    acc[0]
+}
+
+/// [`strided_sum`] of squared deviations from `mean` (the layer-norm
+/// variance numerator), with the same bucket semantics.
+pub fn strided_sum_sq_dev(v: &[f32], mean: f32) -> f32 {
+    let mut acc = [0.0f32; SUM_LANES];
+    let mut chunks = v.chunks_exact(SUM_LANES);
+    for ch in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(ch) {
+            let d = x - mean;
+            *a += d * d;
+        }
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        for (l, a) in acc.iter_mut().enumerate() {
+            *a += match rem.get(l) {
+                Some(&x) => {
+                    let d = x - mean;
+                    d * d
+                }
+                None => 0.0,
+            };
+        }
+    }
+    tree_combine(acc)
+}
+
+/// In-place GELU over a slice: vectorized when the CPU has AVX-512,
+/// bit-identical to mapping [`gelu_scalar`] either way.
+pub fn gelu_inplace(v: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: feature presence checked at runtime.
+        unsafe { avx512::gelu_slice(v) };
+        return;
+    }
+    for x in v.iter_mut() {
+        *x = gelu_scalar(*x);
+    }
+}
+
+/// In-place numerically stabilized softmax over one row: subtract the
+/// [`strided_max`], [`fast_exp`], [`strided_sum`], divide. Scalar reference for
+/// [`softmax_row`], and the forward used by the tape's softmax op.
+pub fn softmax_row_scalar(row: &mut [f32]) {
+    let max = strided_max(row);
+    for x in row.iter_mut() {
+        *x = fast_exp(*x - max);
+    }
+    // One divide, then a multiply per element (not a divide per element):
+    // the reciprocal is part of the pinned semantics shared with the
+    // vector form.
+    let inv = 1.0 / strided_sum(row);
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Vectorized [`softmax_row_scalar`] (bit-identical; AVX-512 or scalar).
+pub fn softmax_row(row: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: feature presence checked at runtime.
+        unsafe { avx512::softmax_row(row) };
+        return;
+    }
+    softmax_row_scalar(row);
+}
+
+/// In-place layer norm over one row with gain `gamma` and bias `beta`:
+/// mean and variance via the strided sums, then
+/// `(x - mean) * inv_std * gamma + beta` per element. Scalar reference
+/// for [`layer_norm_row`], and the forward used by the tape's op.
+pub fn layer_norm_row_scalar(row: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    let n = row.len() as f32;
+    let mean = strided_sum(row) / n;
+    let var = strided_sum_sq_dev(row, mean) / n;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    for (x, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+        *x = (*x - mean) * inv_std * g + b;
+    }
+}
+
+/// Vectorized [`layer_norm_row_scalar`] (bit-identical; AVX-512 or scalar).
+pub fn layer_norm_row(row: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: feature presence checked at runtime.
+        unsafe { avx512::layer_norm_row(row, gamma, beta, eps) };
+        return;
+    }
+    layer_norm_row_scalar(row, gamma, beta, eps);
+}
+
+/// AVX-512 forms of the activation/reduction kernels. Each replays the
+/// scalar evaluation order lane-wise (separate multiply and add, min/max
+/// with `x` in the NaN-propagating operand position, masked loads
+/// contributing `+0.0` like the scalar remainder handling), so outputs
+/// are bit-identical to the scalar forms. AVX2-only CPUs take the scalar
+/// path — same values, just slower.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tanh_v(x: __m512) -> __m512 {
+        let x = _mm512_max_ps(_mm512_set1_ps(-TANH_CLAMP), x);
+        let x = _mm512_min_ps(_mm512_set1_ps(TANH_CLAMP), x);
+        let x2 = _mm512_mul_ps(x, x);
+        let mut p = _mm512_set1_ps(TANH_A13);
+        p = _mm512_add_ps(_mm512_set1_ps(TANH_A11), _mm512_mul_ps(x2, p));
+        p = _mm512_add_ps(_mm512_set1_ps(TANH_A9), _mm512_mul_ps(x2, p));
+        p = _mm512_add_ps(_mm512_set1_ps(TANH_A7), _mm512_mul_ps(x2, p));
+        p = _mm512_add_ps(_mm512_set1_ps(TANH_A5), _mm512_mul_ps(x2, p));
+        p = _mm512_add_ps(_mm512_set1_ps(TANH_A3), _mm512_mul_ps(x2, p));
+        p = _mm512_add_ps(_mm512_set1_ps(TANH_A1), _mm512_mul_ps(x2, p));
+        let num = _mm512_mul_ps(x, p);
+        let mut q = _mm512_set1_ps(TANH_B6);
+        q = _mm512_add_ps(_mm512_set1_ps(TANH_B4), _mm512_mul_ps(x2, q));
+        q = _mm512_add_ps(_mm512_set1_ps(TANH_B2), _mm512_mul_ps(x2, q));
+        q = _mm512_add_ps(_mm512_set1_ps(TANH_B0), _mm512_mul_ps(x2, q));
+        _mm512_div_ps(num, q)
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn exp_v(x: __m512) -> __m512 {
+        let x = _mm512_max_ps(_mm512_set1_ps(EXP_LO), x);
+        let x = _mm512_min_ps(_mm512_set1_ps(EXP_HI), x);
+        let z = _mm512_add_ps(
+            _mm512_mul_ps(x, _mm512_set1_ps(EXP_LOG2E)),
+            _mm512_set1_ps(0.5),
+        );
+        // 0x09 = round toward -inf (floor), suppressing exceptions.
+        let n = _mm512_roundscale_ps::<0x09>(z);
+        let x = _mm512_sub_ps(x, _mm512_mul_ps(n, _mm512_set1_ps(EXP_C1)));
+        let x = _mm512_sub_ps(x, _mm512_mul_ps(n, _mm512_set1_ps(EXP_C2)));
+        let x2 = _mm512_mul_ps(x, x);
+        let mut p = _mm512_set1_ps(EXP_P0);
+        p = _mm512_add_ps(_mm512_set1_ps(EXP_P1), _mm512_mul_ps(x, p));
+        p = _mm512_add_ps(_mm512_set1_ps(EXP_P2), _mm512_mul_ps(x, p));
+        p = _mm512_add_ps(_mm512_set1_ps(EXP_P3), _mm512_mul_ps(x, p));
+        p = _mm512_add_ps(_mm512_set1_ps(EXP_P4), _mm512_mul_ps(x, p));
+        p = _mm512_add_ps(_mm512_set1_ps(EXP_P5), _mm512_mul_ps(x, p));
+        let mut y = _mm512_mul_ps(p, x2);
+        y = _mm512_add_ps(y, x);
+        y = _mm512_add_ps(y, _mm512_set1_ps(1.0));
+        let ni = _mm512_cvtps_epi32(n);
+        let bits = _mm512_slli_epi32::<23>(_mm512_add_epi32(ni, _mm512_set1_epi32(127)));
+        _mm512_mul_ps(y, _mm512_castsi512_ps(bits))
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn gelu_slice(v: &mut [f32]) {
+        let n = v.len();
+        let p = v.as_mut_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            let x = _mm512_loadu_ps(p.add(i));
+            let x3 = _mm512_mul_ps(
+                _mm512_mul_ps(_mm512_mul_ps(_mm512_set1_ps(GELU_A), x), x),
+                x,
+            );
+            let inner = _mm512_mul_ps(_mm512_set1_ps(GELU_C), _mm512_add_ps(x, x3));
+            let t = tanh_v(inner);
+            let y = _mm512_mul_ps(
+                _mm512_mul_ps(_mm512_set1_ps(0.5), x),
+                _mm512_add_ps(_mm512_set1_ps(1.0), t),
+            );
+            _mm512_storeu_ps(p.add(i), y);
+            i += 16;
+        }
+        for x in &mut v[i..] {
+            *x = gelu_scalar(*x);
+        }
+    }
+
+    /// In-register halving tree, lane-for-lane the same adds as the
+    /// scalar [`tree_combine`]: lanes `i` and `i+8` (then `+4`, `+2`,
+    /// `+1`) combine pairwise; only lane 0 of each intermediate is
+    /// ultimately read, and its dependency chain is exactly the scalar
+    /// tree's.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tree_combine_v(acc: __m512) -> f32 {
+        // 0xEE selects 128-bit chunks [2,3,2,3]: lane i gets lane i+8.
+        let acc = _mm512_add_ps(acc, _mm512_shuffle_f32x4::<0xEE>(acc, acc));
+        // 0x55 selects chunks [1,1,1,1]: lane i gets lane i+4.
+        let acc = _mm512_add_ps(acc, _mm512_shuffle_f32x4::<0x55>(acc, acc));
+        // Within each 128-bit chunk: lane i gets lane i+2, then lane 1.
+        let acc = _mm512_add_ps(acc, _mm512_shuffle_ps::<0x0E>(acc, acc));
+        let acc = _mm512_add_ps(acc, _mm512_shuffle_ps::<0x01>(acc, acc));
+        _mm512_cvtss_f32(acc)
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn strided_sum_v(v: &[f32]) -> f32 {
+        let mut acc = _mm512_setzero_ps();
+        let mut chunks = v.chunks_exact(16);
+        for ch in &mut chunks {
+            acc = _mm512_add_ps(acc, _mm512_loadu_ps(ch.as_ptr()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mask: u16 = (1u16 << rem.len()) - 1;
+            acc = _mm512_add_ps(acc, _mm512_maskz_loadu_ps(mask, rem.as_ptr()));
+        }
+        tree_combine_v(acc)
+    }
+
+    /// Vector [`strided_max`]: `_mm512_max_ps` is the instruction whose
+    /// tie/NaN behaviour the scalar form replicates, so bucket updates
+    /// and the halving tree map to it directly. The partial trailing
+    /// chunk uses a masked max so untouched lanes keep their bucket.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn strided_max_v(v: &[f32]) -> f32 {
+        let mut acc = _mm512_set1_ps(f32::NEG_INFINITY);
+        let mut chunks = v.chunks_exact(16);
+        for ch in &mut chunks {
+            acc = _mm512_max_ps(acc, _mm512_loadu_ps(ch.as_ptr()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mask: u16 = (1u16 << rem.len()) - 1;
+            let x = _mm512_maskz_loadu_ps(mask, rem.as_ptr());
+            acc = _mm512_mask_max_ps(acc, mask, acc, x);
+        }
+        let acc = _mm512_max_ps(acc, _mm512_shuffle_f32x4::<0xEE>(acc, acc));
+        let acc = _mm512_max_ps(acc, _mm512_shuffle_f32x4::<0x55>(acc, acc));
+        let acc = _mm512_max_ps(acc, _mm512_shuffle_ps::<0x0E>(acc, acc));
+        let acc = _mm512_max_ps(acc, _mm512_shuffle_ps::<0x01>(acc, acc));
+        _mm512_cvtss_f32(acc)
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn strided_sum_sq_dev_v(v: &[f32], mean: f32) -> f32 {
+        let vm = _mm512_set1_ps(mean);
+        let mut acc = _mm512_setzero_ps();
+        let mut chunks = v.chunks_exact(16);
+        for ch in &mut chunks {
+            let d = _mm512_sub_ps(_mm512_loadu_ps(ch.as_ptr()), vm);
+            acc = _mm512_add_ps(acc, _mm512_mul_ps(d, d));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mask: u16 = (1u16 << rem.len()) - 1;
+            let d = _mm512_sub_ps(_mm512_maskz_loadu_ps(mask, rem.as_ptr()), vm);
+            let sq = _mm512_maskz_mov_ps(mask, _mm512_mul_ps(d, d));
+            acc = _mm512_add_ps(acc, sq);
+        }
+        tree_combine_v(acc)
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn softmax_row(row: &mut [f32]) {
+        let max = strided_max_v(row);
+        let n = row.len();
+        let p = row.as_mut_ptr();
+        let vmax = _mm512_set1_ps(max);
+        let mut i = 0;
+        while i + 16 <= n {
+            let x = _mm512_sub_ps(_mm512_loadu_ps(p.add(i)), vmax);
+            _mm512_storeu_ps(p.add(i), exp_v(x));
+            i += 16;
+        }
+        for x in &mut row[i..] {
+            *x = fast_exp(*x - max);
+        }
+        let inv = 1.0 / strided_sum_v(row);
+        let p = row.as_mut_ptr();
+        let vs = _mm512_set1_ps(inv);
+        let mut i = 0;
+        while i + 16 <= n {
+            _mm512_storeu_ps(p.add(i), _mm512_mul_ps(_mm512_loadu_ps(p.add(i)), vs));
+            i += 16;
+        }
+        for x in &mut row[i..] {
+            *x *= inv;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn layer_norm_row(row: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+        let n = row.len() as f32;
+        let mean = strided_sum_v(row) / n;
+        let var = strided_sum_sq_dev_v(row, mean) / n;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let len = row.len();
+        let p = row.as_mut_ptr();
+        let gp = gamma.as_ptr();
+        let bp = beta.as_ptr();
+        let vmean = _mm512_set1_ps(mean);
+        let vinv = _mm512_set1_ps(inv_std);
+        let mut i = 0;
+        while i + 16 <= len {
+            let x = _mm512_sub_ps(_mm512_loadu_ps(p.add(i)), vmean);
+            let y = _mm512_add_ps(
+                _mm512_mul_ps(_mm512_mul_ps(x, vinv), _mm512_loadu_ps(gp.add(i))),
+                _mm512_loadu_ps(bp.add(i)),
+            );
+            _mm512_storeu_ps(p.add(i), y);
+            i += 16;
+        }
+        for (c, x) in row.iter_mut().enumerate().skip(i) {
+            *x = (*x - mean) * inv_std * gamma[c] + beta[c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Every dispatch target must be `==`-equal to the scalar reference,
+    /// including ragged shapes that exercise every tile width and the
+    /// sub-vector tails.
+    #[test]
+    fn kernel_matches_reference_matmul_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(r, k, c) in &[
+            (1, 1, 1),
+            (2, 3, 2),
+            (32, 12, 32), // attention scores shape (two-chunk narrow kernel)
+            (32, 32, 12), // attention output shape (narrow kernel)
+            (6, 9, 12),   // narrow kernel row remainder
+            (5, 7, 16),   // narrow kernel at the full-mask boundary
+            (3, 4, 5),    // narrow kernel, fewer rows than one quad
+            (7, 6, 20),   // two-chunk narrow kernel, masked second chunk
+            (5, 8, 31),   // two-chunk narrow kernel, row remainder
+            (7, 5, 17),
+            (64, 48, 96),
+            (5, 9, 64),
+            (33, 31, 29),
+            (3, 8, 127), // 64 + 32 + 16 + 8 + tail
+        ] {
+            let mut a = Tensor::xavier(r, k, &mut rng);
+            let b = Tensor::xavier(k, c, &mut rng);
+            // Exercise the zero-skip path too.
+            for v in a.data.iter_mut() {
+                if rng.gen_range(0.0..1.0f32) < 0.1 {
+                    *v = 0.0;
+                }
+            }
+            let reference = a.matmul(&b);
+            assert_eq!(matmul(&a, &b), reference, "{r}x{k}x{c}");
+            let mut out = Tensor::ones(r, c); // stale contents must be overwritten
+            matmul_into(&a, &b, &mut out);
+            assert_eq!(out, reference, "{r}x{k}x{c} (into)");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn matmul_into_checks_output_shape() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(3, 4);
+        let mut out = Tensor::zeros(2, 3);
+        matmul_into(&a, &b, &mut out);
+    }
+
+    #[test]
+    fn fast_tanh_tracks_libm() {
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            let got = fast_tanh(x);
+            assert!(
+                (got - x.tanh()).abs() <= 1e-6,
+                "tanh({x}) = {got} vs {}",
+                x.tanh()
+            );
+            assert!(got.abs() <= 1.0, "tanh({x}) = {got} out of range");
+            x += 1e-3;
+        }
+        assert_eq!(fast_tanh(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(fast_tanh(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(fast_tanh(f32::INFINITY), fast_tanh(TANH_CLAMP));
+        assert!(fast_tanh(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn fast_exp_tracks_libm() {
+        let mut x = -87.0f32;
+        while x <= 20.0 {
+            let got = fast_exp(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= 5e-7 * want,
+                "exp({x}) = {got} vs {want}"
+            );
+            x += 1e-3;
+        }
+        assert_eq!(fast_exp(0.0), 1.0);
+        // Saturation, not flush-to-zero, below the clamp point.
+        assert!(fast_exp(-1000.0) > 0.0);
+        assert_eq!(fast_exp(-1000.0), fast_exp(EXP_LO));
+        assert!(fast_exp(f32::NAN).is_nan());
+    }
+
+    /// Values that exercise clamp edges, saturation, signed zero, and
+    /// subnormal-adjacent magnitudes in the vector/scalar comparisons.
+    fn awkward_values() -> Vec<f32> {
+        vec![
+            0.0, -0.0, 1e-30, -1e-30, 0.5, -0.5, 3.0, -3.0, 9.0, -9.0, 40.0, -40.0, 90.0, -90.0,
+        ]
+    }
+
+    fn random_slice(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        let specials = awkward_values();
+        (0..len)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0f32) < 0.1 {
+                    specials[rng.gen_range(0..specials.len())]
+                } else {
+                    rng.gen_range(-4.0..4.0f32)
+                }
+            })
+            .collect()
+    }
+
+    /// The dispatching slice kernels must be bit-identical to the scalar
+    /// reference forms on every length (full vectors, tails, empty).
+    #[test]
+    fn vector_kernels_match_scalar_forms_exactly() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for len in [0usize, 1, 7, 15, 16, 17, 31, 32, 48, 96, 127, 1000] {
+            let base = random_slice(&mut rng, len);
+
+            let mut vectored = base.clone();
+            gelu_inplace(&mut vectored);
+            let scalar: Vec<f32> = base.iter().map(|&x| gelu_scalar(x)).collect();
+            for (c, (&g, &w)) in vectored.iter().zip(&scalar).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "gelu len={len} idx={c}");
+            }
+
+            if len > 0 {
+                let mut vectored = base.clone();
+                softmax_row(&mut vectored);
+                let mut scalar = base.clone();
+                softmax_row_scalar(&mut scalar);
+                for (c, (&g, &w)) in vectored.iter().zip(&scalar).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "softmax len={len} idx={c}");
+                }
+
+                let gamma: Vec<f32> = (0..len).map(|_| rng.gen_range(0.5..1.5f32)).collect();
+                let beta: Vec<f32> = (0..len).map(|_| rng.gen_range(-0.5..0.5f32)).collect();
+                let mut vectored = base.clone();
+                layer_norm_row(&mut vectored, &gamma, &beta, crate::tape::LN_EPS);
+                let mut scalar = base.clone();
+                layer_norm_row_scalar(&mut scalar, &gamma, &beta, crate::tape::LN_EPS);
+                for (c, (&g, &w)) in vectored.iter().zip(&scalar).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "layer_norm len={len} idx={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_sum_basics() {
+        for len in [0usize, 1, 15, 16, 17, 100] {
+            let ones = vec![1.0f32; len];
+            assert_eq!(strided_sum(&ones), len as f32);
+            assert_eq!(strided_sum_sq_dev(&ones, 1.0), 0.0);
+        }
+        assert_eq!(strided_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn strided_max_matches_iterator_max() {
+        let mut rng = StdRng::seed_from_u64(31);
+        assert_eq!(strided_max(&[]), f32::NEG_INFINITY);
+        for len in [1usize, 7, 15, 16, 17, 32, 100] {
+            let v = random_slice(&mut rng, len);
+            let want = v.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            assert_eq!(strided_max(&v), want, "len={len}");
+        }
+    }
+}

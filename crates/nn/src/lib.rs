@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod loss;
 pub mod modules;
 pub mod optim;

@@ -149,6 +149,20 @@ impl Linear {
         let xw = g.tape.matmul(x, w);
         g.tape.add_row_broadcast(xw, b)
     }
+
+    /// Tape-free inference forward into `out`: `x @ W + b`, replicating
+    /// the tape ops' per-row arithmetic exactly. Every output row depends
+    /// only on its input row, so stacked batches produce bit-identical
+    /// rows.
+    fn forward_tensor_into(&self, store: &ParamStore, x: &Tensor, out: &mut Tensor) {
+        crate::kernels::matmul_into(x, store.get(&self.w), out);
+        let b = store.get(&self.b);
+        for r in 0..out.rows {
+            for (o, bv) in out.row_mut(r).iter_mut().zip(&b.data) {
+                *o += *bv;
+            }
+        }
+    }
 }
 
 /// Learned layer-norm gain/bias pair.
@@ -175,6 +189,18 @@ impl LayerNorm {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
         g.tape.layer_norm_rows(x, gamma, beta)
+    }
+
+    /// Tape-free in-place inference forward: normalizes every row of `x`
+    /// through the vectorized kernel, which is bit-identical to the
+    /// tape op (both share the strided-summation semantics in
+    /// [`crate::kernels`]).
+    fn normalize_rows(&self, store: &ParamStore, x: &mut Tensor) {
+        let g = store.get(&self.gamma);
+        let b = store.get(&self.beta);
+        for r in 0..x.rows {
+            crate::kernels::layer_norm_row(x.row_mut(r), &g.data, &b.data, crate::tape::LN_EPS);
+        }
     }
 }
 
@@ -232,6 +258,135 @@ impl MultiHeadSelfAttention {
         let concat = g.tape.concat_cols(&head_outs);
         self.wo.forward(g, concat)
     }
+
+    /// Tape-free inference forward over stacked sequence blocks, reading
+    /// `ws.norm` and writing `ws.sub`. The Q/K/V projections run fused as
+    /// one batched matmul against the column-concatenated `[Wq|Wk|Wv]`
+    /// weight (each output column accumulates independently in the same
+    /// ascending-`k` order, so fusion is value-transparent); the attention
+    /// itself is computed per sequence block, so tokens never attend
+    /// across batch items and each block's output is bit-identical to a
+    /// solo [`forward`] pass. All intermediates live in the workspace —
+    /// the whole pass allocates nothing.
+    ///
+    /// [`forward`]: MultiHeadSelfAttention::forward
+    fn forward_blocks_into(&self, store: &ParamStore, seq: usize, ws: &mut BatchWorkspace) {
+        debug_assert_eq!(ws.norm.rows % seq, 0, "rows must stack whole sequences");
+        let blocks = ws.norm.rows / seq;
+        let d = self.d_model;
+        // Assemble the fused weight and bias (a copy ~300x smaller than
+        // the matmul it fuses, so rebuilding per call is in the noise).
+        let (wq, wk, wv) = (
+            store.get(&self.wq.w),
+            store.get(&self.wk.w),
+            store.get(&self.wv.w),
+        );
+        for r in 0..d {
+            ws.wqkv.row_mut(r)[..d].copy_from_slice(wq.row(r));
+            ws.wqkv.row_mut(r)[d..2 * d].copy_from_slice(wk.row(r));
+            ws.wqkv.row_mut(r)[2 * d..].copy_from_slice(wv.row(r));
+        }
+        ws.bqkv.data[..d].copy_from_slice(&store.get(&self.wq.b).data);
+        ws.bqkv.data[d..2 * d].copy_from_slice(&store.get(&self.wk.b).data);
+        ws.bqkv.data[2 * d..].copy_from_slice(&store.get(&self.wv.b).data);
+        crate::kernels::matmul_into(&ws.norm, &ws.wqkv, &mut ws.qkv);
+        for r in 0..ws.qkv.rows {
+            for (o, bv) in ws.qkv.row_mut(r).iter_mut().zip(&ws.bqkv.data) {
+                *o += *bv;
+            }
+        }
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        // K is copied out pre-transposed so the score matmul streams both
+        // operands row-major.
+        for b in 0..blocks {
+            let r0 = b * seq;
+            for h in 0..self.heads {
+                let c0 = h * dh;
+                for r in 0..seq {
+                    let row = ws.qkv.row(r0 + r);
+                    ws.qh.row_mut(r).copy_from_slice(&row[c0..c0 + dh]);
+                    ws.vh
+                        .row_mut(r)
+                        .copy_from_slice(&row[2 * d + c0..2 * d + c0 + dh]);
+                    let krow = &row[d + c0..d + c0 + dh];
+                    for (c, &kv) in krow.iter().enumerate() {
+                        ws.kt.data[c * seq + r] = kv;
+                    }
+                }
+                crate::kernels::matmul_into(&ws.qh, &ws.kt, &mut ws.attn);
+                for e in ws.attn.data.iter_mut() {
+                    *e *= scale;
+                }
+                for r in 0..seq {
+                    crate::kernels::softmax_row(ws.attn.row_mut(r));
+                }
+                crate::kernels::matmul_into(&ws.attn, &ws.vh, &mut ws.head_out);
+                for r in 0..seq {
+                    ws.concat.row_mut(r0 + r)[c0..c0 + dh].copy_from_slice(ws.head_out.row(r));
+                }
+            }
+        }
+        self.wo.forward_tensor_into(store, &ws.concat, &mut ws.sub);
+    }
+}
+
+/// Scratch buffers for one batched tape-free forward pass, reused across
+/// every layer so the per-layer loop allocates nothing, and parked in a
+/// thread-local between [`TrajectoryEncoder::embed_batch`] calls so
+/// steady-state scans (many same-shaped batches) skip the multi-megabyte
+/// allocation entirely.
+struct BatchWorkspace {
+    /// Layer-norm output feeding attention / feed-forward (`rows x d_model`).
+    norm: Tensor,
+    /// Fused Q/K/V projection output (`rows x 3*d_model`).
+    qkv: Tensor,
+    /// Column-concatenated `[Wq|Wk|Wv]` (`d_model x 3*d_model`).
+    wqkv: Tensor,
+    /// Concatenated Q/K/V biases (`1 x 3*d_model`).
+    bqkv: Tensor,
+    /// Concatenated head outputs (`rows x d_model`).
+    concat: Tensor,
+    /// Sub-block result: attention or feed-forward output (`rows x d_model`).
+    sub: Tensor,
+    /// Feed-forward hidden activations (`rows x ff_hidden`).
+    hidden: Tensor,
+    /// One head's queries (`seq x dh`).
+    qh: Tensor,
+    /// One head's keys, pre-transposed (`dh x seq`).
+    kt: Tensor,
+    /// One head's values (`seq x dh`).
+    vh: Tensor,
+    /// One head's attention weights (`seq x seq`).
+    attn: Tensor,
+    /// One head's output (`seq x dh`).
+    head_out: Tensor,
+}
+
+thread_local! {
+    /// Workspace parked between [`TrajectoryEncoder::embed_batch`] calls;
+    /// reused when the next call has the same shape.
+    static PARKED_WORKSPACE: std::cell::RefCell<Option<BatchWorkspace>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl BatchWorkspace {
+    fn new(rows: usize, d_model: usize, ff_hidden: usize, seq: usize, dh: usize) -> Self {
+        BatchWorkspace {
+            norm: Tensor::zeros(rows, d_model),
+            qkv: Tensor::zeros(rows, 3 * d_model),
+            wqkv: Tensor::zeros(d_model, 3 * d_model),
+            bqkv: Tensor::zeros(1, 3 * d_model),
+            concat: Tensor::zeros(rows, d_model),
+            sub: Tensor::zeros(rows, d_model),
+            hidden: Tensor::zeros(rows, ff_hidden),
+            qh: Tensor::zeros(seq, dh),
+            kt: Tensor::zeros(dh, seq),
+            vh: Tensor::zeros(seq, dh),
+            attn: Tensor::zeros(seq, seq),
+            head_out: Tensor::zeros(seq, dh),
+        }
+    }
 }
 
 /// Position-wise feed-forward block with GELU.
@@ -261,6 +416,16 @@ impl FeedForward {
         let h = self.lin1.forward(g, x);
         let a = g.tape.gelu(h);
         self.lin2.forward(g, a)
+    }
+
+    /// Tape-free inference forward reading `ws.norm`, writing `ws.sub`,
+    /// with the GELU applied in place by the vectorized kernel.
+    fn forward_tensor_into(&self, store: &ParamStore, ws: &mut BatchWorkspace) {
+        self.lin1
+            .forward_tensor_into(store, &ws.norm, &mut ws.hidden);
+        crate::kernels::gelu_inplace(&mut ws.hidden.data);
+        self.lin2
+            .forward_tensor_into(store, &ws.hidden, &mut ws.sub);
     }
 }
 
@@ -306,6 +471,30 @@ impl EncoderLayer {
         let n2 = self.ln2.forward(g, x);
         let f = self.ff.forward(g, n2);
         g.tape.add(x, f)
+    }
+
+    /// Tape-free in-place inference forward over stacked sequences (see
+    /// [`MultiHeadSelfAttention::forward_blocks_into`]); `x` is updated
+    /// through both residual additions.
+    fn forward_tensor_blocks(
+        &self,
+        store: &ParamStore,
+        x: &mut Tensor,
+        seq: usize,
+        ws: &mut BatchWorkspace,
+    ) {
+        ws.norm.data.copy_from_slice(&x.data);
+        self.ln1.normalize_rows(store, &mut ws.norm);
+        self.attn.forward_blocks_into(store, seq, ws);
+        for (xi, ai) in x.data.iter_mut().zip(&ws.sub.data) {
+            *xi += *ai;
+        }
+        ws.norm.data.copy_from_slice(&x.data);
+        self.ln2.normalize_rows(store, &mut ws.norm);
+        self.ff.forward_tensor_into(store, ws);
+        for (xi, fi) in x.data.iter_mut().zip(&ws.sub.data) {
+            *xi += *fi;
+        }
     }
 }
 
@@ -465,6 +654,100 @@ impl TrajectoryEncoder {
         let f = g.input(features.clone());
         let e = self.forward(&mut g, f);
         g.tape.value(e).data.clone()
+    }
+
+    /// Embeds a batch of `steps x input_dim` feature matrices in one
+    /// stacked forward pass.
+    ///
+    /// All N sequences are stacked into a single `(N * steps) x input_dim`
+    /// matrix, so every linear projection in every layer runs as one
+    /// batched matmul over all rows; attention and pooling are computed
+    /// per sequence block. No autograd tape is built. Because every
+    /// underlying op is row-local (or block-local) with the same
+    /// arithmetic order as the tape ops, the result is **bit-identical**
+    /// to calling [`embed`](Self::embed) per item — the matcher's
+    /// embedding cache relies on this to keep cached search results
+    /// byte-identical to the uncached path.
+    pub fn embed_batch(&self, store: &ParamStore, batch: &[&Tensor]) -> Vec<Vec<f32>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let t = self.config.steps;
+        let d_in = self.config.input_dim;
+        for f in batch {
+            assert_eq!(f.cols, d_in, "feature width mismatch");
+            assert_eq!(f.rows, t, "feature steps mismatch");
+        }
+        let n = batch.len();
+        let mut stacked = Tensor::zeros(n * t, d_in);
+        for (b, f) in batch.iter().enumerate() {
+            stacked.data[b * t * d_in..(b + 1) * t * d_in].copy_from_slice(&f.data);
+        }
+        let d = self.config.d_model;
+        let mut x = Tensor::zeros(n * t, d);
+        self.input_proj.forward_tensor_into(store, &stacked, &mut x);
+        if self.config.positional {
+            for b in 0..n {
+                for r in 0..t {
+                    let row = x.row_mut(b * t + r);
+                    for (xi, pi) in row.iter_mut().zip(self.positions.row(r)) {
+                        *xi += *pi;
+                    }
+                }
+            }
+        }
+        let ff_hidden = self.layers.first().map_or(0, |l| l.ff.lin1.out_dim);
+        let dh = d / self.config.heads;
+        // Reuse the workspace parked by a previous same-shaped call on
+        // this thread; every buffer is fully overwritten before it is
+        // read, so stale contents are harmless.
+        let mut ws = PARKED_WORKSPACE
+            .with(|cell| cell.borrow_mut().take())
+            .filter(|w| {
+                w.norm.rows == n * t
+                    && w.norm.cols == d
+                    && w.hidden.cols == ff_hidden
+                    && w.attn.rows == t
+                    && w.qh.cols == dh
+            })
+            .unwrap_or_else(|| BatchWorkspace::new(n * t, d, ff_hidden, t, dh));
+        for layer in &self.layers {
+            layer.forward_tensor_blocks(store, &mut x, t, &mut ws);
+        }
+        PARKED_WORKSPACE.with(|cell| *cell.borrow_mut() = Some(ws));
+        self.final_ln.normalize_rows(store, &mut x);
+        let mut pooled = Tensor::zeros(n, d);
+        match self.config.pooling {
+            Pooling::Mean => {
+                for b in 0..n {
+                    let out = pooled.row_mut(b);
+                    for r in 0..t {
+                        let row = &x.data[(b * t + r) * d..(b * t + r + 1) * d];
+                        for (o, v) in out.iter_mut().zip(row) {
+                            *o += *v;
+                        }
+                    }
+                    for o in out.iter_mut() {
+                        *o /= t as f32;
+                    }
+                }
+            }
+            Pooling::Last => {
+                for b in 0..n {
+                    pooled.row_mut(b).copy_from_slice(x.row(b * t + t - 1));
+                }
+            }
+        }
+        let mut out = Tensor::zeros(n, self.config.embed_dim);
+        self.out_proj.forward_tensor_into(store, &pooled, &mut out);
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-8);
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+        (0..n).map(|r| out.row(r).to_vec()).collect()
     }
 }
 
@@ -709,6 +992,60 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert!((a.iter().map(|x| x * x).sum::<f32>().sqrt() - 1.0).abs() < 1e-4);
         assert!((b.iter().map(|x| x * x).sum::<f32>().sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn embed_batch_matches_embed_exactly() {
+        // The cached matcher path depends on bit-identical agreement, so
+        // this asserts exact equality, not approximate closeness — across
+        // pooling modes and with positions on and off.
+        let mut r = rng();
+        for (pooling, positional) in [
+            (Pooling::Mean, true),
+            (Pooling::Mean, false),
+            (Pooling::Last, true),
+        ] {
+            let mut store = ParamStore::new();
+            let cfg = EncoderConfig {
+                input_dim: 6,
+                d_model: 8,
+                heads: 2,
+                layers: 2,
+                ff_hidden: 16,
+                embed_dim: 4,
+                steps: 5,
+                positional,
+                pooling,
+            };
+            let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+            let feats: Vec<Tensor> = (0..7).map(|_| Tensor::xavier(5, 6, &mut r)).collect();
+            let refs: Vec<&Tensor> = feats.iter().collect();
+            let batched = enc.embed_batch(&store, &refs);
+            assert_eq!(batched.len(), feats.len());
+            for (f, b) in feats.iter().zip(&batched) {
+                assert_eq!(&enc.embed(&store, f), b, "{pooling:?}/{positional}");
+            }
+        }
+    }
+
+    #[test]
+    fn embed_batch_of_empty_and_one() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            embed_dim: 4,
+            steps: 5,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut r, "enc", cfg);
+        assert!(enc.embed_batch(&store, &[]).is_empty());
+        let f = Tensor::xavier(5, 6, &mut r);
+        assert_eq!(enc.embed_batch(&store, &[&f]), vec![enc.embed(&store, &f)]);
     }
 
     #[test]

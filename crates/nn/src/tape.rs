@@ -64,7 +64,7 @@ enum Op {
     Dropout(NodeId, Vec<f32>),
 }
 
-const LN_EPS: f32 = 1e-5;
+pub(crate) const LN_EPS: f32 = 1e-5;
 
 /// Gradients produced by [`Tape::backward`], indexed by [`NodeId`].
 pub struct Gradients {
@@ -183,16 +183,7 @@ impl Tape {
         let va = &self.values[a];
         let mut v = va.clone();
         for r in 0..v.rows {
-            let row = v.row_mut(r);
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
-                sum += *x;
-            }
-            for x in row.iter_mut() {
-                *x /= sum;
-            }
+            crate::kernels::softmax_row_scalar(v.row_mut(r));
         }
         self.push(Op::SoftmaxRows(a), v)
     }
@@ -206,14 +197,7 @@ impl Tape {
         assert_eq!(vb.cols, vx.cols);
         let mut v = vx.clone();
         for r in 0..v.rows {
-            let row = v.row_mut(r);
-            let n = row.len() as f32;
-            let mean = row.iter().sum::<f32>() / n;
-            let var = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
-            let inv_std = 1.0 / (var + LN_EPS).sqrt();
-            for (c, x) in row.iter_mut().enumerate() {
-                *x = (*x - mean) * inv_std * vg.data[c] + vb.data[c];
-            }
+            crate::kernels::layer_norm_row_scalar(v.row_mut(r), &vg.data, &vb.data, LN_EPS);
         }
         self.push(Op::LayerNormRows(x, gamma, beta), v)
     }
@@ -595,16 +579,13 @@ impl Tape {
     }
 }
 
-const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
-const GELU_A: f32 = 0.044_715;
+use crate::kernels::{GELU_A, GELU_C};
 
-fn gelu_fwd(x: f32) -> f32 {
-    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
-}
+pub(crate) use crate::kernels::gelu_scalar as gelu_fwd;
 
 fn gelu_bwd(x: f32) -> f32 {
     let u = GELU_C * (x + GELU_A * x * x * x);
-    let t = u.tanh();
+    let t = crate::kernels::fast_tanh(u);
     let du = GELU_C * (1.0 + 3.0 * GELU_A * x * x);
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
 }

@@ -171,4 +171,41 @@ proptest! {
         let b = g.param("p");
         prop_assert_eq!(a, b);
     }
+
+    #[test]
+    fn embed_batch_is_bit_identical_to_embed(
+        seed in 0u64..1000,
+        batch in prop::collection::vec(prop::collection::vec(-3.0f32..3.0, 6 * 8), 1..6),
+    ) {
+        // The matcher's per-search embedding cache scores candidates from
+        // batched embeddings and promises byte-identical search results,
+        // so the equivalence must be exact, not approximate.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sketchql_nn::{EncoderConfig, TrajectoryEncoder};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig {
+            input_dim: 8,
+            d_model: 8,
+            heads: 2,
+            layers: 2,
+            ff_hidden: 16,
+            embed_dim: 4,
+            steps: 6,
+            ..Default::default()
+        };
+        let enc = TrajectoryEncoder::new(&mut store, &mut rng, "enc", cfg);
+        let feats: Vec<Tensor> = batch
+            .into_iter()
+            .map(|data| Tensor::from_vec(6, 8, data))
+            .collect();
+        let refs: Vec<&Tensor> = feats.iter().collect();
+        let batched = enc.embed_batch(&store, &refs);
+        prop_assert_eq!(batched.len(), feats.len());
+        for (f, b) in feats.iter().zip(&batched) {
+            let solo = enc.embed(&store, f);
+            prop_assert_eq!(&solo, b);
+        }
+    }
 }

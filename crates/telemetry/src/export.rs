@@ -92,6 +92,9 @@ impl QueryReport {
         for (name, v) in self.counter_values() {
             let _ = write!(out, ",{}:{}", json_string(name), v);
         }
+        if let Some(rate) = self.embed_cache_hit_rate() {
+            let _ = write!(out, ",\"embed_cache_hit_rate\":{}", json_number(rate));
+        }
         let _ = write!(out, ",\"total_nanos\":{}", self.total_nanos);
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
@@ -142,6 +145,9 @@ impl QueryReport {
             .unwrap_or(0);
         for (name, v) in self.counter_values() {
             let _ = writeln!(out, "    {name:<width$}  {v:>12}");
+        }
+        if let Some(rate) = self.embed_cache_hit_rate() {
+            let _ = writeln!(out, "  embed cache hit rate: {:.1}%", rate * 100.0);
         }
         out
     }

@@ -68,11 +68,19 @@ pub mod names {
     pub const TOPK_HEAP_OPS: &str = "sketchql.matcher.topk_heap_ops";
     /// Histogram: similarity score of each scored window.
     pub const WINDOW_SCORE: &str = "sketchql.matcher.window_score";
+    /// Counter: candidate segments served from the per-search embedding
+    /// cache (a duplicate `(track_ids, start, end)` segment re-used).
+    pub const EMBED_CACHE_HITS: &str = "sketchql.matcher.embed_cache_hits";
+    /// Counter: distinct candidate segments the per-search embedding cache
+    /// had to embed (one batched encoder pass each).
+    pub const EMBED_CACHE_MISSES: &str = "sketchql.matcher.embed_cache_misses";
 
     /// Counter: clip embeddings computed by the learned encoder.
     pub const EMBEDDINGS_COMPUTED: &str = "sketchql.similarity.embeddings_computed";
     /// Counter: similarity evaluations (query vs. candidate).
     pub const SIMILARITY_EVALS: &str = "sketchql.similarity.evals";
+    /// Histogram: clips per batched encoder forward pass.
+    pub const EMBED_BATCH_SIZE: &str = "sketchql.similarity.embed_batch_size";
 
     /// Span: one ByteTrack association run over a full detection stream.
     pub const TRACKER_ASSOCIATE: &str = "sketchql.tracker.associate";

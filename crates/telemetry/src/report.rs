@@ -19,6 +19,8 @@ const REPORT_COUNTERS: &[&str] = &[
     names::WINDOWS_ENUMERATED,
     names::WINDOWS_PRUNED,
     names::EMBEDDINGS_COMPUTED,
+    names::EMBED_CACHE_HITS,
+    names::EMBED_CACHE_MISSES,
     names::SIMILARITY_EVALS,
     names::TOPK_HEAP_OPS,
 ];
@@ -44,6 +46,10 @@ pub struct QueryReport {
     pub windows_pruned: u64,
     /// Clip embeddings computed by the learned encoder.
     pub embeddings_computed: u64,
+    /// Candidate segments served from the per-search embedding cache.
+    pub embed_cache_hits: u64,
+    /// Distinct candidate segments the embedding cache had to embed.
+    pub embed_cache_misses: u64,
     /// Similarity evaluations (query vs. candidate combination).
     pub similarity_evals: u64,
     /// Pushes into the candidate ranking structure.
@@ -79,9 +85,23 @@ impl QueryReport {
             (names::WINDOWS_ENUMERATED, self.windows_enumerated),
             (names::WINDOWS_PRUNED, self.windows_pruned),
             (names::EMBEDDINGS_COMPUTED, self.embeddings_computed),
+            (names::EMBED_CACHE_HITS, self.embed_cache_hits),
+            (names::EMBED_CACHE_MISSES, self.embed_cache_misses),
             (names::SIMILARITY_EVALS, self.similarity_evals),
             (names::TOPK_HEAP_OPS, self.topk_heap_ops),
         ]
+    }
+
+    /// Fraction of candidate-segment lookups served from the per-search
+    /// embedding cache, or `None` when the query never consulted it
+    /// (classical similarity, or the cache disabled).
+    pub fn embed_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.embed_cache_hits + self.embed_cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.embed_cache_hits as f64 / total as f64)
+        }
     }
 }
 
@@ -130,8 +150,10 @@ impl Recorder {
                 windows_enumerated: deltas[2],
                 windows_pruned: deltas[3],
                 embeddings_computed: deltas[4],
-                similarity_evals: deltas[5],
-                topk_heap_ops: deltas[6],
+                embed_cache_hits: deltas[5],
+                embed_cache_misses: deltas[6],
+                similarity_evals: deltas[7],
+                topk_heap_ops: deltas[8],
                 spans: take_finished_spans(),
                 total_nanos: self.start.elapsed().as_nanos() as u64,
             }

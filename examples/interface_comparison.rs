@@ -70,9 +70,15 @@ fn main() {
                     .collect();
                 evaluate_retrieval(&preds, &truth).average_precision
             };
-            ap[0] += eval(&Matcher::new(model.similarity()).search(idx, &query));
+            ap[0] += eval(
+                &Matcher::new(model.similarity())
+                    .search(idx, &query)
+                    .expect("event queries embed"),
+            );
             ap[1] += eval(
-                &Matcher::new(ClassicalSimilarity::new(DistanceKind::Dtw)).search(idx, &query),
+                &Matcher::new(ClassicalSimilarity::new(DistanceKind::Dtw))
+                    .search(idx, &query)
+                    .expect("classical prepare is infallible"),
             );
             ap[2] += eval(&evaluate_rule(idx, &rule, &RuleSearchConfig::default()));
         }

@@ -55,7 +55,7 @@ fn sketch_sep(model: &sketchql::TrainedModel) -> f32 {
     for (qi, &qk) in kinds.iter().enumerate() {
         let q = query_clip(qk);
         let q = Clip::new(q.frame_width, q.frame_height, vec![q.objects[0].clone()]);
-        let prep = sim.prepare(&q);
+        let prep = sim.prepare(&q).expect("sketch queries embed");
         let scores: Vec<Vec<f32>> = kinds
             .iter()
             .map(|&ck| {

@@ -22,4 +22,12 @@ echo "== feature check: telemetry disabled still builds and tests"
 cargo build --release --no-default-features
 cargo test -q --no-default-features
 
+echo "== matcher speedup smoke (quick samples)"
+# 3 quick samples are noisy, so the smoke bar is looser than the full
+# bench's 3x acceptance bar (run scripts/bench_matcher.sh for that), and
+# the result goes to target/ so the committed full-run JSON survives.
+SKETCHQL_BENCH_QUICK=1 SKETCHQL_MATCHER_SPEEDUP_MIN=2 \
+    SKETCHQL_MATCHER_BENCH_JSON=target/BENCH_matcher_smoke.json \
+    scripts/bench_matcher.sh
+
 echo "ok: all checks passed"

@@ -140,8 +140,12 @@ fn search_with(
     query: &Clip,
 ) -> Vec<RetrievedMoment> {
     match method {
-        None => Matcher::new(model.similarity()).search(index, query),
-        Some(kind) => Matcher::new(ClassicalSimilarity::new(kind)).search(index, query),
+        None => Matcher::new(model.similarity())
+            .search(index, query)
+            .expect("experiment queries embed"),
+        Some(kind) => Matcher::new(ClassicalSimilarity::new(kind))
+            .search(index, query)
+            .expect("classical prepare is infallible"),
     }
 }
 
@@ -229,9 +233,11 @@ fn exp_f1() {
     let model = sketchql_suite::demo_model();
     let learned = model.similarity();
     let query = query_clip(EventKind::LeftTurn);
-    let q_learned = learned.prepare(&query);
+    let q_learned = learned.prepare(&query).expect("query embeds");
     let dtw = ClassicalSimilarity::new(DistanceKind::Dtw);
-    let q_dtw = dtw.prepare(&query);
+    let q_dtw = dtw
+        .prepare(&query)
+        .expect("classical prepare is infallible");
 
     let buckets: Vec<(&str, f32, Option<f32>)> = vec![
         ("near + acute (55°)", 28.0, Some(55.0)),
@@ -739,7 +745,7 @@ fn exp_t5() {
             },
         );
         let t0 = Instant::now();
-        let results = m.search(&idx, &query);
+        let results = m.search(&idx, &query).expect("experiment queries embed");
         let dt = t0.elapsed();
         println!(
             "{:<34} | {:>8} | {:>8.1}ms   ({} moments)",

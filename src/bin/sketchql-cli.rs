@@ -62,7 +62,7 @@ commands:
   generate --out <file> [--family <name>] [--seed <n>] [--events <n>] [--distractors <n>]
   train    --out <file> [--steps <n>] [--seed <n>]
   query    --video <file> --event <kind> [--model <file>] [--baseline <dtw|frechet|...>]
-           [--rules] [--top-k <n>] [--oracle-tracks] [--stats]
+           [--rules] [--top-k <n>] [--oracle-tracks] [--stats] [--no-embed-cache]
   stats    same flags as query; runs it quietly and dumps the metric
            registry [--format <json|prometheus>]
   render   --video <file> [--start <frame>] [--end <frame>]
@@ -235,14 +235,17 @@ fn execute_query(
             .ok_or_else(|| format!("unknown baseline {baseline:?}"))?;
         let mut m = Matcher::new(ClassicalSimilarity::new(kind));
         m.config.top_k = top_k;
-        m.search(&index, &query)
+        m.search(&index, &query).map_err(|e| e.to_string())?
     } else {
         let model_path = req(flags, "model")?;
         let model = TrainedModel::load(Path::new(model_path)).map_err(|e| e.to_string())?;
         let mut m = Matcher::new(model.similarity());
         m.config.top_k = top_k;
         m.config.threads = 4;
-        m.search(&index, &query)
+        // Escape hatch for A/B timing: one encoder forward per candidate
+        // instead of the memoized batched path (results are identical).
+        m.config.embed_cache = !flags.contains_key("no-embed-cache");
+        m.search(&index, &query).map_err(|e| e.to_string())?
     };
     let report = recorder.finish(format!("{}/{}", video.name, kind.name()));
 

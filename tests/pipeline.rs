@@ -43,7 +43,7 @@ fn classical_matcher_retrieves_left_turns_from_tracked_video() {
     let idx = VideoIndex::from_truth(&v);
     let matcher = Matcher::new(ClassicalSimilarity::new(DistanceKind::Dtw));
     let query = query_clip(EventKind::LeftTurn);
-    let results = matcher.search(&idx, &query);
+    let results = matcher.search(&idx, &query).unwrap();
     assert!(!results.is_empty());
     let truth = v.events_of(EventKind::LeftTurn);
     let preds: Vec<PredictedMoment> = results
@@ -67,7 +67,7 @@ fn retrieval_survives_realistic_tracking_noise() {
     let idx = VideoIndex::build(&v, DetectorConfig::default(), TrackerConfig::default(), 3);
     let matcher = Matcher::new(ClassicalSimilarity::new(DistanceKind::Dtw));
     let query = query_clip(EventKind::LeftTurn);
-    let results = matcher.search(&idx, &query);
+    let results = matcher.search(&idx, &query).unwrap();
     assert!(
         !results.is_empty(),
         "search over tracked (noisy) index must return moments"
@@ -84,7 +84,7 @@ fn multi_object_query_requires_both_classes() {
     let idx = VideoIndex::from_truth(&v);
     let matcher = Matcher::new(ClassicalSimilarity::new(DistanceKind::Euclidean));
     let query = query_clip(EventKind::PerpendicularCrossing);
-    let results = matcher.search(&idx, &query);
+    let results = matcher.search(&idx, &query).unwrap();
     for m in &results {
         assert_eq!(m.track_ids.len(), 2);
         let classes: Vec<_> = m
@@ -117,7 +117,7 @@ fn all_canonical_queries_execute_on_all_families() {
         for &kind in EventKind::ALL {
             let query = query_clip(kind);
             // Must not panic and must return valid moments.
-            let results = matcher.search(&idx, &query);
+            let results = matcher.search(&idx, &query).unwrap();
             for m in &results {
                 assert!(m.start <= m.end);
             }

@@ -47,7 +47,9 @@ fn query() -> Clip {
 /// scale), min_window)`; scales whose window exceeds the video are skipped;
 /// start positions advance by `stride = max(round_down(window * stride_frac),
 /// 1)` until a window reaches the final frame, giving
-/// `ceil((frames - window) / stride) + 1` windows.
+/// `ceil((frames - window) / stride) + 1` windows. Assumes every scale maps
+/// to a distinct window length (true for the default config at
+/// `QUERY_SPAN = 40`); the matcher deduplicates clamped scales otherwise.
 fn expected_windows(cfg: &MatcherConfig, q_span: u32, frames: u32) -> u64 {
     let mut count = 0u64;
     for &scale in &cfg.window_scales {
@@ -73,7 +75,7 @@ fn counters_match_analytic_expectations() {
     assert_eq!(idx.frames, FRAMES);
 
     let recorder = Recorder::begin();
-    let results = matcher.search(&idx, &q);
+    let results = matcher.search(&idx, &q).unwrap();
     let report = recorder.finish("analytic/car_query");
 
     assert!(!results.is_empty());
@@ -95,11 +97,55 @@ fn counters_match_analytic_expectations() {
     assert_eq!(report.similarity_evals, expected);
     assert_eq!(report.windows_pruned, 0);
     // One embedding per scored candidate plus one for the query itself.
+    // (The window scales here map to distinct lengths, so the per-search
+    // embedding cache sees only distinct segments: every lookup misses.)
     assert_eq!(report.embeddings_computed, expected + 1);
+    assert_eq!(report.embed_cache_misses, expected);
+    assert_eq!(report.embed_cache_hits, 0);
+    assert_eq!(report.embed_cache_hit_rate(), Some(0.0));
     // The index was pre-built outside the bracket.
     assert_eq!(report.frames_preprocessed, 0);
     assert_eq!(report.tracks_built, 0);
     assert_eq!(report.topk_heap_ops, results.len() as u64);
+}
+
+/// Regression: scales `0.75` and `1.0` of a 16-frame query both clamp to
+/// `min_window = 16`; enumeration must emit that window grid once, not
+/// once per scale (the duplicate-window bug doubled both the counter and
+/// the scoring work).
+#[test]
+fn clamped_scales_enumerate_each_window_once() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    let matcher = Matcher::new(sketchql::ClassicalSimilarity::new(
+        sketchql_trajectory::DistanceKind::Dtw,
+    ));
+    let idx = single_track_index();
+    let pts = (0..16)
+        .map(|i| TrajPoint::new(i, BBox::new(100.0 + i as f32 * 10.0, 400.0, 80.0, 45.0)))
+        .collect();
+    let q = Clip::new(
+        1000.0,
+        600.0,
+        vec![Trajectory::from_points(0, ObjectClass::Car, pts)],
+    );
+    assert_eq!(q.span(), 16);
+
+    let recorder = Recorder::begin();
+    let results = matcher.search(&idx, &q).unwrap();
+    let report = recorder.finish("analytic/clamped_scales");
+    assert!(!results.is_empty());
+
+    if !telemetry::is_enabled() {
+        assert_eq!(report.windows_enumerated, 0);
+        return;
+    }
+
+    // Deduplicated grids: 16-frame windows (stride 4, starts 0..=84) give
+    // 22, 24-frame windows (stride 6) give ceil(76/6) + 1 = 14.
+    let expected = 22 + 14;
+    assert_eq!(report.windows_enumerated, expected);
+    // One candidate combination per window: scoring work shrinks with it.
+    assert_eq!(report.similarity_evals, expected);
 }
 
 #[test]
@@ -112,7 +158,7 @@ fn stage_spans_cover_the_query() {
     let q = query();
 
     let recorder = Recorder::begin();
-    let _ = matcher.search(&idx, &q);
+    let _ = matcher.search(&idx, &q).unwrap();
     let report = recorder.finish("analytic/stages");
 
     if !telemetry::is_enabled() {
@@ -147,7 +193,7 @@ fn report_exports_are_well_formed() {
     let matcher = Matcher::new(sketchql::ClassicalSimilarity::new(
         sketchql_trajectory::DistanceKind::Dtw,
     ));
-    let _ = matcher.search(&idx, &query());
+    let _ = matcher.search(&idx, &query()).unwrap();
     let report = recorder.finish("analytic/export");
 
     let json = report.to_json();
