@@ -1,0 +1,157 @@
+//! Server engine throughput: closed-loop clients against worker pools of
+//! different widths, with byte-identity verification across them.
+//!
+//! This is a throughput benchmark, not a latency microbenchmark, so it
+//! does not use the harness's per-iteration timer: each configuration
+//! runs a fixed query load from `CLIENTS` closed-loop client threads and
+//! reports wall-clock queries/second as
+//!
+//! ```text
+//! BENCH server_throughput/workers=8 qps=41.0 queries=240 wall_ms=5853 avg_batch=5.2
+//! BENCH server_throughput/speedup ratio=3.6 identical=1
+//! ```
+//!
+//! The interesting case is a single-core machine: an 8-worker pool beats
+//! a 1-worker pool not through CPU parallelism but through shared-scan
+//! fusion — each worker drains up to `workers` queued same-dataset
+//! queries and executes them as one `Matcher::search_batch` call, so
+//! concurrent duplicate/overlapping queries (the demo's canonical event
+//! queries, issued by many clients) share one embedding cache and one
+//! batched encoder pass. A 1-worker engine never fuses
+//! (`fused_batch = workers`), making it the honest serial baseline.
+//! `identical=1` asserts every query's moments were byte-identical
+//! across configurations; `scripts/bench_server.sh` gates on both
+//! fields.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sketchql::{RetrievedMoment, VideoIndex};
+use sketchql_bench::{bench_model, bench_video};
+use sketchql_datasets::{query_clip, EventKind};
+use sketchql_server::{Engine, EngineConfig, QuerySpec};
+
+/// Closed-loop client threads (each has one query outstanding). Enough
+/// to keep every worker's fused batch full with queries to spare.
+const CLIENTS: usize = 48;
+
+/// The query mix: every (dataset, event) pair below, round-robin. Two
+/// popular events per dataset keeps the backlog realistic — many clients
+/// asking the same canonical queries — which is what fusion feeds on.
+const EVENTS: &[EventKind] = &[EventKind::LeftTurn, EventKind::RightTurn];
+const DATASETS: &[&str] = &["alpha", "beta"];
+
+struct RunOutcome {
+    qps: f64,
+    wall_ms: u128,
+    avg_batch: f64,
+    results: Vec<Vec<RetrievedMoment>>,
+}
+
+fn run_load(workers: usize, total_queries: usize) -> RunOutcome {
+    let mut datasets = std::collections::BTreeMap::new();
+    datasets.insert(
+        "alpha".to_string(),
+        VideoIndex::from_truth(&bench_video(1, 42)),
+    );
+    datasets.insert(
+        "beta".to_string(),
+        VideoIndex::from_truth(&bench_video(1, 43)),
+    );
+    let engine = Arc::new(Engine::start(
+        bench_model(),
+        datasets,
+        EngineConfig {
+            workers,
+            queue_depth: 2 * CLIENTS,
+            ..Default::default()
+        },
+    ));
+
+    let specs: Vec<(String, EventKind)> = DATASETS
+        .iter()
+        .flat_map(|d| EVENTS.iter().map(|e| (d.to_string(), *e)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Vec<RetrievedMoment>>> =
+        (0..total_queries).map(|_| Mutex::new(Vec::new())).collect();
+    let batch_sizes: Vec<Mutex<usize>> = (0..total_queries).map(|_| Mutex::new(0)).collect();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let engine = Arc::clone(&engine);
+            let next = &next;
+            let specs = &specs;
+            let results = &results;
+            let batch_sizes = &batch_sizes;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total_queries {
+                    break;
+                }
+                let (dataset, event) = &specs[i % specs.len()];
+                let result = engine
+                    .execute(QuerySpec::new(dataset.clone(), query_clip(*event)))
+                    .expect("bench queries must succeed");
+                *results[i].lock().unwrap() = result.moments;
+                *batch_sizes[i].lock().unwrap() = result.batch_size;
+            });
+        }
+    });
+    let wall = started.elapsed();
+    engine.shutdown();
+
+    let avg_batch = batch_sizes
+        .iter()
+        .map(|b| *b.lock().unwrap() as f64)
+        .sum::<f64>()
+        / total_queries as f64;
+    RunOutcome {
+        qps: total_queries as f64 / wall.as_secs_f64(),
+        wall_ms: wall.as_millis(),
+        avg_batch,
+        results: results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("SKETCHQL_BENCH_QUICK").is_some();
+    let total_queries = if quick { 64 } else { 240 };
+    println!(
+        "# server throughput bench: {CLIENTS} closed-loop clients, {total_queries} queries, \
+         telemetry feature {}",
+        if cfg!(feature = "telemetry") {
+            "on"
+        } else {
+            "off"
+        }
+    );
+
+    let serial = run_load(1, total_queries);
+    println!(
+        "BENCH server_throughput/workers=1 qps={:.2} queries={} wall_ms={} avg_batch={:.2}",
+        serial.qps, total_queries, serial.wall_ms, serial.avg_batch
+    );
+
+    let pooled = run_load(8, total_queries);
+    println!(
+        "BENCH server_throughput/workers=8 qps={:.2} queries={} wall_ms={} avg_batch={:.2}",
+        pooled.qps, total_queries, pooled.wall_ms, pooled.avg_batch
+    );
+
+    let identical = serial.results == pooled.results;
+    println!(
+        "BENCH server_throughput/speedup ratio={:.2} identical={}",
+        pooled.qps / serial.qps,
+        i32::from(identical)
+    );
+    assert!(
+        identical,
+        "8-worker results diverged from the 1-worker baseline"
+    );
+}

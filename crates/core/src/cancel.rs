@@ -1,0 +1,166 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle combining an explicit
+//! cancel flag with an optional wall-clock deadline. The Matcher's
+//! sliding-window scan polls the token between units of work
+//! ([`Matcher::search_with_cancel`](crate::Matcher::search_with_cancel)),
+//! so a query whose client gave up — or whose deadline passed — stops
+//! consuming CPU promptly instead of running its scan to completion.
+//!
+//! Tokens are the contract between the query engine (`sketchql-server`)
+//! and the core search path: the engine stamps each admitted query with a
+//! deadline token, and a timed-out query frees its worker at the next
+//! poll point rather than at the end of the scan.
+//!
+//! The null token ([`CancelToken::none`]) carries no state and makes
+//! every poll a no-op, so un-deadlined callers pay nothing.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a search stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (client disconnect, shutdown).
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Cancelled => write!(f, "cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle: an explicit flag plus an optional
+/// deadline. All clones share the same flag, so cancelling any clone
+/// cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels; polls are free.
+    pub const fn none() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A token with no deadline that cancels only via
+    /// [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that expires `timeout` from now (and can also be cancelled
+    /// explicitly).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that expires at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// Trips the cancel flag on this token and every clone of it. A null
+    /// token ignores the call.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// The token's deadline, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// Polls the token: `Err` once cancelled or past the deadline. The
+    /// explicit flag wins over the deadline when both apply.
+    #[inline]
+    pub fn check(&self) -> Result<(), CancelReason> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.flag.load(Ordering::Relaxed) {
+            return Err(CancelReason::Cancelled);
+        }
+        match inner.deadline {
+            Some(d) if Instant::now() >= d => Err(CancelReason::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether the token has tripped (flag or deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_token_never_cancels() {
+        let t = CancelToken::none();
+        t.cancel();
+        assert_eq!(t.check(), Ok(()));
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_trips_all_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert_eq!(clone.check(), Ok(()));
+        t.cancel();
+        assert_eq!(clone.check(), Err(CancelReason::Cancelled));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline_at(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.check(), Err(CancelReason::DeadlineExceeded));
+        let far = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert_eq!(far.check(), Ok(()));
+        assert!(far.deadline().is_some());
+    }
+
+    #[test]
+    fn explicit_flag_wins_over_deadline() {
+        let t = CancelToken::with_deadline_at(Instant::now() - Duration::from_millis(1));
+        t.cancel();
+        assert_eq!(t.check(), Err(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(CancelToken::default().check(), Ok(()));
+    }
+}

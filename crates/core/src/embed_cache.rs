@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use sketchql_trajectory::{Clip, TrackId};
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::similarity::Similarity;
 
 /// A candidate segment: the bound tracks in query-slot order plus the
@@ -99,6 +100,11 @@ impl EmbedCache {
     }
 }
 
+/// Clips fed to the encoder between cancellation polls. Matches the
+/// encoder's internal batch cap, so a tripped token aborts after at most
+/// one batched forward.
+const CANCEL_POLL_CLIPS: usize = 64;
+
 /// Embeds `clips` via [`Similarity::embed_candidates`], splitting the
 /// batch across `threads` worker threads. Output order matches input
 /// order, and the embeddings are identical regardless of thread count
@@ -108,22 +114,52 @@ pub fn embed_clips_parallel<S: Similarity>(
     clips: &[Clip],
     threads: usize,
 ) -> Vec<Option<Vec<f32>>> {
+    match try_embed_clips_parallel(sim, clips, threads, &CancelToken::none()) {
+        Ok(out) => out,
+        Err(_) => unreachable!("null token never cancels"),
+    }
+}
+
+/// [`embed_clips_parallel`] with cooperative cancellation: `cancel` is
+/// polled between encoder batches (on every worker thread), so a tripped
+/// token abandons the remaining batches promptly. Embedding values are
+/// unchanged — batched encoder forwards are bit-identical regardless of
+/// how the input is chunked.
+pub fn try_embed_clips_parallel<S: Similarity>(
+    sim: &S,
+    clips: &[Clip],
+    threads: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<Option<Vec<f32>>>, CancelReason> {
+    let embed_piece = |piece: &[Clip]| -> Result<Vec<Option<Vec<f32>>>, CancelReason> {
+        let mut out = Vec::with_capacity(piece.len());
+        for sub in piece.chunks(CANCEL_POLL_CLIPS) {
+            cancel.check()?;
+            out.extend(sim.embed_candidates(sub));
+        }
+        Ok(out)
+    };
     let threads = threads.max(1);
     if threads == 1 || clips.len() < 2 * threads {
-        return sim.embed_candidates(clips);
+        return embed_piece(clips);
     }
     let chunk = clips.len().div_ceil(threads);
-    let pieces: Vec<Vec<Option<Vec<f32>>>> = std::thread::scope(|scope| {
+    let pieces: Vec<Result<Vec<Option<Vec<f32>>>, CancelReason>> = std::thread::scope(|scope| {
+        let embed_piece = &embed_piece;
         let handles: Vec<_> = clips
             .chunks(chunk)
-            .map(|piece| scope.spawn(move || sim.embed_candidates(piece)))
+            .map(|piece| scope.spawn(move || embed_piece(piece)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("embedding worker panicked"))
             .collect()
     });
-    pieces.into_iter().flatten().collect()
+    let mut out = Vec::with_capacity(clips.len());
+    for piece in pieces {
+        out.extend(piece?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

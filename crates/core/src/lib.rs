@@ -44,6 +44,7 @@
 
 pub use sketchql_telemetry as telemetry;
 
+pub mod cancel;
 pub mod embed_cache;
 pub mod index;
 pub mod matcher;
@@ -55,9 +56,10 @@ pub mod sketcher;
 pub mod training;
 pub mod tuner;
 
-pub use embed_cache::{embed_clips_parallel, EmbedCache};
+pub use cancel::{CancelReason, CancelToken};
+pub use embed_cache::{embed_clips_parallel, try_embed_clips_parallel, EmbedCache};
 pub use index::VideoIndex;
-pub use matcher::{Matcher, MatcherConfig, RetrievedMoment};
+pub use matcher::{MatchError, Matcher, MatcherConfig, RetrievedMoment};
 pub use materialized::{MaterializeConfig, MaterializedWindows};
 pub use rules::{
     evaluate_rule, expert_rule, motion_stats, MotionStats, Predicate, Relation, RuleQuery,

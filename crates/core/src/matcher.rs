@@ -18,8 +18,10 @@ use serde::{Deserialize, Serialize};
 use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{Clip, TrackId, TrajPoint, Trajectory};
 use std::collections::HashSet;
+use std::fmt;
 
-use crate::embed_cache::{embed_clips_parallel, EmbedCache};
+use crate::cancel::{CancelReason, CancelToken};
+use crate::embed_cache::{try_embed_clips_parallel, EmbedCache};
 use crate::index::VideoIndex;
 use crate::similarity::{PreparedQuery, Similarity, SimilarityError};
 
@@ -104,6 +106,38 @@ impl RetrievedMoment {
     }
 }
 
+/// Errors from a cancellable or batched search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchError {
+    /// The similarity rejected the query itself (see [`SimilarityError`]).
+    Similarity(SimilarityError),
+    /// The search stopped early: its [`CancelToken`] tripped.
+    Cancelled(CancelReason),
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::Similarity(e) => write!(f, "{e}"),
+            MatchError::Cancelled(r) => write!(f, "search {r}"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+impl From<SimilarityError> for MatchError {
+    fn from(e: SimilarityError) -> Self {
+        MatchError::Similarity(e)
+    }
+}
+
+impl From<CancelReason> for MatchError {
+    fn from(r: CancelReason) -> Self {
+        MatchError::Cancelled(r)
+    }
+}
+
 /// The Matcher: a similarity function plus search parameters.
 pub struct Matcher<S: Similarity> {
     /// The similarity used to score candidates.
@@ -139,6 +173,24 @@ impl<S: Similarity> Matcher<S> {
         index: &VideoIndex,
         query: &Clip,
     ) -> Result<Vec<RetrievedMoment>, SimilarityError> {
+        match self.search_with_cancel(index, query, &CancelToken::none()) {
+            Ok(r) => Ok(r),
+            Err(MatchError::Similarity(e)) => Err(e),
+            Err(MatchError::Cancelled(_)) => unreachable!("null token never cancels"),
+        }
+    }
+
+    /// [`search`](Self::search) with cooperative cancellation: `cancel` is
+    /// polled between windows, between encoder batches, and between scan
+    /// phases, so a cancelled or deadline-expired search stops consuming
+    /// CPU promptly (within one window / one encoder batch) and returns
+    /// [`MatchError::Cancelled`] instead of results.
+    pub fn search_with_cancel(
+        &self,
+        index: &VideoIndex,
+        query: &Clip,
+        cancel: &CancelToken,
+    ) -> Result<Vec<RetrievedMoment>, MatchError> {
         let _search_span = telemetry::span(names::MATCHER_SEARCH);
         let q_span = query.span();
         if q_span == 0
@@ -158,35 +210,18 @@ impl<S: Similarity> Matcher<S> {
         let windows = self.enumerate_windows(q_span, index.frames);
         telemetry::counter(names::WINDOWS_ENUMERATED).add(windows.len() as u64);
 
-        let threads = self.config.threads.max(1);
         let use_cache = self.config.embed_cache && self.sim.uses_embeddings();
-        let mut scored: Vec<RetrievedMoment> = if use_cache {
-            self.scan_cached(index, &classes, &prepared, &windows)
-        } else if threads == 1 || windows.len() < 2 * threads {
-            windows
-                .iter()
-                .filter_map(|&(s, e, o)| self.best_in_window(index, &classes, &prepared, s, e, o))
-                .collect()
+        let scored: Vec<RetrievedMoment> = if use_cache {
+            let mut cache = EmbedCache::new();
+            let per_window =
+                self.enumerate_candidates(index, &classes, &windows, &mut cache, cancel)?;
+            telemetry::counter(names::EMBED_CACHE_HITS).add(cache.hits());
+            telemetry::counter(names::EMBED_CACHE_MISSES).add(cache.misses());
+            let embeddings =
+                try_embed_clips_parallel(&self.sim, cache.clips(), self.config.threads, cancel)?;
+            self.score_candidates(&prepared, per_window, &embeddings, cancel)?
         } else {
-            let results = std::sync::Mutex::new(Vec::with_capacity(windows.len()));
-            let chunk = windows.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for piece in windows.chunks(chunk) {
-                    let results = &results;
-                    let prepared = &prepared;
-                    let classes = &classes;
-                    scope.spawn(move || {
-                        let local: Vec<RetrievedMoment> = piece
-                            .iter()
-                            .filter_map(|&(s, e, o)| {
-                                self.best_in_window(index, classes, prepared, s, e, o)
-                            })
-                            .collect();
-                        results.lock().unwrap().extend(local);
-                    });
-                }
-            });
-            results.into_inner().unwrap()
+            self.scan_direct(index, &classes, &prepared, &windows, cancel)?
         };
         telemetry::counter(names::WINDOWS_PRUNED).add((windows.len() - scored.len()) as u64);
         if telemetry::is_enabled() {
@@ -196,10 +231,143 @@ impl<S: Similarity> Matcher<S> {
             }
         }
         drop(scan_span);
+        Ok(self.rank(index, scored))
+    }
 
+    /// Executes several queries against one index in a single fused scan.
+    ///
+    /// Candidate-segment embeddings depend only on the index and the
+    /// model — not on the query — so concurrent queries over the same
+    /// video share one [`EmbedCache`] and one batched encoder pass over
+    /// the union of their candidate segments. Scoring, ranking, NMS, and
+    /// refinement still run per query, so each query's result vector is
+    /// byte-identical to what a solo [`search`](Self::search) returns.
+    ///
+    /// This is the engine's multi-query amortization path ("shared scan"):
+    /// with K concurrent look-alike queries the encoder work is paid
+    /// roughly once instead of K times. Queries whose spans differ still
+    /// share whatever windows coincide.
+    ///
+    /// One `cancel` token covers the whole batch (the fused encoder pass
+    /// is indivisible); when it trips, *every* query in the batch reports
+    /// [`MatchError::Cancelled`]. Per-query failures (e.g. an
+    /// unembeddable query) are reported per slot without failing the
+    /// batch. Similarities that do not use embeddings fall back to
+    /// sequential solo searches.
+    pub fn search_batch(
+        &self,
+        index: &VideoIndex,
+        queries: &[&Clip],
+        cancel: &CancelToken,
+    ) -> Vec<Result<Vec<RetrievedMoment>, MatchError>> {
+        if !(self.config.embed_cache && self.sim.uses_embeddings()) || queries.len() == 1 {
+            return queries
+                .iter()
+                .map(|q| self.search_with_cancel(index, q, cancel))
+                .collect();
+        }
+        match self.search_batch_fused(index, queries, cancel) {
+            Ok(results) => results,
+            Err(e) => queries.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    /// The fused path behind [`search_batch`](Self::search_batch): phase 1
+    /// per query into one shared cache, one phase-2 encoder pass, then
+    /// phases 3-4 per query. An `Err` here is batch-wide (cancellation).
+    fn search_batch_fused(
+        &self,
+        index: &VideoIndex,
+        queries: &[&Clip],
+        cancel: &CancelToken,
+    ) -> Result<Vec<Result<Vec<RetrievedMoment>, MatchError>>, MatchError> {
+        let _search_span = telemetry::span(names::MATCHER_SEARCH);
+
+        // Per-query setup mirrors `search_with_cancel` exactly; queries
+        // that fail to prepare (or are degenerate) are settled here and
+        // excluded from the fused scan.
+        enum Slot {
+            Done(Result<Vec<RetrievedMoment>, MatchError>),
+            Live {
+                prepared: PreparedQuery,
+                windows: Vec<(u32, u32, u32)>,
+            },
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(queries.len());
+        let mut cache = EmbedCache::new();
+        let mut live_candidates: Vec<Vec<WindowCandidates>> = Vec::new();
+        {
+            let scan_span = telemetry::span(names::MATCHER_SCAN);
+            for query in queries {
+                cancel.check().map_err(MatchError::from)?;
+                let q_span = query.span();
+                if q_span == 0
+                    || q_span < self.config.min_window
+                    || query.num_objects() == 0
+                    || index.frames == 0
+                {
+                    slots.push(Slot::Done(Ok(Vec::new())));
+                    continue;
+                }
+                let prepared = {
+                    let _prepare_span = telemetry::span(names::MATCHER_PREPARE);
+                    match self.sim.prepare(query) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            slots.push(Slot::Done(Err(e.into())));
+                            continue;
+                        }
+                    }
+                };
+                let classes = query.classes();
+                let windows = self.enumerate_windows(q_span, index.frames);
+                telemetry::counter(names::WINDOWS_ENUMERATED).add(windows.len() as u64);
+                live_candidates.push(
+                    self.enumerate_candidates(index, &classes, &windows, &mut cache, cancel)?,
+                );
+                slots.push(Slot::Live { prepared, windows });
+            }
+            telemetry::counter(names::EMBED_CACHE_HITS).add(cache.hits());
+            telemetry::counter(names::EMBED_CACHE_MISSES).add(cache.misses());
+
+            // Phase 2 once for the whole batch: the shared cache holds the
+            // union of every live query's distinct candidate segments.
+            let embeddings =
+                try_embed_clips_parallel(&self.sim, cache.clips(), self.config.threads, cancel)?;
+
+            // Phases 3-4 per query, identical to the solo path.
+            let mut live = live_candidates.into_iter();
+            let mut results: Vec<Result<Vec<RetrievedMoment>, MatchError>> =
+                Vec::with_capacity(queries.len());
+            for slot in slots {
+                match slot {
+                    Slot::Done(r) => results.push(r),
+                    Slot::Live { prepared, windows } => {
+                        let per_window = live.next().expect("one candidate set per live slot");
+                        let scored =
+                            self.score_candidates(&prepared, per_window, &embeddings, cancel)?;
+                        telemetry::counter(names::WINDOWS_PRUNED)
+                            .add((windows.len() - scored.len()) as u64);
+                        if telemetry::is_enabled() {
+                            let hist = telemetry::histogram(names::WINDOW_SCORE, SCORE_BOUNDS);
+                            for m in &scored {
+                                hist.observe(m.score as f64);
+                            }
+                        }
+                        results.push(Ok(self.rank(index, scored)));
+                    }
+                }
+            }
+            drop(scan_span);
+            Ok(results)
+        }
+    }
+
+    /// Final ranking: sort by score (ties broken deterministically so
+    /// parallel and sequential runs agree), NMS, truncate to top-k, and
+    /// optionally refine boundaries.
+    fn rank(&self, index: &VideoIndex, mut scored: Vec<RetrievedMoment>) -> Vec<RetrievedMoment> {
         let _rank_span = telemetry::span(names::MATCHER_RANK);
-        // Sort by score (ties broken deterministically so parallel and
-        // sequential runs agree), NMS, truncate.
         scored.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -225,7 +393,50 @@ impl<S: Similarity> Matcher<S> {
                 refine_boundaries(index, m);
             }
         }
-        Ok(kept)
+        kept
+    }
+
+    /// The direct (no embedding cache) scan: score every window's best
+    /// candidate, sequentially or across worker threads. Polls `cancel`
+    /// between windows.
+    fn scan_direct(
+        &self,
+        index: &VideoIndex,
+        classes: &[sketchql_trajectory::ObjectClass],
+        prepared: &PreparedQuery,
+        windows: &[(u32, u32, u32)],
+        cancel: &CancelToken,
+    ) -> Result<Vec<RetrievedMoment>, MatchError> {
+        let threads = self.config.threads.max(1);
+        if threads == 1 || windows.len() < 2 * threads {
+            let mut out = Vec::new();
+            for &(s, e, o) in windows {
+                cancel.check().map_err(MatchError::from)?;
+                out.extend(self.best_in_window(index, classes, prepared, s, e, o));
+            }
+            return Ok(out);
+        }
+        let results = std::sync::Mutex::new(Vec::with_capacity(windows.len()));
+        let chunk = windows.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for piece in windows.chunks(chunk) {
+                let results = &results;
+                scope.spawn(move || {
+                    let mut local: Vec<RetrievedMoment> = Vec::new();
+                    for &(s, e, o) in piece {
+                        // Workers drop out at the first tripped poll; the
+                        // partial results are discarded below.
+                        if cancel.check().is_err() {
+                            return;
+                        }
+                        local.extend(self.best_in_window(index, classes, prepared, s, e, o));
+                    }
+                    results.lock().unwrap().extend(local);
+                });
+            }
+        });
+        cancel.check().map_err(MatchError::from)?;
+        Ok(results.into_inner().unwrap())
     }
 
     /// Enumerates every `(start, end, min_overlap)` window across the
@@ -308,23 +519,24 @@ impl<S: Similarity> Matcher<S> {
         best
     }
 
-    /// The cached scan: enumerate all candidates interning each distinct
-    /// segment once, embed the unique segments in parallel batches, then
-    /// score every candidate from its cached embedding. Byte-identical to
-    /// running [`best_in_window`](Self::best_in_window) per window.
-    fn scan_cached(
+    /// Phase 1 of the cached scan: enumerate every window's candidates,
+    /// interning each distinct segment once in `cache`. A window's
+    /// candidate list holds the bound track ids (slot order) and the
+    /// segment's embedding slot, in combination order, for every distinct
+    /// non-empty candidate. The cache may be shared across queries
+    /// ([`search_batch`](Self::search_batch)): interning is keyed purely
+    /// on `(track_ids, start, end)`, which is query-independent.
+    fn enumerate_candidates(
         &self,
         index: &VideoIndex,
         classes: &[sketchql_trajectory::ObjectClass],
-        prepared: &PreparedQuery,
         windows: &[(u32, u32, u32)],
-    ) -> Vec<RetrievedMoment> {
-        // Phase 1: enumerate. A window's candidate list holds the bound
-        // track ids (slot order) and the segment's embedding slot, in
-        // combination order, for every distinct non-empty candidate.
-        let mut cache = EmbedCache::new();
+        cache: &mut EmbedCache,
+        cancel: &CancelToken,
+    ) -> Result<Vec<WindowCandidates>, MatchError> {
         let mut per_window: Vec<WindowCandidates> = Vec::new();
         for &(start, end, min_overlap) in windows {
+            cancel.check().map_err(MatchError::from)?;
             let per_slot: Vec<Vec<&Trajectory>> = classes
                 .iter()
                 .map(|c| index.tracks_in_window(*c, start, end, min_overlap))
@@ -347,17 +559,24 @@ impl<S: Similarity> Matcher<S> {
             );
             per_window.push((start, end, candidates));
         }
-        telemetry::counter(names::EMBED_CACHE_HITS).add(cache.hits());
-        telemetry::counter(names::EMBED_CACHE_MISSES).add(cache.misses());
+        Ok(per_window)
+    }
 
-        // Phase 2: one batched encoder pass per chunk of unique segments.
-        let embeddings = embed_clips_parallel(&self.sim, cache.clips(), self.config.threads);
-
-        // Phase 3: score from the cache, preserving the per-window
-        // combination order (same strict-greater best and finite-score
-        // rules as the direct path).
+    /// Phase 3 of the cached scan: score every candidate from its cached
+    /// embedding, preserving the per-window combination order (same
+    /// strict-greater best and finite-score rules as the direct path).
+    /// Byte-identical to running [`best_in_window`](Self::best_in_window)
+    /// per window.
+    fn score_candidates(
+        &self,
+        prepared: &PreparedQuery,
+        per_window: Vec<WindowCandidates>,
+        embeddings: &[Option<Vec<f32>>],
+        cancel: &CancelToken,
+    ) -> Result<Vec<RetrievedMoment>, MatchError> {
         let mut scored: Vec<RetrievedMoment> = Vec::new();
         for (start, end, candidates) in per_window {
+            cancel.check().map_err(MatchError::from)?;
             let mut best: Option<RetrievedMoment> = None;
             for (ids, slot) in candidates {
                 let embedding = embeddings[slot as usize].as_deref();
@@ -374,7 +593,7 @@ impl<S: Similarity> Matcher<S> {
             }
             scored.extend(best);
         }
-        scored
+        Ok(scored)
     }
 }
 
@@ -929,6 +1148,151 @@ mod tests {
         .search(&idx, &query)
         .unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pre_cancelled_search_returns_cancelled_not_results() {
+        let idx = test_index();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = matcher()
+            .search_with_cancel(&idx, &left_turn_query(), &cancel)
+            .unwrap_err();
+        assert_eq!(err, MatchError::Cancelled(CancelReason::Cancelled));
+        // Same through the parallel direct path.
+        let m = Matcher::with_config(
+            ClassicalSimilarity::new(DistanceKind::Dtw),
+            MatcherConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        let err = m
+            .search_with_cancel(&idx, &left_turn_query(), &cancel)
+            .unwrap_err();
+        assert_eq!(err, MatchError::Cancelled(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let idx = test_index();
+        let cancel = CancelToken::with_deadline_at(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let err = matcher()
+            .search_with_cancel(&idx, &left_turn_query(), &cancel)
+            .unwrap_err();
+        assert_eq!(err, MatchError::Cancelled(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn null_token_search_matches_plain_search() {
+        let idx = test_index();
+        let q = left_turn_query();
+        let plain = matcher().search(&idx, &q).unwrap();
+        let tokened = matcher()
+            .search_with_cancel(&idx, &q, &CancelToken::none())
+            .unwrap();
+        assert_eq!(plain, tokened);
+        let live = matcher()
+            .search_with_cancel(&idx, &q, &CancelToken::new())
+            .unwrap();
+        assert_eq!(plain, live);
+    }
+
+    #[test]
+    fn batch_search_is_byte_identical_to_solo_searches() {
+        let idx = test_index();
+        let q1 = left_turn_query();
+        let q2 = Clip::new(
+            1000.0,
+            600.0,
+            vec![Trajectory::from_points(
+                0,
+                ObjectClass::Car,
+                (0..90)
+                    .map(|i| {
+                        TrajPoint::new(i, BBox::new(100.0 + i as f32 * 7.0, 300.0, 80.0, 45.0))
+                    })
+                    .collect(),
+            )],
+        );
+        let m = matcher();
+        let solo: Vec<_> = [&q1, &q2, &q1]
+            .iter()
+            .map(|q| m.search(&idx, q).unwrap())
+            .collect();
+        let batch = m.search_batch(&idx, &[&q1, &q2, &q1], &CancelToken::none());
+        assert_eq!(batch.len(), 3);
+        for (b, s) in batch.into_iter().zip(solo) {
+            assert_eq!(b.unwrap(), s, "fused result diverged from solo run");
+        }
+    }
+
+    #[test]
+    fn batch_search_settles_degenerate_queries_per_slot() {
+        let idx = test_index();
+        let q = left_turn_query();
+        let empty = Clip::new(10.0, 10.0, vec![]);
+        let batch = matcher().search_batch(&idx, &[&empty, &q], &CancelToken::none());
+        assert_eq!(batch[0], Ok(vec![]));
+        assert_eq!(batch[1], Ok(matcher().search(&idx, &q).unwrap()));
+    }
+
+    /// The fused path proper (shared cache + one encoder pass) only runs
+    /// for embedding-based similarities; verify byte-identity there too.
+    #[test]
+    fn fused_batch_with_learned_similarity_is_byte_identical() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut store = sketchql_nn::ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = sketchql_nn::EncoderConfig {
+            input_dim: sketchql_trajectory::TOKEN_DIM,
+            steps: 16,
+            ..Default::default()
+        };
+        let enc = sketchql_nn::TrajectoryEncoder::new(&mut store, &mut rng, "enc", cfg);
+        let sim = crate::similarity::LearnedSimilarity::new(enc, store);
+        assert!(sim.uses_embeddings());
+        let m = Matcher::new(sim);
+
+        let idx = test_index();
+        let q1 = left_turn_query();
+        let q2 = {
+            let mut pts = Vec::new();
+            for i in 0..90u32 {
+                pts.push(TrajPoint::new(
+                    i,
+                    BBox::new(100.0 + i as f32 * 7.0, 300.0, 80.0, 45.0),
+                ));
+            }
+            Clip::new(
+                1000.0,
+                600.0,
+                vec![Trajectory::from_points(0, ObjectClass::Car, pts)],
+            )
+        };
+        let solo: Vec<_> = [&q1, &q2, &q1]
+            .iter()
+            .map(|q| m.search(&idx, q).unwrap())
+            .collect();
+        let batch = m.search_batch(&idx, &[&q1, &q2, &q1], &CancelToken::none());
+        for (b, s) in batch.into_iter().zip(solo) {
+            assert_eq!(b.unwrap(), s, "fused learned result diverged from solo");
+        }
+    }
+
+    #[test]
+    fn cancelled_batch_fails_every_slot() {
+        let idx = test_index();
+        let q = left_turn_query();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let batch = matcher().search_batch(&idx, &[&q, &q], &cancel);
+        for r in batch {
+            assert_eq!(r, Err(MatchError::Cancelled(CancelReason::Cancelled)));
+        }
     }
 
     #[test]

@@ -21,8 +21,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::index::VideoIndex;
-use crate::matcher::{Matcher, MatcherConfig, RetrievedMoment};
+use crate::matcher::{MatchError, Matcher, MatcherConfig, RetrievedMoment};
 use crate::similarity::{LearnedSimilarity, Similarity, SimilarityError};
 use crate::sketcher::{SketchError, Sketcher};
 use crate::training::TrainedModel;
@@ -60,6 +61,8 @@ pub enum SessionError {
     /// encoder rejects it). Previously this failed silently: the search
     /// ran to completion with every candidate scored 0.0.
     Similarity(SimilarityError),
+    /// The query was cancelled or its deadline passed mid-search.
+    Cancelled(CancelReason),
 }
 
 impl fmt::Display for SessionError {
@@ -68,6 +71,7 @@ impl fmt::Display for SessionError {
             SessionError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
             SessionError::Sketch(e) => write!(f, "sketch error: {e}"),
             SessionError::Similarity(e) => write!(f, "similarity error: {e}"),
+            SessionError::Cancelled(r) => write!(f, "query {r}"),
         }
     }
 }
@@ -83,6 +87,15 @@ impl From<SketchError> for SessionError {
 impl From<SimilarityError> for SessionError {
     fn from(e: SimilarityError) -> Self {
         SessionError::Similarity(e)
+    }
+}
+
+impl From<MatchError> for SessionError {
+    fn from(e: MatchError) -> Self {
+        match e {
+            MatchError::Similarity(e) => SessionError::Similarity(e),
+            MatchError::Cancelled(r) => SessionError::Cancelled(r),
+        }
     }
 }
 
@@ -203,8 +216,21 @@ impl SketchQL {
         dataset: &str,
         query: &Clip,
     ) -> Result<Vec<RetrievedMoment>, SessionError> {
+        self.run_query_cancellable(dataset, query, &CancelToken::none())
+    }
+
+    /// [`run_query`](Self::run_query) under a [`CancelToken`]: the search
+    /// polls the token and returns [`SessionError::Cancelled`] promptly
+    /// once it trips (explicit cancel or deadline). This is the entry
+    /// point query services use to enforce per-query deadlines.
+    pub fn run_query_cancellable(
+        &self,
+        dataset: &str,
+        query: &Clip,
+        cancel: &CancelToken,
+    ) -> Result<Vec<RetrievedMoment>, SessionError> {
         let sim = LearnedSimilarity::new(self.model.encoder.clone(), self.model.store.clone());
-        self.run_query_with(dataset, query, sim)
+        self.run_query_with_cancel(dataset, query, sim, cancel)
     }
 
     /// Step 5 with an arbitrary similarity function (baseline experiments).
@@ -214,13 +240,24 @@ impl SketchQL {
         query: &Clip,
         sim: S,
     ) -> Result<Vec<RetrievedMoment>, SessionError> {
+        self.run_query_with_cancel(dataset, query, sim, &CancelToken::none())
+    }
+
+    /// [`run_query_with`](Self::run_query_with) under a [`CancelToken`].
+    pub fn run_query_with_cancel<S: Similarity>(
+        &self,
+        dataset: &str,
+        query: &Clip,
+        sim: S,
+        cancel: &CancelToken,
+    ) -> Result<Vec<RetrievedMoment>, SessionError> {
         let index = self.dataset(dataset)?;
         let matcher = Matcher::with_config(sim, self.matcher_config.clone());
         let recorder = Recorder::begin();
-        let results = matcher.search(index, query);
+        let results = matcher.search_with_cancel(index, query, cancel);
         telemetry::counter(names::SESSION_QUERY).inc();
         *self.last_report.lock().unwrap() = Some(recorder.finish(dataset));
-        Ok(results?)
+        results.map_err(SessionError::from)
     }
 
     /// The [`QueryReport`] of the most recent `run_query` /
@@ -569,6 +606,53 @@ mod tests {
             back.run_query("v/one", &q).unwrap()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The whole query path must be usable from a shared reference across
+    /// threads: the server engine holds one session behind an `Arc` and
+    /// runs queries from a worker pool.
+    #[test]
+    fn session_query_path_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SketchQL>();
+        assert_send_sync::<VideoIndex>();
+        assert_send_sync::<TrainedModel>();
+        assert_send_sync::<Matcher<LearnedSimilarity>>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<SessionError>();
+    }
+
+    #[test]
+    fn concurrent_queries_on_shared_session_match_sequential() {
+        let mut sq = tiny_session();
+        sq.upload_index("v", VideoIndex::from_truth(&small_video(8)));
+        let sq = std::sync::Arc::new(sq);
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let expected = sq.run_query("v", &query).unwrap();
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let sq = std::sync::Arc::clone(&sq);
+                    let query = query.clone();
+                    scope.spawn(move || sq.run_query("v", &query).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r, expected, "concurrent result diverged from solo run");
+        }
+    }
+
+    #[test]
+    fn cancelled_query_reports_cancelled() {
+        let mut sq = tiny_session();
+        sq.upload_index("v", VideoIndex::from_truth(&small_video(10)));
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = sq.run_query_cancellable("v", &query, &cancel).unwrap_err();
+        assert_eq!(err, SessionError::Cancelled(CancelReason::Cancelled));
     }
 
     #[test]

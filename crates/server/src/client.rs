@@ -1,0 +1,193 @@
+//! A blocking wire-protocol client.
+//!
+//! Thin by design: [`Client::request`] writes one request line and reads
+//! one response line; the typed helpers ([`Client::ping`],
+//! [`Client::query_event`], …) wrap it and turn server-side
+//! [`Response::Error`]s into [`ClientError::Server`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sketchql::RetrievedMoment;
+use sketchql_trajectory::Clip;
+
+use crate::engine::{DatasetInfo, EngineStats};
+use crate::protocol::{ErrorKind, Request, Response};
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, server hung up).
+    Io(String),
+    /// The server answered something the protocol does not allow here.
+    Protocol(String),
+    /// The server answered an explicit error.
+    Server {
+        /// Machine-readable error class.
+        kind: ErrorKind,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "io error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error ({kind:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// One TCP connection to a SketchQL server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let json = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("encode: {e}")))?;
+        self.writer.write_all(json.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io("server closed the connection".into()));
+        }
+        serde_json::from_str(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("decode {:?}: {e}", line.trim())))
+    }
+
+    /// Pings the server; returns its protocol version.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Lists the server's loaded datasets.
+    pub fn list_datasets(&mut self) -> Result<Vec<DatasetInfo>, ClientError> {
+        match self.request(&Request::ListDatasets)? {
+            Response::Datasets { datasets } => Ok(datasets),
+            other => Err(unexpected("Datasets", &other)),
+        }
+    }
+
+    /// Fetches the engine's statistics snapshot.
+    pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Runs a canonical event query (e.g. `"left_turn"`) on `dataset`.
+    pub fn query_event(
+        &mut self,
+        dataset: &str,
+        event: &str,
+        top_k: Option<usize>,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ClientError> {
+        self.run_query(Request::Query {
+            dataset: dataset.to_string(),
+            event: Some(event.to_string()),
+            clip: None,
+            top_k,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+        })
+    }
+
+    /// Runs an inline sketch clip on `dataset`.
+    pub fn query_clip(
+        &mut self,
+        dataset: &str,
+        clip: Clip,
+        top_k: Option<usize>,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ClientError> {
+        self.run_query(Request::Query {
+            dataset: dataset.to_string(),
+            event: None,
+            clip: Some(clip),
+            top_k,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+        })
+    }
+
+    fn run_query(&mut self, request: Request) -> Result<QueryOutcome, ClientError> {
+        match self.request(&request)? {
+            Response::Moments {
+                moments,
+                queue_wait_ms,
+                execute_ms,
+                batch_size,
+            } => Ok(QueryOutcome {
+                moments,
+                queue_wait_ms,
+                execute_ms,
+                batch_size,
+            }),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(unexpected("Moments", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+}
+
+/// A successful query as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Retrieved moments, best first.
+    pub moments: Vec<RetrievedMoment>,
+    /// Milliseconds the query waited for a worker.
+    pub queue_wait_ms: u64,
+    /// Milliseconds the (possibly fused) scan took.
+    pub execute_ms: u64,
+    /// Queries that shared the scan (1 = ran alone).
+    pub batch_size: usize,
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error { kind, message } => ClientError::Server {
+            kind: *kind,
+            message: message.clone(),
+        },
+        other => ClientError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

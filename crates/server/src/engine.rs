@@ -1,0 +1,567 @@
+//! The query engine: a fixed worker pool behind a bounded admission queue.
+//!
+//! [`Engine::start`] takes ownership of a trained model and a set of named
+//! [`VideoIndex`]es and spawns `workers` threads. Queries enter through
+//! [`Engine::submit`] (non-blocking admission) or [`Engine::execute`]
+//! (submit + wait). Admission is strict: a full queue returns
+//! [`EngineError::Overloaded`] immediately — the queue never grows beyond
+//! [`EngineConfig::queue_depth`], so an overloaded engine sheds load
+//! instead of accumulating unbounded latency.
+//!
+//! ## Deadlines and cancellation
+//!
+//! Every admitted query carries a [`CancelToken`]. Its deadline is the
+//! per-query deadline if given, else [`EngineConfig::default_deadline`].
+//! The token is checked when the query leaves the queue (a query whose
+//! deadline passed while waiting is answered
+//! [`EngineError::DeadlineExceeded`] without running) and polled
+//! cooperatively inside the Matcher's scan, so a deadline that trips
+//! mid-search aborts the remaining work promptly. Callers can also cancel
+//! explicitly through the [`QueryHandle`].
+//!
+//! ## Shared-scan fusion
+//!
+//! When a worker dequeues a query it also drains up to
+//! [`EngineConfig::fused_batch`] − 1 queued queries against the *same*
+//! dataset and executes them as one fused
+//! [`Matcher::search_batch`] call: candidate-segment embeddings depend
+//! only on `(index, model, tracks, frame range)`, not on the query, so
+//! the fused batch shares one embedding cache and one batched encoder
+//! pass. Per-query results are bit-identical to running each query alone
+//! (see the core matcher tests), so fusion changes throughput, never
+//! answers. `fused_batch` defaults to the worker count: a 1-worker engine
+//! executes query-at-a-time, an 8-worker engine amortizes encoder work
+//! across up to 8 concurrent queries — which is what makes a wider pool
+//! faster even on a single core.
+//!
+//! In a fused batch the shared scan runs under a batch-wide token whose
+//! deadline is the *latest* member deadline (unbounded if any member has
+//! none); each member's own token is re-checked afterwards, so a member
+//! whose tighter deadline expired mid-batch still reports
+//! `DeadlineExceeded` even though the batch kept running for its peers.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use sketchql::{
+    CancelReason, CancelToken, LearnedSimilarity, MatchError, Matcher, MatcherConfig,
+    RetrievedMoment, SimilarityError, TrainedModel, VideoIndex,
+};
+use sketchql_telemetry::{self as telemetry, names};
+use sketchql_trajectory::Clip;
+
+/// Bucket bounds (milliseconds) for the queue-wait and execute
+/// latency histograms.
+const LATENCY_MS_BOUNDS: &[f64] = &[
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+];
+
+/// Bucket bounds for the fused-batch-size histogram.
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Maximum queries waiting for a worker. A submit that finds the
+    /// queue at this depth is rejected with [`EngineError::Overloaded`].
+    pub queue_depth: usize,
+    /// Deadline applied to queries that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Maximum same-dataset queries fused into one shared scan.
+    /// `0` means "same as `workers`".
+    pub fused_batch: usize,
+    /// Matcher search parameters shared by every query. Per-query `top_k`
+    /// requests at or below `matcher.top_k` are served by truncating the
+    /// ranked list (NMS keeps a greedy prefix, so the truncation is
+    /// identical to searching with the smaller `top_k`).
+    pub matcher: MatcherConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: None,
+            fused_batch: 0,
+            matcher: MatcherConfig::default(),
+        }
+    }
+}
+
+/// Errors a query can be answered with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The admission queue was full; the query was never enqueued.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        queue_depth: usize,
+    },
+    /// The engine is shutting down and no longer admits queries.
+    ShuttingDown,
+    /// No dataset with that name is loaded.
+    UnknownDataset(String),
+    /// The query's deadline passed (in the queue or mid-search).
+    DeadlineExceeded,
+    /// The query was cancelled through its [`QueryHandle`].
+    Cancelled,
+    /// The similarity rejected the query itself.
+    Similarity(SimilarityError),
+    /// The worker executing the query disappeared without answering
+    /// (a worker panic; should not happen).
+    WorkerLost,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "overloaded: admission queue full ({queue_depth} waiting)"
+                )
+            }
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
+            EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            EngineError::Cancelled => write!(f, "cancelled"),
+            EngineError::Similarity(e) => write!(f, "similarity error: {e}"),
+            EngineError::WorkerLost => write!(f, "worker lost"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CancelReason> for EngineError {
+    fn from(r: CancelReason) -> Self {
+        match r {
+            CancelReason::Cancelled => EngineError::Cancelled,
+            CancelReason::DeadlineExceeded => EngineError::DeadlineExceeded,
+        }
+    }
+}
+
+impl From<MatchError> for EngineError {
+    fn from(e: MatchError) -> Self {
+        match e {
+            MatchError::Similarity(e) => EngineError::Similarity(e),
+            MatchError::Cancelled(r) => r.into(),
+        }
+    }
+}
+
+/// One query as submitted to the engine.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Which loaded dataset to search.
+    pub dataset: String,
+    /// The query clip (a compiled sketch or a canonical event query).
+    pub query: Clip,
+    /// Truncate results to this many moments (at most the engine's
+    /// configured `matcher.top_k`).
+    pub top_k: Option<usize>,
+    /// Per-query deadline; overrides [`EngineConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl QuerySpec {
+    /// A query with no top-k override and no per-query deadline.
+    pub fn new(dataset: impl Into<String>, query: Clip) -> Self {
+        QuerySpec {
+            dataset: dataset.into(),
+            query,
+            top_k: None,
+            deadline: None,
+        }
+    }
+}
+
+/// A successfully executed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Retrieved moments, best first.
+    pub moments: Vec<RetrievedMoment>,
+    /// Time spent waiting for a worker.
+    pub queue_wait: Duration,
+    /// Time spent executing (shared across a fused batch).
+    pub execute: Duration,
+    /// How many queries shared the scan (1 = ran alone).
+    pub batch_size: usize,
+}
+
+/// A point-in-time view of the engine, also served over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Queries currently waiting for a worker.
+    pub queued: usize,
+    /// Queries currently executing.
+    pub in_flight: usize,
+    /// Queries admitted since start.
+    pub accepted: u64,
+    /// Queries answered successfully.
+    pub completed: u64,
+    /// Queries rejected at admission because the queue was full.
+    pub rejected_overload: u64,
+    /// Queries whose deadline expired.
+    pub timed_out: u64,
+    /// Queries that failed (similarity error or explicit cancel).
+    pub failed: u64,
+}
+
+/// A loaded dataset, as listed over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetInfo {
+    /// Dataset name.
+    pub name: String,
+    /// Frames indexed.
+    pub frames: u32,
+    /// Object trajectories in the index.
+    pub tracks: usize,
+}
+
+/// Handle to an admitted query: wait for the answer or cancel it.
+#[derive(Debug)]
+pub struct QueryHandle {
+    rx: mpsc::Receiver<Result<QueryResult, EngineError>>,
+    cancel: CancelToken,
+}
+
+impl QueryHandle {
+    /// Blocks until the query is answered.
+    pub fn wait(self) -> Result<QueryResult, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::WorkerLost))
+    }
+
+    /// Requests cancellation; the query answers [`EngineError::Cancelled`]
+    /// once the scan observes the token (immediately if still queued).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+}
+
+struct Job {
+    dataset: String,
+    query: Clip,
+    top_k: Option<usize>,
+    cancel: CancelToken,
+    enqueued_at: Instant,
+    tx: mpsc::Sender<Result<QueryResult, EngineError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    accepting: bool,
+    in_flight: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    matcher: Matcher<LearnedSimilarity>,
+    datasets: BTreeMap<String, VideoIndex>,
+    counters: Counters,
+    fused_batch: usize,
+}
+
+/// The concurrent query service. See the [module docs](self).
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Builds the engine and spawns its worker pool.
+    pub fn start(
+        model: TrainedModel,
+        datasets: BTreeMap<String, VideoIndex>,
+        config: EngineConfig,
+    ) -> Engine {
+        let mut config = config;
+        config.workers = config.workers.max(1);
+        if config.fused_batch == 0 {
+            config.fused_batch = config.workers;
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                accepting: true,
+                in_flight: 0,
+            }),
+            work_ready: Condvar::new(),
+            matcher: Matcher::with_config(model.similarity(), config.matcher.clone()),
+            datasets,
+            counters: Counters::default(),
+            fused_batch: config.fused_batch,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sketchql-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: Mutex::new(workers),
+            config,
+        }
+    }
+
+    /// The engine's effective configuration (zeros resolved to defaults).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Non-blocking admission. Returns a handle to wait on, or an
+    /// immediate rejection ([`EngineError::Overloaded`],
+    /// [`EngineError::ShuttingDown`], [`EngineError::UnknownDataset`]).
+    pub fn submit(&self, spec: QuerySpec) -> Result<QueryHandle, EngineError> {
+        if !self.shared.datasets.contains_key(&spec.dataset) {
+            return Err(EngineError::UnknownDataset(spec.dataset));
+        }
+        let deadline = spec.deadline.or(self.config.default_deadline);
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_timeout(d),
+            None => CancelToken::new(),
+        };
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.shared.state.lock().unwrap();
+        if !st.accepting {
+            return Err(EngineError::ShuttingDown);
+        }
+        if st.queue.len() >= self.config.queue_depth {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            telemetry::counter(names::SERVER_REJECTED_OVERLOAD).inc();
+            return Err(EngineError::Overloaded {
+                queue_depth: self.config.queue_depth,
+            });
+        }
+        st.queue.push_back(Job {
+            dataset: spec.dataset,
+            query: spec.query,
+            top_k: spec.top_k,
+            cancel: cancel.clone(),
+            enqueued_at: Instant::now(),
+            tx,
+        });
+        telemetry::gauge(names::SERVER_QUEUE_DEPTH).set(st.queue.len() as f64);
+        self.shared
+            .counters
+            .accepted
+            .fetch_add(1, Ordering::Relaxed);
+        telemetry::counter(names::SERVER_ACCEPTED).inc();
+        self.shared.work_ready.notify_one();
+        Ok(QueryHandle { rx, cancel })
+    }
+
+    /// Submits and waits: the blocking convenience path.
+    pub fn execute(&self, spec: QuerySpec) -> Result<QueryResult, EngineError> {
+        self.submit(spec)?.wait()
+    }
+
+    /// Current queue/traffic statistics.
+    pub fn stats(&self) -> EngineStats {
+        let st = self.shared.state.lock().unwrap();
+        let c = &self.shared.counters;
+        EngineStats {
+            workers: self.config.workers,
+            queued: st.queue.len(),
+            in_flight: st.in_flight,
+            accepted: c.accepted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected_overload: c.rejected.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The loaded datasets, in name order.
+    pub fn datasets(&self) -> Vec<DatasetInfo> {
+        self.shared
+            .datasets
+            .iter()
+            .map(|(name, idx)| DatasetInfo {
+                name: name.clone(),
+                frames: idx.frames,
+                tracks: idx.tracks.len(),
+            })
+            .collect()
+    }
+
+    /// Stops admission, drains every already-admitted query, and joins
+    /// the worker pool. Idempotent; called by `Drop` as a safety net.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.accepting = false;
+            self.shared.work_ready.notify_all();
+        }
+        let mut workers = self.workers.lock().unwrap();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker thread body: dequeue, fuse, execute, answer — until shutdown
+/// with an empty queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(first) = st.queue.pop_front() {
+                    let dataset = first.dataset.clone();
+                    let mut batch = vec![first];
+                    let mut i = 0;
+                    while batch.len() < shared.fused_batch && i < st.queue.len() {
+                        if st.queue[i].dataset == dataset {
+                            batch.push(st.queue.remove(i).expect("index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    st.in_flight += batch.len();
+                    telemetry::gauge(names::SERVER_QUEUE_DEPTH).set(st.queue.len() as f64);
+                    telemetry::gauge(names::SERVER_IN_FLIGHT).set(st.in_flight as f64);
+                    break batch;
+                }
+                if !st.accepting {
+                    return;
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        let n = batch.len();
+        run_batch(shared, batch);
+        let mut st = shared.state.lock().unwrap();
+        st.in_flight -= n;
+        telemetry::gauge(names::SERVER_IN_FLIGHT).set(st.in_flight as f64);
+    }
+}
+
+/// Executes one same-dataset batch and answers every member.
+fn run_batch(shared: &Shared, batch: Vec<Job>) {
+    // Queue-expiry check: answer members whose token already tripped
+    // without running them.
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        let wait = job.enqueued_at.elapsed();
+        telemetry::histogram(names::SERVER_QUEUE_WAIT_MS, LATENCY_MS_BOUNDS)
+            .observe(wait.as_secs_f64() * 1e3);
+        match job.cancel.check() {
+            Ok(()) => live.push((job, wait)),
+            Err(reason) => finish_err(shared, &job, reason.into()),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    telemetry::histogram(names::SERVER_FUSED_BATCH, BATCH_BOUNDS).observe(live.len() as f64);
+    let index = shared
+        .datasets
+        .get(&live[0].0.dataset)
+        .expect("dataset validated at submit");
+
+    let started = Instant::now();
+    let results = if live.len() == 1 {
+        // A lone query runs under its own token, so explicit cancellation
+        // and the deadline both stop the scan directly.
+        let (job, _) = &live[0];
+        vec![shared
+            .matcher
+            .search_with_cancel(index, &job.query, &job.cancel)]
+    } else {
+        // Fused: one shared scan under a batch-wide token. The batch
+        // deadline is the latest member deadline so no member is cut
+        // short by a peer; tighter member deadlines are re-checked below.
+        let mut latest = Some(Instant::now());
+        for (job, _) in &live {
+            match (job.cancel.deadline(), latest) {
+                (Some(d), Some(l)) => latest = Some(l.max(d)),
+                _ => latest = None,
+            }
+        }
+        let batch_token = match latest {
+            Some(at) => CancelToken::with_deadline_at(at),
+            None => CancelToken::new(),
+        };
+        let queries: Vec<&Clip> = live.iter().map(|(job, _)| &job.query).collect();
+        shared.matcher.search_batch(index, &queries, &batch_token)
+    };
+    let execute = started.elapsed();
+    telemetry::histogram(names::SERVER_EXECUTE_MS, LATENCY_MS_BOUNDS)
+        .observe(execute.as_secs_f64() * 1e3);
+
+    let batch_size = live.len();
+    for ((job, wait), result) in live.into_iter().zip(results) {
+        // A member whose own token tripped during a fused scan reports
+        // its own reason even though the batch ran on for its peers.
+        let result = match job.cancel.check() {
+            Ok(()) => result,
+            Err(reason) => Err(MatchError::Cancelled(reason)),
+        };
+        match result {
+            Ok(mut moments) => {
+                if let Some(k) = job.top_k {
+                    moments.truncate(k);
+                }
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter(names::SERVER_COMPLETED).inc();
+                let _ = job.tx.send(Ok(QueryResult {
+                    moments,
+                    queue_wait: wait,
+                    execute,
+                    batch_size,
+                }));
+            }
+            Err(e) => finish_err(shared, &job, e.into()),
+        }
+    }
+}
+
+/// Answers `job` with `err` and bumps the matching failure counter.
+fn finish_err(shared: &Shared, job: &Job, err: EngineError) {
+    match err {
+        EngineError::DeadlineExceeded => {
+            shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter(names::SERVER_TIMED_OUT).inc();
+        }
+        _ => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter(names::SERVER_FAILED).inc();
+        }
+    }
+    let _ = job.tx.send(Err(err));
+}

@@ -1,0 +1,60 @@
+//! # sketchql-server
+//!
+//! A concurrent query service wrapping the SketchQL matcher: a fixed
+//! worker pool behind a bounded admission queue ([`Engine`]), per-query
+//! deadlines with cooperative cancellation, and a line-delimited JSON
+//! wire protocol over plain TCP ([`Server`] / [`Client`]) — `std::net`
+//! and `std::thread` only, no async runtime.
+//!
+//! ```no_run
+//! use std::collections::BTreeMap;
+//! use sketchql::{TrainedModel, VideoIndex};
+//! use sketchql_server::{Engine, EngineConfig, QuerySpec, Server, Client};
+//!
+//! # let model: TrainedModel = unimplemented!();
+//! # let index: VideoIndex = unimplemented!();
+//! let mut datasets = BTreeMap::new();
+//! datasets.insert("traffic".to_string(), index);
+//! let engine = Engine::start(model, datasets, EngineConfig::default());
+//!
+//! // In-process:
+//! let query = sketchql_datasets::query_clip(sketchql_datasets::EventKind::LeftTurn);
+//! let result = engine.execute(QuerySpec::new("traffic", query)).unwrap();
+//!
+//! // Over the wire:
+//! let server = Server::start(engine, "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let outcome = client.query_event("traffic", "left_turn", Some(5), None).unwrap();
+//! client.shutdown().unwrap();
+//! server.shutdown();
+//! # let _ = (result, outcome);
+//! ```
+//!
+//! Design properties (see each module's docs):
+//!
+//! - **Load shedding, not queue growth**: admission beyond
+//!   [`EngineConfig::queue_depth`] fails fast with
+//!   [`EngineError::Overloaded`].
+//! - **Deadlines end work, not just waits**: an expired
+//!   [`CancelToken`](sketchql::CancelToken) stops the sliding-window scan
+//!   between windows and encoder batches.
+//! - **Fusion, not just fan-out**: a worker drains same-dataset queries
+//!   and executes them as one shared scan with bit-identical per-query
+//!   results — concurrency pays off even on one core.
+//! - **Graceful drain**: shutdown answers every admitted query before
+//!   returning.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryOutcome};
+pub use engine::{
+    DatasetInfo, Engine, EngineConfig, EngineError, EngineStats, QueryHandle, QueryResult,
+    QuerySpec,
+};
+pub use protocol::{ErrorKind, Request, Response, PROTOCOL_VERSION};
+pub use server::{named_datasets, Server};

@@ -1,0 +1,211 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! One request per line, one response line per request, in order. Both
+//! sides are plain externally-tagged serde enums, so a session looks
+//! like:
+//!
+//! ```text
+//! → "Ping"
+//! ← {"Pong":{"version":1}}
+//! → {"Query":{"dataset":"traffic","event":"left_turn","clip":null,"top_k":5,"deadline_ms":2000}}
+//! ← {"Moments":{"moments":[...],"queue_wait_ms":0,"execute_ms":41,"batch_size":1}}
+//! ```
+//!
+//! Requests carry every field (absent options are `null`); the vendored
+//! serde shim rejects missing fields rather than defaulting them, which
+//! keeps the protocol unambiguous. A request the server cannot parse is
+//! answered with [`Response::Error`] of kind [`ErrorKind::BadRequest`] —
+//! the connection stays usable.
+//!
+//! [`Request::Query`] names its sketch either by `event` (a canonical
+//! event query from the datasets crate, e.g. `"left_turn"`) or by an
+//! inline `clip` (a full compiled sketch). Exactly one must be non-null;
+//! `clip` wins if both are.
+
+use serde::{Deserialize, Serialize};
+use sketchql::RetrievedMoment;
+use sketchql_trajectory::Clip;
+
+use crate::engine::{DatasetInfo, EngineError, EngineStats};
+
+/// Bumped on incompatible wire changes; echoed by [`Response::Pong`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client request: one JSON value per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List loaded datasets.
+    ListDatasets,
+    /// Engine queue/traffic statistics.
+    Stats,
+    /// Execute a moment query.
+    Query {
+        /// Dataset to search.
+        dataset: String,
+        /// Canonical event query name (e.g. `"left_turn"`), or null.
+        event: Option<String>,
+        /// Inline query clip, or null. Takes precedence over `event`.
+        clip: Option<Clip>,
+        /// Truncate results to this many moments, or null for the
+        /// server's configured top-k.
+        top_k: Option<usize>,
+        /// Per-query deadline in milliseconds, or null for the server's
+        /// default policy.
+        deadline_ms: Option<u64>,
+    },
+    /// Ask the server process to shut down gracefully.
+    Shutdown,
+}
+
+/// A server response: one JSON value per line, matching request order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Answer to [`Request::ListDatasets`].
+    Datasets {
+        /// Loaded datasets in name order.
+        datasets: Vec<DatasetInfo>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Engine statistics snapshot.
+        stats: EngineStats,
+    },
+    /// Successful answer to [`Request::Query`].
+    Moments {
+        /// Retrieved moments, best first.
+        moments: Vec<RetrievedMoment>,
+        /// Milliseconds the query waited for a worker.
+        queue_wait_ms: u64,
+        /// Milliseconds the (possibly fused) scan took.
+        execute_ms: u64,
+        /// Queries that shared the scan (1 = ran alone).
+        batch_size: usize,
+    },
+    /// Answer to [`Request::Shutdown`]; the server stops accepting work.
+    ShutdownAck,
+    /// Any request that could not be served.
+    Error {
+        /// Machine-readable error class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Machine-readable error classes for [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Admission queue full; retry with backoff.
+    Overloaded,
+    /// Server is shutting down.
+    ShuttingDown,
+    /// The query's deadline passed before it finished.
+    DeadlineExceeded,
+    /// The query was cancelled.
+    Cancelled,
+    /// No dataset with that name is loaded.
+    UnknownDataset,
+    /// The `event` name is not in the query catalogue.
+    UnknownEvent,
+    /// The request line did not parse or was self-contradictory.
+    BadRequest,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl Response {
+    /// Maps an engine rejection/failure onto its wire representation.
+    pub fn from_engine_error(e: &EngineError) -> Response {
+        let kind = match e {
+            EngineError::Overloaded { .. } => ErrorKind::Overloaded,
+            EngineError::ShuttingDown => ErrorKind::ShuttingDown,
+            EngineError::UnknownDataset(_) => ErrorKind::UnknownDataset,
+            EngineError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            EngineError::Cancelled => ErrorKind::Cancelled,
+            EngineError::Similarity(_) => ErrorKind::BadRequest,
+            EngineError::WorkerLost => ErrorKind::Internal,
+        };
+        Response::Error {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = vec![
+            Request::Ping,
+            Request::ListDatasets,
+            Request::Stats,
+            Request::Query {
+                dataset: "traffic".into(),
+                event: Some("left_turn".into()),
+                clip: None,
+                top_k: Some(5),
+                deadline_ms: None,
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'), "wire lines must be single-line");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let resps = vec![
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            Response::Datasets {
+                datasets: vec![DatasetInfo {
+                    name: "traffic".into(),
+                    frames: 900,
+                    tracks: 12,
+                }],
+            },
+            Response::Moments {
+                moments: vec![RetrievedMoment {
+                    start: 10,
+                    end: 90,
+                    score: 0.625,
+                    track_ids: vec![3],
+                }],
+                queue_wait_ms: 0,
+                execute_ms: 41,
+                batch_size: 2,
+            },
+            Response::ShutdownAck,
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: "overloaded".into(),
+            },
+        ];
+        for resp in resps {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn garbage_line_is_a_parse_error_not_a_panic() {
+        assert!(serde_json::from_str::<Request>("{\"nope\"").is_err());
+        assert!(serde_json::from_str::<Request>("{\"Frobnicate\":{}}").is_err());
+    }
+}

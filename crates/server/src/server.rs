@@ -1,0 +1,318 @@
+//! The TCP front end: blocking accept loop, one thread per connection.
+//!
+//! Built on `std::net` only — no async runtime. Each connection reads
+//! line-delimited [`Request`]s and writes one [`Response`] line per
+//! request; query execution happens inline on the connection thread via
+//! [`Engine::execute`], so backpressure is the engine's admission queue,
+//! not socket buffering.
+//!
+//! Shutdown is cooperative. A wire [`Request::Shutdown`] (or
+//! [`Server::request_shutdown`]) flips the running flag and wakes
+//! [`Server::wait_for_shutdown_request`]; the owner then calls
+//! [`Server::shutdown`], which unblocks the accept loop by connecting to
+//! itself, joins the connection threads (they poll the flag on a short
+//! read timeout), and finally drains the engine — every already-admitted
+//! query is answered before the process exits.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sketchql_datasets::{query_clip, EventKind};
+use sketchql_telemetry::{self as telemetry, names};
+
+use crate::engine::{Engine, QuerySpec};
+use crate::protocol::{ErrorKind, Request, Response, PROTOCOL_VERSION};
+
+/// How often an idle connection thread re-checks the running flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// A running TCP server wrapping an [`Engine`].
+pub struct Server {
+    engine: Arc<Engine>,
+    local_addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections against `engine`.
+    pub fn start(engine: Engine, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let running = Arc::new(AtomicBool::new(true));
+        let shutdown_signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let engine = Arc::clone(&engine);
+            let running = Arc::clone(&running);
+            let shutdown_signal = Arc::clone(&shutdown_signal);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("sketchql-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if !running.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        telemetry::counter(names::SERVER_CONNECTIONS).inc();
+                        let engine = Arc::clone(&engine);
+                        let running = Arc::clone(&running);
+                        let shutdown_signal = Arc::clone(&shutdown_signal);
+                        let handle = std::thread::Builder::new()
+                            .name("sketchql-conn".into())
+                            .spawn(move || {
+                                handle_connection(stream, &engine, &running, &shutdown_signal)
+                            });
+                        if let Ok(handle) = handle {
+                            connections.lock().unwrap().push(handle);
+                        }
+                    }
+                })?
+        };
+
+        Ok(Server {
+            engine,
+            local_addr,
+            running,
+            shutdown_signal,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Blocks until a shutdown is requested (over the wire or via
+    /// [`Server::request_shutdown`]). The caller should then call
+    /// [`Server::shutdown`].
+    pub fn wait_for_shutdown_request(&self) {
+        let (flag, condvar) = &*self.shutdown_signal;
+        let mut requested = flag.lock().unwrap();
+        while !*requested {
+            requested = condvar.wait(requested).unwrap();
+        }
+    }
+
+    /// Requests shutdown from the owning process (equivalent to a wire
+    /// [`Request::Shutdown`]).
+    pub fn request_shutdown(&self) {
+        signal_shutdown(&self.running, &self.shutdown_signal);
+    }
+
+    /// Stops accepting, joins every connection thread, and drains the
+    /// engine. Admitted queries are answered before this returns.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it can observe the cleared running flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self.connections.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+/// Flips the running flag and wakes `wait_for_shutdown_request`.
+fn signal_shutdown(running: &AtomicBool, signal: &(Mutex<bool>, Condvar)) {
+    running.store(false, Ordering::SeqCst);
+    let (flag, condvar) = signal;
+    *flag.lock().unwrap() = true;
+    condvar.notify_all();
+}
+
+/// One connection: read request lines, answer each, until EOF or
+/// shutdown. A read timeout keeps idle connections responsive to the
+/// running flag; partially-read lines survive the timeout because
+/// `read_line` appends.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    running: &AtomicBool,
+    shutdown_signal: &(Mutex<bool>, Condvar),
+) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    telemetry::counter(names::SERVER_REQUESTS).inc();
+                    let (response, stop) =
+                        handle_request(trimmed, engine, running, shutdown_signal);
+                    let Ok(json) = serde_json::to_string(&response) else {
+                        break;
+                    };
+                    if writer.write_all(json.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                        || writer.flush().is_err()
+                    {
+                        break;
+                    }
+                    if stop {
+                        break;
+                    }
+                }
+                line.clear();
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
+                if !running.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one parsed request line. The bool asks the connection loop to
+/// close after writing the response.
+fn handle_request(
+    line: &str,
+    engine: &Engine,
+    running: &AtomicBool,
+    shutdown_signal: &(Mutex<bool>, Condvar),
+) -> (Response, bool) {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("unparseable request: {e}"),
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Ping => (
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::ListDatasets => (
+            Response::Datasets {
+                datasets: engine.datasets(),
+            },
+            false,
+        ),
+        Request::Stats => (
+            Response::Stats {
+                stats: engine.stats(),
+            },
+            false,
+        ),
+        Request::Query {
+            dataset,
+            event,
+            clip,
+            top_k,
+            deadline_ms,
+        } => {
+            if !running.load(Ordering::SeqCst) {
+                return (
+                    Response::Error {
+                        kind: ErrorKind::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    },
+                    false,
+                );
+            }
+            let query = match (clip, event) {
+                (Some(clip), _) => clip,
+                (None, Some(name)) => {
+                    let Some(kind) = EventKind::ALL.iter().find(|k| k.name() == name) else {
+                        return (
+                            Response::Error {
+                                kind: ErrorKind::UnknownEvent,
+                                message: format!("unknown event {name:?}"),
+                            },
+                            false,
+                        );
+                    };
+                    query_clip(*kind)
+                }
+                (None, None) => {
+                    return (
+                        Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: "query needs an event name or an inline clip".into(),
+                        },
+                        false,
+                    )
+                }
+            };
+            let spec = QuerySpec {
+                dataset,
+                query,
+                top_k,
+                deadline: deadline_ms.map(Duration::from_millis),
+            };
+            match engine.execute(spec) {
+                Ok(result) => (
+                    Response::Moments {
+                        moments: result.moments,
+                        queue_wait_ms: result.queue_wait.as_millis() as u64,
+                        execute_ms: result.execute.as_millis() as u64,
+                        batch_size: result.batch_size,
+                    },
+                    false,
+                ),
+                Err(e) => (Response::from_engine_error(&e), false),
+            }
+        }
+        Request::Shutdown => {
+            signal_shutdown(running, shutdown_signal);
+            (Response::ShutdownAck, true)
+        }
+    }
+}
+
+/// Loads named [`VideoIndex`]es for [`Engine::start`] from `(name, index)`
+/// pairs, rejecting duplicate names.
+pub fn named_datasets<I>(pairs: I) -> Result<BTreeMap<String, sketchql::VideoIndex>, String>
+where
+    I: IntoIterator<Item = (String, sketchql::VideoIndex)>,
+{
+    let mut map = BTreeMap::new();
+    for (name, index) in pairs {
+        if map.insert(name.clone(), index).is_some() {
+            return Err(format!("duplicate dataset name {name:?}"));
+        }
+    }
+    Ok(map)
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for the server integration tests: a tiny trained
+//! model and small oracle-track datasets, kept deterministic by seeding.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::training::{train, TrainedModel, TrainingConfig};
+use sketchql::VideoIndex;
+use sketchql_datasets::{generate_video, SceneFamily, VideoConfig};
+
+pub fn tiny_model() -> TrainedModel {
+    let mut cfg = TrainingConfig::tiny();
+    cfg.steps = 10;
+    train(cfg)
+}
+
+pub fn small_index(seed: u64) -> VideoIndex {
+    let cfg = VideoConfig {
+        family: SceneFamily::UrbanIntersection,
+        events_per_kind: 1,
+        distractors: 2,
+        fps: 30.0,
+    };
+    VideoIndex::from_truth(&generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed)))
+}
+
+pub fn two_datasets() -> BTreeMap<String, VideoIndex> {
+    let mut map = BTreeMap::new();
+    map.insert("alpha".to_string(), small_index(11));
+    map.insert("beta".to_string(), small_index(12));
+    map
+}

@@ -1,0 +1,164 @@
+//! End-to-end wire tests: a real TCP server on an ephemeral port, real
+//! clients, graceful shutdown.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use sketchql_datasets::{query_clip, EventKind};
+use sketchql_server::{
+    Client, ClientError, Engine, EngineConfig, ErrorKind, QuerySpec, Response, Server,
+    PROTOCOL_VERSION,
+};
+
+use common::{tiny_model, two_datasets};
+
+fn start_server(workers: usize) -> Server {
+    let engine = Engine::start(
+        tiny_model(),
+        two_datasets(),
+        EngineConfig {
+            workers,
+            ..Default::default()
+        },
+    );
+    Server::start(engine, "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+#[test]
+fn ping_list_query_shutdown_round_trip() {
+    let server = start_server(2);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+
+    let datasets = client.list_datasets().unwrap();
+    assert_eq!(
+        datasets.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+        vec!["alpha", "beta"],
+    );
+    assert!(datasets.iter().all(|d| d.frames > 0 && d.tracks > 0));
+
+    // Wire answers are byte-identical to in-process execution: floats
+    // serialize via shortest round-trip formatting, so nothing is lost.
+    let direct = server
+        .engine()
+        .execute(QuerySpec {
+            top_k: Some(5),
+            ..QuerySpec::new("alpha", query_clip(EventKind::LeftTurn))
+        })
+        .unwrap();
+    let outcome = client
+        .query_event("alpha", "left_turn", Some(5), None)
+        .unwrap();
+    assert!(!outcome.moments.is_empty());
+    assert_eq!(outcome.moments, direct.moments);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.workers, 2);
+    assert!(stats.completed >= 2);
+
+    client.shutdown().unwrap();
+    server.wait_for_shutdown_request();
+    server.shutdown();
+}
+
+#[test]
+fn error_responses_keep_the_connection_usable() {
+    let server = start_server(1);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let err = client
+        .query_event("alpha", "moonwalk", None, None)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::UnknownEvent,
+            ..
+        }
+    ));
+
+    let err = client
+        .query_event("nope", "left_turn", None, None)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::UnknownDataset,
+            ..
+        }
+    ));
+
+    // The same connection still answers real queries afterwards.
+    let outcome = client.query_event("beta", "u_turn", Some(3), None).unwrap();
+    assert!(outcome.moments.len() <= 3);
+
+    server.shutdown();
+}
+
+#[test]
+fn garbage_line_gets_bad_request_not_a_hangup() {
+    let server = start_server(1);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(b"this is not json\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp: Response = serde_json::from_str(line.trim()).unwrap();
+    assert!(matches!(
+        resp,
+        Response::Error {
+            kind: ErrorKind::BadRequest,
+            ..
+        }
+    ));
+
+    // Connection survives: a valid request on the same socket works.
+    stream.write_all(b"\"Ping\"\n").unwrap();
+    stream.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let resp: Response = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(
+        resp,
+        Response::Pong {
+            version: PROTOCOL_VERSION
+        }
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_wire_clients_get_identical_answers() {
+    let server = start_server(4);
+    let addr = server.local_addr();
+
+    let mut reference = Client::connect(addr).unwrap();
+    let expected = reference
+        .query_event("alpha", "left_turn", None, None)
+        .unwrap()
+        .moments;
+
+    let all: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .query_event("alpha", "left_turn", None, None)
+                        .unwrap()
+                        .moments
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for moments in all {
+        assert_eq!(moments, expected, "wire client diverged");
+    }
+    server.shutdown();
+}

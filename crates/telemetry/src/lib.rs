@@ -115,6 +115,31 @@ pub mod names {
 
     /// Counter: queries executed through the session façade.
     pub const SESSION_QUERY: &str = "sketchql.session.queries";
+
+    /// Gauge: queries waiting in the server's admission queue.
+    pub const SERVER_QUEUE_DEPTH: &str = "sketchql.server.queue_depth";
+    /// Gauge: queries currently executing on server workers.
+    pub const SERVER_IN_FLIGHT: &str = "sketchql.server.in_flight";
+    /// Histogram: milliseconds a query waited in the admission queue.
+    pub const SERVER_QUEUE_WAIT_MS: &str = "sketchql.server.queue_wait_ms";
+    /// Histogram: milliseconds a query spent executing on a worker.
+    pub const SERVER_EXECUTE_MS: &str = "sketchql.server.execute_ms";
+    /// Counter: queries admitted into the queue.
+    pub const SERVER_ACCEPTED: &str = "sketchql.server.queries_accepted";
+    /// Counter: queries rejected at admission because the queue was full.
+    pub const SERVER_REJECTED_OVERLOAD: &str = "sketchql.server.queries_rejected_overload";
+    /// Counter: queries whose deadline expired (in queue or mid-search).
+    pub const SERVER_TIMED_OUT: &str = "sketchql.server.queries_timed_out";
+    /// Counter: queries completed successfully.
+    pub const SERVER_COMPLETED: &str = "sketchql.server.queries_completed";
+    /// Counter: queries that failed with a non-deadline error.
+    pub const SERVER_FAILED: &str = "sketchql.server.queries_failed";
+    /// Counter: TCP connections accepted by the wire server.
+    pub const SERVER_CONNECTIONS: &str = "sketchql.server.connections";
+    /// Counter: wire requests handled (any type, any outcome).
+    pub const SERVER_REQUESTS: &str = "sketchql.server.requests";
+    /// Histogram: queries fused into one shared engine scan.
+    pub const SERVER_FUSED_BATCH: &str = "sketchql.server.fused_batch_size";
 }
 
 /// Whether the `enabled` feature is compiled in.

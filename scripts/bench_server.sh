@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Server throughput acceptance check: runs the closed-loop server bench
+# (1-worker serial baseline vs an 8-worker pool with shared-scan fusion)
+# and gates on the speedup and on byte-identical per-query results.
+# Writes qps, wall times, fusion width, and the ratio to
+# BENCH_server.json and exits non-zero if the speedup falls below
+# $SKETCHQL_SERVER_SPEEDUP_MIN (default 3) or any query's moments
+# diverged between the two configurations.
+#
+#   scripts/bench_server.sh                              # full load (240 queries)
+#   SKETCHQL_BENCH_QUICK=1 scripts/bench_server.sh       # fast smoke run (64)
+#
+# On a single-core machine the speedup comes from fusion, not CPU
+# parallelism: each worker drains queued same-dataset queries and
+# executes them as one Matcher::search_batch call sharing one embedding
+# cache (see crates/bench/benches/server.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${SKETCHQL_SERVER_SPEEDUP_MIN:-3}"
+OUT_JSON="${SKETCHQL_SERVER_BENCH_JSON:-BENCH_server.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+echo "== server bench (1 worker serial vs 8 workers fused, $(nproc) cpu(s))"
+cargo bench -p sketchql-bench --bench server | tee "$log"
+
+echo
+awk -v min="$MIN_SPEEDUP" -v out="$OUT_JSON" -v quick="${SKETCHQL_BENCH_QUICK:-0}" \
+    -v ncpu="$(nproc)" '
+    /^BENCH server_throughput\/workers=/ {
+        id = $2
+        sub(/^server_throughput\/workers=/, "", id)
+        for (i = 3; i <= NF; i++) {
+            if ($i ~ /^qps=/)       { sub(/^qps=/, "", $i);       qps[id] = $i }
+            if ($i ~ /^wall_ms=/)   { sub(/^wall_ms=/, "", $i);   wall[id] = $i }
+            if ($i ~ /^avg_batch=/) { sub(/^avg_batch=/, "", $i); batch[id] = $i }
+            if ($i ~ /^queries=/)   { sub(/^queries=/, "", $i);   queries = $i }
+        }
+    }
+    /^BENCH server_throughput\/speedup/ {
+        for (i = 3; i <= NF; i++)
+            if ($i ~ /^identical=/) { sub(/^identical=/, "", $i); identical = $i }
+    }
+    END {
+        if (!("1" in qps) || !("8" in qps) || qps["1"] <= 0) {
+            print "missing server_throughput/workers={1,8} qps"
+            exit 2
+        }
+        speedup = qps["8"] / qps["1"]
+        printf "1 worker  (serial):       %.2f qps\n", qps["1"]
+        printf "8 workers (fused batch):  %.2f qps (avg fusion %.1f queries/scan)\n", \
+               qps["8"], batch["8"]
+        printf "speedup: %.2fx (bar: >=%sx), identical results: %s\n", \
+               speedup, min, (identical == 1) ? "yes" : "NO"
+        printf "{\n" \
+               "  \"bench\": \"server_throughput\",\n" \
+               "  \"quick\": %s,\n" \
+               "  \"cpus\": %s,\n" \
+               "  \"queries\": %s,\n" \
+               "  \"workers1_qps\": %.3f,\n" \
+               "  \"workers1_wall_ms\": %s,\n" \
+               "  \"workers8_qps\": %.3f,\n" \
+               "  \"workers8_wall_ms\": %s,\n" \
+               "  \"workers8_avg_batch\": %s,\n" \
+               "  \"speedup\": %.3f,\n" \
+               "  \"min_speedup\": %s,\n" \
+               "  \"identical\": %s\n" \
+               "}\n", (quick != 0) ? "true" : "false", ncpu, queries, \
+               qps["1"], wall["1"], qps["8"], wall["8"], batch["8"], \
+               speedup, min, (identical == 1) ? "true" : "false" > out
+        printf "wrote %s\n", out
+        if (identical != 1) exit 3
+        exit (speedup >= min + 0.0) ? 0 : 1
+    }
+' "$log"

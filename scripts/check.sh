@@ -22,6 +22,17 @@ echo "== feature check: telemetry disabled still builds and tests"
 cargo build --release --no-default-features
 cargo test -q --no-default-features
 
+echo "== server smoke (CLI serve/client round trip)"
+scripts/smoke_server.sh
+
+echo "== server throughput smoke (quick load)"
+# The quick load is small and noisy, so the smoke bar is looser than the
+# full bench's 3x acceptance bar (run scripts/bench_server.sh for that),
+# and the result goes to target/ so the committed full-run JSON survives.
+SKETCHQL_BENCH_QUICK=1 SKETCHQL_SERVER_SPEEDUP_MIN=2 \
+    SKETCHQL_SERVER_BENCH_JSON=target/BENCH_server_smoke.json \
+    scripts/bench_server.sh
+
 echo "== matcher speedup smoke (quick samples)"
 # 3 quick samples are noisy, so the smoke bar is looser than the full
 # bench's 3x acceptance bar (run scripts/bench_matcher.sh for that), and

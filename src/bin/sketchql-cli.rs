@@ -7,6 +7,8 @@
 //! sketchql-cli stats --video video.json --model model.json --event left_turn [--format json|prometheus]
 //! sketchql-cli render --video video.json --start 100 --end 199 [--track 3]
 //! sketchql-cli info --video video.json
+//! sketchql-cli serve --model model.json --videos traffic=video.json [--addr 127.0.0.1:7878] [--workers 4]
+//! sketchql-cli client --addr 127.0.0.1:7878 --action query --dataset traffic --event left_turn
 //! ```
 //!
 //! Videos and models are JSON artifacts so pipelines can be scripted and
@@ -20,11 +22,13 @@ use sketchql::{ClassicalSimilarity, Matcher, RetrievedMoment, VideoIndex};
 use sketchql_datasets::{
     generate_video, query_clip, EventKind, SceneFamily, SyntheticVideo, VideoConfig,
 };
+use sketchql_server::{Client, Engine, EngineConfig, Server};
 use sketchql_tracker::{DetectorConfig, TrackerConfig};
 use sketchql_trajectory::{render_storyboard, DistanceKind};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +44,8 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "render" => cmd_render(&flags),
         "info" => cmd_info(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -67,6 +73,11 @@ commands:
            registry [--format <json|prometheus>]
   render   --video <file> [--start <frame>] [--end <frame>]
   info     --video <file> | --model <file>
+  serve    --model <file> --videos <name=file,name=file,...>
+           [--addr 127.0.0.1:7878] [--workers <n>] [--queue-depth <n>]
+           [--deadline-ms <n>] [--fused-batch <n>] [--top-k <n>] [--oracle-tracks]
+  client   --addr <host:port> --action <ping|list|stats|query|shutdown>
+           [--dataset <name>] [--event <kind>] [--top-k <n>] [--deadline-ms <n>]
 
 families: urban_intersection, parking_lot, plaza
 events:   left_turn right_turn u_turn stop_and_go lane_change
@@ -362,4 +373,144 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
     Err("info needs --video or --model".into())
+}
+
+/// Starts the query service and blocks until a wire `Shutdown` request
+/// arrives, then drains every admitted query before exiting.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = TrainedModel::load(Path::new(req(flags, "model")?)).map_err(|e| e.to_string())?;
+    let oracle = flags.contains_key("oracle-tracks");
+    let mut datasets = std::collections::BTreeMap::new();
+    for spec in req(flags, "videos")?.split(',') {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--videos: expected name=file, got {spec:?}"))?;
+        let video = load_video(path)?;
+        let index = if oracle {
+            VideoIndex::from_truth(&video)
+        } else {
+            VideoIndex::build(
+                &video,
+                DetectorConfig::default(),
+                TrackerConfig::default(),
+                1,
+            )
+        };
+        println!(
+            "loaded {name}: {} tracks over {} frames",
+            index.tracks.len(),
+            index.frames
+        );
+        if datasets.insert(name.to_string(), index).is_some() {
+            return Err(format!("--videos: duplicate dataset name {name:?}"));
+        }
+    }
+    if datasets.is_empty() {
+        return Err("--videos: no datasets given".into());
+    }
+
+    let mut matcher = sketchql::MatcherConfig::default();
+    matcher.top_k = num(flags, "top-k", matcher.top_k)?;
+    let config = EngineConfig {
+        workers: num(flags, "workers", 4)?,
+        queue_depth: num(flags, "queue-depth", 64)?,
+        default_deadline: flags
+            .get("deadline-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|_| format!("--deadline-ms: cannot parse {v:?}"))
+            })
+            .transpose()?,
+        fused_batch: num(flags, "fused-batch", 0)?,
+        matcher,
+    };
+    let addr = flags.get("addr").map_or("127.0.0.1:7878", String::as_str);
+    let engine = Engine::start(model, datasets, config);
+    let server = Server::start(engine, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving on {} ({} workers, queue depth {})",
+        server.local_addr(),
+        server.engine().config().workers,
+        server.engine().config().queue_depth
+    );
+    server.wait_for_shutdown_request();
+    println!("shutdown requested; draining...");
+    server.shutdown();
+    println!("server stopped");
+    Ok(())
+}
+
+/// One wire request against a running server.
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = req(flags, "addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match req(flags, "action")? {
+        "ping" => {
+            let version = client.ping().map_err(|e| e.to_string())?;
+            println!("pong (protocol v{version})");
+        }
+        "list" => {
+            for d in client.list_datasets().map_err(|e| e.to_string())? {
+                println!(
+                    "{:<24} {:>7} frames {:>5} tracks",
+                    d.name, d.frames, d.tracks
+                );
+            }
+        }
+        "stats" => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!("workers            {}", s.workers);
+            println!("queued             {}", s.queued);
+            println!("in flight          {}", s.in_flight);
+            println!("accepted           {}", s.accepted);
+            println!("completed          {}", s.completed);
+            println!("rejected overload  {}", s.rejected_overload);
+            println!("timed out          {}", s.timed_out);
+            println!("failed             {}", s.failed);
+        }
+        "query" => {
+            let dataset = req(flags, "dataset")?;
+            let event = req(flags, "event")?;
+            let top_k = flags
+                .get("top-k")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--top-k: cannot parse {v:?}"))
+                })
+                .transpose()?;
+            let deadline = flags
+                .get("deadline-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map(Duration::from_millis)
+                        .map_err(|_| format!("--deadline-ms: cannot parse {v:?}"))
+                })
+                .transpose()?;
+            let outcome = client
+                .query_event(dataset, event, top_k, deadline)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{} moments (waited {} ms, ran {} ms, batch of {})",
+                outcome.moments.len(),
+                outcome.queue_wait_ms,
+                outcome.execute_ms,
+                outcome.batch_size
+            );
+            println!("#  frames            score");
+            for (i, m) in outcome.moments.iter().enumerate() {
+                println!("{:<2} {:>6}..{:<7} {:.3}", i + 1, m.start, m.end, m.score);
+            }
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown");
+        }
+        other => {
+            return Err(format!(
+                "--action: expected ping|list|stats|query|shutdown, got {other:?}"
+            ))
+        }
+    }
+    Ok(())
 }
