@@ -1,0 +1,127 @@
+//! Store bench — index-backed retrieval vs the cached full scan.
+//!
+//! Ingests every sliding window of a fixture video into a persistent
+//! embedding store once (the offline cost), then compares query latency
+//! of the default cached+batched scan against the ANN-probe + exact
+//! re-rank store path (`scripts/bench_store.sh` gates the speedup and
+//! the recall). Before timing anything, the bench asserts the hard
+//! invariant: every moment the store path returns carries a score
+//! bit-identical to the scan's score for that (window, track) pair.
+//!
+//! Besides the usual `BENCH` lines this prints one `STORE` line:
+//!
+//! ```text
+//! STORE store_recall recall_at_10=0.950 queries=4 probed_frac=0.18
+//! ```
+
+use sketchql::{ingest, CancelToken, IngestConfig, Matcher, MatcherConfig, RetrievedMoment};
+use sketchql::{DatasetStore, VideoIndex};
+use sketchql_bench::harness::Harness;
+use sketchql_bench::{bench_model, bench_video};
+use sketchql_datasets::{query_clip, EventKind};
+use std::hint::black_box;
+
+/// Single-object query kinds exercised by the recall sweep (multi-object
+/// sketches always fall back to the scan, so they prove nothing here).
+const QUERIES: &[EventKind] = &[
+    EventKind::LeftTurn,
+    EventKind::StopAndGo,
+    EventKind::LaneChange,
+    EventKind::UTurn,
+];
+
+fn key(m: &RetrievedMoment) -> (u32, u32, Vec<u64>) {
+    (m.start, m.end, m.track_ids.clone())
+}
+
+/// Recall@10 of the store path against the scan's top-10, plus the hard
+/// bit-identity check on every overlapping moment.
+fn recall_sweep(
+    m: &Matcher<sketchql::LearnedSimilarity>,
+    index: &VideoIndex,
+    store: &DatasetStore,
+) -> (f64, usize) {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for &kind in QUERIES {
+        let query = query_clip(kind);
+        let scan = m.search(index, &query).expect("scan");
+        let via = m
+            .search_with_store(index, store, &query, &CancelToken::none())
+            .expect("store search");
+        assert!(via.from_store, "{kind:?} unexpectedly fell back");
+        for a in &via.moments {
+            if let Some(b) = scan.iter().find(|b| key(b) == key(a)) {
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "{kind:?}: store score diverged from scan at bit level"
+                );
+            }
+        }
+        let top: Vec<_> = scan.iter().take(10).map(key).collect();
+        total += top.len();
+        hits += top
+            .iter()
+            .filter(|k| via.moments.iter().take(10).any(|m| &key(m) == *k))
+            .count();
+    }
+    (hits as f64 / total.max(1) as f64, QUERIES.len())
+}
+
+fn main() {
+    println!(
+        "# store benches (telemetry feature: {})",
+        if cfg!(feature = "telemetry") {
+            "on"
+        } else {
+            "off"
+        }
+    );
+    let quick = std::env::var_os("SKETCHQL_BENCH_QUICK").is_some();
+    let model = bench_model();
+    let video = bench_video(if quick { 1 } else { 2 }, 47);
+    let index = VideoIndex::from_truth(&video);
+    let m = Matcher::with_config(model.similarity(), MatcherConfig::default());
+
+    let spans: Vec<u32> = QUERIES.iter().map(|&k| query_clip(k).span()).collect();
+    let mut ingest_cfg = IngestConfig::from_matcher(&m.config, &spans);
+    ingest_cfg.threads = 4;
+    let started = std::time::Instant::now();
+    let mut store = ingest(&m.sim, &index, "bench", &ingest_cfg);
+    // Probe a quarter of the coarse lists: the re-rank is exact, so the
+    // probe width only trades recall against probe time, and at 25% the
+    // store path is still orders of magnitude from the encoder's cost.
+    store.nprobe = (store.nlist().div_ceil(4)).max(8);
+    println!(
+        "# ingested {} vectors ({} ANN lists, nprobe {}) in {:.1}s",
+        store.store.len(),
+        store.nlist(),
+        store.nprobe,
+        started.elapsed().as_secs_f64()
+    );
+
+    let (recall, queries) = recall_sweep(&m, &index, &store);
+    let probed_frac = {
+        let probe = store.nprobe as f64 / store.nlist().max(1) as f64;
+        probe.min(1.0)
+    };
+    println!("STORE store_recall recall_at_10={recall:.3} queries={queries} probed_frac={probed_frac:.2}");
+
+    let query = query_clip(EventKind::LeftTurn);
+    let mut h = Harness::from_env();
+    let mut group = h.group("store_query");
+    group.sample_size(10);
+    group.bench("full_scan_cached", |b| {
+        b.iter(|| black_box(m.search(&index, black_box(&query)).unwrap()))
+    });
+    group.bench("index_backed", |b| {
+        b.iter(|| {
+            black_box(
+                m.search_with_store(&index, &store, black_box(&query), &CancelToken::none())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}

@@ -55,6 +55,7 @@ pub mod similarity;
 pub mod sketcher;
 pub mod training;
 pub mod tuner;
+pub mod vstore;
 
 pub use cancel::{CancelReason, CancelToken};
 pub use embed_cache::{embed_clips_parallel, try_embed_clips_parallel, EmbedCache};
@@ -65,7 +66,9 @@ pub use rules::{
     evaluate_rule, expert_rule, motion_stats, MotionStats, Predicate, Relation, RuleQuery,
     RuleSearchConfig,
 };
-pub use session::{DatasetSummary, MomentView, PreprocessConfig, SessionError, SketchQL};
+pub use session::{
+    DatasetSummary, LoadError, MomentView, PreprocessConfig, SessionError, SketchQL,
+};
 pub use similarity::{
     ClassicalSimilarity, LearnedSimilarity, PreparedQuery, Similarity, SimilarityError,
 };
@@ -74,6 +77,10 @@ pub use sketcher::{
 };
 pub use training::{train, train_with_schedule, PairEval, TrainedModel, TrainingConfig};
 pub use tuner::{active_feedback_loop, fine_tune, Feedback, FeedbackRound, Reranker, TunerConfig};
+pub use vstore::{
+    index_fingerprint, ingest, load_store_dir, model_fingerprint, save_store_dir, DatasetStore,
+    IngestConfig, StoreSearch,
+};
 
 /// Convenient re-exports for application code.
 pub mod prelude {

@@ -366,7 +366,11 @@ impl<S: Similarity> Matcher<S> {
     /// Final ranking: sort by score (ties broken deterministically so
     /// parallel and sequential runs agree), NMS, truncate to top-k, and
     /// optionally refine boundaries.
-    fn rank(&self, index: &VideoIndex, mut scored: Vec<RetrievedMoment>) -> Vec<RetrievedMoment> {
+    pub(crate) fn rank(
+        &self,
+        index: &VideoIndex,
+        mut scored: Vec<RetrievedMoment>,
+    ) -> Vec<RetrievedMoment> {
         let _rank_span = telemetry::span(names::MATCHER_RANK);
         scored.sort_by(|a, b| {
             b.score
@@ -447,7 +451,7 @@ impl<S: Similarity> Matcher<S> {
     /// length (e.g. both under [`MatcherConfig::min_window`]) used to emit
     /// the whole window list twice, scoring — and with the learned
     /// similarity, embedding — every candidate in it twice.
-    fn enumerate_windows(&self, q_span: u32, frames: u32) -> Vec<(u32, u32, u32)> {
+    pub(crate) fn enumerate_windows(&self, q_span: u32, frames: u32) -> Vec<(u32, u32, u32)> {
         let mut windows: Vec<(u32, u32, u32)> = Vec::new();
         let mut seen: HashSet<(u32, u32, u32)> = HashSet::new();
         for &scale in &self.config.window_scales {
@@ -708,7 +712,7 @@ fn refine_boundaries(index: &VideoIndex, moment: &mut RetrievedMoment) {
 /// Builds the candidate clip for a window: each selected track sliced to
 /// `[start, end]` and rebased so the window starts at frame 0 (preserving
 /// cross-object timing).
-fn window_clip(
+pub(crate) fn window_clip(
     index: &VideoIndex,
     combo: &[usize],
     per_slot: &[Vec<&Trajectory>],

@@ -28,6 +28,8 @@ use crate::similarity::{LearnedSimilarity, Similarity, SimilarityError};
 use crate::sketcher::{SketchError, Sketcher};
 use crate::training::TrainedModel;
 use crate::tuner::{fine_tune, Feedback, Reranker, TunerConfig};
+use crate::vstore::{self, DatasetStore, IngestConfig};
+use sketchql_store::StoreError;
 
 /// Preprocessing settings applied at upload time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,6 +79,61 @@ impl fmt::Display for SessionError {
 }
 
 impl std::error::Error for SessionError {}
+
+/// Errors restoring a saved session. Every variant names the file that
+/// failed, so a corrupt member of a many-file session directory is
+/// identifiable from the error alone.
+#[derive(Debug)]
+pub enum LoadError {
+    /// A filesystem read failed.
+    Io {
+        /// The file (or directory) being read.
+        path: std::path::PathBuf,
+        /// The originating I/O error.
+        source: std::io::Error,
+    },
+    /// A file existed but did not parse — truncated, half-written, or
+    /// hand-edited JSON.
+    Corrupt {
+        /// The unparseable file.
+        path: std::path::PathBuf,
+        /// What the parser reported.
+        detail: String,
+    },
+    /// An embedding store under `stores/` failed to load (its own error
+    /// names the file and the corruption kind).
+    Store(StoreError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { path, source } => {
+                write!(f, "session file {}: {source}", path.display())
+            }
+            LoadError::Corrupt { path, detail } => {
+                write!(f, "session file {} is corrupt: {detail}", path.display())
+            }
+            LoadError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io { source, .. } => Some(source),
+            LoadError::Store(e) => Some(e),
+            LoadError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<StoreError> for LoadError {
+    fn from(e: StoreError) -> Self {
+        LoadError::Store(e)
+    }
+}
 
 impl From<SketchError> for SessionError {
     fn from(e: SketchError) -> Self {
@@ -138,6 +195,7 @@ pub struct SketchQL {
     /// Preprocessing settings for future uploads.
     pub preprocess: PreprocessConfig,
     datasets: BTreeMap<String, VideoIndex>,
+    stores: BTreeMap<String, DatasetStore>,
     last_report: Mutex<Option<QueryReport>>,
 }
 
@@ -149,6 +207,7 @@ impl SketchQL {
             matcher_config: MatcherConfig::default(),
             preprocess: PreprocessConfig::default(),
             datasets: BTreeMap::new(),
+            stores: BTreeMap::new(),
             last_report: Mutex::new(None),
         }
     }
@@ -168,6 +227,9 @@ impl SketchQL {
             num_tracks: idx.tracks.len(),
         };
         self.datasets.insert(name.to_string(), idx);
+        // Any previously attached store was built from the old contents;
+        // its fingerprint would force fallbacks anyway, so drop it.
+        self.stores.remove(name);
         summary
     }
 
@@ -180,6 +242,7 @@ impl SketchQL {
             num_tracks: index.tracks.len(),
         };
         self.datasets.insert(name.to_string(), index);
+        self.stores.remove(name);
         summary
     }
 
@@ -193,6 +256,44 @@ impl SketchQL {
         self.datasets
             .get(name)
             .ok_or_else(|| SessionError::UnknownDataset(name.to_string()))
+    }
+
+    /// Builds a persistent embedding store for an uploaded dataset: every
+    /// sliding window the matcher would enumerate is embedded once and
+    /// kept, so subsequent queries on this dataset take the index-backed
+    /// path instead of re-embedding the whole video. Returns the number
+    /// of vectors ingested.
+    pub fn ingest_dataset(
+        &mut self,
+        name: &str,
+        config: &IngestConfig,
+    ) -> Result<usize, SessionError> {
+        let store = {
+            let index = self.dataset(name)?;
+            let sim = LearnedSimilarity::new(self.model.encoder.clone(), self.model.store.clone());
+            vstore::ingest(&sim, index, name, config)
+        };
+        let n = store.store.len();
+        self.stores.insert(name.to_string(), store);
+        Ok(n)
+    }
+
+    /// Attaches an already-built store (e.g. loaded from a store
+    /// directory) to a dataset. Queries verify the store's model and
+    /// index fingerprints at search time and fall back to the full scan
+    /// on any mismatch, so attaching a stale store is safe, just useless.
+    pub fn attach_store(&mut self, name: &str, store: DatasetStore) {
+        self.stores.insert(name.to_string(), store);
+    }
+
+    /// The store attached to a dataset, if any.
+    pub fn store(&self, name: &str) -> Option<&DatasetStore> {
+        self.stores.get(name)
+    }
+
+    /// Names of datasets with an attached store.
+    pub fn stored_datasets(&self) -> Vec<&str> {
+        self.stores.keys().map(String::as_str).collect()
     }
 
     /// Steps 2-4: a fresh sketcher canvas to compose a query on.
@@ -230,6 +331,15 @@ impl SketchQL {
         cancel: &CancelToken,
     ) -> Result<Vec<RetrievedMoment>, SessionError> {
         let sim = LearnedSimilarity::new(self.model.encoder.clone(), self.model.store.clone());
+        if let Some(store) = self.stores.get(dataset) {
+            let index = self.dataset(dataset)?;
+            let matcher = Matcher::with_config(sim, self.matcher_config.clone());
+            let recorder = Recorder::begin();
+            let results = matcher.search_with_store(index, store, query, cancel);
+            telemetry::counter(names::SESSION_QUERY).inc();
+            *self.last_report.lock().unwrap() = Some(recorder.finish(dataset));
+            return results.map(|s| s.moments).map_err(SessionError::from);
+        }
         self.run_query_with_cancel(dataset, query, sim, cancel)
     }
 
@@ -386,34 +496,75 @@ impl SketchQL {
     }
 
     /// Persists the whole session (model + every preprocessed dataset
-    /// index) under `dir`, so preprocessing is paid once across process
-    /// restarts — a video database, not a per-run cache.
+    /// index + every embedding store) under `dir`, so preprocessing and
+    /// ingest are paid once across process restarts — a video database,
+    /// not a per-run cache.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
         let idx_dir = dir.join("indexes");
         std::fs::create_dir_all(&idx_dir)?;
         self.model.save(&dir.join("model.json"))?;
         let mut names = Vec::new();
+        // Distinct dataset names can sanitize to the same file name
+        // ("a/b" and "a_b" both become "a_b"); suffix on collision so no
+        // index silently overwrites another. The manifest records the
+        // actual file each dataset landed in.
+        let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
         for (name, index) in &self.datasets {
-            let file = format!("{}.json", sanitize(name));
+            let base = sanitize(name);
+            let mut file = format!("{base}.json");
+            let mut k = 2;
+            while !used.insert(file.clone()) {
+                file = format!("{base}_{k}.json");
+                k += 1;
+            }
             let json = serde_json::to_string(index).map_err(std::io::Error::other)?;
             std::fs::write(idx_dir.join(&file), json)?;
             names.push((name.clone(), file));
         }
         let manifest = serde_json::to_string(&names).map_err(std::io::Error::other)?;
-        std::fs::write(dir.join("manifest.json"), manifest)
+        std::fs::write(dir.join("manifest.json"), manifest)?;
+        if !self.stores.is_empty() {
+            vstore::save_store_dir(&dir.join("stores"), &self.stores)
+                .map_err(std::io::Error::other)?;
+        }
+        Ok(())
     }
 
-    /// Restores a session saved with [`SketchQL::save`].
-    pub fn load(dir: &std::path::Path) -> std::io::Result<Self> {
-        let model = TrainedModel::load(&dir.join("model.json"))?;
+    /// Restores a session saved with [`SketchQL::save`]. Truncated or
+    /// corrupt members fail with a [`LoadError`] naming the offending
+    /// file rather than an opaque parse error.
+    pub fn load(dir: &std::path::Path) -> Result<Self, LoadError> {
+        let read = |path: std::path::PathBuf| -> Result<(String, std::path::PathBuf), LoadError> {
+            match std::fs::read_to_string(&path) {
+                Ok(s) => Ok((s, path)),
+                Err(source) => Err(LoadError::Io { path, source }),
+            }
+        };
+        let (model_json, model_path) = read(dir.join("model.json"))?;
+        let model: TrainedModel =
+            serde_json::from_str(&model_json).map_err(|e| LoadError::Corrupt {
+                path: model_path,
+                detail: e.to_string(),
+            })?;
+        let (manifest_json, manifest_path) = read(dir.join("manifest.json"))?;
         let manifest: Vec<(String, String)> =
-            serde_json::from_str(&std::fs::read_to_string(dir.join("manifest.json"))?)
-                .map_err(std::io::Error::other)?;
+            serde_json::from_str(&manifest_json).map_err(|e| LoadError::Corrupt {
+                path: manifest_path,
+                detail: e.to_string(),
+            })?;
         let mut session = SketchQL::new(model);
         for (name, file) in manifest {
-            let json = std::fs::read_to_string(dir.join("indexes").join(&file))?;
-            let index: VideoIndex = serde_json::from_str(&json).map_err(std::io::Error::other)?;
+            let (json, path) = read(dir.join("indexes").join(&file))?;
+            let index: VideoIndex =
+                serde_json::from_str(&json).map_err(|e| LoadError::Corrupt {
+                    path,
+                    detail: e.to_string(),
+                })?;
             session.datasets.insert(name, index);
+        }
+        let stores_dir = dir.join("stores");
+        if stores_dir.is_dir() {
+            session.stores = vstore::load_store_dir(&stores_dir)?;
         }
         Ok(session)
     }
@@ -605,6 +756,101 @@ mod tests {
             sq.run_query("v/one", &q).unwrap(),
             back.run_query("v/one", &q).unwrap()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn colliding_sanitized_names_do_not_overwrite_each_other() {
+        // "a/b" and "a_b" both sanitize to "a_b"; before the collision fix
+        // the second index file silently overwrote the first and both
+        // manifest entries pointed at the survivor.
+        let mut sq = tiny_session();
+        sq.upload_index("a/b", VideoIndex::from_truth(&small_video(21)));
+        sq.upload_index("a_b", VideoIndex::from_truth(&small_video(22)));
+        let expect_slash = sq.dataset("a/b").unwrap().tracks.len();
+        let expect_under = sq.dataset("a_b").unwrap().tracks.len();
+        let dir = std::env::temp_dir().join(format!("sketchql-collide-{}", std::process::id()));
+        sq.save(&dir).unwrap();
+        let back = SketchQL::load(&dir).unwrap();
+        assert_eq!(back.datasets(), vec!["a/b", "a_b"]);
+        assert_eq!(back.dataset("a/b").unwrap().tracks.len(), expect_slash);
+        assert_eq!(back.dataset("a_b").unwrap().tracks.len(), expect_under);
+        assert_ne!(
+            serde_json::to_string(back.dataset("a/b").unwrap()).unwrap(),
+            serde_json::to_string(back.dataset("a_b").unwrap()).unwrap(),
+            "collision fix must keep both indexes distinct on disk"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_session_files_fail_with_a_path_naming_error() {
+        let mut sq = tiny_session();
+        sq.upload_index("v", VideoIndex::from_truth(&small_video(23)));
+        let dir = std::env::temp_dir().join(format!("sketchql-corrupt-{}", std::process::id()));
+        sq.save(&dir).unwrap();
+
+        // Truncate the model file mid-JSON: a half-written save.
+        let model_path = dir.join("model.json");
+        let bytes = std::fs::read(&model_path).unwrap();
+        std::fs::write(&model_path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = SketchQL::load(&dir).err().expect("load should fail");
+        assert!(
+            matches!(&err, LoadError::Corrupt { path, .. } if path.ends_with("model.json")),
+            "expected Corrupt naming model.json, got {err:?}"
+        );
+        assert!(err.to_string().contains("model.json"), "{err}");
+
+        // Restore the model, corrupt an index file instead.
+        std::fs::write(&model_path, &bytes).unwrap();
+        let idx_file = dir.join("indexes").join("v.json");
+        std::fs::write(&idx_file, "{not json").unwrap();
+        let err = SketchQL::load(&dir).err().expect("load should fail");
+        assert!(
+            matches!(&err, LoadError::Corrupt { path, .. } if path.ends_with("v.json")),
+            "expected Corrupt naming v.json, got {err:?}"
+        );
+
+        // A missing file is Io, also path-named.
+        std::fs::remove_file(&idx_file).unwrap();
+        let err = SketchQL::load(&dir).err().expect("load should fail");
+        assert!(
+            matches!(&err, LoadError::Io { path, .. } if path.ends_with("v.json")),
+            "expected Io naming v.json, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingested_store_survives_save_load_and_serves_queries() {
+        let mut sq = tiny_session();
+        sq.upload_index("v", VideoIndex::from_truth(&small_video(24)));
+        let query = sketchql_datasets::query_clip(EventKind::LeftTurn);
+        let scan_results = sq.run_query("v", &query).unwrap();
+
+        let cfg = IngestConfig::from_matcher(&sq.matcher_config, &[query.span()]);
+        let n = sq.ingest_dataset("v", &cfg).unwrap();
+        assert!(n > 0, "ingest produced no vectors");
+        // Exhaustive probe so the store path must agree exactly.
+        let nlist = sq.store("v").unwrap().nlist();
+        sq.stores.get_mut("v").unwrap().nprobe = nlist;
+        assert_eq!(sq.run_query("v", &query).unwrap(), scan_results);
+
+        let dir = std::env::temp_dir().join(format!("sketchql-store-rt-{}", std::process::id()));
+        sq.save(&dir).unwrap();
+        let mut back = SketchQL::load(&dir).unwrap();
+        assert_eq!(back.stored_datasets(), vec!["v"]);
+        back.stores.get_mut("v").unwrap().nprobe = nlist;
+        assert_eq!(
+            back.run_query("v", &query).unwrap(),
+            scan_results,
+            "restored store must answer identically to the scan"
+        );
+        if telemetry::is_enabled() {
+            let report = back.last_query_stats().unwrap();
+            assert_eq!(report.store_hits, 1, "query should be served by the store");
+            assert!(report.store_probed > 0);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,563 @@
+//! Persistent embedding stores: offline ingest + index-backed search.
+//!
+//! The learned similarity embeds candidate clips independently of the
+//! query, so candidate-window embeddings are query-agnostic. This module
+//! computes them once — [`ingest`] enumerates the matcher's sliding
+//! windows over a [`VideoIndex`], embeds every single-track window
+//! segment through the batched encoder path, and persists vectors +
+//! metadata to an [`EmbeddingStore`] — and serves them forever after:
+//! [`Matcher::search_with_store`] embeds only the query, probes an
+//! IVF-style ANN index over the stored vectors, and re-ranks the probed
+//! rows with the *exact* same `score_embedding` call the full scan uses,
+//! so every moment the store path reports carries a bit-identical score.
+//!
+//! Stores are strictly a cache: when one does not match the live model
+//! (fingerprint), the live index (fingerprint), or the query's window
+//! configuration, the search falls back to the full scan and the results
+//! are what they always were. Multi-object queries always fall back —
+//! the store persists one track per row, not track combinations.
+
+use sketchql_store::{AnnConfig, EmbeddingStore, Fnv64, IvfIndex, StoreError, StoreMeta, StoreRow};
+use sketchql_telemetry::{self as telemetry, names};
+use sketchql_trajectory::{TrackId, Trajectory};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
+
+use crate::cancel::CancelToken;
+use crate::embed_cache::embed_clips_parallel;
+use crate::index::VideoIndex;
+use crate::matcher::{window_clip, MatchError, Matcher, MatcherConfig, RetrievedMoment};
+use crate::similarity::{LearnedSimilarity, PreparedQuery, Similarity};
+
+/// Bucket bounds for the rows-per-probe histogram.
+const PROBE_BOUNDS: &[f64] = &[8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0];
+
+/// Fingerprints a trained similarity model: the encoder's
+/// hyper-parameters plus every weight, bit-exact. Two models fingerprint
+/// equal iff they embed every clip identically, which is exactly when a
+/// store built by one can serve the other.
+pub fn model_fingerprint(sim: &LearnedSimilarity) -> u64 {
+    let mut h = Fnv64::new();
+    let c = &sim.encoder.config;
+    for v in [
+        c.input_dim,
+        c.d_model,
+        c.heads,
+        c.layers,
+        c.ff_hidden,
+        c.embed_dim,
+        c.steps,
+    ] {
+        h.write_u64(v as u64);
+    }
+    h.write(&[u8::from(c.positional)]);
+    h.write(format!("{:?}", c.pooling).as_bytes());
+    for (name, tensor) in sim.store.iter() {
+        h.write(name.as_bytes());
+        h.write_u64(tensor.rows as u64);
+        h.write_u64(tensor.cols as u64);
+        for &v in &tensor.data {
+            h.write_f32(v);
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprints a video index: dimensions plus every track's identity and
+/// full point data, bit-exact. A store only serves an index whose
+/// fingerprint matches the one it was ingested from.
+pub fn index_fingerprint(index: &VideoIndex) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u32(index.frames);
+    h.write_f32(index.fps);
+    h.write_f32(index.frame_width);
+    h.write_f32(index.frame_height);
+    h.write_u64(index.tracks.len() as u64);
+    for t in &index.tracks {
+        h.write_u64(t.id);
+        h.write(t.class.label().as_bytes());
+        h.write_u64(t.points().len() as u64);
+        for p in t.points() {
+            h.write_u32(p.frame);
+            h.write_f32(p.bbox.cx);
+            h.write_f32(p.bbox.cy);
+            h.write_f32(p.bbox.w);
+            h.write_f32(p.bbox.h);
+        }
+    }
+    h.finish()
+}
+
+/// Ingest parameters: the window grid to enumerate plus embedding and
+/// ANN settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestConfig {
+    /// Window lengths (frames) to enumerate. Build this from the matcher
+    /// configuration with [`IngestConfig::from_matcher`] so the grids the
+    /// store persists are exactly the grids queries will ask for.
+    pub window_lens: Vec<u32>,
+    /// Window stride as a fraction of the window length; must match the
+    /// matcher's [`MatcherConfig::stride_frac`] or queries fall back.
+    pub stride_frac: f32,
+    /// Track-eligibility overlap fraction; must match the matcher's
+    /// [`MatcherConfig::min_overlap_frac`] or queries fall back.
+    pub min_overlap_frac: f32,
+    /// Worker threads for the batched embedding pass.
+    pub threads: usize,
+    /// ANN build parameters.
+    pub ann: AnnConfig,
+}
+
+impl IngestConfig {
+    /// Derives the ingest grid from a matcher configuration and the query
+    /// spans (frames) expected at serving time: every `span × scale`
+    /// window length the matcher would enumerate for those spans, clamped
+    /// to `min_window` exactly as the matcher clamps, deduplicated and
+    /// sorted.
+    pub fn from_matcher(config: &MatcherConfig, query_spans: &[u32]) -> Self {
+        let mut lens: Vec<u32> = Vec::new();
+        for &span in query_spans {
+            for &scale in &config.window_scales {
+                let len = ((span as f32 * scale) as u32).max(config.min_window);
+                lens.push(len);
+            }
+        }
+        lens.sort_unstable();
+        lens.dedup();
+        IngestConfig {
+            window_lens: lens,
+            stride_frac: config.stride_frac,
+            min_overlap_frac: config.min_overlap_frac,
+            threads: config.threads,
+            ann: AnnConfig::default(),
+        }
+    }
+}
+
+/// A dataset's persisted embeddings plus the ANN index probing them.
+///
+/// The ANN index is rebuilt deterministically at load time — the
+/// expensive part of a store is the encoder forwards, which are never
+/// repeated; the k-means quantizer over a few thousand small vectors is
+/// milliseconds.
+pub struct DatasetStore {
+    /// The persisted vectors and window metadata.
+    pub store: EmbeddingStore,
+    /// How many inverted lists a query probes (defaults to the build's
+    /// [`AnnConfig::nprobe`]; raise it toward `nlist` to trade speed for
+    /// recall, at `nlist` the probe is exhaustive).
+    pub nprobe: usize,
+    ann: IvfIndex,
+}
+
+impl DatasetStore {
+    /// Wraps an already-loaded [`EmbeddingStore`], building its ANN index.
+    pub fn from_store(store: EmbeddingStore, ann_config: &AnnConfig) -> Self {
+        let ann = IvfIndex::build(store.vectors(), store.dim(), ann_config);
+        DatasetStore {
+            store,
+            nprobe: ann_config.nprobe.max(1),
+            ann,
+        }
+    }
+
+    /// Loads a store file and builds its ANN index.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let _span = telemetry::span(names::STORE_LOAD);
+        let store = EmbeddingStore::load(path)?;
+        Ok(Self::from_store(store, &AnnConfig::default()))
+    }
+
+    /// Persists the underlying [`EmbeddingStore`] (the ANN index is
+    /// derived state and is not written).
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        self.store.save(path)
+    }
+
+    /// Dataset name recorded at ingest.
+    pub fn dataset(&self) -> &str {
+        &self.store.meta.dataset
+    }
+
+    /// Number of lists the ANN index partitioned the vectors into.
+    pub fn nlist(&self) -> usize {
+        self.ann.nlist()
+    }
+
+    /// Whether this store was built from exactly this index's contents.
+    pub fn matches_index(&self, index: &VideoIndex) -> bool {
+        self.store.meta.frames == index.frames
+            && self.store.meta.index_fingerprint == index_fingerprint(index)
+    }
+
+    /// Whether this store's vectors came from exactly this model.
+    pub fn matches_model(&self, sim: &LearnedSimilarity) -> bool {
+        self.store.meta.model_fingerprint == model_fingerprint(sim)
+    }
+}
+
+/// Builds a [`DatasetStore`] offline: enumerates every sliding window of
+/// `index` across `config.window_lens` with the matcher's stride and
+/// clamping rules, slices each eligible track into its window segment,
+/// embeds the distinct segments through the batched encoder path, and
+/// records one row per `(track, start, end)`.
+///
+/// Segments that produce an empty clip (a track whose frame range brushes
+/// a window it has no points in) are skipped — the matcher's embedding
+/// cache excludes exactly the same candidates.
+pub fn ingest(
+    sim: &LearnedSimilarity,
+    index: &VideoIndex,
+    dataset: &str,
+    config: &IngestConfig,
+) -> DatasetStore {
+    let _span = telemetry::span(names::STORE_BUILD);
+    let mut lens = config.window_lens.clone();
+    lens.sort_unstable();
+    lens.dedup();
+
+    // Enumerate rows exactly as the matcher enumerates candidates: per
+    // length, the strided window grid with tail clamping; per window,
+    // every class-eligible track in index order. A `(track, start, end)`
+    // row is recorded once even when several lengths produce the same
+    // clamped window; insertion happens only on qualification so a later
+    // length with a laxer overlap floor can still add the tracks the
+    // stricter one rejected.
+    let mut rows: Vec<StoreRow> = Vec::new();
+    let mut clips = Vec::new();
+    let mut seen: HashSet<(TrackId, u32, u32)> = HashSet::new();
+    for &window in &lens {
+        if window == 0 || window > index.frames {
+            continue;
+        }
+        let stride = ((window as f32 * config.stride_frac) as u32).max(1);
+        let min_overlap = ((window as f32 * config.min_overlap_frac) as u32).max(1);
+        let mut start = 0u32;
+        loop {
+            let end = (start + window - 1).min(index.frames.saturating_sub(1));
+            for t in &index.tracks {
+                if !track_overlaps(t, start, end, min_overlap) || seen.contains(&(t.id, start, end))
+                {
+                    continue;
+                }
+                let slot: Vec<Vec<&Trajectory>> = vec![vec![t]];
+                let clip = window_clip(index, &[0], &slot, start, end);
+                if clip.is_empty() {
+                    continue;
+                }
+                seen.insert((t.id, start, end));
+                rows.push(StoreRow {
+                    track_id: t.id,
+                    class: t.class,
+                    start,
+                    end,
+                });
+                clips.push(clip);
+            }
+            if end + 1 >= index.frames {
+                break;
+            }
+            start += stride;
+        }
+    }
+
+    let embeddings = embed_clips_parallel(sim, &clips, config.threads.max(1));
+    let dim = embeddings
+        .iter()
+        .flatten()
+        .next()
+        .map_or(sim.encoder.config.embed_dim, Vec::len);
+    let meta = StoreMeta {
+        dataset: dataset.to_string(),
+        model_fingerprint: model_fingerprint(sim),
+        index_fingerprint: index_fingerprint(index),
+        frames: index.frames,
+        fps: index.fps,
+        frame_width: index.frame_width,
+        frame_height: index.frame_height,
+        stride_frac: config.stride_frac,
+        min_overlap_frac: config.min_overlap_frac,
+        window_lens: lens,
+    };
+    let mut store = EmbeddingStore::new(meta, dim);
+    for (row, embedding) in rows.into_iter().zip(embeddings) {
+        // A non-empty single-track clip always embeds (the encoder only
+        // rejects empty clips and object-count overflows), but stay
+        // defensive: an unembeddable segment is unservable either way.
+        if let Some(v) = embedding {
+            store.push(row, &v);
+        }
+    }
+    telemetry::counter(names::STORE_VECTORS).add(store.len() as u64);
+    DatasetStore::from_store(store, &config.ann)
+}
+
+/// Eligibility of a track for a window, matching
+/// [`VideoIndex::tracks_in_window`]'s overlap rule.
+fn track_overlaps(t: &Trajectory, start: u32, end: u32, min_overlap: u32) -> bool {
+    match (t.start_frame(), t.end_frame()) {
+        (Some(s), Some(e)) => {
+            let lo = s.max(start);
+            let hi = e.min(end);
+            hi >= lo && (hi - lo + 1) >= min_overlap
+        }
+        _ => false,
+    }
+}
+
+/// Outcome of [`Matcher::search_with_store`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSearch {
+    /// The retrieved moments (ranked, NMS'd, refined — same pipeline as
+    /// the full scan).
+    pub moments: Vec<RetrievedMoment>,
+    /// Whether the store served the query (`false` = full-scan fallback).
+    pub from_store: bool,
+    /// Store rows probed and re-ranked (0 on fallback).
+    pub probed: u64,
+}
+
+impl Matcher<LearnedSimilarity> {
+    /// The index-backed search path: embeds the query once, probes
+    /// `store`'s ANN index, exactly re-ranks the probed rows, and runs
+    /// the usual ranking pipeline. Falls back to
+    /// [`search_with_cancel`](Self::search_with_cancel) when the store
+    /// cannot serve this query:
+    ///
+    /// - the query binds more than one object (stores hold single-track
+    ///   rows);
+    /// - the store's model or index fingerprint differs from the live
+    ///   model/index;
+    /// - the matcher's stride or overlap fractions differ from the
+    ///   store's, or a window length this query derives was not ingested.
+    ///
+    /// Every moment the store path reports scores bit-identically to the
+    /// full scan (the same `score_embedding` over the same vector bits);
+    /// probing fewer than all lists can only *omit* windows, never change
+    /// a reported score.
+    pub fn search_with_store(
+        &self,
+        index: &VideoIndex,
+        store: &DatasetStore,
+        query: &sketchql_trajectory::Clip,
+        cancel: &CancelToken,
+    ) -> Result<StoreSearch, MatchError> {
+        let q_span = query.span();
+        if q_span == 0
+            || q_span < self.config.min_window
+            || query.num_objects() == 0
+            || index.frames == 0
+        {
+            return Ok(StoreSearch {
+                moments: Vec::new(),
+                from_store: false,
+                probed: 0,
+            });
+        }
+        if !self.store_serves(index, store, query, q_span) {
+            telemetry::counter(names::STORE_FALLBACKS).inc();
+            let moments = self.search_with_cancel(index, query, cancel)?;
+            return Ok(StoreSearch {
+                moments,
+                from_store: false,
+                probed: 0,
+            });
+        }
+
+        let _search_span = telemetry::span(names::MATCHER_SEARCH);
+        cancel.check().map_err(MatchError::from)?;
+        let prepared = {
+            let _prepare_span = telemetry::span(names::MATCHER_PREPARE);
+            self.sim.prepare(query)?
+        };
+        let PreparedQuery::Embedding(ref qe) = prepared else {
+            unreachable!("learned similarity always prepares an embedding");
+        };
+        let qclass = query.classes()[0];
+
+        let scan_span = telemetry::span(names::MATCHER_SCAN);
+        let windows = self.enumerate_windows(q_span, index.frames);
+        telemetry::counter(names::WINDOWS_ENUMERATED).add(windows.len() as u64);
+
+        // The overlap floors in play per (start, end) range: clamped tail
+        // windows of different lengths can share a range while demanding
+        // different floors, and each floor is its own ranking slot.
+        let mut by_range: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for &(s, e, o) in &windows {
+            by_range.entry((s, e)).or_default().push(o);
+        }
+        // Track order decides ties exactly as the scan's combination
+        // order does (first strictly-greatest wins).
+        let track_pos: HashMap<TrackId, usize> = index
+            .tracks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id, i))
+            .collect();
+        let track_range: HashMap<TrackId, (u32, u32)> = index
+            .tracks
+            .iter()
+            .filter_map(|t| Some((t.id, (t.start_frame()?, t.end_frame()?))))
+            .collect();
+
+        let probed = self.probe_rows(store, qe);
+        cancel.check().map_err(MatchError::from)?;
+
+        // Best candidate per (start, end, overlap-floor) slot.
+        let mut best: HashMap<(u32, u32, u32), (f32, usize, TrackId)> = HashMap::new();
+        for (k, &row_id) in probed.iter().enumerate() {
+            if k % 1024 == 1023 {
+                cancel.check().map_err(MatchError::from)?;
+            }
+            let row = store.store.row(row_id as usize);
+            if !qclass.matches(&row.class) {
+                continue;
+            }
+            let Some(floors) = by_range.get(&(row.start, row.end)) else {
+                continue;
+            };
+            let Some(&pos) = track_pos.get(&row.track_id) else {
+                continue;
+            };
+            let (ts, te) = track_range[&row.track_id];
+            let lo = ts.max(row.start);
+            let hi = te.min(row.end);
+            let overlap = if hi >= lo { hi - lo + 1 } else { 0 };
+            let score = self
+                .sim
+                .score_embedding(&prepared, Some(store.store.vector(row_id as usize)));
+            let score = if score.is_finite() { score } else { 0.0 };
+            for &floor in floors {
+                if overlap < floor {
+                    continue;
+                }
+                let slot = best.entry((row.start, row.end, floor)).or_insert((
+                    f32::NEG_INFINITY,
+                    usize::MAX,
+                    0,
+                ));
+                if score > slot.0 || (score == slot.0 && pos < slot.1) {
+                    *slot = (score, pos, row.track_id);
+                }
+            }
+        }
+
+        // Emit in window-enumeration order, the order the scan scores in.
+        let mut scored: Vec<RetrievedMoment> = Vec::new();
+        for &(s, e, o) in &windows {
+            if let Some(&(score, _, track_id)) = best.get(&(s, e, o)) {
+                scored.push(RetrievedMoment {
+                    start: s,
+                    end: e,
+                    score,
+                    track_ids: vec![track_id],
+                });
+            }
+        }
+        telemetry::counter(names::WINDOWS_PRUNED).add((windows.len() - scored.len()) as u64);
+        drop(scan_span);
+
+        telemetry::counter(names::STORE_HITS).inc();
+        telemetry::counter(names::STORE_PROBED).add(probed.len() as u64);
+        if telemetry::is_enabled() {
+            telemetry::histogram(names::STORE_PROBE_ROWS, PROBE_BOUNDS)
+                .observe(probed.len() as f64);
+        }
+        Ok(StoreSearch {
+            moments: self.rank(index, scored),
+            from_store: true,
+            probed: probed.len() as u64,
+        })
+    }
+
+    /// Whether `store` can serve this query over this index with results
+    /// the full scan would also produce.
+    fn store_serves(
+        &self,
+        index: &VideoIndex,
+        store: &DatasetStore,
+        query: &sketchql_trajectory::Clip,
+        q_span: u32,
+    ) -> bool {
+        if query.num_objects() != 1
+            || !store.matches_model(&self.sim)
+            || !store.matches_index(index)
+            || store.store.meta.stride_frac.to_bits() != self.config.stride_frac.to_bits()
+            || store.store.meta.min_overlap_frac.to_bits() != self.config.min_overlap_frac.to_bits()
+        {
+            return false;
+        }
+        // Every window length this query derives (and that fits the
+        // video) must have been ingested.
+        self.config.window_scales.iter().all(|&scale| {
+            let len = ((q_span as f32 * scale) as u32).max(self.config.min_window);
+            len > index.frames || store.store.meta.window_lens.contains(&len)
+        })
+    }
+
+    /// Probes the ANN index, exhaustively when `nprobe` covers every list.
+    fn probe_rows(&self, store: &DatasetStore, query_embedding: &[f32]) -> Vec<u32> {
+        store.ann.probe(query_embedding, store.nprobe.max(1))
+    }
+}
+
+/// Filesystem-safe store file name for a dataset, mirroring the session's
+/// naming scheme.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Extension store files carry inside a store directory.
+pub const STORE_EXT: &str = "skstore";
+
+/// Writes one store per dataset into `dir` as `<sanitized-name>.skstore`,
+/// suffixing on sanitization collisions. The dataset's real name travels
+/// inside the file ([`StoreMeta::dataset`]), so loading never depends on
+/// the file name.
+pub fn save_store_dir(
+    dir: &Path,
+    stores: &BTreeMap<String, DatasetStore>,
+) -> Result<(), StoreError> {
+    let mut used: HashSet<String> = HashSet::new();
+    for (name, store) in stores {
+        let base = sanitize(name);
+        let mut file = format!("{base}.{STORE_EXT}");
+        let mut k = 2;
+        while !used.insert(file.clone()) {
+            file = format!("{base}_{k}.{STORE_EXT}");
+            k += 1;
+        }
+        store.save(&dir.join(file))?;
+    }
+    Ok(())
+}
+
+/// Loads every `.skstore` file under `dir`, keyed by the dataset name
+/// recorded in each file. Unreadable or corrupt files are errors — a
+/// store directory with a half-written member should fail loudly, not
+/// serve a partial set.
+pub fn load_store_dir(dir: &Path) -> Result<BTreeMap<String, DatasetStore>, StoreError> {
+    let mut out = BTreeMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|source| StoreError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == STORE_EXT))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let store = DatasetStore::open(&path)?;
+        out.insert(store.dataset().to_string(), store);
+    }
+    Ok(out)
+}

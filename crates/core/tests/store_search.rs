@@ -1,0 +1,223 @@
+//! Index-backed search correctness: the store path must report
+//! bit-identical scores to the full scan, recall everything when the
+//! probe is exhaustive, and fall back whenever the store cannot serve
+//! the query.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::cancel::CancelToken;
+use sketchql::matcher::{Matcher, MatcherConfig};
+use sketchql::similarity::LearnedSimilarity;
+use sketchql::training::{train, TrainingConfig};
+use sketchql::vstore::{index_fingerprint, ingest, model_fingerprint, IngestConfig};
+use sketchql::VideoIndex;
+use sketchql_datasets::{generate_video, query_clip, EventKind, SceneFamily, VideoConfig};
+
+fn tiny_model() -> sketchql::training::TrainedModel {
+    let mut cfg = TrainingConfig::tiny();
+    cfg.steps = 8;
+    train(cfg)
+}
+
+fn test_index(seed: u64) -> VideoIndex {
+    let cfg = VideoConfig {
+        family: SceneFamily::UrbanIntersection,
+        events_per_kind: 1,
+        distractors: 2,
+        fps: 30.0,
+    };
+    VideoIndex::from_truth(&generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed)))
+}
+
+fn matcher(model: &sketchql::training::TrainedModel) -> Matcher<LearnedSimilarity> {
+    Matcher::with_config(model.similarity(), MatcherConfig::default())
+}
+
+/// Single-object query kinds (multi-object queries always fall back).
+const SINGLE_OBJECT: &[EventKind] = &[
+    EventKind::LeftTurn,
+    EventKind::StopAndGo,
+    EventKind::LaneChange,
+];
+
+#[test]
+fn exhaustive_probe_matches_full_scan_exactly() {
+    let model = tiny_model();
+    let index = test_index(11);
+    let m = matcher(&model);
+    let spans: Vec<u32> = SINGLE_OBJECT
+        .iter()
+        .map(|&k| query_clip(k).span())
+        .collect();
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &spans);
+    let mut store = ingest(&m.sim, &index, "v", &ingest_cfg);
+    assert!(!store.store.is_empty(), "ingest produced no vectors");
+    // Probe every list: the candidate set is the whole store, so the
+    // result must be byte-identical to the scan, not merely high-recall.
+    store.nprobe = store.nlist();
+
+    for &kind in SINGLE_OBJECT {
+        let query = query_clip(kind);
+        let scan = m.search(&index, &query).unwrap();
+        let via_store = m
+            .search_with_store(&index, &store, &query, &CancelToken::none())
+            .unwrap();
+        assert!(via_store.from_store, "{kind:?} unexpectedly fell back");
+        assert!(via_store.probed > 0);
+        assert_eq!(
+            via_store.moments, scan,
+            "{kind:?}: store path diverged from full scan"
+        );
+        // Scores must match at the bit level, not approximately.
+        for (a, b) in via_store.moments.iter().zip(&scan) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}
+
+#[test]
+fn narrow_probe_scores_are_still_bit_identical() {
+    let model = tiny_model();
+    let index = test_index(12);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let mut store = ingest(&m.sim, &index, "v", &ingest_cfg);
+    store.nprobe = 1;
+
+    let scan = m.search(&index, &query).unwrap();
+    let via_store = m
+        .search_with_store(&index, &store, &query, &CancelToken::none())
+        .unwrap();
+    assert!(via_store.from_store);
+    // A narrow probe may omit moments, but anything it reports must carry
+    // the exact scan score for that (window, track) pair.
+    for a in &via_store.moments {
+        if let Some(b) = scan
+            .iter()
+            .find(|b| (b.start, b.end, &b.track_ids) == (a.start, a.end, &a.track_ids))
+        {
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "score drifted: {a:?}");
+        }
+    }
+}
+
+#[test]
+fn model_mismatch_falls_back_to_scan() {
+    let model = tiny_model();
+    let index = test_index(13);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let store = ingest(&m.sim, &index, "v", &ingest_cfg);
+
+    // A model trained two more steps embeds differently; its fingerprint
+    // must differ and the store must refuse to serve it.
+    let mut cfg2 = TrainingConfig::tiny();
+    cfg2.steps = 10;
+    let other = train(cfg2);
+    let m2 = matcher(&other);
+    assert_ne!(model_fingerprint(&m.sim), model_fingerprint(&m2.sim));
+    let r = m2
+        .search_with_store(&index, &store, &query, &CancelToken::none())
+        .unwrap();
+    assert!(!r.from_store, "mismatched model must fall back");
+    assert_eq!(r.moments, m2.search(&index, &query).unwrap());
+}
+
+#[test]
+fn index_mismatch_and_config_mismatch_fall_back() {
+    let model = tiny_model();
+    let index = test_index(14);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let store = ingest(&m.sim, &index, "v", &ingest_cfg);
+
+    // Different video contents → different index fingerprint → fallback.
+    let other_index = test_index(15);
+    assert_ne!(index_fingerprint(&index), index_fingerprint(&other_index));
+    let r = m
+        .search_with_store(&other_index, &store, &query, &CancelToken::none())
+        .unwrap();
+    assert!(!r.from_store);
+
+    // A matcher with a different stride cannot reuse the store's grid.
+    let mut strided = matcher(&model);
+    strided.config.stride_frac = 0.5;
+    let r = strided
+        .search_with_store(&index, &store, &query, &CancelToken::none())
+        .unwrap();
+    assert!(!r.from_store);
+
+    // A query span whose window lengths were never ingested → fallback.
+    let unseen = query_clip(EventKind::UTurn);
+    if IngestConfig::from_matcher(&m.config, &[unseen.span()]).window_lens != ingest_cfg.window_lens
+    {
+        let r = m
+            .search_with_store(&index, &store, &unseen, &CancelToken::none())
+            .unwrap();
+        assert!(!r.from_store);
+    }
+}
+
+#[test]
+fn multi_object_query_falls_back() {
+    let model = tiny_model();
+    let index = test_index(16);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::PerpendicularCrossing);
+    assert!(query.num_objects() > 1);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let store = ingest(&m.sim, &index, "v", &ingest_cfg);
+    let r = m
+        .search_with_store(&index, &store, &query, &CancelToken::none())
+        .unwrap();
+    assert!(!r.from_store, "multi-object queries must fall back");
+    assert_eq!(r.moments, m.search(&index, &query).unwrap());
+}
+
+#[test]
+fn store_round_trips_through_disk_and_still_matches_scan() {
+    let model = tiny_model();
+    let index = test_index(17);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let built = ingest(&m.sim, &index, "disk", &ingest_cfg);
+
+    let dir = std::env::temp_dir().join(format!("skql-vstore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("disk.skstore");
+    built.save(&path).unwrap();
+    let mut loaded = sketchql::vstore::DatasetStore::open(&path).unwrap();
+    assert_eq!(loaded.dataset(), "disk");
+    loaded.nprobe = loaded.nlist();
+
+    let scan = m.search(&index, &query).unwrap();
+    let r = m
+        .search_with_store(&index, &loaded, &query, &CancelToken::none())
+        .unwrap();
+    assert!(r.from_store);
+    assert_eq!(r.moments, scan, "reloaded store diverged from scan");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cancelled_store_search_reports_cancelled() {
+    let model = tiny_model();
+    let index = test_index(18);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let store = ingest(&m.sim, &index, "v", &ingest_cfg);
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let err = m
+        .search_with_store(&index, &store, &query, &cancel)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        sketchql::matcher::MatchError::Cancelled(sketchql::cancel::CancelReason::Cancelled)
+    ));
+}

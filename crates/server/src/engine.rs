@@ -39,6 +39,21 @@
 //! none); each member's own token is re-checked afterwards, so a member
 //! whose tighter deadline expired mid-batch still reports
 //! `DeadlineExceeded` even though the batch kept running for its peers.
+//!
+//! ## Index-backed datasets
+//!
+//! [`Engine::start_with_stores`] additionally accepts persistent
+//! embedding stores (built offline by `sketchql::vstore::ingest`). A
+//! store is warm-validated at startup — it must name a loaded dataset
+//! and carry the model's and index's fingerprints — and mismatches are
+//! dropped so every query against that dataset falls back to the fused
+//! scan path. Queries against a stored dataset skip scan fusion and run
+//! individually through [`Matcher::search_with_store`] under their own
+//! cancel tokens: the ANN probe plus exact re-rank is cheap enough that
+//! sharing an embedding pass buys nothing, and per-member tokens give
+//! exact deadline semantics. Store effectiveness is mirrored in plain
+//! atomics ([`EngineStats::store_hits`] and friends), so the numbers
+//! survive builds with telemetry compiled out.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -49,7 +64,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sketchql::{
-    CancelReason, CancelToken, LearnedSimilarity, MatchError, Matcher, MatcherConfig,
+    CancelReason, CancelToken, DatasetStore, LearnedSimilarity, MatchError, Matcher, MatcherConfig,
     RetrievedMoment, SimilarityError, TrainedModel, VideoIndex,
 };
 use sketchql_telemetry::{self as telemetry, names};
@@ -216,6 +231,15 @@ pub struct EngineStats {
     pub timed_out: u64,
     /// Queries that failed (similarity error or explicit cancel).
     pub failed: u64,
+    /// Queries answered from a persistent embedding store (ANN probe +
+    /// exact re-rank, no re-embedding).
+    pub store_hits: u64,
+    /// Queries against a stored dataset that the store could not serve
+    /// (multi-object sketch, window-grid mismatch) and that fell back to
+    /// a full scan.
+    pub store_fallbacks: u64,
+    /// Total stored rows scored across all store-served queries.
+    pub store_probed: u64,
 }
 
 /// A loaded dataset, as listed over the wire.
@@ -227,6 +251,8 @@ pub struct DatasetInfo {
     pub frames: u32,
     /// Object trajectories in the index.
     pub tracks: usize,
+    /// Whether an ingested embedding store backs this dataset.
+    pub stored: bool,
 }
 
 /// Handle to an admitted query: wait for the answer or cancel it.
@@ -271,6 +297,11 @@ struct Counters {
     rejected: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
+    // Store effectiveness lives in plain atomics (not only telemetry
+    // counters) so `stats()` keeps working with telemetry compiled out.
+    store_hits: AtomicU64,
+    store_fallbacks: AtomicU64,
+    store_probed: AtomicU64,
 }
 
 struct Shared {
@@ -278,6 +309,7 @@ struct Shared {
     work_ready: Condvar,
     matcher: Matcher<LearnedSimilarity>,
     datasets: BTreeMap<String, VideoIndex>,
+    stores: BTreeMap<String, DatasetStore>,
     counters: Counters,
     fused_batch: usize,
 }
@@ -296,11 +328,36 @@ impl Engine {
         datasets: BTreeMap<String, VideoIndex>,
         config: EngineConfig,
     ) -> Engine {
+        Engine::start_with_stores(model, datasets, BTreeMap::new(), config)
+    }
+
+    /// Like [`Engine::start`], but warm-loads persistent embedding
+    /// stores keyed by dataset name. Each store is validated here: it
+    /// must name a loaded dataset and carry both the model's and that
+    /// index's fingerprints. Stores that don't match are dropped, and
+    /// queries against their dataset simply take the fused-scan path —
+    /// per-dataset fallback, never a startup failure.
+    pub fn start_with_stores(
+        model: TrainedModel,
+        datasets: BTreeMap<String, VideoIndex>,
+        stores: BTreeMap<String, DatasetStore>,
+        config: EngineConfig,
+    ) -> Engine {
         let mut config = config;
         config.workers = config.workers.max(1);
         if config.fused_batch == 0 {
             config.fused_batch = config.workers;
         }
+        let matcher = Matcher::with_config(model.similarity(), config.matcher.clone());
+        let stores: BTreeMap<String, DatasetStore> = stores
+            .into_iter()
+            .filter(|(name, store)| {
+                store.matches_model(&matcher.sim)
+                    && datasets
+                        .get(name)
+                        .is_some_and(|idx| store.matches_index(idx))
+            })
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -308,8 +365,9 @@ impl Engine {
                 in_flight: 0,
             }),
             work_ready: Condvar::new(),
-            matcher: Matcher::with_config(model.similarity(), config.matcher.clone()),
+            matcher,
             datasets,
+            stores,
             counters: Counters::default(),
             fused_batch: config.fused_batch,
         });
@@ -397,6 +455,9 @@ impl Engine {
             rejected_overload: c.rejected.load(Ordering::Relaxed),
             timed_out: c.timed_out.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
+            store_hits: c.store_hits.load(Ordering::Relaxed),
+            store_fallbacks: c.store_fallbacks.load(Ordering::Relaxed),
+            store_probed: c.store_probed.load(Ordering::Relaxed),
         }
     }
 
@@ -409,8 +470,14 @@ impl Engine {
                 name: name.clone(),
                 frames: idx.frames,
                 tracks: idx.tracks.len(),
+                stored: self.shared.stores.contains_key(name),
             })
             .collect()
+    }
+
+    /// Dataset names backed by a warm-validated embedding store.
+    pub fn stored_datasets(&self) -> Vec<String> {
+        self.shared.stores.keys().cloned().collect()
     }
 
     /// Stops admission, drains every already-admitted query, and joins
@@ -488,12 +555,53 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     if live.is_empty() {
         return;
     }
-    telemetry::histogram(names::SERVER_FUSED_BATCH, BATCH_BOUNDS).observe(live.len() as f64);
     let index = shared
         .datasets
         .get(&live[0].0.dataset)
         .expect("dataset validated at submit");
 
+    // Index-backed datasets skip scan fusion: each member runs its own
+    // ANN probe + exact re-rank under its own token. The probe touches
+    // no encoder, so there is no embedding work to share, and per-member
+    // tokens give exact deadline/cancel semantics.
+    if let Some(store) = shared.stores.get(&live[0].0.dataset) {
+        for (job, wait) in live {
+            let started = Instant::now();
+            let result = shared
+                .matcher
+                .search_with_store(index, store, &job.query, &job.cancel);
+            let execute = started.elapsed();
+            telemetry::histogram(names::SERVER_EXECUTE_MS, LATENCY_MS_BOUNDS)
+                .observe(execute.as_secs_f64() * 1e3);
+            match result {
+                Ok(search) => {
+                    let c = &shared.counters;
+                    if search.from_store {
+                        c.store_hits.fetch_add(1, Ordering::Relaxed);
+                        c.store_probed.fetch_add(search.probed, Ordering::Relaxed);
+                    } else {
+                        c.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut moments = search.moments;
+                    if let Some(k) = job.top_k {
+                        moments.truncate(k);
+                    }
+                    c.completed.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter(names::SERVER_COMPLETED).inc();
+                    let _ = job.tx.send(Ok(QueryResult {
+                        moments,
+                        queue_wait: wait,
+                        execute,
+                        batch_size: 1,
+                    }));
+                }
+                Err(e) => finish_err(shared, &job, e.into()),
+            }
+        }
+        return;
+    }
+
+    telemetry::histogram(names::SERVER_FUSED_BATCH, BATCH_BOUNDS).observe(live.len() as f64);
     let started = Instant::now();
     let results = if live.len() == 1 {
         // A lone query runs under its own token, so explicit cancellation

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! → "Ping"
-//! ← {"Pong":{"version":1}}
+//! ← {"Pong":{"version":2}}
 //! → {"Query":{"dataset":"traffic","event":"left_turn","clip":null,"top_k":5,"deadline_ms":2000}}
 //! ← {"Moments":{"moments":[...],"queue_wait_ms":0,"execute_ms":41,"batch_size":1}}
 //! ```
@@ -29,7 +29,9 @@ use sketchql_trajectory::Clip;
 use crate::engine::{DatasetInfo, EngineError, EngineStats};
 
 /// Bumped on incompatible wire changes; echoed by [`Response::Pong`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added store-effectiveness fields to `Stats` and the
+/// `stored` flag to dataset listings.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A client request: one JSON value per line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -177,6 +179,7 @@ mod tests {
                     name: "traffic".into(),
                     frames: 900,
                     tracks: 12,
+                    stored: true,
                 }],
             },
             Response::Moments {

@@ -1,0 +1,134 @@
+//! Engine integration with persistent embedding stores: warm-load
+//! validation, byte-identical answers, per-query fallback, and the
+//! store-effectiveness counters surfaced through `stats()`.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use sketchql::{ingest, DatasetStore, IngestConfig, MatcherConfig};
+use sketchql_datasets::{query_clip, EventKind};
+use sketchql_server::{Engine, EngineConfig, QuerySpec};
+
+use common::{small_index, tiny_model, two_datasets};
+
+/// Single-object events (multi-object sketches always fall back).
+const SINGLE_OBJECT: &[EventKind] = &[
+    EventKind::LeftTurn,
+    EventKind::StopAndGo,
+    EventKind::LaneChange,
+];
+
+fn spec(dataset: &str, event: EventKind) -> QuerySpec {
+    QuerySpec::new(dataset, query_clip(event))
+}
+
+/// Ingests a store for `dataset` covering the window grid every
+/// `SINGLE_OBJECT` query needs, with an exhaustive probe so answers are
+/// provably identical to the scan, not merely high-recall.
+fn exhaustive_store(
+    model: &sketchql::TrainedModel,
+    index: &sketchql::VideoIndex,
+    dataset: &str,
+) -> DatasetStore {
+    let sim = model.similarity();
+    let spans: Vec<u32> = SINGLE_OBJECT
+        .iter()
+        .map(|&k| query_clip(k).span())
+        .collect();
+    let cfg = IngestConfig::from_matcher(&MatcherConfig::default(), &spans);
+    let mut store = ingest(&sim, index, dataset, &cfg);
+    store.nprobe = store.nlist();
+    store
+}
+
+/// A store-backed engine answers exactly what a plain engine answers,
+/// serves stored datasets from the index, and scans the rest.
+#[test]
+fn store_backed_engine_matches_plain_engine() {
+    let model = tiny_model();
+    let store = exhaustive_store(&model, &small_index(11), "alpha");
+
+    let plain = Engine::start(model.clone(), two_datasets(), EngineConfig::default());
+    let mut expected = Vec::new();
+    for dataset in ["alpha", "beta"] {
+        for &event in SINGLE_OBJECT {
+            expected.push((
+                (dataset, event),
+                plain.execute(spec(dataset, event)).unwrap().moments,
+            ));
+        }
+    }
+    plain.shutdown();
+
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), store);
+    let engine = Engine::start_with_stores(model, two_datasets(), stores, EngineConfig::default());
+    assert_eq!(engine.stored_datasets(), vec!["alpha".to_string()]);
+    let infos = engine.datasets();
+    assert!(infos.iter().any(|d| d.name == "alpha" && d.stored));
+    assert!(infos.iter().any(|d| d.name == "beta" && !d.stored));
+
+    for ((dataset, event), want) in &expected {
+        let got = engine.execute(spec(dataset, *event)).unwrap();
+        assert_eq!(
+            &got.moments, want,
+            "{dataset}/{event:?}: store-backed engine diverged from plain engine"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        stats.store_hits,
+        SINGLE_OBJECT.len() as u64,
+        "every single-object alpha query must be store-served"
+    );
+    assert_eq!(stats.store_fallbacks, 0);
+    assert!(stats.store_probed > 0);
+    engine.shutdown();
+}
+
+/// A store built against different video contents fails fingerprint
+/// validation at startup and is dropped; its dataset still answers
+/// queries through the ordinary scan path.
+#[test]
+fn mismatched_store_is_dropped_at_startup() {
+    let model = tiny_model();
+    // Named "alpha" but embedded from a different video.
+    let store = exhaustive_store(&model, &small_index(99), "alpha");
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), store);
+    let engine = Engine::start_with_stores(model, two_datasets(), stores, EngineConfig::default());
+    assert!(engine.stored_datasets().is_empty());
+    assert!(engine.datasets().iter().all(|d| !d.stored));
+    let result = engine.execute(spec("alpha", EventKind::LeftTurn)).unwrap();
+    assert!(!result.moments.is_empty());
+    assert_eq!(engine.stats().store_hits, 0);
+    engine.shutdown();
+}
+
+/// A multi-object sketch against a stored dataset is answered correctly
+/// by falling back to the scan, and the fallback is counted.
+#[test]
+fn multi_object_query_on_stored_dataset_falls_back() {
+    let model = tiny_model();
+    let store = exhaustive_store(&model, &small_index(11), "alpha");
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), store);
+
+    let plain = Engine::start(model.clone(), two_datasets(), EngineConfig::default());
+    let want = plain
+        .execute(spec("alpha", EventKind::PerpendicularCrossing))
+        .unwrap()
+        .moments;
+    plain.shutdown();
+
+    let engine = Engine::start_with_stores(model, two_datasets(), stores, EngineConfig::default());
+    let got = engine
+        .execute(spec("alpha", EventKind::PerpendicularCrossing))
+        .unwrap();
+    assert_eq!(got.moments, want);
+    let stats = engine.stats();
+    assert_eq!(stats.store_fallbacks, 1);
+    assert_eq!(stats.store_hits, 0);
+    engine.shutdown();
+}

@@ -1,0 +1,299 @@
+//! IVF-style approximate-nearest-neighbor index.
+//!
+//! A k-means coarse quantizer partitions the stored vectors into `nlist`
+//! inverted lists. A query probes the `nprobe` lists whose centroids are
+//! most aligned with it and re-ranks only those rows with the exact
+//! cosine — so probing trades recall for speed, but never changes the
+//! *score* of any row it returns.
+//!
+//! Everything here is deterministic: initialization is seeded (a
+//! splitmix64 stream over `AnnConfig::seed`), ties break toward the
+//! lower centroid index, and no wall-clock or thread-order dependence
+//! exists anywhere, so the same vectors + config always build the same
+//! index.
+
+/// Configuration for [`IvfIndex::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnConfig {
+    /// Number of inverted lists (k-means centroids). `0` picks
+    /// `ceil(sqrt(n))`, clamped to `[1, n]`.
+    pub nlist: usize,
+    /// Default number of lists a query probes (callers may override per
+    /// probe call).
+    pub nprobe: usize,
+    /// k-means refinement iterations.
+    pub iters: usize,
+    /// Seed for deterministic centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        AnnConfig {
+            nlist: 0,
+            nprobe: 8,
+            iters: 8,
+            seed: 0x534b_4554_4348_514c, // "SKETCHQL" in ASCII
+        }
+    }
+}
+
+/// An inverted-file index over a flat row-major vector column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfIndex {
+    dim: usize,
+    centroids: Vec<f32>,
+    lists: Vec<Vec<u32>>,
+}
+
+impl IvfIndex {
+    /// Builds the index over `n = vectors.len() / dim` rows.
+    ///
+    /// # Panics
+    /// If `dim == 0` while `vectors` is non-empty, or `vectors.len()` is
+    /// not a multiple of `dim`.
+    pub fn build(vectors: &[f32], dim: usize, cfg: &AnnConfig) -> Self {
+        if vectors.is_empty() {
+            return IvfIndex {
+                dim,
+                centroids: Vec::new(),
+                lists: Vec::new(),
+            };
+        }
+        assert!(dim > 0, "dim must be positive for non-empty vectors");
+        assert_eq!(vectors.len() % dim, 0, "vectors not a multiple of dim");
+        let n = vectors.len() / dim;
+        let nlist = if cfg.nlist == 0 {
+            (n as f64).sqrt().ceil() as usize
+        } else {
+            cfg.nlist
+        }
+        .clamp(1, n);
+
+        // Unit-normalize rows once so assignment by dot product is
+        // assignment by cosine.
+        let mut unit = vectors.to_vec();
+        for row in unit.chunks_mut(dim) {
+            normalize(row);
+        }
+
+        // Seeded distinct-row initialization.
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut chosen: Vec<usize> = Vec::with_capacity(nlist);
+        while chosen.len() < nlist {
+            let r = (rng.next() % n as u64) as usize;
+            if !chosen.contains(&r) {
+                chosen.push(r);
+            }
+        }
+        let mut centroids = Vec::with_capacity(nlist * dim);
+        for &r in &chosen {
+            centroids.extend_from_slice(&unit[r * dim..(r + 1) * dim]);
+        }
+
+        let mut assign = vec![0usize; n];
+        for _ in 0..cfg.iters.max(1) {
+            // Assign each row to its most-aligned centroid.
+            for (i, row) in unit.chunks(dim).enumerate() {
+                assign[i] = nearest(&centroids, dim, row).0;
+            }
+            // Recompute centroids as renormalized means.
+            let mut sums = vec![0.0f32; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            for (i, row) in unit.chunks(dim).enumerate() {
+                let c = assign[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    // Reseed an empty cluster with the row least aligned
+                    // to its current centroid (the worst-represented
+                    // vector), deterministically.
+                    let mut worst = (0usize, f32::INFINITY);
+                    for (i, row) in unit.chunks(dim).enumerate() {
+                        let a = assign[i];
+                        let d = dot(&centroids[a * dim..(a + 1) * dim], row);
+                        if d < worst.1 {
+                            worst = (i, d);
+                        }
+                    }
+                    centroids[c * dim..(c + 1) * dim]
+                        .copy_from_slice(&unit[worst.0 * dim..(worst.0 + 1) * dim]);
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f32;
+                for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *dst = s * inv;
+                }
+                normalize(&mut centroids[c * dim..(c + 1) * dim]);
+            }
+        }
+
+        // Final assignment into inverted lists.
+        let mut lists = vec![Vec::new(); nlist];
+        for (i, row) in unit.chunks(dim).enumerate() {
+            lists[nearest(&centroids, dim, row).0].push(i as u32);
+        }
+
+        IvfIndex {
+            dim,
+            centroids,
+            lists,
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Row ids from the `nprobe` lists whose centroids are most aligned
+    /// with `query` (descending alignment; ties toward the lower list
+    /// index). Empty index → empty result.
+    pub fn probe(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
+        if self.lists.is_empty() || nprobe == 0 {
+            return Vec::new();
+        }
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let mut ranked: Vec<(usize, f32)> = self
+            .centroids
+            .chunks(self.dim)
+            .enumerate()
+            .map(|(c, cent)| (c, dot(cent, &q)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut out = Vec::new();
+        for &(c, _) in ranked.iter().take(nprobe.min(ranked.len())) {
+            out.extend_from_slice(&self.lists[c]);
+        }
+        out
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 && norm.is_finite() {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Index (and alignment) of the centroid most aligned with `row`; ties
+/// break toward the lower index.
+fn nearest(centroids: &[f32], dim: usize, row: &[f32]) -> (usize, f32) {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for (c, cent) in centroids.chunks(dim).enumerate() {
+        let d = dot(cent, row);
+        if d > best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// splitmix64 — tiny, seedable, good-enough stream for centroid picks.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_vectors() -> (Vec<f32>, usize) {
+        // Three well-separated directions in 2D, several points each.
+        let dirs: [(f32, f32); 3] = [(1.0, 0.0), (0.0, 1.0), (-1.0, -1.0)];
+        let mut v = Vec::new();
+        for &(x, y) in &dirs {
+            for k in 0..5 {
+                let jitter = 0.01 * k as f32;
+                v.push(x + jitter);
+                v.push(y - jitter);
+            }
+        }
+        (v, 2)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (v, dim) = toy_vectors();
+        let cfg = AnnConfig {
+            nlist: 3,
+            ..AnnConfig::default()
+        };
+        let a = IvfIndex::build(&v, dim, &cfg);
+        let b = IvfIndex::build(&v, dim, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_row_lands_in_exactly_one_list() {
+        let (v, dim) = toy_vectors();
+        let idx = IvfIndex::build(&v, dim, &AnnConfig::default());
+        let mut seen: Vec<u32> = idx.lists.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..15u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn probing_all_lists_returns_every_row() {
+        let (v, dim) = toy_vectors();
+        let idx = IvfIndex::build(&v, dim, &AnnConfig::default());
+        let mut got = idx.probe(&[0.5, 0.5], idx.nlist());
+        got.sort_unstable();
+        assert_eq!(got, (0..15u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn probe_prefers_the_aligned_cluster() {
+        let (v, dim) = toy_vectors();
+        let idx = IvfIndex::build(
+            &v,
+            dim,
+            &AnnConfig {
+                nlist: 3,
+                ..AnnConfig::default()
+            },
+        );
+        // Probing one list with a query right on the +x direction must
+        // return the +x cluster (rows 0..5).
+        let got = idx.probe(&[1.0, 0.0], 1);
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|&r| r < 5), "got {got:?}");
+    }
+
+    #[test]
+    fn empty_store_builds_an_empty_index() {
+        let idx = IvfIndex::build(&[], 0, &AnnConfig::default());
+        assert_eq!(idx.nlist(), 0);
+        assert!(idx.probe(&[1.0], 4).is_empty());
+    }
+}

@@ -1,0 +1,598 @@
+//! The on-disk store format: a versioned, checksummed binary columnar
+//! layout.
+//!
+//! One store file holds every persisted sliding window of one
+//! [`VideoIndex`](https://docs.rs) dataset: the window metadata columns
+//! and a flat vector column, preceded by a fixed header describing the
+//! dataset and the exact ingest configuration, and followed by an FNV-1a
+//! checksum of everything before it. All integers and floats are
+//! little-endian; floats are stored by bit pattern, so a round trip is
+//! bit-identical.
+//!
+//! ```text
+//! magic            8 bytes   "SKQLSTOR"
+//! version          u32       FORMAT_VERSION
+//! model_fp         u64       fingerprint of the encoder + weights
+//! index_fp         u64       fingerprint of the VideoIndex contents
+//! frames           u32       video length the windows were cut from
+//! fps              f32
+//! frame_width      f32
+//! frame_height     f32
+//! stride_frac      f32       ingest window stride (fraction of length)
+//! min_overlap_frac f32       ingest track-eligibility overlap fraction
+//! dataset_len      u32       + that many UTF-8 bytes (dataset name)
+//! n_window_lens    u32       + that many u32 window lengths
+//! rows             u32       number of stored windows (n)
+//! dim              u32       embedding dimensionality
+//! track_ids        n × u64
+//! classes          n × u8    (see class code table below)
+//! starts           n × u32
+//! ends             n × u32
+//! vectors          n × dim × f32
+//! checksum         u64       FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Class codes: `0` is [`ObjectClass::Any`]; `1 + i` is
+//! `ObjectClass::CONCRETE[i]`. Codes outside that table are rejected at
+//! load (`StoreError::BadClass`), so a store written by a future class
+//! table never silently mislabels rows.
+
+use sketchql_trajectory::{ObjectClass, TrackId};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::Fnv64;
+
+/// Magic bytes opening every store file.
+pub const MAGIC: [u8; 8] = *b"SKQLSTOR";
+
+/// Current format version; bumped on incompatible layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors reading or writing a store file. Every variant names the file
+/// it concerns, so a corrupt store in a directory of many is identifiable
+/// from the error alone.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// File being read or written.
+        path: PathBuf,
+        /// The originating I/O error.
+        source: std::io::Error,
+    },
+    /// The file does not start with [`MAGIC`] — not a store file at all.
+    BadMagic {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Offending file.
+        path: PathBuf,
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file ended before the layout said it should (a truncated or
+    /// half-written store).
+    Truncated {
+        /// Offending file.
+        path: PathBuf,
+        /// What was being read when the bytes ran out.
+        detail: String,
+    },
+    /// The trailing checksum does not match the file contents (bit rot or
+    /// a torn write).
+    ChecksumMismatch {
+        /// Offending file.
+        path: PathBuf,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum computed over the payload actually read.
+        found: u64,
+    },
+    /// A class column byte is outside the known class-code table.
+    BadClass {
+        /// Offending file.
+        path: PathBuf,
+        /// The unknown code.
+        code: u8,
+    },
+    /// The header is internally inconsistent (e.g. a non-UTF-8 dataset
+    /// name or an implausible column length).
+    BadHeader {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store {}: {source}", path.display())
+            }
+            StoreError::BadMagic { path } => {
+                write!(f, "store {}: not a SketchQL store (bad magic)", path.display())
+            }
+            StoreError::UnsupportedVersion { path, found } => write!(
+                f,
+                "store {}: unsupported format version {found} (expected {FORMAT_VERSION})",
+                path.display()
+            ),
+            StoreError::Truncated { path, detail } => {
+                write!(f, "store {}: truncated while reading {detail}", path.display())
+            }
+            StoreError::ChecksumMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "store {}: checksum mismatch (file says {expected:#018x}, payload hashes to {found:#018x})",
+                path.display()
+            ),
+            StoreError::BadClass { path, code } => {
+                write!(f, "store {}: unknown object-class code {code}", path.display())
+            }
+            StoreError::BadHeader { path, detail } => {
+                write!(f, "store {}: bad header: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Everything about how (and from what) a store was built. Queries use
+/// this to decide whether the store is applicable: the fingerprints must
+/// match the live model and index, and the window grid must cover the
+/// query's window lengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMeta {
+    /// Name of the dataset the windows were cut from.
+    pub dataset: String,
+    /// Fingerprint of the encoder architecture + trained weights that
+    /// produced the vectors (see the core crate's `model_fingerprint`).
+    pub model_fingerprint: u64,
+    /// Fingerprint of the `VideoIndex` contents the windows were cut
+    /// from (see the core crate's `index_fingerprint`).
+    pub index_fingerprint: u64,
+    /// Frames in the source video.
+    pub frames: u32,
+    /// Frames per second of the source video.
+    pub fps: f32,
+    /// Frame width of the source video.
+    pub frame_width: f32,
+    /// Frame height of the source video.
+    pub frame_height: f32,
+    /// Window stride as a fraction of the window length (must equal the
+    /// matcher's `stride_frac` for the grids to line up).
+    pub stride_frac: f32,
+    /// Minimum track/window overlap fraction used for row eligibility.
+    pub min_overlap_frac: f32,
+    /// The window lengths (frames) enumerated at ingest.
+    pub window_lens: Vec<u32>,
+}
+
+/// One stored window's metadata columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRow {
+    /// The track sliced into this window.
+    pub track_id: TrackId,
+    /// The track's object class.
+    pub class: ObjectClass,
+    /// First frame of the window (inclusive).
+    pub start: u32,
+    /// Last frame of the window (inclusive).
+    pub end: u32,
+}
+
+/// An in-memory embedding store: columnar window metadata plus a flat
+/// vector column. Build with [`EmbeddingStore::new`] + `push`, persist
+/// with [`save`](EmbeddingStore::save), restore with
+/// [`load`](EmbeddingStore::load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingStore {
+    /// Provenance and ingest configuration.
+    pub meta: StoreMeta,
+    dim: usize,
+    track_ids: Vec<TrackId>,
+    classes: Vec<ObjectClass>,
+    starts: Vec<u32>,
+    ends: Vec<u32>,
+    vectors: Vec<f32>,
+}
+
+impl EmbeddingStore {
+    /// An empty store with the given provenance and vector width.
+    pub fn new(meta: StoreMeta, dim: usize) -> Self {
+        EmbeddingStore {
+            meta,
+            dim,
+            track_ids: Vec::new(),
+            classes: Vec::new(),
+            starts: Vec::new(),
+            ends: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Appends one window row.
+    ///
+    /// # Panics
+    /// If `vector.len()` differs from the store's `dim`.
+    pub fn push(&mut self, row: StoreRow, vector: &[f32]) {
+        assert_eq!(
+            vector.len(),
+            self.dim,
+            "vector width {} does not match store dim {}",
+            vector.len(),
+            self.dim
+        );
+        self.track_ids.push(row.track_id);
+        self.classes.push(row.class);
+        self.starts.push(row.start);
+        self.ends.push(row.end);
+        self.vectors.extend_from_slice(vector);
+    }
+
+    /// Number of stored windows.
+    pub fn len(&self) -> usize {
+        self.track_ids.len()
+    }
+
+    /// Whether the store holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.track_ids.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Metadata of row `i`.
+    pub fn row(&self, i: usize) -> StoreRow {
+        StoreRow {
+            track_id: self.track_ids[i],
+            class: self.classes[i],
+            start: self.starts[i],
+            end: self.ends[i],
+        }
+    }
+
+    /// Vector of row `i`.
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.vectors[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat vector column, row-major (`len × dim`).
+    pub fn vectors(&self) -> &[f32] {
+        &self.vectors
+    }
+
+    /// Serializes the store to its binary layout (see module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(64 + n * (8 + 1 + 4 + 4 + self.dim * 4) + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.meta.model_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.meta.index_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.meta.frames.to_le_bytes());
+        out.extend_from_slice(&self.meta.fps.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.meta.frame_width.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.meta.frame_height.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.meta.stride_frac.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.meta.min_overlap_frac.to_bits().to_le_bytes());
+        let name = self.meta.dataset.as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&(self.meta.window_lens.len() as u32).to_le_bytes());
+        for &w in &self.meta.window_lens {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        for &id in &self.track_ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        for &c in &self.classes {
+            out.push(class_code(c));
+        }
+        for &s in &self.starts {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for &e in &self.ends {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        for &v in &self.vectors {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut h = Fnv64::new();
+        h.write(&out);
+        out.extend_from_slice(&h.finish().to_le_bytes());
+        out
+    }
+
+    /// Parses a store from bytes; `path` labels errors.
+    pub fn from_bytes(path: &Path, bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader {
+            path,
+            bytes,
+            pos: 0,
+        };
+        let magic = r.take(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        let version = r.u32("version")?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                path: path.to_path_buf(),
+                found: version,
+            });
+        }
+        let model_fingerprint = r.u64("model fingerprint")?;
+        let index_fingerprint = r.u64("index fingerprint")?;
+        let frames = r.u32("frames")?;
+        let fps = r.f32("fps")?;
+        let frame_width = r.f32("frame width")?;
+        let frame_height = r.f32("frame height")?;
+        let stride_frac = r.f32("stride fraction")?;
+        let min_overlap_frac = r.f32("overlap fraction")?;
+        let name_len = r.u32("dataset name length")? as usize;
+        let name = r.take(name_len, "dataset name")?;
+        let dataset = String::from_utf8(name.to_vec()).map_err(|_| StoreError::BadHeader {
+            path: path.to_path_buf(),
+            detail: "dataset name is not UTF-8".into(),
+        })?;
+        let n_lens = r.u32("window-length count")? as usize;
+        let mut window_lens = Vec::with_capacity(n_lens.min(1024));
+        for _ in 0..n_lens {
+            window_lens.push(r.u32("window length")?);
+        }
+        let n = r.u32("row count")? as usize;
+        let dim = r.u32("vector dim")? as usize;
+
+        let mut track_ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            track_ids.push(r.u64("track-id column")?);
+        }
+        let class_bytes = r.take(n, "class column")?.to_vec();
+        let mut starts = Vec::with_capacity(n);
+        for _ in 0..n {
+            starts.push(r.u32("start column")?);
+        }
+        let mut ends = Vec::with_capacity(n);
+        for _ in 0..n {
+            ends.push(r.u32("end column")?);
+        }
+        let mut vectors = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            vectors.push(r.f32("vector column")?);
+        }
+
+        // Checksum covers every byte before it.
+        let payload_end = r.pos;
+        let expected = r.u64("checksum")?;
+        let mut h = Fnv64::new();
+        h.write(&bytes[..payload_end]);
+        let found = h.finish();
+        if found != expected {
+            return Err(StoreError::ChecksumMismatch {
+                path: path.to_path_buf(),
+                expected,
+                found,
+            });
+        }
+
+        let mut classes = Vec::with_capacity(n);
+        for code in class_bytes {
+            classes.push(class_from_code(code).ok_or(StoreError::BadClass {
+                path: path.to_path_buf(),
+                code,
+            })?);
+        }
+
+        Ok(EmbeddingStore {
+            meta: StoreMeta {
+                dataset,
+                model_fingerprint,
+                index_fingerprint,
+                frames,
+                fps,
+                frame_width,
+                frame_height,
+                stride_frac,
+                min_overlap_frac,
+                window_lens,
+            },
+            dim,
+            track_ids,
+            classes,
+            starts,
+            ends,
+            vectors,
+        })
+    }
+
+    /// Writes the store to `path` (atomically: a temp file in the same
+    /// directory is renamed into place, so readers never observe a
+    /// half-written store).
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let io = |source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(io)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes()).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Reads a store previously written with [`save`](Self::save).
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path).map_err(|source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Self::from_bytes(path, &bytes)
+    }
+}
+
+/// Encodes a class for the class column (see module docs).
+fn class_code(c: ObjectClass) -> u8 {
+    match ObjectClass::CONCRETE.iter().position(|&k| k == c) {
+        Some(i) => (i + 1) as u8,
+        None => 0, // Any
+    }
+}
+
+/// Decodes a class-column byte; `None` for unknown codes.
+fn class_from_code(code: u8) -> Option<ObjectClass> {
+    match code {
+        0 => Some(ObjectClass::Any),
+        i => ObjectClass::CONCRETE.get(i as usize - 1).copied(),
+    }
+}
+
+/// Little-endian cursor over a byte slice with path-labelled errors.
+struct Reader<'a> {
+    path: &'a Path,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(StoreError::Truncated {
+                path: self.path.to_path_buf(),
+                detail: format!(
+                    "{what} (need {n} bytes at offset {}, file has {})",
+                    self.pos,
+                    self.bytes.len()
+                ),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, StoreError> {
+        Ok(f32::from_bits(self.u32(what)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> StoreMeta {
+        StoreMeta {
+            dataset: "traffic/one".into(),
+            model_fingerprint: 0xdead_beef_0123_4567,
+            index_fingerprint: u64::MAX - 3,
+            frames: 900,
+            fps: 30.0,
+            frame_width: 1280.0,
+            frame_height: 720.0,
+            stride_frac: 0.25,
+            min_overlap_frac: 0.5,
+            window_lens: vec![67, 90, 135],
+        }
+    }
+
+    fn sample_store() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(sample_meta(), 3);
+        s.push(
+            StoreRow {
+                track_id: 1,
+                class: ObjectClass::Car,
+                start: 0,
+                end: 89,
+            },
+            &[0.1, -0.5, f32::MIN_POSITIVE],
+        );
+        s.push(
+            StoreRow {
+                track_id: u64::MAX,
+                class: ObjectClass::Any,
+                start: 22,
+                end: 111,
+            },
+            &[-0.0, 1.0e-38, 3.25],
+        );
+        s
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let s = sample_store();
+        let bytes = s.to_bytes();
+        let back = EmbeddingStore::from_bytes(Path::new("mem"), &bytes).unwrap();
+        assert_eq!(back, s);
+        for i in 0..s.len() {
+            assert_eq!(
+                back.vector(i)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                s.vector(i).iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join(format!("skql-store-{}", std::process::id()));
+        let path = dir.join("sample.skstore");
+        s.save(&path).unwrap();
+        let back = EmbeddingStore::load(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_concrete_class_round_trips() {
+        for (i, &c) in ObjectClass::CONCRETE.iter().enumerate() {
+            assert_eq!(class_from_code(class_code(c)), Some(c), "class {i}");
+        }
+        assert_eq!(
+            class_from_code(class_code(ObjectClass::Any)),
+            Some(ObjectClass::Any)
+        );
+        assert_eq!(class_from_code(200), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Store binary-format tests: property-based round trips plus targeted
+//! rejection of every corruption class the loader must detect.
+
+use proptest::prelude::*;
+use sketchql_store::{EmbeddingStore, StoreError, StoreMeta, StoreRow, FORMAT_VERSION, MAGIC};
+use sketchql_trajectory::ObjectClass;
+use std::path::Path;
+
+fn meta_with(dataset: String, frames: u32, lens: Vec<u32>) -> StoreMeta {
+    StoreMeta {
+        dataset,
+        model_fingerprint: 0x1122_3344_5566_7788,
+        index_fingerprint: 0x8877_6655_4433_2211,
+        frames,
+        fps: 30.0,
+        frame_width: 1280.0,
+        frame_height: 720.0,
+        stride_frac: 0.25,
+        min_overlap_frac: 0.5,
+        window_lens: lens,
+    }
+}
+
+/// An arbitrary store: random dataset name, window grid, and rows whose
+/// vectors exercise odd float bit patterns (negative zero, subnormals).
+fn arb_store() -> impl Strategy<Value = EmbeddingStore> {
+    let row = (
+        any::<u64>(),
+        any::<u8>(),
+        0u32..500,
+        0u32..100,
+        prop::collection::vec(-1.0e3f32..1.0e3, 4..5),
+    );
+    (
+        prop::collection::vec(any::<u8>(), 0..12),
+        prop::collection::vec(1u32..200, 1..4),
+        prop::collection::vec(row, 0..16),
+    )
+        .prop_map(|(name_bytes, lens, rows)| {
+            let dataset: String = name_bytes
+                .iter()
+                .map(|&b| char::from(b'a' + b % 26))
+                .collect();
+            let mut store = EmbeddingStore::new(meta_with(dataset, 600, lens), 4);
+            for (id, class_pick, start, span, mut vec) in rows {
+                let class = if class_pick == 0 {
+                    ObjectClass::Any
+                } else {
+                    ObjectClass::CONCRETE[class_pick as usize % ObjectClass::CONCRETE.len()]
+                };
+                // Force interesting bit patterns into the first lanes.
+                vec[0] = -0.0;
+                vec[1] = f32::MIN_POSITIVE / 2.0; // subnormal
+                store.push(
+                    StoreRow {
+                        track_id: id,
+                        class,
+                        start,
+                        end: start + span,
+                    },
+                    &vec,
+                );
+            }
+            store
+        })
+}
+
+proptest! {
+    #[test]
+    fn round_trip_is_bit_identical(store in arb_store()) {
+        let bytes = store.to_bytes();
+        let back = EmbeddingStore::from_bytes(Path::new("prop"), &bytes).unwrap();
+        prop_assert_eq!(back.meta.clone(), store.meta.clone());
+        prop_assert_eq!(back.len(), store.len());
+        prop_assert_eq!(back.dim(), store.dim());
+        for i in 0..store.len() {
+            prop_assert_eq!(back.row(i), store.row(i));
+            let a: Vec<u32> = back.vector(i).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = store.vector(i).iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_detected(store in arb_store(), frac in 0.0f64..1.0) {
+        // Cutting the file anywhere strictly before the end must surface
+        // as Truncated or ChecksumMismatch — never a silent partial load.
+        let bytes = store.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = EmbeddingStore::from_bytes(Path::new("prop"), &bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, StoreError::Truncated { .. } | StoreError::BadMagic { .. }),
+            "cut at {} of {} gave {:?}", cut, bytes.len(), err
+        );
+    }
+}
+
+fn sample_store() -> EmbeddingStore {
+    let mut s = EmbeddingStore::new(meta_with("demo".into(), 300, vec![67, 90]), 3);
+    s.push(
+        StoreRow {
+            track_id: 7,
+            class: ObjectClass::Car,
+            start: 10,
+            end: 99,
+        },
+        &[0.25, -0.5, 0.125],
+    );
+    s
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = sample_store().to_bytes();
+    bytes[0] ^= 0xff;
+    let err = EmbeddingStore::from_bytes(Path::new("m"), &bytes).unwrap_err();
+    assert!(matches!(err, StoreError::BadMagic { .. }), "{err:?}");
+    assert!(err.to_string().contains("bad magic"), "{err}");
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut bytes = sample_store().to_bytes();
+    let v = (FORMAT_VERSION + 9).to_le_bytes();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&v);
+    // Keep the checksum honest so the version check is what fires.
+    let err = EmbeddingStore::from_bytes(Path::new("v"), &bytes).unwrap_err();
+    match err {
+        StoreError::UnsupportedVersion { found, .. } => {
+            assert_eq!(found, FORMAT_VERSION + 9)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_payload_is_rejected() {
+    let bytes = sample_store().to_bytes();
+    let err = EmbeddingStore::from_bytes(Path::new("t"), &bytes[..bytes.len() - 12]).unwrap_err();
+    assert!(matches!(err, StoreError::Truncated { .. }), "{err:?}");
+    assert!(err.to_string().contains('t'), "{err}");
+}
+
+#[test]
+fn checksum_mismatch_is_rejected() {
+    let mut bytes = sample_store().to_bytes();
+    // Flip one bit in the vector column (well past the header, well
+    // before the checksum).
+    let idx = bytes.len() - 16;
+    bytes[idx] ^= 0x01;
+    let err = EmbeddingStore::from_bytes(Path::new("c"), &bytes).unwrap_err();
+    assert!(
+        matches!(err, StoreError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn unknown_class_code_is_rejected() {
+    let store = sample_store();
+    let bytes = store.to_bytes();
+    // The single class byte sits right after the track-id column; locate
+    // it by reconstructing the header length.
+    let header = MAGIC.len()
+        + 4
+        + 8
+        + 8
+        + 4
+        + 4 * 5
+        + 4
+        + store.meta.dataset.len()
+        + 4
+        + 4 * store.meta.window_lens.len()
+        + 4
+        + 4;
+    let class_at = header + 8 * store.len();
+    let mut bytes = bytes;
+    bytes[class_at] = 0xee;
+    // Re-stamp the checksum so only the class decode fails.
+    let payload = bytes.len() - 8;
+    let mut h = sketchql_store::Fnv64::new();
+    h.write(&bytes[..payload]);
+    let sum = h.finish().to_le_bytes();
+    bytes[payload..].copy_from_slice(&sum);
+    let err = EmbeddingStore::from_bytes(Path::new("k"), &bytes).unwrap_err();
+    match err {
+        StoreError::BadClass { code, .. } => assert_eq!(code, 0xee),
+        other => panic!("expected BadClass, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_display_names_the_path() {
+    let err = EmbeddingStore::load(Path::new("/no/such/dir/x.skstore")).unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }));
+    assert!(err.to_string().contains("/no/such/dir/x.skstore"), "{err}");
+}

@@ -140,6 +140,26 @@ pub mod names {
     pub const SERVER_REQUESTS: &str = "sketchql.server.requests";
     /// Histogram: queries fused into one shared engine scan.
     pub const SERVER_FUSED_BATCH: &str = "sketchql.server.fused_batch_size";
+
+    /// Span: one offline store ingest (window enumeration + embedding +
+    /// persistence).
+    pub const STORE_BUILD: &str = "sketchql.store.build";
+    /// Span: one store load from disk (parse + checksum + ANN build).
+    pub const STORE_LOAD: &str = "sketchql.store.load";
+    /// Counter: window embeddings persisted into stores at ingest.
+    pub const STORE_VECTORS: &str = "sketchql.store.vectors_ingested";
+    /// Counter: queries answered from a persistent store (index-backed
+    /// path taken end to end).
+    pub const STORE_HITS: &str = "sketchql.store.hits";
+    /// Counter: queries that had a store available but fell back to the
+    /// full scan (fingerprint or window-config mismatch, multi-object
+    /// query, …).
+    pub const STORE_FALLBACKS: &str = "sketchql.store.fallbacks";
+    /// Counter: store rows probed (retrieved from inverted lists and
+    /// exactly re-ranked).
+    pub const STORE_PROBED: &str = "sketchql.store.rows_probed";
+    /// Histogram: rows returned per ANN probe.
+    pub const STORE_PROBE_ROWS: &str = "sketchql.store.probe_rows";
 }
 
 /// Whether the `enabled` feature is compiled in.

@@ -23,6 +23,9 @@ const REPORT_COUNTERS: &[&str] = &[
     names::EMBED_CACHE_MISSES,
     names::SIMILARITY_EVALS,
     names::TOPK_HEAP_OPS,
+    names::STORE_HITS,
+    names::STORE_FALLBACKS,
+    names::STORE_PROBED,
 ];
 
 /// Everything observed about one query run.
@@ -54,6 +57,12 @@ pub struct QueryReport {
     pub similarity_evals: u64,
     /// Pushes into the candidate ranking structure.
     pub topk_heap_ops: u64,
+    /// Queries answered from a persistent embedding store.
+    pub store_hits: u64,
+    /// Queries that had a store available but fell back to the full scan.
+    pub store_fallbacks: u64,
+    /// Store rows probed and exactly re-ranked.
+    pub store_probed: u64,
     /// Completed spans, completion order (children precede parents).
     pub spans: Vec<SpanRecord>,
     /// Total wall time of the bracketed region, nanoseconds.
@@ -89,6 +98,9 @@ impl QueryReport {
             (names::EMBED_CACHE_MISSES, self.embed_cache_misses),
             (names::SIMILARITY_EVALS, self.similarity_evals),
             (names::TOPK_HEAP_OPS, self.topk_heap_ops),
+            (names::STORE_HITS, self.store_hits),
+            (names::STORE_FALLBACKS, self.store_fallbacks),
+            (names::STORE_PROBED, self.store_probed),
         ]
     }
 
@@ -154,6 +166,9 @@ impl Recorder {
                 embed_cache_misses: deltas[6],
                 similarity_evals: deltas[7],
                 topk_heap_ops: deltas[8],
+                store_hits: deltas[9],
+                store_fallbacks: deltas[10],
+                store_probed: deltas[11],
                 spans: take_finished_spans(),
                 total_nanos: self.start.elapsed().as_nanos() as u64,
             }

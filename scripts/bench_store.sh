@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Store speedup + recall check: runs the store bench, which ingests a
+# fixture video into a persistent embedding store and compares query
+# latency of the default cached full scan against the ANN-probe +
+# exact-re-rank store path. The bench itself asserts bit-identical
+# scores on every overlapping moment; this script gates the numbers:
+# speedup >= $SKETCHQL_STORE_SPEEDUP_MIN (default 5) and recall@10 >=
+# $SKETCHQL_STORE_RECALL_MIN (default 0.95). Writes BENCH_store.json.
+#
+#   scripts/bench_store.sh                              # full samples
+#   SKETCHQL_BENCH_QUICK=1 scripts/bench_store.sh       # fast smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${SKETCHQL_STORE_SPEEDUP_MIN:-5}"
+MIN_RECALL="${SKETCHQL_STORE_RECALL_MIN:-0.95}"
+OUT_JSON="${SKETCHQL_STORE_BENCH_JSON:-BENCH_store.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+echo "== store bench (cached full scan vs index-backed retrieval)"
+cargo bench -p sketchql-bench --bench store -- store_query | tee "$log"
+
+echo
+awk -v min="$MIN_SPEEDUP" -v minrec="$MIN_RECALL" -v out="$OUT_JSON" \
+    -v quick="${SKETCHQL_BENCH_QUICK:-0}" '
+    /^BENCH store_query\// && /median_ns=/ {
+        id = $2
+        sub(/^store_query\//, "", id)
+        for (i = 3; i <= NF; i++)
+            if ($i ~ /^median_ns=/) { sub(/^median_ns=/, "", $i); med[id] = $i }
+    }
+    /^STORE store_recall/ {
+        for (i = 3; i <= NF; i++) {
+            if ($i ~ /^recall_at_10=/) { sub(/^recall_at_10=/, "", $i); recall = $i }
+            if ($i ~ /^queries=/) { sub(/^queries=/, "", $i); queries = $i }
+        }
+    }
+    END {
+        if (!("full_scan_cached" in med) || !("index_backed" in med) || med["index_backed"] <= 0) {
+            print "missing store_query/{full_scan_cached,index_backed} medians"
+            exit 2
+        }
+        if (recall == "") { print "missing STORE store_recall line"; exit 2 }
+        speedup = med["full_scan_cached"] / med["index_backed"]
+        printf "before (cached full scan): %.1f ms\n", med["full_scan_cached"] / 1e6
+        printf "after  (index-backed):     %.2f ms\n", med["index_backed"] / 1e6
+        printf "speedup:   %.2fx (bar: >=%sx)\n", speedup, min
+        printf "recall@10: %.3f over %s queries (bar: >=%s)\n", recall, queries, minrec
+        printf "{\n" \
+               "  \"bench\": \"store_query\",\n" \
+               "  \"quick\": %s,\n" \
+               "  \"full_scan_cached_ns\": %.0f,\n" \
+               "  \"index_backed_ns\": %.0f,\n" \
+               "  \"speedup\": %.3f,\n" \
+               "  \"min_speedup\": %s,\n" \
+               "  \"recall_at_10\": %.3f,\n" \
+               "  \"min_recall\": %s,\n" \
+               "  \"queries\": %s\n" \
+               "}\n", (quick != 0) ? "true" : "false", \
+               med["full_scan_cached"], med["index_backed"], speedup, min, \
+               recall, minrec, queries > out
+        printf "wrote %s\n", out
+        ok = (speedup >= min + 0.0) && (recall + 0.0 >= minrec + 0.0)
+        exit ok ? 0 : 1
+    }
+' "$log"

@@ -33,6 +33,17 @@ SKETCHQL_BENCH_QUICK=1 SKETCHQL_SERVER_SPEEDUP_MIN=2 \
     SKETCHQL_SERVER_BENCH_JSON=target/BENCH_server_smoke.json \
     scripts/bench_server.sh
 
+echo "== store smoke (ingest -> restart -> serve --store-dir round trip)"
+scripts/smoke_store.sh
+
+echo "== store speedup + recall smoke (quick samples)"
+# Quick samples are noisy, so the smoke speedup bar is looser than the
+# full bench's 5x acceptance bar (run scripts/bench_store.sh for that);
+# the recall bar stays at the real 0.95 because recall is deterministic.
+SKETCHQL_BENCH_QUICK=1 SKETCHQL_STORE_SPEEDUP_MIN=3 \
+    SKETCHQL_STORE_BENCH_JSON=target/BENCH_store_smoke.json \
+    scripts/bench_store.sh
+
 echo "== matcher speedup smoke (quick samples)"
 # 3 quick samples are noisy, so the smoke bar is looser than the full
 # bench's 3x acceptance bar (run scripts/bench_matcher.sh for that), and

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke for the persistent embedding store: generate a
+# video, train a throwaway model, `ingest` the video into a store
+# directory, then restart from disk with `serve --store-dir` and verify
+# over the wire that the dataset is index-backed (store hits in stats,
+# "store" in the listing) and that queries answer. This proves the
+# ingest → restart → serve round trip needs no re-embedding at startup.
+#
+#   scripts/smoke_store.sh                      # uses target/release
+#   SKETCHQL_CLI=target/debug/sketchql-cli scripts/smoke_store.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${SKETCHQL_CLI:-target/release/sketchql-cli}"
+ADDR="${SKETCHQL_SMOKE_ADDR:-127.0.0.1:17879}"
+if [ ! -x "$CLI" ]; then
+    echo "missing $CLI (run cargo build --release first)" >&2
+    exit 2
+fi
+
+work="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== store smoke: fixtures"
+"$CLI" generate --out "$work/video.json" --events 1 --distractors 2 --seed 3 >/dev/null
+"$CLI" train --out "$work/model.json" --steps 20 >/dev/null
+
+echo "== store smoke: offline ingest"
+"$CLI" ingest --video "$work/video.json" --model "$work/model.json" \
+    --dataset traffic --store-dir "$work/stores" --oracle-tracks \
+    | tee "$work/ingest.out"
+grep -q "wrote store" "$work/ingest.out" || { echo "ingest wrote nothing" >&2; exit 1; }
+ls "$work/stores/"*.skstore >/dev/null
+
+echo "== store smoke: local query answers from the store"
+"$CLI" query --video "$work/video.json" --model "$work/model.json" \
+    --event left_turn --oracle-tracks --store-dir "$work/stores" \
+    | tee "$work/local.out"
+grep -q "store: index-backed" "$work/local.out" \
+    || { echo "local query did not use the store" >&2; exit 1; }
+
+echo "== store smoke: serve --store-dir on $ADDR"
+"$CLI" serve --model "$work/model.json" --videos "traffic=$work/video.json" \
+    --store-dir "$work/stores" --addr "$ADDR" --workers 2 --oracle-tracks \
+    >"$work/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "serving on" "$work/serve.log" 2>/dev/null && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q 'store: dataset "traffic" is index-backed' "$work/serve.log" \
+    || { echo "serve did not warm-load the store" >&2; cat "$work/serve.log" >&2; exit 1; }
+
+echo "== store smoke: wire round trip"
+"$CLI" client --addr "$ADDR" --action list | tee "$work/list.out"
+grep -q "store" "$work/list.out" || { echo "dataset not listed as store-backed" >&2; exit 1; }
+"$CLI" client --addr "$ADDR" --action query \
+    --dataset traffic --event left_turn --top-k 3 --deadline-ms 30000 \
+    | tee "$work/query.out"
+grep -q "^1 " "$work/query.out" || { echo "query returned no moments" >&2; exit 1; }
+"$CLI" client --addr "$ADDR" --action stats | tee "$work/stats.out"
+hits="$(awk '/^store hits/ { print $3 }' "$work/stats.out")"
+[ "${hits:-0}" -ge 1 ] || { echo "expected >=1 store hit, got ${hits:-none}" >&2; exit 1; }
+"$CLI" client --addr "$ADDR" --action shutdown
+
+for _ in $(seq 1 50); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "serve did not exit after wire shutdown" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+serve_pid=""
+
+echo "ok: store smoke passed"

@@ -4,21 +4,27 @@
 //! sketchql-cli generate --family urban_intersection --seed 7 --out video.json
 //! sketchql-cli train --out model.json [--steps 600]
 //! sketchql-cli query --video video.json --model model.json --event left_turn [--baseline dtw] [--top-k 5] [--oracle-tracks] [--stats]
+//! sketchql-cli ingest --video video.json --model model.json --dataset traffic --store-dir stores
 //! sketchql-cli stats --video video.json --model model.json --event left_turn [--format json|prometheus]
 //! sketchql-cli render --video video.json --start 100 --end 199 [--track 3]
 //! sketchql-cli info --video video.json
-//! sketchql-cli serve --model model.json --videos traffic=video.json [--addr 127.0.0.1:7878] [--workers 4]
+//! sketchql-cli serve --model model.json --videos traffic=video.json [--store-dir stores] [--addr 127.0.0.1:7878] [--workers 4]
 //! sketchql-cli client --addr 127.0.0.1:7878 --action query --dataset traffic --event left_turn
 //! ```
 //!
 //! Videos and models are JSON artifacts so pipelines can be scripted and
-//! inspected.
+//! inspected; embedding stores are the binary `.skstore` format from the
+//! `sketchql-store` crate, written once by `ingest` and served without
+//! re-embedding by `serve --store-dir` / `query --store-dir`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketchql::telemetry::{self, Recorder};
 use sketchql::training::{train_with_callback, TrainedModel, TrainingConfig};
-use sketchql::{ClassicalSimilarity, Matcher, RetrievedMoment, VideoIndex};
+use sketchql::{
+    ingest, load_store_dir, save_store_dir, CancelToken, ClassicalSimilarity, IngestConfig,
+    Matcher, MatcherConfig, RetrievedMoment, VideoIndex,
+};
 use sketchql_datasets::{
     generate_video, query_clip, EventKind, SceneFamily, SyntheticVideo, VideoConfig,
 };
@@ -41,6 +47,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "train" => cmd_train(&flags),
         "query" => cmd_query(&flags),
+        "ingest" => cmd_ingest(&flags),
         "stats" => cmd_stats(&flags),
         "render" => cmd_render(&flags),
         "info" => cmd_info(&flags),
@@ -69,11 +76,16 @@ commands:
   train    --out <file> [--steps <n>] [--seed <n>]
   query    --video <file> --event <kind> [--model <file>] [--baseline <dtw|frechet|...>]
            [--rules] [--top-k <n>] [--oracle-tracks] [--stats] [--no-embed-cache]
+           [--store-dir <dir>] [--nprobe <n>]
+  ingest   --video <file> --model <file> [--dataset <name>] [--store-dir <dir>]
+           [--events <a,b,...>] [--threads <n>] [--oracle-tracks]
+           precompute window embeddings into <dir>/<dataset>.skstore
   stats    same flags as query; runs it quietly and dumps the metric
            registry [--format <json|prometheus>]
   render   --video <file> [--start <frame>] [--end <frame>]
   info     --video <file> | --model <file>
   serve    --model <file> --videos <name=file,name=file,...>
+           [--store-dir <dir>] [--nprobe <n>]
            [--addr 127.0.0.1:7878] [--workers <n>] [--queue-depth <n>]
            [--deadline-ms <n>] [--fused-batch <n>] [--top-k <n>] [--oracle-tracks]
   client   --addr <host:port> --action <ping|list|stats|query|shutdown>
@@ -140,6 +152,19 @@ fn parse_event(name: &str) -> Result<EventKind, String> {
 fn load_video(path: &str) -> Result<SyntheticVideo, String> {
     let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_index(video: &SyntheticVideo, oracle: bool) -> VideoIndex {
+    if oracle {
+        VideoIndex::from_truth(video)
+    } else {
+        VideoIndex::build(
+            video,
+            DetectorConfig::default(),
+            TrackerConfig::default(),
+            1,
+        )
+    }
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -209,16 +234,7 @@ fn execute_query(
     let query = query_clip(kind);
 
     let recorder = Recorder::begin();
-    let index = if flags.contains_key("oracle-tracks") {
-        VideoIndex::from_truth(&video)
-    } else {
-        VideoIndex::build(
-            &video,
-            DetectorConfig::default(),
-            TrackerConfig::default(),
-            1,
-        )
-    };
+    let index = build_index(&video, flags.contains_key("oracle-tracks"));
     if !quiet {
         println!(
             "index: {} tracks over {} frames ({})",
@@ -256,7 +272,33 @@ fn execute_query(
         // Escape hatch for A/B timing: one encoder forward per candidate
         // instead of the memoized batched path (results are identical).
         m.config.embed_cache = !flags.contains_key("no-embed-cache");
-        m.search(&index, &query).map_err(|e| e.to_string())?
+        if let Some(dir) = flags.get("store-dir") {
+            // Index-backed path: pick the ingested store whose model and
+            // video fingerprints match what we just built.
+            let stores = load_store_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+            let mut store = stores
+                .into_values()
+                .find(|s| s.matches_model(&m.sim) && s.matches_index(&index))
+                .ok_or_else(|| format!("{dir}: no store matches this video and model"))?;
+            store.nprobe = num(flags, "nprobe", store.nprobe)?;
+            let search = m
+                .search_with_store(&index, &store, &query, &CancelToken::none())
+                .map_err(|e| e.to_string())?;
+            if !quiet {
+                if search.from_store {
+                    println!(
+                        "store: index-backed ({} of {} vectors probed)",
+                        search.probed,
+                        store.store.len()
+                    );
+                } else {
+                    println!("store: cannot serve this query; fell back to full scan");
+                }
+            }
+            search.moments
+        } else {
+            m.search(&index, &query).map_err(|e| e.to_string())?
+        }
     };
     let report = recorder.finish(format!("{}/{}", video.name, kind.name()));
 
@@ -290,6 +332,52 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         println!();
         print!("{}", report.render_table());
     }
+    Ok(())
+}
+
+/// Offline ingest: embed every sliding window of a video once and
+/// persist the vectors (plus the window grid and fingerprints) as a
+/// `.skstore` file that `serve --store-dir` and `query --store-dir`
+/// can answer from without re-embedding.
+fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
+    let video = load_video(req(flags, "video")?)?;
+    let model = TrainedModel::load(Path::new(req(flags, "model")?)).map_err(|e| e.to_string())?;
+    let dataset = flags
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| video.name.clone());
+    let dir = Path::new(flags.get("store-dir").map_or("stores", String::as_str));
+    let kinds: Vec<EventKind> = match flags.get("events") {
+        // Default to the full canonical catalogue so the store serves
+        // any event query at the default matcher window grid.
+        None => EventKind::ALL.to_vec(),
+        Some(list) => list.split(',').map(parse_event).collect::<Result<_, _>>()?,
+    };
+    let spans: Vec<u32> = kinds.iter().map(|&k| query_clip(k).span()).collect();
+
+    let index = build_index(&video, flags.contains_key("oracle-tracks"));
+    println!(
+        "index: {} tracks over {} frames",
+        index.tracks.len(),
+        index.frames
+    );
+    let sim = model.similarity();
+    let mut cfg = IngestConfig::from_matcher(&MatcherConfig::default(), &spans);
+    cfg.threads = num(flags, "threads", 4)?;
+    let started = std::time::Instant::now();
+    let store = ingest(&sim, &index, &dataset, &cfg);
+    println!(
+        "embedded {} windows (dim {}, window lengths {:?}) in {:.1}s; {} ANN lists",
+        store.store.len(),
+        store.store.dim(),
+        cfg.window_lens,
+        started.elapsed().as_secs_f64(),
+        store.nlist()
+    );
+    let mut stores = std::collections::BTreeMap::new();
+    stores.insert(dataset.clone(), store);
+    save_store_dir(dir, &stores).map_err(|e| e.to_string())?;
+    println!("wrote store for dataset {dataset:?} into {}", dir.display());
     Ok(())
 }
 
@@ -386,16 +474,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .split_once('=')
             .ok_or_else(|| format!("--videos: expected name=file, got {spec:?}"))?;
         let video = load_video(path)?;
-        let index = if oracle {
-            VideoIndex::from_truth(&video)
-        } else {
-            VideoIndex::build(
-                &video,
-                DetectorConfig::default(),
-                TrackerConfig::default(),
-                1,
-            )
-        };
+        let index = build_index(&video, oracle);
         println!(
             "loaded {name}: {} tracks over {} frames",
             index.tracks.len(),
@@ -425,8 +504,36 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         fused_batch: num(flags, "fused-batch", 0)?,
         matcher,
     };
+    // Warm-load ingested embedding stores; Engine::start_with_stores
+    // validates fingerprints and silently drops mismatches, so a stale
+    // store degrades that dataset to the scan path instead of failing.
+    let stores = match flags.get("store-dir") {
+        Some(dir) => {
+            let mut stores = load_store_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+            if let Some(np) = flags.get("nprobe") {
+                let np: usize = np
+                    .parse()
+                    .map_err(|_| format!("--nprobe: cannot parse {np:?}"))?;
+                for store in stores.values_mut() {
+                    store.nprobe = np;
+                }
+            }
+            stores
+        }
+        None => std::collections::BTreeMap::new(),
+    };
+    let loaded: Vec<String> = stores.keys().cloned().collect();
+
     let addr = flags.get("addr").map_or("127.0.0.1:7878", String::as_str);
-    let engine = Engine::start(model, datasets, config);
+    let engine = Engine::start_with_stores(model, datasets, stores, config);
+    let stored = engine.stored_datasets();
+    for name in &loaded {
+        if stored.contains(name) {
+            println!("store: dataset {name:?} is index-backed");
+        } else {
+            println!("store: dataset {name:?} store mismatched or unknown; using scan path");
+        }
+    }
     let server = Server::start(engine, addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "serving on {} ({} workers, queue depth {})",
@@ -453,8 +560,11 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         "list" => {
             for d in client.list_datasets().map_err(|e| e.to_string())? {
                 println!(
-                    "{:<24} {:>7} frames {:>5} tracks",
-                    d.name, d.frames, d.tracks
+                    "{:<24} {:>7} frames {:>5} tracks  {}",
+                    d.name,
+                    d.frames,
+                    d.tracks,
+                    if d.stored { "store" } else { "scan" }
                 );
             }
         }
@@ -468,6 +578,9 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("rejected overload  {}", s.rejected_overload);
             println!("timed out          {}", s.timed_out);
             println!("failed             {}", s.failed);
+            println!("store hits         {}", s.store_hits);
+            println!("store fallbacks    {}", s.store_fallbacks);
+            println!("store rows probed  {}", s.store_probed);
         }
         "query" => {
             let dataset = req(flags, "dataset")?;
