@@ -217,8 +217,10 @@ impl<S: Similarity> Matcher<S> {
                 self.enumerate_candidates(index, &classes, &windows, &mut cache, cancel)?;
             telemetry::counter(names::EMBED_CACHE_HITS).add(cache.hits());
             telemetry::counter(names::EMBED_CACHE_MISSES).add(cache.misses());
+            let embed_span = telemetry::span(names::MATCHER_EMBED);
             let embeddings =
                 try_embed_clips_parallel(&self.sim, cache.clips(), self.config.threads, cancel)?;
+            drop(embed_span);
             self.score_candidates(&prepared, per_window, &embeddings, cancel)?
         } else {
             self.scan_direct(index, &classes, &prepared, &windows, cancel)?
@@ -332,8 +334,10 @@ impl<S: Similarity> Matcher<S> {
 
             // Phase 2 once for the whole batch: the shared cache holds the
             // union of every live query's distinct candidate segments.
+            let embed_span = telemetry::span(names::MATCHER_EMBED);
             let embeddings =
                 try_embed_clips_parallel(&self.sim, cache.clips(), self.config.threads, cancel)?;
+            drop(embed_span);
 
             // Phases 3-4 per query, identical to the solo path.
             let mut live = live_candidates.into_iter();

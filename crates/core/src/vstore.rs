@@ -400,6 +400,7 @@ impl Matcher<LearnedSimilarity> {
             .filter_map(|t| Some((t.id, (t.start_frame()?, t.end_frame()?))))
             .collect();
 
+        let probe_span = telemetry::span(names::STORE_PROBE);
         let probed = self.probe_rows(store, qe);
         cancel.check().map_err(MatchError::from)?;
 
@@ -455,6 +456,7 @@ impl Matcher<LearnedSimilarity> {
             }
         }
         telemetry::counter(names::WINDOWS_PRUNED).add((windows.len() - scored.len()) as u64);
+        drop(probe_span);
         drop(scan_span);
 
         telemetry::counter(names::STORE_HITS).inc();

@@ -10,10 +10,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use sketchql::RetrievedMoment;
+use sketchql_telemetry::mint_trace_id;
 use sketchql_trajectory::Clip;
 
 use crate::engine::{DatasetInfo, EngineStats};
-use crate::protocol::{ErrorKind, Request, Response};
+use crate::protocol::{ErrorKind, Request, Response, WireTrace};
 
 /// Client-side failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +110,9 @@ impl Client {
     }
 
     /// Runs a canonical event query (e.g. `"left_turn"`) on `dataset`.
+    /// The client mints the trace id, so the query is traceable
+    /// end-to-end under an id the caller knew *before* the server saw
+    /// the query (see [`QueryOutcome::trace_id`]).
     pub fn query_event(
         &mut self,
         dataset: &str,
@@ -122,6 +126,7 @@ impl Client {
             clip: None,
             top_k,
             deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            trace_id: Some(mint_trace_id()),
         })
     }
 
@@ -139,6 +144,7 @@ impl Client {
             clip: Some(clip),
             top_k,
             deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            trace_id: Some(mint_trace_id()),
         })
     }
 
@@ -149,14 +155,37 @@ impl Client {
                 queue_wait_ms,
                 execute_ms,
                 batch_size,
+                trace_id,
             } => Ok(QueryOutcome {
                 moments,
                 queue_wait_ms,
                 execute_ms,
                 batch_size,
+                trace_id,
             }),
             Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
             other => Err(unexpected("Moments", &other)),
+        }
+    }
+
+    /// Fetches traces from the server's flight recorder: a specific id,
+    /// or the most recent `limit` traces (server default when `None`).
+    pub fn trace(
+        &mut self,
+        trace_id: Option<u64>,
+        limit: Option<usize>,
+    ) -> Result<Vec<WireTrace>, ClientError> {
+        match self.request(&Request::Trace { trace_id, limit })? {
+            Response::Traces { traces } => Ok(traces),
+            other => Err(unexpected("Traces", &other)),
+        }
+    }
+
+    /// Fetches the server's metric registry in Prometheus text format.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::MetricsText { prometheus } => Ok(prometheus),
+            other => Err(unexpected("MetricsText", &other)),
         }
     }
 
@@ -180,6 +209,9 @@ pub struct QueryOutcome {
     pub execute_ms: u64,
     /// Queries that shared the scan (1 = ran alone).
     pub batch_size: usize,
+    /// The trace id the query ran under (the client-minted id, echoed
+    /// by the server); fetch the span tree with [`Client::trace`].
+    pub trace_id: u64,
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {

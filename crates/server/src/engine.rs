@@ -67,7 +67,7 @@ use sketchql::{
     CancelReason, CancelToken, DatasetStore, LearnedSimilarity, MatchError, Matcher, MatcherConfig,
     RetrievedMoment, SimilarityError, TrainedModel, VideoIndex,
 };
-use sketchql_telemetry::{self as telemetry, names};
+use sketchql_telemetry::{self as telemetry, names, TraceContext, TraceOutcome};
 use sketchql_trajectory::Clip;
 
 /// Bucket bounds (milliseconds) for the queue-wait and execute
@@ -78,6 +78,13 @@ const LATENCY_MS_BOUNDS: &[f64] = &[
 
 /// Bucket bounds for the fused-batch-size histogram.
 const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Bucket bounds (milliseconds) for the deadline-margin histogram:
+/// how much headroom a deadlined query finished with (negative = it
+/// finished past its deadline).
+const DEADLINE_MARGIN_MS_BOUNDS: &[f64] = &[
+    -5000.0, -1000.0, -250.0, -50.0, 0.0, 10.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+];
 
 /// Engine sizing and policy.
 #[derive(Debug, Clone)]
@@ -185,16 +192,21 @@ pub struct QuerySpec {
     pub top_k: Option<usize>,
     /// Per-query deadline; overrides [`EngineConfig::default_deadline`].
     pub deadline: Option<Duration>,
+    /// Trace id to run under (a wire client's id); `None` mints a fresh
+    /// one at admission.
+    pub trace: Option<u64>,
 }
 
 impl QuerySpec {
-    /// A query with no top-k override and no per-query deadline.
+    /// A query with no top-k override, no per-query deadline, and a
+    /// server-minted trace id.
     pub fn new(dataset: impl Into<String>, query: Clip) -> Self {
         QuerySpec {
             dataset: dataset.into(),
             query,
             top_k: None,
             deadline: None,
+            trace: None,
         }
     }
 }
@@ -210,6 +222,11 @@ pub struct QueryResult {
     pub execute: Duration,
     /// How many queries shared the scan (1 = ran alone).
     pub batch_size: usize,
+    /// The live trace the query ran under. The wire server enters it
+    /// once more to time response serialization, then finalizes it;
+    /// for engine-direct callers it finalizes (into the flight
+    /// recorder) when the last clone of this result drops.
+    pub trace: TraceContext,
 }
 
 /// A point-in-time view of the engine, also served over the wire.
@@ -281,6 +298,7 @@ struct Job {
     top_k: Option<usize>,
     cancel: CancelToken,
     enqueued_at: Instant,
+    trace: TraceContext,
     tx: mpsc::Sender<Result<QueryResult, EngineError>>,
 }
 
@@ -399,6 +417,14 @@ impl Engine {
         if !self.shared.datasets.contains_key(&spec.dataset) {
             return Err(EngineError::UnknownDataset(spec.dataset));
         }
+        // The trace is born at admission; shed queries finalize it via
+        // its drop safety net (after the queue lock below releases), so
+        // they still reach the flight recorder and slow-query log.
+        let trace = match spec.trace {
+            Some(id) => TraceContext::with_id(id),
+            None => TraceContext::new(),
+        };
+        trace.set_label(spec.dataset.as_str());
         let deadline = spec.deadline.or(self.config.default_deadline);
         let cancel = match deadline {
             Some(d) => CancelToken::with_timeout(d),
@@ -407,6 +433,8 @@ impl Engine {
         let (tx, rx) = mpsc::channel();
         let mut st = self.shared.state.lock().unwrap();
         if !st.accepting {
+            trace.set_outcome(TraceOutcome::Shed);
+            telemetry::counter(names::SERVER_SHED_SHUTDOWN).inc();
             return Err(EngineError::ShuttingDown);
         }
         if st.queue.len() >= self.config.queue_depth {
@@ -415,6 +443,8 @@ impl Engine {
                 .rejected
                 .fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_REJECTED_OVERLOAD).inc();
+            trace.set_outcome(TraceOutcome::Shed);
+            telemetry::counter(names::SERVER_SHED_QUEUE_FULL).inc();
             return Err(EngineError::Overloaded {
                 queue_depth: self.config.queue_depth,
             });
@@ -425,6 +455,7 @@ impl Engine {
             top_k: spec.top_k,
             cancel: cancel.clone(),
             enqueued_at: Instant::now(),
+            trace,
             tx,
         });
         telemetry::gauge(names::SERVER_QUEUE_DEPTH).set(st.queue.len() as f64);
@@ -547,9 +578,22 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         let wait = job.enqueued_at.elapsed();
         telemetry::histogram(names::SERVER_QUEUE_WAIT_MS, LATENCY_MS_BOUNDS)
             .observe(wait.as_secs_f64() * 1e3);
+        // The queue wait happened between threads, outside any RAII
+        // scope — record it straight into the trace.
+        job.trace.record_span(
+            names::SERVER_QUEUE_WAIT,
+            0,
+            job.enqueued_at,
+            wait.as_nanos() as u64,
+        );
         match job.cancel.check() {
             Ok(()) => live.push((job, wait)),
-            Err(reason) => finish_err(shared, &job, reason.into()),
+            Err(reason) => {
+                if reason == CancelReason::DeadlineExceeded {
+                    telemetry::counter(names::SERVER_SHED_DEADLINE_QUEUE).inc();
+                }
+                finish_err(shared, &job, reason.into());
+            }
         }
     }
     if live.is_empty() {
@@ -566,13 +610,20 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     // tokens give exact deadline/cancel semantics.
     if let Some(store) = shared.stores.get(&live[0].0.dataset) {
         for (job, wait) in live {
+            // Route this worker's spans (store probe, matcher stages)
+            // into the query's trace for the duration of the execute.
+            let trace_guard = job.trace.enter();
+            let exec_span = telemetry::span(names::SERVER_EXECUTE);
             let started = Instant::now();
             let result = shared
                 .matcher
                 .search_with_store(index, store, &job.query, &job.cancel);
             let execute = started.elapsed();
+            drop(exec_span);
+            drop(trace_guard);
             telemetry::histogram(names::SERVER_EXECUTE_MS, LATENCY_MS_BOUNDS)
                 .observe(execute.as_secs_f64() * 1e3);
+            observe_deadline_margin(&job);
             match result {
                 Ok(search) => {
                     let c = &shared.counters;
@@ -593,6 +644,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
                         queue_wait: wait,
                         execute,
                         batch_size: 1,
+                        trace: job.trace.clone(),
                     }));
                 }
                 Err(e) => finish_err(shared, &job, e.into()),
@@ -602,6 +654,20 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 
     telemetry::histogram(names::SERVER_FUSED_BATCH, BATCH_BOUNDS).observe(live.len() as f64);
+    let batch_size = live.len();
+    for (job, _) in &live {
+        job.trace.set_batch_size(batch_size);
+    }
+    // Enter every member's trace: the shared scan's spans (embed, scan,
+    // rank) are delivered to each member, so every fused query still
+    // carries a complete span tree of the work done on its behalf.
+    let trace_guards: Vec<_> = live.iter().map(|(job, _)| job.trace.enter()).collect();
+    let exec_span = telemetry::span(names::SERVER_EXECUTE);
+    let fusion_span = if batch_size > 1 {
+        Some(telemetry::span(names::SERVER_FUSION))
+    } else {
+        None
+    };
     let started = Instant::now();
     let results = if live.len() == 1 {
         // A lone query runs under its own token, so explicit cancellation
@@ -629,10 +695,12 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         shared.matcher.search_batch(index, &queries, &batch_token)
     };
     let execute = started.elapsed();
+    drop(fusion_span);
+    drop(exec_span);
+    drop(trace_guards);
     telemetry::histogram(names::SERVER_EXECUTE_MS, LATENCY_MS_BOUNDS)
         .observe(execute.as_secs_f64() * 1e3);
 
-    let batch_size = live.len();
     for ((job, wait), result) in live.into_iter().zip(results) {
         // A member whose own token tripped during a fused scan reports
         // its own reason even though the batch ran on for its peers.
@@ -640,6 +708,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
             Ok(()) => result,
             Err(reason) => Err(MatchError::Cancelled(reason)),
         };
+        observe_deadline_margin(&job);
         match result {
             Ok(mut moments) => {
                 if let Some(k) = job.top_k {
@@ -652,6 +721,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
                     queue_wait: wait,
                     execute,
                     batch_size,
+                    trace: job.trace.clone(),
                 }));
             }
             Err(e) => finish_err(shared, &job, e.into()),
@@ -659,16 +729,44 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 }
 
-/// Answers `job` with `err` and bumps the matching failure counter.
+/// Records how much deadline headroom `job` ended with (negative when
+/// it ended past its deadline). No-op for queries without a deadline.
+fn observe_deadline_margin(job: &Job) {
+    if !telemetry::is_enabled() {
+        return;
+    }
+    let Some(deadline) = job.cancel.deadline() else {
+        return;
+    };
+    let now = Instant::now();
+    let margin_ms = if deadline >= now {
+        deadline.duration_since(now).as_secs_f64() * 1e3
+    } else {
+        -(now.duration_since(deadline).as_secs_f64() * 1e3)
+    };
+    telemetry::histogram(names::SERVER_DEADLINE_MARGIN_MS, DEADLINE_MARGIN_MS_BOUNDS)
+        .observe(margin_ms);
+}
+
+/// Answers `job` with `err`, stamps the trace's outcome, and bumps the
+/// matching failure counter.
 fn finish_err(shared: &Shared, job: &Job, err: EngineError) {
     match err {
         EngineError::DeadlineExceeded => {
             shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_TIMED_OUT).inc();
+            job.trace.set_outcome(TraceOutcome::DeadlineExceeded);
+        }
+        EngineError::Cancelled => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter(names::SERVER_FAILED).inc();
+            telemetry::counter(names::SERVER_SHED_CANCELLED).inc();
+            job.trace.set_outcome(TraceOutcome::Cancelled);
         }
         _ => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_FAILED).inc();
+            job.trace.set_outcome(TraceOutcome::Failed);
         }
     }
     let _ = job.tx.send(Err(err));

@@ -49,6 +49,7 @@
 pub mod client;
 pub mod engine;
 pub mod protocol;
+pub mod scrape;
 pub mod server;
 
 pub use client::{Client, ClientError, QueryOutcome};
@@ -56,5 +57,6 @@ pub use engine::{
     DatasetInfo, Engine, EngineConfig, EngineError, EngineStats, QueryHandle, QueryResult,
     QuerySpec,
 };
-pub use protocol::{ErrorKind, Request, Response, PROTOCOL_VERSION};
+pub use protocol::{ErrorKind, Request, Response, WireSpan, WireTrace, PROTOCOL_VERSION};
+pub use scrape::MetricsListener;
 pub use server::{named_datasets, Server};

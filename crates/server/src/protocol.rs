@@ -6,23 +6,31 @@
 //!
 //! ```text
 //! → "Ping"
-//! ← {"Pong":{"version":2}}
-//! → {"Query":{"dataset":"traffic","event":"left_turn","clip":null,"top_k":5,"deadline_ms":2000}}
-//! ← {"Moments":{"moments":[...],"queue_wait_ms":0,"execute_ms":41,"batch_size":1}}
+//! ← {"Pong":{"version":3}}
+//! → {"Query":{"dataset":"traffic","event":"left_turn","clip":null,"top_k":5,"deadline_ms":2000,"trace_id":181696028373}}
+//! ← {"Moments":{"moments":[...],"queue_wait_ms":0,"execute_ms":41,"batch_size":1,"trace_id":181696028373}}
 //! ```
 //!
-//! Requests carry every field (absent options are `null`); the vendored
-//! serde shim rejects missing fields rather than defaulting them, which
-//! keeps the protocol unambiguous. A request the server cannot parse is
-//! answered with [`Response::Error`] of kind [`ErrorKind::BadRequest`] —
-//! the connection stays usable.
+//! Requests carry every field (absent options are `null`), with one
+//! deliberate exception: [`Request`] uses a hand-written deserializer
+//! that tolerates a *missing* `trace_id` on `Query` and missing fields
+//! on `Trace`, so protocol-version-2 clients (which predate tracing)
+//! keep working against a version-3 server. Response enums still use
+//! the derived deserializer, which ignores unknown fields — a v2
+//! client simply never looks at `Moments.trace_id`. A request the
+//! server cannot parse is answered with [`Response::Error`] of kind
+//! [`ErrorKind::BadRequest`] — the connection stays usable.
 //!
 //! [`Request::Query`] names its sketch either by `event` (a canonical
 //! event query from the datasets crate, e.g. `"left_turn"`) or by an
 //! inline `clip` (a full compiled sketch). Exactly one must be non-null;
 //! `clip` wins if both are.
+//!
+//! Trace ids are 48-bit integers (see
+//! [`sketchql_telemetry::mint_trace_id`]) so they survive JSON numbers
+//! stored as `f64`.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use sketchql::RetrievedMoment;
 use sketchql_trajectory::Clip;
 
@@ -30,11 +38,13 @@ use crate::engine::{DatasetInfo, EngineError, EngineStats};
 
 /// Bumped on incompatible wire changes; echoed by [`Response::Pong`].
 /// Version 2 added store-effectiveness fields to `Stats` and the
-/// `stored` flag to dataset listings.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `stored` flag to dataset listings. Version 3 added end-to-end
+/// tracing: `trace_id` on `Query`/`Moments`, and the `Trace` and
+/// `Metrics` requests (v2 clients still parse and round-trip).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A client request: one JSON value per line.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -56,9 +66,179 @@ pub enum Request {
         /// Per-query deadline in milliseconds, or null for the server's
         /// default policy.
         deadline_ms: Option<u64>,
+        /// Client-minted trace id (48-bit, nonzero), or null/absent to
+        /// let the server mint one. v2 clients omit the field entirely.
+        trace_id: Option<u64>,
     },
+    /// Fetch query traces from the server's flight recorder.
+    Trace {
+        /// A specific trace id, or null for the most recent traces.
+        trace_id: Option<u64>,
+        /// At most this many traces (server default when null).
+        limit: Option<usize>,
+    },
+    /// Fetch the full metric registry in Prometheus text format.
+    Metrics,
     /// Ask the server process to shut down gracefully.
     Shutdown,
+}
+
+fn obj(v: &Value, what: &str) -> Result<Vec<(String, Value)>, DeError> {
+    match v {
+        Value::Obj(fields) => Ok(fields.clone()),
+        other => Err(DeError::expected(what, other)),
+    }
+}
+
+fn field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    let v = fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field {key:?}")))?;
+    T::from_value(v)
+}
+
+/// Like [`field`], but an *absent* key deserializes as `None` — the
+/// compatibility hook that lets v2 requests omit trace fields.
+fn opt_field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<Option<T>, DeError> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, Value::Null)) | None => Ok(None),
+        Some((_, v)) => T::from_value(v).map(Some),
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Ping => Value::Str("Ping".into()),
+            Request::ListDatasets => Value::Str("ListDatasets".into()),
+            Request::Stats => Value::Str("Stats".into()),
+            Request::Metrics => Value::Str("Metrics".into()),
+            Request::Shutdown => Value::Str("Shutdown".into()),
+            Request::Query {
+                dataset,
+                event,
+                clip,
+                top_k,
+                deadline_ms,
+                trace_id,
+            } => Value::Obj(vec![(
+                "Query".into(),
+                Value::Obj(vec![
+                    ("dataset".into(), dataset.to_value()),
+                    ("event".into(), event.to_value()),
+                    ("clip".into(), clip.to_value()),
+                    ("top_k".into(), top_k.to_value()),
+                    ("deadline_ms".into(), deadline_ms.to_value()),
+                    ("trace_id".into(), trace_id.to_value()),
+                ]),
+            )]),
+            Request::Trace { trace_id, limit } => Value::Obj(vec![(
+                "Trace".into(),
+                Value::Obj(vec![
+                    ("trace_id".into(), trace_id.to_value()),
+                    ("limit".into(), limit.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(tag) => match tag.as_str() {
+                "Ping" => Ok(Request::Ping),
+                "ListDatasets" => Ok(Request::ListDatasets),
+                "Stats" => Ok(Request::Stats),
+                "Metrics" => Ok(Request::Metrics),
+                "Shutdown" => Ok(Request::Shutdown),
+                other => Err(DeError(format!("unknown request variant {other:?}"))),
+            },
+            Value::Obj(entries) if entries.len() == 1 => {
+                let (tag, body) = &entries[0];
+                match tag.as_str() {
+                    "Query" => {
+                        let fields = obj(body, "Query")?;
+                        Ok(Request::Query {
+                            dataset: field(&fields, "dataset")?,
+                            event: field(&fields, "event")?,
+                            clip: field(&fields, "clip")?,
+                            top_k: field(&fields, "top_k")?,
+                            deadline_ms: field(&fields, "deadline_ms")?,
+                            trace_id: opt_field(&fields, "trace_id")?,
+                        })
+                    }
+                    "Trace" => {
+                        let fields = obj(body, "Trace")?;
+                        Ok(Request::Trace {
+                            trace_id: opt_field(&fields, "trace_id")?,
+                            limit: opt_field(&fields, "limit")?,
+                        })
+                    }
+                    other => Err(DeError(format!("unknown request variant {other:?}"))),
+                }
+            }
+            other => Err(DeError::expected("request", other)),
+        }
+    }
+}
+
+/// One span of a wire-fetched trace (see [`WireTrace`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// Span name, e.g. `sketchql.matcher.scan`.
+    pub name: String,
+    /// Nesting depth (0 = top-level stage).
+    pub depth: usize,
+    /// Span start, nanoseconds after the trace started.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// One query trace as served by [`Request::Trace`]: the flight
+/// recorder's `QueryTrace` with span starts rebased to the trace start
+/// (the process epoch means nothing off-host).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireTrace {
+    /// The 48-bit trace id.
+    pub trace_id: u64,
+    /// Label, usually `dataset/query`.
+    pub label: String,
+    /// Outcome name: `completed`, `deadline_exceeded`, `cancelled`,
+    /// `shed`, or `failed`.
+    pub outcome: String,
+    /// Fused batch size the query executed under (1 = ran alone).
+    pub batch_size: usize,
+    /// Wall time from admission to finalization, nanoseconds.
+    pub total_nanos: u64,
+    /// Spans sorted by start offset.
+    pub spans: Vec<WireSpan>,
+}
+
+impl WireTrace {
+    /// Converts a flight-recorder trace for the wire.
+    pub fn from_query_trace(t: &sketchql_telemetry::QueryTrace) -> WireTrace {
+        WireTrace {
+            trace_id: t.trace_id,
+            label: t.label.clone(),
+            outcome: t.outcome.as_str().to_string(),
+            batch_size: t.batch_size,
+            total_nanos: t.total_nanos,
+            spans: t
+                .waterfall()
+                .into_iter()
+                .map(|(name, depth, start_nanos, nanos)| WireSpan {
+                    name: name.to_string(),
+                    depth,
+                    start_nanos,
+                    nanos,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A server response: one JSON value per line, matching request order.
@@ -89,6 +269,20 @@ pub enum Response {
         execute_ms: u64,
         /// Queries that shared the scan (1 = ran alone).
         batch_size: usize,
+        /// The trace id the query ran under (the client's id if it sent
+        /// one); fetchable via [`Request::Trace`]. 0 when the server
+        /// was built without telemetry.
+        trace_id: u64,
+    },
+    /// Answer to [`Request::Trace`].
+    Traces {
+        /// Matching traces, newest first.
+        traces: Vec<WireTrace>,
+    },
+    /// Answer to [`Request::Metrics`].
+    MetricsText {
+        /// The metric registry in Prometheus text exposition format.
+        prometheus: String,
     },
     /// Answer to [`Request::Shutdown`]; the server stops accepting work.
     ShutdownAck,
@@ -157,7 +351,17 @@ mod tests {
                 clip: None,
                 top_k: Some(5),
                 deadline_ms: None,
+                trace_id: Some(0x00ab_cdef_0123),
             },
+            Request::Trace {
+                trace_id: Some(42),
+                limit: None,
+            },
+            Request::Trace {
+                trace_id: None,
+                limit: Some(8),
+            },
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -192,6 +396,25 @@ mod tests {
                 queue_wait_ms: 0,
                 execute_ms: 41,
                 batch_size: 2,
+                trace_id: 0x00ab_cdef_0123,
+            },
+            Response::Traces {
+                traces: vec![WireTrace {
+                    trace_id: 7,
+                    label: "traffic/left_turn".into(),
+                    outcome: "completed".into(),
+                    batch_size: 1,
+                    total_nanos: 1_234_567,
+                    spans: vec![WireSpan {
+                        name: "sketchql.server.queue_wait".into(),
+                        depth: 0,
+                        start_nanos: 0,
+                        nanos: 2_000,
+                    }],
+                }],
+            },
+            Response::MetricsText {
+                prometheus: "# TYPE x counter\nx 1\n".into(),
             },
             Response::ShutdownAck,
             Response::Error {
@@ -210,5 +433,86 @@ mod tests {
     fn garbage_line_is_a_parse_error_not_a_panic() {
         assert!(serde_json::from_str::<Request>("{\"nope\"").is_err());
         assert!(serde_json::from_str::<Request>("{\"Frobnicate\":{}}").is_err());
+    }
+
+    /// The exact bytes a protocol-version-2 client puts on the wire
+    /// (no `trace_id`) must still parse — satellite of the v3 bump.
+    #[test]
+    fn v2_query_without_trace_id_still_parses() {
+        let v2_line = "{\"Query\":{\"dataset\":\"traffic\",\"event\":\"left_turn\",\
+                       \"clip\":null,\"top_k\":5,\"deadline_ms\":2000}}";
+        let req: Request = serde_json::from_str(v2_line).unwrap();
+        assert_eq!(
+            req,
+            Request::Query {
+                dataset: "traffic".into(),
+                event: Some("left_turn".into()),
+                clip: None,
+                top_k: Some(5),
+                deadline_ms: Some(2000),
+                trace_id: None,
+            }
+        );
+    }
+
+    /// A v2 client deserializes v3 responses with its derived enum
+    /// (unknown fields ignored): simulate one by parsing a v3 `Moments`
+    /// line into a v2-shaped mirror enum without `trace_id`.
+    #[test]
+    fn v3_moments_parse_under_a_v2_shaped_client() {
+        #[derive(Debug, PartialEq, Deserialize)]
+        enum V2Response {
+            #[allow(dead_code)]
+            Pong { version: u32 },
+            Moments {
+                moments: Vec<RetrievedMoment>,
+                queue_wait_ms: u64,
+                execute_ms: u64,
+                batch_size: usize,
+            },
+        }
+
+        let v3 = Response::Moments {
+            moments: vec![RetrievedMoment {
+                start: 1,
+                end: 9,
+                score: 0.5,
+                track_ids: vec![2],
+            }],
+            queue_wait_ms: 3,
+            execute_ms: 14,
+            batch_size: 1,
+            trace_id: 0x00de_adbe_ef01,
+        };
+        let line = serde_json::to_string(&v3).unwrap();
+        let back: V2Response = serde_json::from_str(&line).unwrap();
+        let V2Response::Moments {
+            moments,
+            queue_wait_ms,
+            execute_ms,
+            batch_size,
+        } = back
+        else {
+            panic!("expected Moments");
+        };
+        assert_eq!(moments.len(), 1);
+        assert_eq!((queue_wait_ms, execute_ms, batch_size), (3, 14, 1));
+    }
+
+    /// Trace ids are minted at 48 bits so they survive the JSON number
+    /// model (f64, exact to 2^53).
+    #[test]
+    fn trace_ids_survive_json_numbers() {
+        for _ in 0..64 {
+            let id = sketchql_telemetry::mint_trace_id();
+            assert!(id != 0 && id < (1 << 48));
+            let req = Request::Trace {
+                trace_id: Some(id),
+                limit: None,
+            };
+            let line = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req);
+        }
     }
 }

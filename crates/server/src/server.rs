@@ -23,13 +23,16 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sketchql_datasets::{query_clip, EventKind};
-use sketchql_telemetry::{self as telemetry, names};
+use sketchql_telemetry::{self as telemetry, names, TraceContext};
 
 use crate::engine::{Engine, QuerySpec};
-use crate::protocol::{ErrorKind, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{ErrorKind, Request, Response, WireTrace, PROTOCOL_VERSION};
 
 /// How often an idle connection thread re-checks the running flag.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Traces returned by a `Trace` request that names no id and no limit.
+const DEFAULT_TRACE_LIMIT: usize = 16;
 
 /// A running TCP server wrapping an [`Engine`].
 pub struct Server {
@@ -170,18 +173,30 @@ fn handle_connection(
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     telemetry::counter(names::SERVER_REQUESTS).inc();
-                    let (response, stop) =
+                    let (response, stop, trace) =
                         handle_request(trimmed, engine, running, shutdown_signal);
-                    let Ok(json) = serde_json::to_string(&response) else {
-                        break;
+                    // Serialization + write happen inside the query's
+                    // trace so the span tree covers the response too;
+                    // the trace is then complete and finalized into the
+                    // flight recorder (and slow-query log).
+                    let write_ok = {
+                        let _trace_guard = trace.as_ref().map(|t| t.enter());
+                        let _serialize_span = trace
+                            .as_ref()
+                            .map(|_| telemetry::span(names::SERVER_SERIALIZE));
+                        match serde_json::to_string(&response) {
+                            Ok(json) => {
+                                writer.write_all(json.as_bytes()).is_ok()
+                                    && writer.write_all(b"\n").is_ok()
+                                    && writer.flush().is_ok()
+                            }
+                            Err(_) => false,
+                        }
                     };
-                    if writer.write_all(json.as_bytes()).is_err()
-                        || writer.write_all(b"\n").is_err()
-                        || writer.flush().is_err()
-                    {
-                        break;
+                    if let Some(trace) = trace {
+                        trace.finalize();
                     }
-                    if stop {
+                    if !write_ok || stop {
                         break;
                     }
                 }
@@ -198,13 +213,15 @@ fn handle_connection(
 }
 
 /// Serves one parsed request line. The bool asks the connection loop to
-/// close after writing the response.
+/// close after writing the response; the [`TraceContext`] (queries
+/// only) lets the loop time serialization inside the trace before
+/// finalizing it.
 fn handle_request(
     line: &str,
     engine: &Engine,
     running: &AtomicBool,
     shutdown_signal: &(Mutex<bool>, Condvar),
-) -> (Response, bool) {
+) -> (Response, bool, Option<TraceContext>) {
     let request: Request = match serde_json::from_str(line) {
         Ok(r) => r,
         Err(e) => {
@@ -214,6 +231,7 @@ fn handle_request(
                     message: format!("unparseable request: {e}"),
                 },
                 false,
+                None,
             )
         }
     };
@@ -223,18 +241,44 @@ fn handle_request(
                 version: PROTOCOL_VERSION,
             },
             false,
+            None,
         ),
         Request::ListDatasets => (
             Response::Datasets {
                 datasets: engine.datasets(),
             },
             false,
+            None,
         ),
         Request::Stats => (
             Response::Stats {
                 stats: engine.stats(),
             },
             false,
+            None,
+        ),
+        Request::Trace { trace_id, limit } => {
+            let recorder = telemetry::flight_recorder();
+            let traces: Vec<WireTrace> = match trace_id {
+                Some(id) => recorder
+                    .find(id)
+                    .iter()
+                    .map(|t| WireTrace::from_query_trace(t))
+                    .collect(),
+                None => recorder
+                    .recent(limit.unwrap_or(DEFAULT_TRACE_LIMIT))
+                    .iter()
+                    .map(|t| WireTrace::from_query_trace(t))
+                    .collect(),
+            };
+            (Response::Traces { traces }, false, None)
+        }
+        Request::Metrics => (
+            Response::MetricsText {
+                prometheus: telemetry::snapshot_prometheus(),
+            },
+            false,
+            None,
         ),
         Request::Query {
             dataset,
@@ -242,6 +286,7 @@ fn handle_request(
             clip,
             top_k,
             deadline_ms,
+            trace_id,
         } => {
             if !running.load(Ordering::SeqCst) {
                 return (
@@ -250,6 +295,7 @@ fn handle_request(
                         message: "server is shutting down".into(),
                     },
                     false,
+                    None,
                 );
             }
             let query = match (clip, event) {
@@ -262,6 +308,7 @@ fn handle_request(
                                 message: format!("unknown event {name:?}"),
                             },
                             false,
+                            None,
                         );
                     };
                     query_clip(*kind)
@@ -273,6 +320,7 @@ fn handle_request(
                             message: "query needs an event name or an inline clip".into(),
                         },
                         false,
+                        None,
                     )
                 }
             };
@@ -281,23 +329,29 @@ fn handle_request(
                 query,
                 top_k,
                 deadline: deadline_ms.map(Duration::from_millis),
+                trace: trace_id.filter(|id| *id != 0),
             };
             match engine.execute(spec) {
-                Ok(result) => (
-                    Response::Moments {
-                        moments: result.moments,
-                        queue_wait_ms: result.queue_wait.as_millis() as u64,
-                        execute_ms: result.execute.as_millis() as u64,
-                        batch_size: result.batch_size,
-                    },
-                    false,
-                ),
-                Err(e) => (Response::from_engine_error(&e), false),
+                Ok(result) => {
+                    let trace = result.trace.clone();
+                    (
+                        Response::Moments {
+                            moments: result.moments,
+                            queue_wait_ms: result.queue_wait.as_millis() as u64,
+                            execute_ms: result.execute.as_millis() as u64,
+                            batch_size: result.batch_size,
+                            trace_id: trace.id(),
+                        },
+                        false,
+                        Some(trace),
+                    )
+                }
+                Err(e) => (Response::from_engine_error(&e), false, None),
             }
         }
         Request::Shutdown => {
             signal_shutdown(running, shutdown_signal);
-            (Response::ShutdownAck, true)
+            (Response::ShutdownAck, true, None)
         }
     }
 }

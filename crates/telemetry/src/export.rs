@@ -1,8 +1,10 @@
 //! Exporters: JSON snapshot, Prometheus text format, and a
 //! human-readable table for query reports.
 
+use crate::flight::QueryTrace;
 use crate::metrics::MetricsSnapshot;
 use crate::report::QueryReport;
+use crate::trace::format_trace_id;
 use std::fmt::Write;
 
 /// Serializes the full metric registry as a JSON object:
@@ -89,6 +91,13 @@ impl QueryReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "{{\"label\":{}", json_string(&self.label));
+        if self.trace_id != 0 {
+            let _ = write!(
+                out,
+                ",\"trace_id\":{}",
+                json_string(&format_trace_id(self.trace_id))
+            );
+        }
         for (name, v) in self.counter_values() {
             let _ = write!(out, ",{}:{}", json_string(name), v);
         }
@@ -117,6 +126,9 @@ impl QueryReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "query report: {}", self.label);
+        if self.trace_id != 0 {
+            let _ = writeln!(out, "  trace id: {}", format_trace_id(self.trace_id));
+        }
         let _ = writeln!(
             out,
             "  total wall time: {:.3} ms",
@@ -149,6 +161,47 @@ impl QueryReport {
         if let Some(rate) = self.embed_cache_hit_rate() {
             let _ = writeln!(out, "  embed cache hit rate: {:.1}%", rate * 100.0);
         }
+        out
+    }
+}
+
+impl QueryTrace {
+    /// Serializes this trace as one JSON object — the slow-query log
+    /// line format. Span `start` offsets are nanoseconds relative to
+    /// the trace start, so each line is a self-contained waterfall:
+    ///
+    /// ```json
+    /// {"trace_id":"00a1b2c3d4e5","label":"traffic/left_turn",
+    ///  "outcome":"completed","batch_size":1,"total_nanos":1234567,
+    ///  "spans":[{"name":"sketchql.server.queue_wait","depth":0,
+    ///            "start_nanos":0,"nanos":2000}, ...]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"trace_id\":{},\"label\":{},\"outcome\":{},\"batch_size\":{},\"total_nanos\":{}",
+            json_string(&format_trace_id(self.trace_id)),
+            json_string(&self.label),
+            json_string(self.outcome.as_str()),
+            self.batch_size,
+            self.total_nanos
+        );
+        out.push_str(",\"spans\":[");
+        for (i, (name, depth, offset, nanos)) in self.waterfall().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"depth\":{},\"start_nanos\":{},\"nanos\":{}}}",
+                json_string(name),
+                depth,
+                offset,
+                nanos
+            );
+        }
+        out.push_str("]}");
         out
     }
 }

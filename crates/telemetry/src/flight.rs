@@ -1,0 +1,146 @@
+//! The flight recorder: a fixed-size, lock-light ring buffer retaining
+//! the last N complete query traces.
+//!
+//! Always on (capacity is small and writes are one slot-mutex store),
+//! so when a query misbehaves in production its trace is already there
+//! to fetch — no need to reproduce under instrumentation. The server
+//! exposes it through the `Trace` wire request; in-process callers use
+//! [`flight_recorder`] directly.
+//!
+//! Each slot has its own mutex and writers claim slots with one atomic
+//! fetch-add, so concurrent workers recording traces never contend on a
+//! shared lock (two writers only touch the same mutex when the ring
+//! wraps onto a slot mid-read).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::span::SpanRecord;
+use crate::trace::TraceOutcome;
+
+/// Traces retained by the global flight recorder.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// An immutable snapshot of one finished query trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The trace id minted at the query's origin.
+    pub trace_id: u64,
+    /// Human-readable label, usually `dataset/query`.
+    pub label: String,
+    /// How the query ended.
+    pub outcome: TraceOutcome,
+    /// Fused batch size the query executed under (1 = ran alone).
+    pub batch_size: usize,
+    /// When the trace started, nanoseconds since the process telemetry
+    /// epoch. Span `start_nanos` values share the same epoch, so
+    /// `span.start_nanos - trace.start_nanos` is the span's offset into
+    /// the query.
+    pub start_nanos: u64,
+    /// Wall time from trace creation to finalization, nanoseconds.
+    pub total_nanos: u64,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl QueryTrace {
+    /// The spans as `(name, depth, offset_nanos, nanos)` sorted by
+    /// start offset — the waterfall view. Offsets are relative to the
+    /// trace start (saturating at 0 for spans recorded before it).
+    pub fn waterfall(&self) -> Vec<(&'static str, usize, u64, u64)> {
+        let mut rows: Vec<_> = self
+            .spans
+            .iter()
+            .map(|s| {
+                (
+                    s.name,
+                    s.depth,
+                    s.start_nanos.saturating_sub(self.start_nanos),
+                    s.nanos,
+                )
+            })
+            .collect();
+        rows.sort_by_key(|&(_, depth, offset, _)| (offset, depth));
+        rows
+    }
+}
+
+struct Slot {
+    /// `(sequence, trace)`: the sequence number orders entries across
+    /// slots so `recent` can return newest-first after the ring wraps.
+    entry: Mutex<Option<(u64, Arc<QueryTrace>)>>,
+}
+
+/// Fixed-size ring buffer of finished query traces.
+///
+/// The global instance behind [`flight_recorder`] serves production;
+/// the type is public so tests can hammer a private instance and assert
+/// exact retention.
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the last `capacity` traces
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    entry: Mutex::new(None),
+                })
+                .collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// How many traces this recorder retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total traces recorded over the recorder's lifetime (not capped
+    /// by capacity).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Records a finished trace, evicting the oldest entry once the
+    /// ring is full.
+    pub fn record(&self, trace: Arc<QueryTrace>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.entry.lock().unwrap() = Some((seq, trace));
+    }
+
+    /// The most recent traces, newest first, at most `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<Arc<QueryTrace>> {
+        let mut entries: Vec<(u64, Arc<QueryTrace>)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.entry.lock().unwrap().clone())
+            .collect();
+        entries.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+        entries.truncate(limit);
+        entries.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Looks up a retained trace by id (the most recent one, should an
+    /// id ever collide).
+    pub fn find(&self, trace_id: u64) -> Option<Arc<QueryTrace>> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.entry.lock().unwrap().clone())
+            .filter(|(_, t)| t.trace_id == trace_id)
+            .max_by_key(|(seq, _)| *seq)
+            .map(|(_, t)| t)
+    }
+}
+
+/// The process-wide flight recorder ([`FLIGHT_CAPACITY`] traces).
+pub fn flight_recorder() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| FlightRecorder::with_capacity(FLIGHT_CAPACITY))
+}

@@ -14,6 +14,12 @@
 //!   counters before a query and turns the deltas plus the top-level spans
 //!   into a per-query report with [`QueryReport::to_json`] and
 //!   [`QueryReport::render_table`].
+//! - [`TraceContext`] / [`QueryTrace`]: a per-query trace that travels
+//!   with the query across threads (admission queue, workers, fused
+//!   batches); threads [`enter`](TraceContext::enter) it to route their
+//!   spans into it. Finalized traces land in the global
+//!   [`flight_recorder`] ring buffer, and — when configured — in the
+//!   slow-query log ([`configure_slow_query_log`]).
 //!
 //! Registry-wide state exports as JSON ([`snapshot_json`]) or Prometheus
 //! text format ([`snapshot_prometheus`]).
@@ -28,16 +34,26 @@
 #![warn(missing_docs)]
 
 mod export;
+mod flight;
 mod metrics;
 mod report;
+mod slowlog;
 mod span;
+mod trace;
 
 pub use export::{snapshot_json, snapshot_prometheus};
+pub use flight::{flight_recorder, FlightRecorder, QueryTrace, FLIGHT_CAPACITY};
 pub use metrics::{
     counter, gauge, histogram, reset, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
 };
 pub use report::{QueryReport, Recorder};
+pub use slowlog::{
+    configure_slow_query_log, configure_slow_query_log_path, disable_slow_query_log,
+};
 pub use span::{span, take_finished_spans, SpanGuard, SpanRecord};
+pub use trace::{
+    format_trace_id, mint_trace_id, parse_trace_id, TraceContext, TraceGuard, TraceOutcome,
+};
 
 /// Canonical metric and span names used across the pipeline.
 ///
@@ -140,6 +156,28 @@ pub mod names {
     pub const SERVER_REQUESTS: &str = "sketchql.server.requests";
     /// Histogram: queries fused into one shared engine scan.
     pub const SERVER_FUSED_BATCH: &str = "sketchql.server.fused_batch_size";
+    /// Span: time a query spent in the admission queue (recorded into
+    /// its trace by the worker that dequeued it).
+    pub const SERVER_QUEUE_WAIT: &str = "sketchql.server.queue_wait";
+    /// Span: a worker executing a query (or a fused batch of queries).
+    pub const SERVER_EXECUTE: &str = "sketchql.server.execute";
+    /// Span: shared-scan fusion — present in each member query's trace
+    /// when the query executed as part of a fused batch.
+    pub const SERVER_FUSION: &str = "sketchql.server.fusion";
+    /// Span: serializing and writing a query's wire response.
+    pub const SERVER_SERIALIZE: &str = "sketchql.server.serialize";
+    /// Histogram: milliseconds between a query finishing and its
+    /// deadline (negative = the deadline had already passed).
+    pub const SERVER_DEADLINE_MARGIN_MS: &str = "sketchql.server.deadline_margin_ms";
+    /// Counter: queries shed at admission because the queue was full.
+    pub const SERVER_SHED_QUEUE_FULL: &str = "sketchql.server.shed_queue_full";
+    /// Counter: queries shed at admission during shutdown.
+    pub const SERVER_SHED_SHUTDOWN: &str = "sketchql.server.shed_shutdown";
+    /// Counter: queries shed at dequeue because their deadline expired
+    /// while still waiting in the admission queue.
+    pub const SERVER_SHED_DEADLINE_QUEUE: &str = "sketchql.server.shed_deadline_queue";
+    /// Counter: queries abandoned because the caller cancelled them.
+    pub const SERVER_SHED_CANCELLED: &str = "sketchql.server.shed_cancelled";
 
     /// Span: one offline store ingest (window enumeration + embedding +
     /// persistence).
@@ -160,6 +198,12 @@ pub mod names {
     pub const STORE_PROBED: &str = "sketchql.store.rows_probed";
     /// Histogram: rows returned per ANN probe.
     pub const STORE_PROBE_ROWS: &str = "sketchql.store.probe_rows";
+    /// Span: one ANN probe + exact re-rank against a persistent store.
+    pub const STORE_PROBE: &str = "sketchql.store.probe";
+
+    /// Span: embedding the candidate clips of one scan (the batched,
+    /// possibly parallel encoder pass).
+    pub const MATCHER_EMBED: &str = "sketchql.matcher.embed";
 }
 
 /// Whether the `enabled` feature is compiled in.

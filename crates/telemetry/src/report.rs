@@ -7,6 +7,8 @@ use crate::names;
 #[cfg(feature = "enabled")]
 use crate::span::take_finished_spans;
 use crate::span::SpanRecord;
+#[cfg(feature = "enabled")]
+use crate::trace::{TraceContext, TraceGuard};
 
 #[cfg(feature = "enabled")]
 use std::time::Instant;
@@ -33,11 +35,18 @@ const REPORT_COUNTERS: &[&str] = &[
 /// Counters are deltas over the bracketed region, so concurrent queries
 /// on other sessions of the same process can inflate each other's
 /// numbers; SketchQL sessions run queries serially, where the deltas are
-/// exact.
+/// exact. Spans, in contrast, are exact even under concurrency: each
+/// recorder collects them through its own
+/// [`TraceContext`](crate::TraceContext), so parallel queries cannot
+/// steal each other's spans.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryReport {
     /// Label for the run, usually `<dataset>/<query>`.
     pub label: String,
+    /// The trace id the run was recorded under (0 when telemetry is
+    /// compiled out). The same trace is retained in the flight
+    /// recorder.
+    pub trace_id: u64,
     /// Frames run through detection + preprocessing while building
     /// indexes inside the bracketed region (0 for pre-built indexes).
     pub frames_preprocessed: u64,
@@ -79,11 +88,31 @@ impl QueryReport {
             .collect()
     }
 
-    /// Sum of the depth-0 span durations, nanoseconds. For a fully
-    /// instrumented query this lands within a few percent of
-    /// [`total_nanos`](Self::total_nanos).
+    /// Wall-clock nanoseconds covered by the depth-0 spans: the length
+    /// of the *union* of their intervals, not the plain sum. Nested or
+    /// overlapping top-level spans (a fused batch delivers the shared
+    /// scan to several traces; concurrent threads can both be at depth
+    /// 0) therefore never push stage coverage past 100% of
+    /// [`total_nanos`](Self::total_nanos). For a fully instrumented
+    /// query this lands within a few percent of the total.
     pub fn stage_nanos_sum(&self) -> u64 {
-        self.stages().iter().map(|(_, n)| n).sum()
+        let mut intervals: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| (s.start_nanos, s.start_nanos.saturating_add(s.nanos)))
+            .collect();
+        intervals.sort_unstable();
+        let mut covered = 0u64;
+        let mut cursor = 0u64;
+        for (start, end) in intervals {
+            let start = start.max(cursor);
+            if end > start {
+                covered += end - start;
+                cursor = end;
+            }
+        }
+        covered
     }
 
     /// The counters as `(metric name, value)` pairs, report order.
@@ -120,28 +149,54 @@ impl QueryReport {
 /// Brackets one query: snapshots the pipeline counters at
 /// [`Recorder::begin`], and turns deltas + spans into a [`QueryReport`]
 /// at [`Recorder::finish`].
+///
+/// Each recorder owns a [`TraceContext`](crate::TraceContext) it enters
+/// for the duration of the bracket, so spans completed on this thread
+/// belong to this recorder alone — concurrent recorders on other
+/// threads cannot steal them. The finished trace is also published to
+/// the flight recorder under [`QueryReport::trace_id`]. Not `Send`: a
+/// recorder must finish on the thread that began it.
 pub struct Recorder {
     #[cfg(feature = "enabled")]
     start: Instant,
     #[cfg(feature = "enabled")]
     base: Vec<u64>,
+    #[cfg(feature = "enabled")]
+    ctx: TraceContext,
+    #[cfg(feature = "enabled")]
+    guard: TraceGuard,
+    #[cfg(not(feature = "enabled"))]
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl Recorder {
-    /// Starts recording. Drains any stale finished spans on this thread
-    /// so the report only sees spans completed inside the bracket.
+    /// Starts recording under a freshly minted trace id. Drains any
+    /// stale finished spans on this thread so pre-bracket leftovers
+    /// cannot bleed into later reports.
     pub fn begin() -> Self {
         #[cfg(feature = "enabled")]
         {
-            let _ = take_finished_spans();
-            Recorder {
-                start: Instant::now(),
-                base: REPORT_COUNTERS.iter().map(|n| counter(n).get()).collect(),
-            }
+            Self::begin_with_trace(TraceContext::new())
         }
         #[cfg(not(feature = "enabled"))]
         {
-            Recorder {}
+            Recorder {
+                _not_send: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Starts recording into an existing trace (one whose id arrived
+    /// over the wire, for instance).
+    #[cfg(feature = "enabled")]
+    pub fn begin_with_trace(ctx: TraceContext) -> Self {
+        let _ = take_finished_spans();
+        let guard = ctx.enter();
+        Recorder {
+            start: Instant::now(),
+            base: REPORT_COUNTERS.iter().map(|n| counter(n).get()).collect(),
+            ctx,
+            guard,
         }
     }
 
@@ -150,13 +205,27 @@ impl Recorder {
     pub fn finish(self, label: impl Into<String>) -> QueryReport {
         #[cfg(feature = "enabled")]
         {
+            let Recorder {
+                start,
+                base,
+                ctx,
+                guard,
+            } = self;
+            drop(guard); // stop collecting before snapshotting
             let deltas: Vec<u64> = REPORT_COUNTERS
                 .iter()
-                .zip(&self.base)
+                .zip(&base)
                 .map(|(n, base)| counter(n).get().saturating_sub(*base))
                 .collect();
+            let label = label.into();
+            ctx.set_label(label.clone());
+            let spans = match ctx.finalize() {
+                Some(trace) => trace.spans.clone(),
+                None => Vec::new(),
+            };
             QueryReport {
-                label: label.into(),
+                label,
+                trace_id: ctx.id(),
                 frames_preprocessed: deltas[0],
                 tracks_built: deltas[1],
                 windows_enumerated: deltas[2],
@@ -169,8 +238,8 @@ impl Recorder {
                 store_hits: deltas[9],
                 store_fallbacks: deltas[10],
                 store_probed: deltas[11],
-                spans: take_finished_spans(),
-                total_nanos: self.start.elapsed().as_nanos() as u64,
+                spans,
+                total_nanos: start.elapsed().as_nanos() as u64,
             }
         }
         #[cfg(not(feature = "enabled"))]

@@ -1,0 +1,73 @@
+//! The slow-query log: JSON lines for queries worth a second look.
+//!
+//! Once configured, every finalized trace whose wall time exceeds the
+//! threshold — or that ended any way other than
+//! [`TraceOutcome::Completed`](crate::TraceOutcome::Completed) (shed,
+//! cancelled, deadline-exceeded, failed) — is written as one JSON line
+//! carrying the full stage waterfall (see
+//! [`QueryTrace::to_json`](crate::QueryTrace::to_json) for the shape).
+//! Unconfigured (the default), nothing is written.
+//!
+//! The sink is process-global: the server configures it once at
+//! startup (`serve --slow-query-ms N [--slow-query-log PATH]`).
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::flight::QueryTrace;
+use crate::trace::TraceOutcome;
+
+struct SlowLogSink {
+    threshold_nanos: u64,
+    writer: Box<dyn Write + Send>,
+}
+
+fn sink() -> &'static Mutex<Option<SlowLogSink>> {
+    static SINK: OnceLock<Mutex<Option<SlowLogSink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Routes the slow-query log to `writer`, logging queries slower than
+/// `threshold` (and all queries that did not complete normally,
+/// regardless of duration). Replaces any previous sink.
+pub fn configure_slow_query_log(writer: Box<dyn Write + Send>, threshold: Duration) {
+    *sink().lock().unwrap() = Some(SlowLogSink {
+        threshold_nanos: threshold.as_nanos() as u64,
+        writer,
+    });
+}
+
+/// Routes the slow-query log to a file (created or appended to).
+pub fn configure_slow_query_log_path(path: &Path, threshold: Duration) -> io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    configure_slow_query_log(Box::new(file), threshold);
+    Ok(())
+}
+
+/// Turns the slow-query log off (flushing and dropping the sink).
+pub fn disable_slow_query_log() {
+    if let Some(mut old) = sink().lock().unwrap().take() {
+        let _ = old.writer.flush();
+    }
+}
+
+/// Offers a finalized trace to the log; writes one JSON line if the
+/// trace qualifies. Called from trace finalization.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+pub(crate) fn observe_trace(trace: &QueryTrace) {
+    let mut guard = sink().lock().unwrap();
+    let Some(slow) = guard.as_mut() else {
+        return;
+    };
+    let qualifies =
+        trace.total_nanos > slow.threshold_nanos || trace.outcome != TraceOutcome::Completed;
+    if qualifies {
+        let _ = writeln!(slow.writer, "{}", trace.to_json());
+        let _ = slow.writer.flush();
+    }
+}

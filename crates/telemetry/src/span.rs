@@ -3,14 +3,26 @@
 //! [`span`] starts a timer on the current thread and bumps the thread's
 //! nesting depth; dropping the returned [`SpanGuard`] records a
 //! [`SpanRecord`] with the span's depth relative to its enclosing spans.
-//! Records accumulate per thread until [`take_finished_spans`] drains
-//! them (the [`Recorder`](crate::Recorder) does this around a query).
+//!
+//! Completed spans are delivered to every [`TraceContext`] the current
+//! thread has entered (see [`TraceContext::enter`]); when no trace is
+//! active they accumulate per thread until [`take_finished_spans`]
+//! drains them, which keeps span collection working for callers that
+//! never mint a trace.
 //!
 //! Durations come from [`std::time::Instant`], the monotonic clock, so
-//! they are immune to wall-clock adjustments.
+//! they are immune to wall-clock adjustments. Span start times are
+//! stored as offsets from a per-process epoch (the first telemetry
+//! event), which lets reports reassemble a waterfall without shipping
+//! `Instant`s around.
+//!
+//! [`TraceContext`]: crate::TraceContext
+//! [`TraceContext::enter`]: crate::TraceContext::enter
 
 #[cfg(feature = "enabled")]
 use std::cell::RefCell;
+#[cfg(feature = "enabled")]
+use std::sync::OnceLock;
 #[cfg(feature = "enabled")]
 use std::time::Instant;
 
@@ -22,6 +34,9 @@ pub struct SpanRecord {
     /// Nesting depth when the span ran: 0 for top-level spans, 1 for
     /// spans opened inside a depth-0 span, and so on.
     pub depth: usize,
+    /// When the span started, nanoseconds since the process telemetry
+    /// epoch. Only ordering and differences are meaningful.
+    pub start_nanos: u64,
     /// Elapsed monotonic time in nanoseconds.
     pub nanos: u64,
 }
@@ -37,6 +52,20 @@ thread_local! {
     static SPANS: RefCell<ThreadSpans> = const {
         RefCell::new(ThreadSpans { depth: 0, finished: Vec::new() })
     };
+}
+
+/// The per-process telemetry epoch: fixed at the first telemetry event.
+#[cfg(feature = "enabled")]
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds between the process epoch and `at` (0 if `at` precedes
+/// the epoch, which can only happen for the instant that seeded it).
+#[cfg(feature = "enabled")]
+pub(crate) fn nanos_since_epoch(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch()).as_nanos() as u64
 }
 
 /// Live span; records itself when dropped.
@@ -65,6 +94,7 @@ pub struct SpanGuard {
 pub fn span(name: &'static str) -> SpanGuard {
     #[cfg(feature = "enabled")]
     {
+        epoch(); // pin the epoch no later than the first span
         SPANS.with(|s| s.borrow_mut().depth += 1);
         SpanGuard {
             name,
@@ -83,22 +113,32 @@ impl Drop for SpanGuard {
         #[cfg(feature = "enabled")]
         {
             let nanos = self.start.elapsed().as_nanos() as u64;
-            SPANS.with(|s| {
+            let start_nanos = nanos_since_epoch(self.start);
+            let depth = SPANS.with(|s| {
                 let mut s = s.borrow_mut();
                 s.depth = s.depth.saturating_sub(1);
-                let depth = s.depth;
-                s.finished.push(SpanRecord {
-                    name: self.name,
-                    depth,
-                    nanos,
-                });
+                s.depth
             });
+            let record = SpanRecord {
+                name: self.name,
+                depth,
+                start_nanos,
+                nanos,
+            };
+            // Deliver to the traces this thread has entered; fall back
+            // to the legacy per-thread buffer when none are active.
+            if let Some(record) = crate::trace::deliver(record) {
+                SPANS.with(|s| s.borrow_mut().finished.push(record));
+            }
         }
     }
 }
 
 /// Drains the current thread's finished spans, in completion order
-/// (children precede their parents). Empty when telemetry is disabled.
+/// (children precede their parents). Spans completed while a
+/// [`TraceContext`](crate::TraceContext) was entered on this thread are
+/// owned by that trace and never show up here. Empty when telemetry is
+/// disabled.
 pub fn take_finished_spans() -> Vec<SpanRecord> {
     #[cfg(feature = "enabled")]
     {

@@ -1,0 +1,396 @@
+//! Per-query trace contexts: the spine of end-to-end query tracing.
+//!
+//! A [`TraceContext`] is minted where a query is born (the wire client,
+//! or [`Recorder::begin`](crate::Recorder::begin) for in-process
+//! sessions) and handed along the query path — wire protocol, admission
+//! queue, worker thread, fusion batch. Any thread that is about to do
+//! work on behalf of the query calls [`TraceContext::enter`]; while the
+//! returned guard lives, every span completed on that thread is
+//! delivered into the trace instead of the thread-local buffer. A
+//! thread may enter several contexts at once (a fused batch executes
+//! one shared scan for many queries), in which case each completed span
+//! is delivered to *all* of them — every member query still gets a
+//! complete span tree.
+//!
+//! When the query is done, [`TraceContext::finalize`] snapshots the
+//! spans into an immutable [`QueryTrace`], records it in the global
+//! [flight recorder](crate::flight_recorder), and offers it to the
+//! [slow-query log](crate::configure_slow_query_log). Finalization is
+//! idempotent and also runs from `Drop` as a safety net, so shed or
+//! abandoned queries still leave a trace.
+//!
+//! Trace ids are 48-bit so they survive JSON transports that store
+//! numbers as `f64` (exact only up to 2^53).
+
+#[cfg(feature = "enabled")]
+use std::cell::RefCell;
+use std::marker::PhantomData;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[cfg(not(feature = "enabled"))]
+use crate::flight::QueryTrace;
+#[cfg(feature = "enabled")]
+use crate::flight::{flight_recorder, QueryTrace};
+#[cfg(feature = "enabled")]
+use crate::slowlog;
+#[cfg(feature = "enabled")]
+use crate::span::nanos_since_epoch;
+#[cfg(feature = "enabled")]
+use crate::span::SpanRecord;
+
+/// How a traced query ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The query ran to completion and returned moments.
+    Completed,
+    /// The query's deadline expired (in queue or mid-search).
+    DeadlineExceeded,
+    /// The query was cancelled by the caller.
+    Cancelled,
+    /// The query was shed at admission (queue full or shutdown).
+    Shed,
+    /// The query failed with an error.
+    Failed,
+}
+
+impl TraceOutcome {
+    /// Stable lowercase wire/log name for the outcome.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceOutcome::Completed => "completed",
+            TraceOutcome::DeadlineExceeded => "deadline_exceeded",
+            TraceOutcome::Cancelled => "cancelled",
+            TraceOutcome::Shed => "shed",
+            TraceOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// Mints a fresh 48-bit trace id: unique within a process, very likely
+/// unique across the processes of one deployment. Never 0 (`0` means
+/// "no trace"). Available even when telemetry is compiled out, so wire
+/// semantics don't change between builds.
+pub fn mint_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let clock = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = std::process::id() as u64;
+    // FNV-1a over (clock, pid, seq) — cheap, well mixed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [clock, pid, seq] {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    // 48 bits: exact in an f64, so the id round-trips through JSON.
+    let id = h & 0xffff_ffff_ffff;
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Formats a trace id the way operators see it: 12 hex digits.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:012x}")
+}
+
+/// Parses a trace id as printed by [`format_trace_id`] (hex, with or
+/// without a `0x` prefix). Returns `None` for malformed or zero ids.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+#[cfg(feature = "enabled")]
+#[derive(Debug)]
+struct TraceMeta {
+    label: String,
+    outcome: TraceOutcome,
+    batch_size: usize,
+}
+
+#[cfg(feature = "enabled")]
+#[derive(Debug)]
+pub(crate) struct TraceInner {
+    id: u64,
+    started: Instant,
+    start_nanos: u64,
+    meta: Mutex<TraceMeta>,
+    spans: Mutex<Vec<SpanRecord>>,
+    finalized: AtomicBool,
+}
+
+#[cfg(feature = "enabled")]
+impl TraceInner {
+    /// Snapshots this trace into a [`QueryTrace`] and publishes it to
+    /// the flight recorder and the slow-query log. Idempotent: the
+    /// first caller (explicit [`TraceContext::finalize`] or the `Drop`
+    /// safety net) wins, later calls return `None`.
+    fn do_finalize(&self) -> Option<Arc<QueryTrace>> {
+        if self.finalized.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        let total_nanos = self.started.elapsed().as_nanos() as u64;
+        let spans = std::mem::take(&mut *self.spans.lock().unwrap());
+        let trace = {
+            let meta = self.meta.lock().unwrap();
+            Arc::new(QueryTrace {
+                trace_id: self.id,
+                label: meta.label.clone(),
+                outcome: meta.outcome,
+                batch_size: meta.batch_size,
+                start_nanos: self.start_nanos,
+                total_nanos,
+                spans,
+            })
+        };
+        flight_recorder().record(Arc::clone(&trace));
+        slowlog::observe_trace(&trace);
+        Some(trace)
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for TraceInner {
+    fn drop(&mut self) {
+        // Safety net for abandoned queries (shed at admission, handle
+        // dropped, worker panicked past the result): they still land in
+        // the flight recorder and slow-query log.
+        let _ = self.do_finalize();
+    }
+}
+
+/// A handle on one query's trace: its id plus the span sink that
+/// travels with the query. Cheap to clone (an `Arc` bump); all clones
+/// share the same span buffer and finalize at most once.
+///
+/// With telemetry compiled out this is just the id — every operation is
+/// a no-op but the id still propagates, so wire behavior is identical.
+#[derive(Clone, Debug)]
+pub struct TraceContext {
+    id: u64,
+    #[cfg(feature = "enabled")]
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl PartialEq for TraceContext {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl TraceContext {
+    /// Starts a new trace with a freshly minted id.
+    pub fn new() -> Self {
+        Self::with_id(mint_trace_id())
+    }
+
+    /// Starts a new trace under an externally minted id (the id a wire
+    /// client sent along with its query).
+    pub fn with_id(id: u64) -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            let started = Instant::now();
+            TraceContext {
+                id,
+                inner: Some(Arc::new(TraceInner {
+                    id,
+                    started,
+                    start_nanos: nanos_since_epoch(started),
+                    meta: Mutex::new(TraceMeta {
+                        label: String::new(),
+                        outcome: TraceOutcome::Completed,
+                        batch_size: 1,
+                    }),
+                    spans: Mutex::new(Vec::new()),
+                    finalized: AtomicBool::new(false),
+                })),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            TraceContext { id }
+        }
+    }
+
+    /// A context that only carries an id: spans entered under it are
+    /// discarded and nothing is flight-recorded. What [`with_id`]
+    /// returns when telemetry is compiled out.
+    ///
+    /// [`with_id`]: TraceContext::with_id
+    pub fn inert(id: u64) -> Self {
+        TraceContext {
+            id,
+            #[cfg(feature = "enabled")]
+            inner: None,
+        }
+    }
+
+    /// The trace id (0 only for inert contexts created with id 0).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Registers this trace as a span sink on the current thread; while
+    /// the returned guard lives, spans completed on this thread are
+    /// delivered into this trace (and into any other traces the thread
+    /// has entered — fused batches enter all their members).
+    #[must_use = "spans are only delivered to the trace while the guard is alive"]
+    pub fn enter(&self) -> TraceGuard {
+        #[cfg(feature = "enabled")]
+        {
+            let entered = self.inner.as_ref().map(|inner| {
+                ACTIVE.with(|a| a.borrow_mut().push(Arc::clone(inner)));
+                Arc::clone(inner)
+            });
+            TraceGuard {
+                entered,
+                _not_send: PhantomData,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            TraceGuard {
+                _not_send: PhantomData,
+            }
+        }
+    }
+
+    /// Sets the human-readable label (usually `dataset/query`).
+    pub fn set_label(&self, label: impl Into<String>) {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = &self.inner {
+            inner.meta.lock().unwrap().label = label.into();
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = label.into();
+        }
+    }
+
+    /// Sets how the query ended (defaults to [`TraceOutcome::Completed`]).
+    pub fn set_outcome(&self, outcome: TraceOutcome) {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = &self.inner {
+            inner.meta.lock().unwrap().outcome = outcome;
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = outcome;
+    }
+
+    /// Sets the fused batch size the query executed under (default 1).
+    pub fn set_batch_size(&self, batch_size: usize) {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = &self.inner {
+            inner.meta.lock().unwrap().batch_size = batch_size;
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = batch_size;
+    }
+
+    /// Records a span directly into this trace, for intervals measured
+    /// outside any thread's RAII scope (e.g. time spent in the
+    /// admission queue, timed between two threads).
+    pub fn record_span(&self, name: &'static str, depth: usize, start: Instant, nanos: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = &self.inner {
+            inner.spans.lock().unwrap().push(SpanRecord {
+                name,
+                depth,
+                start_nanos: nanos_since_epoch(start),
+                nanos,
+            });
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, depth, start, nanos);
+        }
+    }
+
+    /// Closes the trace: snapshots its spans into a [`QueryTrace`],
+    /// records it in the global flight recorder, and offers it to the
+    /// slow-query log. Returns the snapshot, or `None` if the trace was
+    /// already finalized (by another clone or the `Drop` safety net) or
+    /// telemetry is compiled out.
+    pub fn finalize(&self) -> Option<std::sync::Arc<QueryTrace>> {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.as_ref().and_then(|inner| inner.do_finalize())
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            None
+        }
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// The traces the current thread has entered, innermost last. Spans
+// completed on this thread are delivered to all of them.
+#[cfg(feature = "enabled")]
+thread_local! {
+    static ACTIVE: RefCell<Vec<Arc<TraceInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Delivers a completed span to every trace entered on this thread.
+/// Returns the record back if no trace is active (caller keeps it in
+/// the thread-local buffer).
+#[cfg(feature = "enabled")]
+pub(crate) fn deliver(record: SpanRecord) -> Option<SpanRecord> {
+    ACTIVE.with(|a| {
+        let active = a.borrow();
+        if active.is_empty() {
+            return Some(record);
+        }
+        for sink in active.iter() {
+            sink.spans.lock().unwrap().push(record.clone());
+        }
+        None
+    })
+}
+
+/// RAII guard from [`TraceContext::enter`]; leaving the scope stops
+/// delivering this thread's spans to the trace. Not `Send`: the guard
+/// must drop on the thread that entered.
+#[must_use = "spans are only delivered to the trace while the guard is alive"]
+pub struct TraceGuard {
+    #[cfg(feature = "enabled")]
+    entered: Option<Arc<TraceInner>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = self.entered.take() {
+            ACTIVE.with(|a| {
+                let mut active = a.borrow_mut();
+                // Remove the most recent matching entry (guards usually
+                // drop LIFO, but a fused batch drops a whole set).
+                if let Some(pos) = active.iter().rposition(|s| Arc::ptr_eq(s, &inner)) {
+                    active.remove(pos);
+                }
+            });
+        }
+    }
+}

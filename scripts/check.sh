@@ -14,16 +14,22 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== feature check: telemetry disabled still builds and tests"
+# This runs BEFORE the tier-1 build: both build --release into the same
+# target dir, and the smokes below need the default-features binary
+# (flight recorder, slow log, scrape) to be the one left on disk.
+cargo build --release --no-default-features
+cargo test -q --no-default-features
+
 echo "== tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "== feature check: telemetry disabled still builds and tests"
-cargo build --release --no-default-features
-cargo test -q --no-default-features
-
 echo "== server smoke (CLI serve/client round trip)"
 scripts/smoke_server.sh
+
+echo "== trace smoke (trace id -> span tree -> scrape -> slow log)"
+scripts/smoke_trace.sh
 
 echo "== server throughput smoke (quick load)"
 # The quick load is small and noisy, so the smoke bar is looser than the

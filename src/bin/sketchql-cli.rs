@@ -28,7 +28,7 @@ use sketchql::{
 use sketchql_datasets::{
     generate_video, query_clip, EventKind, SceneFamily, SyntheticVideo, VideoConfig,
 };
-use sketchql_server::{Client, Engine, EngineConfig, Server};
+use sketchql_server::{Client, Engine, EngineConfig, MetricsListener, Server};
 use sketchql_tracker::{DetectorConfig, TrackerConfig};
 use sketchql_trajectory::{render_storyboard, DistanceKind};
 use std::collections::HashMap;
@@ -88,8 +88,11 @@ commands:
            [--store-dir <dir>] [--nprobe <n>]
            [--addr 127.0.0.1:7878] [--workers <n>] [--queue-depth <n>]
            [--deadline-ms <n>] [--fused-batch <n>] [--top-k <n>] [--oracle-tracks]
-  client   --addr <host:port> --action <ping|list|stats|query|shutdown>
+           [--metrics-addr <host:port>] prometheus scrape endpoint
+           [--slow-query-ms <n>] [--slow-query-log <file>] JSON-lines slow log
+  client   --addr <host:port> --action <ping|list|stats|query|trace|metrics|shutdown>
            [--dataset <name>] [--event <kind>] [--top-k <n>] [--deadline-ms <n>]
+           [--trace-id <hex>] [--limit <n>] for --action trace
 
 families: urban_intersection, parking_lot, plaza
 events:   left_turn right_turn u_turn stop_and_go lane_change
@@ -524,6 +527,30 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let loaded: Vec<String> = stores.keys().cloned().collect();
 
+    // Observability side channels: a JSON-lines slow-query log (also
+    // records shed/cancelled/timed-out queries regardless of duration)
+    // and a plaintext Prometheus scrape endpoint.
+    if flags.contains_key("slow-query-ms") || flags.contains_key("slow-query-log") {
+        let threshold = Duration::from_millis(num(flags, "slow-query-ms", 0)?);
+        let path = flags
+            .get("slow-query-log")
+            .map_or("sketchql-slow.jsonl", String::as_str);
+        telemetry::configure_slow_query_log_path(Path::new(path), threshold)
+            .map_err(|e| format!("--slow-query-log {path}: {e}"))?;
+        println!(
+            "slow-query log: {} (threshold {} ms)",
+            path,
+            threshold.as_millis()
+        );
+    }
+    let metrics = flags
+        .get("metrics-addr")
+        .map(|addr| MetricsListener::start(addr).map_err(|e| format!("bind metrics {addr}: {e}")))
+        .transpose()?;
+    if let Some(listener) = &metrics {
+        println!("metrics scrape endpoint on {}", listener.local_addr());
+    }
+
     let addr = flags.get("addr").map_or("127.0.0.1:7878", String::as_str);
     let engine = Engine::start_with_stores(model, datasets, stores, config);
     let stored = engine.stored_datasets();
@@ -544,6 +571,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     server.wait_for_shutdown_request();
     println!("shutdown requested; draining...");
     server.shutdown();
+    if let Some(listener) = metrics {
+        listener.shutdown();
+    }
+    telemetry::disable_slow_query_log();
     println!("server stopped");
     Ok(())
 }
@@ -604,16 +635,43 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
                 .query_event(dataset, event, top_k, deadline)
                 .map_err(|e| e.to_string())?;
             println!(
-                "{} moments (waited {} ms, ran {} ms, batch of {})",
+                "{} moments (waited {} ms, ran {} ms, batch of {}, trace {})",
                 outcome.moments.len(),
                 outcome.queue_wait_ms,
                 outcome.execute_ms,
-                outcome.batch_size
+                outcome.batch_size,
+                telemetry::format_trace_id(outcome.trace_id)
             );
             println!("#  frames            score");
             for (i, m) in outcome.moments.iter().enumerate() {
                 println!("{:<2} {:>6}..{:<7} {:.3}", i + 1, m.start, m.end, m.score);
             }
+        }
+        "trace" => {
+            let trace_id = flags
+                .get("trace-id")
+                .map(|v| {
+                    telemetry::parse_trace_id(v)
+                        .ok_or_else(|| format!("--trace-id: cannot parse {v:?} as a hex id"))
+                })
+                .transpose()?;
+            let limit = flags
+                .get("limit")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--limit: cannot parse {v:?}"))
+                })
+                .transpose()?;
+            let traces = client.trace(trace_id, limit).map_err(|e| e.to_string())?;
+            if traces.is_empty() {
+                println!("no matching traces in the flight recorder");
+            }
+            for trace in &traces {
+                print_waterfall(trace);
+            }
+        }
+        "metrics" => {
+            print!("{}", client.metrics_text().map_err(|e| e.to_string())?);
         }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
@@ -621,9 +679,32 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "--action: expected ping|list|stats|query|shutdown, got {other:?}"
+                "--action: expected ping|list|stats|query|trace|metrics|shutdown, got {other:?}"
             ))
         }
     }
     Ok(())
+}
+
+/// Renders one flight-recorder trace as an indented stage waterfall:
+/// spans in start order, indented by nesting depth, with each span's
+/// offset into the query and its duration.
+fn print_waterfall(trace: &sketchql_server::WireTrace) {
+    println!(
+        "trace {}  [{}]  outcome {}  batch {}  total {:.3} ms",
+        telemetry::format_trace_id(trace.trace_id),
+        trace.label,
+        trace.outcome,
+        trace.batch_size,
+        trace.total_nanos as f64 / 1e6
+    );
+    for span in &trace.spans {
+        println!(
+            "  {:>10.3} ms  +{:>10.3} ms  {}{}",
+            span.start_nanos as f64 / 1e6,
+            span.nanos as f64 / 1e6,
+            "  ".repeat(span.depth),
+            span.name
+        );
+    }
 }
