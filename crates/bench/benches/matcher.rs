@@ -110,6 +110,14 @@ fn main() {
             "off"
         }
     );
+    // Run with the full observability load-out the server carries in
+    // production — counting allocator (linked via the telemetry crate)
+    // plus the continuous sampling profiler — so the overhead gate in
+    // `scripts/bench_overhead.sh` measures the whole stack, not just
+    // counters.
+    if sketchql::telemetry::is_enabled() {
+        sketchql::telemetry::start_continuous_profiler(19);
+    }
     let mut h = Harness::from_env();
     bench_matcher(&mut h);
     bench_rules(&mut h);

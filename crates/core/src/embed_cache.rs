@@ -144,11 +144,20 @@ pub fn try_embed_clips_parallel<S: Similarity>(
         return embed_piece(clips);
     }
     let chunk = clips.len().div_ceil(threads);
+    // Hand the calling thread's live traces to the workers so encoder
+    // CPU and allocations attribute to the query being embedded.
+    let entered = sketchql_telemetry::TraceContext::entered();
     let pieces: Vec<Result<Vec<Option<Vec<f32>>>, CancelReason>> = std::thread::scope(|scope| {
         let embed_piece = &embed_piece;
+        let entered = &entered;
         let handles: Vec<_> = clips
             .chunks(chunk)
-            .map(|piece| scope.spawn(move || embed_piece(piece)))
+            .map(|piece| {
+                scope.spawn(move || {
+                    let _attribution: Vec<_> = entered.iter().map(|t| t.enter()).collect();
+                    embed_piece(piece)
+                })
+            })
             .collect();
         handles
             .into_iter()

@@ -426,10 +426,15 @@ impl<S: Similarity> Matcher<S> {
         }
         let results = std::sync::Mutex::new(Vec::with_capacity(windows.len()));
         let chunk = windows.len().div_ceil(threads);
+        // Hand the calling thread's live traces to the workers so their
+        // CPU and allocations attribute to the query being scanned.
+        let entered = telemetry::TraceContext::entered();
         std::thread::scope(|scope| {
             for piece in windows.chunks(chunk) {
                 let results = &results;
+                let entered = &entered;
                 scope.spawn(move || {
+                    let _attribution: Vec<_> = entered.iter().map(|t| t.enter()).collect();
                     let mut local: Vec<RetrievedMoment> = Vec::new();
                     for &(s, e, o) in piece {
                         // Workers drop out at the first tripped poll; the

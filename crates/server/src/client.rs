@@ -181,6 +181,31 @@ impl Client {
         }
     }
 
+    /// Fetches a CPU profile in folded-stack (flamegraph) format.
+    /// `seconds = None` (or 0) answers instantly from the server's
+    /// continuous profiler; a positive window samples fresh for that
+    /// long (server-capped at 60 s) at `hz` (server default when
+    /// `None`). Note a fresh window blocks this connection until the
+    /// window closes.
+    pub fn profile(
+        &mut self,
+        seconds: Option<u64>,
+        hz: Option<u64>,
+    ) -> Result<ProfileOutcome, ClientError> {
+        match self.request(&Request::Profile { seconds, hz })? {
+            Response::Profile {
+                folded,
+                samples,
+                duration_ms,
+            } => Ok(ProfileOutcome {
+                folded,
+                samples,
+                duration_ms,
+            }),
+            other => Err(unexpected("Profile", &other)),
+        }
+    }
+
     /// Fetches the server's metric registry in Prometheus text format.
     pub fn metrics_text(&mut self) -> Result<String, ClientError> {
         match self.request(&Request::Metrics)? {
@@ -212,6 +237,18 @@ pub struct QueryOutcome {
     /// The trace id the query ran under (the client-minted id, echoed
     /// by the server); fetch the span tree with [`Client::trace`].
     pub trace_id: u64,
+}
+
+/// A server CPU profile as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOutcome {
+    /// Folded stacks, one `thread;span;...;span count` line each —
+    /// feed directly to `flamegraph.pl` / `inferno-flamegraph`.
+    pub folded: String,
+    /// Stack samples aggregated into the report.
+    pub samples: u64,
+    /// Wall-clock span of the sampling window, milliseconds.
+    pub duration_ms: u64,
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {

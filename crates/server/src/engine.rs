@@ -229,8 +229,24 @@ pub struct QueryResult {
     pub trace: TraceContext,
 }
 
-/// A point-in-time view of the engine, also served over the wire.
+/// Per-dataset traffic totals, served inside [`EngineStats`] so a
+/// live top view can tell which dataset the load lands on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetTraffic {
+    /// Dataset name.
+    pub name: String,
+    /// Queries against this dataset answered successfully.
+    pub completed: u64,
+    /// Queries against this dataset that failed or were cancelled.
+    pub failed: u64,
+    /// Queries against this dataset whose deadline expired.
+    pub timed_out: u64,
+    /// Queries against this dataset shed at admission.
+    pub shed: u64,
+}
+
+/// A point-in-time view of the engine, also served over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineStats {
     /// Worker threads.
     pub workers: usize,
@@ -257,6 +273,32 @@ pub struct EngineStats {
     pub store_fallbacks: u64,
     /// Total stored rows scored across all store-served queries.
     pub store_probed: u64,
+    /// Per-dataset traffic totals, in dataset-name order. Empty when
+    /// talking to a pre-v4 server.
+    pub datasets: Vec<DatasetTraffic>,
+}
+
+// Hand-written so a v4 client still parses v3 stats: the per-dataset
+// breakdown defaults to empty when absent.
+impl Deserialize for EngineStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use crate::protocol::{field, obj, opt_field};
+        let fields = obj(v, "EngineStats")?;
+        Ok(EngineStats {
+            workers: field(&fields, "workers")?,
+            queued: field(&fields, "queued")?,
+            in_flight: field(&fields, "in_flight")?,
+            accepted: field(&fields, "accepted")?,
+            completed: field(&fields, "completed")?,
+            rejected_overload: field(&fields, "rejected_overload")?,
+            timed_out: field(&fields, "timed_out")?,
+            failed: field(&fields, "failed")?,
+            store_hits: field(&fields, "store_hits")?,
+            store_fallbacks: field(&fields, "store_fallbacks")?,
+            store_probed: field(&fields, "store_probed")?,
+            datasets: opt_field(&fields, "datasets")?.unwrap_or_default(),
+        })
+    }
 }
 
 /// A loaded dataset, as listed over the wire.
@@ -322,6 +364,16 @@ struct Counters {
     store_probed: AtomicU64,
 }
 
+/// Per-dataset slice of the traffic counters. The dataset set is fixed
+/// at start, so the map never grows and lookups are lock-free.
+#[derive(Default)]
+struct DatasetCounters {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+    shed: AtomicU64,
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     work_ready: Condvar,
@@ -329,7 +381,18 @@ struct Shared {
     datasets: BTreeMap<String, VideoIndex>,
     stores: BTreeMap<String, DatasetStore>,
     counters: Counters,
+    per_dataset: BTreeMap<String, DatasetCounters>,
     fused_batch: usize,
+}
+
+impl Shared {
+    /// The per-dataset counter slice for `name` (always present: the
+    /// dataset was validated at submit).
+    fn dataset_counters(&self, name: &str) -> &DatasetCounters {
+        self.per_dataset
+            .get(name)
+            .expect("dataset validated at submit")
+    }
 }
 
 /// The concurrent query service. See the [module docs](self).
@@ -376,6 +439,10 @@ impl Engine {
                         .is_some_and(|idx| store.matches_index(idx))
             })
             .collect();
+        let per_dataset = datasets
+            .keys()
+            .map(|name| (name.clone(), DatasetCounters::default()))
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -387,6 +454,7 @@ impl Engine {
             datasets,
             stores,
             counters: Counters::default(),
+            per_dataset,
             fused_batch: config.fused_batch,
         });
         let workers = (0..config.workers)
@@ -435,6 +503,10 @@ impl Engine {
         if !st.accepting {
             trace.set_outcome(TraceOutcome::Shed);
             telemetry::counter(names::SERVER_SHED_SHUTDOWN).inc();
+            self.shared
+                .dataset_counters(&spec.dataset)
+                .shed
+                .fetch_add(1, Ordering::Relaxed);
             return Err(EngineError::ShuttingDown);
         }
         if st.queue.len() >= self.config.queue_depth {
@@ -445,6 +517,10 @@ impl Engine {
             telemetry::counter(names::SERVER_REJECTED_OVERLOAD).inc();
             trace.set_outcome(TraceOutcome::Shed);
             telemetry::counter(names::SERVER_SHED_QUEUE_FULL).inc();
+            self.shared
+                .dataset_counters(&spec.dataset)
+                .shed
+                .fetch_add(1, Ordering::Relaxed);
             return Err(EngineError::Overloaded {
                 queue_depth: self.config.queue_depth,
             });
@@ -489,6 +565,18 @@ impl Engine {
             store_hits: c.store_hits.load(Ordering::Relaxed),
             store_fallbacks: c.store_fallbacks.load(Ordering::Relaxed),
             store_probed: c.store_probed.load(Ordering::Relaxed),
+            datasets: self
+                .shared
+                .per_dataset
+                .iter()
+                .map(|(name, d)| DatasetTraffic {
+                    name: name.clone(),
+                    completed: d.completed.load(Ordering::Relaxed),
+                    failed: d.failed.load(Ordering::Relaxed),
+                    timed_out: d.timed_out.load(Ordering::Relaxed),
+                    shed: d.shed.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
@@ -639,6 +727,10 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
                     }
                     c.completed.fetch_add(1, Ordering::Relaxed);
                     telemetry::counter(names::SERVER_COMPLETED).inc();
+                    shared
+                        .dataset_counters(&job.dataset)
+                        .completed
+                        .fetch_add(1, Ordering::Relaxed);
                     let _ = job.tx.send(Ok(QueryResult {
                         moments,
                         queue_wait: wait,
@@ -716,6 +808,10 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
                 }
                 shared.counters.completed.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter(names::SERVER_COMPLETED).inc();
+                shared
+                    .dataset_counters(&job.dataset)
+                    .completed
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = job.tx.send(Ok(QueryResult {
                     moments,
                     queue_wait: wait,
@@ -751,20 +847,24 @@ fn observe_deadline_margin(job: &Job) {
 /// Answers `job` with `err`, stamps the trace's outcome, and bumps the
 /// matching failure counter.
 fn finish_err(shared: &Shared, job: &Job, err: EngineError) {
+    let per_dataset = shared.dataset_counters(&job.dataset);
     match err {
         EngineError::DeadlineExceeded => {
             shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            per_dataset.timed_out.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_TIMED_OUT).inc();
             job.trace.set_outcome(TraceOutcome::DeadlineExceeded);
         }
         EngineError::Cancelled => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            per_dataset.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_FAILED).inc();
             telemetry::counter(names::SERVER_SHED_CANCELLED).inc();
             job.trace.set_outcome(TraceOutcome::Cancelled);
         }
         _ => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            per_dataset.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_FAILED).inc();
             job.trace.set_outcome(TraceOutcome::Failed);
         }

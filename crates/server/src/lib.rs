@@ -52,10 +52,10 @@ pub mod protocol;
 pub mod scrape;
 pub mod server;
 
-pub use client::{Client, ClientError, QueryOutcome};
+pub use client::{Client, ClientError, ProfileOutcome, QueryOutcome};
 pub use engine::{
-    DatasetInfo, Engine, EngineConfig, EngineError, EngineStats, QueryHandle, QueryResult,
-    QuerySpec,
+    DatasetInfo, DatasetTraffic, Engine, EngineConfig, EngineError, EngineStats, QueryHandle,
+    QueryResult, QuerySpec,
 };
 pub use protocol::{ErrorKind, Request, Response, WireSpan, WireTrace, PROTOCOL_VERSION};
 pub use scrape::MetricsListener;

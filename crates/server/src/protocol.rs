@@ -41,7 +41,11 @@ use crate::engine::{DatasetInfo, EngineError, EngineStats};
 /// `stored` flag to dataset listings. Version 3 added end-to-end
 /// tracing: `trace_id` on `Query`/`Moments`, and the `Trace` and
 /// `Metrics` requests (v2 clients still parse and round-trip).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Version 4 added resource attribution and profiling: the `Profile`
+/// request, `alloc_bytes`/`alloc_count`/`cpu_nanos` on [`WireTrace`]
+/// (absent fields read as 0, so v4 clients also parse v3 traces), and
+/// per-dataset traffic in `Stats` (v3 clients ignore the new fields).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// A client request: one JSON value per line.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,18 +83,27 @@ pub enum Request {
     },
     /// Fetch the full metric registry in Prometheus text format.
     Metrics,
+    /// Collect a folded-stack profile from the sampling profiler.
+    Profile {
+        /// Sample for this many seconds (blocking this connection), or
+        /// null/0 for a snapshot of the server's continuous profiler.
+        /// The server caps the window (60 s).
+        seconds: Option<u64>,
+        /// Sampling rate in Hz, or null for the server default.
+        hz: Option<u64>,
+    },
     /// Ask the server process to shut down gracefully.
     Shutdown,
 }
 
-fn obj(v: &Value, what: &str) -> Result<Vec<(String, Value)>, DeError> {
+pub(crate) fn obj(v: &Value, what: &str) -> Result<Vec<(String, Value)>, DeError> {
     match v {
         Value::Obj(fields) => Ok(fields.clone()),
         other => Err(DeError::expected(what, other)),
     }
 }
 
-fn field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<T, DeError> {
+pub(crate) fn field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<T, DeError> {
     let v = fields
         .iter()
         .find(|(k, _)| k == key)
@@ -101,7 +114,10 @@ fn field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<T, DeE
 
 /// Like [`field`], but an *absent* key deserializes as `None` — the
 /// compatibility hook that lets v2 requests omit trace fields.
-fn opt_field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<Option<T>, DeError> {
+pub(crate) fn opt_field<T: Deserialize>(
+    fields: &[(String, Value)],
+    key: &str,
+) -> Result<Option<T>, DeError> {
     match fields.iter().find(|(k, _)| k == key) {
         Some((_, Value::Null)) | None => Ok(None),
         Some((_, v)) => T::from_value(v).map(Some),
@@ -141,6 +157,13 @@ impl Serialize for Request {
                     ("limit".into(), limit.to_value()),
                 ]),
             )]),
+            Request::Profile { seconds, hz } => Value::Obj(vec![(
+                "Profile".into(),
+                Value::Obj(vec![
+                    ("seconds".into(), seconds.to_value()),
+                    ("hz".into(), hz.to_value()),
+                ]),
+            )]),
         }
     }
 }
@@ -177,6 +200,13 @@ impl Deserialize for Request {
                             limit: opt_field(&fields, "limit")?,
                         })
                     }
+                    "Profile" => {
+                        let fields = obj(body, "Profile")?;
+                        Ok(Request::Profile {
+                            seconds: opt_field(&fields, "seconds")?,
+                            hz: opt_field(&fields, "hz")?,
+                        })
+                    }
                     other => Err(DeError(format!("unknown request variant {other:?}"))),
                 }
             }
@@ -201,7 +231,7 @@ pub struct WireSpan {
 /// One query trace as served by [`Request::Trace`]: the flight
 /// recorder's `QueryTrace` with span starts rebased to the trace start
 /// (the process epoch means nothing off-host).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct WireTrace {
     /// The 48-bit trace id.
     pub trace_id: u64,
@@ -214,8 +244,35 @@ pub struct WireTrace {
     pub batch_size: usize,
     /// Wall time from admission to finalization, nanoseconds.
     pub total_nanos: u64,
+    /// Heap bytes attributed to the query (0 on v3 servers or without
+    /// telemetry).
+    pub alloc_bytes: u64,
+    /// Heap allocations attributed to the query.
+    pub alloc_count: u64,
+    /// CPU nanoseconds attributed to the query.
+    pub cpu_nanos: u64,
     /// Spans sorted by start offset.
     pub spans: Vec<WireSpan>,
+}
+
+// Hand-written so a v4 client still parses v3 traces: the resource
+// fields default to 0 when absent (the same `opt_field` compatibility
+// hook requests use).
+impl Deserialize for WireTrace {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = obj(v, "WireTrace")?;
+        Ok(WireTrace {
+            trace_id: field(&fields, "trace_id")?,
+            label: field(&fields, "label")?,
+            outcome: field(&fields, "outcome")?,
+            batch_size: field(&fields, "batch_size")?,
+            total_nanos: field(&fields, "total_nanos")?,
+            alloc_bytes: opt_field(&fields, "alloc_bytes")?.unwrap_or(0),
+            alloc_count: opt_field(&fields, "alloc_count")?.unwrap_or(0),
+            cpu_nanos: opt_field(&fields, "cpu_nanos")?.unwrap_or(0),
+            spans: field(&fields, "spans")?,
+        })
+    }
 }
 
 impl WireTrace {
@@ -227,6 +284,9 @@ impl WireTrace {
             outcome: t.outcome.as_str().to_string(),
             batch_size: t.batch_size,
             total_nanos: t.total_nanos,
+            alloc_bytes: t.alloc_bytes,
+            alloc_count: t.alloc_count,
+            cpu_nanos: t.cpu_nanos,
             spans: t
                 .waterfall()
                 .into_iter()
@@ -283,6 +343,18 @@ pub enum Response {
     MetricsText {
         /// The metric registry in Prometheus text exposition format.
         prometheus: String,
+    },
+    /// Answer to [`Request::Profile`].
+    Profile {
+        /// Folded stacks, one `thread;span;...;span count` line each —
+        /// flamegraph-compatible. Empty when the server was built
+        /// without telemetry (or the continuous profiler is off and a
+        /// snapshot was requested).
+        folded: String,
+        /// Total per-thread samples behind the profile.
+        samples: u64,
+        /// Wall milliseconds the profile covers.
+        duration_ms: u64,
     },
     /// Answer to [`Request::Shutdown`]; the server stops accepting work.
     ShutdownAck,
@@ -361,6 +433,14 @@ mod tests {
                 trace_id: None,
                 limit: Some(8),
             },
+            Request::Profile {
+                seconds: Some(2),
+                hz: Some(97),
+            },
+            Request::Profile {
+                seconds: None,
+                hz: None,
+            },
             Request::Metrics,
             Request::Shutdown,
         ];
@@ -405,6 +485,9 @@ mod tests {
                     outcome: "completed".into(),
                     batch_size: 1,
                     total_nanos: 1_234_567,
+                    alloc_bytes: 52_480,
+                    alloc_count: 120,
+                    cpu_nanos: 1_100_000,
                     spans: vec![WireSpan {
                         name: "sketchql.server.queue_wait".into(),
                         depth: 0,
@@ -415,6 +498,11 @@ mod tests {
             },
             Response::MetricsText {
                 prometheus: "# TYPE x counter\nx 1\n".into(),
+            },
+            Response::Profile {
+                folded: "worker-0;sketchql.server.execute;sketchql.matcher.scan 41\n".into(),
+                samples: 120,
+                duration_ms: 2_000,
             },
             Response::ShutdownAck,
             Response::Error {
@@ -497,6 +585,67 @@ mod tests {
         };
         assert_eq!(moments.len(), 1);
         assert_eq!((queue_wait_ms, execute_ms, batch_size), (3, 14, 1));
+    }
+
+    /// A bare `{"Profile":{}}` (and a v3-era client that sends no
+    /// resource-aware fields anywhere) parses with both knobs defaulted
+    /// — the `opt_field` compatibility hook, v4 edition.
+    #[test]
+    fn profile_request_with_absent_fields_parses() {
+        let req: Request = serde_json::from_str("{\"Profile\":{}}").unwrap();
+        assert_eq!(
+            req,
+            Request::Profile {
+                seconds: None,
+                hz: None,
+            }
+        );
+    }
+
+    /// The exact trace shape a v3 server puts on the wire (no resource
+    /// fields) still parses under this v4 client: absent fields read 0.
+    #[test]
+    fn v3_wire_trace_parses_with_zero_resources() {
+        let v3_line = "{\"trace_id\":7,\"label\":\"traffic/left_turn\",\
+                       \"outcome\":\"completed\",\"batch_size\":1,\"total_nanos\":1234567,\
+                       \"spans\":[{\"name\":\"sketchql.server.execute\",\"depth\":0,\
+                       \"start_nanos\":0,\"nanos\":1000}]}";
+        let t: WireTrace = serde_json::from_str(v3_line).unwrap();
+        assert_eq!((t.alloc_bytes, t.alloc_count, t.cpu_nanos), (0, 0, 0));
+        assert_eq!(t.trace_id, 7);
+        assert_eq!(t.spans.len(), 1);
+    }
+
+    /// A v3 client deserializes v4 `Traces` with its derived struct
+    /// (unknown fields ignored): simulate one by parsing a v4 trace
+    /// line into a v3-shaped mirror struct without resource fields.
+    #[test]
+    fn v4_wire_trace_parses_under_a_v3_shaped_client() {
+        #[derive(Debug, PartialEq, Deserialize)]
+        struct V3WireTrace {
+            trace_id: u64,
+            label: String,
+            outcome: String,
+            batch_size: usize,
+            total_nanos: u64,
+            spans: Vec<WireSpan>,
+        }
+
+        let v4 = WireTrace {
+            trace_id: 9,
+            label: "traffic/merge".into(),
+            outcome: "completed".into(),
+            batch_size: 2,
+            total_nanos: 777,
+            alloc_bytes: 1024,
+            alloc_count: 3,
+            cpu_nanos: 555,
+            spans: Vec::new(),
+        };
+        let line = serde_json::to_string(&v4).unwrap();
+        let back: V3WireTrace = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.trace_id, 9);
+        assert_eq!(back.total_nanos, 777);
     }
 
     /// Trace ids are minted at 48 bits so they survive the JSON number

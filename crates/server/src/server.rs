@@ -34,6 +34,14 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// Traces returned by a `Trace` request that names no id and no limit.
 const DEFAULT_TRACE_LIMIT: usize = 16;
 
+/// Longest on-demand profiling window a `Profile` request may ask for.
+/// The collection blocks the requesting connection thread, so the cap
+/// keeps a stray request from pinning a thread for minutes.
+const MAX_PROFILE_SECONDS: u64 = 60;
+
+/// Sampling rate used when a `Profile` request names none.
+const DEFAULT_PROFILE_HZ: u64 = 97;
+
 /// A running TCP server wrapping an [`Engine`].
 pub struct Server {
     engine: Arc<Engine>,
@@ -280,6 +288,27 @@ fn handle_request(
             false,
             None,
         ),
+        Request::Profile { seconds, hz } => {
+            // seconds = 0 (or absent) answers from the continuous
+            // profiler's running aggregate without blocking; a positive
+            // window collects fresh samples on this connection thread.
+            let report = match seconds.unwrap_or(0).min(MAX_PROFILE_SECONDS) {
+                0 => telemetry::continuous_profile_snapshot().unwrap_or_default(),
+                secs => telemetry::collect_profile(
+                    Duration::from_secs(secs),
+                    hz.unwrap_or(DEFAULT_PROFILE_HZ).min(1000) as u32,
+                ),
+            };
+            (
+                Response::Profile {
+                    folded: report.folded(),
+                    samples: report.samples,
+                    duration_ms: report.duration_nanos / 1_000_000,
+                },
+                false,
+                None,
+            )
+        }
         Request::Query {
             dataset,
             event,

@@ -1,0 +1,198 @@
+//! Metric-scrape correctness under concurrency, plus a lint of the
+//! Prometheus text exposition against the full live registry (server,
+//! matcher, and resource series all populated by real traffic).
+
+mod common;
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sketchql_server::{Client, Engine, EngineConfig, Server};
+use sketchql_telemetry as telemetry;
+
+use common::{tiny_model, two_datasets};
+
+fn start_server(workers: usize) -> Server {
+    let engine = Engine::start(
+        tiny_model(),
+        two_datasets(),
+        EngineConfig {
+            workers,
+            ..Default::default()
+        },
+    );
+    Server::start(engine, "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+/// The value of a plain (unlabeled) sample, if present.
+fn sample_value(prometheus: &str, name: &str) -> Option<f64> {
+    prometheus.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// Scrapes stay parseable and counters stay monotone while queries run
+/// concurrently: no torn lines, no half-updated families.
+#[test]
+fn concurrent_scrapes_during_queries_stay_consistent() {
+    if !telemetry::is_enabled() {
+        return;
+    }
+    let server = start_server(2);
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    client.query_event("beta", "u_turn", Some(3), None).unwrap();
+                }
+            });
+        }
+        let scrapers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    // Counters register lazily, so early scrapes may not
+                    // export `completed` yet — treat absent as 0.
+                    let mut last_completed = 0.0f64;
+                    for _ in 0..10 {
+                        let text = client.metrics_text().unwrap();
+                        for line in text.lines() {
+                            assert!(
+                                line.starts_with("# HELP ")
+                                    || line.starts_with("# TYPE ")
+                                    || line
+                                        .split_whitespace()
+                                        .last()
+                                        .is_some_and(|v| v.parse::<f64>().is_ok()),
+                                "unparseable scrape line: {line:?}"
+                            );
+                        }
+                        let completed =
+                            sample_value(&text, "sketchql_server_completed").unwrap_or(0.0);
+                        assert!(
+                            completed >= last_completed,
+                            "counter went backwards: {completed} < {last_completed}"
+                        );
+                        last_completed = completed;
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                })
+            })
+            .collect();
+        // Join by hand and set the stop flag *before* re-raising any
+        // scraper panic: an assert inside a scraper must not leave the
+        // query threads spinning forever (the scope joins them too).
+        let results: Vec<_> = scrapers.into_iter().map(|h| h.join()).collect();
+        stop.store(true, Ordering::Relaxed);
+        for r in results {
+            if let Err(panic) = r {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    server.shutdown();
+}
+
+/// Lints the full exposition after real traffic: legal metric names,
+/// exactly one HELP/TYPE per family, no duplicate samples, cumulative
+/// (monotone) histogram buckets, and `+Inf` agreeing with `_count`.
+#[test]
+fn prometheus_exposition_is_well_formed() {
+    if !telemetry::is_enabled() {
+        return;
+    }
+    let server = start_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Drive every family: completed queries (latency histograms,
+    // resource series) and an unknown dataset (error path).
+    client
+        .query_event("alpha", "left_turn", Some(3), None)
+        .unwrap();
+    let _ = client.query_event("nope", "left_turn", None, None);
+    let text = client.metrics_text().unwrap();
+    assert!(!text.is_empty());
+
+    let legal_name =
+        |n: &str| !n.is_empty() && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    let mut help_seen = HashSet::new();
+    let mut type_seen = HashSet::new();
+    let mut samples_seen = HashSet::new();
+    // name -> (bucket counts in order, count sample)
+    let mut buckets: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            assert!(legal_name(name), "illegal family name in {line:?}");
+            assert!(help_seen.insert(name.to_string()), "duplicate HELP {name}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_whitespace();
+            let name = words.next().unwrap_or("");
+            let kind = words.next().unwrap_or("");
+            assert!(legal_name(name), "illegal family name in {line:?}");
+            assert!(type_seen.insert(name.to_string()), "duplicate TYPE {name}");
+            assert!(
+                help_seen.contains(name),
+                "TYPE {name} must follow its HELP line"
+            );
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown type {kind:?} in {line:?}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        assert!(
+            samples_seen.insert(series.to_string()),
+            "duplicate sample {series}"
+        );
+        let bare = series.split('{').next().unwrap();
+        assert!(legal_name(bare), "illegal metric name in {line:?}");
+        if let Some(family) = bare.strip_suffix("_bucket") {
+            let le = series
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .expect("bucket sample carries an le label")
+                .to_string();
+            let count: u64 = value.parse().expect("bucket counts are integers");
+            match buckets.iter_mut().find(|(f, _)| f == family) {
+                Some((_, b)) => b.push((le, count)),
+                None => buckets.push((family.to_string(), vec![(le, count)])),
+            }
+        }
+    }
+    assert_eq!(help_seen, type_seen, "every family has both HELP and TYPE");
+
+    assert!(!buckets.is_empty(), "traffic must populate histograms");
+    for (family, b) in &buckets {
+        assert!(
+            b.windows(2).all(|w| w[0].1 <= w[1].1),
+            "{family} buckets must be cumulative: {b:?}"
+        );
+        let (last_le, last_count) = b.last().unwrap();
+        assert_eq!(last_le, "+Inf", "{family} must end with the +Inf bucket");
+        let total = sample_value(&text, &format!("{family}_count"))
+            .unwrap_or_else(|| panic!("{family}_count sample missing"));
+        assert_eq!(
+            *last_count, total as u64,
+            "{family}: +Inf bucket must equal _count"
+        );
+    }
+
+    server.shutdown();
+}

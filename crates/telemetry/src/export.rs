@@ -13,6 +13,7 @@ use std::fmt::Write;
 /// With telemetry disabled this returns the same shape with empty maps —
 /// still valid JSON, so downstream consumers need no special case.
 pub fn snapshot_json() -> String {
+    publish_process_gauges();
     let snap = MetricsSnapshot::capture();
     let mut out = String::new();
     out.push_str("{\"counters\":{");
@@ -52,24 +53,76 @@ pub fn snapshot_json() -> String {
     out
 }
 
+/// Refreshes the process-level resource gauges from the counting
+/// allocator so every export carries current numbers. No-op (gauges
+/// stay 0 and are absent from the registry) when telemetry is disabled.
+fn publish_process_gauges() {
+    #[cfg(feature = "enabled")]
+    {
+        let (bytes, count) = crate::alloc::process_allocated();
+        crate::metrics::gauge(crate::names::RESOURCE_PROCESS_ALLOC_BYTES).set(bytes as f64);
+        crate::metrics::gauge(crate::names::RESOURCE_PROCESS_ALLOC_COUNT).set(count as f64);
+    }
+}
+
+/// One-line `# HELP` text for a metric family, keyed by the dotted
+/// (unsanitized) name. Families without a curated line get a generic
+/// one so the exposition is still well-formed.
+fn prom_help(name: &str) -> &'static str {
+    use crate::names;
+    match name {
+        names::RESOURCE_ALLOC_BYTES => "Heap bytes attributed to finalized query traces.",
+        names::RESOURCE_ALLOC_COUNT => "Heap allocations attributed to finalized query traces.",
+        names::RESOURCE_CPU_NANOS => "CPU nanoseconds attributed to finalized query traces.",
+        names::RESOURCE_QUERY_ALLOC_KB => "Per-query attributed heap allocation, KiB.",
+        names::RESOURCE_QUERY_CPU_MS => "Per-query attributed CPU time, milliseconds.",
+        names::RESOURCE_PROCESS_ALLOC_BYTES => {
+            "Cumulative heap bytes allocated by the process (not live heap)."
+        }
+        names::RESOURCE_PROCESS_ALLOC_COUNT => "Cumulative heap allocations by the process.",
+        names::RESOURCE_PROFILE_SAMPLES => "Sampling ticks taken by the cooperative profiler.",
+        names::SERVER_QUEUE_DEPTH => "Queries waiting in the admission queue.",
+        names::SERVER_IN_FLIGHT => "Queries currently executing on workers.",
+        names::SERVER_QUEUE_WAIT_MS => "Milliseconds queries waited in the admission queue.",
+        names::SERVER_EXECUTE_MS => "Milliseconds queries spent executing on a worker.",
+        names::SERVER_DEADLINE_MARGIN_MS => {
+            "Milliseconds between query completion and its deadline (negative = late)."
+        }
+        names::WINDOW_SCORE => "Similarity score of each scored window.",
+        names::EMBED_BATCH_SIZE => "Clips per batched encoder forward pass.",
+        names::TRAINING_STEP_MS => "Per-training-step wall time, milliseconds.",
+        names::SERVER_FUSED_BATCH => "Queries fused into one shared engine scan.",
+        names::STORE_PROBE_ROWS => "Rows returned per ANN probe.",
+        _ => "SketchQL metric; see the names module in crates/telemetry.",
+    }
+}
+
 /// Serializes the full metric registry in Prometheus text exposition
-/// format. Dotted metric names are sanitized to underscores; histogram
-/// buckets use cumulative `le` labels, ending with `le="+Inf"`.
+/// format. Dotted metric names are sanitized to underscores; each
+/// family gets one `# HELP` and one `# TYPE` line; histogram buckets
+/// use cumulative `le` labels, ending with `le="+Inf"`.
 pub fn snapshot_prometheus() -> String {
+    publish_process_gauges();
     let snap = MetricsSnapshot::capture();
     let mut out = String::new();
     for (name, v) in &snap.counters {
+        let help = prom_help(name);
         let name = prom_name(name);
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
     }
     for (name, v) in &snap.gauges {
+        let help = prom_help(name);
         let name = prom_name(name);
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", prom_number(*v));
     }
     for (name, h) in &snap.histograms {
+        let help = prom_help(name);
         let name = prom_name(name);
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
         for (bound, count) in &h.buckets {
             let le = if bound.is_infinite() {
@@ -105,6 +158,11 @@ impl QueryReport {
             let _ = write!(out, ",\"embed_cache_hit_rate\":{}", json_number(rate));
         }
         let _ = write!(out, ",\"total_nanos\":{}", self.total_nanos);
+        let _ = write!(
+            out,
+            ",\"alloc_bytes\":{},\"alloc_count\":{},\"cpu_nanos\":{}",
+            self.alloc_bytes, self.alloc_count, self.cpu_nanos
+        );
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -134,6 +192,26 @@ impl QueryReport {
             "  total wall time: {:.3} ms",
             self.total_nanos as f64 / 1e6
         );
+        if self.cpu_nanos > 0 {
+            let pct = if self.total_nanos > 0 {
+                100.0 * self.cpu_nanos as f64 / self.total_nanos as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  cpu time: {:.3} ms ({pct:.0}% of wall)",
+                self.cpu_nanos as f64 / 1e6
+            );
+        }
+        if self.alloc_count > 0 {
+            let _ = writeln!(
+                out,
+                "  allocated: {:.1} KiB in {} allocations",
+                self.alloc_bytes as f64 / 1024.0,
+                self.alloc_count
+            );
+        }
         let stages = self.stages();
         if !stages.is_empty() {
             let _ = writeln!(out, "  stages:");
@@ -173,6 +251,7 @@ impl QueryTrace {
     /// ```json
     /// {"trace_id":"00a1b2c3d4e5","label":"traffic/left_turn",
     ///  "outcome":"completed","batch_size":1,"total_nanos":1234567,
+    ///  "alloc_bytes":52480,"alloc_count":120,"cpu_nanos":1100000,
     ///  "spans":[{"name":"sketchql.server.queue_wait","depth":0,
     ///            "start_nanos":0,"nanos":2000}, ...]}
     /// ```
@@ -186,6 +265,11 @@ impl QueryTrace {
             json_string(self.outcome.as_str()),
             self.batch_size,
             self.total_nanos
+        );
+        let _ = write!(
+            out,
+            ",\"alloc_bytes\":{},\"alloc_count\":{},\"cpu_nanos\":{}",
+            self.alloc_bytes, self.alloc_count, self.cpu_nanos
         );
         out.push_str(",\"spans\":[");
         for (i, (name, depth, offset, nanos)) in self.waterfall().iter().enumerate() {

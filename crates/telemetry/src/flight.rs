@@ -12,13 +12,14 @@
 //! shared lock (two writers only touch the same mutex when the ring
 //! wraps onto a slot mid-read).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::span::SpanRecord;
 use crate::trace::TraceOutcome;
 
-/// Traces retained by the global flight recorder.
+/// Traces retained by the global flight recorder by default; override
+/// before first use with [`configure_flight_capacity`].
 pub const FLIGHT_CAPACITY: usize = 256;
 
 /// An immutable snapshot of one finished query trace.
@@ -39,6 +40,15 @@ pub struct QueryTrace {
     pub start_nanos: u64,
     /// Wall time from trace creation to finalization, nanoseconds.
     pub total_nanos: u64,
+    /// Heap bytes allocated inside the query's attribution scopes (all
+    /// threads that entered the trace, summed). 0 when the counting
+    /// allocator is compiled out.
+    pub alloc_bytes: u64,
+    /// Heap allocations inside the query's attribution scopes.
+    pub alloc_count: u64,
+    /// CPU nanoseconds burned inside the query's attribution scopes
+    /// (wall-clock upper bound on platforms without a thread CPU clock).
+    pub cpu_nanos: u64,
     /// Completed spans, in completion order.
     pub spans: Vec<SpanRecord>,
 }
@@ -139,8 +149,34 @@ impl FlightRecorder {
     }
 }
 
-/// The process-wide flight recorder ([`FLIGHT_CAPACITY`] traces).
+static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// Capacity the global recorder will be built with; read exactly once,
+/// inside the `get_or_init` closure.
+static CONFIGURED_CAPACITY: AtomicUsize = AtomicUsize::new(FLIGHT_CAPACITY);
+
+/// Sets the capacity of the process-wide flight recorder. Must run
+/// before the first call to [`flight_recorder`] (directly or through
+/// any trace finalization): returns `true` if the configuration took
+/// effect, `false` if the recorder already existed (its capacity is
+/// then unchanged — the ring cannot be resized while writers hold
+/// slots). `capacity` is clamped to a minimum of 1.
+pub fn configure_flight_capacity(capacity: usize) -> bool {
+    CONFIGURED_CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+    // Initialization is the only consumer of the configured value; if
+    // the recorder is already live the store above changed nothing.
+    GLOBAL.get().is_none() && {
+        // Re-check under the OnceLock by comparing the built capacity:
+        // a racing first-use may have initialized between the check and
+        // here, but then it read either the old or the new value — only
+        // report success when the live ring matches the request.
+        flight_recorder().capacity() == capacity.max(1)
+    }
+}
+
+/// The process-wide flight recorder ([`FLIGHT_CAPACITY`] traces unless
+/// [`configure_flight_capacity`] ran before first use).
 pub fn flight_recorder() -> &'static FlightRecorder {
-    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
-    GLOBAL.get_or_init(|| FlightRecorder::with_capacity(FLIGHT_CAPACITY))
+    GLOBAL
+        .get_or_init(|| FlightRecorder::with_capacity(CONFIGURED_CAPACITY.load(Ordering::Relaxed)))
 }

@@ -20,6 +20,13 @@
 //!   spans into it. Finalized traces land in the global
 //!   [`flight_recorder`] ring buffer, and — when configured — in the
 //!   slow-query log ([`configure_slow_query_log`]).
+//! - Resource attribution and profiling: a counting global allocator
+//!   ([`thread_allocated`]) and per-thread CPU clocks
+//!   ([`thread_cpu_nanos`]) give every trace `alloc_bytes` /
+//!   `alloc_count` / `cpu_nanos` (attributed over `enter` scopes), and
+//!   a cooperative sampling profiler ([`collect_profile`],
+//!   [`start_continuous_profiler`]) folds live span stacks into
+//!   flamegraph-compatible output.
 //!
 //! Registry-wide state exports as JSON ([`snapshot_json`]) or Prometheus
 //! text format ([`snapshot_prometheus`]).
@@ -33,22 +40,34 @@
 
 #![warn(missing_docs)]
 
+mod alloc;
+mod cpu;
 mod export;
 mod flight;
 mod metrics;
+mod profiler;
 mod report;
 mod slowlog;
 mod span;
 mod trace;
 
+pub use alloc::{process_allocated, thread_allocated, CountingAlloc};
+pub use cpu::{current_tid, thread_cpu_nanos, tid_cpu_nanos};
 pub use export::{snapshot_json, snapshot_prometheus};
-pub use flight::{flight_recorder, FlightRecorder, QueryTrace, FLIGHT_CAPACITY};
+pub use flight::{
+    configure_flight_capacity, flight_recorder, FlightRecorder, QueryTrace, FLIGHT_CAPACITY,
+};
 pub use metrics::{
     counter, gauge, histogram, reset, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
 };
+pub use profiler::{
+    collect_profile, continuous_profile_snapshot, start_continuous_profiler, ProfileEntry,
+    ProfileReport,
+};
 pub use report::{QueryReport, Recorder};
 pub use slowlog::{
-    configure_slow_query_log, configure_slow_query_log_path, disable_slow_query_log,
+    configure_slow_query_log, configure_slow_query_log_path, configure_slow_query_log_path_capped,
+    disable_slow_query_log,
 };
 pub use span::{span, take_finished_spans, SpanGuard, SpanRecord};
 pub use trace::{
@@ -204,6 +223,24 @@ pub mod names {
     /// Span: embedding the candidate clips of one scan (the batched,
     /// possibly parallel encoder pass).
     pub const MATCHER_EMBED: &str = "sketchql.matcher.embed";
+
+    /// Counter: heap bytes attributed to finalized query traces.
+    pub const RESOURCE_ALLOC_BYTES: &str = "sketchql.resource.alloc_bytes";
+    /// Counter: heap allocations attributed to finalized query traces.
+    pub const RESOURCE_ALLOC_COUNT: &str = "sketchql.resource.alloc_count";
+    /// Counter: CPU nanoseconds attributed to finalized query traces.
+    pub const RESOURCE_CPU_NANOS: &str = "sketchql.resource.cpu_nanos";
+    /// Histogram: per-query attributed heap allocation, KiB.
+    pub const RESOURCE_QUERY_ALLOC_KB: &str = "sketchql.resource.query_alloc_kb";
+    /// Histogram: per-query attributed CPU time, milliseconds.
+    pub const RESOURCE_QUERY_CPU_MS: &str = "sketchql.resource.query_cpu_ms";
+    /// Gauge: cumulative heap bytes allocated by the process (pressure,
+    /// not live heap).
+    pub const RESOURCE_PROCESS_ALLOC_BYTES: &str = "sketchql.resource.process_alloc_bytes";
+    /// Gauge: cumulative heap allocations made by the process.
+    pub const RESOURCE_PROCESS_ALLOC_COUNT: &str = "sketchql.resource.process_alloc_count";
+    /// Counter: sampling ticks taken by the cooperative profiler.
+    pub const RESOURCE_PROFILE_SAMPLES: &str = "sketchql.resource.profile_samples";
 }
 
 /// Whether the `enabled` feature is compiled in.

@@ -76,6 +76,14 @@ pub struct QueryReport {
     pub spans: Vec<SpanRecord>,
     /// Total wall time of the bracketed region, nanoseconds.
     pub total_nanos: u64,
+    /// Heap bytes attributed to the query's trace (all threads that
+    /// entered it). 0 when telemetry is compiled out.
+    pub alloc_bytes: u64,
+    /// Heap allocations attributed to the query's trace.
+    pub alloc_count: u64,
+    /// CPU nanoseconds attributed to the query's trace (wall-clock
+    /// upper bound on platforms without a thread CPU clock).
+    pub cpu_nanos: u64,
 }
 
 impl QueryReport {
@@ -219,9 +227,16 @@ impl Recorder {
                 .collect();
             let label = label.into();
             ctx.set_label(label.clone());
-            let spans = match ctx.finalize() {
-                Some(trace) => trace.spans.clone(),
-                None => Vec::new(),
+            // The guard dropped above already attributed this thread's
+            // alloc/CPU deltas into the trace; finalize snapshots them.
+            let (spans, alloc_bytes, alloc_count, cpu_nanos) = match ctx.finalize() {
+                Some(trace) => (
+                    trace.spans.clone(),
+                    trace.alloc_bytes,
+                    trace.alloc_count,
+                    trace.cpu_nanos,
+                ),
+                None => (Vec::new(), 0, 0, 0),
             };
             QueryReport {
                 label,
@@ -240,6 +255,9 @@ impl Recorder {
                 store_probed: deltas[11],
                 spans,
                 total_nanos: start.elapsed().as_nanos() as u64,
+                alloc_bytes,
+                alloc_count,
+                cpu_nanos,
             }
         }
         #[cfg(not(feature = "enabled"))]

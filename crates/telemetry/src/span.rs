@@ -96,6 +96,9 @@ pub fn span(name: &'static str) -> SpanGuard {
     {
         epoch(); // pin the epoch no later than the first span
         SPANS.with(|s| s.borrow_mut().depth += 1);
+        // Publish the name on this thread's profiler stack so the
+        // sampling profiler can fold it; popped when the guard drops.
+        crate::profiler::push_span(name);
         SpanGuard {
             name,
             start: Instant::now(),
@@ -112,6 +115,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         #[cfg(feature = "enabled")]
         {
+            crate::profiler::pop_span();
             let nanos = self.start.elapsed().as_nanos() as u64;
             let start_nanos = nanos_since_epoch(self.start);
             let depth = SPANS.with(|s| {

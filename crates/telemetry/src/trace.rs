@@ -116,6 +116,18 @@ pub fn parse_trace_id(s: &str) -> Option<u64> {
     }
 }
 
+/// Buckets for the per-query attributed-allocation histogram, KiB.
+#[cfg(feature = "enabled")]
+const QUERY_ALLOC_KB_BOUNDS: &[f64] = &[
+    16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+];
+
+/// Buckets for the per-query attributed-CPU histogram, milliseconds.
+#[cfg(feature = "enabled")]
+const QUERY_CPU_MS_BOUNDS: &[f64] = &[
+    0.1, 0.5, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+];
+
 #[cfg(feature = "enabled")]
 #[derive(Debug)]
 struct TraceMeta {
@@ -132,6 +144,11 @@ pub(crate) struct TraceInner {
     start_nanos: u64,
     meta: Mutex<TraceMeta>,
     spans: Mutex<Vec<SpanRecord>>,
+    // Resources attributed by TraceGuard drops: every thread that
+    // entered the trace adds the heap and CPU it consumed while inside.
+    alloc_bytes: AtomicU64,
+    alloc_count: AtomicU64,
+    cpu_nanos: AtomicU64,
     finalized: AtomicBool,
 }
 
@@ -147,6 +164,9 @@ impl TraceInner {
         }
         let total_nanos = self.started.elapsed().as_nanos() as u64;
         let spans = std::mem::take(&mut *self.spans.lock().unwrap());
+        let alloc_bytes = self.alloc_bytes.load(Ordering::Relaxed);
+        let alloc_count = self.alloc_count.load(Ordering::Relaxed);
+        let cpu_nanos = self.cpu_nanos.load(Ordering::Relaxed);
         let trace = {
             let meta = self.meta.lock().unwrap();
             Arc::new(QueryTrace {
@@ -156,9 +176,19 @@ impl TraceInner {
                 batch_size: meta.batch_size,
                 start_nanos: self.start_nanos,
                 total_nanos,
+                alloc_bytes,
+                alloc_count,
+                cpu_nanos,
                 spans,
             })
         };
+        crate::metrics::counter(crate::names::RESOURCE_ALLOC_BYTES).add(alloc_bytes);
+        crate::metrics::counter(crate::names::RESOURCE_ALLOC_COUNT).add(alloc_count);
+        crate::metrics::counter(crate::names::RESOURCE_CPU_NANOS).add(cpu_nanos);
+        crate::metrics::histogram(crate::names::RESOURCE_QUERY_ALLOC_KB, QUERY_ALLOC_KB_BOUNDS)
+            .observe(alloc_bytes as f64 / 1024.0);
+        crate::metrics::histogram(crate::names::RESOURCE_QUERY_CPU_MS, QUERY_CPU_MS_BOUNDS)
+            .observe(cpu_nanos as f64 / 1e6);
         flight_recorder().record(Arc::clone(&trace));
         slowlog::observe_trace(&trace);
         Some(trace)
@@ -218,6 +248,9 @@ impl TraceContext {
                         batch_size: 1,
                     }),
                     spans: Mutex::new(Vec::new()),
+                    alloc_bytes: AtomicU64::new(0),
+                    alloc_count: AtomicU64::new(0),
+                    cpu_nanos: AtomicU64::new(0),
                     finalized: AtomicBool::new(false),
                 })),
             }
@@ -249,17 +282,25 @@ impl TraceContext {
     /// Registers this trace as a span sink on the current thread; while
     /// the returned guard lives, spans completed on this thread are
     /// delivered into this trace (and into any other traces the thread
-    /// has entered — fused batches enter all their members).
+    /// has entered — fused batches enter all their members). The guard
+    /// also scopes resource attribution: the heap the thread allocates
+    /// and the CPU it burns while the guard lives are added to the
+    /// trace's `alloc_bytes` / `alloc_count` / `cpu_nanos` on drop.
     #[must_use = "spans are only delivered to the trace while the guard is alive"]
     pub fn enter(&self) -> TraceGuard {
         #[cfg(feature = "enabled")]
         {
+            crate::profiler::ensure_registered();
             let entered = self.inner.as_ref().map(|inner| {
                 ACTIVE.with(|a| a.borrow_mut().push(Arc::clone(inner)));
                 Arc::clone(inner)
             });
+            let (base_alloc_bytes, base_alloc_count) = crate::alloc::thread_allocated();
             TraceGuard {
                 entered,
+                base_alloc_bytes,
+                base_alloc_count,
+                base_cpu: crate::cpu::stamp(),
                 _not_send: PhantomData,
             }
         }
@@ -268,6 +309,30 @@ impl TraceContext {
             TraceGuard {
                 _not_send: PhantomData,
             }
+        }
+    }
+
+    /// The traces the current thread has entered, as independent
+    /// contexts — what a worker captures right before handing work to a
+    /// helper thread, so the helper can `enter()` them too and its
+    /// spans and resources attribute to the same queries. Empty when no
+    /// trace is active or telemetry is compiled out.
+    pub fn entered() -> Vec<TraceContext> {
+        #[cfg(feature = "enabled")]
+        {
+            ACTIVE.with(|a| {
+                a.borrow()
+                    .iter()
+                    .map(|inner| TraceContext {
+                        id: inner.id,
+                        inner: Some(Arc::clone(inner)),
+                    })
+                    .collect()
+            })
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Vec::new()
         }
     }
 
@@ -370,12 +435,19 @@ pub(crate) fn deliver(record: SpanRecord) -> Option<SpanRecord> {
 }
 
 /// RAII guard from [`TraceContext::enter`]; leaving the scope stops
-/// delivering this thread's spans to the trace. Not `Send`: the guard
-/// must drop on the thread that entered.
+/// delivering this thread's spans to the trace and attributes the heap
+/// and CPU the thread consumed inside the scope to it. Not `Send`: the
+/// guard must drop on the thread that entered.
 #[must_use = "spans are only delivered to the trace while the guard is alive"]
 pub struct TraceGuard {
     #[cfg(feature = "enabled")]
     entered: Option<Arc<TraceInner>>,
+    #[cfg(feature = "enabled")]
+    base_alloc_bytes: u64,
+    #[cfg(feature = "enabled")]
+    base_alloc_count: u64,
+    #[cfg(feature = "enabled")]
+    base_cpu: crate::cpu::CpuStamp,
     _not_send: PhantomData<*const ()>,
 }
 
@@ -383,6 +455,20 @@ impl Drop for TraceGuard {
     fn drop(&mut self) {
         #[cfg(feature = "enabled")]
         if let Some(inner) = self.entered.take() {
+            // Attribute this thread's consumption over the guard's
+            // lifetime. A fused batch enters all member traces, so each
+            // member sees the full cost of the shared scan — the same
+            // semantics spans already have.
+            let (bytes, count) = crate::alloc::thread_allocated();
+            inner
+                .alloc_bytes
+                .fetch_add(bytes.wrapping_sub(self.base_alloc_bytes), Ordering::Relaxed);
+            inner
+                .alloc_count
+                .fetch_add(count.wrapping_sub(self.base_alloc_count), Ordering::Relaxed);
+            inner
+                .cpu_nanos
+                .fetch_add(crate::cpu::nanos_since(&self.base_cpu), Ordering::Relaxed);
             ACTIVE.with(|a| {
                 let mut active = a.borrow_mut();
                 // Remove the most recent matching entry (guards usually

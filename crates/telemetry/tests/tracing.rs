@@ -175,6 +175,9 @@ fn flight_recorder_retains_the_newest_traces() {
             batch_size: 1,
             start_nanos: id,
             total_nanos: 1,
+            alloc_bytes: 0,
+            alloc_count: 0,
+            cpu_nanos: 0,
             spans: Vec::new(),
         }));
     }
@@ -337,6 +340,9 @@ fn finalized_traces_export_ordered_waterfalls() {
         batch_size: 3,
         start_nanos: 100,
         total_nanos: 5_000,
+        alloc_bytes: 4_096,
+        alloc_count: 7,
+        cpu_nanos: 3_000,
         spans: vec![
             tel::SpanRecord {
                 name: "test.wf.late",

@@ -31,6 +31,9 @@ scripts/smoke_server.sh
 echo "== trace smoke (trace id -> span tree -> scrape -> slow log)"
 scripts/smoke_trace.sh
 
+echo "== profile smoke (folded stacks -> resource waterfall -> top -> rotation)"
+scripts/smoke_profile.sh
+
 echo "== server throughput smoke (quick load)"
 # The quick load is small and noisy, so the smoke bar is looser than the
 # full bench's 3x acceptance bar (run scripts/bench_server.sh for that),

@@ -90,9 +90,16 @@ commands:
            [--deadline-ms <n>] [--fused-batch <n>] [--top-k <n>] [--oracle-tracks]
            [--metrics-addr <host:port>] prometheus scrape endpoint
            [--slow-query-ms <n>] [--slow-query-log <file>] JSON-lines slow log
-  client   --addr <host:port> --action <ping|list|stats|query|trace|metrics|shutdown>
+           [--slow-query-log-max-bytes <n>] rotate the slow log at this size
+           [--flight-traces <n>] flight-recorder capacity (default 256)
+           [--profile-hz <n>] continuous profiler rate (default 19, 0 = off)
+  client   --addr <host:port>
+           --action <ping|list|stats|query|trace|metrics|profile|top|shutdown>
            [--dataset <name>] [--event <kind>] [--top-k <n>] [--deadline-ms <n>]
            [--trace-id <hex>] [--limit <n>] for --action trace
+           [--seconds <n>] [--hz <n>] for --action profile (0/absent = the
+           server's continuous aggregate; positive = a fresh window)
+           [--interval-ms <n>] [--iterations <n>] for --action top
 
 families: urban_intersection, parking_lot, plaza
 events:   left_turn right_turn u_turn stop_and_go lane_change
@@ -469,6 +476,18 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
 /// Starts the query service and blocks until a wire `Shutdown` request
 /// arrives, then drains every admitted query before exiting.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    // The flight recorder freezes its capacity on first use, so the
+    // flag must be applied before anything records a trace.
+    if let Some(n) = flags.get("flight-traces") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--flight-traces: cannot parse {n:?}"))?;
+        if telemetry::configure_flight_capacity(n) {
+            println!("flight recorder: keeping the last {n} traces");
+        } else if telemetry::is_enabled() {
+            eprintln!("warning: flight recorder already in use; --flight-traces ignored");
+        }
+    }
     let model = TrainedModel::load(Path::new(req(flags, "model")?)).map_err(|e| e.to_string())?;
     let oracle = flags.contains_key("oracle-tracks");
     let mut datasets = std::collections::BTreeMap::new();
@@ -535,13 +554,36 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         let path = flags
             .get("slow-query-log")
             .map_or("sketchql-slow.jsonl", String::as_str);
-        telemetry::configure_slow_query_log_path(Path::new(path), threshold)
+        let max_bytes = flags
+            .get("slow-query-log-max-bytes")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--slow-query-log-max-bytes: cannot parse {v:?}"))
+            })
+            .transpose()?;
+        telemetry::configure_slow_query_log_path_capped(Path::new(path), threshold, max_bytes)
             .map_err(|e| format!("--slow-query-log {path}: {e}"))?;
-        println!(
-            "slow-query log: {} (threshold {} ms)",
-            path,
-            threshold.as_millis()
-        );
+        match max_bytes {
+            Some(cap) => println!(
+                "slow-query log: {} (threshold {} ms, rotating at {} bytes)",
+                path,
+                threshold.as_millis(),
+                cap
+            ),
+            None => println!(
+                "slow-query log: {} (threshold {} ms)",
+                path,
+                threshold.as_millis()
+            ),
+        }
+    }
+    // Always-on sampling profiler: cheap enough to leave running (it
+    // wakes `--profile-hz` times a second and walks live span stacks),
+    // and it is what `client --action profile` answers from.
+    let profile_hz: u32 = num(flags, "profile-hz", 19)?;
+    if profile_hz > 0 && telemetry::is_enabled() {
+        telemetry::start_continuous_profiler(profile_hz);
+        println!("continuous profiler sampling at {profile_hz} Hz");
     }
     let metrics = flags
         .get("metrics-addr")
@@ -673,13 +715,50 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         "metrics" => {
             print!("{}", client.metrics_text().map_err(|e| e.to_string())?);
         }
+        "profile" => {
+            let seconds = flags
+                .get("seconds")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seconds: cannot parse {v:?}"))
+                })
+                .transpose()?;
+            let hz = flags
+                .get("hz")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--hz: cannot parse {v:?}"))
+                })
+                .transpose()?;
+            let profile = client.profile(seconds, hz).map_err(|e| e.to_string())?;
+            // Summary on stderr so stdout pipes clean into
+            // `flamegraph.pl` / `inferno-flamegraph`.
+            eprintln!(
+                "{} samples over {:.1} s",
+                profile.samples,
+                profile.duration_ms as f64 / 1e3
+            );
+            if profile.samples == 0 {
+                eprintln!(
+                    "hint: start the server with --profile-hz > 0, or pass \
+                     --seconds <n> to sample a fresh window"
+                );
+            }
+            print!("{}", profile.folded);
+        }
+        "top" => {
+            let interval = Duration::from_millis(num(flags, "interval-ms", 2000)?);
+            let iterations: u64 = num(flags, "iterations", 0)?;
+            run_top(&mut client, interval, iterations)?;
+        }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("server acknowledged shutdown");
         }
         other => {
             return Err(format!(
-                "--action: expected ping|list|stats|query|trace|metrics|shutdown, got {other:?}"
+                "--action: expected ping|list|stats|query|trace|metrics|profile|top|shutdown, \
+                 got {other:?}"
             ))
         }
     }
@@ -688,7 +767,9 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// Renders one flight-recorder trace as an indented stage waterfall:
 /// spans in start order, indented by nesting depth, with each span's
-/// offset into the query and its duration.
+/// offset into the query and its duration. A resource line (attributed
+/// CPU and heap traffic) follows the header when the server recorded
+/// any.
 fn print_waterfall(trace: &sketchql_server::WireTrace) {
     println!(
         "trace {}  [{}]  outcome {}  batch {}  total {:.3} ms",
@@ -698,6 +779,14 @@ fn print_waterfall(trace: &sketchql_server::WireTrace) {
         trace.batch_size,
         trace.total_nanos as f64 / 1e6
     );
+    if trace.cpu_nanos > 0 || trace.alloc_count > 0 {
+        println!(
+            "  cpu {:.3} ms  allocated {} in {} allocations",
+            trace.cpu_nanos as f64 / 1e6,
+            fmt_bytes(trace.alloc_bytes),
+            trace.alloc_count
+        );
+    }
     for span in &trace.spans {
         println!(
             "  {:>10.3} ms  +{:>10.3} ms  {}{}",
@@ -706,5 +795,209 @@ fn print_waterfall(trace: &sketchql_server::WireTrace) {
             "  ".repeat(span.depth),
             span.name
         );
+    }
+}
+
+/// Human-readable byte count (KiB/MiB/GiB with one decimal).
+fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, f64); 3] = [
+        ("GiB", (1u64 << 30) as f64),
+        ("MiB", (1u64 << 20) as f64),
+        ("KiB", (1u64 << 10) as f64),
+    ];
+    for (unit, div) in UNITS {
+        if bytes as f64 >= div {
+            return format!("{:.1} {unit}", bytes as f64 / div);
+        }
+    }
+    format!("{bytes} B")
+}
+
+/// One snapshot the `top` loop diffs against: monotone totals from
+/// `Stats` plus the cumulative execute-latency buckets from `Metrics`.
+struct TopSample {
+    stats: sketchql_server::EngineStats,
+    execute_buckets: Vec<(f64, u64)>,
+    at: std::time::Instant,
+}
+
+fn top_sample(client: &mut Client) -> Result<TopSample, String> {
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let prometheus = client.metrics_text().map_err(|e| e.to_string())?;
+    Ok(TopSample {
+        stats,
+        execute_buckets: parse_execute_buckets(&prometheus),
+        at: std::time::Instant::now(),
+    })
+}
+
+/// Pulls the cumulative `le` buckets of the execute-latency histogram
+/// out of a Prometheus text exposition.
+fn parse_execute_buckets(prometheus: &str) -> Vec<(f64, u64)> {
+    let mut out = Vec::new();
+    for line in prometheus.lines() {
+        let Some(rest) = line.strip_prefix("sketchql_server_execute_ms_bucket{le=\"") else {
+            continue;
+        };
+        let Some((le, count)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            match le.parse() {
+                Ok(b) => b,
+                Err(_) => continue,
+            }
+        };
+        if let Ok(count) = count.trim().parse::<u64>() {
+            out.push((bound, count));
+        }
+    }
+    out
+}
+
+/// Estimates the `q`-quantile (0..1) from cumulative histogram buckets
+/// by linear interpolation inside the bucket the target rank lands in.
+/// `None` when the buckets are empty. The open `+Inf` bucket reports
+/// its lower bound (the true value is unbounded).
+fn percentile_from_buckets(buckets: &[(f64, u64)], q: f64) -> Option<f64> {
+    let total = buckets.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    let target = (total as f64 * q).max(1.0);
+    let mut prev_bound = 0.0;
+    let mut prev_count = 0u64;
+    for &(bound, count) in buckets {
+        if count as f64 >= target {
+            if bound.is_infinite() {
+                return Some(prev_bound);
+            }
+            let in_bucket = (count - prev_count) as f64;
+            let frac = if in_bucket > 0.0 {
+                (target - prev_count as f64) / in_bucket
+            } else {
+                1.0
+            };
+            return Some(prev_bound + frac * (bound - prev_bound));
+        }
+        prev_bound = bound;
+        prev_count = count;
+    }
+    None
+}
+
+/// The live top view: polls `Stats`, `Metrics`, and recent traces every
+/// `interval`, rendering throughput (from counter deltas), queue state,
+/// execute-latency percentiles (from histogram bucket deltas), the
+/// per-dataset traffic breakdown, and the most CPU-hungry recent
+/// traces. Refreshes in place on a terminal; appends blocks when piped.
+/// `iterations == 0` runs until interrupted.
+fn run_top(client: &mut Client, interval: Duration, iterations: u64) -> Result<(), String> {
+    use std::io::IsTerminal;
+    let live_terminal = std::io::stdout().is_terminal();
+    let mut prev = top_sample(client)?;
+    let mut round = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        let cur = top_sample(client)?;
+        let traces = client.trace(None, Some(16)).map_err(|e| e.to_string())?;
+        if live_terminal {
+            // Clear and home so the view refreshes in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top(&prev, &cur, &traces);
+        prev = cur;
+        round += 1;
+        if iterations > 0 && round >= iterations {
+            return Ok(());
+        }
+    }
+}
+
+fn render_top(prev: &TopSample, cur: &TopSample, traces: &[sketchql_server::WireTrace]) {
+    let secs = cur.at.duration_since(prev.at).as_secs_f64().max(1e-9);
+    let rate = |now: u64, before: u64| now.saturating_sub(before) as f64 / secs;
+    let s = &cur.stats;
+    let p = &prev.stats;
+    let shed = s.rejected_overload + s.timed_out + s.failed;
+    let shed_prev = p.rejected_overload + p.timed_out + p.failed;
+    println!("sketchql top — {:.1}s window, {} workers", secs, s.workers);
+    println!(
+        "queries   {:>7.1}/s completed   {:>6.1}/s shed+failed   totals: {} ok / {} rejected / {} timed out / {} failed",
+        rate(s.completed, p.completed),
+        rate(shed, shed_prev),
+        s.completed,
+        s.rejected_overload,
+        s.timed_out,
+        s.failed
+    );
+    println!(
+        "queue     {} waiting, {} in flight   store: {} hits / {} fallbacks / {} rows probed",
+        s.queued, s.in_flight, s.store_hits, s.store_fallbacks, s.store_probed
+    );
+
+    // Latency percentiles over just this window: diff the cumulative
+    // buckets (a diff of cumulative counts is itself cumulative).
+    let window: Vec<(f64, u64)> = cur
+        .execute_buckets
+        .iter()
+        .map(|&(bound, count)| {
+            let before = prev
+                .execute_buckets
+                .iter()
+                .find(|(b, _)| *b == bound)
+                .map_or(0, |(_, c)| *c);
+            (bound, count.saturating_sub(before))
+        })
+        .collect();
+    match (
+        percentile_from_buckets(&window, 0.50),
+        percentile_from_buckets(&window, 0.99),
+    ) {
+        (Some(p50), Some(p99)) => {
+            println!("execute   p50 {p50:.1} ms   p99 {p99:.1} ms (this window)")
+        }
+        _ => println!("execute   no queries finished in this window"),
+    }
+
+    if !s.datasets.is_empty() {
+        println!();
+        println!(
+            "{:<20} {:>9} {:>10} {:>8} {:>10} {:>6}",
+            "dataset", "qps", "completed", "failed", "timed_out", "shed"
+        );
+        for d in &s.datasets {
+            let before = p.datasets.iter().find(|b| b.name == d.name);
+            let qps = rate(d.completed, before.map_or(0, |b| b.completed));
+            println!(
+                "{:<20} {:>8.1}/s {:>10} {:>8} {:>10} {:>6}",
+                d.name, qps, d.completed, d.failed, d.timed_out, d.shed
+            );
+        }
+    }
+
+    let mut by_cpu: Vec<&sketchql_server::WireTrace> = traces.iter().collect();
+    by_cpu.sort_by_key(|t| std::cmp::Reverse(t.cpu_nanos));
+    let heavy: Vec<_> = by_cpu
+        .into_iter()
+        .filter(|t| t.cpu_nanos > 0)
+        .take(5)
+        .collect();
+    if !heavy.is_empty() {
+        println!();
+        println!("recent traces by attributed cpu:");
+        for t in heavy {
+            println!(
+                "  {}  {:<20} {:<18} cpu {:>9.3} ms  alloc {:>10}  wall {:>9.3} ms",
+                telemetry::format_trace_id(t.trace_id),
+                t.label,
+                t.outcome,
+                t.cpu_nanos as f64 / 1e6,
+                fmt_bytes(t.alloc_bytes),
+                t.total_nanos as f64 / 1e6
+            );
+        }
     }
 }
