@@ -373,6 +373,124 @@ impl Matcher<LearnedSimilarity> {
         let PreparedQuery::Embedding(ref qe) = prepared else {
             unreachable!("learned similarity always prepares an embedding");
         };
+        let probed = {
+            let _probe_span = telemetry::span(names::STORE_PROBE);
+            self.probe_rows(store, qe)
+        };
+        cancel.check().map_err(MatchError::from)?;
+        self.finish_store_search(index, store, query, &prepared, probed, cancel)
+    }
+
+    /// [`search_with_store`](Self::search_with_store) for a batch of
+    /// concurrent same-dataset queries: every served member's embedding
+    /// goes through **one** shared centroid ranking
+    /// ([`IvfIndex::probe_batch`](sketchql_store::IvfIndex)) instead of
+    /// per-member probes, then each member is exactly re-ranked on its
+    /// own. Per-member results (and fallback behavior) are bit-identical
+    /// to calling [`search_with_store`](Self::search_with_store) once
+    /// per member — the classification, probe ranking, and scoring run
+    /// the same code over the same inputs.
+    pub fn search_with_store_batch(
+        &self,
+        index: &VideoIndex,
+        store: &DatasetStore,
+        queries: &[(&sketchql_trajectory::Clip, &CancelToken)],
+    ) -> Vec<Result<StoreSearch, MatchError>> {
+        if queries.len() <= 1 {
+            return queries
+                .iter()
+                .map(|&(q, c)| self.search_with_store(index, store, q, c))
+                .collect();
+        }
+        enum Plan {
+            Ready(PreparedQuery),
+            Done(Result<StoreSearch, MatchError>),
+        }
+        let _search_span = telemetry::span(names::MATCHER_SEARCH);
+        // Pass 1: classify each member exactly as the solo entry point
+        // does (empty-result guard, fallback, or prepare-for-probe).
+        let plans: Vec<Plan> = queries
+            .iter()
+            .map(|&(query, cancel)| {
+                let q_span = query.span();
+                if q_span == 0
+                    || q_span < self.config.min_window
+                    || query.num_objects() == 0
+                    || index.frames == 0
+                {
+                    return Plan::Done(Ok(StoreSearch {
+                        moments: Vec::new(),
+                        from_store: false,
+                        probed: 0,
+                    }));
+                }
+                if !self.store_serves(index, store, query, q_span) {
+                    telemetry::counter(names::STORE_FALLBACKS).inc();
+                    return Plan::Done(self.search_with_cancel(index, query, cancel).map(
+                        |moments| StoreSearch {
+                            moments,
+                            from_store: false,
+                            probed: 0,
+                        },
+                    ));
+                }
+                match cancel.check().map_err(MatchError::from).and_then(|()| {
+                    let _prepare_span = telemetry::span(names::MATCHER_PREPARE);
+                    self.sim.prepare(query).map_err(MatchError::from)
+                }) {
+                    Ok(prepared) => Plan::Ready(prepared),
+                    Err(e) => Plan::Done(Err(e)),
+                }
+            })
+            .collect();
+        // Pass 2: one shared centroid ranking for every served member.
+        let embeddings: Vec<&[f32]> = plans
+            .iter()
+            .filter_map(|plan| match plan {
+                Plan::Ready(PreparedQuery::Embedding(qe)) => Some(qe.as_slice()),
+                Plan::Ready(_) => {
+                    unreachable!("learned similarity always prepares an embedding")
+                }
+                Plan::Done(_) => None,
+            })
+            .collect();
+        let probed_all = if embeddings.is_empty() {
+            Vec::new()
+        } else {
+            let _probe_span = telemetry::span(names::STORE_PROBE);
+            store.ann.probe_batch(&embeddings, store.nprobe.max(1))
+        };
+        // Pass 3: exact per-member re-rank, identical to the solo path.
+        let mut probe_iter = probed_all.into_iter();
+        queries
+            .iter()
+            .zip(plans)
+            .map(|(&(query, cancel), plan)| match plan {
+                Plan::Done(result) => result,
+                Plan::Ready(prepared) => {
+                    let probed = probe_iter.next().expect("one probe per served member");
+                    cancel.check().map_err(MatchError::from).and_then(|()| {
+                        self.finish_store_search(index, store, query, &prepared, probed, cancel)
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Served-path tail shared by the solo and batched store searches:
+    /// window enumeration, exact re-rank of the probed rows, and the
+    /// usual ranking pipeline. Taking the probed rows as input is what
+    /// makes the batched path bit-identical by construction.
+    fn finish_store_search(
+        &self,
+        index: &VideoIndex,
+        store: &DatasetStore,
+        query: &sketchql_trajectory::Clip,
+        prepared: &PreparedQuery,
+        probed: Vec<u32>,
+        cancel: &CancelToken,
+    ) -> Result<StoreSearch, MatchError> {
+        let q_span = query.span();
         let qclass = query.classes()[0];
 
         let scan_span = telemetry::span(names::MATCHER_SCAN);
@@ -400,10 +518,6 @@ impl Matcher<LearnedSimilarity> {
             .filter_map(|t| Some((t.id, (t.start_frame()?, t.end_frame()?))))
             .collect();
 
-        let probe_span = telemetry::span(names::STORE_PROBE);
-        let probed = self.probe_rows(store, qe);
-        cancel.check().map_err(MatchError::from)?;
-
         // Best candidate per (start, end, overlap-floor) slot.
         let mut best: HashMap<(u32, u32, u32), (f32, usize, TrackId)> = HashMap::new();
         for (k, &row_id) in probed.iter().enumerate() {
@@ -426,7 +540,7 @@ impl Matcher<LearnedSimilarity> {
             let overlap = if hi >= lo { hi - lo + 1 } else { 0 };
             let score = self
                 .sim
-                .score_embedding(&prepared, Some(store.store.vector(row_id as usize)));
+                .score_embedding(prepared, Some(store.store.vector(row_id as usize)));
             let score = if score.is_finite() { score } else { 0.0 };
             for &floor in floors {
                 if overlap < floor {
@@ -456,7 +570,6 @@ impl Matcher<LearnedSimilarity> {
             }
         }
         telemetry::counter(names::WINDOWS_PRUNED).add((windows.len() - scored.len()) as u64);
-        drop(probe_span);
         drop(scan_span);
 
         telemetry::counter(names::STORE_HITS).inc();

@@ -120,13 +120,34 @@ impl Client {
         top_k: Option<usize>,
         deadline: Option<Duration>,
     ) -> Result<QueryOutcome, ClientError> {
+        self.query_event_with(
+            dataset,
+            event,
+            &QueryOptions {
+                top_k,
+                deadline,
+                ..QueryOptions::default()
+            },
+        )
+    }
+
+    /// Like [`Client::query_event`], with the full option set
+    /// (admission class, priority, caller-minted trace id).
+    pub fn query_event_with(
+        &mut self,
+        dataset: &str,
+        event: &str,
+        opts: &QueryOptions,
+    ) -> Result<QueryOutcome, ClientError> {
         self.run_query(Request::Query {
             dataset: dataset.to_string(),
             event: Some(event.to_string()),
             clip: None,
-            top_k,
-            deadline_ms: deadline.map(|d| d.as_millis() as u64),
-            trace_id: Some(mint_trace_id()),
+            top_k: opts.top_k,
+            deadline_ms: opts.deadline.map(|d| d.as_millis() as u64),
+            trace_id: Some(opts.trace_id.unwrap_or_else(mint_trace_id)),
+            class: opts.class.clone(),
+            priority: opts.priority,
         })
     }
 
@@ -138,13 +159,33 @@ impl Client {
         top_k: Option<usize>,
         deadline: Option<Duration>,
     ) -> Result<QueryOutcome, ClientError> {
+        self.query_clip_with(
+            dataset,
+            clip,
+            &QueryOptions {
+                top_k,
+                deadline,
+                ..QueryOptions::default()
+            },
+        )
+    }
+
+    /// Like [`Client::query_clip`], with the full option set.
+    pub fn query_clip_with(
+        &mut self,
+        dataset: &str,
+        clip: Clip,
+        opts: &QueryOptions,
+    ) -> Result<QueryOutcome, ClientError> {
         self.run_query(Request::Query {
             dataset: dataset.to_string(),
             event: None,
             clip: Some(clip),
-            top_k,
-            deadline_ms: deadline.map(|d| d.as_millis() as u64),
-            trace_id: Some(mint_trace_id()),
+            top_k: opts.top_k,
+            deadline_ms: opts.deadline.map(|d| d.as_millis() as u64),
+            trace_id: Some(opts.trace_id.unwrap_or_else(mint_trace_id)),
+            class: opts.class.clone(),
+            priority: opts.priority,
         })
     }
 
@@ -221,6 +262,25 @@ impl Client {
             other => Err(unexpected("ShutdownAck", &other)),
         }
     }
+}
+
+/// Optional knobs for [`Client::query_event_with`] /
+/// [`Client::query_clip_with`]. `Default` leaves every decision to the
+/// server: its configured top-k, no deadline, the default admission
+/// class at its configured priority, and a client-minted trace id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryOptions {
+    /// Truncate results to this many moments.
+    pub top_k: Option<usize>,
+    /// Per-query deadline.
+    pub deadline: Option<Duration>,
+    /// Admission class (server falls back to its default class for
+    /// names it has no config for).
+    pub class: Option<String>,
+    /// Base priority override; higher runs first.
+    pub priority: Option<i32>,
+    /// Caller-minted 48-bit trace id (minted for you when `None`).
+    pub trace_id: Option<u64>,
 }
 
 /// A successful query as seen by the client.

@@ -8,6 +8,26 @@
 //! [`EngineConfig::queue_depth`], so an overloaded engine sheds load
 //! instead of accumulating unbounded latency.
 //!
+//! ## Scheduling policy
+//!
+//! Admission and ordering are governed by an explicit [`SchedPolicy`]:
+//!
+//! - **Admission classes**: every query resolves to a named class
+//!   (undeclared wire classes collapse into `"default"`, keeping the
+//!   class set — and stats/metric cardinality — fixed at start). A class
+//!   can carry a queue quota (its own slice of the admission queue,
+//!   rejected with [`EngineError::Overloaded`]) and a token-bucket rate
+//!   limit (rejected with [`EngineError::RateLimited`]), so one noisy
+//!   tenant can't crowd out the rest.
+//! - **Priority with starvation protection**: under
+//!   [`SchedMode::Deadline`] workers dequeue the highest *effective*
+//!   priority — the class/query base priority plus one promotion credit
+//!   per [`SchedPolicy::aging_ms`] waited — with earliest-deadline-first
+//!   tie-breaks and FIFO order after that. Aging bounds starvation: any
+//!   query's effective priority eventually passes any fixed base.
+//!   [`SchedMode::Fifo`] preserves strict arrival order (the pre-policy
+//!   engine behavior; admission classes still apply).
+//!
 //! ## Deadlines and cancellation
 //!
 //! Every admitted query carries a [`CancelToken`]. Its deadline is the
@@ -34,11 +54,19 @@
 //! across up to 8 concurrent queries — which is what makes a wider pool
 //! faster even on a single core.
 //!
-//! In a fused batch the shared scan runs under a batch-wide token whose
-//! deadline is the *latest* member deadline (unbounded if any member has
-//! none); each member's own token is re-checked afterwards, so a member
-//! whose tighter deadline expired mid-batch still reports
-//! `DeadlineExceeded` even though the batch kept running for its peers.
+//! Batch formation is deadline-aware under [`SchedMode::Deadline`]: a
+//! queued peer with a deadline joins a batch only if its remaining
+//! margin covers the dataset's estimated scan time (the running mean of
+//! the same per-dataset execute-stage observations that feed the
+//! `sketchql.server.execute_ms` histogram), so a tight-deadline query is
+//! never fused into a scan it can't survive. The shared scan runs under
+//! a batch token whose deadline is the *latest* member deadline (the
+//! last instant any member still wants the result); a dedicated deadline
+//! monitor polls every member's own token while the scan runs, answering
+//! a member whose tighter deadline expires (or that is cancelled)
+//! `DeadlineExceeded`/`Cancelled` *mid-batch* — within one
+//! [`SchedPolicy::poll_interval`] — and cancels the shared scan early
+//! once no member still wants it.
 //!
 //! ## Index-backed datasets
 //!
@@ -47,17 +75,19 @@
 //! store is warm-validated at startup — it must name a loaded dataset
 //! and carry the model's and index's fingerprints — and mismatches are
 //! dropped so every query against that dataset falls back to the fused
-//! scan path. Queries against a stored dataset skip scan fusion and run
-//! individually through [`Matcher::search_with_store`] under their own
-//! cancel tokens: the ANN probe plus exact re-rank is cheap enough that
-//! sharing an embedding pass buys nothing, and per-member tokens give
-//! exact deadline semantics. Store effectiveness is mirrored in plain
-//! atomics ([`EngineStats::store_hits`] and friends), so the numbers
-//! survive builds with telemetry compiled out.
+//! scan path. Concurrent queries against a stored dataset fuse too:
+//! the batch runs one `Matcher::search_with_store_batch` call that ranks
+//! the ANN centroid table once for all members (one pass over centroid
+//! memory instead of per-member probes) and then re-ranks each member
+//! exactly, under per-member tokens for exact deadline semantics.
+//! Results stay byte-identical to solo [`Matcher::search_with_store`]
+//! calls. Store effectiveness is mirrored in plain atomics
+//! ([`EngineStats::store_hits`] and friends), so the numbers survive
+//! builds with telemetry compiled out.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -86,6 +116,87 @@ const DEADLINE_MARGIN_MS_BOUNDS: &[f64] = &[
     -5000.0, -1000.0, -250.0, -50.0, 0.0, 10.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
 ];
 
+/// The class queries resolve to when they name no class (or name one
+/// the policy doesn't declare). Always present in the class table.
+pub const DEFAULT_CLASS: &str = "default";
+
+/// How the engine orders its admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Strict arrival order with greedy same-dataset fusion — the
+    /// pre-policy engine behavior. Admission classes (quotas, rate
+    /// limits) still apply; priorities and deadlines don't affect order.
+    Fifo,
+    /// Effective-priority dequeue (base + aging credit), earliest
+    /// -deadline-first tie-breaks, and deadline-aware batch formation.
+    Deadline,
+}
+
+/// Admission and priority settings for one class of clients.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassConfig {
+    /// Base priority for queries of this class (higher runs first).
+    /// A query's own `priority` field overrides it.
+    pub priority: i32,
+    /// Token-bucket refill rate, queries per second. `0` = unlimited.
+    pub rate_per_sec: f64,
+    /// Token-bucket capacity (burst size). `0` = `max(rate_per_sec, 1)`.
+    pub burst: f64,
+    /// Maximum queries of this class waiting in the queue at once.
+    /// `0` = bounded only by [`EngineConfig::queue_depth`].
+    pub queue_quota: usize,
+}
+
+impl ClassConfig {
+    fn effective_burst(&self) -> f64 {
+        if self.burst > 0.0 {
+            self.burst
+        } else {
+            self.rate_per_sec.max(1.0)
+        }
+    }
+}
+
+/// The scheduling policy: admission classes plus queue ordering. See
+/// the [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedPolicy {
+    /// Queue ordering discipline.
+    pub mode: SchedMode,
+    /// Declared admission classes. Queries naming no class (or an
+    /// undeclared one) fall into [`DEFAULT_CLASS`], which may itself be
+    /// declared here to give it quotas or a base priority.
+    pub classes: BTreeMap<String, ClassConfig>,
+    /// Milliseconds of queue wait per +1 effective-priority promotion
+    /// credit (starvation protection). `0` disables aging.
+    pub aging_ms: u64,
+    /// How often the deadline monitor polls the member tokens of
+    /// in-flight fused batches; the bound on how late after its own
+    /// deadline a fused member is answered.
+    pub poll_interval: Duration,
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy {
+            mode: SchedMode::Deadline,
+            classes: BTreeMap::new(),
+            aging_ms: 100,
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+impl SchedPolicy {
+    /// The pre-policy engine behavior: strict FIFO, no classes.
+    pub fn fifo() -> Self {
+        SchedPolicy {
+            mode: SchedMode::Fifo,
+            ..SchedPolicy::default()
+        }
+    }
+}
+
 /// Engine sizing and policy.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -104,6 +215,8 @@ pub struct EngineConfig {
     /// ranked list (NMS keeps a greedy prefix, so the truncation is
     /// identical to searching with the smaller `top_k`).
     pub matcher: MatcherConfig,
+    /// Admission and ordering policy.
+    pub sched: SchedPolicy,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +227,7 @@ impl Default for EngineConfig {
             default_deadline: None,
             fused_batch: 0,
             matcher: MatcherConfig::default(),
+            sched: SchedPolicy::default(),
         }
     }
 }
@@ -128,6 +242,12 @@ pub enum EngineError {
     },
     /// The engine is shutting down and no longer admits queries.
     ShuttingDown,
+    /// The query's admission class exhausted its token-bucket rate
+    /// limit; the query was never enqueued. Retry after backoff.
+    RateLimited {
+        /// The admission class whose bucket ran dry.
+        class: String,
+    },
     /// No dataset with that name is loaded.
     UnknownDataset(String),
     /// The query's deadline passed (in the queue or mid-search).
@@ -151,6 +271,9 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::RateLimited { class } => {
+                write!(f, "rate limited: class {class:?} exceeded its query rate")
+            }
             EngineError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
             EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
             EngineError::Cancelled => write!(f, "cancelled"),
@@ -195,11 +318,18 @@ pub struct QuerySpec {
     /// Trace id to run under (a wire client's id); `None` mints a fresh
     /// one at admission.
     pub trace: Option<u64>,
+    /// Admission class. `None` (or a class the policy doesn't declare)
+    /// resolves to [`DEFAULT_CLASS`].
+    pub class: Option<String>,
+    /// Priority override; `None` uses the class's base priority.
+    /// Clamped to ±1000 so wire clients can't outrun aging credit
+    /// forever.
+    pub priority: Option<i32>,
 }
 
 impl QuerySpec {
-    /// A query with no top-k override, no per-query deadline, and a
-    /// server-minted trace id.
+    /// A query with no top-k override, no per-query deadline, a
+    /// server-minted trace id, and default class/priority.
     pub fn new(dataset: impl Into<String>, query: Clip) -> Self {
         QuerySpec {
             dataset: dataset.into(),
@@ -207,6 +337,8 @@ impl QuerySpec {
             top_k: None,
             deadline: None,
             trace: None,
+            class: None,
+            priority: None,
         }
     }
 }
@@ -245,6 +377,28 @@ pub struct DatasetTraffic {
     pub shed: u64,
 }
 
+/// Per-admission-class queue position and traffic, served inside
+/// [`EngineStats`] so fairness is observable from `stats`/`top`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Class name.
+    pub name: String,
+    /// Base priority from the policy (0 for an undeclared default).
+    pub priority: i32,
+    /// Queries of this class currently waiting in the queue.
+    pub queued: usize,
+    /// Queue wait of this class's oldest waiting query, milliseconds
+    /// (0 when none are queued).
+    pub oldest_wait_ms: u64,
+    /// Queries of this class answered successfully.
+    pub completed: u64,
+    /// Queries of this class rejected by its token-bucket rate limit.
+    pub rate_limited: u64,
+    /// Queries of this class shed at admission (shutdown, full queue,
+    /// or class quota).
+    pub shed: u64,
+}
+
 /// A point-in-time view of the engine, also served over the wire.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineStats {
@@ -273,13 +427,20 @@ pub struct EngineStats {
     pub store_fallbacks: u64,
     /// Total stored rows scored across all store-served queries.
     pub store_probed: u64,
+    /// Queries rejected at admission by a class rate limit. Zero when
+    /// talking to a pre-v5 server.
+    pub rate_limited: u64,
     /// Per-dataset traffic totals, in dataset-name order. Empty when
     /// talking to a pre-v4 server.
     pub datasets: Vec<DatasetTraffic>,
+    /// Per-class queue position and traffic, in class-name order.
+    /// Empty when talking to a pre-v5 server.
+    pub classes: Vec<ClassStats>,
 }
 
-// Hand-written so a v4 client still parses v3 stats: the per-dataset
-// breakdown defaults to empty when absent.
+// Hand-written so a newer client still parses older stats: the
+// per-dataset breakdown (v4) and the class/rate-limit fields (v5)
+// default when absent.
 impl Deserialize for EngineStats {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         use crate::protocol::{field, obj, opt_field};
@@ -296,7 +457,9 @@ impl Deserialize for EngineStats {
             store_hits: field(&fields, "store_hits")?,
             store_fallbacks: field(&fields, "store_fallbacks")?,
             store_probed: field(&fields, "store_probed")?,
+            rate_limited: opt_field(&fields, "rate_limited")?.unwrap_or_default(),
             datasets: opt_field(&fields, "datasets")?.unwrap_or_default(),
+            classes: opt_field(&fields, "classes")?.unwrap_or_default(),
         })
     }
 }
@@ -336,6 +499,9 @@ impl QueryHandle {
 
 struct Job {
     dataset: String,
+    class: String,
+    priority: i32,
+    seq: u64,
     query: Clip,
     top_k: Option<usize>,
     cancel: CancelToken,
@@ -344,10 +510,68 @@ struct Job {
     tx: mpsc::Sender<Result<QueryResult, EngineError>>,
 }
 
+impl Job {
+    /// Splits into the query clip (only the executing worker needs it)
+    /// and the shared answer-side record the deadline monitor and the
+    /// batch guard can also reach.
+    fn into_pair(self) -> (Clip, Arc<Member>) {
+        (
+            self.query,
+            Arc::new(Member {
+                dataset: self.dataset,
+                class: self.class,
+                top_k: self.top_k,
+                cancel: self.cancel,
+                enqueued_at: self.enqueued_at,
+                trace: self.trace,
+                tx: self.tx,
+                claimed: AtomicBool::new(false),
+            }),
+        )
+    }
+}
+
+/// The answer-side half of a dequeued query. A member is answered
+/// exactly once: the worker, the deadline monitor, and the batch guard
+/// all race through [`Member::claim`], and only the winner sends.
+struct Member {
+    dataset: String,
+    class: String,
+    top_k: Option<usize>,
+    cancel: CancelToken,
+    enqueued_at: Instant,
+    trace: TraceContext,
+    tx: mpsc::Sender<Result<QueryResult, EngineError>>,
+    claimed: AtomicBool,
+}
+
+impl Member {
+    /// Wins the right to answer this member. Returns `false` if someone
+    /// else already answered it.
+    fn claim(&self) -> bool {
+        self.claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// A live query executing alongside its original clip and queue wait.
+type LiveMember = (Clip, Arc<Member>, Duration);
+
+/// Per-class queue occupancy and token bucket, under the state lock.
+struct ClassQueue {
+    queued: usize,
+    tokens: f64,
+    last_refill: Instant,
+}
+
 struct QueueState {
     queue: VecDeque<Job>,
     accepting: bool,
     in_flight: usize,
+    /// Keys are fixed at start: declared classes plus [`DEFAULT_CLASS`].
+    classes: BTreeMap<String, ClassQueue>,
+    next_seq: u64,
 }
 
 #[derive(Default)]
@@ -355,6 +579,7 @@ struct Counters {
     accepted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    rate_limited: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
     // Store effectiveness lives in plain atomics (not only telemetry
@@ -365,24 +590,54 @@ struct Counters {
 }
 
 /// Per-dataset slice of the traffic counters. The dataset set is fixed
-/// at start, so the map never grows and lookups are lock-free.
+/// at start, so the map never grows and lookups are lock-free. The scan
+/// observations feed the deadline-aware fusion estimate.
 #[derive(Default)]
 struct DatasetCounters {
     completed: AtomicU64,
     failed: AtomicU64,
     timed_out: AtomicU64,
     shed: AtomicU64,
+    scan_nanos: AtomicU64,
+    scans: AtomicU64,
+}
+
+/// Per-class slice of the traffic counters; same fixed-key scheme as
+/// [`DatasetCounters`].
+#[derive(Default)]
+struct ClassCounters {
+    completed: AtomicU64,
+    rate_limited: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// One in-flight fused batch the deadline monitor watches: the members'
+/// own tokens are polled while `scan_cancel` drives the shared scan.
+struct Watch {
+    id: u64,
+    scan_cancel: CancelToken,
+    members: Vec<Arc<Member>>,
+}
+
+struct MonitorState {
+    watches: Vec<Watch>,
+    next_id: u64,
+    stop: bool,
 }
 
 struct Shared {
     state: Mutex<QueueState>,
     work_ready: Condvar,
+    monitor: Mutex<MonitorState>,
+    monitor_signal: Condvar,
     matcher: Matcher<LearnedSimilarity>,
     datasets: BTreeMap<String, VideoIndex>,
     stores: BTreeMap<String, DatasetStore>,
     counters: Counters,
     per_dataset: BTreeMap<String, DatasetCounters>,
+    per_class: BTreeMap<String, ClassCounters>,
     fused_batch: usize,
+    policy: SchedPolicy,
 }
 
 impl Shared {
@@ -393,12 +648,19 @@ impl Shared {
             .get(name)
             .expect("dataset validated at submit")
     }
+
+    /// The per-class counter slice for `name` (always present: the
+    /// class was resolved against the fixed table at submit).
+    fn class_counters(&self, name: &str) -> &ClassCounters {
+        self.per_class.get(name).expect("class resolved at submit")
+    }
 }
 
 /// The concurrent query service. See the [module docs](self).
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
     config: EngineConfig,
 }
 
@@ -443,19 +705,57 @@ impl Engine {
             .keys()
             .map(|name| (name.clone(), DatasetCounters::default()))
             .collect();
+        // The class table is fixed at start: every declared class plus
+        // the default class every unmatched query resolves to.
+        let class_names: Vec<String> = config
+            .sched
+            .classes
+            .keys()
+            .cloned()
+            .chain(std::iter::once(DEFAULT_CLASS.to_string()))
+            .collect();
+        let now = Instant::now();
+        let class_queues = class_names
+            .iter()
+            .map(|name| {
+                let cfg = config.sched.classes.get(name).copied().unwrap_or_default();
+                (
+                    name.clone(),
+                    ClassQueue {
+                        queued: 0,
+                        tokens: cfg.effective_burst(),
+                        last_refill: now,
+                    },
+                )
+            })
+            .collect();
+        let per_class = class_names
+            .iter()
+            .map(|name| (name.clone(), ClassCounters::default()))
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 accepting: true,
                 in_flight: 0,
+                classes: class_queues,
+                next_seq: 0,
             }),
             work_ready: Condvar::new(),
+            monitor: Mutex::new(MonitorState {
+                watches: Vec::new(),
+                next_id: 0,
+                stop: false,
+            }),
+            monitor_signal: Condvar::new(),
             matcher,
             datasets,
             stores,
             counters: Counters::default(),
             per_dataset,
+            per_class,
             fused_batch: config.fused_batch,
+            policy: config.sched.clone(),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -466,9 +766,17 @@ impl Engine {
                     .expect("failed to spawn engine worker")
             })
             .collect();
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sketchql-sched".to_string())
+                .spawn(move || monitor_loop(&shared))
+                .expect("failed to spawn deadline monitor")
+        };
         Engine {
             shared,
             workers: Mutex::new(workers),
+            monitor: Mutex::new(Some(monitor)),
             config,
         }
     }
@@ -480,11 +788,26 @@ impl Engine {
 
     /// Non-blocking admission. Returns a handle to wait on, or an
     /// immediate rejection ([`EngineError::Overloaded`],
-    /// [`EngineError::ShuttingDown`], [`EngineError::UnknownDataset`]).
+    /// [`EngineError::RateLimited`], [`EngineError::ShuttingDown`],
+    /// [`EngineError::UnknownDataset`]).
     pub fn submit(&self, spec: QuerySpec) -> Result<QueryHandle, EngineError> {
         if !self.shared.datasets.contains_key(&spec.dataset) {
             return Err(EngineError::UnknownDataset(spec.dataset));
         }
+        // Undeclared wire classes collapse into the default class: the
+        // class table (and stats/metric cardinality) stays fixed.
+        let class = match spec.class.as_deref() {
+            Some(c) if self.shared.policy.classes.contains_key(c) => c.to_string(),
+            _ => DEFAULT_CLASS.to_string(),
+        };
+        let cfg = self
+            .shared
+            .policy
+            .classes
+            .get(&class)
+            .copied()
+            .unwrap_or_default();
+        let priority = spec.priority.unwrap_or(cfg.priority).clamp(-1000, 1000);
         // The trace is born at admission; shed queries finalize it via
         // its drop safety net (after the queue lock below releases), so
         // they still reach the flight recorder and slow-query log.
@@ -499,14 +822,12 @@ impl Engine {
             None => CancelToken::new(),
         };
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         let mut st = self.shared.state.lock().unwrap();
         if !st.accepting {
             trace.set_outcome(TraceOutcome::Shed);
             telemetry::counter(names::SERVER_SHED_SHUTDOWN).inc();
-            self.shared
-                .dataset_counters(&spec.dataset)
-                .shed
-                .fetch_add(1, Ordering::Relaxed);
+            self.shed_at_admission(&spec.dataset, &class);
             return Err(EngineError::ShuttingDown);
         }
         if st.queue.len() >= self.config.queue_depth {
@@ -517,20 +838,64 @@ impl Engine {
             telemetry::counter(names::SERVER_REJECTED_OVERLOAD).inc();
             trace.set_outcome(TraceOutcome::Shed);
             telemetry::counter(names::SERVER_SHED_QUEUE_FULL).inc();
-            self.shared
-                .dataset_counters(&spec.dataset)
-                .shed
-                .fetch_add(1, Ordering::Relaxed);
+            self.shed_at_admission(&spec.dataset, &class);
             return Err(EngineError::Overloaded {
                 queue_depth: self.config.queue_depth,
             });
         }
+        let cq = st.classes.get_mut(&class).expect("class table is fixed");
+        // Per-class queue quota: this class's slice of the queue.
+        if cfg.queue_quota > 0 && cq.queued >= cfg.queue_quota {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            telemetry::counter(names::SERVER_REJECTED_OVERLOAD).inc();
+            trace.set_outcome(TraceOutcome::Shed);
+            telemetry::counter(names::SERVER_SHED_QUEUE_FULL).inc();
+            self.shed_at_admission(&spec.dataset, &class);
+            return Err(EngineError::Overloaded {
+                queue_depth: cfg.queue_quota,
+            });
+        }
+        // Token-bucket rate limit: refill lazily, spend one per query.
+        if cfg.rate_per_sec > 0.0 {
+            let dt = now.duration_since(cq.last_refill).as_secs_f64();
+            cq.tokens = (cq.tokens + dt * cfg.rate_per_sec).min(cfg.effective_burst());
+            cq.last_refill = now;
+            if cq.tokens < 1.0 {
+                self.shared
+                    .counters
+                    .rate_limited
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .class_counters(&class)
+                    .rate_limited
+                    .fetch_add(1, Ordering::Relaxed);
+                telemetry::counter(names::SERVER_SHED_RATE_LIMITED).inc();
+                telemetry::counter(&names::server_class_metric(&class, "rate_limited")).inc();
+                trace.set_outcome(TraceOutcome::Shed);
+                self.shared
+                    .dataset_counters(&spec.dataset)
+                    .shed
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::RateLimited { class });
+            }
+            cq.tokens -= 1.0;
+        }
+        cq.queued += 1;
+        telemetry::gauge(&names::server_class_metric(&class, "queue_depth")).set(cq.queued as f64);
+        st.next_seq += 1;
+        let seq = st.next_seq;
         st.queue.push_back(Job {
             dataset: spec.dataset,
+            class,
+            priority,
+            seq,
             query: spec.query,
             top_k: spec.top_k,
             cancel: cancel.clone(),
-            enqueued_at: Instant::now(),
+            enqueued_at: now,
             trace,
             tx,
         });
@@ -544,6 +909,19 @@ impl Engine {
         Ok(QueryHandle { rx, cancel })
     }
 
+    /// Shared bookkeeping for a query shed at admission.
+    fn shed_at_admission(&self, dataset: &str, class: &str) {
+        self.shared
+            .dataset_counters(dataset)
+            .shed
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .class_counters(class)
+            .shed
+            .fetch_add(1, Ordering::Relaxed);
+        telemetry::counter(&names::server_class_metric(class, "shed")).inc();
+    }
+
     /// Submits and waits: the blocking convenience path.
     pub fn execute(&self, spec: QuerySpec) -> Result<QueryResult, EngineError> {
         self.submit(spec)?.wait()
@@ -553,6 +931,36 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let st = self.shared.state.lock().unwrap();
         let c = &self.shared.counters;
+        let classes = self
+            .shared
+            .per_class
+            .iter()
+            .map(|(name, cc)| {
+                let queued = st.classes.get(name).map(|cq| cq.queued).unwrap_or(0);
+                let oldest_wait_ms = st
+                    .queue
+                    .iter()
+                    .filter(|j| j.class == *name)
+                    .map(|j| j.enqueued_at.elapsed().as_millis() as u64)
+                    .max()
+                    .unwrap_or(0);
+                ClassStats {
+                    name: name.clone(),
+                    priority: self
+                        .shared
+                        .policy
+                        .classes
+                        .get(name)
+                        .map(|cfg| cfg.priority)
+                        .unwrap_or(0),
+                    queued,
+                    oldest_wait_ms,
+                    completed: cc.completed.load(Ordering::Relaxed),
+                    rate_limited: cc.rate_limited.load(Ordering::Relaxed),
+                    shed: cc.shed.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
         EngineStats {
             workers: self.config.workers,
             queued: st.queue.len(),
@@ -565,6 +973,7 @@ impl Engine {
             store_hits: c.store_hits.load(Ordering::Relaxed),
             store_fallbacks: c.store_fallbacks.load(Ordering::Relaxed),
             store_probed: c.store_probed.load(Ordering::Relaxed),
+            rate_limited: c.rate_limited.load(Ordering::Relaxed),
             datasets: self
                 .shared
                 .per_dataset
@@ -577,6 +986,7 @@ impl Engine {
                     shed: d.shed.load(Ordering::Relaxed),
                 })
                 .collect(),
+            classes,
         }
     }
 
@@ -607,8 +1017,37 @@ impl Engine {
             st.accepting = false;
             self.shared.work_ready.notify_all();
         }
-        let mut workers = self.workers.lock().unwrap();
-        for handle in workers.drain(..) {
+        {
+            let mut workers = self.workers.lock().unwrap();
+            for handle in workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+        // Workers only exit once the queue is empty, so this drain is a
+        // belt-and-braces guarantee that a submit racing shutdown either
+        // errors at admission or gets an answer here — `wait()` can
+        // never hang on an admitted query.
+        let leftovers: Vec<Job> = {
+            let mut st = self.shared.state.lock().unwrap();
+            let drained: Vec<Job> = std::mem::take(&mut st.queue).into();
+            for job in &drained {
+                if let Some(cq) = st.classes.get_mut(&job.class) {
+                    cq.queued -= 1;
+                }
+            }
+            drained
+        };
+        for job in leftovers {
+            let (_, member) = job.into_pair();
+            finish_err(&self.shared, &member, EngineError::ShuttingDown);
+        }
+        // Stop the deadline monitor last: no scans remain to watch.
+        {
+            let mut mon = self.shared.monitor.lock().unwrap();
+            mon.stop = true;
+            self.shared.monitor_signal.notify_all();
+        }
+        if let Some(handle) = self.monitor.lock().unwrap().take() {
             let _ = handle.join();
         }
     }
@@ -620,23 +1059,33 @@ impl Drop for Engine {
     }
 }
 
-/// Worker thread body: dequeue, fuse, execute, answer — until shutdown
+/// Worker thread body: pick, fuse, execute, answer — until shutdown
 /// with an empty queue.
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
             let mut st = shared.state.lock().unwrap();
             loop {
-                if let Some(first) = st.queue.pop_front() {
-                    let dataset = first.dataset.clone();
-                    let mut batch = vec![first];
-                    let mut i = 0;
-                    while batch.len() < shared.fused_batch && i < st.queue.len() {
-                        if st.queue[i].dataset == dataset {
-                            batch.push(st.queue.remove(i).expect("index in bounds"));
-                        } else {
-                            i += 1;
-                        }
+                let now = Instant::now();
+                if let Some(i) = pick_index(&st.queue, &shared.policy, now) {
+                    let head = st.queue.remove(i).expect("picked index in bounds");
+                    let est = estimate_scan(shared, &head.dataset);
+                    let batch = form_batch(
+                        &mut st.queue,
+                        head,
+                        shared.fused_batch,
+                        &shared.policy,
+                        est,
+                        now,
+                    );
+                    for job in &batch {
+                        let cq = st
+                            .classes
+                            .get_mut(&job.class)
+                            .expect("class table is fixed");
+                        cq.queued -= 1;
+                        telemetry::gauge(&names::server_class_metric(&job.class, "queue_depth"))
+                            .set(cq.queued as f64);
                     }
                     st.in_flight += batch.len();
                     telemetry::gauge(names::SERVER_QUEUE_DEPTH).set(st.queue.len() as f64);
@@ -649,111 +1098,326 @@ fn worker_loop(shared: &Shared) {
                 st = shared.work_ready.wait(st).unwrap();
             }
         };
-        let n = batch.len();
-        run_batch(shared, batch);
-        let mut st = shared.state.lock().unwrap();
-        st.in_flight -= n;
-        telemetry::gauge(names::SERVER_IN_FLIGHT).set(st.in_flight as f64);
+        // The guard restores `in_flight` and answers any member the
+        // batch never answered — on the normal path *and* when
+        // `run_batch` panics, so a panicking worker can't leak the
+        // count or leave a caller hanging. The worker itself survives.
+        let guard = BatchGuard::new(shared, batch.len());
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(shared, batch, &guard)
+        }));
+        drop(guard);
+        if ran.is_err() {
+            telemetry::counter(names::SERVER_WORKER_PANICS).inc();
+        }
+    }
+}
+
+/// Effective priority after starvation protection: the base priority
+/// plus one promotion credit per `aging_ms` of queue wait.
+fn effective_priority(job: &Job, now: Instant, aging_ms: u64) -> i64 {
+    // aging_ms == 0 disables aging (no credit), not instant promotion.
+    let wait_ms = now.saturating_duration_since(job.enqueued_at).as_millis() as u64;
+    let credit = wait_ms.checked_div(aging_ms).unwrap_or(0) as i64;
+    job.priority as i64 + credit
+}
+
+/// Whether `a` should run strictly before `b`: higher effective
+/// priority, then earlier deadline (EDF; a deadline beats none), then
+/// arrival order.
+fn sched_before(a: &Job, b: &Job, now: Instant, aging_ms: u64) -> bool {
+    let (pa, pb) = (
+        effective_priority(a, now, aging_ms),
+        effective_priority(b, now, aging_ms),
+    );
+    if pa != pb {
+        return pa > pb;
+    }
+    match (a.cancel.deadline(), b.cancel.deadline()) {
+        (Some(da), Some(db)) if da != db => da < db,
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        _ => a.seq < b.seq,
+    }
+}
+
+/// Index of the next job to dequeue under `policy`. With no declared
+/// priorities or deadlines this is always the queue front, so the
+/// default policy degrades to exact FIFO.
+fn pick_index(queue: &VecDeque<Job>, policy: &SchedPolicy, now: Instant) -> Option<usize> {
+    if queue.is_empty() {
+        return None;
+    }
+    if policy.mode == SchedMode::Fifo {
+        return Some(0);
+    }
+    let mut best = 0;
+    for i in 1..queue.len() {
+        if sched_before(&queue[i], &queue[best], now, policy.aging_ms) {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Whether a queued peer may join `head`'s batch: under deadline-aware
+/// formation, a peer with a deadline joins only if its remaining margin
+/// covers the estimated scan time. No estimate yet (cold dataset) or no
+/// deadline means fuse freely; an already-expired peer stays queued and
+/// is shed when it is next picked.
+fn fusable(job: &Job, policy: &SchedPolicy, est_scan: Option<Duration>, now: Instant) -> bool {
+    if policy.mode == SchedMode::Fifo {
+        return true;
+    }
+    let (Some(deadline), Some(est)) = (job.cancel.deadline(), est_scan) else {
+        return true;
+    };
+    deadline
+        .checked_duration_since(now)
+        .is_some_and(|margin| margin >= est)
+}
+
+/// Drains fusable same-dataset peers of `head` out of `queue` in one
+/// pass — O(n) with no per-removal shifting, unlike the old
+/// `queue.remove(i)` sweep — preserving the relative order of every
+/// job left behind. Batch members keep their arrival order after the
+/// head.
+fn form_batch(
+    queue: &mut VecDeque<Job>,
+    head: Job,
+    fused_batch: usize,
+    policy: &SchedPolicy,
+    est_scan: Option<Duration>,
+    now: Instant,
+) -> Vec<Job> {
+    let mut batch = vec![head];
+    if fused_batch <= 1 || queue.is_empty() {
+        return batch;
+    }
+    let pending = std::mem::take(queue);
+    for job in pending {
+        if batch.len() < fused_batch
+            && job.dataset == batch[0].dataset
+            && fusable(&job, policy, est_scan, now)
+        {
+            batch.push(job);
+        } else {
+            queue.push_back(job);
+        }
+    }
+    batch
+}
+
+/// Mean observed scan time for `dataset` — the running mean of the same
+/// per-dataset execute-stage observations that feed the
+/// `sketchql.server.execute_ms` histogram. `None` until the dataset's
+/// first scan completes.
+fn estimate_scan(shared: &Shared, dataset: &str) -> Option<Duration> {
+    let d = shared.dataset_counters(dataset);
+    let n = d.scans.load(Ordering::Relaxed);
+    if n == 0 {
+        return None;
+    }
+    Some(Duration::from_nanos(
+        d.scan_nanos.load(Ordering::Relaxed) / n,
+    ))
+}
+
+/// Feeds one completed scan into the per-dataset estimate.
+fn record_scan_estimate(shared: &Shared, dataset: &str, execute: Duration) {
+    let d = shared.dataset_counters(dataset);
+    d.scan_nanos
+        .fetch_add(execute.as_nanos() as u64, Ordering::Relaxed);
+    d.scans.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Registers a fused batch with the deadline monitor; the returned id
+/// unregisters it.
+fn register_watch(shared: &Shared, scan_cancel: CancelToken, members: Vec<Arc<Member>>) -> u64 {
+    let mut mon = shared.monitor.lock().unwrap();
+    mon.next_id += 1;
+    let id = mon.next_id;
+    mon.watches.push(Watch {
+        id,
+        scan_cancel,
+        members,
+    });
+    shared.monitor_signal.notify_all();
+    id
+}
+
+fn unregister_watch(shared: &Shared, id: u64) {
+    let mut mon = shared.monitor.lock().unwrap();
+    mon.watches.retain(|w| w.id != id);
+}
+
+/// Deadline monitor body: while any fused batch is in flight, poll its
+/// members' own tokens every [`SchedPolicy::poll_interval`]. A member
+/// whose deadline trips (or that is cancelled) mid-batch is answered
+/// immediately — not after the shared scan finishes — and once no
+/// member still wants a scan's result, the scan itself is cancelled.
+/// Sleeps on the condvar whenever nothing is in flight.
+fn monitor_loop(shared: &Shared) {
+    let mut mon = shared.monitor.lock().unwrap();
+    loop {
+        if mon.stop {
+            return;
+        }
+        if mon.watches.is_empty() {
+            mon = shared.monitor_signal.wait(mon).unwrap();
+            continue;
+        }
+        mon = shared
+            .monitor_signal
+            .wait_timeout(mon, shared.policy.poll_interval)
+            .unwrap()
+            .0;
+        if mon.stop {
+            return;
+        }
+        for watch in &mon.watches {
+            let mut all_answered = true;
+            for member in &watch.members {
+                if member.claimed.load(Ordering::Acquire) {
+                    continue;
+                }
+                if let Err(reason) = member.cancel.check() {
+                    finish_err(shared, member, reason.into());
+                }
+                if !member.claimed.load(Ordering::Acquire) {
+                    all_answered = false;
+                }
+            }
+            if all_answered {
+                // No member still wants this scan's result.
+                watch.scan_cancel.cancel();
+            }
+        }
+    }
+}
+
+/// Restores `in_flight` and answers unanswered members when a batch
+/// ends — normally or by panic. Created before `run_batch`, dropped
+/// after `catch_unwind` resolves.
+struct BatchGuard<'a> {
+    shared: &'a Shared,
+    n: usize,
+    members: Mutex<Vec<Arc<Member>>>,
+    watch: Mutex<Option<u64>>,
+}
+
+impl<'a> BatchGuard<'a> {
+    fn new(shared: &'a Shared, n: usize) -> Self {
+        BatchGuard {
+            shared,
+            n,
+            members: Mutex::new(Vec::new()),
+            watch: Mutex::new(None),
+        }
+    }
+
+    fn register_members(&self, members: Vec<Arc<Member>>) {
+        *self.members.lock().unwrap() = members;
+    }
+
+    fn set_watch(&self, id: u64) {
+        *self.watch.lock().unwrap() = Some(id);
+    }
+
+    fn clear_watch(&self) -> Option<u64> {
+        self.watch.lock().unwrap().take()
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.watch.lock().unwrap().take() {
+            unregister_watch(self.shared, id);
+        }
+        // Restore the count *before* answering: a waiter woken by its
+        // answer must already observe the batch gone from `in_flight`.
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.in_flight -= self.n;
+            telemetry::gauge(names::SERVER_IN_FLIGHT).set(st.in_flight as f64);
+        }
+        for member in self.members.lock().unwrap().iter() {
+            // No-op for members the batch answered; a panic's survivors
+            // get `WorkerLost` (a `Failed` outcome) instead of hanging.
+            finish_err(self.shared, member, EngineError::WorkerLost);
+        }
     }
 }
 
 /// Executes one same-dataset batch and answers every member.
-fn run_batch(shared: &Shared, batch: Vec<Job>) {
+fn run_batch(shared: &Shared, batch: Vec<Job>, guard: &BatchGuard) {
+    // Register every member with the guard before any fallible work:
+    // a panic anywhere below still answers them all.
+    let pairs: Vec<(Clip, Arc<Member>)> = batch.into_iter().map(Job::into_pair).collect();
+    guard.register_members(pairs.iter().map(|(_, m)| Arc::clone(m)).collect());
+
+    // Test-only fault injection (debug builds): panic mid-batch when the
+    // dataset matches, exercising the guard's unwind path.
+    #[cfg(debug_assertions)]
+    if let Ok(target) = std::env::var("SKETCHQL_TEST_PANIC_DATASET") {
+        if !target.is_empty() && pairs.first().is_some_and(|(_, m)| m.dataset == target) {
+            panic!("test-injected worker panic for dataset {target:?}");
+        }
+    }
+
     // Queue-expiry check: answer members whose token already tripped
     // without running them.
-    let mut live = Vec::with_capacity(batch.len());
-    for job in batch {
-        let wait = job.enqueued_at.elapsed();
+    let mut live: Vec<LiveMember> = Vec::with_capacity(pairs.len());
+    for (query, member) in pairs {
+        let wait = member.enqueued_at.elapsed();
         telemetry::histogram(names::SERVER_QUEUE_WAIT_MS, LATENCY_MS_BOUNDS)
             .observe(wait.as_secs_f64() * 1e3);
+        telemetry::histogram(
+            &names::server_class_metric(&member.class, "queue_wait_ms"),
+            LATENCY_MS_BOUNDS,
+        )
+        .observe(wait.as_secs_f64() * 1e3);
         // The queue wait happened between threads, outside any RAII
         // scope — record it straight into the trace.
-        job.trace.record_span(
+        member.trace.record_span(
             names::SERVER_QUEUE_WAIT,
             0,
-            job.enqueued_at,
+            member.enqueued_at,
             wait.as_nanos() as u64,
         );
-        match job.cancel.check() {
-            Ok(()) => live.push((job, wait)),
+        match member.cancel.check() {
+            Ok(()) => live.push((query, member, wait)),
             Err(reason) => {
                 if reason == CancelReason::DeadlineExceeded {
                     telemetry::counter(names::SERVER_SHED_DEADLINE_QUEUE).inc();
                 }
-                finish_err(shared, &job, reason.into());
+                finish_err(shared, &member, reason.into());
             }
         }
     }
     if live.is_empty() {
         return;
     }
+    let dataset = live[0].1.dataset.clone();
     let index = shared
         .datasets
-        .get(&live[0].0.dataset)
+        .get(&dataset)
         .expect("dataset validated at submit");
 
-    // Index-backed datasets skip scan fusion: each member runs its own
-    // ANN probe + exact re-rank under its own token. The probe touches
-    // no encoder, so there is no embedding work to share, and per-member
-    // tokens give exact deadline/cancel semantics.
-    if let Some(store) = shared.stores.get(&live[0].0.dataset) {
-        for (job, wait) in live {
-            // Route this worker's spans (store probe, matcher stages)
-            // into the query's trace for the duration of the execute.
-            let trace_guard = job.trace.enter();
-            let exec_span = telemetry::span(names::SERVER_EXECUTE);
-            let started = Instant::now();
-            let result = shared
-                .matcher
-                .search_with_store(index, store, &job.query, &job.cancel);
-            let execute = started.elapsed();
-            drop(exec_span);
-            drop(trace_guard);
-            telemetry::histogram(names::SERVER_EXECUTE_MS, LATENCY_MS_BOUNDS)
-                .observe(execute.as_secs_f64() * 1e3);
-            observe_deadline_margin(&job);
-            match result {
-                Ok(search) => {
-                    let c = &shared.counters;
-                    if search.from_store {
-                        c.store_hits.fetch_add(1, Ordering::Relaxed);
-                        c.store_probed.fetch_add(search.probed, Ordering::Relaxed);
-                    } else {
-                        c.store_fallbacks.fetch_add(1, Ordering::Relaxed);
-                    }
-                    let mut moments = search.moments;
-                    if let Some(k) = job.top_k {
-                        moments.truncate(k);
-                    }
-                    c.completed.fetch_add(1, Ordering::Relaxed);
-                    telemetry::counter(names::SERVER_COMPLETED).inc();
-                    shared
-                        .dataset_counters(&job.dataset)
-                        .completed
-                        .fetch_add(1, Ordering::Relaxed);
-                    let _ = job.tx.send(Ok(QueryResult {
-                        moments,
-                        queue_wait: wait,
-                        execute,
-                        batch_size: 1,
-                        trace: job.trace.clone(),
-                    }));
-                }
-                Err(e) => finish_err(shared, &job, e.into()),
-            }
-        }
+    if let Some(store) = shared.stores.get(&dataset) {
+        run_store_batch(shared, &dataset, index, store, live);
         return;
     }
 
     telemetry::histogram(names::SERVER_FUSED_BATCH, BATCH_BOUNDS).observe(live.len() as f64);
     let batch_size = live.len();
-    for (job, _) in &live {
-        job.trace.set_batch_size(batch_size);
+    for (_, member, _) in &live {
+        member.trace.set_batch_size(batch_size);
     }
     // Enter every member's trace: the shared scan's spans (embed, scan,
     // rank) are delivered to each member, so every fused query still
     // carries a complete span tree of the work done on its behalf.
-    let trace_guards: Vec<_> = live.iter().map(|(job, _)| job.trace.enter()).collect();
+    let trace_guards: Vec<_> = live.iter().map(|(_, m, _)| m.trace.enter()).collect();
     let exec_span = telemetry::span(names::SERVER_EXECUTE);
     let fusion_span = if batch_size > 1 {
         Some(telemetry::span(names::SERVER_FUSION))
@@ -764,27 +1428,40 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     let results = if live.len() == 1 {
         // A lone query runs under its own token, so explicit cancellation
         // and the deadline both stop the scan directly.
-        let (job, _) = &live[0];
+        let (query, member, _) = &live[0];
         vec![shared
             .matcher
-            .search_with_cancel(index, &job.query, &job.cancel)]
+            .search_with_cancel(index, query, &member.cancel)]
     } else {
-        // Fused: one shared scan under a batch-wide token. The batch
-        // deadline is the latest member deadline so no member is cut
-        // short by a peer; tighter member deadlines are re-checked below.
-        let mut latest = Some(Instant::now());
-        for (job, _) in &live {
-            match (job.cancel.deadline(), latest) {
+        // Fused: one shared scan under a batch token whose deadline is
+        // the latest member deadline — the last instant any member still
+        // wants the result. While the scan runs, the deadline monitor
+        // polls every member's own token: a tighter deadline (or an
+        // explicit cancel) answers that member mid-batch, and once no
+        // member is left waiting the monitor cancels this token too.
+        let mut latest = Some(started);
+        for (_, member, _) in &live {
+            match (member.cancel.deadline(), latest) {
                 (Some(d), Some(l)) => latest = Some(l.max(d)),
                 _ => latest = None,
             }
         }
-        let batch_token = match latest {
+        let scan_cancel = match latest {
             Some(at) => CancelToken::with_deadline_at(at),
             None => CancelToken::new(),
         };
-        let queries: Vec<&Clip> = live.iter().map(|(job, _)| &job.query).collect();
-        shared.matcher.search_batch(index, &queries, &batch_token)
+        let watch_id = register_watch(
+            shared,
+            scan_cancel.clone(),
+            live.iter().map(|(_, m, _)| Arc::clone(m)).collect(),
+        );
+        guard.set_watch(watch_id);
+        let queries: Vec<&Clip> = live.iter().map(|(q, _, _)| q).collect();
+        let results = shared.matcher.search_batch(index, &queries, &scan_cancel);
+        if let Some(id) = guard.clear_watch() {
+            unregister_watch(shared, id);
+        }
+        results
     };
     let execute = started.elapsed();
     drop(fusion_span);
@@ -792,46 +1469,90 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     drop(trace_guards);
     telemetry::histogram(names::SERVER_EXECUTE_MS, LATENCY_MS_BOUNDS)
         .observe(execute.as_secs_f64() * 1e3);
+    if results.iter().any(|r| r.is_ok()) {
+        // Only scans that ran to completion feed the fusion estimate;
+        // aborted scans would bias it low and over-fuse.
+        record_scan_estimate(shared, &dataset, execute);
+    }
 
-    for ((job, wait), result) in live.into_iter().zip(results) {
+    for ((_, member, wait), result) in live.into_iter().zip(results) {
         // A member whose own token tripped during a fused scan reports
         // its own reason even though the batch ran on for its peers.
-        let result = match job.cancel.check() {
+        let result = match member.cancel.check() {
             Ok(()) => result,
             Err(reason) => Err(MatchError::Cancelled(reason)),
         };
-        observe_deadline_margin(&job);
+        observe_deadline_margin(&member);
         match result {
-            Ok(mut moments) => {
-                if let Some(k) = job.top_k {
-                    moments.truncate(k);
-                }
-                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter(names::SERVER_COMPLETED).inc();
-                shared
-                    .dataset_counters(&job.dataset)
-                    .completed
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = job.tx.send(Ok(QueryResult {
-                    moments,
-                    queue_wait: wait,
-                    execute,
-                    batch_size,
-                    trace: job.trace.clone(),
-                }));
-            }
-            Err(e) => finish_err(shared, &job, e.into()),
+            Ok(moments) => finish_ok(shared, &member, moments, wait, execute, batch_size),
+            Err(e) => finish_err(shared, &member, e.into()),
         }
     }
 }
 
-/// Records how much deadline headroom `job` ended with (negative when
-/// it ended past its deadline). No-op for queries without a deadline.
-fn observe_deadline_margin(job: &Job) {
+/// Executes one batch against an index-backed dataset: store-aware
+/// fusion ranks the ANN centroid table once for every member (one
+/// `search_with_store_batch` call), then re-ranks each member exactly
+/// under its own token — results are byte-identical to solo
+/// `search_with_store` calls.
+fn run_store_batch(
+    shared: &Shared,
+    dataset: &str,
+    index: &VideoIndex,
+    store: &DatasetStore,
+    live: Vec<LiveMember>,
+) {
+    let batch_size = live.len();
+    telemetry::histogram(names::SERVER_FUSED_BATCH, BATCH_BOUNDS).observe(batch_size as f64);
+    for (_, member, _) in &live {
+        member.trace.set_batch_size(batch_size);
+    }
+    let trace_guards: Vec<_> = live.iter().map(|(_, m, _)| m.trace.enter()).collect();
+    let exec_span = telemetry::span(names::SERVER_EXECUTE);
+    let fusion_span = if batch_size > 1 {
+        Some(telemetry::span(names::SERVER_FUSION))
+    } else {
+        None
+    };
+    let started = Instant::now();
+    let queries: Vec<(&Clip, &CancelToken)> = live.iter().map(|(q, m, _)| (q, &m.cancel)).collect();
+    let results = shared
+        .matcher
+        .search_with_store_batch(index, store, &queries);
+    let execute = started.elapsed();
+    drop(fusion_span);
+    drop(exec_span);
+    drop(trace_guards);
+    telemetry::histogram(names::SERVER_EXECUTE_MS, LATENCY_MS_BOUNDS)
+        .observe(execute.as_secs_f64() * 1e3);
+    if results.iter().any(|r| r.is_ok()) {
+        record_scan_estimate(shared, dataset, execute);
+    }
+    for ((_, member, wait), result) in live.into_iter().zip(results) {
+        observe_deadline_margin(&member);
+        match result {
+            Ok(search) => {
+                let c = &shared.counters;
+                if search.from_store {
+                    c.store_hits.fetch_add(1, Ordering::Relaxed);
+                    c.store_probed.fetch_add(search.probed, Ordering::Relaxed);
+                } else {
+                    c.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                finish_ok(shared, &member, search.moments, wait, execute, batch_size);
+            }
+            Err(e) => finish_err(shared, &member, e.into()),
+        }
+    }
+}
+
+/// Records how much deadline headroom `member` ended with (negative
+/// when it ended past its deadline). No-op without a deadline.
+fn observe_deadline_margin(member: &Member) {
     if !telemetry::is_enabled() {
         return;
     }
-    let Some(deadline) = job.cancel.deadline() else {
+    let Some(deadline) = member.cancel.deadline() else {
         return;
     };
     let now = Instant::now();
@@ -844,30 +1565,236 @@ fn observe_deadline_margin(job: &Job) {
         .observe(margin_ms);
 }
 
-/// Answers `job` with `err`, stamps the trace's outcome, and bumps the
-/// matching failure counter.
-fn finish_err(shared: &Shared, job: &Job, err: EngineError) {
-    let per_dataset = shared.dataset_counters(&job.dataset);
-    match err {
+/// Answers `member` successfully — unless someone (the deadline
+/// monitor) already answered it, in which case this is a no-op.
+fn finish_ok(
+    shared: &Shared,
+    member: &Member,
+    mut moments: Vec<RetrievedMoment>,
+    queue_wait: Duration,
+    execute: Duration,
+    batch_size: usize,
+) {
+    if !member.claim() {
+        return;
+    }
+    if let Some(k) = member.top_k {
+        moments.truncate(k);
+    }
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    telemetry::counter(names::SERVER_COMPLETED).inc();
+    shared
+        .dataset_counters(&member.dataset)
+        .completed
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .class_counters(&member.class)
+        .completed
+        .fetch_add(1, Ordering::Relaxed);
+    telemetry::counter(&names::server_class_metric(&member.class, "completed")).inc();
+    let _ = member.tx.send(Ok(QueryResult {
+        moments,
+        queue_wait,
+        execute,
+        batch_size,
+        trace: member.trace.clone(),
+    }));
+}
+
+/// Answers `member` with `err`, stamps the trace's outcome, and bumps
+/// the matching failure counter. No-op if already answered; safe to
+/// call from the worker, the deadline monitor, or the batch guard.
+fn finish_err(shared: &Shared, member: &Member, err: EngineError) {
+    if !member.claim() {
+        return;
+    }
+    let per_dataset = shared.dataset_counters(&member.dataset);
+    match &err {
         EngineError::DeadlineExceeded => {
             shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
             per_dataset.timed_out.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_TIMED_OUT).inc();
-            job.trace.set_outcome(TraceOutcome::DeadlineExceeded);
+            member.trace.set_outcome(TraceOutcome::DeadlineExceeded);
         }
         EngineError::Cancelled => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
             per_dataset.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_FAILED).inc();
             telemetry::counter(names::SERVER_SHED_CANCELLED).inc();
-            job.trace.set_outcome(TraceOutcome::Cancelled);
+            member.trace.set_outcome(TraceOutcome::Cancelled);
+        }
+        EngineError::ShuttingDown => {
+            // A query drained at shutdown after admission.
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            per_dataset.failed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter(names::SERVER_FAILED).inc();
+            telemetry::counter(names::SERVER_SHED_SHUTDOWN).inc();
+            member.trace.set_outcome(TraceOutcome::Shed);
         }
         _ => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
             per_dataset.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter(names::SERVER_FAILED).inc();
-            job.trace.set_outcome(TraceOutcome::Failed);
+            member.trace.set_outcome(TraceOutcome::Failed);
         }
     }
-    let _ = job.tx.send(Err(err));
+    let _ = member.tx.send(Err(err));
+}
+
+#[cfg(test)]
+mod sched_tests {
+    use super::*;
+
+    fn job(dataset: &str, priority: i32, seq: u64, deadline: Option<Duration>) -> Job {
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_timeout(d),
+            None => CancelToken::new(),
+        };
+        // The receiver is dropped: these jobs are only ordered, never
+        // executed or answered.
+        let (tx, _) = mpsc::channel();
+        Job {
+            dataset: dataset.to_string(),
+            class: DEFAULT_CLASS.to_string(),
+            priority,
+            seq,
+            query: Clip::new(640.0, 480.0, Vec::new()),
+            top_k: None,
+            cancel,
+            enqueued_at: Instant::now(),
+            trace: TraceContext::new(),
+            tx,
+        }
+    }
+
+    #[test]
+    fn default_policy_picks_fifo_order() {
+        let policy = SchedPolicy::default();
+        let queue: VecDeque<Job> = [job("a", 0, 1, None), job("a", 0, 2, None)].into();
+        assert_eq!(pick_index(&queue, &policy, Instant::now()), Some(0));
+    }
+
+    #[test]
+    fn higher_priority_jumps_the_queue() {
+        let policy = SchedPolicy::default();
+        let queue: VecDeque<Job> = [
+            job("a", 0, 1, None),
+            job("a", 5, 2, None),
+            job("a", 1, 3, None),
+        ]
+        .into();
+        assert_eq!(pick_index(&queue, &policy, Instant::now()), Some(1));
+    }
+
+    #[test]
+    fn earlier_deadline_breaks_priority_ties() {
+        let policy = SchedPolicy::default();
+        let queue: VecDeque<Job> = [
+            job("a", 0, 1, None),
+            job("a", 0, 2, Some(Duration::from_secs(60))),
+            job("a", 0, 3, Some(Duration::from_secs(30))),
+        ]
+        .into();
+        assert_eq!(pick_index(&queue, &policy, Instant::now()), Some(2));
+    }
+
+    #[test]
+    fn aging_credit_promotes_old_jobs() {
+        let policy = SchedPolicy {
+            aging_ms: 10,
+            ..Default::default()
+        };
+        let mut old = job("a", 0, 1, None);
+        old.enqueued_at = Instant::now() - Duration::from_millis(200);
+        let queue: VecDeque<Job> = [job("a", 5, 2, None), old].into();
+        // 200ms / 10ms = +20 credit beats base priority 5.
+        assert_eq!(pick_index(&queue, &policy, Instant::now()), Some(1));
+    }
+
+    #[test]
+    fn fifo_mode_ignores_priorities() {
+        let policy = SchedPolicy::fifo();
+        let queue: VecDeque<Job> = [job("a", 0, 1, None), job("a", 99, 2, None)].into();
+        assert_eq!(pick_index(&queue, &policy, Instant::now()), Some(0));
+    }
+
+    #[test]
+    fn form_batch_preserves_leftover_order() {
+        // Mixed datasets: the batch takes a's in order, leaves b's (and
+        // the overflow a) in their original relative order.
+        let policy = SchedPolicy::fifo();
+        let mut queue: VecDeque<Job> = [
+            job("b", 0, 2, None),
+            job("a", 0, 3, None),
+            job("b", 0, 4, None),
+            job("a", 0, 5, None),
+            job("a", 0, 6, None),
+            job("b", 0, 7, None),
+        ]
+        .into();
+        let head = job("a", 0, 1, None);
+        let batch = form_batch(&mut queue, head, 3, &policy, None, Instant::now());
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), [1, 3, 5]);
+        assert_eq!(
+            queue.iter().map(|j| j.seq).collect::<Vec<_>>(),
+            [2, 4, 6, 7],
+            "non-members keep their relative order"
+        );
+    }
+
+    #[test]
+    fn form_batch_respects_fused_limit() {
+        let policy = SchedPolicy::fifo();
+        let mut queue: VecDeque<Job> = (2..10).map(|s| job("a", 0, s, None)).collect();
+        let batch = form_batch(
+            &mut queue,
+            job("a", 0, 1, None),
+            4,
+            &policy,
+            None,
+            Instant::now(),
+        );
+        assert_eq!(batch.len(), 4);
+        assert_eq!(queue.len(), 5);
+    }
+
+    #[test]
+    fn deadline_aware_formation_skips_tight_margins() {
+        let policy = SchedPolicy::default();
+        let mut queue: VecDeque<Job> = [
+            job("a", 0, 2, Some(Duration::from_millis(5))),
+            job("a", 0, 3, Some(Duration::from_secs(120))),
+            job("a", 0, 4, None),
+        ]
+        .into();
+        // Estimated scan of 1s: the 5ms-margin job must not fuse; the
+        // 120s-margin and deadline-less jobs may.
+        let est = Some(Duration::from_secs(1));
+        let batch = form_batch(
+            &mut queue,
+            job("a", 0, 1, None),
+            8,
+            &policy,
+            est,
+            Instant::now(),
+        );
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), [1, 3, 4]);
+        assert_eq!(queue.iter().map(|j| j.seq).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn fifo_mode_fuses_regardless_of_margin() {
+        let policy = SchedPolicy::fifo();
+        let mut queue: VecDeque<Job> = [job("a", 0, 2, Some(Duration::from_millis(5)))].into();
+        let est = Some(Duration::from_secs(1));
+        let batch = form_batch(
+            &mut queue,
+            job("a", 0, 1, None),
+            8,
+            &policy,
+            est,
+            Instant::now(),
+        );
+        assert_eq!(batch.len(), 2);
+    }
 }

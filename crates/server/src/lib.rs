@@ -52,10 +52,10 @@ pub mod protocol;
 pub mod scrape;
 pub mod server;
 
-pub use client::{Client, ClientError, ProfileOutcome, QueryOutcome};
+pub use client::{Client, ClientError, ProfileOutcome, QueryOptions, QueryOutcome};
 pub use engine::{
-    DatasetInfo, DatasetTraffic, Engine, EngineConfig, EngineError, EngineStats, QueryHandle,
-    QueryResult, QuerySpec,
+    ClassConfig, ClassStats, DatasetInfo, DatasetTraffic, Engine, EngineConfig, EngineError,
+    EngineStats, QueryHandle, QueryResult, QuerySpec, SchedMode, SchedPolicy, DEFAULT_CLASS,
 };
 pub use protocol::{ErrorKind, Request, Response, WireSpan, WireTrace, PROTOCOL_VERSION};
 pub use scrape::MetricsListener;

@@ -45,7 +45,11 @@ use crate::engine::{DatasetInfo, EngineError, EngineStats};
 /// request, `alloc_bytes`/`alloc_count`/`cpu_nanos` on [`WireTrace`]
 /// (absent fields read as 0, so v4 clients also parse v3 traces), and
 /// per-dataset traffic in `Stats` (v3 clients ignore the new fields).
-pub const PROTOCOL_VERSION: u32 = 4;
+/// Version 5 added scheduling: `class`/`priority` on `Query` (absent
+/// fields read as the server's defaults, so v4 queries still parse),
+/// the `RateLimited` error kind, and per-class queue diagnostics in
+/// `Stats` (v4 clients ignore them).
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// A client request: one JSON value per line.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +77,12 @@ pub enum Request {
         /// Client-minted trace id (48-bit, nonzero), or null/absent to
         /// let the server mint one. v2 clients omit the field entirely.
         trace_id: Option<u64>,
+        /// Admission class (see `SchedPolicy`), or null/absent for the
+        /// server's default class. v4 clients omit the field entirely.
+        class: Option<String>,
+        /// Base priority override (higher runs first), or null/absent
+        /// for the class default. v4 clients omit the field entirely.
+        priority: Option<i32>,
     },
     /// Fetch query traces from the server's flight recorder.
     Trace {
@@ -139,6 +149,8 @@ impl Serialize for Request {
                 top_k,
                 deadline_ms,
                 trace_id,
+                class,
+                priority,
             } => Value::Obj(vec![(
                 "Query".into(),
                 Value::Obj(vec![
@@ -148,6 +160,8 @@ impl Serialize for Request {
                     ("top_k".into(), top_k.to_value()),
                     ("deadline_ms".into(), deadline_ms.to_value()),
                     ("trace_id".into(), trace_id.to_value()),
+                    ("class".into(), class.to_value()),
+                    ("priority".into(), priority.to_value()),
                 ]),
             )]),
             Request::Trace { trace_id, limit } => Value::Obj(vec![(
@@ -191,6 +205,8 @@ impl Deserialize for Request {
                             top_k: field(&fields, "top_k")?,
                             deadline_ms: field(&fields, "deadline_ms")?,
                             trace_id: opt_field(&fields, "trace_id")?,
+                            class: opt_field(&fields, "class")?,
+                            priority: opt_field(&fields, "priority")?,
                         })
                     }
                     "Trace" => {
@@ -372,6 +388,8 @@ pub enum Response {
 pub enum ErrorKind {
     /// Admission queue full; retry with backoff.
     Overloaded,
+    /// The query's class exceeded its token-bucket rate; retry later.
+    RateLimited,
     /// Server is shutting down.
     ShuttingDown,
     /// The query's deadline passed before it finished.
@@ -393,6 +411,7 @@ impl Response {
     pub fn from_engine_error(e: &EngineError) -> Response {
         let kind = match e {
             EngineError::Overloaded { .. } => ErrorKind::Overloaded,
+            EngineError::RateLimited { .. } => ErrorKind::RateLimited,
             EngineError::ShuttingDown => ErrorKind::ShuttingDown,
             EngineError::UnknownDataset(_) => ErrorKind::UnknownDataset,
             EngineError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
@@ -424,6 +443,8 @@ mod tests {
                 top_k: Some(5),
                 deadline_ms: None,
                 trace_id: Some(0x00ab_cdef_0123),
+                class: Some("interactive".into()),
+                priority: Some(10),
             },
             Request::Trace {
                 trace_id: Some(42),
@@ -539,8 +560,99 @@ mod tests {
                 top_k: Some(5),
                 deadline_ms: Some(2000),
                 trace_id: None,
+                class: None,
+                priority: None,
             }
         );
+    }
+
+    /// The exact bytes a protocol-version-4 client puts on the wire
+    /// (no `class`/`priority`) must still parse — satellite of the v5
+    /// bump. The engine treats the absent fields as the default class.
+    #[test]
+    fn v4_query_without_class_still_parses() {
+        let v4_line = "{\"Query\":{\"dataset\":\"traffic\",\"event\":\"left_turn\",\
+                       \"clip\":null,\"top_k\":5,\"deadline_ms\":2000,\
+                       \"trace_id\":42}}";
+        let req: Request = serde_json::from_str(v4_line).unwrap();
+        assert_eq!(
+            req,
+            Request::Query {
+                dataset: "traffic".into(),
+                event: Some("left_turn".into()),
+                clip: None,
+                top_k: Some(5),
+                deadline_ms: Some(2000),
+                trace_id: Some(42),
+                class: None,
+                priority: None,
+            }
+        );
+    }
+
+    /// A v4 client deserializes v5 `Stats` with its derived struct
+    /// (unknown fields ignored): simulate one by parsing a v5 stats
+    /// line into a v4-shaped mirror struct without the class vector.
+    #[test]
+    fn v5_stats_parse_under_a_v4_shaped_client() {
+        use crate::engine::ClassStats;
+
+        #[derive(Debug, PartialEq, Deserialize)]
+        struct V4Stats {
+            workers: usize,
+            queued: usize,
+            in_flight: usize,
+            accepted: u64,
+            completed: u64,
+            rejected_overload: u64,
+            timed_out: u64,
+            failed: u64,
+        }
+
+        let v5 = EngineStats {
+            workers: 2,
+            queued: 2,
+            in_flight: 1,
+            accepted: 15,
+            completed: 10,
+            rejected_overload: 3,
+            timed_out: 1,
+            failed: 0,
+            store_hits: 0,
+            store_fallbacks: 0,
+            store_probed: 0,
+            rate_limited: 4,
+            datasets: Vec::new(),
+            classes: vec![ClassStats {
+                name: "interactive".into(),
+                priority: 10,
+                queued: 2,
+                oldest_wait_ms: 7,
+                completed: 6,
+                rate_limited: 4,
+                shed: 0,
+            }],
+        };
+        let line = serde_json::to_string(&v5).unwrap();
+        let back: V4Stats = serde_json::from_str(&line).unwrap();
+        assert_eq!((back.queued, back.in_flight), (2, 1));
+        assert_eq!((back.completed, back.rejected_overload), (10, 3));
+    }
+
+    /// The exact stats shape a v4 server puts on the wire (no
+    /// `rate_limited`/`classes`) still parses under this v5 client:
+    /// absent fields read as empty/zero.
+    #[test]
+    fn v4_stats_parse_under_this_v5_client() {
+        let v4_line = "{\"workers\":2,\"queued\":1,\"in_flight\":2,\
+                       \"accepted\":40,\"completed\":30,\"rejected_overload\":4,\
+                       \"timed_out\":5,\"failed\":6,\"store_hits\":0,\
+                       \"store_fallbacks\":0,\"store_probed\":0,\
+                       \"datasets\":[]}";
+        let stats: EngineStats = serde_json::from_str(v4_line).unwrap();
+        assert_eq!(stats.queued, 1);
+        assert_eq!(stats.rate_limited, 0);
+        assert!(stats.classes.is_empty());
     }
 
     /// A v2 client deserializes v3 responses with its derived enum

@@ -316,6 +316,8 @@ fn handle_request(
             top_k,
             deadline_ms,
             trace_id,
+            class,
+            priority,
         } => {
             if !running.load(Ordering::SeqCst) {
                 return (
@@ -359,6 +361,8 @@ fn handle_request(
                 top_k,
                 deadline: deadline_ms.map(Duration::from_millis),
                 trace: trace_id.filter(|id| *id != 0),
+                class,
+                priority,
             };
             match engine.execute(spec) {
                 Ok(result) => {

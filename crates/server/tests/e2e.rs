@@ -162,3 +162,74 @@ fn concurrent_wire_clients_get_identical_answers() {
     }
     server.shutdown();
 }
+
+/// Admission class and priority travel the wire: a classed query lands
+/// in its class's stats, and a rate-limited class answers `RateLimited`
+/// without closing the connection.
+#[test]
+fn classed_query_and_rate_limit_over_the_wire() {
+    use sketchql_server::{ClassConfig, QueryOptions, SchedPolicy};
+    use std::collections::BTreeMap;
+
+    let mut classes = BTreeMap::new();
+    classes.insert(
+        "metered".to_string(),
+        ClassConfig {
+            priority: 5,
+            rate_per_sec: 1.0,
+            burst: 1.0,
+            ..Default::default()
+        },
+    );
+    let engine = Engine::start(
+        tiny_model(),
+        two_datasets(),
+        EngineConfig {
+            workers: 1,
+            sched: SchedPolicy {
+                classes,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let server = Server::start(engine, "127.0.0.1:0").expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let opts = QueryOptions {
+        class: Some("metered".into()),
+        priority: Some(7),
+        ..Default::default()
+    };
+    let outcome = client
+        .query_event_with("alpha", "left_turn", &opts)
+        .unwrap();
+    assert!(!outcome.moments.is_empty());
+
+    // The burst is spent; the immediate second query is rate limited.
+    let err = client
+        .query_event_with("alpha", "left_turn", &opts)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::RateLimited,
+            ..
+        }
+    ));
+
+    // The connection survives, and the class breakdown is on the wire.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rate_limited, 1);
+    let metered = stats
+        .classes
+        .iter()
+        .find(|c| c.name == "metered")
+        .expect("declared class appears in Stats");
+    assert_eq!((metered.completed, metered.rate_limited), (1, 1));
+    assert_eq!(metered.priority, 5);
+
+    // Unclassed queries on the same connection still work.
+    client.query_event("beta", "u_turn", Some(3), None).unwrap();
+    server.shutdown();
+}

@@ -1,0 +1,399 @@
+//! Scheduler-policy integration tests: admission classes (quotas, rate
+//! limits), starvation protection, the mid-batch deadline-inversion
+//! regression, the submit/shutdown race, and worker-panic containment.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sketchql_datasets::{query_clip, EventKind};
+use sketchql_server::{
+    ClassConfig, Engine, EngineConfig, EngineError, QuerySpec, SchedPolicy, DEFAULT_CLASS,
+};
+
+use common::{small_index, tiny_model, two_datasets};
+
+fn spec(dataset: &str, event: EventKind) -> QuerySpec {
+    QuerySpec::new(dataset, query_clip(event))
+}
+
+fn classed(dataset: &str, event: EventKind, class: &str) -> QuerySpec {
+    let mut q = spec(dataset, event);
+    q.class = Some(class.to_string());
+    q
+}
+
+/// Two classes at wildly unequal offered load both make progress: the
+/// heavy class is bounded by its queue quota (sheds as `Overloaded`),
+/// so the light class's queries are never crowded out of the queue.
+#[test]
+fn unequal_load_classes_both_progress() {
+    let mut classes = BTreeMap::new();
+    classes.insert(
+        "heavy".to_string(),
+        ClassConfig {
+            queue_quota: 2,
+            ..Default::default()
+        },
+    );
+    classes.insert("light".to_string(), ClassConfig::default());
+    let engine = Arc::new(Engine::start(
+        tiny_model(),
+        two_datasets(),
+        EngineConfig {
+            workers: 1,
+            queue_depth: 64,
+            sched: SchedPolicy {
+                classes,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (light_done, heavy_shed) = std::thread::scope(|scope| {
+        // The heavy class floods: far more offered load than one worker
+        // clears, but at most 2 of its queries may wait at once.
+        let flood = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut shed = 0u64;
+                let mut handles = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match engine.submit(classed("alpha", EventKind::LeftTurn, "heavy")) {
+                        Ok(h) => handles.push(h),
+                        Err(EngineError::Overloaded { queue_depth }) => {
+                            assert_eq!(queue_depth, 2, "quota, not the global bound");
+                            shed += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(other) => panic!("unexpected rejection: {other:?}"),
+                    }
+                }
+                for h in handles {
+                    let _ = h.wait();
+                }
+                shed
+            })
+        };
+        // The light class trickles through the same single worker.
+        let mut light_done = 0u64;
+        for _ in 0..4 {
+            engine
+                .execute(classed("beta", EventKind::UTurn, "light"))
+                .expect("light-class query must complete under heavy-class flood");
+            light_done += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        (light_done, flood.join().unwrap())
+    });
+    assert_eq!(light_done, 4);
+    assert!(
+        heavy_shed > 0,
+        "the flood must hit the heavy class's queue quota"
+    );
+    let stats = engine.stats();
+    let heavy = stats.classes.iter().find(|c| c.name == "heavy").unwrap();
+    let light = stats.classes.iter().find(|c| c.name == "light").unwrap();
+    assert!(heavy.completed > 0, "heavy class must still make progress");
+    assert_eq!(light.completed, 4);
+    assert!(heavy.shed >= heavy_shed, "quota rejections count as shed");
+    engine.shutdown();
+}
+
+/// Starvation protection: a continuously re-filled high-priority stream
+/// must not hold a low-priority query past its aging bound. With
+/// `aging_ms = 5`, ~5 ms of queue wait buys +1 effective priority, so a
+/// base gap of 3 closes after ~15 ms of waiting.
+#[test]
+fn aging_promotes_past_a_high_priority_stream() {
+    let mut classes = BTreeMap::new();
+    classes.insert(
+        "vip".to_string(),
+        ClassConfig {
+            priority: 3,
+            ..Default::default()
+        },
+    );
+    let engine = Arc::new(Engine::start(
+        tiny_model(),
+        two_datasets(),
+        EngineConfig {
+            workers: 1,
+            queue_depth: 64,
+            sched: SchedPolicy {
+                classes,
+                aging_ms: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // Two feeders keep high-priority work queued at all times; a
+        // bounded iteration count is the backstop if the low-priority
+        // query somehow never completes.
+        let feeders: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut handles = Vec::new();
+                    for _ in 0..500 {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Ok(h) = engine.submit(classed("alpha", EventKind::LeftTurn, "vip")) {
+                            handles.push(h);
+                        }
+                        // Keep a few queued, not thousands.
+                        while handles.len() > 4 {
+                            let _ = handles.remove(0).wait();
+                        }
+                    }
+                    for h in handles {
+                        let _ = h.wait();
+                    }
+                })
+            })
+            .collect();
+        // Let the stream establish itself, then submit one default-class
+        // (priority 0) query and insist it completes.
+        std::thread::sleep(Duration::from_millis(20));
+        let started = Instant::now();
+        engine
+            .execute(spec("beta", EventKind::UTurn))
+            .expect("aged low-priority query must run despite the vip stream");
+        let waited = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for f in feeders {
+            f.join().unwrap();
+        }
+        // Not a tight bound (scan time dominates), but it must not have
+        // waited for the entire 2x500-query stream to drain.
+        assert!(
+            waited < Duration::from_secs(30),
+            "low-priority query took {waited:?}"
+        );
+    });
+    engine.shutdown();
+}
+
+/// A class with a 1-query burst at 1 query/sec sheds the second
+/// immediate submission with `RateLimited` (a distinct error from
+/// queue-quota `Overloaded`).
+#[test]
+fn token_bucket_rejects_burst_past_capacity() {
+    let mut classes = BTreeMap::new();
+    classes.insert(
+        "metered".to_string(),
+        ClassConfig {
+            rate_per_sec: 1.0,
+            burst: 1.0,
+            ..Default::default()
+        },
+    );
+    let engine = Engine::start(
+        tiny_model(),
+        two_datasets(),
+        EngineConfig {
+            workers: 1,
+            sched: SchedPolicy {
+                classes,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let first = engine
+        .submit(classed("alpha", EventKind::LeftTurn, "metered"))
+        .expect("burst capacity admits the first query");
+    let err = engine
+        .submit(classed("alpha", EventKind::RightTurn, "metered"))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::RateLimited {
+            class: "metered".into()
+        }
+    );
+    // An unmetered class is unaffected.
+    engine
+        .execute(classed("beta", EventKind::UTurn, "other"))
+        .expect("rate limit must not leak across classes");
+    first.wait().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.rate_limited, 1);
+    let metered = stats.classes.iter().find(|c| c.name == "metered").unwrap();
+    assert_eq!(metered.rate_limited, 1);
+    // Undeclared classes fold into the default class.
+    assert!(stats.classes.iter().any(|c| c.name == DEFAULT_CLASS));
+    engine.shutdown();
+}
+
+/// The deadline-inversion regression: a fused member whose deadline
+/// expires mid-scan is answered `DeadlineExceeded` by the monitor while
+/// the shared scan is still running — not after it completes. Uses FIFO
+/// mode so formation deterministically fuses the tight query (the
+/// deadline monitor is mode-independent).
+#[test]
+fn mid_batch_expiry_is_answered_before_the_scan_finishes() {
+    let engine = Arc::new(Engine::start(
+        tiny_model(),
+        two_datasets(),
+        EngineConfig {
+            workers: 1,
+            fused_batch: 4,
+            sched: SchedPolicy::fifo(),
+            ..Default::default()
+        },
+    ));
+    // Measure one solo scan to size the deadline.
+    let warmup = Instant::now();
+    engine.execute(spec("alpha", EventKind::LeftTurn)).unwrap();
+    let scan = warmup.elapsed();
+
+    // Occupy the single worker, then queue a no-deadline query and a
+    // tight-deadline query on the same dataset: they fuse into one
+    // batch whose scan outlives the tight member's margin.
+    let blocker = engine.submit(spec("alpha", EventKind::RightTurn)).unwrap();
+    std::thread::sleep((scan / 10).max(Duration::from_millis(1)));
+    let patient = engine.submit(spec("alpha", EventKind::LeftTurn)).unwrap();
+    let mut tight_spec = spec("alpha", EventKind::UTurn);
+    // A hair past the queue wait (the blocker's remaining scan), so the
+    // queue-expiry check passes but the fused scan outlives the margin.
+    tight_spec.deadline = Some(scan + scan / 10);
+    let tight = engine.submit(tight_spec).unwrap();
+
+    let ((tight_result, tight_at), (patient_result, patient_at)) = std::thread::scope(|scope| {
+        let tight_waiter = scope.spawn(move || {
+            let r = tight.wait();
+            (r, Instant::now())
+        });
+        let patient_waiter = scope.spawn(move || {
+            let r = patient.wait();
+            (r, Instant::now())
+        });
+        (tight_waiter.join().unwrap(), patient_waiter.join().unwrap())
+    });
+    blocker.wait().unwrap();
+
+    assert_eq!(tight_result, Err(EngineError::DeadlineExceeded));
+    let patient = patient_result.expect("the surviving member still gets its answer");
+    assert!(
+        patient.batch_size >= 2,
+        "test premise: the two queries must have fused (batch {})",
+        patient.batch_size
+    );
+    assert!(
+        patient_at > tight_at + Duration::from_millis(2),
+        "tight member must be answered mid-scan, not after it \
+         (gap {:?})",
+        patient_at.saturating_duration_since(tight_at)
+    );
+    assert_eq!(engine.stats().timed_out, 1);
+    engine.shutdown();
+}
+
+/// Submit racing shutdown never leaves a `QueryHandle::wait()` hanging:
+/// every submission either errs at admission or is drained/answered.
+#[test]
+fn submit_shutdown_race_always_answers() {
+    for round in 0..20 {
+        let engine = Arc::new(Engine::start(
+            tiny_model(),
+            two_datasets(),
+            EngineConfig {
+                workers: 2,
+                fused_batch: 4,
+                ..Default::default()
+            },
+        ));
+        std::thread::scope(|scope| {
+            let submitters: Vec<_> = (0..4)
+                .map(|t| {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || {
+                        let mut outcomes = Vec::new();
+                        for i in 0..10 {
+                            let mut q = spec(
+                                if (t + i) % 2 == 0 { "alpha" } else { "beta" },
+                                EventKind::LeftTurn,
+                            );
+                            // Mostly pre-expired deadlines so a round is
+                            // cheap; a couple of real scans keep workers
+                            // busy across the shutdown.
+                            if i % 5 != 0 {
+                                q.deadline = Some(Duration::ZERO);
+                            }
+                            match engine.submit(q) {
+                                Ok(handle) => outcomes.push(handle.wait()),
+                                Err(e) => outcomes.push(Err(e)),
+                            }
+                        }
+                        outcomes
+                    })
+                })
+                .collect();
+            // Shut down while submissions are in flight.
+            if round % 2 == 0 {
+                std::thread::sleep(Duration::from_millis(round / 2));
+            }
+            engine.shutdown();
+            for s in submitters {
+                for outcome in s.join().expect("no submitter may hang or panic") {
+                    match outcome {
+                        Ok(_)
+                        | Err(EngineError::ShuttingDown)
+                        | Err(EngineError::DeadlineExceeded)
+                        | Err(EngineError::Overloaded { .. }) => {}
+                        Err(other) => panic!("unexpected outcome: {other:?}"),
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// A worker panic mid-batch is contained: the members are answered
+/// `WorkerLost` (not left hanging), `in_flight` returns to zero, and
+/// the pool keeps serving other datasets.
+#[test]
+fn worker_panic_answers_members_and_restores_in_flight() {
+    if !cfg!(debug_assertions) {
+        // The fault-injection hook compiles out of release builds.
+        return;
+    }
+    let mut datasets = BTreeMap::new();
+    datasets.insert("doomed".to_string(), small_index(31));
+    datasets.insert("steady".to_string(), small_index(32));
+    let engine = Engine::start(
+        tiny_model(),
+        datasets,
+        EngineConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+    // The injection hook matches on dataset name, so a unique name keeps
+    // the env var inert for every other (possibly concurrent) test.
+    std::env::set_var("SKETCHQL_TEST_PANIC_DATASET", "doomed");
+    let doomed = engine.submit(spec("doomed", EventKind::LeftTurn)).unwrap();
+    assert_eq!(doomed.wait(), Err(EngineError::WorkerLost));
+    std::env::remove_var("SKETCHQL_TEST_PANIC_DATASET");
+
+    let stats = engine.stats();
+    assert_eq!(stats.in_flight, 0, "panic must not leak in_flight");
+    assert_eq!(stats.failed, 1);
+    // The pool survives: both datasets still answer.
+    engine.execute(spec("steady", EventKind::UTurn)).unwrap();
+    engine.execute(spec("doomed", EventKind::UTurn)).unwrap();
+    engine.shutdown();
+}

@@ -178,6 +178,21 @@ fn prometheus_exposition_is_well_formed() {
     }
     assert_eq!(help_seen, type_seen, "every family has both HELP and TYPE");
 
+    // Per-class scheduling families: the completed query above ran in
+    // the default admission class, so its queue-depth gauge, wait
+    // histogram, and completion counter must all be on the scrape (and
+    // have passed the name/HELP/TYPE lint above like any other family).
+    for family in [
+        "sketchql_server_class_default_queue_depth",
+        "sketchql_server_class_default_queue_wait_ms_count",
+        "sketchql_server_class_default_completed",
+    ] {
+        assert!(
+            sample_value(&text, family).is_some(),
+            "per-class family {family} missing from the exposition"
+        );
+    }
+
     assert!(!buckets.is_empty(), "traffic must populate histograms");
     for (family, b) in &buckets {
         assert!(

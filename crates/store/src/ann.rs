@@ -179,6 +179,48 @@ impl IvfIndex {
         }
         out
     }
+
+    /// [`IvfIndex::probe`] for many queries at once: one pass over the
+    /// centroid table scores every query against each centroid (the
+    /// centroid memory is streamed once instead of once per query),
+    /// then each query ranks and gathers exactly as a solo probe would.
+    /// Per-query results are bit-identical to [`IvfIndex::probe`] —
+    /// same dot products, same comparator, same tie-breaks.
+    pub fn probe_batch(&self, queries: &[&[f32]], nprobe: usize) -> Vec<Vec<u32>> {
+        if self.lists.is_empty() || nprobe == 0 {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let unit: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| {
+                let mut q = q.to_vec();
+                normalize(&mut q);
+                q
+            })
+            .collect();
+        let mut ranked: Vec<Vec<(usize, f32)>> =
+            vec![Vec::with_capacity(self.nlist()); queries.len()];
+        for (c, cent) in self.centroids.chunks(self.dim).enumerate() {
+            for (qi, q) in unit.iter().enumerate() {
+                ranked[qi].push((c, dot(cent, q)));
+            }
+        }
+        ranked
+            .into_iter()
+            .map(|mut ranked| {
+                ranked.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                let mut out = Vec::new();
+                for &(c, _) in ranked.iter().take(nprobe.min(ranked.len())) {
+                    out.extend_from_slice(&self.lists[c]);
+                }
+                out
+            })
+            .collect()
+    }
 }
 
 fn dot(a: &[f32], b: &[f32]) -> f32 {
@@ -295,5 +337,39 @@ mod tests {
         let idx = IvfIndex::build(&[], 0, &AnnConfig::default());
         assert_eq!(idx.nlist(), 0);
         assert!(idx.probe(&[1.0], 4).is_empty());
+    }
+
+    #[test]
+    fn probe_batch_matches_solo_probes_bit_for_bit() {
+        let (v, dim) = toy_vectors();
+        let idx = IvfIndex::build(
+            &v,
+            dim,
+            &AnnConfig {
+                nlist: 3,
+                ..AnnConfig::default()
+            },
+        );
+        let queries: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-0.7, -0.7],
+            vec![0.3, 0.2],
+            vec![0.0, 0.0], // degenerate: normalization no-ops
+        ];
+        for nprobe in 0..=idx.nlist() + 1 {
+            let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+            let batched = idx.probe_batch(&refs, nprobe);
+            for (q, got) in queries.iter().zip(&batched) {
+                assert_eq!(got, &idx.probe(q, nprobe), "nprobe={nprobe}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_batch_on_empty_index_returns_per_query_empties() {
+        let idx = IvfIndex::build(&[], 0, &AnnConfig::default());
+        let q: Vec<f32> = vec![1.0];
+        assert_eq!(idx.probe_batch(&[&q, &q], 4), vec![vec![], vec![]]);
     }
 }

@@ -197,6 +197,24 @@ pub mod names {
     pub const SERVER_SHED_DEADLINE_QUEUE: &str = "sketchql.server.shed_deadline_queue";
     /// Counter: queries abandoned because the caller cancelled them.
     pub const SERVER_SHED_CANCELLED: &str = "sketchql.server.shed_cancelled";
+    /// Counter: queries rejected at admission by a class token-bucket
+    /// rate limit.
+    pub const SERVER_SHED_RATE_LIMITED: &str = "sketchql.server.shed_rate_limited";
+    /// Counter: worker panics survived (the batch was answered `Failed`
+    /// and the worker kept running).
+    pub const SERVER_WORKER_PANICS: &str = "sketchql.server.worker_panics";
+
+    /// Per-admission-class metric family name:
+    /// `sketchql.server.class.<class>.<metric>`. The class is sanitized
+    /// to ASCII alphanumerics and underscores so the Prometheus
+    /// exposition stays well formed for any wire-supplied class string.
+    pub fn server_class_metric(class: &str, metric: &str) -> String {
+        let safe: String = class
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("sketchql.server.class.{safe}.{metric}")
+    }
 
     /// Span: one offline store ingest (window enumeration + embedding +
     /// persistence).

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Scheduler acceptance check: runs the mixed-deadline workload bench
+# (open-loop bulk backlog vs an interactive deadline class, FIFO vs the
+# deadline/priority policy) and gates on the interactive p99 improving
+# by at least $SKETCHQL_SCHED_P99_MIN (default 2x), on total throughput
+# holding at least $SKETCHQL_SCHED_TPUT_MIN of FIFO (default 0.85), and
+# on byte-identical per-query results under both policies. Writes the
+# per-policy numbers and the two ratios to BENCH_sched.json.
+#
+# The throughput bar is 0.85, not 1.0, because prioritizing interactive
+# queries has a real, bounded cost on a saturated box: serving each one
+# the moment a worker frees means it runs as a solo scan, where FIFO
+# lets interactive queries pile up behind the backlog and fuse with
+# each other. Measured cost is ~5-10%; the gate fails if it ever grows
+# past 15%.
+#
+#   scripts/bench_sched.sh                              # full load (16 interactive queries)
+#   SKETCHQL_BENCH_QUICK=1 scripts/bench_sched.sh       # fast smoke run (6)
+#
+# Under FIFO the interactive query waits behind the whole bulk backlog;
+# under the deadline policy its class priority and deadline put it at
+# the head of the queue (see crates/bench/benches/sched.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_P99_RATIO="${SKETCHQL_SCHED_P99_MIN:-2}"
+MIN_TPUT_RATIO="${SKETCHQL_SCHED_TPUT_MIN:-0.85}"
+OUT_JSON="${SKETCHQL_SCHED_BENCH_JSON:-BENCH_sched.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+echo "== sched bench (FIFO vs deadline policy, mixed workload, $(nproc) cpu(s))"
+cargo bench -p sketchql-bench --bench sched | tee "$log"
+
+echo
+awk -v minp99="$MIN_P99_RATIO" -v mintput="$MIN_TPUT_RATIO" -v out="$OUT_JSON" \
+    -v quick="${SKETCHQL_BENCH_QUICK:-0}" -v ncpu="$(nproc)" '
+    /^BENCH sched\/(fifo|deadline) / {
+        id = $2
+        sub(/^sched\//, "", id)
+        for (i = 3; i <= NF; i++) {
+            if ($i ~ /^qps=/)          { sub(/^qps=/, "", $i);          qps[id] = $i }
+            if ($i ~ /^tight_p50_ms=/) { sub(/^tight_p50_ms=/, "", $i); p50[id] = $i }
+            if ($i ~ /^tight_p99_ms=/) { sub(/^tight_p99_ms=/, "", $i); p99[id] = $i }
+            if ($i ~ /^tight=/)        { sub(/^tight=/, "", $i);        tight = $i }
+        }
+    }
+    /^BENCH sched\/gate / {
+        for (i = 3; i <= NF; i++) {
+            if ($i ~ /^p99_ratio=/)  { sub(/^p99_ratio=/, "", $i);  p99_ratio = $i }
+            if ($i ~ /^tput_ratio=/) { sub(/^tput_ratio=/, "", $i); tput_ratio = $i }
+            if ($i ~ /^identical=/)  { sub(/^identical=/, "", $i);  identical = $i }
+        }
+    }
+    END {
+        if (!("fifo" in p99) || !("deadline" in p99) || p99["deadline"] <= 0) {
+            print "missing sched/{fifo,deadline} tight_p99_ms"
+            exit 2
+        }
+        printf "fifo:     tight p50 %.0fms  p99 %.0fms  %.2f qps\n", \
+               p50["fifo"], p99["fifo"], qps["fifo"]
+        printf "deadline: tight p50 %.0fms  p99 %.0fms  %.2f qps\n", \
+               p50["deadline"], p99["deadline"], qps["deadline"]
+        printf "tight p99 improvement: %.2fx (bar: >=%sx), throughput held: %.2f (bar: >=%s), identical results: %s\n", \
+               p99_ratio, minp99, tput_ratio, mintput, (identical == 1) ? "yes" : "NO"
+        printf "{\n" \
+               "  \"bench\": \"sched\",\n" \
+               "  \"quick\": %s,\n" \
+               "  \"cpus\": %s,\n" \
+               "  \"tight_queries\": %s,\n" \
+               "  \"fifo_qps\": %.3f,\n" \
+               "  \"fifo_tight_p50_ms\": %s,\n" \
+               "  \"fifo_tight_p99_ms\": %s,\n" \
+               "  \"deadline_qps\": %.3f,\n" \
+               "  \"deadline_tight_p50_ms\": %s,\n" \
+               "  \"deadline_tight_p99_ms\": %s,\n" \
+               "  \"p99_ratio\": %s,\n" \
+               "  \"min_p99_ratio\": %s,\n" \
+               "  \"tput_ratio\": %s,\n" \
+               "  \"min_tput_ratio\": %s,\n" \
+               "  \"identical\": %s\n" \
+               "}\n", (quick != 0) ? "true" : "false", ncpu, tight, \
+               qps["fifo"], p50["fifo"], p99["fifo"], \
+               qps["deadline"], p50["deadline"], p99["deadline"], \
+               p99_ratio, minp99, tput_ratio, mintput, \
+               (identical == 1) ? "true" : "false" > out
+        printf "wrote %s\n", out
+        if (identical != 1) exit 3
+        if (p99_ratio + 0.0 < minp99 + 0.0) exit 1
+        exit (tput_ratio + 0.0 >= mintput + 0.0) ? 0 : 1
+    }
+' "$log"

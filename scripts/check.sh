@@ -42,6 +42,15 @@ SKETCHQL_BENCH_QUICK=1 SKETCHQL_SERVER_SPEEDUP_MIN=2 \
     SKETCHQL_SERVER_BENCH_JSON=target/BENCH_server_smoke.json \
     scripts/bench_server.sh
 
+echo "== scheduler smoke (FIFO vs deadline policy, quick mixed load)"
+# The quick run has few interactive samples, so the smoke p99 bar is
+# looser than the full bench's 2x acceptance bar (run
+# scripts/bench_sched.sh for that), and the result goes to target/ so
+# the committed full-run JSON survives.
+SKETCHQL_BENCH_QUICK=1 SKETCHQL_SCHED_P99_MIN=1.5 SKETCHQL_SCHED_TPUT_MIN=0.8 \
+    SKETCHQL_SCHED_BENCH_JSON=target/BENCH_sched_smoke.json \
+    scripts/bench_sched.sh
+
 echo "== store smoke (ingest -> restart -> serve --store-dir round trip)"
 scripts/smoke_store.sh
 
