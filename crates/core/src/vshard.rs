@@ -1,0 +1,1052 @@
+//! The sharded, memory-mapped store tier: parallel per-shard ingest,
+//! lazy shard loading, and the shard-fan-out search path.
+//!
+//! A monolithic `.skstore` holds one dataset in one file, fully loaded
+//! (and checksummed, and ANN-indexed) before the first query. This
+//! module splits the same rows into **frame-range shards** — shard `i`
+//! owns every sliding window whose *start frame* falls in
+//! `[i·shard_frames, (i+1)·shard_frames)` — written as independent
+//! [`ShardData`] files plus one [`Manifest`] carrying the dataset
+//! provenance, the shared coarse-quantizer centroids, and per-shard
+//! row-per-centroid counts.
+//!
+//! Three properties the tier guarantees:
+//!
+//! - **Grid fidelity.** The union of all shards' window rows equals the
+//!   monolithic ingest's rows exactly — no duplicates, no gaps. Boundary
+//!   windows (spanning a shard edge) belong to the shard owning their
+//!   start frame, and the per-shard enumeration replays the matcher's
+//!   global grid restricted to that start range (see
+//!   [`enumerate_store_rows`]).
+//! - **Bit-identical scores.** Probing ranks the *shared* quantizer's
+//!   centroids once per query (the exact ranking `IvfIndex::probe`
+//!   applies), gathers candidates from the top shards, and re-ranks them
+//!   with the same `score_embedding` the scan uses. Scores can never
+//!   differ from the monolithic path or the scan; probing fewer lists
+//!   only omits windows.
+//! - **Lazy residency.** Attaching a [`ShardSet`] reads the manifest and
+//!   each shard's 64-byte header. Shard payloads are memory-mapped,
+//!   checksummed, and decoded on *first probe* — and a shard whose
+//!   manifest row counts are zero under every probed centroid is never
+//!   touched at all. Resident memory follows traffic, not corpus size.
+
+use sketchql_store::{
+    hex_u64, read_shard_header, AnnConfig, CoarseQuantizer, LoadedShard, Manifest, ManifestShard,
+    ShardData, StoreError, StoreHeader, StoreMeta, StoreRow, MANIFEST_FILE, SHARD_SET_EXT,
+};
+use sketchql_telemetry::{self as telemetry, names};
+use sketchql_trajectory::{Clip, Trajectory};
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::cancel::CancelToken;
+use crate::embed_cache::embed_clips_parallel;
+use crate::index::VideoIndex;
+use crate::matcher::{window_clip, MatchError, Matcher};
+use crate::similarity::{LearnedSimilarity, PreparedQuery, Similarity};
+use crate::vstore::{
+    self, index_fingerprint, model_fingerprint, track_overlaps, DatasetStore, IngestConfig,
+    StoreSearch,
+};
+
+/// Upper bound on the vectors sampled to train the shared quantizer.
+/// Sampling is deterministic (every k-th vector in shard-major order),
+/// so the same corpus always trains the same centroids.
+const QUANTIZER_SAMPLE_MAX: usize = 4096;
+
+/// Process-wide residency accounting backing the `sketchql.shard.*`
+/// gauges (gauges are set-valued, so the running totals live here).
+static RESIDENT_SHARDS: AtomicI64 = AtomicI64::new(0);
+static MAPPED_BYTES: AtomicI64 = AtomicI64::new(0);
+
+fn publish_residency() {
+    telemetry::gauge(names::SHARD_RESIDENT).set(RESIDENT_SHARDS.load(Ordering::Relaxed) as f64);
+    telemetry::gauge(names::SHARD_BYTES_MAPPED).set(MAPPED_BYTES.load(Ordering::Relaxed) as f64);
+}
+
+/// Enumerates the store rows of the matcher's sliding-window grid,
+/// optionally restricted to windows whose start frame lies in
+/// `start_range` (inclusive). `None` replays the exact monolithic
+/// [`vstore::ingest`] enumeration; `Some((lo, hi))` is the shard-local
+/// grid, and because every window's start belongs to exactly one shard,
+/// partitioning the frame axis partitions the rows: the union over
+/// disjoint covering ranges equals the unrestricted enumeration, row
+/// for row.
+///
+/// Returns the rows plus the matching window clips (the embedder's
+/// input), in enumeration order.
+pub fn enumerate_store_rows(
+    index: &VideoIndex,
+    config: &IngestConfig,
+    start_range: Option<(u32, u32)>,
+) -> (Vec<StoreRow>, Vec<Clip>) {
+    let mut lens = config.window_lens.clone();
+    lens.sort_unstable();
+    lens.dedup();
+    let (lo, hi) = match start_range {
+        Some((lo, hi)) => (lo, hi),
+        None => (0, u32::MAX),
+    };
+
+    let mut rows: Vec<StoreRow> = Vec::new();
+    let mut clips: Vec<Clip> = Vec::new();
+    let mut seen: HashSet<(sketchql_trajectory::TrackId, u32, u32)> = HashSet::new();
+    for &window in &lens {
+        if window == 0 || window > index.frames {
+            continue;
+        }
+        let stride = ((window as f32 * config.stride_frac) as u32).max(1);
+        let min_overlap = ((window as f32 * config.min_overlap_frac) as u32).max(1);
+        // The global grid starts at 0 and stops at the first start whose
+        // (clamped) window reaches the end of the video. Jump to the
+        // first grid point inside the range; stop at the earlier of the
+        // range end and the global stop.
+        let global_last = if window >= index.frames {
+            0
+        } else {
+            (index.frames - window).div_ceil(stride) * stride
+        };
+        let mut start = lo.div_ceil(stride).saturating_mul(stride);
+        while start <= hi.min(global_last) {
+            let end = (start + window - 1).min(index.frames.saturating_sub(1));
+            for t in &index.tracks {
+                if !track_overlaps(t, start, end, min_overlap) || seen.contains(&(t.id, start, end))
+                {
+                    continue;
+                }
+                let slot: Vec<Vec<&Trajectory>> = vec![vec![t]];
+                let clip = window_clip(index, &[0], &slot, start, end);
+                if clip.is_empty() {
+                    continue;
+                }
+                seen.insert((t.id, start, end));
+                rows.push(StoreRow {
+                    track_id: t.id,
+                    class: t.class,
+                    start,
+                    end,
+                });
+                clips.push(clip);
+            }
+            match start.checked_add(stride) {
+                Some(next) => start = next,
+                None => break,
+            }
+        }
+    }
+    (rows, clips)
+}
+
+/// Progress events emitted by [`ingest_sharded`]. The callback may be
+/// invoked from worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestProgress {
+    /// Window enumeration finished: the total work is known.
+    Enumerated {
+        /// Windows to embed across all shards.
+        windows: usize,
+        /// Shards that will be written.
+        shards: usize,
+    },
+    /// One shard's windows are embedded.
+    ShardEmbedded {
+        /// The shard that finished.
+        shard_id: u32,
+        /// Windows embedded so far, across all shards.
+        done: usize,
+        /// Total windows to embed.
+        total: usize,
+    },
+    /// One shard file hit the disk.
+    ShardWritten {
+        /// The shard that was written.
+        shard_id: u32,
+        /// Rows in the shard.
+        rows: usize,
+    },
+}
+
+/// One shard's embedding output: `None` until its worker finishes,
+/// then one optional vector per enumerated row.
+type EmbeddedShard = Option<Vec<Option<Vec<f32>>>>;
+
+/// Builds a sharded store on disk: enumerates and embeds each shard's
+/// windows on a pool of `config.threads` workers, trains the shared
+/// coarse quantizer over a deterministic sample, writes one
+/// `.skshard` per shard plus the manifest into `dir`, and returns the
+/// freshly opened (cold, nothing resident) [`ShardSet`].
+///
+/// `shard_frames` is the frame-range width each shard owns; the last
+/// shard takes the remainder. Embeddings, the quantizer, and the row
+/// partition are all deterministic, so the same inputs always produce
+/// the same set, and the rows across all shards are exactly the rows
+/// [`vstore::ingest`] would persist monolithically.
+pub fn ingest_sharded(
+    sim: &LearnedSimilarity,
+    index: &VideoIndex,
+    dataset: &str,
+    config: &IngestConfig,
+    shard_frames: u32,
+    dir: &Path,
+    progress: &(dyn Fn(IngestProgress) + Sync),
+) -> Result<ShardSet, StoreError> {
+    let _span = telemetry::span(names::STORE_BUILD);
+    let shard_frames = shard_frames.max(1);
+    let shard_count = if index.frames == 0 {
+        1
+    } else {
+        index.frames.div_ceil(shard_frames) as usize
+    };
+
+    // Phase 1: enumerate every shard's rows (cheap — no embedding).
+    let ranges: Vec<(u32, u32)> = (0..shard_count as u32)
+        .map(|i| {
+            let lo = i * shard_frames;
+            let hi = ((i + 1) * shard_frames - 1).min(index.frames.saturating_sub(1));
+            (lo, hi)
+        })
+        .collect();
+    let enumerated: Vec<(Vec<StoreRow>, Vec<Clip>)> = ranges
+        .iter()
+        .map(|&range| enumerate_store_rows(index, config, Some(range)))
+        .collect();
+    let total_windows: usize = enumerated.iter().map(|(rows, _)| rows.len()).sum();
+    progress(IngestProgress::Enumerated {
+        windows: total_windows,
+        shards: shard_count,
+    });
+
+    // Phase 2: embed shard by shard across the worker pool. Each worker
+    // claims the next shard; embedding a clip is independent of its
+    // batch, so the vectors are bit-identical to a monolithic ingest.
+    let threads = config.threads.max(1).min(shard_count.max(1));
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let mut embedded: Vec<EmbeddedShard> = Vec::new();
+    embedded.resize_with(shard_count, || None);
+    let slots: Vec<std::sync::Mutex<&mut EmbeddedShard>> =
+        embedded.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shard_count {
+                    break;
+                }
+                let (rows, clips) = &enumerated[i];
+                let vectors = embed_clips_parallel(sim, clips, 1);
+                **slots[i].lock().unwrap() = Some(vectors);
+                let so_far = done.fetch_add(rows.len(), Ordering::Relaxed) + rows.len();
+                progress(IngestProgress::ShardEmbedded {
+                    shard_id: i as u32,
+                    done: so_far,
+                    total: total_windows,
+                });
+            });
+        }
+    });
+    drop(slots);
+
+    // Materialize per-shard row + vector columns (dropping the rare
+    // unembeddable segment, as monolithic ingest does).
+    let dim = embedded
+        .iter()
+        .flatten()
+        .flatten()
+        .flatten()
+        .next()
+        .map_or(sim.encoder.config.embed_dim, Vec::len);
+    let mut shard_rows: Vec<Vec<StoreRow>> = Vec::with_capacity(shard_count);
+    let mut shard_vecs: Vec<Vec<f32>> = Vec::with_capacity(shard_count);
+    for (i, (rows, _)) in enumerated.into_iter().enumerate() {
+        let vectors = embedded[i].take().expect("every shard embeds");
+        let mut keep_rows = Vec::with_capacity(rows.len());
+        let mut keep_vecs = Vec::with_capacity(rows.len() * dim);
+        for (row, v) in rows.into_iter().zip(vectors) {
+            if let Some(v) = v {
+                keep_rows.push(row);
+                keep_vecs.extend_from_slice(&v);
+            }
+        }
+        shard_rows.push(keep_rows);
+        shard_vecs.push(keep_vecs);
+    }
+    let total_rows: usize = shard_rows.iter().map(Vec::len).sum();
+    telemetry::counter(names::STORE_VECTORS).add(total_rows as u64);
+
+    // Phase 3: train the shared quantizer over a deterministic sample
+    // (every k-th vector, shard-major order), sized by the full corpus.
+    let step = total_rows.div_ceil(QUANTIZER_SAMPLE_MAX).max(1);
+    let mut sample: Vec<f32> = Vec::new();
+    let mut sampled = 0usize;
+    for (vecs, rows) in shard_vecs.iter().zip(&shard_rows) {
+        for r in 0..rows.len() {
+            let global = sampled + r;
+            if global.is_multiple_of(step) {
+                sample.extend_from_slice(&vecs[r * dim..(r + 1) * dim]);
+            }
+        }
+        sampled += rows.len();
+    }
+    let sample_n = sample.len() / dim.max(1);
+    let nlist = if config.ann.nlist == 0 {
+        (total_rows as f64).sqrt().ceil() as usize
+    } else {
+        config.ann.nlist
+    }
+    .clamp(1, sample_n.max(1));
+    let quantizer = CoarseQuantizer::train(
+        &sample,
+        if sample.is_empty() { 0 } else { dim },
+        &AnnConfig {
+            nlist,
+            ..config.ann
+        },
+    );
+    let nlist = quantizer.nlist();
+
+    // Phase 4: assign rows to the shared centroids and write each shard
+    // plus the manifest.
+    std::fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut entries: Vec<ManifestShard> = Vec::with_capacity(shard_count);
+    for (i, (rows, vecs)) in shard_rows.into_iter().zip(shard_vecs).enumerate() {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        if nlist > 0 {
+            for r in 0..rows.len() {
+                lists[quantizer.assign(&vecs[r * dim..(r + 1) * dim])].push(r as u32);
+            }
+        }
+        let file = format!("shard-{i:04}.skshard");
+        let data = ShardData {
+            shard_id: i as u32,
+            frame_start: ranges[i].0,
+            frame_end: ranges[i].1,
+            dim,
+            rows,
+            vectors: vecs,
+            lists,
+        };
+        let checksum = data.save(&dir.join(&file))?;
+        progress(IngestProgress::ShardWritten {
+            shard_id: i as u32,
+            rows: data.rows.len(),
+        });
+        entries.push(ManifestShard {
+            file,
+            shard_id: i as u32,
+            frame_start: ranges[i].0,
+            frame_end: ranges[i].1,
+            rows: data.rows.len() as u32,
+            checksum: hex_u64(checksum),
+            list_rows: data.lists.iter().map(|l| l.len() as u32).collect(),
+        });
+    }
+
+    let mut lens = config.window_lens.clone();
+    lens.sort_unstable();
+    lens.dedup();
+    let manifest = Manifest {
+        version: sketchql_store::MANIFEST_VERSION,
+        dataset: dataset.to_string(),
+        model_fingerprint: hex_u64(model_fingerprint(sim)),
+        index_fingerprint: hex_u64(index_fingerprint(index)),
+        frames: index.frames,
+        fps_bits: index.fps.to_bits(),
+        frame_width_bits: index.frame_width.to_bits(),
+        frame_height_bits: index.frame_height.to_bits(),
+        stride_frac_bits: config.stride_frac.to_bits(),
+        min_overlap_frac_bits: config.min_overlap_frac.to_bits(),
+        window_lens: lens,
+        dim: dim as u32,
+        shard_frames,
+        nlist: nlist as u32,
+        centroid_bits: quantizer.centroids().iter().map(|c| c.to_bits()).collect(),
+        shards: entries,
+    };
+    manifest.save(dir)?;
+    ShardSet::open(dir)
+}
+
+/// One shard's attach-time state: validated header + path, with the
+/// payload faulted in on first probe.
+struct LazyShard {
+    path: PathBuf,
+    checksum: u64,
+    cell: OnceLock<Result<LoadedShard, StoreError>>,
+}
+
+impl LazyShard {
+    /// The loaded shard, faulting it in (map + checksum + decode) on
+    /// first call. Telemetry records the fault; errors are sticky.
+    fn get(&self) -> &Result<LoadedShard, StoreError> {
+        self.cell.get_or_init(|| {
+            let _span = telemetry::span(names::SHARD_LOAD);
+            let loaded = LoadedShard::open(&self.path, Some(self.checksum));
+            match &loaded {
+                Ok(shard) => {
+                    telemetry::counter(names::SHARD_LOADS).inc();
+                    RESIDENT_SHARDS.fetch_add(1, Ordering::Relaxed);
+                    if shard.is_mapped() {
+                        MAPPED_BYTES.fetch_add(shard.bytes() as i64, Ordering::Relaxed);
+                    }
+                    publish_residency();
+                }
+                Err(_) => {
+                    telemetry::counter(names::SHARD_LOAD_ERRORS).inc();
+                }
+            }
+            loaded
+        })
+    }
+}
+
+/// An attached sharded store: manifest + shared quantizer resident,
+/// shard payloads lazy. The monolithic counterpart is
+/// [`DatasetStore`]; queries treat both through the common candidate
+/// pipeline, so results are bit-identical across tiers.
+pub struct ShardSet {
+    dir: PathBuf,
+    manifest: Manifest,
+    meta: StoreMeta,
+    quantizer: CoarseQuantizer,
+    /// How many shared-quantizer lists a query probes (defaults to
+    /// [`AnnConfig::nprobe`]; at `nlist` the probe is exhaustive).
+    pub nprobe: usize,
+    shards: Vec<LazyShard>,
+}
+
+impl ShardSet {
+    /// Attaches a shard-set directory: parses + validates the manifest,
+    /// validates every shard's header (magic, version, length) and its
+    /// consistency with the manifest entry, and rebuilds the shared
+    /// quantizer from the persisted centroid bits. No shard payload is
+    /// read — attach cost is O(manifest + one header per shard).
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let manifest = Manifest::load(dir)?;
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for entry in &manifest.shards {
+            let path = dir.join(&entry.file);
+            let header = read_shard_header(&path)?;
+            let consistent = header.shard_id == entry.shard_id
+                && header.frame_start == entry.frame_start
+                && header.frame_end == entry.frame_end
+                && header.rows == entry.rows
+                && header.dim == manifest.dim
+                && header.nlist == manifest.nlist;
+            if !consistent {
+                return Err(StoreError::BadHeader {
+                    path,
+                    detail: format!(
+                        "shard header disagrees with manifest entry {} (header: id {} frames \
+                         {}..={} rows {} dim {} nlist {})",
+                        entry.shard_id,
+                        header.shard_id,
+                        header.frame_start,
+                        header.frame_end,
+                        header.rows,
+                        header.dim,
+                        header.nlist
+                    ),
+                });
+            }
+            let checksum = sketchql_store::manifest::parse_hex_u64(&entry.checksum)
+                .expect("manifest validation checked checksum hex");
+            shards.push(LazyShard {
+                path,
+                checksum,
+                cell: OnceLock::new(),
+            });
+        }
+        let meta = StoreMeta {
+            dataset: manifest.dataset.clone(),
+            model_fingerprint: manifest.model_fp().expect("validated hex"),
+            index_fingerprint: manifest.index_fp().expect("validated hex"),
+            frames: manifest.frames,
+            fps: f32::from_bits(manifest.fps_bits),
+            frame_width: f32::from_bits(manifest.frame_width_bits),
+            frame_height: f32::from_bits(manifest.frame_height_bits),
+            stride_frac: f32::from_bits(manifest.stride_frac_bits),
+            min_overlap_frac: f32::from_bits(manifest.min_overlap_frac_bits),
+            window_lens: manifest.window_lens.clone(),
+        };
+        let quantizer =
+            CoarseQuantizer::from_centroids(manifest.centroids(), manifest.dim as usize);
+        Ok(ShardSet {
+            dir: dir.to_path_buf(),
+            manifest,
+            meta,
+            quantizer,
+            nprobe: AnnConfig::default().nprobe,
+            shards,
+        })
+    }
+
+    /// The directory this set was attached from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The manifest, as attached.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Dataset provenance, reconstructed bit-exactly from the manifest.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Dataset name recorded at ingest.
+    pub fn dataset(&self) -> &str {
+        &self.meta.dataset
+    }
+
+    /// Number of shards in the set.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shared-quantizer lists.
+    pub fn nlist(&self) -> usize {
+        self.quantizer.nlist()
+    }
+
+    /// Total rows across all shards (from the manifest — no loads).
+    pub fn total_rows(&self) -> u64 {
+        self.manifest.total_rows()
+    }
+
+    /// The shared coarse quantizer.
+    pub fn quantizer(&self) -> &CoarseQuantizer {
+        &self.quantizer
+    }
+
+    /// Shards currently faulted in (loaded successfully).
+    pub fn resident_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.cell.get(), Some(Ok(_))))
+            .count()
+    }
+
+    /// Whether this set was built from exactly this index's contents.
+    pub fn matches_index(&self, index: &VideoIndex) -> bool {
+        self.meta.frames == index.frames && self.meta.index_fingerprint == index_fingerprint(index)
+    }
+
+    /// Whether this set's vectors came from exactly this model.
+    pub fn matches_model(&self, sim: &LearnedSimilarity) -> bool {
+        self.meta.model_fingerprint == model_fingerprint(sim)
+    }
+
+    /// Gathers the candidate rows of every probed centroid across all
+    /// shards, loading only the shards that own rows under a probed
+    /// list. `probe` is the (already truncated) centroid ranking.
+    /// Fails with the first shard load error — callers fall back to the
+    /// scan, which preserves results at the cost of speed.
+    pub fn gather<'a>(
+        &'a self,
+        probe: &[usize],
+    ) -> Result<Vec<(StoreRow, &'a [f32])>, &'a StoreError> {
+        let mut out: Vec<(StoreRow, &[f32])> = Vec::new();
+        for (i, lazy) in self.shards.iter().enumerate() {
+            let entry = &self.manifest.shards[i];
+            let has_rows = probe
+                .iter()
+                .any(|&c| entry.list_rows.get(c).copied().unwrap_or(0) > 0);
+            if !has_rows {
+                telemetry::counter(names::SHARD_SKIPPED).inc();
+                continue;
+            }
+            let shard = lazy.get().as_ref()?;
+            telemetry::counter(names::SHARD_PROBES).inc();
+            for &c in probe {
+                for &r in shard.list(c) {
+                    out.push((shard.row(r as usize), shard.vector(r as usize)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads and verifies every shard (mapping + checksum + manifest
+    /// cross-check). This is `ingest --verify` and the loud-failure
+    /// path for corruption tests: the returned error names the broken
+    /// shard file.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        for lazy in &self.shards {
+            if lazy.get().is_err() {
+                // Re-open to hand the caller an owned error (the cached
+                // one stays sticky behind the shared reference).
+                return Err(match LoadedShard::open(&lazy.path, Some(lazy.checksum)) {
+                    Err(e) => e,
+                    Ok(_) => unreachable!("cached load error reproduces"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ShardSet {
+    fn drop(&mut self) {
+        let mut dropped_shards = 0i64;
+        let mut dropped_bytes = 0i64;
+        for lazy in &self.shards {
+            if let Some(Ok(shard)) = lazy.cell.get() {
+                dropped_shards += 1;
+                if shard.is_mapped() {
+                    dropped_bytes += shard.bytes() as i64;
+                }
+            }
+        }
+        if dropped_shards > 0 || dropped_bytes > 0 {
+            RESIDENT_SHARDS.fetch_sub(dropped_shards, Ordering::Relaxed);
+            MAPPED_BYTES.fetch_sub(dropped_bytes, Ordering::Relaxed);
+            publish_residency();
+        }
+    }
+}
+
+impl Matcher<LearnedSimilarity> {
+    /// The sharded index-backed search path: embeds the query once,
+    /// ranks the shared quantizer's centroids, fans out to the shards
+    /// owning rows under the top `nprobe` lists, and exactly re-ranks
+    /// the gathered candidates. Fallback rules are identical to
+    /// [`search_with_store`](Self::search_with_store), plus one more: a
+    /// shard that fails to load (corruption discovered at first probe)
+    /// falls back to the full scan, so results stay correct.
+    pub fn search_with_shards(
+        &self,
+        index: &VideoIndex,
+        set: &ShardSet,
+        query: &Clip,
+        cancel: &CancelToken,
+    ) -> Result<StoreSearch, MatchError> {
+        let q_span = query.span();
+        if q_span == 0
+            || q_span < self.config.min_window
+            || query.num_objects() == 0
+            || index.frames == 0
+        {
+            return Ok(StoreSearch {
+                moments: Vec::new(),
+                from_store: false,
+                probed: 0,
+            });
+        }
+        if !self.meta_serves(index, set.meta(), query, q_span) {
+            telemetry::counter(names::STORE_FALLBACKS).inc();
+            let moments = self.search_with_cancel(index, query, cancel)?;
+            return Ok(StoreSearch {
+                moments,
+                from_store: false,
+                probed: 0,
+            });
+        }
+        let _search_span = telemetry::span(names::MATCHER_SEARCH);
+        cancel.check().map_err(MatchError::from)?;
+        let prepared = {
+            let _prepare_span = telemetry::span(names::MATCHER_PREPARE);
+            self.sim.prepare(query)?
+        };
+        let PreparedQuery::Embedding(ref qe) = prepared else {
+            unreachable!("learned similarity always prepares an embedding")
+        };
+        let gathered = {
+            let _probe_span = telemetry::span(names::STORE_PROBE);
+            let ranked = set.quantizer.rank(qe);
+            let nprobe = set.nprobe.max(1).min(ranked.len().max(1));
+            set.gather(&ranked[..nprobe.min(ranked.len())])
+                .map(Some)
+                .unwrap_or_else(|e| {
+                    eprintln!("shard load failed, falling back to scan: {e}");
+                    None
+                })
+        };
+        match gathered {
+            Some(candidates) => {
+                cancel.check().map_err(MatchError::from)?;
+                self.finish_store_search(index, query, &prepared, candidates, cancel)
+            }
+            None => {
+                telemetry::counter(names::STORE_FALLBACKS).inc();
+                let moments = self.search_with_cancel(index, query, cancel)?;
+                Ok(StoreSearch {
+                    moments,
+                    from_store: false,
+                    probed: 0,
+                })
+            }
+        }
+    }
+
+    /// [`search_with_shards`](Self::search_with_shards) for a batch of
+    /// concurrent same-dataset queries: every served member's embedding
+    /// goes through **one** shared centroid ranking
+    /// ([`CoarseQuantizer::rank_batch`]), then each member gathers and
+    /// exactly re-ranks on its own. Per-member results are
+    /// bit-identical to the solo entry point.
+    pub fn search_with_shards_batch(
+        &self,
+        index: &VideoIndex,
+        set: &ShardSet,
+        queries: &[(&Clip, &CancelToken)],
+    ) -> Vec<Result<StoreSearch, MatchError>> {
+        if queries.len() <= 1 {
+            return queries
+                .iter()
+                .map(|&(q, c)| self.search_with_shards(index, set, q, c))
+                .collect();
+        }
+        enum Plan {
+            Ready(PreparedQuery),
+            Done(Result<StoreSearch, MatchError>),
+        }
+        let _search_span = telemetry::span(names::MATCHER_SEARCH);
+        let plans: Vec<Plan> = queries
+            .iter()
+            .map(|&(query, cancel)| {
+                let q_span = query.span();
+                if q_span == 0
+                    || q_span < self.config.min_window
+                    || query.num_objects() == 0
+                    || index.frames == 0
+                {
+                    return Plan::Done(Ok(StoreSearch {
+                        moments: Vec::new(),
+                        from_store: false,
+                        probed: 0,
+                    }));
+                }
+                if !self.meta_serves(index, set.meta(), query, q_span) {
+                    telemetry::counter(names::STORE_FALLBACKS).inc();
+                    return Plan::Done(self.search_with_cancel(index, query, cancel).map(
+                        |moments| StoreSearch {
+                            moments,
+                            from_store: false,
+                            probed: 0,
+                        },
+                    ));
+                }
+                match cancel.check().map_err(MatchError::from).and_then(|()| {
+                    let _prepare_span = telemetry::span(names::MATCHER_PREPARE);
+                    self.sim.prepare(query).map_err(MatchError::from)
+                }) {
+                    Ok(prepared) => Plan::Ready(prepared),
+                    Err(e) => Plan::Done(Err(e)),
+                }
+            })
+            .collect();
+        let embeddings: Vec<&[f32]> = plans
+            .iter()
+            .filter_map(|plan| match plan {
+                Plan::Ready(PreparedQuery::Embedding(qe)) => Some(qe.as_slice()),
+                Plan::Ready(_) => {
+                    unreachable!("learned similarity always prepares an embedding")
+                }
+                Plan::Done(_) => None,
+            })
+            .collect();
+        let ranked_all = if embeddings.is_empty() {
+            Vec::new()
+        } else {
+            let _probe_span = telemetry::span(names::STORE_PROBE);
+            set.quantizer.rank_batch(&embeddings)
+        };
+        let mut rank_iter = ranked_all.into_iter();
+        queries
+            .iter()
+            .zip(plans)
+            .map(|(&(query, cancel), plan)| match plan {
+                Plan::Done(result) => result,
+                Plan::Ready(prepared) => {
+                    let ranked = rank_iter.next().expect("one ranking per served member");
+                    let nprobe = self::probe_len(set, &ranked);
+                    let gathered = {
+                        let _probe_span = telemetry::span(names::STORE_PROBE);
+                        set.gather(&ranked[..nprobe]).map(Some).unwrap_or_else(|e| {
+                            eprintln!("shard load failed, falling back to scan: {e}");
+                            None
+                        })
+                    };
+                    match gathered {
+                        Some(candidates) => {
+                            cancel.check().map_err(MatchError::from).and_then(|()| {
+                                self.finish_store_search(
+                                    index, query, &prepared, candidates, cancel,
+                                )
+                            })
+                        }
+                        None => {
+                            telemetry::counter(names::STORE_FALLBACKS).inc();
+                            self.search_with_cancel(index, query, cancel)
+                                .map(|moments| StoreSearch {
+                                    moments,
+                                    from_store: false,
+                                    probed: 0,
+                                })
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// The number of ranked centroids a probe actually visits.
+fn probe_len(set: &ShardSet, ranked: &[usize]) -> usize {
+    set.nprobe.max(1).min(ranked.len())
+}
+
+/// A monolithic store attached lazily: the header (provenance, shape)
+/// is validated at attach; the full read — checksum over the whole
+/// payload, column decode, ANN build — happens on first query.
+pub struct LazyStore {
+    meta: StoreMeta,
+    rows: u64,
+    source: Option<PathBuf>,
+    /// `nprobe` applied to the store when it loads (and immediately, if
+    /// already loaded).
+    nprobe: Option<usize>,
+    cell: OnceLock<Result<DatasetStore, StoreError>>,
+}
+
+impl LazyStore {
+    /// Attaches a `.skstore` file by validating its header and length
+    /// only. The deferred checksum still runs before any row is served
+    /// (inside the first [`LazyStore::get`]).
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let header = StoreHeader::read(path)?;
+        Ok(LazyStore {
+            meta: header.meta,
+            rows: u64::from(header.rows),
+            source: Some(path.to_path_buf()),
+            nprobe: None,
+            cell: OnceLock::new(),
+        })
+    }
+
+    /// Wraps an already-loaded [`DatasetStore`] (e.g. fresh from
+    /// ingest) — nothing is deferred.
+    pub fn from_store(store: DatasetStore) -> Self {
+        let meta = store.store.meta.clone();
+        let rows = store.store.len() as u64;
+        let cell = OnceLock::new();
+        cell.set(Ok(store)).ok().expect("fresh cell");
+        LazyStore {
+            meta,
+            rows,
+            source: None,
+            nprobe: None,
+            cell,
+        }
+    }
+
+    /// Provenance metadata, available without loading.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Rows recorded in the header.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Whether the full store has been read (checksum + ANN build done).
+    pub fn is_loaded(&self) -> bool {
+        matches!(self.cell.get(), Some(Ok(_)))
+    }
+
+    /// Overrides the probe width applied when the store loads.
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = Some(nprobe);
+        if let Some(Ok(store)) = self.cell.get_mut() {
+            store.nprobe = nprobe.max(1);
+        }
+    }
+
+    /// The loaded store, reading + verifying + indexing it on first
+    /// call. Errors are sticky and loud (they name the file).
+    pub fn get(&self) -> &Result<DatasetStore, StoreError> {
+        self.cell.get_or_init(|| {
+            let path = self.source.as_ref().expect("unloaded stores have a path");
+            DatasetStore::open(path).map(|mut store| {
+                if let Some(nprobe) = self.nprobe {
+                    store.nprobe = nprobe.max(1);
+                }
+                store
+            })
+        })
+    }
+}
+
+/// One dataset's attached store, whichever shape it takes on disk. The
+/// engine and CLI route queries through this so monolithic files and
+/// shard sets serve identically.
+pub enum StoreTier {
+    /// A single `.skstore` file, loaded lazily.
+    Monolithic(LazyStore),
+    /// A `.skset/` directory of shards, loaded shard-by-shard, lazily.
+    Sharded(ShardSet),
+}
+
+impl From<DatasetStore> for StoreTier {
+    fn from(store: DatasetStore) -> Self {
+        StoreTier::Monolithic(LazyStore::from_store(store))
+    }
+}
+
+impl StoreTier {
+    /// Dataset name recorded at ingest.
+    pub fn dataset(&self) -> &str {
+        &self.meta().dataset
+    }
+
+    /// Provenance metadata (attach-time, no payload reads).
+    pub fn meta(&self) -> &StoreMeta {
+        match self {
+            StoreTier::Monolithic(s) => s.meta(),
+            StoreTier::Sharded(s) => s.meta(),
+        }
+    }
+
+    /// Rows the tier serves (from headers/manifest).
+    pub fn rows(&self) -> u64 {
+        match self {
+            StoreTier::Monolithic(s) => s.rows(),
+            StoreTier::Sharded(s) => s.total_rows(),
+        }
+    }
+
+    /// Shards in the tier (1 for a monolithic store).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            StoreTier::Monolithic(_) => 1,
+            StoreTier::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// Whether this tier was built from exactly this index's contents.
+    pub fn matches_index(&self, index: &VideoIndex) -> bool {
+        self.meta().frames == index.frames
+            && self.meta().index_fingerprint == index_fingerprint(index)
+    }
+
+    /// Whether this tier's vectors came from exactly this model.
+    pub fn matches_model(&self, sim: &LearnedSimilarity) -> bool {
+        self.meta().model_fingerprint == model_fingerprint(sim)
+    }
+
+    /// Overrides the probe width.
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        match self {
+            StoreTier::Monolithic(s) => s.set_nprobe(nprobe),
+            StoreTier::Sharded(s) => s.nprobe = nprobe.max(1),
+        }
+    }
+}
+
+impl Matcher<LearnedSimilarity> {
+    /// Tier-dispatching store search: monolithic stores go through
+    /// [`search_with_store`](Self::search_with_store) (loading lazily
+    /// on first use), shard sets through
+    /// [`search_with_shards`](Self::search_with_shards). A monolithic
+    /// store whose deferred full read fails falls back to the scan.
+    pub fn search_with_tier(
+        &self,
+        index: &VideoIndex,
+        tier: &StoreTier,
+        query: &Clip,
+        cancel: &CancelToken,
+    ) -> Result<StoreSearch, MatchError> {
+        match tier {
+            StoreTier::Sharded(set) => self.search_with_shards(index, set, query, cancel),
+            StoreTier::Monolithic(lazy) => match lazy.get() {
+                Ok(store) => self.search_with_store(index, store, query, cancel),
+                Err(e) => {
+                    eprintln!("store load failed, falling back to scan: {e}");
+                    telemetry::counter(names::STORE_FALLBACKS).inc();
+                    let moments = self.search_with_cancel(index, query, cancel)?;
+                    Ok(StoreSearch {
+                        moments,
+                        from_store: false,
+                        probed: 0,
+                    })
+                }
+            },
+        }
+    }
+
+    /// Tier-dispatching batched store search (the scheduler's
+    /// store-aware fusion path). Per-member results are bit-identical
+    /// to calling [`search_with_tier`](Self::search_with_tier) per
+    /// member.
+    pub fn search_with_tier_batch(
+        &self,
+        index: &VideoIndex,
+        tier: &StoreTier,
+        queries: &[(&Clip, &CancelToken)],
+    ) -> Vec<Result<StoreSearch, MatchError>> {
+        match tier {
+            StoreTier::Sharded(set) => self.search_with_shards_batch(index, set, queries),
+            StoreTier::Monolithic(lazy) => match lazy.get() {
+                Ok(store) => self.search_with_store_batch(index, store, queries),
+                Err(e) => {
+                    eprintln!("store load failed, falling back to scan: {e}");
+                    queries
+                        .iter()
+                        .map(|&(query, cancel)| {
+                            telemetry::counter(names::STORE_FALLBACKS).inc();
+                            self.search_with_cancel(index, query, cancel)
+                                .map(|moments| StoreSearch {
+                                    moments,
+                                    from_store: false,
+                                    probed: 0,
+                                })
+                        })
+                        .collect()
+                }
+            },
+        }
+    }
+}
+
+/// Directory name a dataset's shard set is written under.
+pub fn shard_set_dir_name(dataset: &str) -> String {
+    format!("{}.{SHARD_SET_EXT}", vstore::sanitize(dataset))
+}
+
+/// Attaches every store in `dir` — `.skstore` files as lazy monolithic
+/// tiers, `.skset/` directories (those containing a manifest) as shard
+/// sets — keyed by the dataset name each records. Attach validates
+/// headers and manifests only; a structurally damaged store fails
+/// loudly here, while payload corruption surfaces at first probe.
+pub fn load_store_tier_dir(dir: &Path) -> Result<BTreeMap<String, StoreTier>, StoreError> {
+    let mut out = BTreeMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|source| StoreError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let tier = if path.is_dir() {
+            if !path.join(MANIFEST_FILE).is_file() {
+                continue;
+            }
+            StoreTier::Sharded(ShardSet::open(&path)?)
+        } else if path.extension().is_some_and(|x| x == vstore::STORE_EXT) {
+            StoreTier::Monolithic(LazyStore::open(&path)?)
+        } else {
+            continue;
+        };
+        out.insert(tier.dataset().to_string(), tier);
+    }
+    Ok(out)
+}

@@ -294,7 +294,7 @@ pub fn ingest(
 
 /// Eligibility of a track for a window, matching
 /// [`VideoIndex::tracks_in_window`]'s overlap rule.
-fn track_overlaps(t: &Trajectory, start: u32, end: u32, min_overlap: u32) -> bool {
+pub(crate) fn track_overlaps(t: &Trajectory, start: u32, end: u32, min_overlap: u32) -> bool {
     match (t.start_frame(), t.end_frame()) {
         (Some(s), Some(e)) => {
             let lo = s.max(start);
@@ -378,7 +378,8 @@ impl Matcher<LearnedSimilarity> {
             self.probe_rows(store, qe)
         };
         cancel.check().map_err(MatchError::from)?;
-        self.finish_store_search(index, store, query, &prepared, probed, cancel)
+        let candidates = rows_of(store, &probed);
+        self.finish_store_search(index, query, &prepared, candidates, cancel)
     }
 
     /// [`search_with_store`](Self::search_with_store) for a batch of
@@ -470,24 +471,29 @@ impl Matcher<LearnedSimilarity> {
                 Plan::Ready(prepared) => {
                     let probed = probe_iter.next().expect("one probe per served member");
                     cancel.check().map_err(MatchError::from).and_then(|()| {
-                        self.finish_store_search(index, store, query, &prepared, probed, cancel)
+                        let candidates = rows_of(store, &probed);
+                        self.finish_store_search(index, query, &prepared, candidates, cancel)
                     })
                 }
             })
             .collect()
     }
 
-    /// Served-path tail shared by the solo and batched store searches:
-    /// window enumeration, exact re-rank of the probed rows, and the
-    /// usual ranking pipeline. Taking the probed rows as input is what
-    /// makes the batched path bit-identical by construction.
-    fn finish_store_search(
+    /// Served-path tail shared by every store-backed search — solo,
+    /// batched, monolithic, and sharded: window enumeration, exact
+    /// re-rank of the probed candidates, and the usual ranking pipeline.
+    /// Taking the probed candidates as `(row, vector)` pairs is what
+    /// makes the batched and sharded paths bit-identical by
+    /// construction: the candidate *source* (one store, many shards)
+    /// cannot influence scoring, and the best-per-slot selection below
+    /// is insensitive to candidate order (strictly-greater score wins,
+    /// ties break on track position).
+    pub(crate) fn finish_store_search(
         &self,
         index: &VideoIndex,
-        store: &DatasetStore,
         query: &sketchql_trajectory::Clip,
         prepared: &PreparedQuery,
-        probed: Vec<u32>,
+        candidates: Vec<(StoreRow, &[f32])>,
         cancel: &CancelToken,
     ) -> Result<StoreSearch, MatchError> {
         let q_span = query.span();
@@ -520,11 +526,10 @@ impl Matcher<LearnedSimilarity> {
 
         // Best candidate per (start, end, overlap-floor) slot.
         let mut best: HashMap<(u32, u32, u32), (f32, usize, TrackId)> = HashMap::new();
-        for (k, &row_id) in probed.iter().enumerate() {
+        for (k, &(row, vector)) in candidates.iter().enumerate() {
             if k % 1024 == 1023 {
                 cancel.check().map_err(MatchError::from)?;
             }
-            let row = store.store.row(row_id as usize);
             if !qclass.matches(&row.class) {
                 continue;
             }
@@ -538,9 +543,7 @@ impl Matcher<LearnedSimilarity> {
             let lo = ts.max(row.start);
             let hi = te.min(row.end);
             let overlap = if hi >= lo { hi - lo + 1 } else { 0 };
-            let score = self
-                .sim
-                .score_embedding(prepared, Some(store.store.vector(row_id as usize)));
+            let score = self.sim.score_embedding(prepared, Some(vector));
             let score = if score.is_finite() { score } else { 0.0 };
             for &floor in floors {
                 if overlap < floor {
@@ -573,15 +576,15 @@ impl Matcher<LearnedSimilarity> {
         drop(scan_span);
 
         telemetry::counter(names::STORE_HITS).inc();
-        telemetry::counter(names::STORE_PROBED).add(probed.len() as u64);
+        telemetry::counter(names::STORE_PROBED).add(candidates.len() as u64);
         if telemetry::is_enabled() {
             telemetry::histogram(names::STORE_PROBE_ROWS, PROBE_BOUNDS)
-                .observe(probed.len() as f64);
+                .observe(candidates.len() as f64);
         }
         Ok(StoreSearch {
             moments: self.rank(index, scored),
             from_store: true,
-            probed: probed.len() as u64,
+            probed: candidates.len() as u64,
         })
     }
 
@@ -594,11 +597,26 @@ impl Matcher<LearnedSimilarity> {
         query: &sketchql_trajectory::Clip,
         q_span: u32,
     ) -> bool {
+        self.meta_serves(index, &store.store.meta, query, q_span)
+    }
+
+    /// [`store_serves`](Self::store_serves) on provenance metadata alone
+    /// — the shared eligibility rule for every store tier (a sharded
+    /// set's manifest carries the same `StoreMeta` a monolithic file
+    /// does).
+    pub(crate) fn meta_serves(
+        &self,
+        index: &VideoIndex,
+        meta: &StoreMeta,
+        query: &sketchql_trajectory::Clip,
+        q_span: u32,
+    ) -> bool {
         if query.num_objects() != 1
-            || !store.matches_model(&self.sim)
-            || !store.matches_index(index)
-            || store.store.meta.stride_frac.to_bits() != self.config.stride_frac.to_bits()
-            || store.store.meta.min_overlap_frac.to_bits() != self.config.min_overlap_frac.to_bits()
+            || meta.model_fingerprint != model_fingerprint(&self.sim)
+            || meta.frames != index.frames
+            || meta.index_fingerprint != index_fingerprint(index)
+            || meta.stride_frac.to_bits() != self.config.stride_frac.to_bits()
+            || meta.min_overlap_frac.to_bits() != self.config.min_overlap_frac.to_bits()
         {
             return false;
         }
@@ -606,7 +624,7 @@ impl Matcher<LearnedSimilarity> {
         // video) must have been ingested.
         self.config.window_scales.iter().all(|&scale| {
             let len = ((q_span as f32 * scale) as u32).max(self.config.min_window);
-            len > index.frames || store.store.meta.window_lens.contains(&len)
+            len > index.frames || meta.window_lens.contains(&len)
         })
     }
 
@@ -616,9 +634,23 @@ impl Matcher<LearnedSimilarity> {
     }
 }
 
+/// Materializes probed row ids as the `(row, vector)` candidate pairs
+/// [`Matcher::finish_store_search`] scores.
+fn rows_of<'a>(store: &'a DatasetStore, probed: &[u32]) -> Vec<(StoreRow, &'a [f32])> {
+    probed
+        .iter()
+        .map(|&id| {
+            (
+                store.store.row(id as usize),
+                store.store.vector(id as usize),
+            )
+        })
+        .collect()
+}
+
 /// Filesystem-safe store file name for a dataset, mirroring the session's
 /// naming scheme.
-fn sanitize(name: &str) -> String {
+pub(crate) fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '-' || c == '_' {

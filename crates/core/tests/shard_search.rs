@@ -1,0 +1,348 @@
+//! Sharded-store correctness: the shard-set grid must equal the
+//! monolithic grid exactly (no boundary duplicates or gaps), sharded
+//! search must report bit-identical scores to the monolithic store and
+//! the full scan, shards must load lazily (residency follows probes),
+//! and a corrupt shard must fail loudly while queries fall back.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::cancel::CancelToken;
+use sketchql::matcher::{Matcher, MatcherConfig};
+use sketchql::similarity::LearnedSimilarity;
+use sketchql::training::{train, TrainingConfig};
+use sketchql::vshard::{enumerate_store_rows, ingest_sharded, IngestProgress, ShardSet, StoreTier};
+use sketchql::vstore::{ingest, IngestConfig};
+use sketchql::VideoIndex;
+use sketchql_datasets::{generate_video, query_clip, EventKind, SceneFamily, VideoConfig};
+use std::path::PathBuf;
+
+fn tiny_model() -> sketchql::training::TrainedModel {
+    let mut cfg = TrainingConfig::tiny();
+    cfg.steps = 8;
+    train(cfg)
+}
+
+fn test_index(seed: u64) -> VideoIndex {
+    let cfg = VideoConfig {
+        family: SceneFamily::UrbanIntersection,
+        events_per_kind: 1,
+        distractors: 2,
+        fps: 30.0,
+    };
+    VideoIndex::from_truth(&generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed)))
+}
+
+fn matcher(model: &sketchql::training::TrainedModel) -> Matcher<LearnedSimilarity> {
+    Matcher::with_config(model.similarity(), MatcherConfig::default())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skql-shard-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The union of every shard range's enumeration must reproduce the
+/// monolithic enumeration exactly: same rows, same multiplicity, no
+/// window lost or duplicated at any shard boundary. Exercises several
+/// shard widths, including ones that land boundaries mid-stride and a
+/// width larger than the video.
+#[test]
+fn sharded_window_grid_equals_monolithic_grid() {
+    let index = test_index(31);
+    let config = IngestConfig::from_matcher(&MatcherConfig::default(), &[40, 64]);
+    let (mono_rows, mono_clips) = enumerate_store_rows(&index, &config, None);
+    assert!(!mono_rows.is_empty(), "grid enumeration came up empty");
+
+    for shard_frames in [1u32, 7, 33, 64, 100, index.frames, index.frames * 2] {
+        let mut union = Vec::new();
+        let mut lo = 0u32;
+        while lo < index.frames {
+            let hi = lo.saturating_add(shard_frames - 1).min(index.frames - 1);
+            let (rows, clips) = enumerate_store_rows(&index, &config, Some((lo, hi)));
+            for row in &rows {
+                assert!(
+                    (lo..=hi).contains(&row.start),
+                    "shard [{lo}, {hi}] emitted a window starting at {} it does not own",
+                    row.start
+                );
+            }
+            assert_eq!(rows.len(), clips.len());
+            union.extend(rows);
+            lo = hi + 1;
+        }
+        let key = |r: &sketchql_store::StoreRow| (r.track_id, r.start, r.end);
+        let mut got: Vec<_> = union.iter().map(key).collect();
+        let mut want: Vec<_> = mono_rows.iter().map(key).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(
+            got, want,
+            "shard width {shard_frames}: union of shard grids != monolithic grid"
+        );
+    }
+    // The unrestricted enumeration also matches what monolithic ingest
+    // would embed: one clip per row, aligned.
+    assert_eq!(mono_rows.len(), mono_clips.len());
+}
+
+/// End-to-end bit-identity: with exhaustive probing, the sharded path,
+/// the monolithic store path, and the full scan must all report the
+/// same moments with bit-identical scores — across 1, 3, and many
+/// shards, and across a disk round trip (simulated server restart).
+#[test]
+fn sharded_search_matches_monolithic_and_scan_exactly() {
+    let model = tiny_model();
+    let index = test_index(32);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let scan = m.search(&index, &query).unwrap();
+    assert!(!scan.is_empty(), "scan found nothing to compare against");
+
+    let mut mono = ingest(&m.sim, &index, "v", &ingest_cfg);
+    mono.nprobe = mono.nlist();
+    let via_mono = m
+        .search_with_store(&index, &mono, &query, &CancelToken::none())
+        .unwrap();
+    assert!(via_mono.from_store);
+    assert_eq!(via_mono.moments, scan);
+
+    for shard_frames in [index.frames, index.frames / 3 + 1, 25] {
+        let dir = temp_dir(&format!("exact-{shard_frames}"));
+        let set = ingest_sharded(
+            &m.sim,
+            &index,
+            "v",
+            &ingest_cfg,
+            shard_frames,
+            &dir,
+            &|_| {},
+        )
+        .unwrap();
+        let mut set = set;
+        set.nprobe = set.nlist();
+        let via_shards = m
+            .search_with_shards(&index, &set, &query, &CancelToken::none())
+            .unwrap();
+        assert!(via_shards.from_store, "{shard_frames}: fell back");
+        assert_eq!(
+            via_shards.moments, scan,
+            "{shard_frames}-frame shards diverged from scan"
+        );
+        for (a, b) in via_shards.moments.iter().zip(&scan) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+
+        // Reopen from disk — the restart path — and re-check.
+        drop(set);
+        let mut reopened = ShardSet::open(&dir).unwrap();
+        reopened.nprobe = reopened.nlist();
+        assert_eq!(reopened.resident_shards(), 0, "attach must not load shards");
+        let again = m
+            .search_with_shards(&index, &reopened, &query, &CancelToken::none())
+            .unwrap();
+        assert!(again.from_store);
+        assert_eq!(again.moments, scan, "reopened shard set diverged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The batched entry point must agree bit-for-bit with the solo one.
+#[test]
+fn sharded_batch_matches_solo() {
+    let model = tiny_model();
+    let index = test_index(33);
+    let m = matcher(&model);
+    let queries = [
+        query_clip(EventKind::LeftTurn),
+        query_clip(EventKind::StopAndGo),
+        query_clip(EventKind::LaneChange),
+    ];
+    let spans: Vec<u32> = queries.iter().map(|q| q.span()).collect();
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &spans);
+    let dir = temp_dir("batch");
+    let mut set = ingest_sharded(&m.sim, &index, "v", &ingest_cfg, 40, &dir, &|_| {}).unwrap();
+    set.nprobe = set.nlist();
+
+    let none = CancelToken::none();
+    let batch: Vec<_> = queries.iter().map(|q| (q, &none)).collect();
+    let batched = m.search_with_shards_batch(&index, &set, &batch);
+    for (q, r) in queries.iter().zip(batched) {
+        let solo = m.search_with_shards(&index, &set, q, &none).unwrap();
+        let r = r.unwrap();
+        assert_eq!(r.from_store, solo.from_store);
+        assert_eq!(r.moments, solo.moments, "batch diverged from solo");
+        for (a, b) in r.moments.iter().zip(&solo.moments) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(solo.from_store, "{q:?} unexpectedly fell back");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Residency follows probes: attach loads nothing, a narrow probe
+/// loads only the shards owning rows under the probed centroids, and
+/// manifest row counts let empty shards be skipped without a read.
+#[test]
+fn shards_load_lazily_and_only_when_probed() {
+    let model = tiny_model();
+    let index = test_index(34);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let dir = temp_dir("lazy");
+    // Narrow shards so the set has several; narrow probe so a query
+    // visits a strict subset of centroids.
+    let set = ingest_sharded(&m.sim, &index, "v", &ingest_cfg, 20, &dir, &|_| {}).unwrap();
+    drop(set);
+    let mut set = ShardSet::open(&dir).unwrap();
+    assert!(set.shard_count() > 2, "fixture needs several shards");
+    assert_eq!(set.resident_shards(), 0);
+    set.nprobe = 1;
+
+    let r = m
+        .search_with_shards(&index, &set, &query, &CancelToken::none())
+        .unwrap();
+    assert!(r.from_store);
+    let after_one = set.resident_shards();
+    assert!(
+        after_one <= set.shard_count(),
+        "resident {} of {}",
+        after_one,
+        set.shard_count()
+    );
+    // Exhaustive probing afterwards may only grow residency.
+    set.nprobe = set.nlist();
+    m.search_with_shards(&index, &set, &query, &CancelToken::none())
+        .unwrap();
+    assert!(set.resident_shards() >= after_one);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt shard is detected at first probe (the deferred checksum),
+/// named loudly by `verify`, and queries fall back to the scan rather
+/// than serving partial results.
+#[test]
+fn corrupt_shard_fails_loudly_and_queries_fall_back() {
+    let model = tiny_model();
+    let index = test_index(35);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let dir = temp_dir("corrupt");
+    let set = ingest_sharded(&m.sim, &index, "v", &ingest_cfg, 30, &dir, &|_| {}).unwrap();
+    let victim = dir.join(&set.manifest().shards[0].file);
+    drop(set);
+
+    // Flip one payload byte without changing the length: the header
+    // still validates, so attach succeeds — corruption must surface at
+    // load time, naming the file.
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let mut set = ShardSet::open(&dir).unwrap();
+    set.nprobe = set.nlist();
+    let err = set.verify().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(victim.file_name().unwrap().to_str().unwrap()),
+        "error must name the corrupt shard, got: {msg}"
+    );
+
+    let scan = m.search(&index, &query).unwrap();
+    let r = m
+        .search_with_shards(&index, &set, &query, &CancelToken::none())
+        .unwrap();
+    assert!(!r.from_store, "corrupt shard must force scan fallback");
+    assert_eq!(r.moments, scan);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Parallel ingest must be deterministic: 1 worker and 3 workers write
+/// byte-identical shard files and manifests.
+#[test]
+fn parallel_ingest_is_deterministic() {
+    let model = tiny_model();
+    let index = test_index(36);
+    let m = matcher(&model);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[48]);
+    let mut serial_cfg = ingest_cfg.clone();
+    serial_cfg.threads = 1;
+    let mut parallel_cfg = ingest_cfg;
+    parallel_cfg.threads = 3;
+
+    let dir1 = temp_dir("det-1");
+    let dir3 = temp_dir("det-3");
+    let mut progress_events = std::sync::Mutex::new(0usize);
+    ingest_sharded(&m.sim, &index, "v", &serial_cfg, 30, &dir1, &|_| {}).unwrap();
+    ingest_sharded(&m.sim, &index, "v", &parallel_cfg, 30, &dir3, &|e| {
+        if matches!(e, IngestProgress::ShardWritten { .. }) {
+            *progress_events.lock().unwrap() += 1;
+        }
+    })
+    .unwrap();
+    assert!(
+        *progress_events.get_mut().unwrap() > 0,
+        "no progress events"
+    );
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir1)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    for name in &names {
+        let a = std::fs::read(dir1.join(name)).unwrap();
+        let b = std::fs::read(dir3.join(name)).unwrap();
+        assert_eq!(a, b, "{name} differs between 1- and 3-thread ingest");
+    }
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir3).ok();
+}
+
+/// The tier abstraction serves both shapes identically, and a
+/// monolithic `.skstore` still attaches (as a lazily loaded one-shard
+/// tier) — the migration guarantee.
+#[test]
+fn store_tier_serves_monolithic_and_sharded_alike() {
+    let model = tiny_model();
+    let index = test_index(37);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let dir = temp_dir("tier");
+
+    // One dataset as a monolithic file, another as a shard set.
+    let mono = ingest(&m.sim, &index, "mono", &ingest_cfg);
+    mono.save(&dir.join("mono.skstore")).unwrap();
+    ingest_sharded(
+        &m.sim,
+        &index,
+        "sharded",
+        &ingest_cfg,
+        25,
+        &dir.join("sharded.skset"),
+        &|_| {},
+    )
+    .unwrap();
+
+    let mut tiers = sketchql::vshard::load_store_tier_dir(&dir).unwrap();
+    assert_eq!(tiers.len(), 2, "both store shapes must attach");
+    let scan = m.search(&index, &query).unwrap();
+    for (name, tier) in tiers.iter_mut() {
+        tier.set_nprobe(usize::MAX / 2);
+        if let StoreTier::Monolithic(lazy) = tier {
+            assert!(!lazy.is_loaded(), "{name}: attach must not load payload");
+        }
+        let r = m
+            .search_with_tier(&index, tier, &query, &CancelToken::none())
+            .unwrap();
+        assert!(r.from_store, "{name} fell back");
+        assert_eq!(r.moments, scan, "{name} diverged from scan");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -94,8 +94,8 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sketchql::{
-    CancelReason, CancelToken, DatasetStore, LearnedSimilarity, MatchError, Matcher, MatcherConfig,
-    RetrievedMoment, SimilarityError, TrainedModel, VideoIndex,
+    CancelReason, CancelToken, LearnedSimilarity, MatchError, Matcher, MatcherConfig,
+    RetrievedMoment, SimilarityError, StoreTier, TrainedModel, VideoIndex,
 };
 use sketchql_telemetry::{self as telemetry, names, TraceContext, TraceOutcome};
 use sketchql_trajectory::Clip;
@@ -632,7 +632,7 @@ struct Shared {
     monitor_signal: Condvar,
     matcher: Matcher<LearnedSimilarity>,
     datasets: BTreeMap<String, VideoIndex>,
-    stores: BTreeMap<String, DatasetStore>,
+    stores: BTreeMap<String, StoreTier>,
     counters: Counters,
     per_dataset: BTreeMap<String, DatasetCounters>,
     per_class: BTreeMap<String, ClassCounters>,
@@ -674,16 +674,19 @@ impl Engine {
         Engine::start_with_stores(model, datasets, BTreeMap::new(), config)
     }
 
-    /// Like [`Engine::start`], but warm-loads persistent embedding
-    /// stores keyed by dataset name. Each store is validated here: it
-    /// must name a loaded dataset and carry both the model's and that
-    /// index's fingerprints. Stores that don't match are dropped, and
-    /// queries against their dataset simply take the fused-scan path —
-    /// per-dataset fallback, never a startup failure.
+    /// Like [`Engine::start`], but attaches persistent embedding store
+    /// tiers keyed by dataset name. Each tier is validated here from
+    /// its attach-time metadata alone (headers and manifests — no
+    /// payload reads, no checksums): it must name a loaded dataset and
+    /// carry both the model's and that index's fingerprints. Tiers
+    /// that don't match are dropped, and queries against their dataset
+    /// simply take the fused-scan path — per-dataset fallback, never a
+    /// startup failure. Payloads (and their deferred checksums) load on
+    /// first probe, so startup cost is independent of store size.
     pub fn start_with_stores(
         model: TrainedModel,
         datasets: BTreeMap<String, VideoIndex>,
-        stores: BTreeMap<String, DatasetStore>,
+        stores: BTreeMap<String, StoreTier>,
         config: EngineConfig,
     ) -> Engine {
         let mut config = config;
@@ -692,13 +695,13 @@ impl Engine {
             config.fused_batch = config.workers;
         }
         let matcher = Matcher::with_config(model.similarity(), config.matcher.clone());
-        let stores: BTreeMap<String, DatasetStore> = stores
+        let stores: BTreeMap<String, StoreTier> = stores
             .into_iter()
-            .filter(|(name, store)| {
-                store.matches_model(&matcher.sim)
+            .filter(|(name, tier)| {
+                tier.matches_model(&matcher.sim)
                     && datasets
                         .get(name)
-                        .is_some_and(|idx| store.matches_index(idx))
+                        .is_some_and(|idx| tier.matches_index(idx))
             })
             .collect();
         let per_dataset = datasets
@@ -1404,8 +1407,8 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, guard: &BatchGuard) {
         .get(&dataset)
         .expect("dataset validated at submit");
 
-    if let Some(store) = shared.stores.get(&dataset) {
-        run_store_batch(shared, &dataset, index, store, live);
+    if let Some(tier) = shared.stores.get(&dataset) {
+        run_store_batch(shared, &dataset, index, tier, live);
         return;
     }
 
@@ -1491,15 +1494,16 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, guard: &BatchGuard) {
 }
 
 /// Executes one batch against an index-backed dataset: store-aware
-/// fusion ranks the ANN centroid table once for every member (one
-/// `search_with_store_batch` call), then re-ranks each member exactly
-/// under its own token — results are byte-identical to solo
-/// `search_with_store` calls.
+/// fusion ranks the ANN (or shared shard-quantizer) centroid table
+/// once for every member (one `search_with_tier_batch` call), then
+/// re-ranks each member exactly under its own token — results are
+/// byte-identical to solo `search_with_tier` calls, whichever shape
+/// the tier takes on disk.
 fn run_store_batch(
     shared: &Shared,
     dataset: &str,
     index: &VideoIndex,
-    store: &DatasetStore,
+    tier: &StoreTier,
     live: Vec<LiveMember>,
 ) {
     let batch_size = live.len();
@@ -1516,9 +1520,7 @@ fn run_store_batch(
     };
     let started = Instant::now();
     let queries: Vec<(&Clip, &CancelToken)> = live.iter().map(|(q, m, _)| (q, &m.cancel)).collect();
-    let results = shared
-        .matcher
-        .search_with_store_batch(index, store, &queries);
+    let results = shared.matcher.search_with_tier_batch(index, tier, &queries);
     let execute = started.elapsed();
     drop(fusion_span);
     drop(exec_span);

@@ -8,10 +8,12 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use sketchql::{ingest_sharded, IngestConfig, MatcherConfig, StoreTier};
+use sketchql_datasets::query_clip;
 use sketchql_server::{Client, Engine, EngineConfig, Server};
 use sketchql_telemetry as telemetry;
 
-use common::{tiny_model, two_datasets};
+use common::{small_index, tiny_model, two_datasets};
 
 fn start_server(workers: usize) -> Server {
     let engine = Engine::start(
@@ -104,19 +106,51 @@ fn concurrent_scrapes_during_queries_stay_consistent() {
 /// Lints the full exposition after real traffic: legal metric names,
 /// exactly one HELP/TYPE per family, no duplicate samples, cumulative
 /// (monotone) histogram buckets, and `+Inf` agreeing with `_count`.
+/// `alpha` is backed by a sharded store so the `sketchql_shard_*`
+/// family is live on the scrape and linted with everything else.
 #[test]
 fn prometheus_exposition_is_well_formed() {
     if !telemetry::is_enabled() {
         return;
     }
-    let server = start_server(2);
+    let model = tiny_model();
+    let alpha = small_index(11);
+    let event = "left_turn";
+    let dir = std::env::temp_dir().join(format!("skql-scrape-shards-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = IngestConfig::from_matcher(
+        &MatcherConfig::default(),
+        &[query_clip(sketchql_datasets::EventKind::LeftTurn).span()],
+    );
+    let mut set = ingest_sharded(
+        &model.similarity(),
+        &alpha,
+        "alpha",
+        &cfg,
+        25,
+        &dir,
+        &|_| {},
+    )
+    .unwrap();
+    set.nprobe = set.nlist();
+    let mut stores = std::collections::BTreeMap::new();
+    stores.insert("alpha".to_string(), StoreTier::Sharded(set));
+    let engine = Engine::start_with_stores(
+        model,
+        two_datasets(),
+        stores,
+        EngineConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+    let server = Server::start(engine, "127.0.0.1:0").expect("bind ephemeral port");
     let mut client = Client::connect(server.local_addr()).unwrap();
     // Drive every family: completed queries (latency histograms,
-    // resource series) and an unknown dataset (error path).
-    client
-        .query_event("alpha", "left_turn", Some(3), None)
-        .unwrap();
-    let _ = client.query_event("nope", "left_turn", None, None);
+    // resource series, shard loads/probes) and an unknown dataset
+    // (error path).
+    client.query_event("alpha", event, Some(3), None).unwrap();
+    let _ = client.query_event("nope", event, None, None);
     let text = client.metrics_text().unwrap();
     assert!(!text.is_empty());
 
@@ -193,6 +227,21 @@ fn prometheus_exposition_is_well_formed() {
         );
     }
 
+    // Shard-tier families: the store-served alpha query above loaded
+    // and probed at least one shard, so residency, load, probe, and
+    // mapped-bytes series must all be on the scrape (and have passed
+    // the name/HELP/TYPE lint above like any other family).
+    for family in [
+        "sketchql_shard_resident",
+        "sketchql_shard_loads",
+        "sketchql_shard_probes",
+        "sketchql_shard_bytes_mapped",
+    ] {
+        let v = sample_value(&text, family)
+            .unwrap_or_else(|| panic!("shard family {family} missing from the exposition"));
+        assert!(v > 0.0, "{family} must be positive after sharded traffic");
+    }
+
     assert!(!buckets.is_empty(), "traffic must populate histograms");
     for (family, b) in &buckets {
         assert!(
@@ -210,4 +259,5 @@ fn prometheus_exposition_is_well_formed() {
     }
 
     server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }

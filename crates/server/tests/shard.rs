@@ -1,0 +1,112 @@
+//! Engine integration with the sharded store tier: attach must stay
+//! lazy (no shard resident until traffic arrives), shard-served answers
+//! must be byte-identical to a plain (scan-only) engine, and the
+//! store-effectiveness counters must attribute sharded hits.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use sketchql::{ingest_sharded, IngestConfig, MatcherConfig, ShardSet, StoreTier};
+use sketchql_datasets::{query_clip, EventKind};
+use sketchql_server::{Engine, EngineConfig, QuerySpec};
+use sketchql_telemetry::{self as telemetry, names};
+
+use common::{small_index, tiny_model, two_datasets};
+
+/// Single-object events (multi-object sketches always fall back).
+const SINGLE_OBJECT: &[EventKind] = &[
+    EventKind::LeftTurn,
+    EventKind::StopAndGo,
+    EventKind::LaneChange,
+];
+
+fn spec(dataset: &str, event: EventKind) -> QuerySpec {
+    QuerySpec::new(dataset, query_clip(event))
+}
+
+/// One test drives the whole lifecycle so the process-wide residency
+/// gauge is observed without interference: build a shard set for
+/// `alpha`, attach it cold, check nothing is resident, then compare
+/// every answer against a plain engine and watch residency rise.
+#[test]
+fn sharded_engine_is_lazy_and_matches_plain_engine() {
+    let model = tiny_model();
+    let alpha = small_index(11);
+    let spans: Vec<u32> = SINGLE_OBJECT
+        .iter()
+        .map(|&k| query_clip(k).span())
+        .collect();
+    let cfg = IngestConfig::from_matcher(&MatcherConfig::default(), &spans);
+    let dir = std::env::temp_dir().join(format!("skql-server-shards-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let set = ingest_sharded(
+        &model.similarity(),
+        &alpha,
+        "alpha",
+        &cfg,
+        25,
+        &dir,
+        &|_| {},
+    )
+    .expect("sharded ingest");
+    let shard_count = set.shard_count();
+    assert!(shard_count > 1, "fixture must produce several shards");
+    drop(set);
+
+    // A plain engine answers from the scan — the reference output.
+    let plain = Engine::start(model.clone(), two_datasets(), EngineConfig::default());
+    let mut expected = Vec::new();
+    for &event in SINGLE_OBJECT {
+        expected.push((event, plain.execute(spec("alpha", event)).unwrap().moments));
+    }
+    plain.shutdown();
+
+    // Cold attach: manifest + headers only. Nothing resident yet.
+    let mut set = ShardSet::open(&dir).expect("reattach shard set");
+    set.nprobe = set.nlist();
+    assert_eq!(set.resident_shards(), 0, "attach must not load any shard");
+    let resident_before = telemetry::gauge(names::SHARD_RESIDENT).get();
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), StoreTier::Sharded(set));
+    let engine = Engine::start_with_stores(model, two_datasets(), stores, EngineConfig::default());
+    assert_eq!(
+        engine.stored_datasets(),
+        vec!["alpha".to_string()],
+        "sharded tier must pass warm validation"
+    );
+    if telemetry::is_enabled() {
+        assert_eq!(
+            telemetry::gauge(names::SHARD_RESIDENT).get(),
+            resident_before,
+            "engine startup must not fault in any shard"
+        );
+    }
+
+    for (event, want) in &expected {
+        let got = engine.execute(spec("alpha", *event)).unwrap();
+        assert_eq!(
+            &got.moments, want,
+            "{event:?}: sharded engine diverged from plain engine"
+        );
+        for (a, b) in got.moments.iter().zip(want) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        stats.store_hits,
+        SINGLE_OBJECT.len() as u64,
+        "every single-object alpha query must be shard-served"
+    );
+    assert_eq!(stats.store_fallbacks, 0);
+    assert!(stats.store_probed > 0);
+    if telemetry::is_enabled() {
+        assert!(
+            telemetry::gauge(names::SHARD_RESIDENT).get() > resident_before,
+            "traffic must fault shards in"
+        );
+    }
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

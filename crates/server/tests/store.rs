@@ -6,7 +6,7 @@ mod common;
 
 use std::collections::BTreeMap;
 
-use sketchql::{ingest, DatasetStore, IngestConfig, MatcherConfig};
+use sketchql::{ingest, DatasetStore, IngestConfig, MatcherConfig, StoreTier};
 use sketchql_datasets::{query_clip, EventKind};
 use sketchql_server::{Engine, EngineConfig, QuerySpec};
 
@@ -62,7 +62,7 @@ fn store_backed_engine_matches_plain_engine() {
     plain.shutdown();
 
     let mut stores = BTreeMap::new();
-    stores.insert("alpha".to_string(), store);
+    stores.insert("alpha".to_string(), StoreTier::from(store));
     let engine = Engine::start_with_stores(model, two_datasets(), stores, EngineConfig::default());
     assert_eq!(engine.stored_datasets(), vec!["alpha".to_string()]);
     let infos = engine.datasets();
@@ -96,7 +96,7 @@ fn mismatched_store_is_dropped_at_startup() {
     // Named "alpha" but embedded from a different video.
     let store = exhaustive_store(&model, &small_index(99), "alpha");
     let mut stores = BTreeMap::new();
-    stores.insert("alpha".to_string(), store);
+    stores.insert("alpha".to_string(), StoreTier::from(store));
     let engine = Engine::start_with_stores(model, two_datasets(), stores, EngineConfig::default());
     assert!(engine.stored_datasets().is_empty());
     assert!(engine.datasets().iter().all(|d| !d.stored));
@@ -113,7 +113,7 @@ fn multi_object_query_on_stored_dataset_falls_back() {
     let model = tiny_model();
     let store = exhaustive_store(&model, &small_index(11), "alpha");
     let mut stores = BTreeMap::new();
-    stores.insert("alpha".to_string(), store);
+    stores.insert("alpha".to_string(), StoreTier::from(store));
 
     let plain = Engine::start(model.clone(), two_datasets(), EngineConfig::default());
     let want = plain

@@ -77,63 +77,7 @@ impl IvfIndex {
             normalize(row);
         }
 
-        // Seeded distinct-row initialization.
-        let mut rng = SplitMix64::new(cfg.seed);
-        let mut chosen: Vec<usize> = Vec::with_capacity(nlist);
-        while chosen.len() < nlist {
-            let r = (rng.next() % n as u64) as usize;
-            if !chosen.contains(&r) {
-                chosen.push(r);
-            }
-        }
-        let mut centroids = Vec::with_capacity(nlist * dim);
-        for &r in &chosen {
-            centroids.extend_from_slice(&unit[r * dim..(r + 1) * dim]);
-        }
-
-        let mut assign = vec![0usize; n];
-        for _ in 0..cfg.iters.max(1) {
-            // Assign each row to its most-aligned centroid.
-            for (i, row) in unit.chunks(dim).enumerate() {
-                assign[i] = nearest(&centroids, dim, row).0;
-            }
-            // Recompute centroids as renormalized means.
-            let mut sums = vec![0.0f32; nlist * dim];
-            let mut counts = vec![0usize; nlist];
-            for (i, row) in unit.chunks(dim).enumerate() {
-                let c = assign[i];
-                counts[c] += 1;
-                for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
-                    *s += v;
-                }
-            }
-            for c in 0..nlist {
-                if counts[c] == 0 {
-                    // Reseed an empty cluster with the row least aligned
-                    // to its current centroid (the worst-represented
-                    // vector), deterministically.
-                    let mut worst = (0usize, f32::INFINITY);
-                    for (i, row) in unit.chunks(dim).enumerate() {
-                        let a = assign[i];
-                        let d = dot(&centroids[a * dim..(a + 1) * dim], row);
-                        if d < worst.1 {
-                            worst = (i, d);
-                        }
-                    }
-                    centroids[c * dim..(c + 1) * dim]
-                        .copy_from_slice(&unit[worst.0 * dim..(worst.0 + 1) * dim]);
-                    continue;
-                }
-                let inv = 1.0 / counts[c] as f32;
-                for (dst, &s) in centroids[c * dim..(c + 1) * dim]
-                    .iter_mut()
-                    .zip(&sums[c * dim..(c + 1) * dim])
-                {
-                    *dst = s * inv;
-                }
-                normalize(&mut centroids[c * dim..(c + 1) * dim]);
-            }
-        }
+        let centroids = train_centroids(&unit, dim, nlist, cfg.iters, cfg.seed);
 
         // Final assignment into inverted lists.
         let mut lists = vec![Vec::new(); nlist];
@@ -151,6 +95,11 @@ impl IvfIndex {
     /// Number of inverted lists.
     pub fn nlist(&self) -> usize {
         self.lists.len()
+    }
+
+    /// The centroid table, row-major `nlist × dim`.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
     }
 
     /// Row ids from the `nprobe` lists whose centroids are most aligned
@@ -218,6 +167,218 @@ impl IvfIndex {
                     out.extend_from_slice(&self.lists[c]);
                 }
                 out
+            })
+            .collect()
+    }
+}
+
+/// The k-means refinement loop shared by [`IvfIndex::build`] and
+/// [`CoarseQuantizer::train`]: seeded distinct-row initialization, then
+/// `iters` rounds of assign + renormalized-mean update with deterministic
+/// empty-cluster reseeding. `unit` must already be row-normalized.
+/// Extracting this keeps the two callers bit-identical by construction.
+fn train_centroids(unit: &[f32], dim: usize, nlist: usize, iters: usize, seed: u64) -> Vec<f32> {
+    let n = unit.len() / dim;
+    // Seeded distinct-row initialization.
+    let mut rng = SplitMix64::new(seed);
+    let mut chosen: Vec<usize> = Vec::with_capacity(nlist);
+    while chosen.len() < nlist {
+        let r = (rng.next() % n as u64) as usize;
+        if !chosen.contains(&r) {
+            chosen.push(r);
+        }
+    }
+    let mut centroids = Vec::with_capacity(nlist * dim);
+    for &r in &chosen {
+        centroids.extend_from_slice(&unit[r * dim..(r + 1) * dim]);
+    }
+
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters.max(1) {
+        // Assign each row to its most-aligned centroid.
+        for (i, row) in unit.chunks(dim).enumerate() {
+            assign[i] = nearest(&centroids, dim, row).0;
+        }
+        // Recompute centroids as renormalized means.
+        let mut sums = vec![0.0f32; nlist * dim];
+        let mut counts = vec![0usize; nlist];
+        for (i, row) in unit.chunks(dim).enumerate() {
+            let c = assign[i];
+            counts[c] += 1;
+            for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..nlist {
+            if counts[c] == 0 {
+                // Reseed an empty cluster with the row least aligned
+                // to its current centroid (the worst-represented
+                // vector), deterministically.
+                let mut worst = (0usize, f32::INFINITY);
+                for (i, row) in unit.chunks(dim).enumerate() {
+                    let a = assign[i];
+                    let d = dot(&centroids[a * dim..(a + 1) * dim], row);
+                    if d < worst.1 {
+                        worst = (i, d);
+                    }
+                }
+                centroids[c * dim..(c + 1) * dim]
+                    .copy_from_slice(&unit[worst.0 * dim..(worst.0 + 1) * dim]);
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f32;
+            for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                .iter_mut()
+                .zip(&sums[c * dim..(c + 1) * dim])
+            {
+                *dst = s * inv;
+            }
+            normalize(&mut centroids[c * dim..(c + 1) * dim]);
+        }
+    }
+    centroids
+}
+
+/// The shared coarse quantizer of a *sharded* store: the same k-means
+/// centroids an [`IvfIndex`] would train, without per-row inverted
+/// lists — those live inside each shard, expressed against this one
+/// centroid table. Training once over a sample of the whole dataset
+/// (rather than per shard) is what lets a query rank centroids a single
+/// time and fan out to shards, and what makes per-shard posting lists
+/// comparable across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseQuantizer {
+    dim: usize,
+    centroids: Vec<f32>,
+}
+
+impl CoarseQuantizer {
+    /// Trains centroids over `vectors` (row-major, `len / dim` rows)
+    /// with exactly [`IvfIndex::build`]'s k-means: same normalization,
+    /// same seeded initialization, same refinement and reseeding.
+    ///
+    /// # Panics
+    /// If `dim == 0` while `vectors` is non-empty, or `vectors.len()` is
+    /// not a multiple of `dim`.
+    pub fn train(vectors: &[f32], dim: usize, cfg: &AnnConfig) -> Self {
+        if vectors.is_empty() {
+            return CoarseQuantizer {
+                dim,
+                centroids: Vec::new(),
+            };
+        }
+        assert!(dim > 0, "dim must be positive for non-empty vectors");
+        assert_eq!(vectors.len() % dim, 0, "vectors not a multiple of dim");
+        let n = vectors.len() / dim;
+        let nlist = if cfg.nlist == 0 {
+            (n as f64).sqrt().ceil() as usize
+        } else {
+            cfg.nlist
+        }
+        .clamp(1, n);
+        let mut unit = vectors.to_vec();
+        for row in unit.chunks_mut(dim) {
+            normalize(row);
+        }
+        CoarseQuantizer {
+            dim,
+            centroids: train_centroids(&unit, dim, nlist, cfg.iters, cfg.seed),
+        }
+    }
+
+    /// Rebuilds a quantizer from persisted centroids (the manifest
+    /// stores them by bit pattern, so this is bit-identical to the
+    /// trained original).
+    ///
+    /// # Panics
+    /// If `centroids.len()` is not a multiple of `dim` (for non-empty
+    /// tables).
+    pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Self {
+        if !centroids.is_empty() {
+            assert!(dim > 0, "dim must be positive for non-empty centroids");
+            assert_eq!(centroids.len() % dim, 0, "centroids not a multiple of dim");
+        }
+        CoarseQuantizer { dim, centroids }
+    }
+
+    /// Number of centroids.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// The centroid table, row-major `nlist × dim`.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// The centroid a data row belongs to — the assignment
+    /// [`IvfIndex::build`] would make for the same row against the same
+    /// centroids. `0` for an empty quantizer.
+    pub fn assign(&self, row: &[f32]) -> usize {
+        if self.centroids.is_empty() {
+            return 0;
+        }
+        let mut r = row.to_vec();
+        normalize(&mut r);
+        nearest(&self.centroids, self.dim, &r).0
+    }
+
+    /// Every centroid index ranked by alignment with `query`
+    /// (descending; ties toward the lower index) — the exact ranking
+    /// [`IvfIndex::probe`] applies before gathering lists. Callers take
+    /// the first `nprobe`.
+    pub fn rank(&self, query: &[f32]) -> Vec<usize> {
+        if self.centroids.is_empty() {
+            return Vec::new();
+        }
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let mut ranked: Vec<(usize, f32)> = self
+            .centroids
+            .chunks(self.dim)
+            .enumerate()
+            .map(|(c, cent)| (c, dot(cent, &q)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// [`CoarseQuantizer::rank`] for many queries at once: one pass over
+    /// the centroid table scores every query per centroid, then each
+    /// query sorts exactly as a solo rank would. Per-query results are
+    /// bit-identical to [`CoarseQuantizer::rank`].
+    pub fn rank_batch(&self, queries: &[&[f32]]) -> Vec<Vec<usize>> {
+        if self.centroids.is_empty() {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let unit: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| {
+                let mut q = q.to_vec();
+                normalize(&mut q);
+                q
+            })
+            .collect();
+        let mut ranked: Vec<Vec<(usize, f32)>> =
+            vec![Vec::with_capacity(self.nlist()); queries.len()];
+        for (c, cent) in self.centroids.chunks(self.dim).enumerate() {
+            for (qi, q) in unit.iter().enumerate() {
+                ranked[qi].push((c, dot(cent, q)));
+            }
+        }
+        ranked
+            .into_iter()
+            .map(|mut ranked| {
+                ranked.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                ranked.into_iter().map(|(c, _)| c).collect()
             })
             .collect()
     }
@@ -371,5 +532,98 @@ mod tests {
         let idx = IvfIndex::build(&[], 0, &AnnConfig::default());
         let q: Vec<f32> = vec![1.0];
         assert_eq!(idx.probe_batch(&[&q, &q], 4), vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn quantizer_trains_the_exact_ivf_centroids() {
+        // Same vectors + config must give the same centroid bits whether
+        // trained through IvfIndex::build or CoarseQuantizer::train.
+        let (v, dim) = toy_vectors();
+        let cfg = AnnConfig {
+            nlist: 3,
+            ..AnnConfig::default()
+        };
+        let idx = IvfIndex::build(&v, dim, &cfg);
+        let q = CoarseQuantizer::train(&v, dim, &cfg);
+        let a: Vec<u32> = idx.centroids().iter().map(|c| c.to_bits()).collect();
+        let b: Vec<u32> = q.centroids().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantizer_assignment_reproduces_ivf_lists() {
+        let (v, dim) = toy_vectors();
+        let cfg = AnnConfig {
+            nlist: 3,
+            ..AnnConfig::default()
+        };
+        let idx = IvfIndex::build(&v, dim, &cfg);
+        let q = CoarseQuantizer::from_centroids(idx.centroids().to_vec(), dim);
+        let mut lists = vec![Vec::new(); q.nlist()];
+        for (i, row) in v.chunks(dim).enumerate() {
+            lists[q.assign(row)].push(i as u32);
+        }
+        for (c, list) in lists.iter().enumerate() {
+            assert_eq!(*list, idx.lists[c], "list {c}");
+        }
+    }
+
+    #[test]
+    fn quantizer_rank_orders_exactly_like_probe() {
+        // probe(nprobe) must gather lists in rank() order: truncating the
+        // rank at any nprobe and concatenating the IVF lists reproduces
+        // probe's output for that nprobe.
+        let (v, dim) = toy_vectors();
+        let cfg = AnnConfig {
+            nlist: 3,
+            ..AnnConfig::default()
+        };
+        let idx = IvfIndex::build(&v, dim, &cfg);
+        let q = CoarseQuantizer::from_centroids(idx.centroids().to_vec(), dim);
+        for query in [[1.0f32, 0.0], [0.0, 1.0], [-0.6, -0.6], [0.0, 0.0]] {
+            let ranked = q.rank(&query);
+            assert_eq!(ranked.len(), 3);
+            for nprobe in 1..=3usize {
+                let mut gathered = Vec::new();
+                for &c in ranked.iter().take(nprobe) {
+                    gathered.extend_from_slice(&idx.lists[c]);
+                }
+                assert_eq!(gathered, idx.probe(&query, nprobe), "nprobe={nprobe}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantizer_rank_batch_matches_solo_ranks() {
+        let (v, dim) = toy_vectors();
+        let q = CoarseQuantizer::train(
+            &v,
+            dim,
+            &AnnConfig {
+                nlist: 3,
+                ..AnnConfig::default()
+            },
+        );
+        let queries: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, -1.0],
+            vec![0.4, 0.4],
+            vec![0.0, 0.0],
+        ];
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batched = q.rank_batch(&refs);
+        for (query, got) in queries.iter().zip(&batched) {
+            assert_eq!(got, &q.rank(query));
+        }
+    }
+
+    #[test]
+    fn empty_quantizer_is_inert() {
+        let q = CoarseQuantizer::train(&[], 0, &AnnConfig::default());
+        assert_eq!(q.nlist(), 0);
+        assert!(q.rank(&[1.0]).is_empty());
+        assert_eq!(q.assign(&[1.0]), 0);
+        let one: Vec<f32> = vec![1.0];
+        assert_eq!(q.rank_batch(&[&one]), vec![Vec::<usize>::new()]);
     }
 }

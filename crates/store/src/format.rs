@@ -457,8 +457,123 @@ impl EmbeddingStore {
     }
 }
 
+/// A store file's header, read without touching the column payload.
+///
+/// This is everything attach-time validation needs: the full
+/// [`StoreMeta`] (fingerprints, grid configuration), the row count and
+/// dimensionality, and an implicit structural check — the file length
+/// must be exactly what the header implies, so truncation is caught
+/// without hashing gigabytes. The trailing checksum is deliberately
+/// *not* verified here; it runs on first full load (see the core
+/// crate's lazy store tier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreHeader {
+    /// Provenance and ingest configuration, exactly as a full load
+    /// would return it.
+    pub meta: StoreMeta,
+    /// Number of stored windows.
+    pub rows: u32,
+    /// Embedding dimensionality.
+    pub dim: u32,
+}
+
+impl StoreHeader {
+    /// Reads and validates the header of `path`: magic, version, header
+    /// fields, and that the file length matches the layout the header
+    /// implies.
+    pub fn read(path: &Path) -> Result<Self, StoreError> {
+        let io = |source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let mut file = std::fs::File::open(path).map_err(io)?;
+        let file_len = file.metadata().map_err(io)?.len() as usize;
+        // The header is variable-length (dataset name + window grid) but
+        // small; one bounded prefix read covers any plausible store.
+        let take = file_len.min(64 * 1024);
+        let mut prefix = vec![0u8; take];
+        std::io::Read::read_exact(&mut file, &mut prefix).map_err(io)?;
+        let (header, header_len) = Self::parse(path, &prefix)?;
+        let n = header.rows as usize;
+        let dim = header.dim as usize;
+        let expected = header_len + n * (8 + 1 + 4 + 4) + n * dim * 4 + 8;
+        if file_len != expected {
+            return Err(StoreError::Truncated {
+                path: path.to_path_buf(),
+                detail: format!(
+                    "store payload (header implies {expected} bytes, file has {file_len})"
+                ),
+            });
+        }
+        Ok(header)
+    }
+
+    /// Parses the header fields from a file prefix; returns the header
+    /// plus its byte length (where the column payload starts).
+    fn parse(path: &Path, bytes: &[u8]) -> Result<(Self, usize), StoreError> {
+        let mut r = Reader {
+            path,
+            bytes,
+            pos: 0,
+        };
+        let magic = r.take(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        let version = r.u32("version")?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                path: path.to_path_buf(),
+                found: version,
+            });
+        }
+        let model_fingerprint = r.u64("model fingerprint")?;
+        let index_fingerprint = r.u64("index fingerprint")?;
+        let frames = r.u32("frames")?;
+        let fps = r.f32("fps")?;
+        let frame_width = r.f32("frame width")?;
+        let frame_height = r.f32("frame height")?;
+        let stride_frac = r.f32("stride fraction")?;
+        let min_overlap_frac = r.f32("overlap fraction")?;
+        let name_len = r.u32("dataset name length")? as usize;
+        let name = r.take(name_len, "dataset name")?;
+        let dataset = String::from_utf8(name.to_vec()).map_err(|_| StoreError::BadHeader {
+            path: path.to_path_buf(),
+            detail: "dataset name is not UTF-8".into(),
+        })?;
+        let n_lens = r.u32("window-length count")? as usize;
+        let mut window_lens = Vec::with_capacity(n_lens.min(1024));
+        for _ in 0..n_lens {
+            window_lens.push(r.u32("window length")?);
+        }
+        let rows = r.u32("row count")?;
+        let dim = r.u32("vector dim")?;
+        Ok((
+            StoreHeader {
+                meta: StoreMeta {
+                    dataset,
+                    model_fingerprint,
+                    index_fingerprint,
+                    frames,
+                    fps,
+                    frame_width,
+                    frame_height,
+                    stride_frac,
+                    min_overlap_frac,
+                    window_lens,
+                },
+                rows,
+                dim,
+            },
+            r.pos,
+        ))
+    }
+}
+
 /// Encodes a class for the class column (see module docs).
-fn class_code(c: ObjectClass) -> u8 {
+pub(crate) fn class_code(c: ObjectClass) -> u8 {
     match ObjectClass::CONCRETE.iter().position(|&k| k == c) {
         Some(i) => (i + 1) as u8,
         None => 0, // Any
@@ -466,7 +581,7 @@ fn class_code(c: ObjectClass) -> u8 {
 }
 
 /// Decodes a class-column byte; `None` for unknown codes.
-fn class_from_code(code: u8) -> Option<ObjectClass> {
+pub(crate) fn class_from_code(code: u8) -> Option<ObjectClass> {
     match code {
         0 => Some(ObjectClass::Any),
         i => ObjectClass::CONCRETE.get(i as usize - 1).copied(),
@@ -581,6 +696,36 @@ mod tests {
         s.save(&path).unwrap();
         let back = EmbeddingStore::load(&path).unwrap();
         assert_eq!(back, s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_read_matches_full_load_without_touching_columns() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join(format!("skql-header-{}", std::process::id()));
+        let path = dir.join("sample.skstore");
+        s.save(&path).unwrap();
+        let header = StoreHeader::read(&path).unwrap();
+        assert_eq!(header.meta, s.meta);
+        assert_eq!(header.rows as usize, s.len());
+        assert_eq!(header.dim as usize, s.dim());
+
+        // A truncated payload is still caught by the length check alone.
+        let bytes = s.to_bytes();
+        let short = dir.join("short.skstore");
+        std::fs::write(&short, &bytes[..bytes.len() - 3]).unwrap();
+        let err = StoreHeader::read(&short).unwrap_err();
+        assert!(matches!(err, StoreError::Truncated { .. }), "{err:?}");
+
+        // But a flipped payload byte is NOT caught here — that is the
+        // deferred-checksum contract: header validation is O(header).
+        let mut flipped = bytes.clone();
+        let idx = flipped.len() - 16;
+        flipped[idx] ^= 1;
+        let corrupt = dir.join("corrupt.skstore");
+        std::fs::write(&corrupt, &flipped).unwrap();
+        assert!(StoreHeader::read(&corrupt).is_ok());
+        assert!(EmbeddingStore::load(&corrupt).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

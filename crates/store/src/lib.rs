@@ -30,9 +30,21 @@
 
 pub mod ann;
 pub mod format;
+pub mod manifest;
+pub mod mmap;
+pub mod shard;
 
-pub use ann::{AnnConfig, IvfIndex};
-pub use format::{EmbeddingStore, StoreError, StoreMeta, StoreRow, FORMAT_VERSION, MAGIC};
+pub use ann::{AnnConfig, CoarseQuantizer, IvfIndex};
+pub use format::{
+    EmbeddingStore, StoreError, StoreHeader, StoreMeta, StoreRow, FORMAT_VERSION, MAGIC,
+};
+pub use manifest::{
+    hex_u64, parse_hex_u64, Manifest, ManifestShard, MANIFEST_FILE, MANIFEST_VERSION, SHARD_SET_EXT,
+};
+pub use mmap::Mmap;
+pub use shard::{
+    read_shard_header, LoadedShard, ShardData, ShardHeader, SHARD_EXT, SHARD_MAGIC, SHARD_VERSION,
+};
 
 /// Incremental FNV-1a 64-bit hasher.
 ///

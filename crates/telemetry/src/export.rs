@@ -93,6 +93,12 @@ fn prom_help(name: &str) -> &'static str {
         names::TRAINING_STEP_MS => "Per-training-step wall time, milliseconds.",
         names::SERVER_FUSED_BATCH => "Queries fused into one shared engine scan.",
         names::STORE_PROBE_ROWS => "Rows returned per ANN probe.",
+        names::SHARD_RESIDENT => "Shards currently resident across attached shard sets.",
+        names::SHARD_LOADS => "Shard files faulted in on first probe.",
+        names::SHARD_LOAD_ERRORS => "Shard loads that failed (corrupt or unreadable shards).",
+        names::SHARD_PROBES => "Shards consulted (loaded and gathered) by probes.",
+        names::SHARD_SKIPPED => "Shards skipped by probes via manifest list counts.",
+        names::SHARD_BYTES_MAPPED => "Bytes of shard payload currently memory-mapped.",
         _ => "SketchQL metric; see the names module in crates/telemetry.",
     }
 }

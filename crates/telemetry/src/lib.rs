@@ -238,6 +238,28 @@ pub mod names {
     /// Span: one ANN probe + exact re-rank against a persistent store.
     pub const STORE_PROBE: &str = "sketchql.store.probe";
 
+    /// Gauge: shards currently resident (mapped, checksummed, decoded)
+    /// across every attached shard set. Starts at 0 on attach — shards
+    /// fault in on first probe.
+    pub const SHARD_RESIDENT: &str = "sketchql.shard.resident";
+    /// Counter: shard load events (first-probe faults that mapped and
+    /// verified a shard file).
+    pub const SHARD_LOADS: &str = "sketchql.shard.loads";
+    /// Counter: shard loads that failed (corrupt, truncated, or
+    /// unreadable shard files discovered at first probe).
+    pub const SHARD_LOAD_ERRORS: &str = "sketchql.shard.load_errors";
+    /// Counter: shards consulted by probes (loaded and their posting
+    /// lists gathered).
+    pub const SHARD_PROBES: &str = "sketchql.shard.probes";
+    /// Counter: shards skipped by probes without loading because the
+    /// manifest showed no rows under any probed centroid.
+    pub const SHARD_SKIPPED: &str = "sketchql.shard.skipped";
+    /// Gauge: bytes of shard payload currently memory-mapped across
+    /// every attached shard set.
+    pub const SHARD_BYTES_MAPPED: &str = "sketchql.shard.bytes_mapped";
+    /// Span: faulting one shard in (map + checksum + column decode).
+    pub const SHARD_LOAD: &str = "sketchql.shard.load";
+
     /// Span: embedding the candidate clips of one scan (the batched,
     /// possibly parallel encoder pass).
     pub const MATCHER_EMBED: &str = "sketchql.matcher.embed";

@@ -62,6 +62,17 @@ SKETCHQL_BENCH_QUICK=1 SKETCHQL_STORE_SPEEDUP_MIN=3 \
     SKETCHQL_STORE_BENCH_JSON=target/BENCH_store_smoke.json \
     scripts/bench_store.sh
 
+echo "== shard smoke (sharded ingest -> restart -> byte-identical query -> serve)"
+scripts/smoke_shard.sh
+
+echo "== shard attach + ingest + recall-parity smoke (quick samples)"
+# Recall parity and the attach fraction are deterministic, so those bars
+# stay at the real acceptance values even in quick mode; the parallel
+# ingest bar self-adjusts to the machine (see bench_shard.sh).
+SKETCHQL_BENCH_QUICK=1 \
+    SKETCHQL_SHARD_BENCH_JSON=target/BENCH_shard_smoke.json \
+    scripts/bench_shard.sh
+
 echo "== matcher speedup smoke (quick samples)"
 # 3 quick samples are noisy, so the smoke bar is looser than the full
 # bench's 3x acceptance bar (run scripts/bench_matcher.sh for that), and

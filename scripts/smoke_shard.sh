@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke for the sharded store tier: generate a video,
+# train a throwaway model, `ingest --shard-frames` into a shard set
+# (with --verify re-checking every checksum), then "restart" — answer
+# the same query from the shard set on disk and from a plain scan —
+# and require byte-identical output. Finally serve the shard set and
+# round-trip a query over the wire, proving the sharded attach path
+# needs no re-embedding (and no shard payload reads) at startup.
+#
+#   scripts/smoke_shard.sh                      # uses target/release
+#   SKETCHQL_CLI=target/debug/sketchql-cli scripts/smoke_shard.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${SKETCHQL_CLI:-target/release/sketchql-cli}"
+ADDR="${SKETCHQL_SMOKE_ADDR:-127.0.0.1:17881}"
+if [ ! -x "$CLI" ]; then
+    echo "missing $CLI (run cargo build --release first)" >&2
+    exit 2
+fi
+
+work="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== shard smoke: fixtures"
+"$CLI" generate --out "$work/video.json" --events 1 --distractors 2 --seed 3 >/dev/null
+"$CLI" train --out "$work/model.json" --steps 20 >/dev/null
+
+echo "== shard smoke: parallel sharded ingest with --verify"
+"$CLI" ingest --video "$work/video.json" --model "$work/model.json" \
+    --dataset traffic --store-dir "$work/stores" --oracle-tracks \
+    --shard-frames 64 --threads 2 --verify \
+    | tee "$work/ingest.out"
+grep -q "wrote sharded store" "$work/ingest.out" || { echo "sharded ingest wrote nothing" >&2; exit 1; }
+grep -q "progress:" "$work/ingest.out" || { echo "ingest printed no progress" >&2; exit 1; }
+grep -q "verify: manifest" "$work/ingest.out" || { echo "--verify did not run" >&2; exit 1; }
+ls "$work/stores/"*.skset/manifest.json >/dev/null
+ls "$work/stores/"*.skset/*.skshard >/dev/null
+
+echo "== shard smoke: restart — sharded answers match the plain scan byte for byte"
+"$CLI" query --video "$work/video.json" --model "$work/model.json" \
+    --event left_turn --oracle-tracks --store-dir "$work/stores" \
+    | tee "$work/sharded.out"
+grep -q "store: index-backed" "$work/sharded.out" \
+    || { echo "query did not use the shard set" >&2; exit 1; }
+"$CLI" query --video "$work/video.json" --model "$work/model.json" \
+    --event left_turn --oracle-tracks \
+    | tee "$work/scan.out"
+# Same ranked moments, same printed scores: compare the result tables
+# (strip the store/progress banner lines, which legitimately differ).
+grep -E "^[0-9]+ " "$work/sharded.out" > "$work/sharded.rows" || true
+grep -E "^[0-9]+ " "$work/scan.out" > "$work/scan.rows" || true
+[ -s "$work/sharded.rows" ] || { echo "sharded query returned no moments" >&2; exit 1; }
+diff -u "$work/scan.rows" "$work/sharded.rows" \
+    || { echo "sharded results differ from the scan" >&2; exit 1; }
+
+echo "== shard smoke: serve --store-dir on $ADDR (lazy attach)"
+"$CLI" serve --model "$work/model.json" --videos "traffic=$work/video.json" \
+    --store-dir "$work/stores" --addr "$ADDR" --workers 2 --oracle-tracks \
+    >"$work/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "serving on" "$work/serve.log" 2>/dev/null && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q 'store: dataset "traffic" is index-backed' "$work/serve.log" \
+    || { echo "serve did not attach the shard set" >&2; cat "$work/serve.log" >&2; exit 1; }
+grep -q "payloads load lazily" "$work/serve.log" \
+    || { echo "serve did not report lazy attach" >&2; cat "$work/serve.log" >&2; exit 1; }
+
+echo "== shard smoke: wire round trip"
+"$CLI" client --addr "$ADDR" --action query \
+    --dataset traffic --event left_turn --top-k 3 --deadline-ms 30000 \
+    | tee "$work/query.out"
+grep -q "^1 " "$work/query.out" || { echo "query returned no moments" >&2; exit 1; }
+"$CLI" client --addr "$ADDR" --action stats | tee "$work/stats.out"
+hits="$(awk '/^store hits/ { print $3 }' "$work/stats.out")"
+[ "${hits:-0}" -ge 1 ] || { echo "expected >=1 store hit, got ${hits:-none}" >&2; exit 1; }
+"$CLI" client --addr "$ADDR" --action shutdown
+
+for _ in $(seq 1 50); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "serve did not exit after wire shutdown" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+serve_pid=""
+
+echo "ok: shard smoke passed"

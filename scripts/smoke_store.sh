@@ -57,6 +57,16 @@ done
 grep -q 'store: dataset "traffic" is index-backed' "$work/serve.log" \
     || { echo "serve did not warm-load the store" >&2; cat "$work/serve.log" >&2; exit 1; }
 
+# Startup must validate headers only — payloads (checksum, ANN build)
+# are deferred to the first probe. The serve banner reports the attach
+# wall time; gate it so an accidental eager full load fails the smoke.
+attach_ms="$(sed -n 's/^store: attached .* in \([0-9.]*\) ms.*/\1/p' "$work/serve.log")"
+[ -n "$attach_ms" ] || { echo "serve did not report store attach time" >&2; cat "$work/serve.log" >&2; exit 1; }
+max_ms="${SKETCHQL_STORE_ATTACH_MS_MAX:-1500}"
+awk -v got="$attach_ms" -v max="$max_ms" 'BEGIN { exit (got + 0 <= max + 0) ? 0 : 1 }' \
+    || { echo "store attach took ${attach_ms} ms (bar: <=${max_ms} ms); startup is not header-only" >&2; exit 1; }
+echo "store attach: ${attach_ms} ms (bar: <=${max_ms} ms)"
+
 echo "== store smoke: wire round trip"
 "$CLI" client --addr "$ADDR" --action list | tee "$work/list.out"
 grep -q "store" "$work/list.out" || { echo "dataset not listed as store-backed" >&2; exit 1; }

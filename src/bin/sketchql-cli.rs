@@ -22,8 +22,9 @@ use rand::SeedableRng;
 use sketchql::telemetry::{self, Recorder};
 use sketchql::training::{train_with_callback, TrainedModel, TrainingConfig};
 use sketchql::{
-    ingest, load_store_dir, save_store_dir, CancelToken, ClassicalSimilarity, IngestConfig,
-    Matcher, MatcherConfig, RetrievedMoment, VideoIndex,
+    ingest, ingest_sharded, load_store_tier_dir, save_store_dir, shard_set_dir_name, CancelToken,
+    ClassicalSimilarity, IngestConfig, IngestProgress, Matcher, MatcherConfig, RetrievedMoment,
+    ShardSet, VideoIndex,
 };
 use sketchql_datasets::{
     generate_video, query_clip, EventKind, SceneFamily, SyntheticVideo, VideoConfig,
@@ -81,8 +82,12 @@ commands:
            [--rules] [--top-k <n>] [--oracle-tracks] [--stats] [--no-embed-cache]
            [--store-dir <dir>] [--nprobe <n>]
   ingest   --video <file> --model <file> [--dataset <name>] [--store-dir <dir>]
-           [--events <a,b,...>] [--threads <n>] [--oracle-tracks]
+           [--events <a,b,...>] [--threads <n>] [--oracle-tracks] [--verify]
            precompute window embeddings into <dir>/<dataset>.skstore
+           [--shard-frames <n>] shard by frame range instead: parallel
+           ingest into <dir>/<dataset>.skset/ (shards + manifest),
+           served memory-mapped with lazy shard loading; --verify
+           re-opens the written output and checks every checksum
   stats    same flags as query; runs it quietly and dumps the metric
            registry [--format <json|prometheus>]
   render   --video <file> [--start <frame>] [--end <frame>]
@@ -292,23 +297,31 @@ fn execute_query(
         // instead of the memoized batched path (results are identical).
         m.config.embed_cache = !flags.contains_key("no-embed-cache");
         if let Some(dir) = flags.get("store-dir") {
-            // Index-backed path: pick the ingested store whose model and
-            // video fingerprints match what we just built.
-            let stores = load_store_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
-            let mut store = stores
+            // Index-backed path: pick the attached store tier (a
+            // monolithic `.skstore` or a sharded `.skset/`) whose model
+            // and video fingerprints match what we just built. Attach
+            // validates headers/manifests only; payloads load on probe.
+            let tiers = load_store_tier_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+            let mut tier = tiers
                 .into_values()
-                .find(|s| s.matches_model(&m.sim) && s.matches_index(&index))
+                .find(|t| t.matches_model(&m.sim) && t.matches_index(&index))
                 .ok_or_else(|| format!("{dir}: no store matches this video and model"))?;
-            store.nprobe = num(flags, "nprobe", store.nprobe)?;
+            if let Some(np) = flags.get("nprobe") {
+                let np: usize = np
+                    .parse()
+                    .map_err(|_| format!("--nprobe: cannot parse {np:?}"))?;
+                tier.set_nprobe(np);
+            }
             let search = m
-                .search_with_store(&index, &store, &query, &CancelToken::none())
+                .search_with_tier(&index, &tier, &query, &CancelToken::none())
                 .map_err(|e| e.to_string())?;
             if !quiet {
                 if search.from_store {
                     println!(
-                        "store: index-backed ({} of {} vectors probed)",
+                        "store: index-backed ({} of {} vectors probed, {} shard(s))",
                         search.probed,
-                        store.store.len()
+                        tier.rows(),
+                        tier.shard_count()
                     );
                 } else {
                     println!("store: cannot serve this query; fell back to full scan");
@@ -384,6 +397,64 @@ fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut cfg = IngestConfig::from_matcher(&MatcherConfig::default(), &spans);
     cfg.threads = num(flags, "threads", 4)?;
     let started = std::time::Instant::now();
+
+    if flags.contains_key("shard-frames") {
+        // Sharded ingest: frame-range shards embedded in parallel across
+        // the worker pool, one `.skshard` file each plus a manifest.
+        let shard_frames: u32 = num(flags, "shard-frames", 0)?;
+        if shard_frames == 0 {
+            return Err("--shard-frames: must be at least 1".into());
+        }
+        let set_dir = dir.join(shard_set_dir_name(&dataset));
+        let set = ingest_sharded(
+            &sim,
+            &index,
+            &dataset,
+            &cfg,
+            shard_frames,
+            &set_dir,
+            &|e| match e {
+                IngestProgress::Enumerated { windows, shards } => {
+                    println!("progress: enumerated {windows} windows across {shards} shard(s)");
+                }
+                IngestProgress::ShardEmbedded {
+                    shard_id,
+                    done,
+                    total,
+                } => {
+                    println!("progress: {done}/{total} windows embedded (shard {shard_id} done)");
+                }
+                IngestProgress::ShardWritten { shard_id, rows } => {
+                    println!("progress: shard {shard_id} written ({rows} rows)");
+                }
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "embedded {} windows into {} shards (window lengths {:?}, {} quantizer lists, \
+             {} threads) in {:.1}s",
+            set.total_rows(),
+            set.shard_count(),
+            cfg.window_lens,
+            set.nlist(),
+            cfg.threads.max(1),
+            started.elapsed().as_secs_f64()
+        );
+        if flags.contains_key("verify") {
+            let reopened = ShardSet::open(&set_dir).map_err(|e| e.to_string())?;
+            reopened.verify().map_err(|e| e.to_string())?;
+            println!(
+                "verify: manifest and {} shard checksum(s) ok",
+                reopened.shard_count()
+            );
+        }
+        println!(
+            "wrote sharded store for dataset {dataset:?} into {}",
+            set_dir.display()
+        );
+        return Ok(());
+    }
+
     let store = ingest(&sim, &index, &dataset, &cfg);
     println!(
         "embedded {} windows (dim {}, window lengths {:?}) in {:.1}s; {} ANN lists",
@@ -396,6 +467,13 @@ fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut stores = std::collections::BTreeMap::new();
     stores.insert(dataset.clone(), store);
     save_store_dir(dir, &stores).map_err(|e| e.to_string())?;
+    if flags.contains_key("verify") {
+        let reopened = load_store_tier_dir(dir).map_err(|e| e.to_string())?;
+        if !reopened.contains_key(&dataset) {
+            return Err(format!("verify: dataset {dataset:?} missing after write"));
+        }
+        println!("verify: store header ok");
+    }
     println!("wrote store for dataset {dataset:?} into {}", dir.display());
     Ok(())
 }
@@ -580,24 +658,39 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         sched: parse_sched_policy(flags)?,
         matcher,
     };
-    // Warm-load ingested embedding stores; Engine::start_with_stores
-    // validates fingerprints and silently drops mismatches, so a stale
-    // store degrades that dataset to the scan path instead of failing.
+    // Attach ingested embedding stores (monolithic `.skstore` files and
+    // sharded `.skset/` directories alike). Attach validates headers and
+    // manifests only — payloads, checksums, and ANN builds are deferred
+    // to first probe, so startup cost does not scale with store size.
+    // Engine::start_with_stores validates fingerprints and silently
+    // drops mismatches, so a stale store degrades that dataset to the
+    // scan path instead of failing.
+    let attach_started = std::time::Instant::now();
     let stores = match flags.get("store-dir") {
         Some(dir) => {
-            let mut stores = load_store_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+            let mut stores =
+                load_store_tier_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
             if let Some(np) = flags.get("nprobe") {
                 let np: usize = np
                     .parse()
                     .map_err(|_| format!("--nprobe: cannot parse {np:?}"))?;
-                for store in stores.values_mut() {
-                    store.nprobe = np;
+                for tier in stores.values_mut() {
+                    tier.set_nprobe(np);
                 }
             }
             stores
         }
         None => std::collections::BTreeMap::new(),
     };
+    if !stores.is_empty() {
+        let shards: usize = stores.values().map(|t| t.shard_count()).sum();
+        println!(
+            "store: attached {} store(s) ({} shard(s)) in {:.1} ms; payloads load lazily",
+            stores.len(),
+            shards,
+            attach_started.elapsed().as_secs_f64() * 1e3
+        );
+    }
     let loaded: Vec<String> = stores.keys().cloned().collect();
 
     // Observability side channels: a JSON-lines slow-query log (also
