@@ -79,8 +79,8 @@ pub use sketcher::{
 pub use training::{train, train_with_schedule, PairEval, TrainedModel, TrainingConfig};
 pub use tuner::{active_feedback_loop, fine_tune, Feedback, FeedbackRound, Reranker, TunerConfig};
 pub use vshard::{
-    enumerate_store_rows, ingest_sharded, load_store_tier_dir, shard_set_dir_name, IngestProgress,
-    LazyStore, ShardSet, StoreTier,
+    append_frames, enumerate_store_rows, ingest_sharded, load_store_tier_dir, shard_set_dir_name,
+    AppendOutcome, IngestProgress, LazyStore, ShardSet, StoreTier,
 };
 pub use vstore::{
     index_fingerprint, ingest, load_store_dir, model_fingerprint, save_store_dir, DatasetStore,

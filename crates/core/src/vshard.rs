@@ -36,10 +36,10 @@ use sketchql_store::{
 };
 use sketchql_telemetry::{self as telemetry, names};
 use sketchql_trajectory::{Clip, Trajectory};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::cancel::CancelToken;
 use crate::embed_cache::embed_clips_parallel;
@@ -352,6 +352,7 @@ pub fn ingest_sharded(
     lens.dedup();
     let manifest = Manifest {
         version: sketchql_store::MANIFEST_VERSION,
+        epoch: 0,
         dataset: dataset.to_string(),
         model_fingerprint: hex_u64(model_fingerprint(sim)),
         index_fingerprint: hex_u64(index_fingerprint(index)),
@@ -372,36 +373,356 @@ pub fn ingest_sharded(
     ShardSet::open(dir)
 }
 
+/// What one committed [`append_frames`] did.
+pub struct AppendOutcome {
+    /// The freshly reopened set (cold, nothing resident).
+    pub set: ShardSet,
+    /// The epoch the commit advanced the manifest to (unchanged if the
+    /// call was a no-op).
+    pub epoch: u64,
+    /// Frames the set covered before the append.
+    pub old_frames: u32,
+    /// Frames the set covers now.
+    pub new_frames: u32,
+    /// Windows embedded fresh (touched by the new frames).
+    pub embedded_rows: usize,
+    /// Windows copied verbatim from the previous epoch's shards.
+    pub reused_rows: usize,
+    /// Shards rewritten (the dirty suffix; untouched shards keep their
+    /// files byte-for-byte).
+    pub rewritten_shards: usize,
+}
+
+/// Incrementally extends an existing shard set to cover `index`, which
+/// must be the *same* video with frames appended (pure extension: every
+/// pre-existing frame's detections are unchanged). Only windows whose
+/// frame span touches the new frames are embedded; everything else is
+/// copied from the previous epoch's shards, so the cost scales with the
+/// appended span, not the corpus.
+///
+/// Because shard `i` owns windows by *start frame*, a window can only
+/// change if its start is at least `old_frames - (wmax - 1)` (`wmax` =
+/// the longest configured window): anything starting earlier ended
+/// before the old tail and is untouched by construction. The rewrite
+/// therefore begins at the shard owning that start (never later than
+/// the old tail shard, whose frame range itself grows) and re-runs the
+/// exact from-scratch enumeration for the rewritten ranges — the
+/// resulting row/vector columns are byte-identical to a full re-ingest.
+/// New rows are assigned to the **existing** shared quantizer
+/// (list-append; centroids are never retrained), so query results are
+/// bit-identical to a from-scratch ingest under exact re-rank even
+/// though the coarse lists may differ.
+///
+/// Commit is atomic: rewritten shards land under epoch-suffixed names
+/// (current-epoch files are never overwritten), then one
+/// `manifest.json` rename publishes the new epoch. A reader holding the
+/// old manifest keeps a complete old-epoch set; a crash before the
+/// rename leaves the old epoch intact (orphaned new-epoch files are
+/// garbage-collected by the next append).
+///
+/// `threads` sizes the embedding worker pool. Re-calling with an index
+/// the set already covers is a no-op (same epoch returned).
+pub fn append_frames(
+    sim: &LearnedSimilarity,
+    index: &VideoIndex,
+    dir: &Path,
+    threads: usize,
+    progress: &(dyn Fn(IngestProgress) + Sync),
+) -> Result<AppendOutcome, StoreError> {
+    let _span = telemetry::span(names::LIVE_APPEND);
+    let manifest = Manifest::load(dir)?;
+    let bad = |detail: String| StoreError::BadHeader {
+        path: dir.join(MANIFEST_FILE),
+        detail,
+    };
+    if manifest.model_fp() != Some(model_fingerprint(sim)) {
+        return Err(bad("append with a different model than ingest".into()));
+    }
+    if index.fps.to_bits() != manifest.fps_bits
+        || index.frame_width.to_bits() != manifest.frame_width_bits
+        || index.frame_height.to_bits() != manifest.frame_height_bits
+    {
+        return Err(bad("append index disagrees with ingest provenance".into()));
+    }
+    let old_frames = manifest.frames;
+    if index.frames < old_frames {
+        return Err(bad(format!(
+            "append cannot shrink the video: set covers {old_frames} frames, index has {}",
+            index.frames
+        )));
+    }
+    if index.frames == old_frames {
+        if manifest.index_fp() == Some(index_fingerprint(index)) {
+            let epoch = manifest.epoch;
+            return Ok(AppendOutcome {
+                set: ShardSet::open(dir)?,
+                epoch,
+                old_frames,
+                new_frames: old_frames,
+                embedded_rows: 0,
+                reused_rows: 0,
+                rewritten_shards: 0,
+            });
+        }
+        return Err(bad(
+            "append with same frame count but different contents (history rewritten?)".into(),
+        ));
+    }
+
+    // Garbage-collect shard files a crashed previous append left behind
+    // (anything with the shard extension the manifest doesn't claim).
+    let referenced: HashSet<&str> = manifest.shards.iter().map(|s| s.file.as_str()).collect();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_shard = path.extension().is_some_and(|x| x == "skshard");
+            let name = entry.file_name();
+            if is_shard && !referenced.contains(name.to_str().unwrap_or_default()) {
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    // Rebuild the exact ingest grid configuration from the manifest.
+    let config = IngestConfig {
+        window_lens: manifest.window_lens.clone(),
+        stride_frac: f32::from_bits(manifest.stride_frac_bits),
+        min_overlap_frac: f32::from_bits(manifest.min_overlap_frac_bits),
+        threads,
+        ann: AnnConfig::default(), // unused: the quantizer is never retrained
+    };
+    let shard_frames = manifest.shard_frames.max(1);
+    let wmax = manifest.window_lens.iter().copied().max().unwrap_or(1);
+    // First start frame whose window could touch the new frames. Every
+    // row starting earlier is unchanged by a pure extension.
+    let dirty_lo = old_frames.saturating_sub(wmax.saturating_sub(1));
+    let old_count = manifest.shards.len();
+    // The old tail shard always rewrites: its owned frame range itself
+    // extends when the video grows past it.
+    let d_first = ((dirty_lo / shard_frames) as usize).min(old_count.saturating_sub(1));
+    let new_count = if index.frames == 0 {
+        1
+    } else {
+        index.frames.div_ceil(shard_frames) as usize
+    };
+
+    // Harvest reusable vectors from the shards about to be rewritten:
+    // rows untouched by the new frames keep their embeddings verbatim.
+    let mut reuse: HashMap<(sketchql_trajectory::TrackId, u32, u32), Vec<f32>> = HashMap::new();
+    let dim = manifest.dim as usize;
+    for entry in &manifest.shards[d_first..] {
+        let checksum = sketchql_store::manifest::parse_hex_u64(&entry.checksum)
+            .ok_or_else(|| bad(format!("shard {} checksum is not hex", entry.shard_id)))?;
+        let shard = LoadedShard::open(&dir.join(&entry.file), Some(checksum))?;
+        for r in 0..entry.rows as usize {
+            let row = shard.row(r);
+            reuse.insert((row.track_id, row.start, row.end), shard.vector(r).to_vec());
+        }
+    }
+
+    // Enumerate the rewritten ranges with the exact from-scratch grid.
+    let ranges: Vec<(u32, u32)> = (d_first..new_count)
+        .map(|i| {
+            let lo = i as u32 * shard_frames;
+            let hi = ((i as u32 + 1) * shard_frames - 1).min(index.frames.saturating_sub(1));
+            (lo, hi)
+        })
+        .collect();
+    let enumerated: Vec<(Vec<StoreRow>, Vec<Clip>)> = ranges
+        .iter()
+        .map(|&range| enumerate_store_rows(index, &config, Some(range)))
+        .collect();
+    let rewrite_count = enumerated.len();
+    let total_fresh: usize = enumerated
+        .iter()
+        .flat_map(|(rows, _)| rows.iter())
+        .filter(|row| !reuse.contains_key(&(row.track_id, row.start, row.end)))
+        .count();
+    progress(IngestProgress::Enumerated {
+        windows: total_fresh,
+        shards: rewrite_count,
+    });
+
+    // Embed only the fresh windows, shard by shard across the pool —
+    // the same per-clip embedding a from-scratch ingest runs, so the
+    // vectors are bit-identical.
+    let pool = threads.max(1).min(rewrite_count.max(1));
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let mut embedded: Vec<EmbeddedShard> = Vec::new();
+    embedded.resize_with(rewrite_count, || None);
+    let slots: Vec<std::sync::Mutex<&mut EmbeddedShard>> =
+        embedded.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..pool {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= rewrite_count {
+                    break;
+                }
+                let (rows, clips) = &enumerated[i];
+                let fresh: Vec<Clip> = rows
+                    .iter()
+                    .zip(clips)
+                    .filter(|(row, _)| !reuse.contains_key(&(row.track_id, row.start, row.end)))
+                    .map(|(_, clip)| clip.clone())
+                    .collect();
+                let n_fresh = fresh.len();
+                let vectors = embed_clips_parallel(sim, &fresh, 1);
+                **slots[i].lock().unwrap() = Some(vectors);
+                let so_far = done.fetch_add(n_fresh, Ordering::Relaxed) + n_fresh;
+                progress(IngestProgress::ShardEmbedded {
+                    shard_id: (d_first + i) as u32,
+                    done: so_far,
+                    total: total_fresh,
+                });
+            });
+        }
+    });
+    drop(slots);
+
+    // Assemble each rewritten shard in enumeration order, splicing
+    // reused vectors back in (and dropping unembeddable rows, exactly
+    // as from-scratch ingest does).
+    let quantizer = CoarseQuantizer::from_centroids(manifest.centroids(), dim);
+    let nlist = manifest.nlist as usize;
+    let epoch = manifest.epoch + 1;
+    let mut entries: Vec<ManifestShard> = manifest.shards[..d_first].to_vec();
+    let mut embedded_rows = 0usize;
+    let mut reused_rows = 0usize;
+    for (j, (rows, _)) in enumerated.into_iter().enumerate() {
+        let i = d_first + j;
+        let vectors = embedded[j].take().expect("every shard embeds");
+        let mut fresh_iter = vectors.into_iter();
+        let mut keep_rows = Vec::with_capacity(rows.len());
+        let mut keep_vecs: Vec<f32> = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            if let Some(v) = reuse.get(&(row.track_id, row.start, row.end)) {
+                reused_rows += 1;
+                keep_rows.push(row);
+                keep_vecs.extend_from_slice(v);
+            } else if let Some(v) = fresh_iter.next().expect("one embedding per fresh row") {
+                embedded_rows += 1;
+                keep_rows.push(row);
+                keep_vecs.extend_from_slice(&v);
+            }
+        }
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        if nlist > 0 {
+            for r in 0..keep_rows.len() {
+                lists[quantizer.assign(&keep_vecs[r * dim..(r + 1) * dim])].push(r as u32);
+            }
+        }
+        let file = format!("shard-{i:04}-e{epoch:04}.skshard");
+        let data = ShardData {
+            shard_id: i as u32,
+            frame_start: ranges[j].0,
+            frame_end: ranges[j].1,
+            dim,
+            rows: keep_rows,
+            vectors: keep_vecs,
+            lists,
+        };
+        let checksum = data.save(&dir.join(&file))?;
+        progress(IngestProgress::ShardWritten {
+            shard_id: i as u32,
+            rows: data.rows.len(),
+        });
+        entries.push(ManifestShard {
+            file,
+            shard_id: i as u32,
+            frame_start: ranges[j].0,
+            frame_end: ranges[j].1,
+            rows: data.rows.len() as u32,
+            checksum: hex_u64(checksum),
+            list_rows: data.lists.iter().map(|l| l.len() as u32).collect(),
+        });
+    }
+    telemetry::counter(names::STORE_VECTORS).add(embedded_rows as u64);
+
+    // The atomic commit: one manifest rename publishes the new epoch.
+    let new_manifest = Manifest {
+        epoch,
+        frames: index.frames,
+        index_fingerprint: hex_u64(index_fingerprint(index)),
+        shards: entries,
+        ..manifest
+    };
+    new_manifest.save(dir)?;
+    telemetry::counter(names::LIVE_APPENDS).inc();
+    telemetry::counter(names::LIVE_ROWS_APPENDED).add(embedded_rows as u64);
+    telemetry::counter(names::LIVE_ROWS_REUSED).add(reused_rows as u64);
+    Ok(AppendOutcome {
+        set: ShardSet::open(dir)?,
+        epoch,
+        old_frames,
+        new_frames: index.frames,
+        embedded_rows,
+        reused_rows,
+        rewritten_shards: rewrite_count,
+    })
+}
+
+/// One shard's residency slot. `loaded` is the cached payload (shared
+/// with in-flight probes through the `Arc`, so eviction can never
+/// invalidate a gather in progress), `error` is the sticky load
+/// failure, and `last_used` orders slots for LRU eviction.
+struct ShardSlot {
+    loaded: Option<Arc<LoadedShard>>,
+    error: Option<Arc<StoreError>>,
+    last_used: u64,
+}
+
 /// One shard's attach-time state: validated header + path, with the
-/// payload faulted in on first probe.
+/// payload faulted in on first probe (and possibly evicted again under
+/// a residency cap).
 struct LazyShard {
     path: PathBuf,
     checksum: u64,
-    cell: OnceLock<Result<LoadedShard, StoreError>>,
+    slot: Mutex<ShardSlot>,
 }
 
 impl LazyShard {
-    /// The loaded shard, faulting it in (map + checksum + decode) on
-    /// first call. Telemetry records the fault; errors are sticky.
-    fn get(&self) -> &Result<LoadedShard, StoreError> {
-        self.cell.get_or_init(|| {
-            let _span = telemetry::span(names::SHARD_LOAD);
-            let loaded = LoadedShard::open(&self.path, Some(self.checksum));
-            match &loaded {
-                Ok(shard) => {
-                    telemetry::counter(names::SHARD_LOADS).inc();
-                    RESIDENT_SHARDS.fetch_add(1, Ordering::Relaxed);
-                    if shard.is_mapped() {
-                        MAPPED_BYTES.fetch_add(shard.bytes() as i64, Ordering::Relaxed);
-                    }
-                    publish_residency();
-                }
-                Err(_) => {
-                    telemetry::counter(names::SHARD_LOAD_ERRORS).inc();
-                }
-            }
-            loaded
-        })
+    fn new(path: PathBuf, checksum: u64) -> Self {
+        LazyShard {
+            path,
+            checksum,
+            slot: Mutex::new(ShardSlot {
+                loaded: None,
+                error: None,
+                last_used: 0,
+            }),
+        }
+    }
+}
+
+/// The candidate rows gathered by one probe, owning `Arc` handles to
+/// every shard they came from. Eviction only drops the set's cached
+/// handle; the vectors behind a `Gathered` stay mapped until it drops,
+/// so candidate slices can never dangle mid-search.
+pub struct Gathered {
+    shards: Vec<Arc<LoadedShard>>,
+    rows: Vec<(StoreRow, u32, u32)>,
+}
+
+impl Gathered {
+    /// Number of candidate rows gathered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the probe gathered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The candidates as `(row, vector)` pairs borrowing from the held
+    /// shards — the shape the exact re-rank consumes.
+    pub fn candidates(&self) -> Vec<(StoreRow, &[f32])> {
+        self.rows
+            .iter()
+            .map(|&(row, shard, r)| (row, self.shards[shard as usize].vector(r as usize)))
+            .collect()
     }
 }
 
@@ -417,6 +738,14 @@ pub struct ShardSet {
     /// How many shared-quantizer lists a query probes (defaults to
     /// [`AnnConfig::nprobe`]; at `nlist` the probe is exhaustive).
     pub nprobe: usize,
+    /// Residency cap: at most this many shards stay loaded at once
+    /// (`None` = unbounded, the historical grow-only behaviour). When a
+    /// load would exceed the cap, the least-recently-used resident
+    /// shard is evicted — dropped from the cache, not from disk — and
+    /// reloads transparently on its next probe.
+    max_resident: Option<usize>,
+    /// Monotonic use clock ordering slots for LRU eviction.
+    use_tick: AtomicU64,
     shards: Vec<LazyShard>,
 }
 
@@ -456,11 +785,7 @@ impl ShardSet {
             }
             let checksum = sketchql_store::manifest::parse_hex_u64(&entry.checksum)
                 .expect("manifest validation checked checksum hex");
-            shards.push(LazyShard {
-                path,
-                checksum,
-                cell: OnceLock::new(),
-            });
+            shards.push(LazyShard::new(path, checksum));
         }
         let meta = StoreMeta {
             dataset: manifest.dataset.clone(),
@@ -482,8 +807,25 @@ impl ShardSet {
             meta,
             quantizer,
             nprobe: AnnConfig::default().nprobe,
+            max_resident: None,
+            use_tick: AtomicU64::new(0),
             shards,
         })
+    }
+
+    /// Caps how many shards stay resident at once (LRU eviction beyond
+    /// the cap; `None` removes the cap). A cap of 0 is treated as 1 —
+    /// the shard being probed is always allowed to stay.
+    pub fn set_max_resident(&mut self, cap: Option<usize>) {
+        self.max_resident = cap.map(|c| c.max(1));
+        if self.max_resident.is_some() {
+            self.evict_over_cap(None);
+        }
+    }
+
+    /// The configured residency cap, if any.
+    pub fn max_resident(&self) -> Option<usize> {
+        self.max_resident
     }
 
     /// The directory this set was attached from.
@@ -530,8 +872,96 @@ impl ShardSet {
     pub fn resident_shards(&self) -> usize {
         self.shards
             .iter()
-            .filter(|s| matches!(s.cell.get(), Some(Ok(_))))
+            .filter(|s| s.slot.lock().unwrap().loaded.is_some())
             .count()
+    }
+
+    /// The loaded payload of shard `i`, faulting it in (map, checksum,
+    /// decode) if evicted or never touched. Load errors are sticky.
+    /// A successful load that pushes residency past the cap evicts the
+    /// least-recently-used *other* shard before returning.
+    fn load_shard(&self, i: usize) -> Result<Arc<LoadedShard>, Arc<StoreError>> {
+        let lazy = &self.shards[i];
+        let tick = self.use_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let result = {
+            let mut slot = lazy.slot.lock().unwrap();
+            slot.last_used = tick;
+            if let Some(shard) = &slot.loaded {
+                return Ok(Arc::clone(shard));
+            }
+            if let Some(err) = &slot.error {
+                return Err(Arc::clone(err));
+            }
+            let _span = telemetry::span(names::SHARD_LOAD);
+            match LoadedShard::open(&lazy.path, Some(lazy.checksum)) {
+                Ok(shard) => {
+                    let shard = Arc::new(shard);
+                    telemetry::counter(names::SHARD_LOADS).inc();
+                    RESIDENT_SHARDS.fetch_add(1, Ordering::Relaxed);
+                    if shard.is_mapped() {
+                        MAPPED_BYTES.fetch_add(shard.bytes() as i64, Ordering::Relaxed);
+                    }
+                    publish_residency();
+                    slot.loaded = Some(Arc::clone(&shard));
+                    Ok(shard)
+                }
+                Err(e) => {
+                    telemetry::counter(names::SHARD_LOAD_ERRORS).inc();
+                    let err = Arc::new(e);
+                    slot.error = Some(Arc::clone(&err));
+                    Err(err)
+                }
+            }
+        };
+        if result.is_ok() {
+            self.evict_over_cap(Some(i));
+        }
+        result
+    }
+
+    /// Evicts least-recently-used shards until residency fits the cap.
+    /// `keep` (the shard a probe is actively using) is never evicted.
+    /// In-flight gathers keep their `Arc` handles, so eviction only
+    /// drops the cache entry; memory is released once the last handle
+    /// goes away.
+    fn evict_over_cap(&self, keep: Option<usize>) {
+        let Some(cap) = self.max_resident else {
+            return;
+        };
+        loop {
+            let mut resident = 0usize;
+            let mut victim: Option<(usize, u64)> = None;
+            for (i, lazy) in self.shards.iter().enumerate() {
+                let slot = lazy.slot.lock().unwrap();
+                if slot.loaded.is_none() {
+                    continue;
+                }
+                resident += 1;
+                if Some(i) == keep {
+                    continue;
+                }
+                if victim.is_none_or(|(_, t)| slot.last_used < t) {
+                    victim = Some((i, slot.last_used));
+                }
+            }
+            if resident <= cap {
+                return;
+            }
+            let Some((i, _)) = victim else {
+                return;
+            };
+            let mut slot = self.shards[i].slot.lock().unwrap();
+            // Re-check under the lock: a racing probe may have bumped
+            // or reloaded the slot since we scanned.
+            if let Some(shard) = slot.loaded.take() {
+                telemetry::counter(names::SHARD_EVICTIONS).inc();
+                RESIDENT_SHARDS.fetch_sub(1, Ordering::Relaxed);
+                if shard.is_mapped() {
+                    MAPPED_BYTES.fetch_sub(shard.bytes() as i64, Ordering::Relaxed);
+                }
+                publish_residency();
+            }
+        }
     }
 
     /// Whether this set was built from exactly this index's contents.
@@ -549,13 +979,12 @@ impl ShardSet {
     /// list. `probe` is the (already truncated) centroid ranking.
     /// Fails with the first shard load error — callers fall back to the
     /// scan, which preserves results at the cost of speed.
-    pub fn gather<'a>(
-        &'a self,
-        probe: &[usize],
-    ) -> Result<Vec<(StoreRow, &'a [f32])>, &'a StoreError> {
-        let mut out: Vec<(StoreRow, &[f32])> = Vec::new();
-        for (i, lazy) in self.shards.iter().enumerate() {
-            let entry = &self.manifest.shards[i];
+    pub fn gather(&self, probe: &[usize]) -> Result<Gathered, Arc<StoreError>> {
+        let mut gathered = Gathered {
+            shards: Vec::new(),
+            rows: Vec::new(),
+        };
+        for (i, entry) in self.manifest.shards.iter().enumerate() {
             let has_rows = probe
                 .iter()
                 .any(|&c| entry.list_rows.get(c).copied().unwrap_or(0) > 0);
@@ -563,15 +992,17 @@ impl ShardSet {
                 telemetry::counter(names::SHARD_SKIPPED).inc();
                 continue;
             }
-            let shard = lazy.get().as_ref()?;
+            let shard = self.load_shard(i)?;
             telemetry::counter(names::SHARD_PROBES).inc();
+            let held = gathered.shards.len() as u32;
             for &c in probe {
                 for &r in shard.list(c) {
-                    out.push((shard.row(r as usize), shard.vector(r as usize)));
+                    gathered.rows.push((shard.row(r as usize), held, r));
                 }
             }
+            gathered.shards.push(shard);
         }
-        Ok(out)
+        Ok(gathered)
     }
 
     /// Loads and verifies every shard (mapping + checksum + manifest
@@ -579,8 +1010,8 @@ impl ShardSet {
     /// path for corruption tests: the returned error names the broken
     /// shard file.
     pub fn verify(&self) -> Result<(), StoreError> {
-        for lazy in &self.shards {
-            if lazy.get().is_err() {
+        for (i, lazy) in self.shards.iter().enumerate() {
+            if self.load_shard(i).is_err() {
                 // Re-open to hand the caller an owned error (the cached
                 // one stays sticky behind the shared reference).
                 return Err(match LoadedShard::open(&lazy.path, Some(lazy.checksum)) {
@@ -598,7 +1029,7 @@ impl Drop for ShardSet {
         let mut dropped_shards = 0i64;
         let mut dropped_bytes = 0i64;
         for lazy in &self.shards {
-            if let Some(Ok(shard)) = lazy.cell.get() {
+            if let Some(shard) = &lazy.slot.lock().unwrap().loaded {
                 dropped_shards += 1;
                 if shard.is_mapped() {
                     dropped_bytes += shard.bytes() as i64;
@@ -628,6 +1059,20 @@ impl Matcher<LearnedSimilarity> {
         query: &Clip,
         cancel: &CancelToken,
     ) -> Result<StoreSearch, MatchError> {
+        self.search_with_shards_scoped(index, set, query, cancel, None)
+    }
+
+    /// [`search_with_shards`](Self::search_with_shards) restricted to
+    /// an epoch scope (windows ending at or after `min_end`; see
+    /// `search_with_store_scoped` for the semantics).
+    pub fn search_with_shards_scoped(
+        &self,
+        index: &VideoIndex,
+        set: &ShardSet,
+        query: &Clip,
+        cancel: &CancelToken,
+        min_end: Option<u32>,
+    ) -> Result<StoreSearch, MatchError> {
         let q_span = query.span();
         if q_span == 0
             || q_span < self.config.min_window
@@ -644,7 +1089,7 @@ impl Matcher<LearnedSimilarity> {
             telemetry::counter(names::STORE_FALLBACKS).inc();
             let moments = self.search_with_cancel(index, query, cancel)?;
             return Ok(StoreSearch {
-                moments,
+                moments: vstore::scope_moments(moments, min_end),
                 from_store: false,
                 probed: 0,
             });
@@ -670,15 +1115,16 @@ impl Matcher<LearnedSimilarity> {
                 })
         };
         match gathered {
-            Some(candidates) => {
+            Some(gathered) => {
                 cancel.check().map_err(MatchError::from)?;
+                let candidates = vstore::scope_candidates(gathered.candidates(), min_end);
                 self.finish_store_search(index, query, &prepared, candidates, cancel)
             }
             None => {
                 telemetry::counter(names::STORE_FALLBACKS).inc();
                 let moments = self.search_with_cancel(index, query, cancel)?;
                 Ok(StoreSearch {
-                    moments,
+                    moments: vstore::scope_moments(moments, min_end),
                     from_store: false,
                     probed: 0,
                 })
@@ -698,10 +1144,22 @@ impl Matcher<LearnedSimilarity> {
         set: &ShardSet,
         queries: &[(&Clip, &CancelToken)],
     ) -> Vec<Result<StoreSearch, MatchError>> {
+        self.search_with_shards_batch_scoped(index, set, queries, None)
+    }
+
+    /// [`search_with_shards_batch`](Self::search_with_shards_batch)
+    /// with one epoch scope shared by every member.
+    pub fn search_with_shards_batch_scoped(
+        &self,
+        index: &VideoIndex,
+        set: &ShardSet,
+        queries: &[(&Clip, &CancelToken)],
+        min_end: Option<u32>,
+    ) -> Vec<Result<StoreSearch, MatchError>> {
         if queries.len() <= 1 {
             return queries
                 .iter()
-                .map(|&(q, c)| self.search_with_shards(index, set, q, c))
+                .map(|&(q, c)| self.search_with_shards_scoped(index, set, q, c, min_end))
                 .collect();
         }
         enum Plan {
@@ -728,7 +1186,7 @@ impl Matcher<LearnedSimilarity> {
                     telemetry::counter(names::STORE_FALLBACKS).inc();
                     return Plan::Done(self.search_with_cancel(index, query, cancel).map(
                         |moments| StoreSearch {
-                            moments,
+                            moments: vstore::scope_moments(moments, min_end),
                             from_store: false,
                             probed: 0,
                         },
@@ -776,18 +1234,16 @@ impl Matcher<LearnedSimilarity> {
                         })
                     };
                     match gathered {
-                        Some(candidates) => {
-                            cancel.check().map_err(MatchError::from).and_then(|()| {
-                                self.finish_store_search(
-                                    index, query, &prepared, candidates, cancel,
-                                )
-                            })
-                        }
+                        Some(gathered) => cancel.check().map_err(MatchError::from).and_then(|()| {
+                            let candidates =
+                                vstore::scope_candidates(gathered.candidates(), min_end);
+                            self.finish_store_search(index, query, &prepared, candidates, cancel)
+                        }),
                         None => {
                             telemetry::counter(names::STORE_FALLBACKS).inc();
                             self.search_with_cancel(index, query, cancel)
                                 .map(|moments| StoreSearch {
-                                    moments,
+                                    moments: vstore::scope_moments(moments, min_end),
                                     from_store: false,
                                     probed: 0,
                                 })
@@ -950,6 +1406,24 @@ impl StoreTier {
             StoreTier::Sharded(s) => s.nprobe = nprobe.max(1),
         }
     }
+
+    /// Caps resident shards (no-op for a monolithic store, which is a
+    /// single always-resident unit).
+    pub fn set_max_resident(&mut self, cap: Option<usize>) {
+        if let StoreTier::Sharded(s) = self {
+            s.set_max_resident(cap);
+        }
+    }
+
+    /// Ingest epoch the tier serves: the number of committed
+    /// [`append_frames`] calls (0 for a fresh ingest, and always 0 for
+    /// a monolithic store, which cannot be appended to).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            StoreTier::Monolithic(_) => 0,
+            StoreTier::Sharded(s) => s.manifest().epoch,
+        }
+    }
 }
 
 impl Matcher<LearnedSimilarity> {
@@ -965,16 +1439,32 @@ impl Matcher<LearnedSimilarity> {
         query: &Clip,
         cancel: &CancelToken,
     ) -> Result<StoreSearch, MatchError> {
+        self.search_with_tier_scoped(index, tier, query, cancel, None)
+    }
+
+    /// [`search_with_tier`](Self::search_with_tier) restricted to an
+    /// epoch scope (windows ending at or after `min_end` — the
+    /// standing-query evaluation range).
+    pub fn search_with_tier_scoped(
+        &self,
+        index: &VideoIndex,
+        tier: &StoreTier,
+        query: &Clip,
+        cancel: &CancelToken,
+        min_end: Option<u32>,
+    ) -> Result<StoreSearch, MatchError> {
         match tier {
-            StoreTier::Sharded(set) => self.search_with_shards(index, set, query, cancel),
+            StoreTier::Sharded(set) => {
+                self.search_with_shards_scoped(index, set, query, cancel, min_end)
+            }
             StoreTier::Monolithic(lazy) => match lazy.get() {
-                Ok(store) => self.search_with_store(index, store, query, cancel),
+                Ok(store) => self.search_with_store_scoped(index, store, query, cancel, min_end),
                 Err(e) => {
                     eprintln!("store load failed, falling back to scan: {e}");
                     telemetry::counter(names::STORE_FALLBACKS).inc();
                     let moments = self.search_with_cancel(index, query, cancel)?;
                     Ok(StoreSearch {
-                        moments,
+                        moments: vstore::scope_moments(moments, min_end),
                         from_store: false,
                         probed: 0,
                     })
@@ -993,10 +1483,25 @@ impl Matcher<LearnedSimilarity> {
         tier: &StoreTier,
         queries: &[(&Clip, &CancelToken)],
     ) -> Vec<Result<StoreSearch, MatchError>> {
+        self.search_with_tier_batch_scoped(index, tier, queries, None)
+    }
+
+    /// [`search_with_tier_batch`](Self::search_with_tier_batch) with
+    /// one epoch scope shared by every member (the scheduler only fuses
+    /// jobs with equal scopes).
+    pub fn search_with_tier_batch_scoped(
+        &self,
+        index: &VideoIndex,
+        tier: &StoreTier,
+        queries: &[(&Clip, &CancelToken)],
+        min_end: Option<u32>,
+    ) -> Vec<Result<StoreSearch, MatchError>> {
         match tier {
-            StoreTier::Sharded(set) => self.search_with_shards_batch(index, set, queries),
+            StoreTier::Sharded(set) => {
+                self.search_with_shards_batch_scoped(index, set, queries, min_end)
+            }
             StoreTier::Monolithic(lazy) => match lazy.get() {
-                Ok(store) => self.search_with_store_batch(index, store, queries),
+                Ok(store) => self.search_with_store_batch_scoped(index, store, queries, min_end),
                 Err(e) => {
                     eprintln!("store load failed, falling back to scan: {e}");
                     queries
@@ -1005,7 +1510,7 @@ impl Matcher<LearnedSimilarity> {
                             telemetry::counter(names::STORE_FALLBACKS).inc();
                             self.search_with_cancel(index, query, cancel)
                                 .map(|moments| StoreSearch {
-                                    moments,
+                                    moments: vstore::scope_moments(moments, min_end),
                                     from_store: false,
                                     probed: 0,
                                 })

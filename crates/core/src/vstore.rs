@@ -342,6 +342,28 @@ impl Matcher<LearnedSimilarity> {
         query: &sketchql_trajectory::Clip,
         cancel: &CancelToken,
     ) -> Result<StoreSearch, MatchError> {
+        self.search_with_store_scoped(index, store, query, cancel, None)
+    }
+
+    /// [`search_with_store`](Self::search_with_store) restricted to an
+    /// epoch scope: only windows whose **end** frame is at least
+    /// `min_end` are considered (the standing-query evaluation range —
+    /// a window fires in the epoch that first covers its last frame, so
+    /// scoping by end makes epochs partition the windows: no window is
+    /// delivered twice, none is skipped). Candidates are filtered
+    /// before ranking, so `top_k` applies *within* the scope and scores
+    /// stay bit-identical to an unscoped query. On the scan-fallback
+    /// path the filter applies to the ranked moments instead (the scan
+    /// has no per-window candidate stage), a documented approximation:
+    /// top-k there is global.
+    pub fn search_with_store_scoped(
+        &self,
+        index: &VideoIndex,
+        store: &DatasetStore,
+        query: &sketchql_trajectory::Clip,
+        cancel: &CancelToken,
+        min_end: Option<u32>,
+    ) -> Result<StoreSearch, MatchError> {
         let q_span = query.span();
         if q_span == 0
             || q_span < self.config.min_window
@@ -358,7 +380,7 @@ impl Matcher<LearnedSimilarity> {
             telemetry::counter(names::STORE_FALLBACKS).inc();
             let moments = self.search_with_cancel(index, query, cancel)?;
             return Ok(StoreSearch {
-                moments,
+                moments: scope_moments(moments, min_end),
                 from_store: false,
                 probed: 0,
             });
@@ -378,7 +400,7 @@ impl Matcher<LearnedSimilarity> {
             self.probe_rows(store, qe)
         };
         cancel.check().map_err(MatchError::from)?;
-        let candidates = rows_of(store, &probed);
+        let candidates = scope_candidates(rows_of(store, &probed), min_end);
         self.finish_store_search(index, query, &prepared, candidates, cancel)
     }
 
@@ -397,10 +419,25 @@ impl Matcher<LearnedSimilarity> {
         store: &DatasetStore,
         queries: &[(&sketchql_trajectory::Clip, &CancelToken)],
     ) -> Vec<Result<StoreSearch, MatchError>> {
+        self.search_with_store_batch_scoped(index, store, queries, None)
+    }
+
+    /// [`search_with_store_batch`](Self::search_with_store_batch) with
+    /// one epoch scope shared by every member (the scheduler only fuses
+    /// jobs with equal scopes). See
+    /// [`search_with_store_scoped`](Self::search_with_store_scoped) for
+    /// the scope semantics.
+    pub fn search_with_store_batch_scoped(
+        &self,
+        index: &VideoIndex,
+        store: &DatasetStore,
+        queries: &[(&sketchql_trajectory::Clip, &CancelToken)],
+        min_end: Option<u32>,
+    ) -> Vec<Result<StoreSearch, MatchError>> {
         if queries.len() <= 1 {
             return queries
                 .iter()
-                .map(|&(q, c)| self.search_with_store(index, store, q, c))
+                .map(|&(q, c)| self.search_with_store_scoped(index, store, q, c, min_end))
                 .collect();
         }
         enum Plan {
@@ -429,7 +466,7 @@ impl Matcher<LearnedSimilarity> {
                     telemetry::counter(names::STORE_FALLBACKS).inc();
                     return Plan::Done(self.search_with_cancel(index, query, cancel).map(
                         |moments| StoreSearch {
-                            moments,
+                            moments: scope_moments(moments, min_end),
                             from_store: false,
                             probed: 0,
                         },
@@ -471,7 +508,7 @@ impl Matcher<LearnedSimilarity> {
                 Plan::Ready(prepared) => {
                     let probed = probe_iter.next().expect("one probe per served member");
                     cancel.check().map_err(MatchError::from).and_then(|()| {
-                        let candidates = rows_of(store, &probed);
+                        let candidates = scope_candidates(rows_of(store, &probed), min_end);
                         self.finish_store_search(index, query, &prepared, candidates, cancel)
                     })
                 }
@@ -646,6 +683,32 @@ fn rows_of<'a>(store: &'a DatasetStore, probed: &[u32]) -> Vec<(StoreRow, &'a [f
             )
         })
         .collect()
+}
+
+/// Restricts store candidates to windows ending at or after `min_end`
+/// (the live epoch scope); `None` keeps everything. Applied before
+/// ranking, so `top_k` acts within the scope.
+pub(crate) fn scope_candidates(
+    candidates: Vec<(StoreRow, &[f32])>,
+    min_end: Option<u32>,
+) -> Vec<(StoreRow, &[f32])> {
+    match min_end {
+        None => candidates,
+        Some(m) => candidates.into_iter().filter(|(r, _)| r.end >= m).collect(),
+    }
+}
+
+/// Epoch-scope filter for the scan-fallback path, which has no
+/// per-window candidate stage: the filter runs over the ranked moments,
+/// so top-k there is global (a documented approximation).
+pub(crate) fn scope_moments(
+    moments: Vec<RetrievedMoment>,
+    min_end: Option<u32>,
+) -> Vec<RetrievedMoment> {
+    match min_end {
+        None => moments,
+        Some(m) => moments.into_iter().filter(|r| r.end >= m).collect(),
+    }
 }
 
 /// Filesystem-safe store file name for a dataset, mirroring the session's

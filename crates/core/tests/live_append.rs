@@ -1,0 +1,264 @@
+//! Append-equivalence gate for live ingest: `ingest` followed by any
+//! sequence of `append_frames` calls must produce a shard set whose
+//! rows, vectors, and query results are byte-identical to one
+//! from-scratch sharded ingest of the full dataset — across several
+//! split points and shard widths — and epoch-scoped search must agree
+//! between the two sets while only reporting windows inside the scope.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::cancel::CancelToken;
+use sketchql::matcher::{Matcher, MatcherConfig};
+use sketchql::similarity::LearnedSimilarity;
+use sketchql::training::{train, TrainingConfig};
+use sketchql::vshard::{append_frames, ingest_sharded, ShardSet};
+use sketchql::vstore::IngestConfig;
+use sketchql::VideoIndex;
+use sketchql_datasets::{
+    extend_video, generate_video, query_clip, EventKind, ExtendConfig, SceneFamily, SyntheticVideo,
+    VideoConfig,
+};
+use sketchql_store::LoadedShard;
+use std::path::PathBuf;
+
+fn tiny_model() -> sketchql::training::TrainedModel {
+    let mut cfg = TrainingConfig::tiny();
+    cfg.steps = 8;
+    train(cfg)
+}
+
+fn matcher(model: &sketchql::training::TrainedModel) -> Matcher<LearnedSimilarity> {
+    Matcher::with_config(model.similarity(), MatcherConfig::default())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skql-live-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A base video plus three streamed continuations: four stages, three
+/// split points.
+fn streaming_stages(seed: u64) -> Vec<SyntheticVideo> {
+    let cfg = VideoConfig {
+        family: SceneFamily::UrbanIntersection,
+        events_per_kind: 1,
+        distractors: 2,
+        fps: 30.0,
+    };
+    let base = generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed));
+    let ext = ExtendConfig {
+        events_per_kind: 1,
+        distractors: 1,
+    };
+    let mut stages = vec![base];
+    for k in 1..=3u64 {
+        let next = extend_video(
+            stages.last().unwrap(),
+            ext,
+            &mut StdRng::seed_from_u64(seed + k),
+        );
+        stages.push(next);
+    }
+    stages
+}
+
+#[test]
+fn append_equals_from_scratch_ingest_across_splits_and_widths() {
+    let model = tiny_model();
+    let m = matcher(&model);
+    let queries = [
+        query_clip(EventKind::LeftTurn),
+        query_clip(EventKind::StopAndGo),
+        query_clip(EventKind::LaneChange),
+    ];
+    let spans: Vec<u32> = queries.iter().map(|q| q.span()).collect();
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &spans);
+    let stages = streaming_stages(41);
+    let indexes: Vec<VideoIndex> = stages.iter().map(VideoIndex::from_truth).collect();
+    let full = indexes.last().unwrap();
+
+    for shard_frames in [25u32, 60] {
+        // Incremental: ingest the base, then commit one append per
+        // continuation (three split points).
+        let dir_inc = temp_dir(&format!("inc-{shard_frames}"));
+        let set = ingest_sharded(
+            &m.sim,
+            &indexes[0],
+            "v",
+            &ingest_cfg,
+            shard_frames,
+            &dir_inc,
+            &|_| {},
+        )
+        .unwrap();
+        assert_eq!(set.manifest().epoch, 0);
+        drop(set);
+        let mut total_reused = 0usize;
+        for (k, index) in indexes.iter().enumerate().skip(1) {
+            let out = append_frames(&m.sim, index, &dir_inc, 2, &|_| {}).unwrap();
+            assert_eq!(out.epoch, k as u64, "epochs advance by one per commit");
+            assert_eq!(out.old_frames, indexes[k - 1].frames);
+            assert_eq!(out.new_frames, index.frames);
+            assert!(out.embedded_rows > 0, "appended frames own new windows");
+            assert!(out.rewritten_shards >= 1);
+            total_reused += out.reused_rows;
+            drop(out);
+        }
+        assert!(
+            total_reused > 0,
+            "width {shard_frames}: appends never reused a row"
+        );
+
+        // From-scratch reference over the final dataset.
+        let dir_full = temp_dir(&format!("full-{shard_frames}"));
+        ingest_sharded(
+            &m.sim,
+            full,
+            "v",
+            &ingest_cfg,
+            shard_frames,
+            &dir_full,
+            &|_| {},
+        )
+        .unwrap();
+
+        let inc = ShardSet::open(&dir_inc).unwrap();
+        let scratch = ShardSet::open(&dir_full).unwrap();
+
+        // (a) Shard-level byte identity of rows and vectors: the
+        // incremental grid replays the from-scratch enumeration, so
+        // every shard holds the same rows with bit-identical vectors
+        // (only the coarse list assignment may differ — the quantizer
+        // is trained per ingest but never retrained on append).
+        assert_eq!(inc.shard_count(), scratch.shard_count());
+        assert_eq!(inc.total_rows(), scratch.total_rows());
+        for (a, b) in inc.manifest().shards.iter().zip(&scratch.manifest().shards) {
+            assert_eq!((a.frame_start, a.frame_end), (b.frame_start, b.frame_end));
+            assert_eq!(a.rows, b.rows, "shard {} row count differs", a.shard_id);
+            let open = |dir: &std::path::Path, e: &sketchql_store::ManifestShard| {
+                let sum = sketchql_store::manifest::parse_hex_u64(&e.checksum).unwrap();
+                LoadedShard::open(&dir.join(&e.file), Some(sum)).unwrap()
+            };
+            let sa = open(&dir_inc, a);
+            let sb = open(&dir_full, b);
+            for r in 0..a.rows as usize {
+                assert_eq!(sa.row(r), sb.row(r), "shard {} row {r}", a.shard_id);
+                let (va, vb) = (sa.vector(r), sb.vector(r));
+                assert_eq!(va.len(), vb.len());
+                for (x, y) in va.iter().zip(vb) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "shard {} row {r}", a.shard_id);
+                }
+            }
+        }
+
+        // (b) Query-result byte identity under exact re-rank with
+        // exhaustive probes, for every query.
+        let mut inc = inc;
+        let mut scratch = scratch;
+        inc.nprobe = inc.nlist();
+        scratch.nprobe = scratch.nlist();
+        for query in &queries {
+            let a = m
+                .search_with_shards(full, &inc, query, &CancelToken::none())
+                .unwrap();
+            let b = m
+                .search_with_shards(full, &scratch, query, &CancelToken::none())
+                .unwrap();
+            assert!(a.from_store && b.from_store);
+            assert_eq!(
+                a.moments, b.moments,
+                "width {shard_frames}: results diverged"
+            );
+            for (x, y) in a.moments.iter().zip(&b.moments) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+
+        // (c) Epoch-scoped search agrees between the sets, only reports
+        // windows inside the scope, and an unbounded scope is the
+        // unscoped query bit-for-bit.
+        let query = &queries[0];
+        let unscoped = m
+            .search_with_shards(full, &inc, query, &CancelToken::none())
+            .unwrap();
+        let zero = m
+            .search_with_shards_scoped(full, &inc, query, &CancelToken::none(), Some(0))
+            .unwrap();
+        assert_eq!(zero.moments, unscoped.moments);
+        for stage in &indexes[..3] {
+            let min_end = stage.frames;
+            let a = m
+                .search_with_shards_scoped(full, &inc, query, &CancelToken::none(), Some(min_end))
+                .unwrap();
+            let b = m
+                .search_with_shards_scoped(
+                    full,
+                    &scratch,
+                    query,
+                    &CancelToken::none(),
+                    Some(min_end),
+                )
+                .unwrap();
+            assert!(a.from_store && b.from_store);
+            assert_eq!(a.moments, b.moments, "scope {min_end} diverged");
+            // Note: moment ends may dip slightly below the scope — the
+            // ranking pipeline's boundary refinement tightens matched
+            // windows after scoping; the scope governs which *windows*
+            // are considered, not the refined output range.
+        }
+        // A scope past the last frame admits no window at all.
+        let beyond = m
+            .search_with_shards_scoped(
+                full,
+                &inc,
+                query,
+                &CancelToken::none(),
+                Some(full.frames + 1),
+            )
+            .unwrap();
+        assert!(beyond.moments.is_empty(), "scope beyond the video matched");
+
+        std::fs::remove_dir_all(&dir_inc).ok();
+        std::fs::remove_dir_all(&dir_full).ok();
+    }
+}
+
+#[test]
+fn append_guards_provenance_and_is_idempotent() {
+    let model = tiny_model();
+    let m = matcher(&model);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[48]);
+    let stages = streaming_stages(51);
+    let base = VideoIndex::from_truth(&stages[0]);
+    let grown = VideoIndex::from_truth(&stages[1]);
+    let dir = temp_dir("guards");
+    ingest_sharded(&m.sim, &base, "v", &ingest_cfg, 30, &dir, &|_| {}).unwrap();
+
+    // Re-appending an index the set already covers is a no-op.
+    let out = append_frames(&m.sim, &base, &dir, 1, &|_| {}).unwrap();
+    assert_eq!(out.epoch, 0);
+    assert_eq!(out.rewritten_shards, 0);
+    drop(out);
+
+    // A different model must be rejected before any work happens.
+    let other = {
+        let mut cfg = TrainingConfig::tiny();
+        cfg.steps = 9;
+        train(cfg)
+    };
+    let om = matcher(&other);
+    let Err(err) = append_frames(&om.sim, &grown, &dir, 1, &|_| {}) else {
+        panic!("append with a foreign model must fail");
+    };
+    assert!(err.to_string().contains("model"), "got: {err}");
+
+    // Shrinking the video must be rejected.
+    append_frames(&m.sim, &grown, &dir, 1, &|_| {}).unwrap();
+    let Err(err) = append_frames(&m.sim, &base, &dir, 1, &|_| {}) else {
+        panic!("shrinking append must fail");
+    };
+    assert!(err.to_string().contains("shrink"), "got: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -221,6 +221,62 @@ fn shards_load_lazily_and_only_when_probed() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// LRU eviction under `--max-resident-shards`: with the cap at 1, a
+/// full-set probe still answers bit-identically to the uncapped set
+/// (evicted shards reload transparently), residency never exceeds the
+/// cap at rest, and the eviction counter moves.
+#[test]
+fn eviction_reloads_shards_with_identical_scores() {
+    let model = tiny_model();
+    let index = test_index(38);
+    let m = matcher(&model);
+    let query = query_clip(EventKind::LeftTurn);
+    let ingest_cfg = IngestConfig::from_matcher(&m.config, &[query.span()]);
+    let dir = temp_dir("evict");
+    let set = ingest_sharded(&m.sim, &index, "v", &ingest_cfg, 20, &dir, &|_| {}).unwrap();
+    drop(set);
+
+    // Uncapped reference answer, exhaustive probe.
+    let mut reference = ShardSet::open(&dir).unwrap();
+    assert!(reference.shard_count() > 2, "fixture needs several shards");
+    reference.nprobe = reference.nlist();
+    let want = m
+        .search_with_shards(&index, &reference, &query, &CancelToken::none())
+        .unwrap();
+    assert!(want.from_store);
+    drop(reference);
+
+    let mut set = ShardSet::open(&dir).unwrap();
+    set.nprobe = set.nlist();
+    set.set_max_resident(Some(1));
+    let evictions_before =
+        sketchql_telemetry::counter(sketchql_telemetry::names::SHARD_EVICTIONS).get();
+    for round in 0..2 {
+        let got = m
+            .search_with_shards(&index, &set, &query, &CancelToken::none())
+            .unwrap();
+        assert!(got.from_store, "round {round}: fell back");
+        assert_eq!(got.moments, want.moments, "round {round}: diverged");
+        for (a, b) in got.moments.iter().zip(&want.moments) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(
+            set.resident_shards() <= 1,
+            "round {round}: cap exceeded at rest ({} resident)",
+            set.resident_shards()
+        );
+    }
+    if sketchql_telemetry::is_enabled() {
+        let evictions_after =
+            sketchql_telemetry::counter(sketchql_telemetry::names::SHARD_EVICTIONS).get();
+        assert!(
+            evictions_after > evictions_before,
+            "probing several shards under a cap of 1 must evict"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A corrupt shard is detected at first probe (the deferred checksum),
 /// named loudly by `verify`, and queries fall back to the scan rather
 /// than serving partial results.

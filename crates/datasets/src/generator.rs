@@ -216,6 +216,101 @@ fn scene_center_on_ground(scene: &Scene3D) -> Point3 {
     Point3::new(c.x, c.y, 0.0)
 }
 
+/// Parameters of one streamed continuation segment (see
+/// [`extend_video`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendConfig {
+    /// Ground-truth events embedded per kind in the new segment.
+    pub events_per_kind: usize,
+    /// Wandering distractors added to the new segment.
+    pub distractors: usize,
+}
+
+/// Extends a video with a freshly scheduled continuation segment — the
+/// streaming ground truth live ingest consumes.
+///
+/// The continuation is a **pure extension**: every frame the base video
+/// already covered is untouched (base trajectories are carried over
+/// verbatim, and every new object's first visible frame is at or after
+/// `base.frames`), which is exactly the contract `append_frames`
+/// requires. To guarantee it, the new segment is scheduled and recorded
+/// on its own *local* timeline — recording a delayed script inside a
+/// combined scene would make pre-entry objects visible (holding their
+/// first pose) in old frames — then shifted onto the global timeline:
+/// new track ids continue after the base's, frame stamps are offset by
+/// `base.frames`, and annotations shift with them.
+pub fn extend_video<R: Rng>(
+    base: &SyntheticVideo,
+    config: ExtendConfig,
+    rng: &mut R,
+) -> SyntheticVideo {
+    let mut scene = Scene3D::new(base.fps);
+    let mut annotations = Vec::new();
+    let base_objects = base.truth.num_objects() as TrackId;
+    let mut cursor: u32 = rng.gen_range(10..40);
+
+    for round in 0..config.events_per_kind {
+        for &kind in EventKind::ALL {
+            let center = Point2::new(rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0));
+            let participants = kind.instantiate(center, rng);
+            let mut ids = Vec::with_capacity(participants.len());
+            let mut max_total = 0u32;
+            for (agent, script) in participants {
+                let entry = cursor + script.start_frame;
+                let script = script.starting_at(entry);
+                max_total = max_total.max(script.total_frames());
+                ids.push(base_objects + scene.objects.len() as TrackId);
+                scene = scene.with_object(agent, script);
+            }
+            annotations.push(EventAnnotation {
+                kind,
+                start: base.frames + cursor,
+                end: base.frames + max_total.saturating_sub(1),
+                object_ids: ids,
+            });
+            cursor = max_total + rng.gen_range(15..60);
+            let _ = round;
+        }
+    }
+
+    let duration_hint = cursor + 30;
+    for _ in 0..config.distractors {
+        let (agent, script) = distractor_script(Point2::ZERO, rng);
+        let start = rng.gen_range(0..duration_hint.saturating_sub(60).max(1));
+        scene = scene.with_object(agent, script.starting_at(start));
+    }
+
+    // A fresh camera draw from the same family geometry (the base's
+    // camera parameters are not persisted; only the frame geometry must
+    // match, and it does — all family cameras share the image size).
+    let (dmin, dmax) = base.family.camera_distance();
+    let camera = Camera::sample_around(scene_center_on_ground(&scene), dmin, dmax, rng);
+    let mut rig = CameraRig::new(camera, base.family.shake());
+    let recorded = scene.record_offset(&mut rig, rng, base.frames);
+    let new_frames = base.frames + scene.duration_frames();
+
+    // Splice: base trajectories verbatim (same ids, same order — the
+    // index prefix is bit-identical), continuation ids shifted after.
+    let mut objects: Vec<_> = base.truth.objects.clone();
+    for (i, t) in recorded.objects.iter().enumerate() {
+        objects.push(sketchql_trajectory::Trajectory::from_points(
+            base_objects + i as TrackId,
+            t.class,
+            t.points().to_vec(),
+        ));
+    }
+    let mut events = base.events.clone();
+    events.extend(annotations);
+    SyntheticVideo {
+        name: base.name.clone(),
+        family: base.family,
+        truth: Clip::new(base.truth.frame_width, base.truth.frame_height, objects),
+        events,
+        fps: base.fps,
+        frames: new_frames,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +410,63 @@ mod tests {
         );
         assert!(a.0 > b.1 * 0.5, "families should be distinguishable");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extension_is_pure_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let base = generate_video(quick_config(), 21, &mut rng);
+        let cfg = ExtendConfig {
+            events_per_kind: 1,
+            distractors: 2,
+        };
+        let a = extend_video(&base, cfg, &mut StdRng::seed_from_u64(22));
+        let b = extend_video(&base, cfg, &mut StdRng::seed_from_u64(22));
+        assert_eq!(a.truth, b.truth, "extension must be deterministic");
+        assert_eq!(a.events, b.events);
+
+        // Pure extension: the base prefix is carried over bit-for-bit…
+        assert!(a.frames > base.frames);
+        assert_eq!(a.name, base.name);
+        assert_eq!(
+            &a.truth.objects[..base.truth.num_objects()],
+            &base.truth.objects[..]
+        );
+        assert_eq!(&a.events[..base.events.len()], &base.events[..]);
+        // …and nothing new touches an old frame.
+        for t in &a.truth.objects[base.truth.num_objects()..] {
+            assert!(
+                t.start_frame().is_none_or(|s| s >= base.frames),
+                "continuation object visible at frame {:?} before the splice",
+                t.start_frame()
+            );
+        }
+        for e in &a.events[base.events.len()..] {
+            assert!(e.start >= base.frames && e.end <= a.frames);
+            for &id in &e.object_ids {
+                assert!((id as usize) < a.truth.num_objects());
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_extension_keeps_extending() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let base = generate_video(quick_config(), 23, &mut rng);
+        let cfg = ExtendConfig {
+            events_per_kind: 1,
+            distractors: 1,
+        };
+        let once = extend_video(&base, cfg, &mut StdRng::seed_from_u64(24));
+        let twice = extend_video(&once, cfg, &mut StdRng::seed_from_u64(25));
+        assert!(twice.frames > once.frames);
+        assert_eq!(
+            &twice.truth.objects[..once.truth.num_objects()],
+            &once.truth.objects[..]
+        );
+        for &kind in EventKind::ALL {
+            assert_eq!(twice.events_of(kind).len(), 3, "{kind}");
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub mod queries;
 pub mod retrieval;
 
 pub use events::{distractor_script, EventKind};
-pub use generator::{generate_video, EventAnnotation, SceneFamily, SyntheticVideo, VideoConfig};
+pub use generator::{
+    extend_video, generate_video, EventAnnotation, ExtendConfig, SceneFamily, SyntheticVideo,
+    VideoConfig,
+};
 pub use queries::{
     canonical_sketch, query_clip, sample_path, CanonicalSketch, SketchObject, SketchStroke,
     CANVAS_H, CANVAS_W,

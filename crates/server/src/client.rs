@@ -247,6 +247,93 @@ impl Client {
         }
     }
 
+    /// Registers a standing query for a canonical event (e.g.
+    /// `"left_turn"`): the server evaluates it against every ingest
+    /// epoch appended to `dataset` from now on and queues the matches
+    /// for [`Client::notifications`].
+    pub fn register_event(
+        &mut self,
+        dataset: &str,
+        event: &str,
+        min_score: Option<f32>,
+        top_k: Option<usize>,
+    ) -> Result<Registered, ClientError> {
+        self.run_register(Request::Register {
+            dataset: dataset.to_string(),
+            event: Some(event.to_string()),
+            clip: None,
+            min_score,
+            top_k,
+        })
+    }
+
+    /// Like [`Client::register_event`], with an inline sketch clip.
+    pub fn register_clip(
+        &mut self,
+        dataset: &str,
+        clip: Clip,
+        min_score: Option<f32>,
+        top_k: Option<usize>,
+    ) -> Result<Registered, ClientError> {
+        self.run_register(Request::Register {
+            dataset: dataset.to_string(),
+            event: None,
+            clip: Some(clip),
+            min_score,
+            top_k,
+        })
+    }
+
+    fn run_register(&mut self, request: Request) -> Result<Registered, ClientError> {
+        match self.request(&request)? {
+            Response::Registered {
+                registration_id,
+                watermark,
+            } => Ok(Registered {
+                registration_id,
+                watermark,
+            }),
+            other => Err(unexpected("Registered", &other)),
+        }
+    }
+
+    /// Removes a standing query; pending notifications are discarded.
+    pub fn unregister(&mut self, registration_id: u64) -> Result<(), ClientError> {
+        match self.request(&Request::Unregister { registration_id })? {
+            Response::Unregistered { .. } => Ok(()),
+            other => Err(unexpected("Unregistered", &other)),
+        }
+    }
+
+    /// Drains queued matches for a standing query, oldest first — at
+    /// most `max` of them (all when `None`). Drained matches are gone
+    /// from the server; delivery is at-most-once.
+    pub fn notifications(
+        &mut self,
+        registration_id: u64,
+        max: Option<usize>,
+    ) -> Result<LiveFeed, ClientError> {
+        match self.request(&Request::Notifications {
+            registration_id,
+            max,
+        })? {
+            Response::Notifications {
+                registration_id,
+                epoch,
+                watermark,
+                dropped,
+                matches,
+            } => Ok(LiveFeed {
+                registration_id,
+                epoch,
+                watermark,
+                dropped,
+                matches,
+            }),
+            other => Err(unexpected("Notifications", &other)),
+        }
+    }
+
     /// Fetches the server's metric registry in Prometheus text format.
     pub fn metrics_text(&mut self) -> Result<String, ClientError> {
         match self.request(&Request::Metrics)? {
@@ -297,6 +384,31 @@ pub struct QueryOutcome {
     /// The trace id the query ran under (the client-minted id, echoed
     /// by the server); fetch the span tree with [`Client::trace`].
     pub trace_id: u64,
+}
+
+/// A standing-query registration as seen by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registered {
+    /// Handle for [`Client::unregister`] / [`Client::notifications`].
+    pub registration_id: u64,
+    /// Frame the standing query starts watching from: only epochs
+    /// appended after this point produce notifications.
+    pub watermark: u32,
+}
+
+/// One drain of a standing query's notification queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveFeed {
+    /// The standing query drained.
+    pub registration_id: u64,
+    /// Latest ingest epoch the query has been evaluated against.
+    pub epoch: u64,
+    /// Frames evaluated through.
+    pub watermark: u32,
+    /// Matches shed to queue overflow, cumulative since registration.
+    pub dropped: u64,
+    /// Queued matches, oldest first.
+    pub matches: Vec<crate::live::LiveMatch>,
 }
 
 /// A server CPU profile as seen by the client.

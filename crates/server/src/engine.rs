@@ -84,9 +84,26 @@
 //! calls. Store effectiveness is mirrored in plain atomics
 //! ([`EngineStats::store_hits`] and friends), so the numbers survive
 //! builds with telemetry compiled out.
+//!
+//! ## Live ingest and standing queries
+//!
+//! Datasets and their store tiers live behind a swappable snapshot:
+//! every query (and every fused batch) works against one `Arc`'d view
+//! for its whole run, and [`Engine::reload_dataset`] replaces the view
+//! wholesale — readers never observe a half-swapped dataset. A reload
+//! also drives the standing-query registry (see the [`live`](crate::live)
+//! module): each registration behind the new frame count is evaluated
+//! as one epoch-scoped query (`min_end` = its watermark) submitted
+//! through normal admission under the auto-declared [`LIVE_CLASS`]
+//! (base priority [`live::LIVE_PRIORITY`]), so live evaluation shares
+//! the queue with interactive traffic but never preempts it. Scoped
+//! queries ride the same store probe + exact re-rank path, so a
+//! standing query's scores are bit-identical to an offline query over
+//! the appended range.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -99,6 +116,10 @@ use sketchql::{
 };
 use sketchql_telemetry::{self as telemetry, names, TraceContext, TraceOutcome};
 use sketchql_trajectory::Clip;
+
+use crate::live::{
+    self, LiveNotifications, LiveRegistration, LiveRegistry, LiveReload, LIVE_CLASS,
+};
 
 /// Bucket bounds (milliseconds) for the queue-wait and execute
 /// latency histograms.
@@ -217,6 +238,11 @@ pub struct EngineConfig {
     pub matcher: MatcherConfig,
     /// Admission and ordering policy.
     pub sched: SchedPolicy,
+    /// Where the standing-query registry persists (atomic JSON).
+    /// `None` keeps registrations in memory only — they die with the
+    /// process. Restored registrations whose watermark trails a loaded
+    /// dataset are caught up at start.
+    pub registry_path: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -228,6 +254,7 @@ impl Default for EngineConfig {
             fused_batch: 0,
             matcher: MatcherConfig::default(),
             sched: SchedPolicy::default(),
+            registry_path: None,
         }
     }
 }
@@ -250,6 +277,12 @@ pub enum EngineError {
     },
     /// No dataset with that name is loaded.
     UnknownDataset(String),
+    /// Live registration targets a dataset with no embedding store
+    /// attached (epoch-scoped evaluation needs the store's window grid).
+    NotStored(String),
+    /// A live reload offered a store tier that doesn't match the
+    /// engine's model or the reloaded index.
+    StoreMismatch(String),
     /// The query's deadline passed (in the queue or mid-search).
     DeadlineExceeded,
     /// The query was cancelled through its [`QueryHandle`].
@@ -275,6 +308,11 @@ impl fmt::Display for EngineError {
                 write!(f, "rate limited: class {class:?} exceeded its query rate")
             }
             EngineError::UnknownDataset(n) => write!(f, "unknown dataset {n:?}"),
+            EngineError::NotStored(n) => write!(
+                f,
+                "dataset {n:?} has no embedding store attached (live registration requires one)"
+            ),
+            EngineError::StoreMismatch(m) => write!(f, "store mismatch: {m}"),
             EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
             EngineError::Cancelled => write!(f, "cancelled"),
             EngineError::Similarity(e) => write!(f, "similarity error: {e}"),
@@ -325,11 +363,18 @@ pub struct QuerySpec {
     /// Clamped to ±1000 so wire clients can't outrun aging credit
     /// forever.
     pub priority: Option<i32>,
+    /// Epoch scope: only windows ending at or after this frame are
+    /// considered (the standing-query evaluation range). `None` searches
+    /// the whole dataset. Scoped and unscoped jobs never fuse, and
+    /// scoped jobs only fuse with jobs carrying the same scope, so
+    /// per-member results stay bit-identical to running alone.
+    pub min_end: Option<u32>,
 }
 
 impl QuerySpec {
     /// A query with no top-k override, no per-query deadline, a
-    /// server-minted trace id, and default class/priority.
+    /// server-minted trace id, default class/priority, and no epoch
+    /// scope.
     pub fn new(dataset: impl Into<String>, query: Clip) -> Self {
         QuerySpec {
             dataset: dataset.into(),
@@ -339,6 +384,7 @@ impl QuerySpec {
             trace: None,
             class: None,
             priority: None,
+            min_end: None,
         }
     }
 }
@@ -504,6 +550,7 @@ struct Job {
     seq: u64,
     query: Clip,
     top_k: Option<usize>,
+    min_end: Option<u32>,
     cancel: CancelToken,
     enqueued_at: Instant,
     trace: TraceContext,
@@ -521,6 +568,7 @@ impl Job {
                 dataset: self.dataset,
                 class: self.class,
                 top_k: self.top_k,
+                min_end: self.min_end,
                 cancel: self.cancel,
                 enqueued_at: self.enqueued_at,
                 trace: self.trace,
@@ -538,6 +586,7 @@ struct Member {
     dataset: String,
     class: String,
     top_k: Option<usize>,
+    min_end: Option<u32>,
     cancel: CancelToken,
     enqueued_at: Instant,
     trace: TraceContext,
@@ -625,14 +674,25 @@ struct MonitorState {
     stop: bool,
 }
 
+/// The engine's swappable dataset view. Readers grab one `Arc` snapshot
+/// and work against it for a whole query (or fused batch), so a live
+/// reload never tears a scan: [`Engine::reload_dataset`] builds a new
+/// `LiveData` and swaps the `Arc` wholesale. The dataset *name set* is
+/// fixed at start — reload replaces content, never adds or removes
+/// names — which keeps the per-dataset counter tables lock-free.
+struct LiveData {
+    datasets: BTreeMap<String, Arc<VideoIndex>>,
+    stores: BTreeMap<String, Arc<StoreTier>>,
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     work_ready: Condvar,
     monitor: Mutex<MonitorState>,
     monitor_signal: Condvar,
     matcher: Matcher<LearnedSimilarity>,
-    datasets: BTreeMap<String, VideoIndex>,
-    stores: BTreeMap<String, StoreTier>,
+    data: Mutex<Arc<LiveData>>,
+    live: LiveRegistry,
     counters: Counters,
     per_dataset: BTreeMap<String, DatasetCounters>,
     per_class: BTreeMap<String, ClassCounters>,
@@ -641,6 +701,11 @@ struct Shared {
 }
 
 impl Shared {
+    /// The current dataset snapshot (one lock hop, then lock-free).
+    fn data(&self) -> Arc<LiveData> {
+        Arc::clone(&self.data.lock().unwrap())
+    }
+
     /// The per-dataset counter slice for `name` (always present: the
     /// dataset was validated at submit).
     fn dataset_counters(&self, name: &str) -> &DatasetCounters {
@@ -694,8 +759,25 @@ impl Engine {
         if config.fused_batch == 0 {
             config.fused_batch = config.workers;
         }
+        // Standing-query evaluation always has a class to run under:
+        // auto-declare the live class (far below interactive priority)
+        // unless the policy configured it explicitly.
+        config
+            .sched
+            .classes
+            .entry(LIVE_CLASS.to_string())
+            .or_insert(ClassConfig {
+                priority: live::LIVE_PRIORITY,
+                rate_per_sec: 0.0,
+                burst: 0.0,
+                queue_quota: 0,
+            });
         let matcher = Matcher::with_config(model.similarity(), config.matcher.clone());
-        let stores: BTreeMap<String, StoreTier> = stores
+        let datasets: BTreeMap<String, Arc<VideoIndex>> = datasets
+            .into_iter()
+            .map(|(name, idx)| (name, Arc::new(idx)))
+            .collect();
+        let stores: BTreeMap<String, Arc<StoreTier>> = stores
             .into_iter()
             .filter(|(name, tier)| {
                 tier.matches_model(&matcher.sim)
@@ -703,6 +785,7 @@ impl Engine {
                         .get(name)
                         .is_some_and(|idx| tier.matches_index(idx))
             })
+            .map(|(name, tier)| (name, Arc::new(tier)))
             .collect();
         let per_dataset = datasets
             .keys()
@@ -736,6 +819,8 @@ impl Engine {
             .iter()
             .map(|name| (name.clone(), ClassCounters::default()))
             .collect();
+        let registry = LiveRegistry::new(config.registry_path.clone());
+        telemetry::gauge(names::LIVE_REGISTRATIONS).set(registry.count() as f64);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -752,8 +837,8 @@ impl Engine {
             }),
             monitor_signal: Condvar::new(),
             matcher,
-            datasets,
-            stores,
+            data: Mutex::new(Arc::new(LiveData { datasets, stores })),
+            live: registry,
             counters: Counters::default(),
             per_dataset,
             per_class,
@@ -776,12 +861,17 @@ impl Engine {
                 .spawn(move || monitor_loop(&shared))
                 .expect("failed to spawn deadline monitor")
         };
-        Engine {
+        let engine = Engine {
             shared,
             workers: Mutex::new(workers),
             monitor: Mutex::new(Some(monitor)),
             config,
-        }
+        };
+        // Catch up restored registrations whose watermark trails a
+        // loaded dataset — appends committed while the server was down
+        // are evaluated (and notified) before the engine is handed out.
+        engine.evaluate_live(None);
+        engine
     }
 
     /// The engine's effective configuration (zeros resolved to defaults).
@@ -794,7 +884,7 @@ impl Engine {
     /// [`EngineError::RateLimited`], [`EngineError::ShuttingDown`],
     /// [`EngineError::UnknownDataset`]).
     pub fn submit(&self, spec: QuerySpec) -> Result<QueryHandle, EngineError> {
-        if !self.shared.datasets.contains_key(&spec.dataset) {
+        if !self.shared.data().datasets.contains_key(&spec.dataset) {
             return Err(EngineError::UnknownDataset(spec.dataset));
         }
         // Undeclared wire classes collapse into the default class: the
@@ -897,6 +987,7 @@ impl Engine {
             seq,
             query: spec.query,
             top_k: spec.top_k,
+            min_end: spec.min_end,
             cancel: cancel.clone(),
             enqueued_at: now,
             trace,
@@ -995,21 +1086,170 @@ impl Engine {
 
     /// The loaded datasets, in name order.
     pub fn datasets(&self) -> Vec<DatasetInfo> {
-        self.shared
-            .datasets
+        let data = self.shared.data();
+        data.datasets
             .iter()
             .map(|(name, idx)| DatasetInfo {
                 name: name.clone(),
                 frames: idx.frames,
                 tracks: idx.tracks.len(),
-                stored: self.shared.stores.contains_key(name),
+                stored: data.stores.contains_key(name),
             })
             .collect()
     }
 
     /// Dataset names backed by a warm-validated embedding store.
     pub fn stored_datasets(&self) -> Vec<String> {
-        self.shared.stores.keys().cloned().collect()
+        self.shared.data().stores.keys().cloned().collect()
+    }
+
+    /// Registers a standing query: `query` is re-evaluated over every
+    /// ingest epoch appended to `dataset` from now on (the returned
+    /// watermark is the frame count already covered — only frames past
+    /// it notify). Restricted to store-backed datasets: epoch-scoped
+    /// evaluation rides the store's window grid, which is what makes a
+    /// standing query's matches bit-identical to offline queries over
+    /// the appended ranges.
+    pub fn register(
+        &self,
+        dataset: &str,
+        query: Clip,
+        min_score: Option<f32>,
+        top_k: Option<usize>,
+    ) -> Result<LiveRegistration, EngineError> {
+        let data = self.shared.data();
+        let Some(index) = data.datasets.get(dataset) else {
+            return Err(EngineError::UnknownDataset(dataset.to_string()));
+        };
+        let Some(tier) = data.stores.get(dataset) else {
+            return Err(EngineError::NotStored(dataset.to_string()));
+        };
+        let reg = self.shared.live.register(
+            dataset.to_string(),
+            query,
+            min_score,
+            top_k,
+            index.frames,
+            tier.epoch(),
+        );
+        telemetry::gauge(names::LIVE_REGISTRATIONS).set(self.shared.live.count() as f64);
+        self.shared.live.save();
+        Ok(reg)
+    }
+
+    /// Removes a standing query; `false` if the id is unknown.
+    pub fn unregister(&self, id: u64) -> bool {
+        let removed = self.shared.live.unregister(id);
+        if removed {
+            telemetry::gauge(names::LIVE_REGISTRATIONS).set(self.shared.live.count() as f64);
+            self.shared.live.save();
+        }
+        removed
+    }
+
+    /// Drains up to `max` queued notifications (oldest first, all of
+    /// them when `None`) for a registration; `None` if the id is
+    /// unknown.
+    pub fn notifications(&self, id: u64, max: Option<usize>) -> Option<LiveNotifications> {
+        self.shared.live.drain(id, max.unwrap_or(usize::MAX))
+    }
+
+    /// Commits a live ingest epoch: atomically swaps `dataset`'s index
+    /// and store tier (queries in flight finish against the old
+    /// snapshot; new queries see the new one) and evaluates every
+    /// standing query the growth left behind. Evaluation is synchronous
+    /// — when this returns, every match for the epoch is queued — but
+    /// flows through normal admission under [`LIVE_CLASS`], so
+    /// concurrent interactive traffic keeps its priority.
+    ///
+    /// The reload is validated like a startup store attach, plus: the
+    /// dataset name must already be loaded (reload replaces content,
+    /// never adds datasets).
+    pub fn reload_dataset(
+        &self,
+        name: &str,
+        index: VideoIndex,
+        tier: StoreTier,
+    ) -> Result<LiveReload, EngineError> {
+        if !self.shared.per_dataset.contains_key(name) {
+            return Err(EngineError::UnknownDataset(name.to_string()));
+        }
+        if !tier.matches_model(&self.shared.matcher.sim) {
+            return Err(EngineError::StoreMismatch(format!(
+                "store for {name:?} was built by a different model"
+            )));
+        }
+        if !tier.matches_index(&index) {
+            return Err(EngineError::StoreMismatch(format!(
+                "store for {name:?} does not match the offered index"
+            )));
+        }
+        let epoch = tier.epoch();
+        let frames = index.frames;
+        {
+            let mut data = self.shared.data.lock().unwrap();
+            let mut next = LiveData {
+                datasets: data.datasets.clone(),
+                stores: data.stores.clone(),
+            };
+            next.datasets.insert(name.to_string(), Arc::new(index));
+            next.stores.insert(name.to_string(), Arc::new(tier));
+            *data = Arc::new(next);
+        }
+        let (evaluated, delivered) = self.evaluate_live(Some(name));
+        Ok(LiveReload {
+            dataset: name.to_string(),
+            epoch,
+            frames,
+            evaluated,
+            delivered,
+        })
+    }
+
+    /// Evaluates every registration (optionally: only `only`'s) whose
+    /// watermark trails its dataset's current frame count, as
+    /// epoch-scoped queries through normal admission. A failed or shed
+    /// evaluation leaves the watermark where it was — the next epoch
+    /// re-covers the range, so matches are delayed, never lost.
+    fn evaluate_live(&self, only: Option<&str>) -> (usize, usize) {
+        let data = self.shared.data();
+        let due = self
+            .shared
+            .live
+            .due(only, |ds| data.datasets.get(ds).map(|idx| idx.frames));
+        if due.is_empty() {
+            return (0, 0);
+        }
+        let evaluated = due.len();
+        let mut delivered = 0usize;
+        for d in due {
+            let Some(frames) = data.datasets.get(&d.dataset).map(|idx| idx.frames) else {
+                continue;
+            };
+            let epoch = data.stores.get(&d.dataset).map(|t| t.epoch()).unwrap_or(0);
+            let spec = QuerySpec {
+                dataset: d.dataset.clone(),
+                query: d.query,
+                top_k: d.top_k,
+                deadline: None,
+                trace: None,
+                class: Some(LIVE_CLASS.to_string()),
+                priority: None,
+                min_end: Some(d.watermark),
+            };
+            let Ok(handle) = self.submit(spec) else {
+                continue;
+            };
+            telemetry::counter(names::LIVE_EVALUATIONS).inc();
+            if let Ok(result) = handle.wait() {
+                delivered +=
+                    self.shared
+                        .live
+                        .complete(d.id, d.watermark, frames, epoch, result.moments);
+            }
+        }
+        self.shared.live.save();
+        (evaluated, delivered)
     }
 
     /// Stops admission, drains every already-admitted query, and joins
@@ -1199,8 +1439,12 @@ fn form_batch(
     }
     let pending = std::mem::take(queue);
     for job in pending {
+        // Only jobs sharing the head's epoch scope may fuse: the scope
+        // prunes the shared candidate set, so mixing scopes would
+        // change peers' answers.
         if batch.len() < fused_batch
             && job.dataset == batch[0].dataset
+            && job.min_end == batch[0].min_end
             && fusable(&job, policy, est_scan, now)
         {
             batch.push(job);
@@ -1402,13 +1646,17 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, guard: &BatchGuard) {
         return;
     }
     let dataset = live[0].1.dataset.clone();
-    let index = shared
+    // One snapshot for the whole batch: a reload committing mid-scan
+    // swaps the engine's view, not this batch's.
+    let data = shared.data();
+    let index = data
         .datasets
         .get(&dataset)
-        .expect("dataset validated at submit");
+        .expect("dataset validated at submit")
+        .as_ref();
 
-    if let Some(tier) = shared.stores.get(&dataset) {
-        run_store_batch(shared, &dataset, index, tier, live);
+    if let Some(tier) = data.stores.get(&dataset) {
+        run_store_batch(shared, &dataset, index, tier.as_ref(), live);
         return;
     }
 
@@ -1487,7 +1735,16 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, guard: &BatchGuard) {
         };
         observe_deadline_margin(&member);
         match result {
-            Ok(moments) => finish_ok(shared, &member, moments, wait, execute, batch_size),
+            Ok(moments) => {
+                // Scan-path epoch scope: filter ranked moments (the
+                // store path prunes candidate windows instead — see
+                // the core scoped-search docs for the distinction).
+                let moments = match member.min_end {
+                    Some(m) => moments.into_iter().filter(|r| r.end >= m).collect(),
+                    None => moments,
+                };
+                finish_ok(shared, &member, moments, wait, execute, batch_size)
+            }
             Err(e) => finish_err(shared, &member, e.into()),
         }
     }
@@ -1520,7 +1777,12 @@ fn run_store_batch(
     };
     let started = Instant::now();
     let queries: Vec<(&Clip, &CancelToken)> = live.iter().map(|(q, m, _)| (q, &m.cancel)).collect();
-    let results = shared.matcher.search_with_tier_batch(index, tier, &queries);
+    // Batch members all share one epoch scope (form_batch only fuses
+    // equal scopes), so the scoped call stays one fused probe.
+    let min_end = live[0].1.min_end;
+    let results = shared
+        .matcher
+        .search_with_tier_batch_scoped(index, tier, &queries, min_end);
     let execute = started.elapsed();
     drop(fusion_span);
     drop(exec_span);
@@ -1662,6 +1924,7 @@ mod sched_tests {
             seq,
             query: Clip::new(640.0, 480.0, Vec::new()),
             top_k: None,
+            min_end: None,
             cancel,
             enqueued_at: Instant::now(),
             trace: TraceContext::new(),
@@ -1782,6 +2045,26 @@ mod sched_tests {
         );
         assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), [1, 3, 4]);
         assert_eq!(queue.iter().map(|j| j.seq).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn scoped_jobs_only_fuse_with_equal_scopes() {
+        let policy = SchedPolicy::fifo();
+        let mut j2 = job("a", 0, 2, None);
+        j2.min_end = Some(100);
+        let mut j3 = job("a", 0, 3, None);
+        j3.min_end = Some(200);
+        let j4 = job("a", 0, 4, None);
+        let mut queue: VecDeque<Job> = [j2, j3, j4].into();
+        let mut head = job("a", 0, 1, None);
+        head.min_end = Some(100);
+        let batch = form_batch(&mut queue, head, 8, &policy, None, Instant::now());
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(
+            queue.iter().map(|j| j.seq).collect::<Vec<_>>(),
+            [3, 4],
+            "different or absent scopes stay queued"
+        );
     }
 
     #[test]

@@ -48,14 +48,20 @@
 
 pub mod client;
 pub mod engine;
+pub mod live;
 pub mod protocol;
 pub mod scrape;
 pub mod server;
 
-pub use client::{Client, ClientError, ProfileOutcome, QueryOptions, QueryOutcome};
+pub use client::{
+    Client, ClientError, LiveFeed, ProfileOutcome, QueryOptions, QueryOutcome, Registered,
+};
 pub use engine::{
     ClassConfig, ClassStats, DatasetInfo, DatasetTraffic, Engine, EngineConfig, EngineError,
     EngineStats, QueryHandle, QueryResult, QuerySpec, SchedMode, SchedPolicy, DEFAULT_CLASS,
+};
+pub use live::{
+    LiveMatch, LiveNotifications, LiveRegistration, LiveReload, LIVE_CLASS, NOTIFY_QUEUE_CAP,
 };
 pub use protocol::{ErrorKind, Request, Response, WireSpan, WireTrace, PROTOCOL_VERSION};
 pub use scrape::MetricsListener;

@@ -49,7 +49,12 @@ use crate::engine::{DatasetInfo, EngineError, EngineStats};
 /// fields read as the server's defaults, so v4 queries still parse),
 /// the `RateLimited` error kind, and per-class queue diagnostics in
 /// `Stats` (v4 clients ignore them).
-pub const PROTOCOL_VERSION: u32 = 5;
+/// Version 6 added live monitoring: the `Register`/`Unregister`/
+/// `Notifications` requests for standing queries over appended ingest
+/// epochs, and their `Registered`/`Unregistered`/`Notifications`
+/// responses. v5 clients never send the new requests and ignore the
+/// new response variants, so both directions stay compatible.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// A client request: one JSON value per line.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +106,33 @@ pub enum Request {
         seconds: Option<u64>,
         /// Sampling rate in Hz, or null for the server default.
         hz: Option<u64>,
+    },
+    /// Register a standing query: evaluated against every ingest epoch
+    /// appended to the dataset after registration, with matches queued
+    /// for [`Request::Notifications`].
+    Register {
+        /// Dataset to monitor (must have an embedding store attached).
+        dataset: String,
+        /// Canonical event query name, or null (same rules as `Query`).
+        event: Option<String>,
+        /// Inline query clip, or null. Takes precedence over `event`.
+        clip: Option<Clip>,
+        /// Drop matches scoring below this, or null/absent to keep all.
+        min_score: Option<f32>,
+        /// Per-epoch result cap, or null/absent for the server default.
+        top_k: Option<usize>,
+    },
+    /// Remove a standing query; pending notifications are discarded.
+    Unregister {
+        /// The id [`Response::Registered`] handed back.
+        registration_id: u64,
+    },
+    /// Drain queued matches for a standing query (oldest first).
+    Notifications {
+        /// The id [`Response::Registered`] handed back.
+        registration_id: u64,
+        /// Drain at most this many matches, or null/absent for all.
+        max: Option<usize>,
     },
     /// Ask the server process to shut down gracefully.
     Shutdown,
@@ -178,6 +210,36 @@ impl Serialize for Request {
                     ("hz".into(), hz.to_value()),
                 ]),
             )]),
+            Request::Register {
+                dataset,
+                event,
+                clip,
+                min_score,
+                top_k,
+            } => Value::Obj(vec![(
+                "Register".into(),
+                Value::Obj(vec![
+                    ("dataset".into(), dataset.to_value()),
+                    ("event".into(), event.to_value()),
+                    ("clip".into(), clip.to_value()),
+                    ("min_score".into(), min_score.to_value()),
+                    ("top_k".into(), top_k.to_value()),
+                ]),
+            )]),
+            Request::Unregister { registration_id } => Value::Obj(vec![(
+                "Unregister".into(),
+                Value::Obj(vec![("registration_id".into(), registration_id.to_value())]),
+            )]),
+            Request::Notifications {
+                registration_id,
+                max,
+            } => Value::Obj(vec![(
+                "Notifications".into(),
+                Value::Obj(vec![
+                    ("registration_id".into(), registration_id.to_value()),
+                    ("max".into(), max.to_value()),
+                ]),
+            )]),
         }
     }
 }
@@ -221,6 +283,29 @@ impl Deserialize for Request {
                         Ok(Request::Profile {
                             seconds: opt_field(&fields, "seconds")?,
                             hz: opt_field(&fields, "hz")?,
+                        })
+                    }
+                    "Register" => {
+                        let fields = obj(body, "Register")?;
+                        Ok(Request::Register {
+                            dataset: field(&fields, "dataset")?,
+                            event: opt_field(&fields, "event")?,
+                            clip: opt_field(&fields, "clip")?,
+                            min_score: opt_field(&fields, "min_score")?,
+                            top_k: opt_field(&fields, "top_k")?,
+                        })
+                    }
+                    "Unregister" => {
+                        let fields = obj(body, "Unregister")?;
+                        Ok(Request::Unregister {
+                            registration_id: field(&fields, "registration_id")?,
+                        })
+                    }
+                    "Notifications" => {
+                        let fields = obj(body, "Notifications")?;
+                        Ok(Request::Notifications {
+                            registration_id: field(&fields, "registration_id")?,
+                            max: opt_field(&fields, "max")?,
                         })
                     }
                     other => Err(DeError(format!("unknown request variant {other:?}"))),
@@ -372,6 +457,35 @@ pub enum Response {
         /// Wall milliseconds the profile covers.
         duration_ms: u64,
     },
+    /// Answer to [`Request::Register`].
+    Registered {
+        /// Handle for `Unregister`/`Notifications`.
+        registration_id: u64,
+        /// Frame the standing query starts watching from: frames
+        /// already ingested are *not* re-reported, only epochs appended
+        /// after this point are.
+        watermark: u32,
+    },
+    /// Answer to [`Request::Unregister`].
+    Unregistered {
+        /// The id that was removed.
+        registration_id: u64,
+    },
+    /// Answer to [`Request::Notifications`].
+    Notifications {
+        /// The standing query drained.
+        registration_id: u64,
+        /// Latest ingest epoch the query has been evaluated against.
+        epoch: u64,
+        /// Frames evaluated through (exclusive end of the last window
+        /// range examined).
+        watermark: u32,
+        /// Matches shed because the queue overflowed, cumulative since
+        /// registration.
+        dropped: u64,
+        /// Queued matches, oldest first; drained (at-most-once).
+        matches: Vec<crate::live::LiveMatch>,
+    },
     /// Answer to [`Request::Shutdown`]; the server stops accepting work.
     ShutdownAck,
     /// Any request that could not be served.
@@ -417,6 +531,8 @@ impl Response {
             EngineError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
             EngineError::Cancelled => ErrorKind::Cancelled,
             EngineError::Similarity(_) => ErrorKind::BadRequest,
+            EngineError::NotStored(_) => ErrorKind::BadRequest,
+            EngineError::StoreMismatch(_) => ErrorKind::Internal,
             EngineError::WorkerLost => ErrorKind::Internal,
         };
         Response::Error {
@@ -463,6 +579,22 @@ mod tests {
                 hz: None,
             },
             Request::Metrics,
+            Request::Register {
+                dataset: "traffic".into(),
+                event: Some("left_turn".into()),
+                clip: None,
+                min_score: Some(0.5),
+                top_k: Some(3),
+            },
+            Request::Unregister { registration_id: 7 },
+            Request::Notifications {
+                registration_id: 7,
+                max: Some(16),
+            },
+            Request::Notifications {
+                registration_id: 8,
+                max: None,
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -524,6 +656,24 @@ mod tests {
                 folded: "worker-0;sketchql.server.execute;sketchql.matcher.scan 41\n".into(),
                 samples: 120,
                 duration_ms: 2_000,
+            },
+            Response::Registered {
+                registration_id: 3,
+                watermark: 900,
+            },
+            Response::Unregistered { registration_id: 3 },
+            Response::Notifications {
+                registration_id: 3,
+                epoch: 2,
+                watermark: 1100,
+                dropped: 1,
+                matches: vec![crate::live::LiveMatch {
+                    start: 930,
+                    end: 1010,
+                    score: 0.75,
+                    track_ids: vec![4, 9],
+                    epoch: 2,
+                }],
             },
             Response::ShutdownAck,
             Response::Error {
@@ -758,6 +908,82 @@ mod tests {
         let back: V3WireTrace = serde_json::from_str(&line).unwrap();
         assert_eq!(back.trace_id, 9);
         assert_eq!(back.total_nanos, 777);
+    }
+
+    /// A minimal `{"Register":{...}}` with every optional knob absent
+    /// parses with them defaulted — the `opt_field` compatibility hook,
+    /// v6 edition — and a bare `Notifications` drains everything.
+    #[test]
+    fn register_request_with_absent_fields_parses() {
+        let line = "{\"Register\":{\"dataset\":\"traffic\",\"event\":\"merge\"}}";
+        let req: Request = serde_json::from_str(line).unwrap();
+        assert_eq!(
+            req,
+            Request::Register {
+                dataset: "traffic".into(),
+                event: Some("merge".into()),
+                clip: None,
+                min_score: None,
+                top_k: None,
+            }
+        );
+        let line = "{\"Notifications\":{\"registration_id\":5}}";
+        let req: Request = serde_json::from_str(line).unwrap();
+        assert_eq!(
+            req,
+            Request::Notifications {
+                registration_id: 5,
+                max: None,
+            }
+        );
+    }
+
+    /// The exact bytes a protocol-version-5 client puts on the wire
+    /// still parse under this v6 server — the live bump adds request
+    /// variants but changes nothing about existing ones.
+    #[test]
+    fn v5_query_still_parses_under_v6() {
+        let v5_line = "{\"Query\":{\"dataset\":\"traffic\",\"event\":\"left_turn\",\
+                       \"clip\":null,\"top_k\":5,\"deadline_ms\":2000,\
+                       \"trace_id\":42,\"class\":\"batch\",\"priority\":-5}}";
+        let req: Request = serde_json::from_str(v5_line).unwrap();
+        assert_eq!(
+            req,
+            Request::Query {
+                dataset: "traffic".into(),
+                event: Some("left_turn".into()),
+                clip: None,
+                top_k: Some(5),
+                deadline_ms: Some(2000),
+                trace_id: Some(42),
+                class: Some("batch".into()),
+                priority: Some(-5),
+            }
+        );
+    }
+
+    /// A v5 client deserializes v6 responses with its derived enum: the
+    /// new variants only ever answer the new requests, so a v5-shaped
+    /// mirror enum (no live variants) still parses everything a v5
+    /// client can provoke.
+    #[test]
+    fn v6_responses_parse_under_a_v5_shaped_client() {
+        #[derive(Debug, PartialEq, Deserialize)]
+        enum V5Response {
+            Pong { version: u32 },
+            ShutdownAck,
+        }
+
+        let pong = serde_json::to_string(&Response::Pong {
+            version: PROTOCOL_VERSION,
+        })
+        .unwrap();
+        let back: V5Response = serde_json::from_str(&pong).unwrap();
+        assert_eq!(back, V5Response::Pong { version: 6 });
+
+        let ack = serde_json::to_string(&Response::ShutdownAck).unwrap();
+        let back: V5Response = serde_json::from_str(&ack).unwrap();
+        assert_eq!(back, V5Response::ShutdownAck);
     }
 
     /// Trace ids are minted at 48 bits so they survive the JSON number

@@ -112,6 +112,13 @@ impl Server {
         &self.engine
     }
 
+    /// A shared handle to the engine, for owner-side threads that
+    /// outlive borrows of the server — e.g. a live-ingest poller that
+    /// calls [`Engine::reload_dataset`] while the accept loop runs.
+    pub fn engine_handle(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
     /// Blocks until a shutdown is requested (over the wire or via
     /// [`Server::request_shutdown`]). The caller should then call
     /// [`Server::shutdown`].
@@ -329,31 +336,9 @@ fn handle_request(
                     None,
                 );
             }
-            let query = match (clip, event) {
-                (Some(clip), _) => clip,
-                (None, Some(name)) => {
-                    let Some(kind) = EventKind::ALL.iter().find(|k| k.name() == name) else {
-                        return (
-                            Response::Error {
-                                kind: ErrorKind::UnknownEvent,
-                                message: format!("unknown event {name:?}"),
-                            },
-                            false,
-                            None,
-                        );
-                    };
-                    query_clip(*kind)
-                }
-                (None, None) => {
-                    return (
-                        Response::Error {
-                            kind: ErrorKind::BadRequest,
-                            message: "query needs an event name or an inline clip".into(),
-                        },
-                        false,
-                        None,
-                    )
-                }
+            let query = match resolve_sketch(clip, event) {
+                Ok(clip) => clip,
+                Err(response) => return (*response, false, None),
             };
             let spec = QuerySpec {
                 dataset,
@@ -363,6 +348,7 @@ fn handle_request(
                 trace: trace_id.filter(|id| *id != 0),
                 class,
                 priority,
+                min_end: None,
             };
             match engine.execute(spec) {
                 Ok(result) => {
@@ -382,10 +368,94 @@ fn handle_request(
                 Err(e) => (Response::from_engine_error(&e), false, None),
             }
         }
+        Request::Register {
+            dataset,
+            event,
+            clip,
+            min_score,
+            top_k,
+        } => {
+            if !running.load(Ordering::SeqCst) {
+                return (
+                    Response::Error {
+                        kind: ErrorKind::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    },
+                    false,
+                    None,
+                );
+            }
+            let query = match resolve_sketch(clip, event) {
+                Ok(clip) => clip,
+                Err(response) => return (*response, false, None),
+            };
+            let response = match engine.register(&dataset, query, min_score, top_k) {
+                Ok(reg) => Response::Registered {
+                    registration_id: reg.id,
+                    watermark: reg.watermark,
+                },
+                Err(e) => Response::from_engine_error(&e),
+            };
+            (response, false, None)
+        }
+        Request::Unregister { registration_id } => {
+            let response = if engine.unregister(registration_id) {
+                Response::Unregistered { registration_id }
+            } else {
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("unknown registration id {registration_id}"),
+                }
+            };
+            (response, false, None)
+        }
+        Request::Notifications {
+            registration_id,
+            max,
+        } => {
+            let response = match engine.notifications(registration_id, max) {
+                Some(n) => Response::Notifications {
+                    registration_id: n.registration_id,
+                    epoch: n.epoch,
+                    watermark: n.watermark,
+                    dropped: n.dropped,
+                    matches: n.matches,
+                },
+                None => Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("unknown registration id {registration_id}"),
+                },
+            };
+            (response, false, None)
+        }
         Request::Shutdown => {
             signal_shutdown(running, shutdown_signal);
             (Response::ShutdownAck, true, None)
         }
+    }
+}
+
+/// Resolves a request's `clip`/`event` pair into the sketch to run,
+/// with the same precedence `Query` has always used: an inline clip
+/// wins, otherwise the event name is looked up in the catalogue, and
+/// naming neither is a bad request.
+fn resolve_sketch(
+    clip: Option<sketchql_trajectory::Clip>,
+    event: Option<String>,
+) -> Result<sketchql_trajectory::Clip, Box<Response>> {
+    match (clip, event) {
+        (Some(clip), _) => Ok(clip),
+        (None, Some(name)) => match EventKind::ALL.iter().find(|k| k.name() == name) {
+            Some(kind) => Ok(query_clip(*kind)),
+            None => Err(Box::new(Response::Error {
+                kind: ErrorKind::UnknownEvent,
+                message: format!("unknown event {name:?}"),
+            })),
+        },
+        (None, None) => Err(Box::new(Response::Error {
+            kind: ErrorKind::BadRequest,
+            message: "query needs an event name or an inline clip".into(),
+        })),
     }
 }
 

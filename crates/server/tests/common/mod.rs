@@ -1,6 +1,9 @@
 //! Shared fixtures for the server integration tests: a tiny trained
 //! model and small oracle-track datasets, kept deterministic by seeding.
 
+// Each test binary compiles this module afresh and uses its own subset.
+#![allow(dead_code)]
+
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;

@@ -1,0 +1,343 @@
+//! Live-monitoring acceptance: a standing query registered before an
+//! append receives exactly the matches an offline epoch-scoped query
+//! over the appended range returns — no duplicates, no misses, scores
+//! bit-identical — across several epochs; the registry survives a
+//! restart and catches up on appends committed while the server was
+//! down; and the wire protocol round-trips the whole flow.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchql::{append_frames, ingest_sharded, IngestConfig, MatcherConfig, ShardSet, StoreTier};
+use sketchql_datasets::{
+    extend_video, generate_video, query_clip, EventKind, ExtendConfig, SceneFamily, SyntheticVideo,
+    VideoConfig,
+};
+use sketchql_server::{
+    Client, ClientError, Engine, EngineConfig, EngineError, ErrorKind, QuerySpec, Server,
+    LIVE_CLASS, PROTOCOL_VERSION,
+};
+use sketchql_trajectory::Clip;
+
+use common::tiny_model;
+
+/// A base video plus streamed continuations: one ingest epoch per
+/// continuation.
+fn streaming_stages(seed: u64, continuations: u64) -> Vec<SyntheticVideo> {
+    let cfg = VideoConfig {
+        family: SceneFamily::UrbanIntersection,
+        events_per_kind: 1,
+        distractors: 2,
+        fps: 30.0,
+    };
+    let base = generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed));
+    let ext = ExtendConfig {
+        events_per_kind: 1,
+        distractors: 1,
+    };
+    let mut stages = vec![base];
+    for k in 1..=continuations {
+        let next = extend_video(
+            stages.last().unwrap(),
+            ext,
+            &mut StdRng::seed_from_u64(seed + k),
+        );
+        stages.push(next);
+    }
+    stages
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skql-live-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ingest_cfg(query: &Clip) -> IngestConfig {
+    IngestConfig::from_matcher(&MatcherConfig::default(), &[query.span()])
+}
+
+/// Reopens the shard set at `dir` with exhaustive probing so the store
+/// path is provably exact (matches the scan bit-for-bit).
+fn exhaustive_tier(dir: &std::path::Path) -> StoreTier {
+    let mut set = ShardSet::open(dir).expect("reopen shard set");
+    set.nprobe = set.nlist();
+    StoreTier::Sharded(set)
+}
+
+/// The acceptance property: for every appended epoch, the standing
+/// query's drained notifications equal an offline query scoped to the
+/// same range, bit-for-bit.
+#[test]
+fn standing_query_matches_offline_scoped_query_per_epoch() {
+    let model = tiny_model();
+    let query = query_clip(EventKind::LeftTurn);
+    let stages = streaming_stages(61, 3);
+    let indexes: Vec<sketchql::VideoIndex> = stages
+        .iter()
+        .map(sketchql::VideoIndex::from_truth)
+        .collect();
+    let dir = temp_dir("epochs");
+    ingest_sharded(
+        &model.similarity(),
+        &indexes[0],
+        "alpha",
+        &ingest_cfg(&query),
+        25,
+        &dir,
+        &|_| {},
+    )
+    .unwrap();
+
+    let mut datasets = BTreeMap::new();
+    datasets.insert("alpha".to_string(), indexes[0].clone());
+    datasets.insert("beta".to_string(), common::small_index(12));
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), exhaustive_tier(&dir));
+    let engine =
+        Engine::start_with_stores(model.clone(), datasets, stores, EngineConfig::default());
+
+    let reg = engine.register("alpha", query.clone(), None, None).unwrap();
+    assert_eq!(reg.watermark, indexes[0].frames);
+    // Nothing appended yet: the queue exists but is empty.
+    let feed = engine.notifications(reg.id, None).unwrap();
+    assert!(feed.matches.is_empty());
+    assert_eq!(feed.watermark, indexes[0].frames);
+
+    let mut total = 0usize;
+    for (k, index) in indexes.iter().enumerate().skip(1) {
+        let prev_frames = indexes[k - 1].frames;
+        let out = append_frames(&model.similarity(), index, &dir, 2, &|_| {}).unwrap();
+        assert_eq!(out.epoch, k as u64);
+        drop(out);
+        let reload = engine
+            .reload_dataset("alpha", index.clone(), exhaustive_tier(&dir))
+            .unwrap();
+        assert_eq!(reload.epoch, k as u64);
+        assert_eq!(reload.frames, index.frames);
+        assert_eq!(reload.evaluated, 1, "one registration was due");
+
+        // Offline reference: the same engine, the same snapshot, the
+        // same scope — an interactive query over the appended range.
+        let offline = engine
+            .execute(QuerySpec {
+                min_end: Some(prev_frames),
+                ..QuerySpec::new("alpha", query.clone())
+            })
+            .unwrap();
+        assert_eq!(reload.delivered, offline.moments.len());
+
+        let feed = engine.notifications(reg.id, None).unwrap();
+        assert_eq!(feed.epoch, k as u64);
+        assert_eq!(feed.watermark, index.frames);
+        assert_eq!(feed.dropped, 0);
+        assert_eq!(
+            feed.matches.len(),
+            offline.moments.len(),
+            "epoch {k}: match count diverged from the offline scoped query"
+        );
+        for (m, r) in feed.matches.iter().zip(&offline.moments) {
+            assert_eq!((m.start, m.end), (r.start, r.end), "epoch {k}");
+            assert_eq!(m.score.to_bits(), r.score.to_bits(), "epoch {k}");
+            assert_eq!(m.track_ids, r.track_ids, "epoch {k}");
+            assert_eq!(m.epoch, k as u64);
+        }
+        total += feed.matches.len();
+
+        // Drained means drained: a second poll returns nothing new.
+        let again = engine.notifications(reg.id, None).unwrap();
+        assert!(again.matches.is_empty(), "epoch {k}: duplicate delivery");
+    }
+    assert!(total > 0, "fixture produced no live matches at all");
+
+    // The live admission class was auto-declared at its documented
+    // priority and did the evaluations.
+    let stats = engine.stats();
+    let live = stats
+        .classes
+        .iter()
+        .find(|c| c.name == LIVE_CLASS)
+        .expect("live class declared");
+    assert_eq!(live.priority, -100);
+    assert!(live.completed >= 3, "one evaluation per epoch");
+
+    // A dataset without a store cannot host a standing query, and an
+    // unknown name is its own error.
+    let Err(EngineError::NotStored(_)) =
+        engine.register("beta", query_clip(EventKind::Overtake), None, None)
+    else {
+        panic!("store-less dataset must not register");
+    };
+    let Err(EngineError::UnknownDataset(_)) =
+        engine.register("gamma", query_clip(EventKind::Overtake), None, None)
+    else {
+        panic!("unknown dataset must not register");
+    };
+    assert!(!engine.unregister(reg.id + 100));
+    assert!(engine.unregister(reg.id));
+    assert!(
+        engine.notifications(reg.id, None).is_none(),
+        "gone after unregister"
+    );
+
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Registrations survive a restart through the durable registry, and
+/// appends committed while the server was down are evaluated at
+/// startup (catch-up), so matches are delayed — never lost.
+#[test]
+fn registry_survives_restart_and_catches_up() {
+    let model = tiny_model();
+    let query = query_clip(EventKind::StopAndGo);
+    let stages = streaming_stages(71, 1);
+    let base = sketchql::VideoIndex::from_truth(&stages[0]);
+    let grown = sketchql::VideoIndex::from_truth(&stages[1]);
+    let dir = temp_dir("restart");
+    let registry = dir.join("registry.json");
+    ingest_sharded(
+        &model.similarity(),
+        &base,
+        "alpha",
+        &ingest_cfg(&query),
+        25,
+        &dir.join("set"),
+        &|_| {},
+    )
+    .unwrap();
+    let config = EngineConfig {
+        registry_path: Some(registry.clone()),
+        ..EngineConfig::default()
+    };
+
+    let mut datasets = BTreeMap::new();
+    datasets.insert("alpha".to_string(), base.clone());
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), exhaustive_tier(&dir.join("set")));
+    let engine = Engine::start_with_stores(model.clone(), datasets, stores, config.clone());
+    let reg = engine.register("alpha", query.clone(), None, None).unwrap();
+    engine.shutdown();
+    drop(engine);
+
+    // The append lands while no server is running.
+    append_frames(&model.similarity(), &grown, &dir.join("set"), 2, &|_| {}).unwrap();
+
+    // Restart against the grown store: startup catch-up must evaluate
+    // the restored registration over the missed range.
+    let mut datasets = BTreeMap::new();
+    datasets.insert("alpha".to_string(), grown.clone());
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), exhaustive_tier(&dir.join("set")));
+    let engine = Engine::start_with_stores(model, datasets, stores, config);
+    let offline = engine
+        .execute(QuerySpec {
+            min_end: Some(base.frames),
+            ..QuerySpec::new("alpha", query.clone())
+        })
+        .unwrap();
+    let feed = engine
+        .notifications(reg.id, None)
+        .expect("registration restored from disk");
+    assert_eq!(feed.epoch, 1);
+    assert_eq!(feed.watermark, grown.frames);
+    assert_eq!(feed.matches.len(), offline.moments.len());
+    for (m, r) in feed.matches.iter().zip(&offline.moments) {
+        assert_eq!((m.start, m.end), (r.start, r.end));
+        assert_eq!(m.score.to_bits(), r.score.to_bits());
+    }
+
+    // Fresh ids keep counting past the restored ones.
+    let next = engine.register("alpha", query, None, None).unwrap();
+    assert!(next.id > reg.id);
+
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The whole flow over the wire: register, append + reload, drain,
+/// unregister — with the v6 protocol version announced on ping.
+#[test]
+fn wire_register_and_notifications_round_trip() {
+    let model = tiny_model();
+    let query = query_clip(EventKind::LaneChange);
+    let stages = streaming_stages(81, 1);
+    let base = sketchql::VideoIndex::from_truth(&stages[0]);
+    let grown = sketchql::VideoIndex::from_truth(&stages[1]);
+    let dir = temp_dir("wire");
+    ingest_sharded(
+        &model.similarity(),
+        &base,
+        "alpha",
+        &ingest_cfg(&query),
+        25,
+        &dir,
+        &|_| {},
+    )
+    .unwrap();
+
+    let mut datasets = BTreeMap::new();
+    datasets.insert("alpha".to_string(), base.clone());
+    datasets.insert("beta".to_string(), common::small_index(12));
+    let mut stores = BTreeMap::new();
+    stores.insert("alpha".to_string(), exhaustive_tier(&dir));
+    let engine =
+        Engine::start_with_stores(model.clone(), datasets, stores, EngineConfig::default());
+    let server = Server::start(engine, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+
+    // Store-less datasets refuse registration with a BadRequest.
+    let err = client
+        .register_event("beta", "lane_change", None, None)
+        .unwrap_err();
+    let ClientError::Server { kind, .. } = err else {
+        panic!("expected a server error, got {err}");
+    };
+    assert_eq!(kind, ErrorKind::BadRequest);
+
+    let reg = client
+        .register_event("alpha", "lane_change", None, None)
+        .unwrap();
+    assert_eq!(reg.watermark, base.frames);
+
+    append_frames(&model.similarity(), &grown, &dir, 2, &|_| {}).unwrap();
+    let reload = server
+        .engine()
+        .reload_dataset("alpha", grown.clone(), exhaustive_tier(&dir))
+        .unwrap();
+    assert_eq!(reload.epoch, 1);
+
+    let offline = server
+        .engine()
+        .execute(QuerySpec {
+            min_end: Some(base.frames),
+            ..QuerySpec::new("alpha", query)
+        })
+        .unwrap();
+    let feed = client.notifications(reg.registration_id, None).unwrap();
+    assert_eq!(feed.epoch, 1);
+    assert_eq!(feed.watermark, grown.frames);
+    assert_eq!(feed.matches.len(), offline.moments.len());
+    for (m, r) in feed.matches.iter().zip(&offline.moments) {
+        assert_eq!((m.start, m.end), (r.start, r.end));
+        assert_eq!(m.score.to_bits(), r.score.to_bits());
+        assert_eq!(m.epoch, 1);
+    }
+
+    client.unregister(reg.registration_id).unwrap();
+    let err = client.notifications(reg.registration_id, None).unwrap_err();
+    let ClientError::Server { kind, .. } = err else {
+        panic!("expected a server error, got {err}");
+    };
+    assert_eq!(kind, ErrorKind::BadRequest);
+
+    client.shutdown().unwrap();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

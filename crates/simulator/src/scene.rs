@@ -98,6 +98,20 @@ impl Scene3D {
     /// where an agent is off-screen or behind the camera are simply absent
     /// from its trajectory (exactly like detector misses).
     pub fn record<R: Rng>(&self, rig: &mut CameraRig, rng: &mut R) -> Clip {
+        self.record_offset(rig, rng, 0)
+    }
+
+    /// [`record`](Self::record), stamping each box with
+    /// `frame_offset + f` instead of `f` — the streaming entry point: a
+    /// continuation scene recorded on its own local timeline lands
+    /// directly on the global one, ready to splice after an existing
+    /// clip's last frame.
+    pub fn record_offset<R: Rng>(
+        &self,
+        rig: &mut CameraRig,
+        rng: &mut R,
+        frame_offset: u32,
+    ) -> Clip {
         let all_poses = self.poses();
         let dur = self.duration_frames();
         let mut trajectories: Vec<Trajectory> = self
@@ -113,7 +127,7 @@ impl Scene3D {
                 let pose = &all_poses[i][f as usize];
                 let corners = obj.agent.corners(pose);
                 if let Some(bbox) = cam.project_bbox(&corners) {
-                    trajectories[i].push(f, bbox);
+                    trajectories[i].push(frame_offset + f, bbox);
                 }
             }
         }

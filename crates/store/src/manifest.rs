@@ -57,6 +57,12 @@ pub struct ManifestShard {
 pub struct Manifest {
     /// Schema version ([`MANIFEST_VERSION`]).
     pub version: u32,
+    /// Ingest epoch: 0 for a from-scratch ingest, incremented by one on
+    /// every committed `append_frames`. Readers detect a live append by
+    /// watching this value (together with `frames`) change under the
+    /// atomic manifest rename. Manifests written before epochs existed
+    /// parse as epoch 0.
+    pub epoch: u64,
     /// Dataset name the windows were cut from.
     pub dataset: String,
     /// Model fingerprint as 16 hex digits (see the core crate's
@@ -203,11 +209,25 @@ impl Manifest {
     }
 
     /// Parses and validates a manifest document; `path` labels errors.
+    ///
+    /// Fields added after the format shipped (`epoch`) are defaulted
+    /// when absent so manifests written by older builds keep parsing;
+    /// a manifest declaring a *newer* `version` is still rejected with
+    /// [`StoreError::UnsupportedVersion`] by `validate`.
     pub fn from_json(path: &Path, json: &str) -> Result<Self, StoreError> {
-        let manifest: Manifest = serde_json::from_str(json).map_err(|e| StoreError::BadHeader {
+        let bad = |detail: String| StoreError::BadHeader {
             path: path.to_path_buf(),
-            detail: format!("manifest parse error: {e}"),
-        })?;
+            detail,
+        };
+        let mut value: serde::Value =
+            serde_json::from_str(json).map_err(|e| bad(format!("manifest parse error: {e}")))?;
+        if let serde::Value::Obj(fields) = &mut value {
+            if !fields.iter().any(|(k, _)| k == "epoch") {
+                fields.push(("epoch".to_string(), serde::Value::Num(0.0)));
+            }
+        }
+        let manifest =
+            Manifest::from_value(&value).map_err(|e| bad(format!("manifest parse error: {e}")))?;
         manifest.validate(path)?;
         Ok(manifest)
     }
@@ -243,6 +263,7 @@ mod tests {
     fn sample() -> Manifest {
         Manifest {
             version: MANIFEST_VERSION,
+            epoch: 3,
             dataset: "traffic/one".into(),
             model_fingerprint: hex_u64(0xdead_beef_0123_4567),
             index_fingerprint: hex_u64(u64::MAX - 3),
@@ -305,6 +326,40 @@ mod tests {
         }
         assert_eq!(parse_hex_u64("zz"), None);
         assert_eq!(parse_hex_u64(""), None);
+    }
+
+    #[test]
+    fn pre_epoch_manifest_parses_as_epoch_zero() {
+        // A manifest written before the epoch field existed: strip the
+        // key from a serialized document and re-parse.
+        let m = sample();
+        let json = m.to_json();
+        let stripped = {
+            let mut v: serde::Value = serde_json::from_str(&json).unwrap();
+            if let serde::Value::Obj(fields) = &mut v {
+                fields.retain(|(k, _)| k != "epoch");
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        assert!(!stripped.contains("epoch"));
+        let back = Manifest::from_json(Path::new("mem"), &stripped).unwrap();
+        assert_eq!(back.epoch, 0);
+        assert_eq!(back.shards, m.shards);
+    }
+
+    #[test]
+    fn newer_manifest_version_is_a_typed_error() {
+        // Version skew must surface as UnsupportedVersion (typed, with
+        // the declared version), not a parse panic or a silent misread.
+        let mut m = sample();
+        m.version = MANIFEST_VERSION + 1;
+        let json = m.to_json();
+        match Manifest::from_json(Path::new("mem"), &json) {
+            Err(StoreError::UnsupportedVersion { found, .. }) => {
+                assert_eq!(found, MANIFEST_VERSION + 1);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@ fn arb_manifest() -> impl Strategy<Value = Manifest> {
             prop::collection::vec(b'a'..=b'z', 0..10),
             any::<u64>(),
             any::<u64>(),
+            // Epochs count manifest commits one by one, so they stay
+            // far below the 2^53 integer ceiling of their JSON float.
+            0u64..1_000_000,
         ),
         (
             prop::collection::vec(any::<u32>(), 5),
@@ -41,7 +44,7 @@ fn arb_manifest() -> impl Strategy<Value = Manifest> {
         ),
     )
         .prop_map(
-            |((name, model_fp, index_fp), (bits, lens, dim, centroids, shards))| {
+            |((name, model_fp, index_fp, epoch), (bits, lens, dim, centroids, shards))| {
                 let nlist = (centroids.len() / dim as usize).max(1) as u32;
                 let centroid_bits: Vec<u32> = if centroids.is_empty() {
                     vec![0; (nlist * dim) as usize]
@@ -79,6 +82,7 @@ fn arb_manifest() -> impl Strategy<Value = Manifest> {
                     .collect();
                 Manifest {
                     version: MANIFEST_VERSION,
+                    epoch,
                     dataset: String::from_utf8(name).unwrap(),
                     model_fingerprint: hex_u64(model_fp),
                     index_fingerprint: hex_u64(index_fp),

@@ -259,6 +259,29 @@ pub mod names {
     pub const SHARD_BYTES_MAPPED: &str = "sketchql.shard.bytes_mapped";
     /// Span: faulting one shard in (map + checksum + column decode).
     pub const SHARD_LOAD: &str = "sketchql.shard.load";
+    /// Counter: resident shards evicted under `--max-resident-shards`
+    /// (LRU; the shard reloads transparently on its next probe).
+    pub const SHARD_EVICTIONS: &str = "sketchql.shard.evictions";
+
+    /// Counter: committed `append_frames` epochs across all datasets.
+    pub const LIVE_APPENDS: &str = "sketchql.live.appends";
+    /// Counter: rows embedded by incremental appends (fresh windows).
+    pub const LIVE_ROWS_APPENDED: &str = "sketchql.live.rows_appended";
+    /// Counter: rows reused verbatim by incremental appends (windows
+    /// untouched by the new frames, copied from the old shards).
+    pub const LIVE_ROWS_REUSED: &str = "sketchql.live.rows_reused";
+    /// Span: one `append_frames` call (enumerate + embed + commit).
+    pub const LIVE_APPEND: &str = "sketchql.live.append";
+    /// Gauge: standing queries currently registered.
+    pub const LIVE_REGISTRATIONS: &str = "sketchql.live.registrations";
+    /// Counter: standing-query evaluations (one per registration per
+    /// ingest epoch).
+    pub const LIVE_EVALUATIONS: &str = "sketchql.live.evaluations";
+    /// Counter: matches delivered into notification queues.
+    pub const LIVE_NOTIFICATIONS: &str = "sketchql.live.notifications";
+    /// Counter: notifications shed because a registration's bounded
+    /// queue overflowed (oldest dropped first).
+    pub const LIVE_DROPPED: &str = "sketchql.live.dropped";
 
     /// Span: embedding the candidate clips of one scan (the batched,
     /// possibly parallel encoder pass).

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Live ingest bench: an incremental `append` of a streamed continuation
+# must cost a small fraction of re-ingesting the grown video from
+# scratch, and must produce an equivalent shard set — the same multiset
+# of shard checksums (filenames differ: appended tails are
+# epoch-stamped) and byte-identical query output.
+#
+# Bars (full mode): append wall time <= $SKETCHQL_LIVE_APPEND_FRAC
+# (default 0.20) of the from-scratch sharded ingest, for a ~10% frame
+# append. Quick mode uses a smaller base, so the appended fraction is
+# larger and check.sh passes a looser time bar. Writes BENCH_live.json.
+#
+#   scripts/bench_live.sh                               # full samples
+#   SKETCHQL_BENCH_QUICK=1 scripts/bench_live.sh        # fast smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${SKETCHQL_CLI:-target/release/sketchql-cli}"
+QUICK="${SKETCHQL_BENCH_QUICK:-0}"
+FRAC_MAX="${SKETCHQL_LIVE_APPEND_FRAC:-0.20}"
+OUT_JSON="${SKETCHQL_LIVE_BENCH_JSON:-BENCH_live.json}"
+if [ ! -x "$CLI" ]; then
+    echo "missing $CLI (run cargo build --release first)" >&2
+    exit 2
+fi
+
+if [ "$QUICK" != 0 ]; then
+    BASE_EVENTS=2 SAMPLES=1
+else
+    BASE_EVENTS=10 SAMPLES=2
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+now_ns() { date +%s%N; }
+
+echo "== live bench: fixtures (base + ~940-frame streamed continuation)"
+"$CLI" generate --out "$work/base.json" --events "$BASE_EVENTS" --distractors 8 --seed 5 \
+    | tee "$work/gen_base.out"
+"$CLI" generate --out "$work/grown.json" --extend "$work/base.json" \
+    --events 1 --distractors 2 --seed 11 \
+    | tee "$work/gen_grown.out"
+"$CLI" train --out "$work/model.json" --steps 20 >/dev/null
+base_frames="$(awk '{ print $3 }' "$work/gen_base.out")"
+grown_frames="$(awk '{ print $3 }' "$work/gen_grown.out")"
+
+ingest_full() {
+    local dir="$1"
+    "$CLI" ingest --video "$work/grown.json" --model "$work/model.json" \
+        --dataset traffic --store-dir "$dir" --oracle-tracks \
+        --shard-frames 64 --threads 4 >/dev/null
+}
+
+echo "== live bench: from-scratch sharded ingest of the grown video ($SAMPLES sample(s))"
+full_best=""
+for i in $(seq 1 "$SAMPLES"); do
+    rm -rf "$work/full"
+    t0="$(now_ns)"
+    ingest_full "$work/full"
+    t1="$(now_ns)"
+    ns=$((t1 - t0))
+    echo "full ingest sample $i: $((ns / 1000000)) ms"
+    if [ -z "$full_best" ] || [ "$ns" -lt "$full_best" ]; then full_best=$ns; fi
+done
+
+echo "== live bench: ingest the base once, then time incremental appends"
+"$CLI" ingest --video "$work/base.json" --model "$work/model.json" \
+    --dataset traffic --store-dir "$work/base_store" --oracle-tracks \
+    --shard-frames 64 --threads 4 >/dev/null
+append_best=""
+for i in $(seq 1 "$SAMPLES"); do
+    rm -rf "$work/inc"
+    cp -r "$work/base_store" "$work/inc"
+    t0="$(now_ns)"
+    "$CLI" append --video "$work/grown.json" --model "$work/model.json" \
+        --dataset traffic --store-dir "$work/inc" --oracle-tracks \
+        --threads 4 >/dev/null
+    t1="$(now_ns)"
+    ns=$((t1 - t0))
+    echo "append sample $i: $((ns / 1000000)) ms"
+    if [ -z "$append_best" ] || [ "$ns" -lt "$append_best" ]; then append_best=$ns; fi
+done
+
+echo "== live bench: append-equivalence (shard grid + query output)"
+# Identical shard grid: same frame ranges and row counts per shard.
+# (Shard checksums may differ — the coarse quantizer is trained per
+# ingest and never retrained on append, so list assignments can vary;
+# rows, vectors, and exhaustive-probe query results do not.)
+sums() {
+    grep -o '"frame_start":[0-9]*,"frame_end":[0-9]*,"rows":[0-9]*' \
+        "$work/$1/traffic.skset/manifest.json"
+}
+sums full > "$work/full.grid"
+sums inc > "$work/inc.grid"
+[ -s "$work/full.grid" ] || { echo "FAIL: could not read the manifest shard grid" >&2; exit 1; }
+diff -u "$work/full.grid" "$work/inc.grid" \
+    || { echo "FAIL: appended shard grid differs from from-scratch ingest" >&2; exit 1; }
+# Byte-identical ranked output under exhaustive probing (a huge
+# --nprobe clamps to every list, removing the only allowed divergence).
+for dir in full inc; do
+    "$CLI" query --video "$work/grown.json" --model "$work/model.json" \
+        --event left_turn --oracle-tracks --store-dir "$work/$dir" \
+        --nprobe 1000000 > "$work/$dir.query"
+    grep -q "store: index-backed" "$work/$dir.query" \
+        || { echo "FAIL: $dir query bypassed the store" >&2; exit 1; }
+    grep -E "^[0-9]+ " "$work/$dir.query" > "$work/$dir.rows" || true
+    [ -s "$work/$dir.rows" ] || { echo "FAIL: $dir query returned no moments" >&2; exit 1; }
+done
+diff -u "$work/full.rows" "$work/inc.rows" \
+    || { echo "FAIL: query output differs between append and re-ingest" >&2; exit 1; }
+
+awk -v full="$full_best" -v append="$append_best" -v fracmax="$FRAC_MAX" \
+    -v basef="$base_frames" -v grownf="$grown_frames" \
+    -v quick="$QUICK" -v out="$OUT_JSON" '
+    BEGIN {
+        appended_frac = (grownf - basef) / grownf
+        time_frac = append / full
+        printf "appended frames:   %d of %d (%.1f%% of the grown video)\n",
+            grownf - basef, grownf, appended_frac * 100
+        printf "full re-ingest:    %.1f ms\n", full / 1e6
+        printf "incremental append: %.1f ms\n", append / 1e6
+        printf "append/full:       %.3f (bar: <=%s)\n", time_frac, fracmax
+        printf "{\n" \
+               "  \"bench\": \"live_append\",\n" \
+               "  \"quick\": %s,\n" \
+               "  \"base_frames\": %d,\n" \
+               "  \"grown_frames\": %d,\n" \
+               "  \"appended_frac\": %.4f,\n" \
+               "  \"full_ingest_ns\": %.0f,\n" \
+               "  \"append_ns\": %.0f,\n" \
+               "  \"append_over_full\": %.4f,\n" \
+               "  \"max_frac\": %s,\n" \
+               "  \"equivalent\": true\n" \
+               "}\n", (quick != 0) ? "true" : "false", basef, grownf, \
+               appended_frac, full, append, time_frac, fracmax > out
+        printf "wrote %s\n", out
+        if (time_frac > fracmax + 0.0) {
+            print "FAIL: incremental append too slow relative to re-ingest"
+            exit 1
+        }
+        exit 0
+    }
+'
+
+echo "ok: live bench passed"

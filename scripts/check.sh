@@ -73,6 +73,18 @@ SKETCHQL_BENCH_QUICK=1 \
     SKETCHQL_SHARD_BENCH_JSON=target/BENCH_shard_smoke.json \
     scripts/bench_shard.sh
 
+echo "== live smoke (append -> standing query fires on the new epoch -> restart)"
+scripts/smoke_live.sh
+
+echo "== live append cost + equivalence smoke (quick samples)"
+# Quick mode appends a much larger fraction of the video (~30% vs the
+# full bench's ~10%), so the time bar is proportionally looser (run
+# scripts/bench_live.sh for the real 0.20 bar); equivalence checks stay
+# exact because they are deterministic.
+SKETCHQL_BENCH_QUICK=1 SKETCHQL_LIVE_APPEND_FRAC=0.6 \
+    SKETCHQL_LIVE_BENCH_JSON=target/BENCH_live_smoke.json \
+    scripts/bench_live.sh
+
 echo "== matcher speedup smoke (quick samples)"
 # 3 quick samples are noisy, so the smoke bar is looser than the full
 # bench's 3x acceptance bar (run scripts/bench_matcher.sh for that), and

@@ -5,11 +5,14 @@
 //! sketchql-cli train --out model.json [--steps 600]
 //! sketchql-cli query --video video.json --model model.json --event left_turn [--baseline dtw] [--top-k 5] [--oracle-tracks] [--stats]
 //! sketchql-cli ingest --video video.json --model model.json --dataset traffic --store-dir stores
+//! sketchql-cli append --video grown.json --model model.json --dataset traffic --store-dir stores
 //! sketchql-cli stats --video video.json --model model.json --event left_turn [--format json|prometheus]
 //! sketchql-cli render --video video.json --start 100 --end 199 [--track 3]
 //! sketchql-cli info --video video.json
 //! sketchql-cli serve --model model.json --videos traffic=video.json [--store-dir stores] [--addr 127.0.0.1:7878] [--workers 4]
 //! sketchql-cli client --addr 127.0.0.1:7878 --action query --dataset traffic --event left_turn
+//! sketchql-cli register --addr 127.0.0.1:7878 --dataset traffic --event left_turn
+//! sketchql-cli watch --addr 127.0.0.1:7878 --registration-id 1
 //! ```
 //!
 //! Videos and models are JSON artifacts so pipelines can be scripted and
@@ -22,12 +25,13 @@ use rand::SeedableRng;
 use sketchql::telemetry::{self, Recorder};
 use sketchql::training::{train_with_callback, TrainedModel, TrainingConfig};
 use sketchql::{
-    ingest, ingest_sharded, load_store_tier_dir, save_store_dir, shard_set_dir_name, CancelToken,
-    ClassicalSimilarity, IngestConfig, IngestProgress, Matcher, MatcherConfig, RetrievedMoment,
-    ShardSet, VideoIndex,
+    append_frames, ingest, ingest_sharded, load_store_tier_dir, save_store_dir, shard_set_dir_name,
+    CancelToken, ClassicalSimilarity, IngestConfig, IngestProgress, Matcher, MatcherConfig,
+    RetrievedMoment, ShardSet, VideoIndex,
 };
 use sketchql_datasets::{
-    generate_video, query_clip, EventKind, SceneFamily, SyntheticVideo, VideoConfig,
+    extend_video, generate_video, query_clip, EventKind, ExtendConfig, SceneFamily, SyntheticVideo,
+    VideoConfig,
 };
 use sketchql_server::{
     ClassConfig, Client, Engine, EngineConfig, MetricsListener, QueryOptions, SchedMode,
@@ -52,11 +56,14 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "query" => cmd_query(&flags),
         "ingest" => cmd_ingest(&flags),
+        "append" => cmd_append(&flags),
         "stats" => cmd_stats(&flags),
         "render" => cmd_render(&flags),
         "info" => cmd_info(&flags),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(&flags),
+        "register" => cmd_register(&flags),
+        "watch" => cmd_watch(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -77,6 +84,8 @@ sketchql-cli — zero-shot video moment querying with sketches
 
 commands:
   generate --out <file> [--family <name>] [--seed <n>] [--events <n>] [--distractors <n>]
+           [--extend <base-video>] stream a continuation: the base's
+           frames carry over verbatim, new events play out after them
   train    --out <file> [--steps <n>] [--seed <n>]
   query    --video <file> --event <kind> [--model <file>] [--baseline <dtw|frechet|...>]
            [--rules] [--top-k <n>] [--oracle-tracks] [--stats] [--no-embed-cache]
@@ -88,6 +97,13 @@ commands:
            ingest into <dir>/<dataset>.skset/ (shards + manifest),
            served memory-mapped with lazy shard loading; --verify
            re-opens the written output and checks every checksum
+  append   --video <file> --model <file> --dataset <name> [--store-dir <dir>]
+           [--threads <n>] [--oracle-tracks] [--verify]
+           commit a live ingest epoch: embed only the windows the new
+           frames of <file> own and rewrite the tail shard(s) of
+           <dir>/<dataset>.skset/ — the result is byte-identical to a
+           from-scratch ingest of the grown video, published by one
+           atomic manifest rename
   stats    same flags as query; runs it quietly and dumps the metric
            registry [--format <json|prometheus>]
   render   --video <file> [--start <frame>] [--end <frame>]
@@ -106,6 +122,10 @@ commands:
            [--slow-query-log-max-bytes <n>] rotate the slow log at this size
            [--flight-traces <n>] flight-recorder capacity (default 256)
            [--profile-hz <n>] continuous profiler rate (default 19, 0 = off)
+           [--max-resident-shards <n>] LRU-evict mapped shards beyond n
+           [--registry <file>] persist standing queries across restarts
+           [--live-poll-ms <n>] poll sharded stores for appended epochs
+           and evaluate standing queries against each new epoch
   client   --addr <host:port>
            --action <ping|list|stats|query|trace|metrics|profile|top|shutdown>
            [--dataset <name>] [--event <kind>] [--top-k <n>] [--deadline-ms <n>]
@@ -114,6 +134,13 @@ commands:
            [--seconds <n>] [--hz <n>] for --action profile (0/absent = the
            server's continuous aggregate; positive = a fresh window)
            [--interval-ms <n>] [--iterations <n>] for --action top
+  register --addr <host:port> --dataset <name> --event <kind>
+           [--min-score <f>] [--top-k <n>]
+           register a standing query; prints the registration id
+  watch    --addr <host:port> --registration-id <n>
+           [--interval-ms <n>] [--iterations <n>] [--max <n>]
+           poll a standing query's notifications and print matches as
+           ingest epochs land (0 iterations = until interrupted)
 
 families: urban_intersection, parking_lot, plaza
 events:   left_turn right_turn u_turn stop_and_go lane_change
@@ -193,19 +220,33 @@ fn build_index(video: &SyntheticVideo, oracle: bool) -> VideoIndex {
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = req(flags, "out")?;
-    let family = parse_family(
-        flags
-            .get("family")
-            .map_or("urban_intersection", String::as_str),
-    )?;
     let seed: u64 = num(flags, "seed", 1)?;
-    let cfg = VideoConfig {
-        family,
-        events_per_kind: num(flags, "events", 2)?,
-        distractors: num(flags, "distractors", 10)?,
-        fps: 30.0,
+    let events = num(flags, "events", 2)?;
+    let distractors = num(flags, "distractors", 10)?;
+    let video = if let Some(base_path) = flags.get("extend") {
+        // Streamed continuation: the base video's frames are carried
+        // over verbatim (the contract `append` relies on), new events
+        // and distractors play out after them.
+        let base = load_video(base_path)?;
+        let cfg = ExtendConfig {
+            events_per_kind: events,
+            distractors,
+        };
+        extend_video(&base, cfg, &mut StdRng::seed_from_u64(seed))
+    } else {
+        let family = parse_family(
+            flags
+                .get("family")
+                .map_or("urban_intersection", String::as_str),
+        )?;
+        let cfg = VideoConfig {
+            family,
+            events_per_kind: events,
+            distractors,
+            fps: 30.0,
+        };
+        generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed))
     };
-    let video = generate_video(cfg, seed, &mut StdRng::seed_from_u64(seed));
     let json = serde_json::to_string(&video).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
     println!(
@@ -478,6 +519,70 @@ fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Live ingest: commit the frames `--video` has grown by since the
+/// last ingest/append of `<store-dir>/<dataset>.skset/` as one new
+/// epoch. Only windows owned by the new frames are embedded; the
+/// result is byte-identical to a from-scratch sharded ingest of the
+/// grown video (the append-equivalence gate in `crates/core/tests`).
+fn cmd_append(flags: &HashMap<String, String>) -> Result<(), String> {
+    let video = load_video(req(flags, "video")?)?;
+    let model = TrainedModel::load(Path::new(req(flags, "model")?)).map_err(|e| e.to_string())?;
+    let dataset = flags
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| video.name.clone());
+    let dir = Path::new(flags.get("store-dir").map_or("stores", String::as_str));
+    let set_dir = dir.join(shard_set_dir_name(&dataset));
+    if !set_dir.is_dir() {
+        return Err(format!(
+            "{}: no sharded store for dataset {dataset:?} (run ingest --shard-frames first; \
+             monolithic .skstore files cannot be appended to)",
+            set_dir.display()
+        ));
+    }
+    let index = build_index(&video, flags.contains_key("oracle-tracks"));
+    println!(
+        "index: {} tracks over {} frames",
+        index.tracks.len(),
+        index.frames
+    );
+    let threads = num(flags, "threads", 4)?;
+    let started = std::time::Instant::now();
+    let out = append_frames(&model.similarity(), &index, &set_dir, threads, &|e| {
+        if let IngestProgress::ShardWritten { shard_id, rows } = e {
+            println!("progress: shard {shard_id} rewritten ({rows} rows)");
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if out.new_frames == out.old_frames {
+        println!(
+            "nothing to append: the store already covers {} frames (epoch {})",
+            out.old_frames, out.epoch
+        );
+        return Ok(());
+    }
+    println!(
+        "appended frames {}..{} as epoch {}: {} windows embedded, {} reused, \
+         {} shard(s) rewritten in {:.1}s",
+        out.old_frames,
+        out.new_frames,
+        out.epoch,
+        out.embedded_rows,
+        out.reused_rows,
+        out.rewritten_shards,
+        started.elapsed().as_secs_f64()
+    );
+    if flags.contains_key("verify") {
+        let reopened = ShardSet::open(&set_dir).map_err(|e| e.to_string())?;
+        reopened.verify().map_err(|e| e.to_string())?;
+        println!(
+            "verify: manifest and {} shard checksum(s) ok",
+            reopened.shard_count()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let (_, _, _, report) = execute_query(flags, true)?;
     match flags.get("format").map_or("json", String::as_str) {
@@ -622,6 +727,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = TrainedModel::load(Path::new(req(flags, "model")?)).map_err(|e| e.to_string())?;
     let oracle = flags.contains_key("oracle-tracks");
     let mut datasets = std::collections::BTreeMap::new();
+    let mut video_paths = std::collections::BTreeMap::new();
     for spec in req(flags, "videos")?.split(',') {
         let (name, path) = spec
             .split_once('=')
@@ -636,6 +742,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         if datasets.insert(name.to_string(), index).is_some() {
             return Err(format!("--videos: duplicate dataset name {name:?}"));
         }
+        video_paths.insert(name.to_string(), path.to_string());
     }
     if datasets.is_empty() {
         return Err("--videos: no datasets given".into());
@@ -657,7 +764,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         fused_batch: num(flags, "fused-batch", 0)?,
         sched: parse_sched_policy(flags)?,
         matcher,
+        registry_path: flags.get("registry").map(std::path::PathBuf::from),
     };
+    if let Some(path) = &config.registry_path {
+        println!("standing-query registry: {}", path.display());
+    }
     // Attach ingested embedding stores (monolithic `.skstore` files and
     // sharded `.skset/` directories alike). Attach validates headers and
     // manifests only — payloads, checksums, and ANN builds are deferred
@@ -666,22 +777,37 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     // drops mismatches, so a stale store degrades that dataset to the
     // scan path instead of failing.
     let attach_started = std::time::Instant::now();
+    let nprobe: Option<usize> = flags
+        .get("nprobe")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--nprobe: cannot parse {v:?}"))
+        })
+        .transpose()?;
+    let max_resident: Option<usize> = flags
+        .get("max-resident-shards")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--max-resident-shards: cannot parse {v:?}"))
+        })
+        .transpose()?;
     let stores = match flags.get("store-dir") {
         Some(dir) => {
             let mut stores =
                 load_store_tier_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
-            if let Some(np) = flags.get("nprobe") {
-                let np: usize = np
-                    .parse()
-                    .map_err(|_| format!("--nprobe: cannot parse {np:?}"))?;
-                for tier in stores.values_mut() {
+            for tier in stores.values_mut() {
+                if let Some(np) = nprobe {
                     tier.set_nprobe(np);
                 }
+                tier.set_max_resident(max_resident);
             }
             stores
         }
         None => std::collections::BTreeMap::new(),
     };
+    if let Some(cap) = max_resident {
+        println!("shard residency capped at {cap} shard(s) per set (LRU eviction)");
+    }
     if !stores.is_empty() {
         let shards: usize = stores.values().map(|t| t.shard_count()).sum();
         println!(
@@ -692,6 +818,30 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     let loaded: Vec<String> = stores.keys().cloned().collect();
+
+    // Sharded stores can grow behind the server's back (the `append`
+    // command commits new epochs in place); with --live-poll-ms the
+    // server watches each set's manifest and turns every new epoch
+    // into a live reload + standing-query evaluation.
+    let live_poll: u64 = num(flags, "live-poll-ms", 0)?;
+    let live_sources: Vec<(String, String, std::path::PathBuf, u64)> = match flags.get("store-dir")
+    {
+        Some(dir) if live_poll > 0 => stores
+            .iter()
+            .filter(|(_, tier)| matches!(tier, sketchql::StoreTier::Sharded(_)))
+            .filter_map(|(name, tier)| {
+                video_paths.get(name).map(|vp| {
+                    (
+                        name.clone(),
+                        vp.clone(),
+                        Path::new(dir).join(shard_set_dir_name(name)),
+                        tier.epoch(),
+                    )
+                })
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
 
     // Observability side channels: a JSON-lines slow-query log (also
     // records shed/cancelled/timed-out queries regardless of duration)
@@ -780,8 +930,77 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         );
     }
+    let live_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let poller = if !live_sources.is_empty() {
+        println!(
+            "live ingest poller: checking {} sharded store(s) every {} ms",
+            live_sources.len(),
+            live_poll
+        );
+        let engine = server.engine_handle();
+        let stop = std::sync::Arc::clone(&live_stop);
+        let handle = std::thread::Builder::new()
+            .name("sketchql-live-poll".into())
+            .spawn(move || {
+                let mut sources = live_sources;
+                loop {
+                    // Sleep in short steps so shutdown is prompt.
+                    let mut waited = 0u64;
+                    while waited < live_poll {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        let step = (live_poll - waited).min(100);
+                        std::thread::sleep(Duration::from_millis(step));
+                        waited += step;
+                    }
+                    for (name, video_path, set_dir, last_epoch) in sources.iter_mut() {
+                        // Manifest-only open: cheap enough to poll.
+                        let Ok(set) = ShardSet::open(set_dir) else {
+                            continue;
+                        };
+                        let epoch = set.manifest().epoch;
+                        if epoch <= *last_epoch {
+                            continue;
+                        }
+                        let Ok(video) = load_video(video_path) else {
+                            eprintln!(
+                                "live: {name}: store advanced but {video_path} is unreadable"
+                            );
+                            continue;
+                        };
+                        let index = build_index(&video, oracle);
+                        let mut tier = sketchql::StoreTier::Sharded(set);
+                        if let Some(np) = nprobe {
+                            tier.set_nprobe(np);
+                        }
+                        tier.set_max_resident(max_resident);
+                        match engine.reload_dataset(name, index, tier) {
+                            Ok(r) => {
+                                println!(
+                                    "live: {name} advanced to epoch {} ({} frames): \
+                                     {} standing quer(ies) evaluated, {} match(es) queued",
+                                    r.epoch, r.frames, r.evaluated, r.delivered
+                                );
+                                *last_epoch = epoch;
+                            }
+                            Err(e) => eprintln!("live: reload {name}: {e}"),
+                        }
+                    }
+                }
+            })
+            .map_err(|e| format!("spawn live poller: {e}"))?;
+        Some(handle)
+    } else {
+        None
+    };
+
     server.wait_for_shutdown_request();
     println!("shutdown requested; draining...");
+    live_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = poller {
+        let _ = handle.join();
+    }
     server.shutdown();
     if let Some(listener) = metrics {
         listener.shutdown();
@@ -968,6 +1187,96 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Registers a standing query over the wire and prints the handle to
+/// poll it with.
+fn cmd_register(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = req(flags, "addr")?;
+    let dataset = req(flags, "dataset")?;
+    let event = req(flags, "event")?;
+    parse_event(event)?; // fail locally with the catalogue message
+    let min_score = flags
+        .get("min-score")
+        .map(|v| {
+            v.parse::<f32>()
+                .map_err(|_| format!("--min-score: cannot parse {v:?}"))
+        })
+        .transpose()?;
+    let top_k = flags
+        .get("top-k")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--top-k: cannot parse {v:?}"))
+        })
+        .transpose()?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reg = client
+        .register_event(dataset, event, min_score, top_k)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "registered standing query {} on {dataset:?} ({event}); \
+         watching appends past frame {}",
+        reg.registration_id, reg.watermark
+    );
+    println!(
+        "poll it with: sketchql-cli watch --addr {addr} --registration-id {}",
+        reg.registration_id
+    );
+    Ok(())
+}
+
+/// Polls a standing query's notification queue, printing matches as
+/// ingest epochs land.
+fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = req(flags, "addr")?;
+    let id: u64 = req(flags, "registration-id")?
+        .parse()
+        .map_err(|_| "--registration-id: cannot parse".to_string())?;
+    let interval = Duration::from_millis(num(flags, "interval-ms", 1000)?);
+    let iterations: u64 = num(flags, "iterations", 0)?;
+    let max = flags
+        .get("max")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--max: cannot parse {v:?}"))
+        })
+        .transpose()?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut round = 0u64;
+    let mut last_watermark: Option<u32> = None;
+    let mut dropped = 0u64;
+    loop {
+        let feed = client.notifications(id, max).map_err(|e| e.to_string())?;
+        if feed.matches.is_empty() {
+            // Heartbeat only when the evaluated range moved.
+            if last_watermark.is_some_and(|w| w != feed.watermark) {
+                println!(
+                    "epoch {:>4}  evaluated through frame {} (no new matches)",
+                    feed.epoch, feed.watermark
+                );
+            }
+        }
+        for m in &feed.matches {
+            println!(
+                "epoch {:>4}  frames {:>6}..{:<7} score {:.3}  tracks {:?}",
+                m.epoch, m.start, m.end, m.score, m.track_ids
+            );
+        }
+        if feed.dropped > dropped {
+            eprintln!(
+                "warning: {} match(es) shed to queue overflow since registration",
+                feed.dropped
+            );
+            dropped = feed.dropped;
+        }
+        last_watermark = Some(feed.watermark);
+        round += 1;
+        if iterations > 0 && round >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 /// Renders one flight-recorder trace as an indented stage waterfall:
 /// spans in start order, indented by nesting depth, with each span's
 /// offset into the query and its duration. A resource line (attributed
@@ -1060,6 +1369,28 @@ fn parse_execute_buckets(prometheus: &str) -> Vec<(f64, u64)> {
     out
 }
 
+/// Diffs two cumulative histogram scrapes into the window's own
+/// cumulative buckets (a diff of cumulative counts is itself
+/// cumulative). `None` when the window saw zero traffic — including a
+/// counter reset after a server restart — so callers never feed an
+/// all-zero histogram into percentile interpolation.
+fn bucket_window_delta(prev: &[(f64, u64)], cur: &[(f64, u64)]) -> Option<Vec<(f64, u64)>> {
+    let window: Vec<(f64, u64)> = cur
+        .iter()
+        .map(|&(bound, count)| {
+            let before = prev
+                .iter()
+                .find(|(b, _)| *b == bound)
+                .map_or(0, |(_, c)| *c);
+            (bound, count.saturating_sub(before))
+        })
+        .collect();
+    match window.last() {
+        Some(&(_, total)) if total > 0 => Some(window),
+        _ => None,
+    }
+}
+
 /// Estimates the `q`-quantile (0..1) from cumulative histogram buckets
 /// by linear interpolation inside the bucket the target rank lands in.
 /// `None` when the buckets are empty. The open `+Inf` bucket reports
@@ -1141,28 +1472,20 @@ fn render_top(prev: &TopSample, cur: &TopSample, traces: &[sketchql_server::Wire
         s.queued, s.in_flight, s.rate_limited, s.store_hits, s.store_fallbacks, s.store_probed
     );
 
-    // Latency percentiles over just this window: diff the cumulative
-    // buckets (a diff of cumulative counts is itself cumulative).
-    let window: Vec<(f64, u64)> = cur
-        .execute_buckets
-        .iter()
-        .map(|&(bound, count)| {
-            let before = prev
-                .execute_buckets
-                .iter()
-                .find(|(b, _)| *b == bound)
-                .map_or(0, |(_, c)| *c);
-            (bound, count.saturating_sub(before))
-        })
-        .collect();
-    match (
-        percentile_from_buckets(&window, 0.50),
-        percentile_from_buckets(&window, 0.99),
-    ) {
-        (Some(p50), Some(p99)) => {
+    // Latency percentiles over just this window. An idle scrape
+    // interval produces no window at all rather than NaN percentiles.
+    let percentiles =
+        bucket_window_delta(&prev.execute_buckets, &cur.execute_buckets).and_then(|window| {
+            Some((
+                percentile_from_buckets(&window, 0.50)?,
+                percentile_from_buckets(&window, 0.99)?,
+            ))
+        });
+    match percentiles {
+        Some((p50, p99)) => {
             println!("execute   p50 {p50:.1} ms   p99 {p99:.1} ms (this window)")
         }
-        _ => println!("execute   no queries finished in this window"),
+        None => println!("execute   no queries finished in this window"),
     }
 
     if !s.datasets.is_empty() {
@@ -1220,5 +1543,68 @@ fn render_top(prev: &TopSample, cur: &TopSample, traces: &[sketchql_server::Wire
                 t.total_nanos as f64 / 1e6
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{bucket_window_delta, parse_execute_buckets, percentile_from_buckets};
+
+    #[test]
+    fn zero_traffic_window_yields_no_percentiles() {
+        let prev = vec![(1.0, 40), (10.0, 90), (f64::INFINITY, 100)];
+        let cur = prev.clone(); // nothing finished between scrapes
+        assert!(bucket_window_delta(&prev, &cur).is_none());
+        assert_eq!(percentile_from_buckets(&[], 0.5), None);
+        assert_eq!(
+            percentile_from_buckets(&[(1.0, 0), (f64::INFINITY, 0)], 0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn counter_reset_between_scrapes_reads_as_idle_not_underflow() {
+        // The server restarted mid-watch: cumulative counts went down.
+        let prev = vec![(1.0, 50), (f64::INFINITY, 80)];
+        let cur = vec![(1.0, 3), (f64::INFINITY, 4)];
+        assert!(bucket_window_delta(&prev, &cur).is_none());
+    }
+
+    #[test]
+    fn window_percentiles_interpolate_and_stay_finite() {
+        let prev = vec![(1.0, 5), (10.0, 5), (f64::INFINITY, 5)];
+        let cur = vec![(1.0, 15), (10.0, 105), (f64::INFINITY, 105)];
+        let window = bucket_window_delta(&prev, &cur).expect("traffic in window");
+        assert_eq!(window, vec![(1.0, 10), (10.0, 100), (f64::INFINITY, 100)]);
+
+        // Rank 50 of 100 lands in the 1..10 bucket holding 90 samples:
+        // 1 + (50 - 10) / 90 * 9.
+        let p50 = percentile_from_buckets(&window, 0.50).expect("p50");
+        assert!(p50.is_finite(), "p50 = {p50}");
+        assert!(
+            (p50 - (1.0 + 40.0 / 90.0 * 9.0)).abs() < 1e-9,
+            "p50 = {p50}"
+        );
+
+        // The open +Inf bucket never reports an unbounded value.
+        let p99 = percentile_from_buckets(&window, 0.99).expect("p99");
+        assert!(p99.is_finite() && p99 <= 10.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn prometheus_buckets_parse_in_order() {
+        let text = "\
+# HELP sketchql_server_execute_ms execute latency
+# TYPE sketchql_server_execute_ms histogram
+sketchql_server_execute_ms_bucket{le=\"1\"} 2
+sketchql_server_execute_ms_bucket{le=\"10\"} 7
+sketchql_server_execute_ms_bucket{le=\"+Inf\"} 9
+sketchql_server_execute_ms_sum 44.5
+sketchql_server_execute_ms_count 9
+";
+        assert_eq!(
+            parse_execute_buckets(text),
+            vec![(1.0, 2), (10.0, 7), (f64::INFINITY, 9)]
+        );
     }
 }
